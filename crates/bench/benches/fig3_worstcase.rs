@@ -1,0 +1,19 @@
+//! Regenerates Figures 3a and 3b: the memory-hungry worst case (both tasks
+//! allocate 2 GB of dirty state on a 4 GB node).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mrp_experiments::{figure3, to_table};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_worstcase");
+    group.sample_size(10);
+    group.bench_function("sweep_10_to_90_percent", |b| b.iter(|| figure3(1)));
+    group.finish();
+
+    let (a, bfig) = figure3(1);
+    println!("\n{}", to_table(&a));
+    println!("{}", to_table(&bfig));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Measures the real-OS suspend/resume round trip (SIGTSTP/SIGCONT on a live
+//! child process), the mechanism underlying the whole paper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mrp_oschild::{prototype_supported, WorkerProcess};
+
+fn bench(c: &mut Criterion) {
+    if !prototype_supported() {
+        eprintln!("os_prototype bench skipped: /proc or POSIX signals unavailable");
+        return;
+    }
+    let worker = match WorkerProcess::spawn_busy_loop() {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("os_prototype bench skipped: {e}");
+            return;
+        }
+    };
+    let mut group = c.benchmark_group("os_prototype");
+    group.sample_size(20);
+    group.bench_function("sigtstp_sigcont_roundtrip", |b| {
+        b.iter(|| worker.suspend_resume_roundtrip().expect("roundtrip"))
+    });
+    group.finish();
+    let rt = worker.suspend_resume_roundtrip().expect("roundtrip");
+    println!(
+        "\nreal-OS roundtrip: suspend {:?}, resume {:?}, RSS while stopped {} KiB",
+        rt.suspend_latency,
+        rt.resume_latency,
+        rt.rss_while_stopped / 1024
+    );
+    worker.kill().expect("kill worker");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! # mrp-bench — benchmark harness
+//!
+//! This crate only exists to host the Criterion benches that regenerate every
+//! figure of the paper (see `benches/`); it exports nothing. Run them with
+//! `cargo bench --workspace`; each bench prints the reproduced table so the
+//! captured output doubles as the data behind `EXPERIMENTS.md`.

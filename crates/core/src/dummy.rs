@@ -1,0 +1,410 @@
+//! The paper's "dummy scheduler": trigger-driven task eviction from a static
+//! configuration.
+//!
+//! Section III-B: *"We factor out the role of task eviction policies
+//! implemented by the scheduler […] by building a new scheduling component for
+//! Hadoop — a dummy scheduler — which dictates task eviction according to
+//! static configuration files. This allows to specify, using a series of
+//! simple triggers, which jobs/tasks are run in the cluster and which are
+//! preempted. In addition to executing jobs and preempting tasks with our
+//! suspend/resume primitives, the dummy scheduler also allows using the kill
+//! primitive and to wait, for the purpose of a comparative analysis."*
+//!
+//! The scheduler is a thin layer over the engine's priority FIFO launcher:
+//!
+//! * **triggers** fire when a watched task first reaches a progress fraction
+//!   (delivered exactly via [`mrp_engine::Cluster::add_progress_trigger`]);
+//!   each trigger can submit new jobs and preempt the tasks of existing jobs
+//!   with the configured [`PreemptionPrimitive`];
+//! * **restore rules** give slots back when a job completes: suspended tasks
+//!   are resumed (suspend/resume primitive), killed tasks are already pending
+//!   and get relaunched by the FIFO layer.
+//!
+//! Trigger plans can also be loaded from JSON files, mirroring the paper's
+//! static configuration files.
+
+use crate::eviction::{EvictionCandidate, EvictionPolicy};
+use crate::primitive::PreemptionPrimitive;
+use mrp_engine::{
+    FifoScheduler, JobSpec, NodeId, SchedulerAction, SchedulerContext, SchedulerPolicy, TaskId,
+    TaskState,
+};
+use mrp_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// One trigger of the dummy scheduler's static plan.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TriggerRule {
+    /// Name of the job whose task is watched (e.g. `tl`).
+    pub watch_job: String,
+    /// Index of the watched map task within that job.
+    pub watch_task: u32,
+    /// Progress fraction at which the trigger fires (the paper's `r`).
+    pub fraction: f64,
+    /// Jobs to submit when the trigger fires (e.g. `th`).
+    #[serde(default)]
+    pub submit: Vec<JobSpec>,
+    /// Names of jobs whose running tasks are preempted when the trigger fires.
+    #[serde(default)]
+    pub preempt_jobs: Vec<String>,
+    /// Maximum number of tasks to preempt per job (`None` = all running).
+    #[serde(default)]
+    pub max_victims: Option<usize>,
+}
+
+/// A restore rule: when `when_job_completes` finishes, give slots back to the
+/// previously preempted jobs listed in `restore_jobs`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RestoreRule {
+    /// Job whose completion triggers the restore (e.g. `th`).
+    pub when_job_completes: String,
+    /// Jobs whose suspended tasks should be resumed (e.g. `tl`).
+    pub restore_jobs: Vec<String>,
+}
+
+/// The full static plan: primitive, eviction policy, triggers and restores.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DummyPlan {
+    /// Which preemption primitive the plan uses.
+    pub primitive: PreemptionPrimitive,
+    /// Which tasks to evict first when a trigger preempts a job.
+    pub eviction: EvictionPolicy,
+    /// The trigger rules.
+    #[serde(default)]
+    pub triggers: Vec<TriggerRule>,
+    /// The restore rules.
+    #[serde(default)]
+    pub restores: Vec<RestoreRule>,
+}
+
+impl DummyPlan {
+    /// A plan with no triggers: plain priority FIFO behaviour.
+    pub fn empty(primitive: PreemptionPrimitive) -> Self {
+        DummyPlan {
+            primitive,
+            eviction: EvictionPolicy::ClosestToCompletion,
+            triggers: Vec::new(),
+            restores: Vec::new(),
+        }
+    }
+
+    /// The paper's two-job scenario: when map 0 of `low_job` reaches
+    /// `fraction`, submit `high_spec` and preempt `low_job` with `primitive`;
+    /// when `high_spec` completes, restore `low_job`.
+    pub fn paper_scenario(
+        primitive: PreemptionPrimitive,
+        low_job: &str,
+        high_spec: JobSpec,
+        fraction: f64,
+    ) -> Self {
+        let high_name = high_spec.name.clone();
+        DummyPlan {
+            primitive,
+            eviction: EvictionPolicy::ClosestToCompletion,
+            triggers: vec![TriggerRule {
+                watch_job: low_job.to_string(),
+                watch_task: 0,
+                fraction,
+                submit: vec![high_spec],
+                preempt_jobs: vec![low_job.to_string()],
+                max_victims: None,
+            }],
+            restores: vec![RestoreRule {
+                when_job_completes: high_name,
+                restore_jobs: vec![low_job.to_string()],
+            }],
+        }
+    }
+
+    /// Serialises the plan to the JSON format used by configuration files.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("plans are always serialisable")
+    }
+
+    /// Parses a plan from JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+/// The dummy scheduler itself.
+pub struct DummyScheduler {
+    plan: DummyPlan,
+    launcher: FifoScheduler,
+    rng: SimRng,
+}
+
+impl DummyScheduler {
+    /// Creates a dummy scheduler from a static plan.
+    pub fn new(plan: DummyPlan) -> Self {
+        DummyScheduler {
+            plan,
+            // The dummy scheduler controls resumption explicitly through its
+            // restore rules, so the underlying launcher must not resume
+            // suspended tasks on its own.
+            launcher: FifoScheduler {
+                resume_suspended: false,
+            },
+            rng: SimRng::new(0x0D_D0),
+        }
+    }
+
+    /// The plan this scheduler executes.
+    pub fn plan(&self) -> &DummyPlan {
+        &self.plan
+    }
+
+    /// The progress triggers the cluster must register (job name, task index,
+    /// fraction) for this plan to work; convenience for experiment harnesses:
+    ///
+    /// ```ignore
+    /// for (job, task, fraction) in scheduler.required_triggers() {
+    ///     cluster.add_progress_trigger(&job, task, fraction);
+    /// }
+    /// ```
+    pub fn required_triggers(&self) -> Vec<(String, u32, f64)> {
+        self.plan
+            .triggers
+            .iter()
+            .map(|t| (t.watch_job.clone(), t.watch_task, t.fraction))
+            .collect()
+    }
+
+    fn job_id_by_name(ctx: &SchedulerContext<'_>, name: &str) -> Option<mrp_engine::JobId> {
+        ctx.jobs
+            .values()
+            .find(|j| j.spec.name == name)
+            .map(|j| j.id)
+    }
+
+    fn preempt_job(&mut self, ctx: &SchedulerContext<'_>, job_name: &str, max_victims: Option<usize>) -> Vec<SchedulerAction> {
+        let Some(job_id) = Self::job_id_by_name(ctx, job_name) else {
+            return Vec::new();
+        };
+        let job = &ctx.jobs[&job_id];
+        let candidates: Vec<EvictionCandidate> = job
+            .tasks
+            .iter()
+            .filter(|t| t.state == TaskState::Running)
+            .map(|t| EvictionCandidate {
+                task: t.id,
+                progress: t.progress,
+                memory_bytes: job.spec.profile.state_memory
+                    + 192 * 1024 * 1024, // base task footprint estimate
+            })
+            .collect();
+        let count = max_victims.unwrap_or(candidates.len());
+        self.plan
+            .eviction
+            .pick(&candidates, count, &mut self.rng)
+            .into_iter()
+            .filter_map(|task| self.plan.primitive.preempt_action(task))
+            .collect()
+    }
+
+    fn restore_job(&self, ctx: &SchedulerContext<'_>, job_name: &str) -> Vec<SchedulerAction> {
+        let Some(job_id) = Self::job_id_by_name(ctx, job_name) else {
+            return Vec::new();
+        };
+        ctx.jobs[&job_id]
+            .tasks
+            .iter()
+            .filter_map(|t| self.plan.primitive.restore_action(t.id, t.state))
+            .collect()
+    }
+}
+
+impl SchedulerPolicy for DummyScheduler {
+    fn on_heartbeat(&mut self, ctx: &SchedulerContext<'_>, node: NodeId) -> Vec<SchedulerAction> {
+        self.launcher.on_heartbeat(ctx, node)
+    }
+
+    fn on_progress_trigger(
+        &mut self,
+        ctx: &SchedulerContext<'_>,
+        task: TaskId,
+        fraction: f64,
+    ) -> Vec<SchedulerAction> {
+        let Some(job) = ctx.jobs.get(&task.job) else {
+            return Vec::new();
+        };
+        let job_name = job.spec.name.clone();
+        let matching: Vec<TriggerRule> = self
+            .plan
+            .triggers
+            .iter()
+            .filter(|r| {
+                r.watch_job == job_name
+                    && r.watch_task == task.index
+                    && (r.fraction - fraction).abs() < 1e-9
+            })
+            .cloned()
+            .collect();
+        let mut actions = Vec::new();
+        for rule in matching {
+            for spec in &rule.submit {
+                actions.push(SchedulerAction::SubmitJob(spec.clone()));
+            }
+            for victim_job in &rule.preempt_jobs {
+                actions.extend(self.preempt_job(ctx, victim_job, rule.max_victims));
+            }
+        }
+        actions
+    }
+
+    fn on_job_finished(&mut self, ctx: &SchedulerContext<'_>, job: mrp_engine::JobId) -> Vec<SchedulerAction> {
+        let Some(finished) = ctx.jobs.get(&job) else {
+            return Vec::new();
+        };
+        let name = finished.spec.name.clone();
+        let mut actions = Vec::new();
+        let restores: Vec<RestoreRule> = self
+            .plan
+            .restores
+            .iter()
+            .filter(|r| r.when_job_completes == name)
+            .cloned()
+            .collect();
+        for rule in restores {
+            for job_name in &rule.restore_jobs {
+                actions.extend(self.restore_job(ctx, job_name));
+            }
+        }
+        actions
+    }
+
+    fn name(&self) -> &str {
+        "dummy"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrp_engine::{Cluster, ClusterConfig, TaskProfile};
+    use mrp_sim::{SimTime, MIB};
+
+    fn lightweight_scenario(primitive: PreemptionPrimitive, fraction: f64) -> mrp_engine::ClusterReport {
+        let high = JobSpec::map_only("th", "/input-high").with_priority(10);
+        let plan = DummyPlan::paper_scenario(primitive, "tl", high, fraction);
+        let scheduler = DummyScheduler::new(plan);
+        let triggers = scheduler.required_triggers();
+        let mut cluster = Cluster::new(ClusterConfig::paper_single_node(), Box::new(scheduler));
+        cluster.create_input_file("/input-low", 512 * MIB).unwrap();
+        cluster.create_input_file("/input-high", 512 * MIB).unwrap();
+        for (job, task, fraction) in triggers {
+            cluster.add_progress_trigger(&job, task, fraction);
+        }
+        cluster.submit_job(JobSpec::map_only("tl", "/input-low").with_priority(0));
+        cluster.run(SimTime::from_secs(4 * 3_600));
+        cluster.report()
+    }
+
+    #[test]
+    fn plan_json_round_trips() {
+        let plan = DummyPlan::paper_scenario(
+            PreemptionPrimitive::SuspendResume,
+            "tl",
+            JobSpec::synthetic("th", 1, 512 * MIB).with_priority(10),
+            0.5,
+        );
+        let json = plan.to_json();
+        let back = DummyPlan::from_json(&json).unwrap();
+        assert_eq!(plan, back);
+        assert!(json.contains("SuspendResume"));
+        assert!(DummyPlan::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn suspend_scenario_completes_and_preserves_work() {
+        let report = lightweight_scenario(PreemptionPrimitive::SuspendResume, 0.5);
+        assert!(report.all_jobs_complete());
+        let tl = report.job("tl").unwrap();
+        assert_eq!(tl.tasks[0].suspend_cycles, 1, "tl must be suspended exactly once");
+        assert_eq!(tl.tasks[0].attempts, 1, "suspend/resume keeps the same attempt");
+        assert_eq!(tl.wasted_work_secs(), 0.0, "no work is wasted by suspension");
+        let th = report.job("th").unwrap();
+        assert!(th.sojourn_secs.unwrap() < 100.0, "th must not wait for tl");
+    }
+
+    #[test]
+    fn kill_scenario_wastes_work() {
+        let report = lightweight_scenario(PreemptionPrimitive::Kill, 0.5);
+        assert!(report.all_jobs_complete());
+        let tl = report.job("tl").unwrap();
+        assert_eq!(tl.tasks[0].attempts, 2, "the killed task restarts from scratch");
+        assert!(tl.wasted_work_secs() > 20.0, "about half the work is lost");
+        let th = report.job("th").unwrap();
+        assert!(th.sojourn_secs.unwrap() < 110.0);
+    }
+
+    #[test]
+    fn wait_scenario_delays_the_high_priority_job() {
+        let report = lightweight_scenario(PreemptionPrimitive::Wait, 0.5);
+        assert!(report.all_jobs_complete());
+        let tl = report.job("tl").unwrap();
+        assert_eq!(tl.tasks[0].suspend_cycles, 0);
+        assert_eq!(tl.tasks[0].attempts, 1);
+        let th = report.job("th").unwrap();
+        assert!(
+            th.sojourn_secs.unwrap() > 110.0,
+            "th has to wait ~half of tl plus its own runtime"
+        );
+    }
+
+    #[test]
+    fn sojourn_ordering_matches_the_paper() {
+        let susp = lightweight_scenario(PreemptionPrimitive::SuspendResume, 0.5);
+        let kill = lightweight_scenario(PreemptionPrimitive::Kill, 0.5);
+        let wait = lightweight_scenario(PreemptionPrimitive::Wait, 0.5);
+        let s = susp.sojourn_secs("th").unwrap();
+        let k = kill.sojourn_secs("th").unwrap();
+        let w = wait.sojourn_secs("th").unwrap();
+        assert!(s <= k, "suspend sojourn ({s}) should not exceed kill ({k})");
+        assert!(k < w, "kill sojourn ({k}) must beat wait ({w})");
+
+        let ms = susp.makespan_secs().unwrap();
+        let mk = kill.makespan_secs().unwrap();
+        let mw = wait.makespan_secs().unwrap();
+        assert!(mw <= ms + 5.0, "wait has (near-)optimal makespan");
+        assert!(ms < mk, "suspend makespan ({ms}) must beat kill ({mk})");
+    }
+
+    #[test]
+    fn memory_hungry_scenario_pages_and_still_completes() {
+        let high = JobSpec::map_only("th", "/input-high")
+            .with_priority(10)
+            .with_profile(TaskProfile::memory_hungry(2048 * MIB));
+        let plan = DummyPlan::paper_scenario(PreemptionPrimitive::SuspendResume, "tl", high, 0.5);
+        let scheduler = DummyScheduler::new(plan);
+        let triggers = scheduler.required_triggers();
+        let mut cluster = Cluster::new(ClusterConfig::paper_single_node(), Box::new(scheduler));
+        cluster.create_input_file("/input-low", 512 * MIB).unwrap();
+        cluster.create_input_file("/input-high", 512 * MIB).unwrap();
+        for (job, task, fraction) in triggers {
+            cluster.add_progress_trigger(&job, task, fraction);
+        }
+        cluster.submit_job(
+            JobSpec::map_only("tl", "/input-low")
+                .with_priority(0)
+                .with_profile(TaskProfile::memory_hungry(2048 * MIB)),
+        );
+        cluster.run(SimTime::from_secs(4 * 3_600));
+        let report = cluster.report();
+        assert!(report.all_jobs_complete());
+        assert!(report.total_swap_out_bytes() > 0, "2 GB + 2 GB on a 4 GB node must page");
+        let tl = report.job("tl").unwrap();
+        assert!(tl.tasks[0].paged_out_bytes > 0, "the suspended task is the paging victim");
+    }
+
+    #[test]
+    fn empty_plan_behaves_like_fifo() {
+        let scheduler = DummyScheduler::new(DummyPlan::empty(PreemptionPrimitive::SuspendResume));
+        assert!(scheduler.required_triggers().is_empty());
+        let mut cluster = Cluster::new(ClusterConfig::paper_single_node(), Box::new(scheduler));
+        cluster.create_input_file("/a", 256 * MIB).unwrap();
+        cluster.submit_job(JobSpec::map_only("only", "/a"));
+        cluster.run(SimTime::from_secs(3_600));
+        assert!(cluster.report().all_jobs_complete());
+    }
+}

@@ -1,0 +1,114 @@
+//! # mrp-dfs — a simulated HDFS
+//!
+//! Models the parts of HDFS the paper's evaluation touches: a namespace of
+//! files split into blocks, replica placement over a racked topology, and
+//! read planning that tells a map task how large its input split is, which
+//! DataNode serves it, and how data-local that is.
+//!
+//! The paper's workload stores two single-block 512 MB files, so the common
+//! path here is trivial — but the engine and the schedulers built on top are
+//! written against the general API (multi-block files, multi-node clusters,
+//! replica loss), which the multi-job examples and the resume-locality
+//! ablation exercise.
+//!
+//! ```
+//! use mrp_dfs::{NameNode, Topology, NodeId};
+//! use mrp_sim::{SimRng, MIB};
+//!
+//! let mut namenode = NameNode::new(Topology::single_rack(4), 128 * MIB, 3);
+//! let mut rng = SimRng::new(42);
+//! let file = namenode
+//!     .create_file("/user/test/input-512mb", 512 * MIB, Some(NodeId(0)), &mut rng)
+//!     .unwrap();
+//! assert_eq!(namenode.file(file).unwrap().blocks.len(), 4);
+//! let plan = namenode.plan_read(namenode.file(file).unwrap().blocks[0], NodeId(0)).unwrap();
+//! assert_eq!(plan.size, 128 * MIB);
+//! ```
+
+#![warn(missing_docs)]
+
+mod block;
+mod namenode;
+mod topology;
+
+pub use block::{split_into_blocks, Block, BlockId, FileId, FileMeta};
+pub use namenode::{DfsError, NameNode, ReadPlan};
+pub use topology::{Locality, NodeId, RackId, Topology};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use mrp_sim::{SimRng, MIB};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Block sizes always sum to the file length and never exceed the
+        /// configured block size.
+        #[test]
+        fn block_split_conserves_length(len in 0u64..64 * 1024 * 1024 * 1024u64, bs_mib in 1u64..1024) {
+            let bs = bs_mib * MIB;
+            let sizes = split_into_blocks(len, bs);
+            prop_assert_eq!(sizes.iter().sum::<u64>(), len);
+            prop_assert!(sizes.iter().all(|s| *s > 0 && *s <= bs));
+        }
+
+        /// Every created file is readable: each block has at least one replica,
+        /// all replicas are registered nodes, and a reader co-located with a
+        /// replica always gets a node-local plan.
+        #[test]
+        fn files_are_always_readable(
+            racks in 1u32..4,
+            per_rack in 1u32..5,
+            len_mib in 1u64..4096,
+            replication in 1u32..4,
+            seed in 0u64..1000,
+        ) {
+            let topo = Topology::regular(racks, per_rack);
+            let nodes = topo.nodes();
+            let mut nn = NameNode::new(topo, 128 * MIB, replication);
+            let mut rng = SimRng::new(seed);
+            let writer = nodes[(seed as usize) % nodes.len()];
+            let id = nn.create_file("/f", len_mib * MIB, Some(writer), &mut rng).unwrap();
+            let meta = nn.file(id).unwrap().clone();
+            for block in &meta.blocks {
+                let replicas = nn.replicas_of(*block).to_vec();
+                prop_assert!(!replicas.is_empty());
+                prop_assert!(replicas.iter().all(|r| nodes.contains(r)));
+                // replicas must be distinct
+                let mut uniq = replicas.clone();
+                uniq.sort();
+                uniq.dedup();
+                prop_assert_eq!(uniq.len(), replicas.len());
+                // first replica is writer-local
+                prop_assert_eq!(replicas[0], writer);
+                let plan = nn.plan_read(*block, replicas[0]).unwrap();
+                prop_assert_eq!(plan.locality, Locality::NodeLocal);
+                // any reader gets a valid plan
+                for reader in &nodes {
+                    let p = nn.plan_read(*block, *reader).unwrap();
+                    prop_assert!(replicas.contains(&p.source));
+                }
+            }
+        }
+
+        /// Locality is symmetric in rack membership and node-local only for
+        /// identical nodes.
+        #[test]
+        fn locality_properties(racks in 1u32..5, per_rack in 1u32..5, a in 0u32..25, b in 0u32..25) {
+            let topo = Topology::regular(racks, per_rack);
+            let n = racks * per_rack;
+            let a = NodeId(a % n);
+            let b = NodeId(b % n);
+            let ab = topo.locality(a, b);
+            let ba = topo.locality(b, a);
+            prop_assert_eq!(ab, ba);
+            if a == b {
+                prop_assert_eq!(ab, Locality::NodeLocal);
+            } else {
+                prop_assert!(ab != Locality::NodeLocal);
+            }
+        }
+    }
+}

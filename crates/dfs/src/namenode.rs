@@ -1,0 +1,389 @@
+//! The NameNode: namespace and block placement.
+//!
+//! Only the pieces the MapReduce engine needs are modelled: creating files
+//! with a replication factor, the default replica-placement policy (first
+//! replica on the writer's node, second on a different rack when possible,
+//! third on yet another node), and answering "where can I read block B from,
+//! and how local is that to node N?".
+
+use crate::block::{Block, BlockId, FileId, FileMeta, split_into_blocks};
+use crate::topology::{Locality, NodeId, Topology};
+use mrp_sim::SimRng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Where a block can be read from, with the locality relative to a reader.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ReadPlan {
+    /// The block being read.
+    pub block: BlockId,
+    /// Size of the block in bytes.
+    pub size: u64,
+    /// The replica chosen for the read.
+    pub source: NodeId,
+    /// Locality of the chosen replica with respect to the reader.
+    pub locality: Locality,
+}
+
+/// Errors from namespace operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DfsError {
+    /// The path already exists.
+    AlreadyExists(String),
+    /// The file or block does not exist.
+    NotFound(String),
+    /// No live DataNodes can host a replica.
+    NoDataNodes,
+}
+
+impl std::fmt::Display for DfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DfsError::AlreadyExists(p) => write!(f, "path already exists: {p}"),
+            DfsError::NotFound(w) => write!(f, "not found: {w}"),
+            DfsError::NoDataNodes => write!(f, "no datanodes available"),
+        }
+    }
+}
+
+impl std::error::Error for DfsError {}
+
+/// The simulated NameNode.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct NameNode {
+    topology: Topology,
+    files: HashMap<FileId, FileMeta>,
+    paths: HashMap<String, FileId>,
+    blocks: HashMap<BlockId, Block>,
+    replicas: HashMap<BlockId, Vec<NodeId>>,
+    default_block_size: u64,
+    default_replication: u32,
+    next_file: u64,
+    next_block: u64,
+}
+
+impl NameNode {
+    /// Creates a NameNode for the given topology.
+    pub fn new(topology: Topology, default_block_size: u64, default_replication: u32) -> Self {
+        assert!(default_block_size > 0);
+        assert!(default_replication > 0);
+        NameNode {
+            topology,
+            files: HashMap::new(),
+            paths: HashMap::new(),
+            blocks: HashMap::new(),
+            replicas: HashMap::new(),
+            default_block_size,
+            default_replication,
+            next_file: 1,
+            next_block: 1,
+        }
+    }
+
+    /// The cluster topology the NameNode knows about.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Number of files in the namespace.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Looks up a file by path.
+    pub fn lookup(&self, path: &str) -> Option<&FileMeta> {
+        self.paths.get(path).and_then(|id| self.files.get(id))
+    }
+
+    /// File metadata by id.
+    pub fn file(&self, id: FileId) -> Option<&FileMeta> {
+        self.files.get(&id)
+    }
+
+    /// Block metadata by id.
+    pub fn block(&self, id: BlockId) -> Option<&Block> {
+        self.blocks.get(&id)
+    }
+
+    /// The DataNodes holding replicas of a block.
+    pub fn replicas_of(&self, block: BlockId) -> &[NodeId] {
+        self.replicas.get(&block).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Default replica placement: first replica on the writer (if it is a
+    /// cluster node), remaining replicas spread over other nodes, preferring a
+    /// different rack for the second replica as HDFS does.
+    fn place_replicas(
+        &self,
+        writer: Option<NodeId>,
+        replication: u32,
+        rng: &mut SimRng,
+    ) -> Result<Vec<NodeId>, DfsError> {
+        let all = self.topology.nodes();
+        if all.is_empty() {
+            return Err(DfsError::NoDataNodes);
+        }
+        let mut chosen: Vec<NodeId> = Vec::new();
+        let first = match writer {
+            Some(w) if all.contains(&w) => w,
+            _ => *rng.pick(&all).expect("non-empty"),
+        };
+        chosen.push(first);
+
+        // Second replica: prefer a node in a different rack.
+        if replication >= 2 {
+            let first_rack = self.topology.rack_of(first);
+            let mut off_rack: Vec<NodeId> = all
+                .iter()
+                .copied()
+                .filter(|n| !chosen.contains(n) && self.topology.rack_of(*n) != first_rack)
+                .collect();
+            let mut same_rack: Vec<NodeId> = all
+                .iter()
+                .copied()
+                .filter(|n| !chosen.contains(n) && self.topology.rack_of(*n) == first_rack)
+                .collect();
+            rng.shuffle(&mut off_rack);
+            rng.shuffle(&mut same_rack);
+            let mut candidates = off_rack;
+            candidates.extend(same_rack);
+            for node in candidates {
+                if chosen.len() as u32 >= replication {
+                    break;
+                }
+                chosen.push(node);
+            }
+        }
+        Ok(chosen)
+    }
+
+    /// Creates a file of `len` bytes at `path`, written from `writer` (if the
+    /// writer is a cluster node the first replica is local to it).
+    pub fn create_file(
+        &mut self,
+        path: &str,
+        len: u64,
+        writer: Option<NodeId>,
+        rng: &mut SimRng,
+    ) -> Result<FileId, DfsError> {
+        self.create_file_with(path, len, self.default_block_size, self.default_replication, writer, rng)
+    }
+
+    /// Creates a file with explicit block size and replication factor.
+    pub fn create_file_with(
+        &mut self,
+        path: &str,
+        len: u64,
+        block_size: u64,
+        replication: u32,
+        writer: Option<NodeId>,
+        rng: &mut SimRng,
+    ) -> Result<FileId, DfsError> {
+        if self.paths.contains_key(path) {
+            return Err(DfsError::AlreadyExists(path.to_string()));
+        }
+        if self.topology.is_empty() {
+            return Err(DfsError::NoDataNodes);
+        }
+        let file_id = FileId(self.next_file);
+        self.next_file += 1;
+        let mut block_ids = Vec::new();
+        for (index, size) in split_into_blocks(len, block_size).into_iter().enumerate() {
+            let block_id = BlockId(self.next_block);
+            self.next_block += 1;
+            self.blocks.insert(
+                block_id,
+                Block {
+                    id: block_id,
+                    file: file_id,
+                    index: index as u32,
+                    size,
+                },
+            );
+            let placement = self.place_replicas(writer, replication, rng)?;
+            self.replicas.insert(block_id, placement);
+            block_ids.push(block_id);
+        }
+        let meta = FileMeta {
+            id: file_id,
+            path: path.to_string(),
+            len,
+            block_size,
+            replication,
+            blocks: block_ids,
+        };
+        self.files.insert(file_id, meta);
+        self.paths.insert(path.to_string(), file_id);
+        Ok(file_id)
+    }
+
+    /// Plans a read of `block` from `reader`: chooses the closest replica.
+    pub fn plan_read(&self, block: BlockId, reader: NodeId) -> Result<ReadPlan, DfsError> {
+        let meta = self
+            .blocks
+            .get(&block)
+            .ok_or_else(|| DfsError::NotFound(format!("{block:?}")))?;
+        let replicas = self.replicas_of(block);
+        if replicas.is_empty() {
+            return Err(DfsError::NoDataNodes);
+        }
+        let best = replicas
+            .iter()
+            .copied()
+            .min_by_key(|holder| self.topology.locality(reader, *holder))
+            .expect("non-empty replicas");
+        Ok(ReadPlan {
+            block,
+            size: meta.size,
+            source: best,
+            locality: self.topology.locality(reader, best),
+        })
+    }
+
+    /// Nodes that hold a replica of any block of `file`, used by the
+    /// JobTracker to prefer data-local task placement.
+    pub fn preferred_nodes(&self, file: FileId) -> Vec<NodeId> {
+        let Some(meta) = self.files.get(&file) else {
+            return Vec::new();
+        };
+        let mut nodes = Vec::new();
+        for b in &meta.blocks {
+            for n in self.replicas_of(*b) {
+                if !nodes.contains(n) {
+                    nodes.push(*n);
+                }
+            }
+        }
+        nodes
+    }
+
+    /// Removes a DataNode (failure injection); its replicas disappear.
+    pub fn decommission(&mut self, node: NodeId) {
+        for replicas in self.replicas.values_mut() {
+            replicas.retain(|n| *n != node);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrp_sim::{GIB, MIB};
+
+    fn rng() -> SimRng {
+        SimRng::new(7)
+    }
+
+    fn namenode(racks: u32, per_rack: u32) -> NameNode {
+        NameNode::new(Topology::regular(racks, per_rack), 128 * MIB, 3)
+    }
+
+    #[test]
+    fn create_and_lookup() {
+        let mut nn = namenode(1, 4);
+        let id = nn.create_file("/input", 512 * MIB, Some(NodeId(0)), &mut rng()).unwrap();
+        let meta = nn.lookup("/input").unwrap();
+        assert_eq!(meta.id, id);
+        assert_eq!(meta.blocks.len(), 4);
+        assert_eq!(nn.file_count(), 1);
+        assert!(nn.lookup("/missing").is_none());
+    }
+
+    #[test]
+    fn duplicate_path_rejected() {
+        let mut nn = namenode(1, 2);
+        nn.create_file("/f", MIB, None, &mut rng()).unwrap();
+        assert!(matches!(
+            nn.create_file("/f", MIB, None, &mut rng()),
+            Err(DfsError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn first_replica_is_writer_local() {
+        let mut nn = namenode(2, 3);
+        let id = nn.create_file("/local", 100 * MIB, Some(NodeId(4)), &mut rng()).unwrap();
+        let block = nn.file(id).unwrap().blocks[0];
+        assert_eq!(nn.replicas_of(block)[0], NodeId(4));
+    }
+
+    #[test]
+    fn replication_factor_is_respected_when_possible() {
+        let mut nn = namenode(2, 3);
+        let id = nn.create_file("/r3", 10 * MIB, Some(NodeId(0)), &mut rng()).unwrap();
+        let block = nn.file(id).unwrap().blocks[0];
+        assert_eq!(nn.replicas_of(block).len(), 3);
+        // Replicas must be distinct nodes.
+        let mut nodes = nn.replicas_of(block).to_vec();
+        nodes.sort();
+        nodes.dedup();
+        assert_eq!(nodes.len(), 3);
+    }
+
+    #[test]
+    fn second_replica_prefers_other_rack() {
+        let mut nn = namenode(2, 2);
+        let id = nn.create_file("/x", MIB, Some(NodeId(0)), &mut rng()).unwrap();
+        let block = nn.file(id).unwrap().blocks[0];
+        let replicas = nn.replicas_of(block);
+        let racks: Vec<_> = replicas.iter().map(|n| nn.topology().rack_of(*n).unwrap()).collect();
+        assert!(racks.windows(2).any(|w| w[0] != w[1]), "replicas should span racks: {racks:?}");
+    }
+
+    #[test]
+    fn single_node_cluster_gets_one_replica() {
+        let mut nn = NameNode::new(Topology::single_rack(1), 512 * MIB, 3);
+        let id = nn.create_file("/single", 512 * MIB, Some(NodeId(0)), &mut rng()).unwrap();
+        let block = nn.file(id).unwrap().blocks[0];
+        assert_eq!(nn.replicas_of(block), &[NodeId(0)]);
+    }
+
+    #[test]
+    fn plan_read_picks_closest_replica() {
+        let mut nn = namenode(2, 2);
+        let id = nn.create_file("/data", MIB, Some(NodeId(0)), &mut rng()).unwrap();
+        let block = nn.file(id).unwrap().blocks[0];
+        let local = nn.plan_read(block, NodeId(0)).unwrap();
+        assert_eq!(local.locality, Locality::NodeLocal);
+        assert_eq!(local.source, NodeId(0));
+        // A reader elsewhere still gets a plan whose source is a real replica
+        // and whose locality matches the topology's verdict.
+        let other = nn.plan_read(block, NodeId(3)).unwrap();
+        assert!(nn.replicas_of(block).contains(&other.source));
+        assert_eq!(other.locality, nn.topology().locality(NodeId(3), other.source));
+    }
+
+    #[test]
+    fn plan_read_unknown_block_fails() {
+        let nn = namenode(1, 1);
+        assert!(matches!(nn.plan_read(BlockId(99), NodeId(0)), Err(DfsError::NotFound(_))));
+    }
+
+    #[test]
+    fn preferred_nodes_cover_all_blocks() {
+        let mut nn = namenode(1, 4);
+        let id = nn.create_file("/big", GIB, Some(NodeId(1)), &mut rng()).unwrap();
+        let preferred = nn.preferred_nodes(id);
+        assert!(preferred.contains(&NodeId(1)));
+        assert!(!preferred.is_empty());
+        assert!(nn.preferred_nodes(FileId(999)).is_empty());
+    }
+
+    #[test]
+    fn decommission_removes_replicas() {
+        let mut nn = namenode(1, 2);
+        let id = nn.create_file("/d", MIB, Some(NodeId(0)), &mut rng()).unwrap();
+        let block = nn.file(id).unwrap().blocks[0];
+        nn.decommission(NodeId(0));
+        assert!(!nn.replicas_of(block).contains(&NodeId(0)));
+    }
+
+    #[test]
+    fn empty_topology_cannot_store_files() {
+        let mut nn = NameNode::new(Topology::new(), MIB, 1);
+        assert!(matches!(
+            nn.create_file("/f", MIB, None, &mut rng()),
+            Err(DfsError::NoDataNodes)
+        ));
+    }
+}

@@ -1,0 +1,186 @@
+//! Cluster topology: nodes, racks, and locality levels.
+//!
+//! Hadoop's scheduling and HDFS replica placement both reason about network
+//! distance in three buckets: same node, same rack, off rack. The paper's
+//! discussion of *resume locality* (Section V-A) is the scheduling analogue of
+//! HDFS data locality, so the topology vocabulary is shared across the
+//! workspace.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a simulated cluster node (a machine running a DataNode and a
+/// TaskTracker).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node:{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Identifier of a rack.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct RackId(pub u32);
+
+/// How close a reader is to a block replica (or a resumed task to its
+/// suspended image).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Locality {
+    /// Data (or the suspended process) is on the same machine.
+    NodeLocal,
+    /// Data is on a different machine in the same rack.
+    RackLocal,
+    /// Data is on a machine in a different rack.
+    OffRack,
+}
+
+impl Locality {
+    /// Relative throughput factor compared to a node-local read; matches the
+    /// common rule of thumb that rack-local reads run at roughly NIC speed and
+    /// off-rack reads contend for the aggregation layer.
+    pub fn throughput_factor(self) -> f64 {
+        match self {
+            Locality::NodeLocal => 1.0,
+            Locality::RackLocal => 0.8,
+            Locality::OffRack => 0.5,
+        }
+    }
+}
+
+/// The static shape of the cluster: which node lives in which rack.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    assignments: Vec<(NodeId, RackId)>,
+}
+
+impl Topology {
+    /// Creates an empty topology.
+    pub fn new() -> Self {
+        Topology::default()
+    }
+
+    /// Builds a topology with `racks` racks of `nodes_per_rack` nodes each,
+    /// numbering nodes sequentially starting at 0.
+    pub fn regular(racks: u32, nodes_per_rack: u32) -> Self {
+        let mut t = Topology::new();
+        let mut next = 0;
+        for r in 0..racks {
+            for _ in 0..nodes_per_rack {
+                t.add_node(NodeId(next), RackId(r));
+                next += 1;
+            }
+        }
+        t
+    }
+
+    /// A single-rack topology with `n` nodes — the paper's evaluation setup is
+    /// the degenerate single-node case of this.
+    pub fn single_rack(n: u32) -> Self {
+        Topology::regular(1, n)
+    }
+
+    /// Registers a node in a rack.
+    pub fn add_node(&mut self, node: NodeId, rack: RackId) {
+        if !self.assignments.iter().any(|(n, _)| *n == node) {
+            self.assignments.push((node, rack));
+        }
+    }
+
+    /// All nodes, in registration order.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        self.assignments.iter().map(|(n, _)| *n).collect()
+    }
+
+    /// Number of registered nodes.
+    pub fn len(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// True if no nodes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+
+    /// The rack a node belongs to, if registered.
+    pub fn rack_of(&self, node: NodeId) -> Option<RackId> {
+        self.assignments
+            .iter()
+            .find(|(n, _)| *n == node)
+            .map(|(_, r)| *r)
+    }
+
+    /// Nodes in the given rack.
+    pub fn nodes_in_rack(&self, rack: RackId) -> Vec<NodeId> {
+        self.assignments
+            .iter()
+            .filter(|(_, r)| *r == rack)
+            .map(|(n, _)| *n)
+            .collect()
+    }
+
+    /// Locality of `reader` with respect to `holder`.
+    pub fn locality(&self, reader: NodeId, holder: NodeId) -> Locality {
+        if reader == holder {
+            return Locality::NodeLocal;
+        }
+        match (self.rack_of(reader), self.rack_of(holder)) {
+            (Some(a), Some(b)) if a == b => Locality::RackLocal,
+            _ => Locality::OffRack,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regular_topology_shape() {
+        let t = Topology::regular(2, 3);
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.nodes_in_rack(RackId(0)).len(), 3);
+        assert_eq!(t.nodes_in_rack(RackId(1)).len(), 3);
+        assert_eq!(t.rack_of(NodeId(4)), Some(RackId(1)));
+        assert_eq!(t.rack_of(NodeId(99)), None);
+    }
+
+    #[test]
+    fn locality_levels() {
+        let t = Topology::regular(2, 2);
+        assert_eq!(t.locality(NodeId(0), NodeId(0)), Locality::NodeLocal);
+        assert_eq!(t.locality(NodeId(0), NodeId(1)), Locality::RackLocal);
+        assert_eq!(t.locality(NodeId(0), NodeId(2)), Locality::OffRack);
+    }
+
+    #[test]
+    fn locality_ordering_and_factors() {
+        assert!(Locality::NodeLocal < Locality::RackLocal);
+        assert!(Locality::RackLocal < Locality::OffRack);
+        assert!(Locality::NodeLocal.throughput_factor() > Locality::RackLocal.throughput_factor());
+        assert!(Locality::RackLocal.throughput_factor() > Locality::OffRack.throughput_factor());
+    }
+
+    #[test]
+    fn duplicate_registration_is_ignored() {
+        let mut t = Topology::new();
+        t.add_node(NodeId(1), RackId(0));
+        t.add_node(NodeId(1), RackId(5));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.rack_of(NodeId(1)), Some(RackId(0)));
+    }
+
+    #[test]
+    fn unknown_nodes_are_off_rack() {
+        let t = Topology::single_rack(1);
+        assert_eq!(t.locality(NodeId(0), NodeId(7)), Locality::OffRack);
+        assert!(t.is_empty() == false);
+    }
+}

@@ -1,0 +1,429 @@
+//! Task attempt execution model.
+//!
+//! A task attempt is a child process on a TaskTracker that goes through a
+//! small number of phases. The paper's synthetic mappers "read and parse the
+//! randomly generated input"; their duration is dominated by the parse rate,
+//! with fixed startup and commit overheads. Memory behaviour is concentrated
+//! in the setup phase (the worst-case experiments allocate their state there,
+//! writing random values so every page is dirty) and the finalize phase
+//! (where the state is read back).
+//!
+//! Phases:
+//!
+//! * `Setup` — JVM startup + allocation of the base footprint and any
+//!   configured state memory (stall from paging other processes out is
+//!   charged here).
+//! * `Shuffle` — reduce tasks only: copy map outputs.
+//! * `Work` — the parse loop; the only phase where progress accrues and where
+//!   suspension takes effect. It can be split into several segments by
+//!   suspend/resume cycles.
+//! * `Finalize` — fault back in anything the task itself had swapped, write
+//!   the output, commit.
+
+use crate::config::TaskDefaults;
+use crate::job::{AttemptId, TaskId, TaskKind, TaskProfile};
+use mrp_dfs::Locality;
+use mrp_sim::{EventId, SimDuration, SimTime};
+use mrp_simos::{DiskConfig, Pid};
+use serde::{Deserialize, Serialize};
+
+/// Execution phases of an attempt.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum AttemptPhase {
+    /// JVM startup and memory allocation.
+    Setup,
+    /// Copying map outputs (reduce tasks only).
+    Shuffle,
+    /// Processing input; the suspendable phase.
+    Work,
+    /// Output write and commit.
+    Finalize,
+}
+
+/// TaskTracker-side state of an attempt.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum AttemptState {
+    /// Executing one of its phases.
+    Running,
+    /// Stopped by `SIGTSTP`; keeps its memory, holds no slot.
+    Suspended,
+    /// Finished successfully.
+    Succeeded,
+    /// Terminated by `SIGKILL`.
+    Killed,
+}
+
+/// Pre-computed durations and memory plan for an attempt.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExecPlan {
+    /// Duration of the setup phase (before any paging stall).
+    pub setup: SimDuration,
+    /// Duration of the shuffle phase (zero for maps).
+    pub shuffle: SimDuration,
+    /// Duration of the work phase if never interrupted.
+    pub work: SimDuration,
+    /// Duration of the finalize phase (before any page-in stall).
+    pub finalize: SimDuration,
+    /// Total memory allocated at the end of setup (base + state).
+    pub memory: u64,
+    /// Dirty fraction of that allocation.
+    pub dirty_fraction: f64,
+    /// Input bytes consumed.
+    pub input_bytes: u64,
+    /// Output bytes produced at finalize.
+    pub output_bytes: u64,
+}
+
+impl ExecPlan {
+    /// Builds the plan for a map attempt reading `input_bytes` with the given
+    /// data locality.
+    pub fn for_map(
+        defaults: &TaskDefaults,
+        disk: &DiskConfig,
+        profile: &TaskProfile,
+        input_bytes: u64,
+        locality: Locality,
+    ) -> ExecPlan {
+        let parse_rate = profile
+            .parse_rate_bytes_per_sec
+            .unwrap_or(defaults.parse_rate_bytes_per_sec);
+        // The map task streams its input; the effective rate is bounded by
+        // both the parse loop and the (locality-degraded) disk/network read.
+        let read_rate = disk.seq_read_bytes_per_sec * locality.throughput_factor();
+        let rate = parse_rate.min(read_rate).max(1.0);
+        let output_ratio = profile.output_ratio.unwrap_or(defaults.output_ratio);
+        let output_bytes = (input_bytes as f64 * output_ratio) as u64;
+        let write_time = output_bytes as f64 / disk.seq_write_bytes_per_sec;
+        ExecPlan {
+            setup: defaults.jvm_startup,
+            shuffle: SimDuration::ZERO,
+            work: SimDuration::from_secs_f64(input_bytes as f64 / rate),
+            finalize: defaults.commit_overhead + SimDuration::from_secs_f64(write_time),
+            memory: defaults.base_memory + profile.state_memory,
+            dirty_fraction: ExecPlan::combined_dirty_fraction(defaults, profile),
+            input_bytes,
+            output_bytes,
+        }
+    }
+
+    /// Builds the plan for a reduce attempt shuffling `shuffle_bytes` of map
+    /// output.
+    pub fn for_reduce(
+        defaults: &TaskDefaults,
+        disk: &DiskConfig,
+        profile: &TaskProfile,
+        shuffle_bytes: u64,
+    ) -> ExecPlan {
+        let parse_rate = profile
+            .parse_rate_bytes_per_sec
+            .unwrap_or(defaults.parse_rate_bytes_per_sec)
+            .max(1.0);
+        let output_ratio = profile.output_ratio.unwrap_or(defaults.output_ratio);
+        let output_bytes = (shuffle_bytes as f64 * output_ratio) as u64;
+        let write_time = output_bytes as f64 / disk.seq_write_bytes_per_sec;
+        ExecPlan {
+            setup: defaults.jvm_startup,
+            shuffle: SimDuration::from_secs_f64(shuffle_bytes as f64 / defaults.shuffle_bytes_per_sec),
+            work: SimDuration::from_secs_f64(shuffle_bytes as f64 / parse_rate),
+            finalize: defaults.commit_overhead + SimDuration::from_secs_f64(write_time),
+            memory: defaults.base_memory + profile.state_memory,
+            dirty_fraction: ExecPlan::combined_dirty_fraction(defaults, profile),
+            input_bytes: shuffle_bytes,
+            output_bytes,
+        }
+    }
+
+    fn combined_dirty_fraction(defaults: &TaskDefaults, profile: &TaskProfile) -> f64 {
+        let total = (defaults.base_memory + profile.state_memory) as f64;
+        if total == 0.0 {
+            return 0.0;
+        }
+        (defaults.base_memory as f64 * defaults.base_memory_dirty_fraction
+            + profile.state_memory as f64 * profile.state_dirty_fraction)
+            / total
+    }
+
+    /// Total duration if never interrupted and never paging.
+    pub fn nominal_duration(&self) -> SimDuration {
+        self.setup + self.shuffle + self.work + self.finalize
+    }
+}
+
+/// A live attempt on a TaskTracker.
+#[derive(Clone, Debug)]
+pub struct Attempt {
+    /// The attempt's identifier.
+    pub id: AttemptId,
+    /// The task it belongs to.
+    pub task: TaskId,
+    /// Kind (map/reduce), cached to pick the right slot pool.
+    pub kind: TaskKind,
+    /// The OS process running the attempt.
+    pub pid: Pid,
+    /// Current phase.
+    pub phase: AttemptPhase,
+    /// TaskTracker-side state.
+    pub state: AttemptState,
+    /// Pre-computed execution plan.
+    pub plan: ExecPlan,
+    /// When the attempt started (setup begin).
+    pub started_at: SimTime,
+    /// When the current phase segment started.
+    pub segment_start: SimTime,
+    /// Planned duration of the current phase segment.
+    pub segment_duration: SimDuration,
+    /// Event that will fire when the current segment completes, if running.
+    pub segment_event: Option<EventId>,
+    /// Work-phase time already completed across previous segments.
+    pub work_completed: SimDuration,
+}
+
+impl Attempt {
+    /// Creates a new attempt about to begin its setup phase.
+    pub fn new(id: AttemptId, kind: TaskKind, pid: Pid, plan: ExecPlan, now: SimTime) -> Self {
+        Attempt {
+            id,
+            task: id.task,
+            kind,
+            pid,
+            phase: AttemptPhase::Setup,
+            state: AttemptState::Running,
+            plan,
+            started_at: now,
+            segment_start: now,
+            segment_duration: SimDuration::ZERO,
+            segment_event: None,
+            work_completed: SimDuration::ZERO,
+        }
+    }
+
+    /// Fraction of the work phase completed at `now` (what the TaskTracker
+    /// reports as progress, and what the paper's `r%` refers to).
+    pub fn progress(&self, now: SimTime) -> f64 {
+        if self.plan.work.is_zero() {
+            return match self.phase {
+                AttemptPhase::Setup | AttemptPhase::Shuffle => 0.0,
+                _ => 1.0,
+            };
+        }
+        let mut done = self.work_completed;
+        if self.phase == AttemptPhase::Work && self.state == AttemptState::Running {
+            done += now - self.segment_start;
+        }
+        if self.phase == AttemptPhase::Finalize || self.state == AttemptState::Succeeded {
+            return 1.0;
+        }
+        (done.as_secs_f64() / self.plan.work.as_secs_f64()).clamp(0.0, 1.0)
+    }
+
+    /// Work-phase time still to run.
+    pub fn remaining_work(&self) -> SimDuration {
+        self.plan.work.saturating_sub(self.work_completed)
+    }
+
+    /// Records that the work segment running since `segment_start` was
+    /// interrupted at `now` (suspension or kill), accumulating completed work.
+    pub fn interrupt_work(&mut self, now: SimTime) {
+        if self.phase == AttemptPhase::Work && self.state == AttemptState::Running {
+            self.work_completed += now - self.segment_start;
+            if self.work_completed > self.plan.work {
+                self.work_completed = self.plan.work;
+            }
+        }
+    }
+
+    /// Time this attempt has spent running (excluding suspension), assuming
+    /// it is currently at the start of `now`'s segment; used for wasted-work
+    /// accounting when an attempt is killed.
+    pub fn invested_time(&self, now: SimTime) -> SimDuration {
+        let phase_time = match self.phase {
+            AttemptPhase::Setup => now - self.segment_start,
+            _ => self.plan.setup,
+        };
+        let work_time = if self.phase == AttemptPhase::Work && self.state == AttemptState::Running {
+            self.work_completed + (now - self.segment_start)
+        } else {
+            self.work_completed
+        };
+        phase_time + work_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobId;
+    use mrp_sim::MIB;
+
+    fn defaults() -> TaskDefaults {
+        TaskDefaults::default()
+    }
+
+    fn attempt_id() -> AttemptId {
+        AttemptId {
+            task: TaskId {
+                job: JobId(1),
+                kind: TaskKind::Map,
+                index: 0,
+            },
+            number: 0,
+        }
+    }
+
+    #[test]
+    fn map_plan_is_parse_bound_for_local_reads() {
+        let plan = ExecPlan::for_map(
+            &defaults(),
+            &DiskConfig::default(),
+            &TaskProfile::lightweight(),
+            512 * MIB,
+            Locality::NodeLocal,
+        );
+        let work = plan.work.as_secs_f64();
+        assert!((70.0..90.0).contains(&work), "512MB at ~6.7MB/s ≈ 76s, got {work}");
+        assert!(plan.nominal_duration().as_secs_f64() > work);
+        assert_eq!(plan.shuffle, SimDuration::ZERO);
+        assert_eq!(plan.memory, defaults().base_memory);
+    }
+
+    #[test]
+    fn remote_reads_are_not_slower_when_parse_bound() {
+        // Parse rate (6.7 MB/s) is far below even off-rack read bandwidth, so
+        // locality barely matters for the paper's synthetic jobs.
+        let local = ExecPlan::for_map(
+            &defaults(),
+            &DiskConfig::default(),
+            &TaskProfile::lightweight(),
+            512 * MIB,
+            Locality::NodeLocal,
+        );
+        let remote = ExecPlan::for_map(
+            &defaults(),
+            &DiskConfig::default(),
+            &TaskProfile::lightweight(),
+            512 * MIB,
+            Locality::OffRack,
+        );
+        assert_eq!(local.work, remote.work);
+    }
+
+    #[test]
+    fn locality_matters_when_io_bound() {
+        let mut profile = TaskProfile::lightweight();
+        profile.parse_rate_bytes_per_sec = Some(1e12); // effectively IO-bound
+        let local = ExecPlan::for_map(&defaults(), &DiskConfig::default(), &profile, 512 * MIB, Locality::NodeLocal);
+        let remote = ExecPlan::for_map(&defaults(), &DiskConfig::default(), &profile, 512 * MIB, Locality::OffRack);
+        assert!(remote.work > local.work);
+    }
+
+    #[test]
+    fn memory_hungry_profile_increases_memory_not_duration() {
+        let light = ExecPlan::for_map(
+            &defaults(),
+            &DiskConfig::default(),
+            &TaskProfile::lightweight(),
+            512 * MIB,
+            Locality::NodeLocal,
+        );
+        let heavy = ExecPlan::for_map(
+            &defaults(),
+            &DiskConfig::default(),
+            &TaskProfile::memory_hungry(2048 * MIB),
+            512 * MIB,
+            Locality::NodeLocal,
+        );
+        assert_eq!(light.work, heavy.work);
+        assert_eq!(heavy.memory, defaults().base_memory + 2048 * MIB);
+        assert!(heavy.dirty_fraction > light.dirty_fraction);
+    }
+
+    #[test]
+    fn reduce_plan_has_shuffle() {
+        let plan = ExecPlan::for_reduce(
+            &defaults(),
+            &DiskConfig::default(),
+            &TaskProfile::lightweight(),
+            256 * MIB,
+        );
+        assert!(plan.shuffle > SimDuration::ZERO);
+        assert!(plan.work > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn progress_accrues_only_in_work_phase() {
+        let plan = ExecPlan::for_map(
+            &defaults(),
+            &DiskConfig::default(),
+            &TaskProfile::lightweight(),
+            512 * MIB,
+            Locality::NodeLocal,
+        );
+        let work = plan.work;
+        let mut a = Attempt::new(attempt_id(), TaskKind::Map, Pid(1), plan, SimTime::ZERO);
+        // During setup progress stays 0.
+        assert_eq!(a.progress(SimTime::from_secs(2)), 0.0);
+        // Enter work phase at t=3.
+        a.phase = AttemptPhase::Work;
+        a.segment_start = SimTime::from_secs(3);
+        let halfway = SimTime::from_secs(3) + work.mul_f64(0.5);
+        let p = a.progress(halfway);
+        assert!((p - 0.5).abs() < 0.01, "progress at half the work should be ~0.5, got {p}");
+        // Suspend at halfway: progress freezes.
+        a.interrupt_work(halfway);
+        a.state = AttemptState::Suspended;
+        let later = halfway + SimDuration::from_secs(100);
+        assert!((a.progress(later) - 0.5).abs() < 0.01);
+        assert!((a.remaining_work().as_secs_f64() - work.as_secs_f64() * 0.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn interrupt_clamps_at_full_work() {
+        let plan = ExecPlan::for_map(
+            &defaults(),
+            &DiskConfig::default(),
+            &TaskProfile::lightweight(),
+            64 * MIB,
+            Locality::NodeLocal,
+        );
+        let work = plan.work;
+        let mut a = Attempt::new(attempt_id(), TaskKind::Map, Pid(1), plan, SimTime::ZERO);
+        a.phase = AttemptPhase::Work;
+        a.segment_start = SimTime::ZERO;
+        a.interrupt_work(SimTime::ZERO + work + SimDuration::from_secs(50));
+        assert_eq!(a.remaining_work(), SimDuration::ZERO);
+        assert_eq!(a.progress(SimTime::from_secs(1_000)), 1.0);
+    }
+
+    #[test]
+    fn zero_work_progress_is_phase_based() {
+        let mut plan = ExecPlan::for_map(
+            &defaults(),
+            &DiskConfig::default(),
+            &TaskProfile::lightweight(),
+            0,
+            Locality::NodeLocal,
+        );
+        plan.work = SimDuration::ZERO;
+        let mut a = Attempt::new(attempt_id(), TaskKind::Map, Pid(1), plan, SimTime::ZERO);
+        assert_eq!(a.progress(SimTime::ZERO), 0.0);
+        a.phase = AttemptPhase::Finalize;
+        assert_eq!(a.progress(SimTime::ZERO), 1.0);
+    }
+
+    #[test]
+    fn invested_time_accounts_setup_and_work() {
+        let plan = ExecPlan::for_map(
+            &defaults(),
+            &DiskConfig::default(),
+            &TaskProfile::lightweight(),
+            512 * MIB,
+            Locality::NodeLocal,
+        );
+        let mut a = Attempt::new(attempt_id(), TaskKind::Map, Pid(1), plan.clone(), SimTime::ZERO);
+        a.phase = AttemptPhase::Work;
+        a.segment_start = SimTime::from_secs(3);
+        let t = SimTime::from_secs(33);
+        let invested = a.invested_time(t).as_secs_f64();
+        assert!((invested - (plan.setup.as_secs_f64() + 30.0)).abs() < 0.5);
+    }
+}

@@ -1,0 +1,1060 @@
+//! The simulated cluster: JobTracker, TaskTrackers, heartbeat protocol, and
+//! the discrete-event loop.
+//!
+//! The [`Cluster`] plays the role of the JobTracker plus the glue that, in a
+//! real deployment, is the network between the JobTracker and its
+//! TaskTrackers. Commands issued by the scheduler (launch, kill, and the
+//! paper's suspend/resume) are not applied instantaneously: they put the task
+//! in a `MUST_*` state and are delivered when the involved TaskTracker next
+//! heartbeats, exactly as Section III-B describes. TaskTrackers heartbeat
+//! every `heartbeat_interval` and — as recommended for low-latency Hadoop
+//! deployments — send an out-of-band heartbeat whenever a task completes, is
+//! suspended, or is killed.
+
+use crate::attempt::{AttemptPhase, AttemptState, ExecPlan};
+use crate::config::ClusterConfig;
+use crate::job::{
+    AttemptId, JobId, JobRuntime, JobSpec, MapInput, TaskId, TaskKind, TaskRuntime, TaskState,
+};
+use crate::metrics::{ClusterReport, JobReport, NodeReport, TraceEntry, TraceKind};
+use crate::scheduler::{NodeView, SchedulerAction, SchedulerContext, SchedulerPolicy};
+use crate::tasktracker::TaskTracker;
+use mrp_dfs::{Locality, NameNode, NodeId, Topology};
+use mrp_sim::{EventId, EventQueue, SimDuration, SimRng, SimTime};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Events driving the cluster simulation.
+#[derive(Clone, Debug)]
+enum Event {
+    /// A pre-registered job arrives.
+    JobArrival { index: usize },
+    /// A TaskTracker heartbeat; `periodic` heartbeats reschedule themselves.
+    Heartbeat { node: NodeId, periodic: bool },
+    /// The current phase segment of an attempt finished.
+    PhaseDone {
+        node: NodeId,
+        attempt: AttemptId,
+        phase: AttemptPhase,
+    },
+    /// The cleanup attempt of a killed task released its slot.
+    CleanupDone { node: NodeId, kind: TaskKind },
+    /// A registered progress trigger fired.
+    ProgressTrigger { index: usize },
+}
+
+#[derive(Clone, Debug)]
+enum TriggerState {
+    Waiting,
+    Armed { event: EventId, task: TaskId },
+    Fired,
+}
+
+/// A progress watch: fires when the named task first reaches the given
+/// fraction of its work phase. Used by trigger-driven experiment schedulers
+/// to reproduce the paper's "preempt tl at r% progress" scenarios exactly.
+#[derive(Clone, Debug)]
+struct ProgressTrigger {
+    job_name: String,
+    task_index: u32,
+    fraction: f64,
+    state: TriggerState,
+}
+
+/// The simulated Hadoop cluster.
+pub struct Cluster {
+    config: ClusterConfig,
+    queue: EventQueue<Event>,
+    namenode: NameNode,
+    trackers: BTreeMap<NodeId, TaskTracker>,
+    jobs: BTreeMap<JobId, JobRuntime>,
+    scheduler: Box<dyn SchedulerPolicy>,
+    rng: SimRng,
+    pending_arrivals: Vec<(SimTime, JobSpec)>,
+    arrivals_remaining: usize,
+    triggers: Vec<ProgressTrigger>,
+    trace: Vec<TraceEntry>,
+    next_job_id: u32,
+}
+
+impl Cluster {
+    /// Builds a cluster from a configuration and a scheduling policy.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (see
+    /// [`ClusterConfig::validate`]); a bad configuration is a programming
+    /// error in the experiment, not a runtime condition.
+    pub fn new(config: ClusterConfig, scheduler: Box<dyn SchedulerPolicy>) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid cluster configuration: {e}"));
+        let topology = Topology::single_rack(config.nodes.len() as u32);
+        let namenode = NameNode::new(topology, config.dfs_block_size, config.dfs_replication);
+        let mut trackers = BTreeMap::new();
+        let mut queue = EventQueue::new();
+        for (i, node_cfg) in config.nodes.iter().enumerate() {
+            let id = NodeId(i as u32);
+            trackers.insert(
+                id,
+                TaskTracker::new(id, node_cfg.os.clone(), node_cfg.map_slots, node_cfg.reduce_slots),
+            );
+            // Stagger the first heartbeats slightly so they do not all land on
+            // the same instant.
+            queue.schedule(
+                SimTime::from_millis(200 * (i as u64 + 1)),
+                Event::Heartbeat { node: id, periodic: true },
+            );
+        }
+        let rng = SimRng::new(config.seed);
+        Cluster {
+            config,
+            queue,
+            namenode,
+            trackers,
+            jobs: BTreeMap::new(),
+            scheduler,
+            rng,
+            pending_arrivals: Vec::new(),
+            arrivals_remaining: 0,
+            triggers: Vec::new(),
+            trace: Vec::new(),
+            next_job_id: 1,
+        }
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Read access to the simulated NameNode.
+    pub fn namenode(&self) -> &NameNode {
+        &self.namenode
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// The recorded schedule trace.
+    pub fn trace(&self) -> &[TraceEntry] {
+        &self.trace
+    }
+
+    /// Read access to the JobTracker's job table.
+    pub fn jobs(&self) -> &BTreeMap<JobId, JobRuntime> {
+        &self.jobs
+    }
+
+    /// Creates an input file in the simulated HDFS, writing it from node 0 so
+    /// the paper's single-node experiments get node-local splits.
+    pub fn create_input_file(&mut self, path: &str, len: u64) -> Result<(), mrp_dfs::DfsError> {
+        let writer = self.namenode.topology().nodes().first().copied();
+        self.namenode.create_file(path, len, writer, &mut self.rng)?;
+        Ok(())
+    }
+
+    /// Registers a job to arrive at `at`.
+    pub fn submit_job_at(&mut self, spec: JobSpec, at: SimTime) {
+        let index = self.pending_arrivals.len();
+        self.pending_arrivals.push((at, spec));
+        self.arrivals_remaining += 1;
+        self.queue.schedule(at, Event::JobArrival { index });
+    }
+
+    /// Registers a job arriving at time zero.
+    pub fn submit_job(&mut self, spec: JobSpec) {
+        self.submit_job_at(spec, SimTime::ZERO);
+    }
+
+    /// Registers a progress trigger: when map task `task_index` of the job
+    /// named `job_name` first reaches `fraction` of its work phase, the
+    /// scheduler's `on_progress_trigger` hook is invoked. The trigger fires at
+    /// most once; if the watched task is suspended or killed before reaching
+    /// the fraction, the watch re-arms when it runs again.
+    pub fn add_progress_trigger(&mut self, job_name: &str, task_index: u32, fraction: f64) {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+        self.triggers.push(ProgressTrigger {
+            job_name: job_name.to_string(),
+            task_index,
+            fraction,
+            state: TriggerState::Waiting,
+        });
+    }
+
+    /// Runs the simulation until every submitted job completes, the event
+    /// queue drains, or `max_time` is reached. Returns the final virtual time.
+    pub fn run(&mut self, max_time: SimTime) -> SimTime {
+        loop {
+            if self.arrivals_remaining == 0 && self.all_jobs_complete() {
+                break;
+            }
+            let Some(next_at) = self.queue.peek_time() else {
+                break;
+            };
+            if next_at > max_time {
+                break;
+            }
+            let (now, event) = self.queue.pop().expect("peeked event must exist");
+            self.handle_event(now, event);
+        }
+        self.queue.now()
+    }
+
+    fn all_jobs_complete(&self) -> bool {
+        self.jobs.values().all(|j| j.is_complete())
+    }
+
+    /// Builds the end-of-run report.
+    pub fn report(&self) -> ClusterReport {
+        ClusterReport {
+            jobs: self.jobs.values().map(JobReport::from_runtime).collect(),
+            nodes: self
+                .trackers
+                .values()
+                .map(|tt| {
+                    let disk = tt.kernel().disk_stats();
+                    NodeReport {
+                        id: tt.id,
+                        swap_out_bytes: disk.swap_bytes_out,
+                        swap_in_bytes: disk.swap_bytes_in,
+                        disk_read_bytes: disk.bytes_read,
+                        disk_write_bytes: disk.bytes_written,
+                        oom_kills: tt.kernel().memory_stats().oom_kills,
+                    }
+                })
+                .collect(),
+            finished_at: self.queue.now(),
+        }
+    }
+
+    // ----- internal helpers -------------------------------------------------
+
+    fn trace_event(
+        &mut self,
+        at: SimTime,
+        kind: TraceKind,
+        job: JobId,
+        task: Option<TaskId>,
+        node: Option<NodeId>,
+        detail: impl Into<String>,
+    ) {
+        self.trace.push(TraceEntry {
+            at,
+            kind,
+            job,
+            task,
+            node,
+            detail: detail.into(),
+        });
+    }
+
+    fn node_views(&self) -> Vec<NodeView> {
+        self.trackers
+            .values()
+            .map(|tt| NodeView {
+                id: tt.id,
+                free_map_slots: tt.free_map_slots(),
+                free_reduce_slots: tt.free_reduce_slots(),
+                running: tt.running_attempts().into_iter().map(|a| a.task).collect(),
+                suspended: tt.suspended_attempts().into_iter().map(|a| a.task).collect(),
+            })
+            .collect()
+    }
+
+    fn task_mut(&mut self, id: TaskId) -> Option<&mut TaskRuntime> {
+        self.jobs.get_mut(&id.job).and_then(|j| j.task_mut(id))
+    }
+
+    fn task(&self, id: TaskId) -> Option<&TaskRuntime> {
+        self.jobs.get(&id.job).and_then(|j| j.task(id))
+    }
+
+    fn schedule_out_of_band_heartbeat(&mut self, node: NodeId, now: SimTime) {
+        if self.config.out_of_band_heartbeats {
+            self.queue.schedule(now, Event::Heartbeat { node, periodic: false });
+        }
+    }
+
+    fn handle_event(&mut self, now: SimTime, event: Event) {
+        match event {
+            Event::JobArrival { index } => {
+                self.arrivals_remaining -= 1;
+                let spec = self.pending_arrivals[index].1.clone();
+                self.register_job(spec, now);
+            }
+            Event::Heartbeat { node, periodic } => {
+                self.handle_heartbeat(node, now);
+                if periodic {
+                    self.queue.schedule(
+                        now + self.config.heartbeat_interval,
+                        Event::Heartbeat { node, periodic: true },
+                    );
+                }
+            }
+            Event::PhaseDone { node, attempt, phase } => {
+                self.handle_phase_done(node, attempt, phase, now);
+            }
+            Event::CleanupDone { node, kind } => {
+                if let Some(tt) = self.trackers.get_mut(&node) {
+                    tt.release_slot(kind);
+                }
+                self.schedule_out_of_band_heartbeat(node, now);
+            }
+            Event::ProgressTrigger { index } => {
+                self.handle_progress_trigger(index, now);
+            }
+        }
+    }
+
+    fn register_job(&mut self, spec: JobSpec, now: SimTime) -> JobId {
+        let id = JobId(self.next_job_id);
+        self.next_job_id += 1;
+
+        let mut tasks = Vec::new();
+        let mut total_map_input: u64 = 0;
+        match &spec.input {
+            MapInput::DfsFile { path } => {
+                let file = self
+                    .namenode
+                    .lookup(path)
+                    .unwrap_or_else(|| panic!("input file {path} does not exist in the simulated HDFS"))
+                    .clone();
+                for (i, block_id) in file.blocks.iter().enumerate() {
+                    let block = self.namenode.block(*block_id).expect("block metadata").clone();
+                    let preferred = self.namenode.replicas_of(*block_id).to_vec();
+                    total_map_input += block.size;
+                    tasks.push(TaskRuntime::new(
+                        TaskId { job: id, kind: TaskKind::Map, index: i as u32 },
+                        block.size,
+                        preferred,
+                    ));
+                }
+            }
+            MapInput::Synthetic { tasks: n, bytes_per_task } => {
+                for i in 0..*n {
+                    total_map_input += bytes_per_task;
+                    tasks.push(TaskRuntime::new(
+                        TaskId { job: id, kind: TaskKind::Map, index: i },
+                        *bytes_per_task,
+                        Vec::new(),
+                    ));
+                }
+            }
+        }
+        if spec.reduce_tasks > 0 {
+            let output_ratio = spec.profile.output_ratio.unwrap_or(self.config.task.output_ratio);
+            let shuffle_per_reduce =
+                ((total_map_input as f64 * output_ratio) / spec.reduce_tasks as f64) as u64;
+            for i in 0..spec.reduce_tasks {
+                tasks.push(TaskRuntime::new(
+                    TaskId { job: id, kind: TaskKind::Reduce, index: i },
+                    shuffle_per_reduce.max(1),
+                    Vec::new(),
+                ));
+            }
+        }
+        assert!(!tasks.is_empty(), "job {} has no tasks", spec.name);
+
+        let name = spec.name.clone();
+        self.jobs.insert(
+            id,
+            JobRuntime {
+                id,
+                spec,
+                submitted_at: now,
+                completed_at: None,
+                tasks,
+            },
+        );
+        self.trace_event(now, TraceKind::JobSubmitted, id, None, None, name);
+
+        let actions = {
+            let views = self.node_views();
+            let ctx = SchedulerContext { now, jobs: &self.jobs, nodes: &views };
+            self.scheduler.on_job_submitted(&ctx, id)
+        };
+        self.apply_actions(actions, now);
+        id
+    }
+
+    fn handle_heartbeat(&mut self, node: NodeId, now: SimTime) {
+        // 1. Refresh reported progress for tasks on this node.
+        let updates: Vec<(TaskId, f64)> = {
+            let Some(tt) = self.trackers.get(&node) else { return };
+            tt.running_attempts()
+                .into_iter()
+                .chain(tt.suspended_attempts())
+                .filter_map(|aid| tt.attempt(aid).map(|a| (a.task, a.progress(now))))
+                .collect()
+        };
+        for (task, progress) in updates {
+            if let Some(t) = self.task_mut(task) {
+                t.progress = progress;
+            }
+        }
+
+        // 2. Deliver pending MUST_* commands piggybacked on this heartbeat.
+        let pending: Vec<(TaskId, TaskState)> = self
+            .jobs
+            .values()
+            .flat_map(|j| j.tasks.iter())
+            .filter(|t| t.node == Some(node))
+            .filter(|t| {
+                matches!(
+                    t.state,
+                    TaskState::MustSuspend | TaskState::MustResume | TaskState::MustKill
+                )
+            })
+            .map(|t| (t.id, t.state))
+            .collect();
+        for (task, state) in pending {
+            match state {
+                TaskState::MustSuspend => self.deliver_suspend(task, node, now),
+                TaskState::MustResume => self.deliver_resume(task, node, now),
+                TaskState::MustKill => self.deliver_kill(task, node, now),
+                _ => unreachable!(),
+            }
+        }
+
+        // 3. Let the scheduling policy hand out work for this node.
+        let actions = {
+            let views = self.node_views();
+            let ctx = SchedulerContext { now, jobs: &self.jobs, nodes: &views };
+            self.scheduler.on_heartbeat(&ctx, node)
+        };
+        self.apply_actions(actions, now);
+    }
+
+    fn deliver_suspend(&mut self, task: TaskId, node: NodeId, now: SimTime) {
+        let Some(attempt_id) = self.task(task).and_then(|t| t.current_attempt) else { return };
+        let Some(tt) = self.trackers.get_mut(&node) else { return };
+        let Some(attempt) = tt.attempt(attempt_id) else { return };
+        match attempt.phase {
+            // Too early: retry at the next heartbeat once the task is in its
+            // work phase (a task that has not started working has nothing
+            // worth preserving yet, and Hadoop cannot stop a task mid-setup).
+            AttemptPhase::Setup | AttemptPhase::Shuffle => {}
+            // Too late: the task will complete before the suspension matters;
+            // the completion heartbeat resolves the race (Section III-B).
+            AttemptPhase::Finalize => {}
+            AttemptPhase::Work => {
+                let pending_event = tt.attempt(attempt_id).and_then(|a| a.segment_event);
+                let progress = match tt.suspend(attempt_id, now) {
+                    Ok(p) => p,
+                    Err(_) => return,
+                };
+                if let Some(ev) = pending_event {
+                    self.queue.cancel(ev);
+                }
+                self.unarm_triggers(task);
+                if let Some(t) = self.task_mut(task) {
+                    t.set_state(TaskState::Suspended);
+                    t.progress = progress;
+                    t.suspend_cycles += 1;
+                }
+                self.trace_event(
+                    now,
+                    TraceKind::Suspended,
+                    task.job,
+                    Some(task),
+                    Some(node),
+                    format!("SIGTSTP at {:.0}% progress", progress * 100.0),
+                );
+                self.schedule_out_of_band_heartbeat(node, now);
+            }
+        }
+    }
+
+    fn deliver_resume(&mut self, task: TaskId, node: NodeId, now: SimTime) {
+        let Some(attempt_id) = self.task(task).and_then(|t| t.current_attempt) else { return };
+        let Some(tt) = self.trackers.get_mut(&node) else { return };
+        let stall = match tt.resume(attempt_id, now) {
+            Ok(stall) => stall,
+            // No free slot (or similar): stay in MUST_RESUME and retry at the
+            // next heartbeat from this tracker.
+            Err(_) => return,
+        };
+        let (segment_start, remaining) = {
+            let attempt = tt.attempt_mut(attempt_id).expect("attempt present after resume");
+            debug_assert_eq!(attempt.phase, AttemptPhase::Work);
+            let remaining = attempt.remaining_work();
+            attempt.segment_start = now + stall;
+            attempt.segment_duration = remaining;
+            (attempt.segment_start, remaining)
+        };
+        let event = self.queue.schedule(
+            segment_start + remaining,
+            Event::PhaseDone { node, attempt: attempt_id, phase: AttemptPhase::Work },
+        );
+        if let Some(tt) = self.trackers.get_mut(&node) {
+            if let Some(attempt) = tt.attempt_mut(attempt_id) {
+                attempt.segment_event = Some(event);
+            }
+        }
+        if let Some(t) = self.task_mut(task) {
+            t.set_state(TaskState::Running);
+        }
+        self.arm_triggers(task, node, attempt_id, now);
+        self.trace_event(
+            now,
+            TraceKind::Resumed,
+            task.job,
+            Some(task),
+            Some(node),
+            format!("SIGCONT, page-in stall {:.2}s", stall.as_secs_f64()),
+        );
+    }
+
+    fn deliver_kill(&mut self, task: TaskId, node: NodeId, now: SimTime) {
+        let Some(attempt_id) = self.task(task).and_then(|t| t.current_attempt) else { return };
+        let Some(tt) = self.trackers.get_mut(&node) else { return };
+        if tt.attempt(attempt_id).is_none() {
+            // The attempt vanished underneath us (e.g. the OOM killer took
+            // it); make the task schedulable again so it restarts from scratch.
+            if let Some(t) = self.task_mut(task) {
+                t.state = TaskState::Pending;
+                t.progress = 0.0;
+                t.node = None;
+                t.current_attempt = None;
+            }
+            return;
+        }
+        let Some(tt) = self.trackers.get_mut(&node) else { return };
+        let Some(attempt) = tt.attempt(attempt_id) else { return };
+        let pending_event = attempt.segment_event;
+        let invested = attempt.invested_time(now);
+        let outcome = match tt.kill(attempt_id, now) {
+            Ok(o) => o,
+            Err(_) => return,
+        };
+        if let Some(ev) = pending_event {
+            self.queue.cancel(ev);
+        }
+        self.unarm_triggers(task);
+        let cleanup = self.config.task.cleanup_duration;
+        if outcome.held_slot {
+            // The cleanup attempt holds the slot while it deletes the killed
+            // task's partial output.
+            self.queue.schedule(now + cleanup, Event::CleanupDone { node, kind: task.kind });
+        }
+        if let Some(t) = self.task_mut(task) {
+            t.set_state(TaskState::Killed);
+            t.wasted_work += invested;
+            t.paged_out_bytes += outcome.paged_out_bytes;
+            t.paged_in_bytes += outcome.paged_in_bytes;
+            t.progress = 0.0;
+            t.node = None;
+            t.current_attempt = None;
+            // The task itself is rescheduled from scratch.
+            t.set_state(TaskState::Pending);
+        }
+        self.trace_event(
+            now,
+            TraceKind::Killed,
+            task.job,
+            Some(task),
+            Some(node),
+            format!("SIGKILL, {:.1}s of work lost", invested.as_secs_f64()),
+        );
+    }
+
+    fn handle_phase_done(&mut self, node: NodeId, attempt_id: AttemptId, phase: AttemptPhase, now: SimTime) {
+        // Defensive: the attempt may have been suspended, killed or OOM-killed
+        // since this event was scheduled; its cancellation normally removes
+        // the event, but a removed attempt cannot be cancelled, so re-check.
+        let Some(tt) = self.trackers.get_mut(&node) else { return };
+        let Some(attempt) = tt.attempt(attempt_id) else { return };
+        if attempt.state != AttemptState::Running || attempt.phase != phase {
+            return;
+        }
+        let task = attempt_id.task;
+        match phase {
+            AttemptPhase::Setup => {
+                let alloc = match tt.allocate_task_memory(attempt_id, now) {
+                    Ok(a) => a,
+                    Err(_) => {
+                        // Unrecoverable allocation failure: kill the attempt.
+                        self.force_kill_after_failure(task, node, now);
+                        return;
+                    }
+                };
+                let input_bytes = tt.attempt(attempt_id).map(|a| a.plan.input_bytes).unwrap_or(0);
+                tt.record_input_read(input_bytes);
+                for victim in &alloc.oom_killed {
+                    self.handle_oom_victim(*victim, node, now);
+                }
+                let next_phase = if task.kind == TaskKind::Reduce {
+                    AttemptPhase::Shuffle
+                } else {
+                    AttemptPhase::Work
+                };
+                self.enter_phase(node, attempt_id, next_phase, alloc.stall, now);
+            }
+            AttemptPhase::Shuffle => {
+                self.enter_phase(node, attempt_id, AttemptPhase::Work, SimDuration::ZERO, now);
+            }
+            AttemptPhase::Work => {
+                // Work finished: fault the task's own state back in (stateful
+                // tasks read their memory when finalizing) and write output.
+                let stall = tt.fault_in_own_memory(attempt_id, now).unwrap_or(SimDuration::ZERO);
+                let output = tt.attempt(attempt_id).map(|a| a.plan.output_bytes).unwrap_or(0);
+                tt.write_output(output);
+                if let Some(a) = tt.attempt_mut(attempt_id) {
+                    a.work_completed = a.plan.work;
+                }
+                self.enter_phase(node, attempt_id, AttemptPhase::Finalize, stall, now);
+            }
+            AttemptPhase::Finalize => {
+                self.complete_attempt(node, attempt_id, now);
+            }
+        }
+    }
+
+    /// Moves an attempt into `phase`, scheduling its completion after
+    /// `stall + <phase duration>`.
+    fn enter_phase(
+        &mut self,
+        node: NodeId,
+        attempt_id: AttemptId,
+        phase: AttemptPhase,
+        stall: SimDuration,
+        now: SimTime,
+    ) {
+        let Some(tt) = self.trackers.get_mut(&node) else { return };
+        let Some(attempt) = tt.attempt_mut(attempt_id) else { return };
+        attempt.phase = phase;
+        let duration = match phase {
+            AttemptPhase::Setup => attempt.plan.setup,
+            AttemptPhase::Shuffle => attempt.plan.shuffle,
+            AttemptPhase::Work => attempt.remaining_work(),
+            AttemptPhase::Finalize => attempt.plan.finalize,
+        };
+        attempt.segment_start = now + stall;
+        attempt.segment_duration = duration;
+        let fire_at = attempt.segment_start + duration;
+        let event = self.queue.schedule(fire_at, Event::PhaseDone { node, attempt: attempt_id, phase });
+        if let Some(tt) = self.trackers.get_mut(&node) {
+            if let Some(attempt) = tt.attempt_mut(attempt_id) {
+                attempt.segment_event = Some(event);
+            }
+        }
+        if phase == AttemptPhase::Work {
+            self.arm_triggers(attempt_id.task, node, attempt_id, now);
+        }
+    }
+
+    fn complete_attempt(&mut self, node: NodeId, attempt_id: AttemptId, now: SimTime) {
+        let task = attempt_id.task;
+        let Some(tt) = self.trackers.get_mut(&node) else { return };
+        let outcome = match tt.complete(attempt_id, now) {
+            Ok(o) => o,
+            Err(_) => return,
+        };
+        if let Some(t) = self.task_mut(task) {
+            t.set_state(TaskState::Succeeded);
+            t.progress = 1.0;
+            t.finished_at = Some(now);
+            t.current_attempt = None;
+            t.paged_out_bytes += outcome.paged_out_bytes;
+            t.paged_in_bytes += outcome.paged_in_bytes;
+        }
+        self.trace_event(now, TraceKind::Completed, task.job, Some(task), Some(node), "");
+
+        // Job completion check.
+        let job_complete = self
+            .jobs
+            .get(&task.job)
+            .map(|j| j.is_complete())
+            .unwrap_or(false);
+        if job_complete {
+            if let Some(job) = self.jobs.get_mut(&task.job) {
+                job.completed_at = Some(now);
+            }
+            self.trace_event(now, TraceKind::JobCompleted, task.job, None, None, "");
+        }
+
+        // Scheduler hooks.
+        let mut actions = {
+            let views = self.node_views();
+            let ctx = SchedulerContext { now, jobs: &self.jobs, nodes: &views };
+            self.scheduler.on_task_finished(&ctx, task)
+        };
+        if job_complete {
+            let more = {
+                let views = self.node_views();
+                let ctx = SchedulerContext { now, jobs: &self.jobs, nodes: &views };
+                self.scheduler.on_job_finished(&ctx, task.job)
+            };
+            actions.extend(more);
+        }
+        self.apply_actions(actions, now);
+        self.schedule_out_of_band_heartbeat(node, now);
+    }
+
+    /// Handles a task whose process was sacrificed by the OOM killer while
+    /// another task was allocating memory.
+    fn handle_oom_victim(&mut self, attempt_id: AttemptId, node: NodeId, now: SimTime) {
+        let task = attempt_id.task;
+        let Some(t) = self.task_mut(task) else { return };
+        if t.current_attempt != Some(attempt_id) {
+            return;
+        }
+        // Whatever state the task was in, its attempt is gone: it goes back to
+        // pending and will be rescheduled from scratch.
+        let wasted = t.progress;
+        t.state = TaskState::Pending;
+        t.progress = 0.0;
+        t.node = None;
+        t.current_attempt = None;
+        t.wasted_work += SimDuration::from_secs_f64(wasted * 10.0);
+        self.unarm_triggers(task);
+        self.trace_event(
+            now,
+            TraceKind::Killed,
+            task.job,
+            Some(task),
+            Some(node),
+            "OOM-killed while another task allocated memory",
+        );
+    }
+
+    fn force_kill_after_failure(&mut self, task: TaskId, node: NodeId, now: SimTime) {
+        if let Some(t) = self.task_mut(task) {
+            if matches!(t.state, TaskState::Running | TaskState::MustSuspend) {
+                t.set_state(TaskState::MustKill);
+            }
+        }
+        self.deliver_kill(task, node, now);
+    }
+
+    fn apply_actions(&mut self, actions: Vec<SchedulerAction>, now: SimTime) {
+        let mut queue: VecDeque<SchedulerAction> = actions.into();
+        while let Some(action) = queue.pop_front() {
+            match action {
+                SchedulerAction::SubmitJob(spec) => {
+                    // register_job invokes on_job_submitted itself and applies
+                    // any actions it returns.
+                    self.register_job(spec, now);
+                }
+                SchedulerAction::Launch { task, node } => {
+                    self.launch_task(task, node, now);
+                }
+                SchedulerAction::Suspend { task } => {
+                    if let Some(t) = self.task_mut(task) {
+                        if t.state == TaskState::Running {
+                            t.set_state(TaskState::MustSuspend);
+                        }
+                    }
+                }
+                SchedulerAction::Resume { task } => {
+                    if let Some(t) = self.task_mut(task) {
+                        if t.state == TaskState::Suspended {
+                            t.set_state(TaskState::MustResume);
+                        }
+                    }
+                }
+                SchedulerAction::Kill { task } => {
+                    if let Some(t) = self.task_mut(task) {
+                        if matches!(
+                            t.state,
+                            TaskState::Running | TaskState::Suspended | TaskState::MustSuspend | TaskState::MustResume
+                        ) {
+                            t.set_state(TaskState::MustKill);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn launch_task(&mut self, task: TaskId, node: NodeId, now: SimTime) {
+        let Some(t) = self.task(task) else { return };
+        if !t.state.is_schedulable() {
+            return;
+        }
+        let input_bytes = t.input_bytes;
+        let preferred = t.preferred_nodes.clone();
+        let profile = self
+            .jobs
+            .get(&task.job)
+            .map(|j| j.spec.profile.clone())
+            .unwrap_or_default();
+        let Some(tt) = self.trackers.get(&node) else { return };
+        if tt.free_slots(task.kind) == 0 {
+            return;
+        }
+        let locality = if preferred.is_empty() {
+            Locality::NodeLocal
+        } else {
+            preferred
+                .iter()
+                .map(|holder| self.namenode.topology().locality(node, *holder))
+                .min()
+                .unwrap_or(Locality::OffRack)
+        };
+        let disk = tt.kernel().config().disk.clone();
+        let plan = match task.kind {
+            TaskKind::Map => ExecPlan::for_map(&self.config.task, &disk, &profile, input_bytes, locality),
+            TaskKind::Reduce => ExecPlan::for_reduce(&self.config.task, &disk, &profile, input_bytes),
+        };
+        let attempt_id = {
+            let Some(t) = self.task_mut(task) else { return };
+            t.next_attempt()
+        };
+        let tt = self.trackers.get_mut(&node).expect("checked above");
+        if tt.launch(attempt_id, task.kind, plan, now).is_err() {
+            // Roll back the attempt counter bump is not necessary: attempt ids
+            // only need to be unique.
+            return;
+        }
+        {
+            let t = self.task_mut(task).expect("task exists");
+            t.set_state(TaskState::Running);
+            t.node = Some(node);
+            t.current_attempt = Some(attempt_id);
+            t.progress = 0.0;
+            if t.first_launched_at.is_none() {
+                t.first_launched_at = Some(now);
+            }
+        }
+        // Schedule the end of the setup phase.
+        let setup = self
+            .trackers
+            .get(&node)
+            .and_then(|tt| tt.attempt(attempt_id))
+            .map(|a| a.plan.setup)
+            .unwrap_or(SimDuration::ZERO);
+        let event = self.queue.schedule(
+            now + setup,
+            Event::PhaseDone { node, attempt: attempt_id, phase: AttemptPhase::Setup },
+        );
+        if let Some(tt) = self.trackers.get_mut(&node) {
+            if let Some(a) = tt.attempt_mut(attempt_id) {
+                a.segment_event = Some(event);
+                a.segment_start = now;
+                a.segment_duration = setup;
+            }
+        }
+        self.trace_event(
+            now,
+            TraceKind::Launched,
+            task.job,
+            Some(task),
+            Some(node),
+            format!("attempt {}", attempt_id.number),
+        );
+    }
+
+    // ----- progress triggers -----------------------------------------------
+
+    fn arm_triggers(&mut self, task: TaskId, node: NodeId, attempt_id: AttemptId, _now: SimTime) {
+        if task.kind != TaskKind::Map {
+            return;
+        }
+        let Some(job) = self.jobs.get(&task.job) else { return };
+        let job_name = job.spec.name.clone();
+        let (segment_start, work, work_completed) = {
+            let Some(tt) = self.trackers.get(&node) else { return };
+            let Some(a) = tt.attempt(attempt_id) else { return };
+            (a.segment_start, a.plan.work, a.work_completed)
+        };
+        for index in 0..self.triggers.len() {
+            let matches = {
+                let t = &self.triggers[index];
+                matches!(t.state, TriggerState::Waiting)
+                    && t.job_name == job_name
+                    && t.task_index == task.index
+            };
+            if !matches {
+                continue;
+            }
+            let fraction = self.triggers[index].fraction;
+            let target = work.mul_f64(fraction);
+            let fire_at = if work_completed >= target {
+                segment_start
+            } else {
+                segment_start + target.saturating_sub(work_completed)
+            };
+            let event = self.queue.schedule(fire_at, Event::ProgressTrigger { index });
+            self.triggers[index].state = TriggerState::Armed { event, task };
+        }
+    }
+
+    fn unarm_triggers(&mut self, task: TaskId) {
+        for trigger in &mut self.triggers {
+            if let TriggerState::Armed { event, task: armed_task } = trigger.state {
+                if armed_task == task {
+                    self.queue.cancel(event);
+                    trigger.state = TriggerState::Waiting;
+                }
+            }
+        }
+    }
+
+    fn handle_progress_trigger(&mut self, index: usize, now: SimTime) {
+        let (task, fraction) = match &self.triggers[index].state {
+            TriggerState::Armed { task, .. } => (*task, self.triggers[index].fraction),
+            _ => return,
+        };
+        self.triggers[index].state = TriggerState::Fired;
+        let actions = {
+            let views = self.node_views();
+            let ctx = SchedulerContext { now, jobs: &self.jobs, nodes: &views };
+            self.scheduler.on_progress_trigger(&ctx, task, fraction)
+        };
+        self.apply_actions(actions, now);
+    }
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("now", &self.queue.now())
+            .field("nodes", &self.trackers.len())
+            .field("jobs", &self.jobs.len())
+            .field("scheduler", &self.scheduler.name())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::TaskProfile;
+    use crate::scheduler::FifoScheduler;
+    use mrp_sim::MIB;
+
+    fn single_node_cluster() -> Cluster {
+        Cluster::new(ClusterConfig::paper_single_node(), Box::new(FifoScheduler::new()))
+    }
+
+    #[test]
+    fn single_map_only_job_runs_to_completion() {
+        let mut c = single_node_cluster();
+        c.create_input_file("/input", 512 * MIB).unwrap();
+        c.submit_job(JobSpec::map_only("solo", "/input"));
+        c.run(SimTime::from_secs(3_600));
+        let report = c.report();
+        assert!(report.all_jobs_complete());
+        let sojourn = report.sojourn_secs("solo").unwrap();
+        assert!(
+            (70.0..100.0).contains(&sojourn),
+            "a 512MB map-only job should take ~80-90s, got {sojourn}"
+        );
+        assert_eq!(report.total_swap_out_bytes(), 0, "no paging for a single light job");
+        assert_eq!(report.jobs[0].tasks[0].attempts, 1);
+    }
+
+    #[test]
+    fn two_jobs_on_one_slot_run_sequentially_fifo() {
+        let mut c = single_node_cluster();
+        c.create_input_file("/a", 512 * MIB).unwrap();
+        c.create_input_file("/b", 512 * MIB).unwrap();
+        c.submit_job(JobSpec::map_only("first", "/a"));
+        c.submit_job_at(JobSpec::map_only("second", "/b"), SimTime::from_secs(1));
+        c.run(SimTime::from_secs(3_600));
+        let report = c.report();
+        assert!(report.all_jobs_complete());
+        let first = report.sojourn_secs("first").unwrap();
+        let second = report.sojourn_secs("second").unwrap();
+        assert!(second > first + 40.0, "the second job has to wait for the slot");
+        let makespan = report.makespan_secs().unwrap();
+        assert!((150.0..220.0).contains(&makespan), "two ~85s tasks back to back, got {makespan}");
+    }
+
+    #[test]
+    fn synthetic_jobs_do_not_need_dfs_files() {
+        let mut c = single_node_cluster();
+        c.submit_job(JobSpec::synthetic("synt", 1, 64 * MIB));
+        c.run(SimTime::from_secs(600));
+        assert!(c.report().all_jobs_complete());
+    }
+
+    #[test]
+    fn job_with_reduce_tasks_completes() {
+        let mut c = Cluster::new(
+            ClusterConfig::small_cluster(2, 1, 1),
+            Box::new(FifoScheduler::new()),
+        );
+        c.create_input_file("/in", 256 * MIB).unwrap();
+        c.submit_job(JobSpec::map_only("mr", "/in").with_reduces(1));
+        c.run(SimTime::from_secs(3_600));
+        let report = c.report();
+        assert!(report.all_jobs_complete());
+        // 2 maps (128 MB blocks) + 1 reduce.
+        assert_eq!(report.jobs[0].tasks.len(), 3);
+    }
+
+    #[test]
+    fn memory_hungry_tasks_swap_under_contention() {
+        let mut c = Cluster::new(
+            {
+                let mut cfg = ClusterConfig::paper_single_node();
+                cfg.nodes[0].map_slots = 2;
+                cfg
+            },
+            Box::new(FifoScheduler::new()),
+        );
+        c.create_input_file("/a", 512 * MIB).unwrap();
+        c.create_input_file("/b", 512 * MIB).unwrap();
+        c.submit_job(
+            JobSpec::map_only("hog-a", "/a").with_profile(TaskProfile::memory_hungry(2048 * MIB)),
+        );
+        c.submit_job(
+            JobSpec::map_only("hog-b", "/b").with_profile(TaskProfile::memory_hungry(2048 * MIB)),
+        );
+        c.run(SimTime::from_secs(3_600));
+        let report = c.report();
+        assert!(report.all_jobs_complete());
+        assert!(
+            report.total_swap_out_bytes() > 0,
+            "two 2GB tasks on a 4GB node must page"
+        );
+    }
+
+    #[test]
+    fn trace_records_the_schedule() {
+        let mut c = single_node_cluster();
+        c.create_input_file("/input", 512 * MIB).unwrap();
+        c.submit_job(JobSpec::map_only("traced", "/input"));
+        c.run(SimTime::from_secs(3_600));
+        let kinds: Vec<TraceKind> = c.trace().iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&TraceKind::JobSubmitted));
+        assert!(kinds.contains(&TraceKind::Launched));
+        assert!(kinds.contains(&TraceKind::Completed));
+        assert!(kinds.contains(&TraceKind::JobCompleted));
+        assert!(c.trace().iter().all(|e| !e.to_line().is_empty()));
+    }
+
+    #[test]
+    fn run_with_no_jobs_returns_immediately() {
+        let mut c = single_node_cluster();
+        let end = c.run(SimTime::from_secs(100));
+        assert_eq!(end, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist in the simulated HDFS")]
+    fn missing_input_file_panics_at_submission() {
+        let mut c = single_node_cluster();
+        c.submit_job(JobSpec::map_only("broken", "/nope"));
+        c.run(SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_report() {
+        let run = || {
+            let mut c = single_node_cluster();
+            c.create_input_file("/a", 512 * MIB).unwrap();
+            c.create_input_file("/b", 256 * MIB).unwrap();
+            c.submit_job(JobSpec::map_only("j1", "/a"));
+            c.submit_job_at(JobSpec::map_only("j2", "/b"), SimTime::from_secs(20));
+            c.run(SimTime::from_secs(3_600));
+            c.report()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+    }
+}

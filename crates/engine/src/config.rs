@@ -1,0 +1,239 @@
+//! Cluster and task-execution configuration.
+//!
+//! Defaults are calibrated to the paper's testbed (Section IV-A): a node with
+//! 4 GB of RAM running synthetic map-only jobs over single-block 512 MB HDFS
+//! files, with task durations around 80 seconds, a 3-second heartbeat, and
+//! `swappiness = 0`.
+
+use mrp_simos::NodeOsConfig;
+use mrp_sim::{SimDuration, MIB};
+use serde::{Deserialize, Serialize};
+
+/// Execution-model defaults shared by all tasks unless a job overrides them.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TaskDefaults {
+    /// Time to fork and initialise the child task JVM.
+    pub jvm_startup: SimDuration,
+    /// Memory footprint of the Hadoop execution engine inside every task
+    /// (JVM, I/O buffers, sort buffers) regardless of user code.
+    pub base_memory: u64,
+    /// Fraction of the base footprint that is dirty anonymous memory (the
+    /// rest is mapped code and read-only data that can be dropped for free).
+    pub base_memory_dirty_fraction: f64,
+    /// Rate at which the synthetic mappers read **and parse** their input;
+    /// this, not raw disk bandwidth, bounds task duration (≈6.6 MiB/s gives
+    /// the paper's ≈80 s tasks over 512 MB splits).
+    pub parse_rate_bytes_per_sec: f64,
+    /// Output size as a fraction of input size for map tasks.
+    pub output_ratio: f64,
+    /// Fixed cost of task commit (renaming output, reporting completion).
+    pub commit_overhead: SimDuration,
+    /// Duration of the cleanup attempt that removes the partial output of a
+    /// killed task; it occupies the task's slot before the slot is released.
+    pub cleanup_duration: SimDuration,
+    /// Shuffle copy rate for reduce tasks (network-bound).
+    pub shuffle_bytes_per_sec: f64,
+}
+
+impl Default for TaskDefaults {
+    fn default() -> Self {
+        TaskDefaults {
+            jvm_startup: SimDuration::from_millis(3_000),
+            base_memory: 192 * MIB,
+            base_memory_dirty_fraction: 0.6,
+            parse_rate_bytes_per_sec: 6.7 * MIB as f64,
+            output_ratio: 0.05,
+            commit_overhead: SimDuration::from_millis(1_200),
+            cleanup_duration: SimDuration::from_millis(3_000),
+            shuffle_bytes_per_sec: 80.0 * MIB as f64,
+        }
+    }
+}
+
+/// Configuration of a single cluster node.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct NodeConfig {
+    /// Operating-system model for the node (RAM, swap, disk).
+    pub os: NodeOsConfig,
+    /// Number of concurrent map tasks allowed
+    /// (`mapred.tasktracker.map.tasks.maximum`).
+    pub map_slots: u32,
+    /// Number of concurrent reduce tasks allowed.
+    pub reduce_slots: u32,
+}
+
+impl NodeConfig {
+    /// The paper's evaluation node: default OS model (4 GB RAM, swappiness 0)
+    /// with a single map slot and a single reduce slot, so that the two jobs
+    /// of the scenario contend for the same slot.
+    pub fn paper_node() -> Self {
+        NodeConfig {
+            os: NodeOsConfig::default(),
+            map_slots: 1,
+            reduce_slots: 1,
+        }
+    }
+}
+
+/// Whole-cluster configuration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Per-node configurations; node ids are assigned in order starting at 0.
+    pub nodes: Vec<NodeConfig>,
+    /// TaskTracker heartbeat interval (`mapreduce.jobtracker.heartbeat.interval`).
+    pub heartbeat_interval: SimDuration,
+    /// Whether TaskTrackers send an immediate out-of-band heartbeat when a
+    /// task finishes, is suspended, or is killed
+    /// (`mapreduce.tasktracker.outofband.heartbeat`).
+    pub out_of_band_heartbeats: bool,
+    /// HDFS block size used when the harness creates input files.
+    pub dfs_block_size: u64,
+    /// HDFS replication factor for created files.
+    pub dfs_replication: u32,
+    /// Task execution defaults.
+    pub task: TaskDefaults,
+    /// Seed for all randomised decisions (placement, tie-breaking).
+    pub seed: u64,
+}
+
+impl ClusterConfig {
+    /// The paper's experimental setup: one node, one map slot, 512 MB blocks.
+    pub fn paper_single_node() -> Self {
+        ClusterConfig {
+            nodes: vec![NodeConfig::paper_node()],
+            heartbeat_interval: SimDuration::from_secs(3),
+            out_of_band_heartbeats: true,
+            dfs_block_size: 512 * MIB,
+            dfs_replication: 1,
+            task: TaskDefaults::default(),
+            seed: 1,
+        }
+    }
+
+    /// A small multi-node cluster for the scheduler examples and the
+    /// resume-locality experiments.
+    pub fn small_cluster(nodes: u32, map_slots: u32, reduce_slots: u32) -> Self {
+        ClusterConfig {
+            nodes: (0..nodes)
+                .map(|_| NodeConfig {
+                    os: NodeOsConfig::default(),
+                    map_slots,
+                    reduce_slots,
+                })
+                .collect(),
+            heartbeat_interval: SimDuration::from_secs(3),
+            out_of_band_heartbeats: true,
+            dfs_block_size: 128 * MIB,
+            dfs_replication: 3.min(nodes),
+            task: TaskDefaults::default(),
+            seed: 1,
+        }
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Validates the configuration, returning a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes.is_empty() {
+            return Err("cluster must have at least one node".into());
+        }
+        if self.heartbeat_interval.is_zero() {
+            return Err("heartbeat interval must be positive".into());
+        }
+        if self.dfs_block_size == 0 {
+            return Err("block size must be positive".into());
+        }
+        if self.dfs_replication == 0 {
+            return Err("replication factor must be at least 1".into());
+        }
+        if self.task.parse_rate_bytes_per_sec <= 0.0 {
+            return Err("parse rate must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.task.base_memory_dirty_fraction) {
+            return Err("dirty fraction must be in [0, 1]".into());
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.map_slots == 0 && n.reduce_slots == 0 {
+                return Err(format!("node {i} has no task slots"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig::paper_single_node()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_setup_is_valid() {
+        let c = ClusterConfig::paper_single_node();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.node_count(), 1);
+        assert_eq!(c.nodes[0].map_slots, 1);
+        assert_eq!(c.dfs_block_size, 512 * MIB);
+    }
+
+    #[test]
+    fn small_cluster_shape() {
+        let c = ClusterConfig::small_cluster(5, 2, 1);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.node_count(), 5);
+        assert_eq!(c.dfs_replication, 3);
+        let c1 = ClusterConfig::small_cluster(2, 2, 1);
+        assert_eq!(c1.dfs_replication, 2);
+    }
+
+    #[test]
+    fn paper_task_duration_is_about_80_seconds() {
+        let t = TaskDefaults::default();
+        let work = 512.0 * MIB as f64 / t.parse_rate_bytes_per_sec;
+        let total = t.jvm_startup.as_secs_f64() + work + t.commit_overhead.as_secs_f64();
+        assert!(
+            (75.0..95.0).contains(&total),
+            "paper tasks should take ~80s, got {total}"
+        );
+    }
+
+    #[test]
+    fn validation_catches_errors() {
+        let mut c = ClusterConfig::paper_single_node();
+        c.nodes.clear();
+        assert!(c.validate().is_err());
+
+        let mut c = ClusterConfig::paper_single_node();
+        c.heartbeat_interval = SimDuration::ZERO;
+        assert!(c.validate().is_err());
+
+        let mut c = ClusterConfig::paper_single_node();
+        c.dfs_block_size = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = ClusterConfig::paper_single_node();
+        c.dfs_replication = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = ClusterConfig::paper_single_node();
+        c.task.parse_rate_bytes_per_sec = 0.0;
+        assert!(c.validate().is_err());
+
+        let mut c = ClusterConfig::paper_single_node();
+        c.task.base_memory_dirty_fraction = 1.5;
+        assert!(c.validate().is_err());
+
+        let mut c = ClusterConfig::paper_single_node();
+        c.nodes[0].map_slots = 0;
+        c.nodes[0].reduce_slots = 0;
+        assert!(c.validate().is_err());
+    }
+}

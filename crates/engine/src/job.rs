@@ -1,0 +1,529 @@
+//! Jobs, tasks, and the JobTracker-side task state machine.
+//!
+//! The paper's contribution adds three states to Hadoop's JobTracker task
+//! bookkeeping — `MUST_SUSPEND`, `SUSPENDED` and `MUST_RESUME` — mirroring the
+//! way the existing kill path is implemented (a "must" state is set when the
+//! command is received, and the actual transition happens when the involved
+//! TaskTracker acts on the command piggybacked on its next heartbeat).
+
+use mrp_dfs::NodeId;
+use mrp_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a submitted job.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId(pub u32);
+
+impl fmt::Debug for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job_{:04}", self.0)
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job_{:04}", self.0)
+    }
+}
+
+/// Map or reduce.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// A map task consuming one input split.
+    Map,
+    /// A reduce task consuming one partition of every map output.
+    Reduce,
+}
+
+impl TaskKind {
+    /// Single-letter code used in Hadoop attempt names (`m` / `r`).
+    pub fn code(self) -> char {
+        match self {
+            TaskKind::Map => 'm',
+            TaskKind::Reduce => 'r',
+        }
+    }
+}
+
+/// Identifier of a task within a job.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId {
+    /// The job this task belongs to.
+    pub job: JobId,
+    /// Map or reduce.
+    pub kind: TaskKind,
+    /// Index among tasks of the same kind.
+    pub index: u32,
+}
+
+impl fmt::Debug for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task_{:04}_{}_{:06}", self.job.0, self.kind.code(), self.index)
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Identifier of one execution attempt of a task.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AttemptId {
+    /// The task being attempted.
+    pub task: TaskId,
+    /// Attempt number, starting at 0 (kill-based preemption creates new
+    /// attempts; suspend/resume keeps the same one).
+    pub number: u32,
+}
+
+impl fmt::Debug for AttemptId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "attempt_{:04}_{}_{:06}_{}",
+            self.task.job.0,
+            self.task.kind.code(),
+            self.task.index,
+            self.number
+        )
+    }
+}
+
+impl fmt::Display for AttemptId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Per-job overrides of the synthetic task execution profile.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TaskProfile {
+    /// Overrides the cluster-wide parse rate (bytes/second), if set.
+    pub parse_rate_bytes_per_sec: Option<f64>,
+    /// Extra memory allocated in the task's setup phase, modelling stateful
+    /// mappers/reducers (the paper's memory-hungry worst case allocates
+    /// 2–2.5 GB here).
+    pub state_memory: u64,
+    /// Fraction of the state memory written (dirty); the paper's tasks write
+    /// random values to all of it, so the default is 1.0.
+    pub state_dirty_fraction: f64,
+    /// Overrides the output/input size ratio, if set.
+    pub output_ratio: Option<f64>,
+}
+
+impl Default for TaskProfile {
+    fn default() -> Self {
+        TaskProfile {
+            parse_rate_bytes_per_sec: None,
+            state_memory: 0,
+            state_dirty_fraction: 1.0,
+            output_ratio: None,
+        }
+    }
+}
+
+impl TaskProfile {
+    /// A light-weight, stateless task (the paper's baseline experiments).
+    pub fn lightweight() -> Self {
+        TaskProfile::default()
+    }
+
+    /// A memory-hungry, stateful task allocating `state_memory` bytes of
+    /// dirty memory in its setup phase (the paper's worst-case experiments).
+    pub fn memory_hungry(state_memory: u64) -> Self {
+        TaskProfile {
+            state_memory,
+            ..TaskProfile::default()
+        }
+    }
+}
+
+/// Where a job's map input comes from.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum MapInput {
+    /// Read an existing file in the simulated HDFS; one map task per block.
+    DfsFile {
+        /// Path of the input file.
+        path: String,
+    },
+    /// Synthetic input that does not correspond to a stored file: `tasks`
+    /// map tasks each reading `bytes_per_task` bytes with no particular
+    /// locality.
+    Synthetic {
+        /// Number of map tasks.
+        tasks: u32,
+        /// Input bytes per task.
+        bytes_per_task: u64,
+    },
+}
+
+/// The description of a job handed to the JobTracker at submission.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Human-readable name; also used by trigger configurations to refer to
+    /// jobs before they have an id.
+    pub name: String,
+    /// Priority: larger values are more important. The paper's scenario uses
+    /// a high-priority job `th` and a low-priority job `tl`.
+    pub priority: i32,
+    /// Map input description.
+    pub input: MapInput,
+    /// Number of reduce tasks (0 for the paper's map-only jobs).
+    pub reduce_tasks: u32,
+    /// Execution profile overrides.
+    pub profile: TaskProfile,
+}
+
+impl JobSpec {
+    /// A map-only job reading the given DFS file.
+    pub fn map_only(name: impl Into<String>, path: impl Into<String>) -> Self {
+        JobSpec {
+            name: name.into(),
+            priority: 0,
+            input: MapInput::DfsFile { path: path.into() },
+            reduce_tasks: 0,
+            profile: TaskProfile::default(),
+        }
+    }
+
+    /// A synthetic map-only job that does not need a DFS file.
+    pub fn synthetic(name: impl Into<String>, tasks: u32, bytes_per_task: u64) -> Self {
+        JobSpec {
+            name: name.into(),
+            priority: 0,
+            input: MapInput::Synthetic { tasks, bytes_per_task },
+            reduce_tasks: 0,
+            profile: TaskProfile::default(),
+        }
+    }
+
+    /// Sets the priority, builder style.
+    pub fn with_priority(mut self, priority: i32) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the profile, builder style.
+    pub fn with_profile(mut self, profile: TaskProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Sets the number of reduce tasks, builder style.
+    pub fn with_reduces(mut self, reduces: u32) -> Self {
+        self.reduce_tasks = reduces;
+        self
+    }
+}
+
+/// JobTracker-side task states, including the paper's suspension states.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum TaskState {
+    /// Not yet assigned to any TaskTracker.
+    Pending,
+    /// Running on a TaskTracker.
+    Running,
+    /// The user or the scheduler asked for suspension; the command will be
+    /// piggybacked on the next heartbeat of the involved TaskTracker.
+    MustSuspend,
+    /// The TaskTracker confirmed the task is stopped (`SIGTSTP` delivered).
+    Suspended,
+    /// Resume requested; the command travels on the next heartbeat.
+    MustResume,
+    /// Kill requested; the command travels on the next heartbeat.
+    MustKill,
+    /// The task completed successfully.
+    Succeeded,
+    /// The current attempt was killed (the task itself goes back to
+    /// [`TaskState::Pending`] for rescheduling unless the job is done).
+    Killed,
+}
+
+impl TaskState {
+    /// True if the task is in a terminal state.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, TaskState::Succeeded)
+    }
+
+    /// True if the task currently occupies a slot on some TaskTracker.
+    pub fn occupies_slot(self) -> bool {
+        matches!(self, TaskState::Running | TaskState::MustSuspend | TaskState::MustKill)
+    }
+
+    /// True if a scheduler may launch (or re-launch) this task on a node.
+    pub fn is_schedulable(self) -> bool {
+        matches!(self, TaskState::Pending | TaskState::Killed)
+    }
+
+    /// Whether a transition from `self` to `next` is legal in the JobTracker
+    /// state machine (including the suspend/resume extension).
+    pub fn can_transition_to(self, next: TaskState) -> bool {
+        use TaskState::*;
+        matches!(
+            (self, next),
+            (Pending, Running)
+                | (Killed, Running)
+                | (Running, MustSuspend)
+                | (Running, MustKill)
+                | (Running, Succeeded)
+                | (Running, Killed)
+                | (MustSuspend, Suspended)
+                | (MustSuspend, Succeeded) // completed before the command arrived
+                | (MustSuspend, Killed)
+                | (MustSuspend, MustKill)
+                | (Suspended, MustResume)
+                | (Suspended, MustKill)
+                | (Suspended, Killed)
+                | (MustResume, Running)
+                | (MustResume, Killed)
+                | (MustResume, MustKill)
+                | (MustKill, Killed)
+                | (MustKill, Succeeded) // completed before the command arrived
+                | (Killed, Pending)
+        )
+    }
+}
+
+/// JobTracker-side bookkeeping for one task.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TaskRuntime {
+    /// The task's identifier.
+    pub id: TaskId,
+    /// Bytes of input this task consumes.
+    pub input_bytes: u64,
+    /// Nodes holding a local replica of the input (empty for synthetic input).
+    pub preferred_nodes: Vec<NodeId>,
+    /// Current JobTracker-side state.
+    pub state: TaskState,
+    /// Last reported progress in `[0, 1]` (fraction of input processed).
+    pub progress: f64,
+    /// Node where the current attempt runs or is suspended.
+    pub node: Option<NodeId>,
+    /// Number of attempts created so far.
+    pub attempts_made: u32,
+    /// Identifier of the live attempt, if any.
+    pub current_attempt: Option<AttemptId>,
+    /// When the first attempt started.
+    pub first_launched_at: Option<SimTime>,
+    /// When the task succeeded.
+    pub finished_at: Option<SimTime>,
+    /// Work thrown away because attempts were killed.
+    pub wasted_work: SimDuration,
+    /// Number of suspend/resume cycles the task went through.
+    pub suspend_cycles: u32,
+    /// Cumulative bytes of this task's memory paged out to swap (over all
+    /// attempts); the quantity reported in Figure 4.
+    pub paged_out_bytes: u64,
+    /// Cumulative bytes paged back in.
+    pub paged_in_bytes: u64,
+}
+
+impl TaskRuntime {
+    /// Creates the bookkeeping entry for a freshly defined task.
+    pub fn new(id: TaskId, input_bytes: u64, preferred_nodes: Vec<NodeId>) -> Self {
+        TaskRuntime {
+            id,
+            input_bytes,
+            preferred_nodes,
+            state: TaskState::Pending,
+            progress: 0.0,
+            node: None,
+            attempts_made: 0,
+            current_attempt: None,
+            first_launched_at: None,
+            finished_at: None,
+            wasted_work: SimDuration::ZERO,
+            suspend_cycles: 0,
+            paged_out_bytes: 0,
+            paged_in_bytes: 0,
+        }
+    }
+
+    /// Transitions the task to `next`, panicking on illegal transitions: an
+    /// illegal transition is always an engine bug, never a recoverable
+    /// runtime condition.
+    pub fn set_state(&mut self, next: TaskState) {
+        assert!(
+            self.state.can_transition_to(next),
+            "illegal task state transition {:?} -> {:?} for {:?}",
+            self.state,
+            next,
+            self.id
+        );
+        self.state = next;
+    }
+
+    /// The next attempt id for this task.
+    pub fn next_attempt(&mut self) -> AttemptId {
+        let id = AttemptId {
+            task: self.id,
+            number: self.attempts_made,
+        };
+        self.attempts_made += 1;
+        id
+    }
+}
+
+/// JobTracker-side bookkeeping for one job.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct JobRuntime {
+    /// The job's identifier.
+    pub id: JobId,
+    /// The submitted specification.
+    pub spec: JobSpec,
+    /// Submission time.
+    pub submitted_at: SimTime,
+    /// Completion time of the last task, once the job is done.
+    pub completed_at: Option<SimTime>,
+    /// All tasks of the job (maps first, then reduces).
+    pub tasks: Vec<TaskRuntime>,
+}
+
+impl JobRuntime {
+    /// Looks up a task by id.
+    pub fn task(&self, id: TaskId) -> Option<&TaskRuntime> {
+        self.tasks.iter().find(|t| t.id == id)
+    }
+
+    /// Mutable task lookup.
+    pub fn task_mut(&mut self, id: TaskId) -> Option<&mut TaskRuntime> {
+        self.tasks.iter_mut().find(|t| t.id == id)
+    }
+
+    /// True when every task has succeeded.
+    pub fn is_complete(&self) -> bool {
+        !self.tasks.is_empty() && self.tasks.iter().all(|t| t.state.is_terminal())
+    }
+
+    /// Time from submission to completion, if the job is done — the paper's
+    /// *sojourn time* metric.
+    pub fn sojourn(&self) -> Option<SimDuration> {
+        self.completed_at.map(|c| c - self.submitted_at)
+    }
+
+    /// Total work wasted by killed attempts across all tasks.
+    pub fn wasted_work(&self) -> SimDuration {
+        self.tasks
+            .iter()
+            .fold(SimDuration::ZERO, |acc, t| acc + t.wasted_work)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tid() -> TaskId {
+        TaskId {
+            job: JobId(1),
+            kind: TaskKind::Map,
+            index: 0,
+        }
+    }
+
+    #[test]
+    fn identifiers_format_like_hadoop() {
+        let t = tid();
+        assert_eq!(format!("{t}"), "task_0001_m_000000");
+        let a = AttemptId { task: t, number: 2 };
+        assert_eq!(format!("{a}"), "attempt_0001_m_000000_2");
+        assert_eq!(format!("{}", JobId(7)), "job_0007");
+    }
+
+    #[test]
+    fn spec_builders() {
+        let spec = JobSpec::map_only("tl", "/input")
+            .with_priority(-1)
+            .with_profile(TaskProfile::memory_hungry(2_000_000_000))
+            .with_reduces(2);
+        assert_eq!(spec.priority, -1);
+        assert_eq!(spec.reduce_tasks, 2);
+        assert_eq!(spec.profile.state_memory, 2_000_000_000);
+        let synth = JobSpec::synthetic("s", 4, 1024);
+        assert!(matches!(synth.input, MapInput::Synthetic { tasks: 4, .. }));
+    }
+
+    #[test]
+    fn legal_suspend_resume_lifecycle() {
+        let mut t = TaskRuntime::new(tid(), 512, vec![]);
+        t.set_state(TaskState::Running);
+        t.set_state(TaskState::MustSuspend);
+        t.set_state(TaskState::Suspended);
+        t.set_state(TaskState::MustResume);
+        t.set_state(TaskState::Running);
+        t.set_state(TaskState::Succeeded);
+        assert!(t.state.is_terminal());
+    }
+
+    #[test]
+    fn legal_kill_and_reschedule_lifecycle() {
+        let mut t = TaskRuntime::new(tid(), 512, vec![]);
+        t.set_state(TaskState::Running);
+        t.set_state(TaskState::MustKill);
+        t.set_state(TaskState::Killed);
+        t.set_state(TaskState::Pending);
+        t.set_state(TaskState::Running);
+        t.set_state(TaskState::Succeeded);
+    }
+
+    #[test]
+    fn completion_can_race_a_suspend_command() {
+        // "The following heartbeat notifies the JobTracker whether the task
+        // has been suspended — or whether it completed in the meanwhile."
+        let mut t = TaskRuntime::new(tid(), 512, vec![]);
+        t.set_state(TaskState::Running);
+        t.set_state(TaskState::MustSuspend);
+        t.set_state(TaskState::Succeeded);
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal task state transition")]
+    fn illegal_transition_panics() {
+        let mut t = TaskRuntime::new(tid(), 512, vec![]);
+        t.set_state(TaskState::Suspended); // Pending -> Suspended is illegal
+    }
+
+    #[test]
+    fn state_predicates() {
+        assert!(TaskState::Pending.is_schedulable());
+        assert!(TaskState::Killed.is_schedulable());
+        assert!(!TaskState::Suspended.is_schedulable());
+        assert!(TaskState::Running.occupies_slot());
+        assert!(TaskState::MustSuspend.occupies_slot());
+        assert!(!TaskState::Suspended.occupies_slot());
+        assert!(TaskState::Succeeded.is_terminal());
+        assert!(!TaskState::Killed.is_terminal());
+    }
+
+    #[test]
+    fn attempt_numbers_increment() {
+        let mut t = TaskRuntime::new(tid(), 512, vec![]);
+        assert_eq!(t.next_attempt().number, 0);
+        assert_eq!(t.next_attempt().number, 1);
+        assert_eq!(t.attempts_made, 2);
+    }
+
+    #[test]
+    fn job_runtime_completion_and_sojourn() {
+        let spec = JobSpec::synthetic("j", 1, 100);
+        let mut job = JobRuntime {
+            id: JobId(1),
+            spec,
+            submitted_at: SimTime::from_secs(10),
+            completed_at: None,
+            tasks: vec![TaskRuntime::new(tid(), 100, vec![])],
+        };
+        assert!(!job.is_complete());
+        assert!(job.sojourn().is_none());
+        job.tasks[0].set_state(TaskState::Running);
+        job.tasks[0].set_state(TaskState::Succeeded);
+        job.completed_at = Some(SimTime::from_secs(110));
+        assert!(job.is_complete());
+        assert_eq!(job.sojourn().unwrap(), SimDuration::from_secs(100));
+        assert!(job.task(tid()).is_some());
+        assert!(job.task_mut(tid()).is_some());
+    }
+}

@@ -1,0 +1,324 @@
+//! Experiment-facing metrics and the end-of-run report.
+//!
+//! The paper's two performance metrics (Section IV-B) are:
+//!
+//! * **sojourn time** of the high-priority job `th` — submission to
+//!   completion;
+//! * **makespan** of the whole workload — first submission to last
+//!   completion.
+//!
+//! plus, for the overhead analysis of Figure 4, the number of bytes paged
+//! out for the preempted task's process.
+
+use crate::job::{JobId, JobRuntime, TaskId};
+use mrp_dfs::NodeId;
+use mrp_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Per-task outcome of a simulation run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TaskReport {
+    /// The task.
+    pub id: TaskId,
+    /// Final reported progress (1.0 when successful).
+    pub progress: f64,
+    /// Number of attempts that were created.
+    pub attempts: u32,
+    /// Number of suspend/resume cycles.
+    pub suspend_cycles: u32,
+    /// Work thrown away because attempts were killed, in seconds.
+    pub wasted_work_secs: f64,
+    /// Cumulative bytes of this task's memory paged out to swap.
+    pub paged_out_bytes: u64,
+    /// Cumulative bytes paged back in from swap.
+    pub paged_in_bytes: u64,
+    /// When the first attempt launched.
+    pub first_launched_at: Option<SimTime>,
+    /// When the task succeeded.
+    pub finished_at: Option<SimTime>,
+}
+
+/// Per-job outcome of a simulation run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct JobReport {
+    /// The job.
+    pub id: JobId,
+    /// The job's name (e.g. `th`, `tl`).
+    pub name: String,
+    /// Its priority.
+    pub priority: i32,
+    /// Submission time.
+    pub submitted_at: SimTime,
+    /// Completion time, if the job finished.
+    pub completed_at: Option<SimTime>,
+    /// Sojourn time in seconds, if the job finished.
+    pub sojourn_secs: Option<f64>,
+    /// Per-task details.
+    pub tasks: Vec<TaskReport>,
+}
+
+impl JobReport {
+    /// Builds a report from the JobTracker's bookkeeping.
+    pub fn from_runtime(job: &JobRuntime) -> Self {
+        JobReport {
+            id: job.id,
+            name: job.spec.name.clone(),
+            priority: job.spec.priority,
+            submitted_at: job.submitted_at,
+            completed_at: job.completed_at,
+            sojourn_secs: job.sojourn().map(|d| d.as_secs_f64()),
+            tasks: job
+                .tasks
+                .iter()
+                .map(|t| TaskReport {
+                    id: t.id,
+                    progress: t.progress,
+                    attempts: t.attempts_made,
+                    suspend_cycles: t.suspend_cycles,
+                    wasted_work_secs: t.wasted_work.as_secs_f64(),
+                    paged_out_bytes: t.paged_out_bytes,
+                    paged_in_bytes: t.paged_in_bytes,
+                    first_launched_at: t.first_launched_at,
+                    finished_at: t.finished_at,
+                })
+                .collect(),
+        }
+    }
+
+    /// Total paged-out bytes across the job's tasks.
+    pub fn paged_out_bytes(&self) -> u64 {
+        self.tasks.iter().map(|t| t.paged_out_bytes).sum()
+    }
+
+    /// Total wasted work across the job's tasks, in seconds.
+    pub fn wasted_work_secs(&self) -> f64 {
+        self.tasks.iter().map(|t| t.wasted_work_secs).sum()
+    }
+}
+
+/// Per-node OS statistics at the end of a run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NodeReport {
+    /// The node.
+    pub id: NodeId,
+    /// Bytes written to the swap device over the whole run.
+    pub swap_out_bytes: u64,
+    /// Bytes read back from the swap device.
+    pub swap_in_bytes: u64,
+    /// Bytes read sequentially from disk (block reads).
+    pub disk_read_bytes: u64,
+    /// Bytes written sequentially to disk.
+    pub disk_write_bytes: u64,
+    /// Number of OOM-killer invocations on this node.
+    pub oom_kills: u64,
+}
+
+/// The complete outcome of one simulated run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClusterReport {
+    /// One entry per submitted job, in submission order.
+    pub jobs: Vec<JobReport>,
+    /// One entry per node.
+    pub nodes: Vec<NodeReport>,
+    /// Virtual time when the simulation stopped.
+    pub finished_at: SimTime,
+}
+
+impl ClusterReport {
+    /// Finds a job's report by name (the paper refers to jobs as `th`/`tl`).
+    pub fn job(&self, name: &str) -> Option<&JobReport> {
+        self.jobs.iter().find(|j| j.name == name)
+    }
+
+    /// Sojourn time in seconds of the job with the given name.
+    pub fn sojourn_secs(&self, name: &str) -> Option<f64> {
+        self.job(name).and_then(|j| j.sojourn_secs)
+    }
+
+    /// The workload makespan: first submission to last completion, in
+    /// seconds. `None` if any job is still incomplete.
+    pub fn makespan_secs(&self) -> Option<f64> {
+        if self.jobs.is_empty() {
+            return None;
+        }
+        let first_submit = self.jobs.iter().map(|j| j.submitted_at).min()?;
+        let mut last_completion = SimTime::ZERO;
+        for j in &self.jobs {
+            last_completion = last_completion.max(j.completed_at?);
+        }
+        Some((last_completion - first_submit).as_secs_f64())
+    }
+
+    /// Total bytes written to swap across all nodes.
+    pub fn total_swap_out_bytes(&self) -> u64 {
+        self.nodes.iter().map(|n| n.swap_out_bytes).sum()
+    }
+
+    /// Total bytes read from swap across all nodes.
+    pub fn total_swap_in_bytes(&self) -> u64 {
+        self.nodes.iter().map(|n| n.swap_in_bytes).sum()
+    }
+
+    /// Total work wasted by killed attempts, in seconds.
+    pub fn total_wasted_work_secs(&self) -> f64 {
+        self.jobs.iter().map(|j| j.wasted_work_secs()).sum()
+    }
+
+    /// True when every submitted job completed.
+    pub fn all_jobs_complete(&self) -> bool {
+        self.jobs.iter().all(|j| j.completed_at.is_some())
+    }
+}
+
+/// The kinds of schedule events recorded in the run trace (used by the
+/// examples to print Figure-1-style task execution schedules).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// A job was submitted.
+    JobSubmitted,
+    /// A task attempt was launched.
+    Launched,
+    /// A task was suspended (`SIGTSTP` delivered).
+    Suspended,
+    /// A task was resumed (`SIGCONT` delivered).
+    Resumed,
+    /// A task attempt was killed.
+    Killed,
+    /// A task completed successfully.
+    Completed,
+    /// A job completed.
+    JobCompleted,
+}
+
+/// One entry of the run trace.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// When it happened.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: TraceKind,
+    /// The job involved.
+    pub job: JobId,
+    /// The task involved, if the event is task-level.
+    pub task: Option<TaskId>,
+    /// The node involved, if any.
+    pub node: Option<NodeId>,
+    /// Extra context (progress at suspension, paging stall, …).
+    pub detail: String,
+}
+
+impl TraceEntry {
+    /// Renders the entry as a single human-readable line.
+    pub fn to_line(&self) -> String {
+        let task = self
+            .task
+            .map(|t| format!(" {t}"))
+            .unwrap_or_default();
+        let node = self
+            .node
+            .map(|n| format!(" on {n}"))
+            .unwrap_or_default();
+        let detail = if self.detail.is_empty() {
+            String::new()
+        } else {
+            format!(" ({})", self.detail)
+        };
+        format!("[{:>9}] {:?} {}{task}{node}{detail}", format!("{}", self.at), self.kind, self.job)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobSpec, TaskKind, TaskRuntime, TaskState};
+
+    fn report_with_two_jobs() -> ClusterReport {
+        let make = |id: u32, name: &str, submit: u64, complete: Option<u64>| {
+            let mut job = JobRuntime {
+                id: JobId(id),
+                spec: JobSpec::synthetic(name, 1, 100),
+                submitted_at: SimTime::from_secs(submit),
+                completed_at: complete.map(SimTime::from_secs),
+                tasks: vec![TaskRuntime::new(
+                    TaskId {
+                        job: JobId(id),
+                        kind: TaskKind::Map,
+                        index: 0,
+                    },
+                    100,
+                    vec![],
+                )],
+            };
+            if complete.is_some() {
+                job.tasks[0].set_state(TaskState::Running);
+                job.tasks[0].set_state(TaskState::Succeeded);
+            }
+            JobReport::from_runtime(&job)
+        };
+        ClusterReport {
+            jobs: vec![make(1, "tl", 0, Some(170)), make(2, "th", 40, Some(125))],
+            nodes: vec![NodeReport {
+                id: NodeId(0),
+                swap_out_bytes: 1024,
+                swap_in_bytes: 512,
+                disk_read_bytes: 0,
+                disk_write_bytes: 0,
+                oom_kills: 0,
+            }],
+            finished_at: SimTime::from_secs(170),
+        }
+    }
+
+    #[test]
+    fn sojourn_and_makespan() {
+        let r = report_with_two_jobs();
+        assert_eq!(r.sojourn_secs("tl"), Some(170.0));
+        assert_eq!(r.sojourn_secs("th"), Some(85.0));
+        assert_eq!(r.makespan_secs(), Some(170.0));
+        assert!(r.all_jobs_complete());
+        assert_eq!(r.total_swap_out_bytes(), 1024);
+        assert_eq!(r.total_swap_in_bytes(), 512);
+        assert!(r.job("missing").is_none());
+    }
+
+    #[test]
+    fn incomplete_jobs_have_no_makespan() {
+        let mut r = report_with_two_jobs();
+        r.jobs[1].completed_at = None;
+        r.jobs[1].sojourn_secs = None;
+        assert_eq!(r.makespan_secs(), None);
+        assert!(!r.all_jobs_complete());
+    }
+
+    #[test]
+    fn trace_lines_are_readable() {
+        let e = TraceEntry {
+            at: SimTime::from_secs(42),
+            kind: TraceKind::Suspended,
+            job: JobId(1),
+            task: Some(TaskId {
+                job: JobId(1),
+                kind: TaskKind::Map,
+                index: 0,
+            }),
+            node: Some(NodeId(0)),
+            detail: "progress 62%".into(),
+        };
+        let line = e.to_line();
+        assert!(line.contains("Suspended"));
+        assert!(line.contains("job_0001"));
+        assert!(line.contains("progress 62%"));
+    }
+
+    #[test]
+    fn empty_report_has_no_makespan() {
+        let r = ClusterReport {
+            jobs: vec![],
+            nodes: vec![],
+            finished_at: SimTime::ZERO,
+        };
+        assert_eq!(r.makespan_secs(), None);
+        assert!(r.all_jobs_complete());
+        assert_eq!(r.total_wasted_work_secs(), 0.0);
+    }
+}

@@ -1,0 +1,421 @@
+//! The scheduler plug-in interface and the default FIFO policy.
+//!
+//! The engine separates *mechanism* from *policy* exactly as the paper does:
+//! the JobTracker implements the mechanics of launching, killing, suspending
+//! and resuming tasks (including the heartbeat-piggybacked command protocol),
+//! while a [`SchedulerPolicy`] decides *which* task runs or is preempted
+//! *where* and *when*. The paper's dummy trigger-driven scheduler, the
+//! preemptive FAIR scheduler and the HFSP-style size-based scheduler all live
+//! in the `mrp-preempt` crate and implement this trait.
+
+use crate::job::{JobId, JobRuntime, JobSpec, TaskId, TaskKind, TaskState};
+use mrp_dfs::NodeId;
+use mrp_sim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A command a scheduler hands back to the JobTracker.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SchedulerAction {
+    /// Submit a brand-new job (used by trigger-driven experiment schedulers).
+    SubmitJob(JobSpec),
+    /// Launch a schedulable task on a node with a free slot.
+    Launch {
+        /// The task to launch.
+        task: TaskId,
+        /// The node to launch it on.
+        node: NodeId,
+    },
+    /// Ask the task's TaskTracker to suspend it (`SIGTSTP`) at its next
+    /// heartbeat. This is the paper's new primitive.
+    Suspend {
+        /// The task to suspend.
+        task: TaskId,
+    },
+    /// Ask the task's TaskTracker to resume it (`SIGCONT`) at its next
+    /// heartbeat; requires a free slot on that node when the command arrives.
+    Resume {
+        /// The task to resume.
+        task: TaskId,
+    },
+    /// Ask the task's TaskTracker to kill the current attempt; the task
+    /// becomes schedulable again from scratch.
+    Kill {
+        /// The task to kill.
+        task: TaskId,
+    },
+}
+
+/// Snapshot of one node's slot occupancy, given to scheduler policies.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NodeView {
+    /// The node.
+    pub id: NodeId,
+    /// Free map slots right now.
+    pub free_map_slots: u32,
+    /// Free reduce slots right now.
+    pub free_reduce_slots: u32,
+    /// Tasks currently occupying slots on this node.
+    pub running: Vec<TaskId>,
+    /// Tasks suspended on this node (they occupy memory but no slot).
+    pub suspended: Vec<TaskId>,
+}
+
+impl NodeView {
+    /// Free slots of the given kind.
+    pub fn free_slots(&self, kind: TaskKind) -> u32 {
+        match kind {
+            TaskKind::Map => self.free_map_slots,
+            TaskKind::Reduce => self.free_reduce_slots,
+        }
+    }
+}
+
+/// Read-only view of the cluster handed to scheduler policies.
+pub struct SchedulerContext<'a> {
+    /// Current virtual time.
+    pub now: SimTime,
+    /// All jobs the JobTracker knows about, keyed by id (insertion ordered).
+    pub jobs: &'a BTreeMap<JobId, JobRuntime>,
+    /// Per-node slot occupancy snapshots.
+    pub nodes: &'a [NodeView],
+}
+
+impl<'a> SchedulerContext<'a> {
+    /// The view of a specific node, if it exists.
+    pub fn node(&self, id: NodeId) -> Option<&NodeView> {
+        self.nodes.iter().find(|n| n.id == id)
+    }
+
+    /// Looks up a task across all jobs.
+    pub fn task(&self, id: TaskId) -> Option<&crate::job::TaskRuntime> {
+        self.jobs.get(&id.job).and_then(|j| j.task(id))
+    }
+
+    /// All tasks in a schedulable state, ordered by (priority desc, job
+    /// submission order, task index): the order a priority-aware FIFO
+    /// scheduler would serve them in.
+    pub fn schedulable_tasks(&self) -> Vec<TaskId> {
+        let mut jobs: Vec<&JobRuntime> = self.jobs.values().collect();
+        jobs.sort_by(|a, b| {
+            b.spec
+                .priority
+                .cmp(&a.spec.priority)
+                .then(a.submitted_at.cmp(&b.submitted_at))
+                .then(a.id.cmp(&b.id))
+        });
+        let mut out = Vec::new();
+        for job in jobs {
+            for t in &job.tasks {
+                if t.state.is_schedulable() {
+                    out.push(t.id);
+                }
+            }
+        }
+        out
+    }
+
+    /// All tasks currently suspended, in the same priority order.
+    pub fn suspended_tasks(&self) -> Vec<TaskId> {
+        let mut jobs: Vec<&JobRuntime> = self.jobs.values().collect();
+        jobs.sort_by(|a, b| {
+            b.spec
+                .priority
+                .cmp(&a.spec.priority)
+                .then(a.submitted_at.cmp(&b.submitted_at))
+                .then(a.id.cmp(&b.id))
+        });
+        let mut out = Vec::new();
+        for job in jobs {
+            for t in &job.tasks {
+                if t.state == TaskState::Suspended {
+                    out.push(t.id);
+                }
+            }
+        }
+        out
+    }
+
+    /// True when there is at least one incomplete job.
+    pub fn has_incomplete_jobs(&self) -> bool {
+        self.jobs.values().any(|j| !j.is_complete())
+    }
+}
+
+/// A pluggable scheduling policy driven by JobTracker events.
+///
+/// Every hook returns the actions the policy wants to perform; the engine
+/// validates them (slot availability, task states) and runs the preemption
+/// protocol for the ones that need TaskTracker cooperation.
+pub trait SchedulerPolicy {
+    /// Called when `node` heartbeats and is willing to accept work.
+    fn on_heartbeat(&mut self, ctx: &SchedulerContext<'_>, node: NodeId) -> Vec<SchedulerAction>;
+
+    /// Called right after a job is submitted.
+    fn on_job_submitted(&mut self, _ctx: &SchedulerContext<'_>, _job: JobId) -> Vec<SchedulerAction> {
+        Vec::new()
+    }
+
+    /// Called when a task reaches a terminal state (succeeded).
+    fn on_task_finished(&mut self, _ctx: &SchedulerContext<'_>, _task: TaskId) -> Vec<SchedulerAction> {
+        Vec::new()
+    }
+
+    /// Called when a job completes (all its tasks succeeded).
+    fn on_job_finished(&mut self, _ctx: &SchedulerContext<'_>, _job: JobId) -> Vec<SchedulerAction> {
+        Vec::new()
+    }
+
+    /// Called when a progress trigger registered with
+    /// [`crate::cluster::Cluster::add_progress_trigger`] fires.
+    fn on_progress_trigger(
+        &mut self,
+        _ctx: &SchedulerContext<'_>,
+        _task: TaskId,
+        _fraction: f64,
+    ) -> Vec<SchedulerAction> {
+        Vec::new()
+    }
+
+    /// Human-readable policy name (for reports and traces).
+    fn name(&self) -> &str {
+        "scheduler"
+    }
+}
+
+/// The default policy: priority-aware FIFO without preemption.
+///
+/// On every heartbeat it fills the node's free slots with schedulable tasks in
+/// (priority, submission order) order, preferring data-local tasks, and
+/// resumes suspended tasks when slots free up (so that externally requested
+/// suspensions — e.g. from the command-line API — eventually finish).
+#[derive(Debug, Default, Clone)]
+pub struct FifoScheduler {
+    /// Whether the policy resumes suspended tasks when slots are free.
+    pub resume_suspended: bool,
+}
+
+impl FifoScheduler {
+    /// Creates the default FIFO policy that also resumes suspended tasks.
+    pub fn new() -> Self {
+        FifoScheduler {
+            resume_suspended: true,
+        }
+    }
+}
+
+impl SchedulerPolicy for FifoScheduler {
+    fn on_heartbeat(&mut self, ctx: &SchedulerContext<'_>, node: NodeId) -> Vec<SchedulerAction> {
+        let Some(view) = ctx.node(node) else {
+            return Vec::new();
+        };
+        let mut actions = Vec::new();
+        let mut free_map = view.free_map_slots;
+        let mut free_reduce = view.free_reduce_slots;
+
+        // First give slots back to suspended tasks stranded on this node.
+        if self.resume_suspended {
+            for task in ctx.suspended_tasks() {
+                let Some(t) = ctx.task(task) else { continue };
+                if t.node != Some(node) {
+                    continue;
+                }
+                let free = match task.kind {
+                    TaskKind::Map => &mut free_map,
+                    TaskKind::Reduce => &mut free_reduce,
+                };
+                if *free > 0 {
+                    *free -= 1;
+                    actions.push(SchedulerAction::Resume { task });
+                }
+            }
+        }
+
+        // Then launch fresh work, preferring data-local tasks.
+        let schedulable = ctx.schedulable_tasks();
+        let mut chosen: Vec<TaskId> = Vec::new();
+        for &prefer_local in &[true, false] {
+            for &task in &schedulable {
+                if chosen.contains(&task) {
+                    continue;
+                }
+                let Some(t) = ctx.task(task) else { continue };
+                let local = t.preferred_nodes.is_empty() || t.preferred_nodes.contains(&node);
+                if prefer_local && !local {
+                    continue;
+                }
+                let free = match task.kind {
+                    TaskKind::Map => &mut free_map,
+                    TaskKind::Reduce => &mut free_reduce,
+                };
+                if *free == 0 {
+                    continue;
+                }
+                *free -= 1;
+                chosen.push(task);
+                actions.push(SchedulerAction::Launch { task, node });
+            }
+        }
+        actions
+    }
+
+    fn name(&self) -> &str {
+        "fifo"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobSpec, TaskRuntime};
+
+    fn make_job(id: u32, priority: i32, submitted: u64, tasks: usize) -> JobRuntime {
+        let spec = JobSpec::synthetic(format!("job{id}"), tasks as u32, 100).with_priority(priority);
+        let job_id = JobId(id);
+        JobRuntime {
+            id: job_id,
+            spec,
+            submitted_at: SimTime::from_secs(submitted),
+            completed_at: None,
+            tasks: (0..tasks)
+                .map(|i| {
+                    TaskRuntime::new(
+                        TaskId {
+                            job: job_id,
+                            kind: TaskKind::Map,
+                            index: i as u32,
+                        },
+                        100,
+                        vec![],
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    fn view(id: u32, free_map: u32) -> NodeView {
+        NodeView {
+            id: NodeId(id),
+            free_map_slots: free_map,
+            free_reduce_slots: 0,
+            running: vec![],
+            suspended: vec![],
+        }
+    }
+
+    #[test]
+    fn schedulable_tasks_respect_priority_then_fifo() {
+        let mut jobs = BTreeMap::new();
+        jobs.insert(JobId(1), make_job(1, 0, 0, 1));
+        jobs.insert(JobId(2), make_job(2, 5, 10, 1));
+        jobs.insert(JobId(3), make_job(3, 0, 5, 1));
+        let nodes = [view(0, 1)];
+        let ctx = SchedulerContext {
+            now: SimTime::from_secs(20),
+            jobs: &jobs,
+            nodes: &nodes,
+        };
+        let order = ctx.schedulable_tasks();
+        assert_eq!(order[0].job, JobId(2), "highest priority first");
+        assert_eq!(order[1].job, JobId(1), "then FIFO by submission");
+        assert_eq!(order[2].job, JobId(3));
+    }
+
+    #[test]
+    fn fifo_fills_free_slots_only() {
+        let mut jobs = BTreeMap::new();
+        jobs.insert(JobId(1), make_job(1, 0, 0, 3));
+        let nodes = [view(0, 2)];
+        let ctx = SchedulerContext {
+            now: SimTime::ZERO,
+            jobs: &jobs,
+            nodes: &nodes,
+        };
+        let mut fifo = FifoScheduler::new();
+        let actions = fifo.on_heartbeat(&ctx, NodeId(0));
+        let launches = actions
+            .iter()
+            .filter(|a| matches!(a, SchedulerAction::Launch { .. }))
+            .count();
+        assert_eq!(launches, 2, "only as many launches as free slots");
+    }
+
+    #[test]
+    fn fifo_prefers_data_local_tasks() {
+        let mut jobs = BTreeMap::new();
+        let mut job = make_job(1, 0, 0, 2);
+        job.tasks[0].preferred_nodes = vec![NodeId(5)];
+        job.tasks[1].preferred_nodes = vec![NodeId(0)];
+        jobs.insert(JobId(1), job);
+        let nodes = [view(0, 1)];
+        let ctx = SchedulerContext {
+            now: SimTime::ZERO,
+            jobs: &jobs,
+            nodes: &nodes,
+        };
+        let mut fifo = FifoScheduler::new();
+        let actions = fifo.on_heartbeat(&ctx, NodeId(0));
+        assert_eq!(actions.len(), 1);
+        match &actions[0] {
+            SchedulerAction::Launch { task, node } => {
+                assert_eq!(task.index, 1, "the node-local task should win the slot");
+                assert_eq!(*node, NodeId(0));
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fifo_resumes_suspended_tasks_on_their_node() {
+        let mut jobs = BTreeMap::new();
+        let mut job = make_job(1, 0, 0, 1);
+        job.tasks[0].state = TaskState::Pending;
+        job.tasks[0].set_state(TaskState::Running);
+        job.tasks[0].set_state(TaskState::MustSuspend);
+        job.tasks[0].set_state(TaskState::Suspended);
+        job.tasks[0].node = Some(NodeId(0));
+        jobs.insert(JobId(1), job);
+        let mut v = view(0, 1);
+        v.suspended = vec![TaskId {
+            job: JobId(1),
+            kind: TaskKind::Map,
+            index: 0,
+        }];
+        let nodes = [v];
+        let ctx = SchedulerContext {
+            now: SimTime::ZERO,
+            jobs: &jobs,
+            nodes: &nodes,
+        };
+        let mut fifo = FifoScheduler::new();
+        let actions = fifo.on_heartbeat(&ctx, NodeId(0));
+        assert!(matches!(actions[0], SchedulerAction::Resume { .. }));
+
+        // On a different node nothing happens.
+        let actions = fifo.on_heartbeat(&ctx, NodeId(9));
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn context_helpers() {
+        let mut jobs = BTreeMap::new();
+        jobs.insert(JobId(1), make_job(1, 0, 0, 1));
+        let nodes = [view(0, 1)];
+        let ctx = SchedulerContext {
+            now: SimTime::ZERO,
+            jobs: &jobs,
+            nodes: &nodes,
+        };
+        assert!(ctx.node(NodeId(0)).is_some());
+        assert!(ctx.node(NodeId(4)).is_none());
+        assert!(ctx.has_incomplete_jobs());
+        let tid = TaskId {
+            job: JobId(1),
+            kind: TaskKind::Map,
+            index: 0,
+        };
+        assert!(ctx.task(tid).is_some());
+        assert_eq!(ctx.nodes[0].free_slots(TaskKind::Map), 1);
+        assert_eq!(ctx.nodes[0].free_slots(TaskKind::Reduce), 0);
+    }
+}

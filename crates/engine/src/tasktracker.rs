@@ -1,0 +1,560 @@
+//! The TaskTracker: slot management and task child processes on one node.
+//!
+//! In Hadoop 1, map and reduce tasks are ordinary Unix processes running in
+//! child JVMs spawned by the TaskTracker, which is what makes the paper's
+//! OS-assisted preemption possible in the first place: the TaskTracker can
+//! deliver `SIGTSTP` and `SIGCONT` to them like to any other process.
+//!
+//! The TaskTracker owns the node's [`Kernel`] (process table + memory + disk)
+//! and its map/reduce slots. All methods mutate state and return durations or
+//! byte counts; event scheduling stays in the
+//! [`Cluster`](crate::cluster::Cluster).
+
+use crate::attempt::{Attempt, AttemptState, ExecPlan};
+use crate::job::{AttemptId, TaskKind};
+use mrp_dfs::NodeId;
+use mrp_sim::{SimDuration, SimTime};
+use mrp_simos::{Kernel, NodeOsConfig, OsError, Pid, Signal};
+use std::collections::HashMap;
+
+/// Result of allocating a task's memory at the end of its setup phase.
+#[derive(Clone, Debug, Default)]
+pub struct AllocationOutcome {
+    /// Paging stall charged to the allocating task.
+    pub stall: SimDuration,
+    /// Bytes of other processes' memory paged out to make room.
+    pub paged_out_bytes: u64,
+    /// Tasks whose processes were killed by the OOM killer to satisfy the
+    /// allocation (rare; only when swap is exhausted).
+    pub oom_killed: Vec<AttemptId>,
+}
+
+/// Result of terminating an attempt (kill or completion).
+#[derive(Clone, Debug, Default)]
+pub struct TerminationOutcome {
+    /// Cumulative bytes this attempt's process had paged out over its life.
+    pub paged_out_bytes: u64,
+    /// Cumulative bytes paged back in.
+    pub paged_in_bytes: u64,
+    /// Whether the attempt held a slot at termination time.
+    pub held_slot: bool,
+}
+
+/// Errors surfaced by TaskTracker operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TrackerError {
+    /// No free slot of the required kind.
+    NoFreeSlot,
+    /// The attempt is not present on this tracker.
+    UnknownAttempt,
+    /// The attempt is in a state that does not allow the operation.
+    InvalidState,
+    /// The underlying OS refused the operation.
+    Os(OsError),
+}
+
+impl std::fmt::Display for TrackerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrackerError::NoFreeSlot => write!(f, "no free slot"),
+            TrackerError::UnknownAttempt => write!(f, "unknown attempt"),
+            TrackerError::InvalidState => write!(f, "invalid attempt state"),
+            TrackerError::Os(e) => write!(f, "os error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrackerError {}
+
+impl From<OsError> for TrackerError {
+    fn from(e: OsError) -> Self {
+        TrackerError::Os(e)
+    }
+}
+
+/// The per-node TaskTracker.
+#[derive(Debug)]
+pub struct TaskTracker {
+    /// The node this tracker runs on.
+    pub id: NodeId,
+    kernel: Kernel,
+    map_slots: u32,
+    reduce_slots: u32,
+    used_map_slots: u32,
+    used_reduce_slots: u32,
+    attempts: HashMap<AttemptId, Attempt>,
+}
+
+impl TaskTracker {
+    /// Creates a TaskTracker with the given OS configuration and slot counts.
+    pub fn new(id: NodeId, os: NodeOsConfig, map_slots: u32, reduce_slots: u32) -> Self {
+        TaskTracker {
+            id,
+            kernel: Kernel::new(os),
+            map_slots,
+            reduce_slots,
+            used_map_slots: 0,
+            used_reduce_slots: 0,
+            attempts: HashMap::new(),
+        }
+    }
+
+    /// Read-only access to the node's kernel (for statistics).
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Free map slots.
+    pub fn free_map_slots(&self) -> u32 {
+        self.map_slots - self.used_map_slots
+    }
+
+    /// Free reduce slots.
+    pub fn free_reduce_slots(&self) -> u32 {
+        self.reduce_slots - self.used_reduce_slots
+    }
+
+    /// Free slots of a kind.
+    pub fn free_slots(&self, kind: TaskKind) -> u32 {
+        match kind {
+            TaskKind::Map => self.free_map_slots(),
+            TaskKind::Reduce => self.free_reduce_slots(),
+        }
+    }
+
+    fn occupy_slot(&mut self, kind: TaskKind) -> Result<(), TrackerError> {
+        match kind {
+            TaskKind::Map if self.used_map_slots < self.map_slots => {
+                self.used_map_slots += 1;
+                Ok(())
+            }
+            TaskKind::Reduce if self.used_reduce_slots < self.reduce_slots => {
+                self.used_reduce_slots += 1;
+                Ok(())
+            }
+            _ => Err(TrackerError::NoFreeSlot),
+        }
+    }
+
+    /// Releases a slot of the given kind (used by the cluster when a killed
+    /// task's cleanup attempt finishes).
+    pub fn release_slot(&mut self, kind: TaskKind) {
+        match kind {
+            TaskKind::Map => {
+                debug_assert!(self.used_map_slots > 0, "releasing a map slot that was never taken");
+                self.used_map_slots = self.used_map_slots.saturating_sub(1);
+            }
+            TaskKind::Reduce => {
+                debug_assert!(self.used_reduce_slots > 0, "releasing a reduce slot that was never taken");
+                self.used_reduce_slots = self.used_reduce_slots.saturating_sub(1);
+            }
+        }
+    }
+
+    /// A live attempt, if present.
+    pub fn attempt(&self, id: AttemptId) -> Option<&Attempt> {
+        self.attempts.get(&id)
+    }
+
+    /// Mutable access to a live attempt.
+    pub fn attempt_mut(&mut self, id: AttemptId) -> Option<&mut Attempt> {
+        self.attempts.get_mut(&id)
+    }
+
+    /// Attempts currently running (holding a slot) on this node.
+    pub fn running_attempts(&self) -> Vec<AttemptId> {
+        self.attempts
+            .values()
+            .filter(|a| a.state == AttemptState::Running)
+            .map(|a| a.id)
+            .collect()
+    }
+
+    /// Attempts currently suspended on this node.
+    pub fn suspended_attempts(&self) -> Vec<AttemptId> {
+        self.attempts
+            .values()
+            .filter(|a| a.state == AttemptState::Suspended)
+            .map(|a| a.id)
+            .collect()
+    }
+
+    /// Launches a new attempt: occupies a slot and forks the child process.
+    /// The attempt starts in its setup phase; the caller schedules the
+    /// corresponding phase-completion event.
+    pub fn launch(
+        &mut self,
+        id: AttemptId,
+        kind: TaskKind,
+        plan: ExecPlan,
+        now: SimTime,
+    ) -> Result<Pid, TrackerError> {
+        if self.attempts.contains_key(&id) {
+            return Err(TrackerError::InvalidState);
+        }
+        self.occupy_slot(kind)?;
+        let pid = self.kernel.spawn(format!("{id}"), now);
+        let mut attempt = Attempt::new(id, kind, pid, plan, now);
+        attempt.segment_duration = attempt.plan.setup;
+        self.attempts.insert(id, attempt);
+        Ok(pid)
+    }
+
+    /// Allocates the attempt's memory (base footprint + configured state) at
+    /// the end of its setup phase. Handles OOM by invoking the OOM killer and
+    /// reporting which attempts died.
+    pub fn allocate_task_memory(
+        &mut self,
+        id: AttemptId,
+        now: SimTime,
+    ) -> Result<AllocationOutcome, TrackerError> {
+        let (pid, bytes, dirty) = {
+            let a = self.attempts.get(&id).ok_or(TrackerError::UnknownAttempt)?;
+            (a.pid, a.plan.memory, a.plan.dirty_fraction)
+        };
+        let mut outcome = AllocationOutcome::default();
+        let mut remaining_oom_retries = 4;
+        loop {
+            match self.kernel.allocate(pid, bytes, dirty, now) {
+                Ok(res) => {
+                    outcome.stall += res.stall;
+                    outcome.paged_out_bytes += res.charge.dirty_paged_out + res.charge.clean_dropped;
+                    return Ok(outcome);
+                }
+                Err(OsError::OutOfMemory) if remaining_oom_retries > 0 => {
+                    remaining_oom_retries -= 1;
+                    let Some(victim_pid) = self.kernel.oom_kill(now) else {
+                        return Err(TrackerError::Os(OsError::OutOfMemory));
+                    };
+                    if let Some(victim) = self
+                        .attempts
+                        .values()
+                        .find(|a| a.pid == victim_pid)
+                        .map(|a| a.id)
+                    {
+                        if let Some(v) = self.attempts.get_mut(&victim) {
+                            if v.state == AttemptState::Running {
+                                // It held a slot; the caller must reschedule it.
+                                match v.kind {
+                                    TaskKind::Map => self.used_map_slots = self.used_map_slots.saturating_sub(1),
+                                    TaskKind::Reduce => {
+                                        self.used_reduce_slots = self.used_reduce_slots.saturating_sub(1)
+                                    }
+                                }
+                            }
+                            v.state = AttemptState::Killed;
+                        }
+                        self.attempts.remove(&victim);
+                        outcome.oom_killed.push(victim);
+                    }
+                }
+                Err(e) => return Err(TrackerError::Os(e)),
+            }
+        }
+    }
+
+    /// Records the input read of an attempt against the node's disk and file
+    /// cache (the parse loop overlaps the read, so no extra time is charged).
+    pub fn record_input_read(&mut self, bytes: u64) {
+        let _ = self.kernel.disk_read(bytes);
+    }
+
+    /// Suspends a running attempt with `SIGTSTP`: releases its slot, freezes
+    /// its progress. Returns the progress at suspension time.
+    pub fn suspend(&mut self, id: AttemptId, now: SimTime) -> Result<f64, TrackerError> {
+        let attempt = self.attempts.get_mut(&id).ok_or(TrackerError::UnknownAttempt)?;
+        if attempt.state != AttemptState::Running {
+            return Err(TrackerError::InvalidState);
+        }
+        attempt.interrupt_work(now);
+        attempt.state = AttemptState::Suspended;
+        attempt.segment_event = None;
+        let progress = attempt.progress(now);
+        let kind = attempt.kind;
+        let pid = attempt.pid;
+        self.kernel.signal(pid, Signal::Sigtstp, now)?;
+        self.release_slot(kind);
+        Ok(progress)
+    }
+
+    /// Resumes a suspended attempt with `SIGCONT`: re-occupies a slot and
+    /// faults its swapped memory back in. Returns the page-in stall; the
+    /// caller schedules the remaining work after the stall.
+    pub fn resume(&mut self, id: AttemptId, now: SimTime) -> Result<SimDuration, TrackerError> {
+        let (kind, pid) = {
+            let attempt = self.attempts.get(&id).ok_or(TrackerError::UnknownAttempt)?;
+            if attempt.state != AttemptState::Suspended {
+                return Err(TrackerError::InvalidState);
+            }
+            (attempt.kind, attempt.pid)
+        };
+        self.occupy_slot(kind)?;
+        self.kernel.signal(pid, Signal::Sigcont, now)?;
+        let fault = self.kernel.fault_in_all(pid, now)?;
+        let attempt = self.attempts.get_mut(&id).expect("checked above");
+        attempt.state = AttemptState::Running;
+        Ok(fault.stall)
+    }
+
+    /// Faults in any of the attempt's own memory that ended up in swap (done
+    /// at the start of the finalize phase, when stateful tasks read their
+    /// state back).
+    pub fn fault_in_own_memory(&mut self, id: AttemptId, now: SimTime) -> Result<SimDuration, TrackerError> {
+        let pid = self
+            .attempts
+            .get(&id)
+            .ok_or(TrackerError::UnknownAttempt)?
+            .pid;
+        let out = self.kernel.fault_in_all(pid, now)?;
+        Ok(out.stall)
+    }
+
+    /// Writes the attempt's output to the local disk.
+    pub fn write_output(&mut self, bytes: u64) {
+        let _ = self.kernel.disk_write(bytes);
+    }
+
+    /// Kills an attempt with `SIGKILL`. The slot (if held) stays occupied —
+    /// Hadoop runs a cleanup attempt to delete partial output; the caller
+    /// schedules the cleanup completion and then calls
+    /// [`TaskTracker::release_slot`].
+    pub fn kill(&mut self, id: AttemptId, now: SimTime) -> Result<TerminationOutcome, TrackerError> {
+        let attempt = self.attempts.get_mut(&id).ok_or(TrackerError::UnknownAttempt)?;
+        attempt.interrupt_work(now);
+        let pid = attempt.pid;
+        let held_slot = attempt.state == AttemptState::Running;
+        attempt.state = AttemptState::Killed;
+        let outcome = TerminationOutcome {
+            paged_out_bytes: self.kernel.total_paged_out(pid),
+            paged_in_bytes: self
+                .kernel
+                .proc_memory(pid)
+                .map(|m| m.total_paged_in)
+                .unwrap_or(0),
+            held_slot,
+        };
+        self.kernel.signal(pid, Signal::Sigkill, now)?;
+        self.attempts.remove(&id);
+        Ok(outcome)
+    }
+
+    /// Completes an attempt successfully: the child process exits and the
+    /// slot is released.
+    pub fn complete(&mut self, id: AttemptId, now: SimTime) -> Result<TerminationOutcome, TrackerError> {
+        let attempt = self.attempts.get_mut(&id).ok_or(TrackerError::UnknownAttempt)?;
+        if attempt.state != AttemptState::Running {
+            return Err(TrackerError::InvalidState);
+        }
+        attempt.state = AttemptState::Succeeded;
+        let pid = attempt.pid;
+        let kind = attempt.kind;
+        let outcome = TerminationOutcome {
+            paged_out_bytes: self.kernel.total_paged_out(pid),
+            paged_in_bytes: self
+                .kernel
+                .proc_memory(pid)
+                .map(|m| m.total_paged_in)
+                .unwrap_or(0),
+            held_slot: true,
+        };
+        self.kernel.exit(pid, 0, now)?;
+        self.attempts.remove(&id);
+        self.release_slot(kind);
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attempt::AttemptPhase;
+    use crate::config::TaskDefaults;
+    use crate::job::{JobId, TaskId, TaskProfile};
+    use mrp_dfs::Locality;
+    use mrp_sim::{GIB, MIB};
+    use mrp_simos::DiskConfig;
+
+    fn attempt_id(n: u32) -> AttemptId {
+        AttemptId {
+            task: TaskId {
+                job: JobId(1),
+                kind: TaskKind::Map,
+                index: n,
+            },
+            number: 0,
+        }
+    }
+
+    fn plan(state_memory: u64) -> ExecPlan {
+        ExecPlan::for_map(
+            &TaskDefaults::default(),
+            &DiskConfig::default(),
+            &TaskProfile::memory_hungry(state_memory),
+            512 * MIB,
+            Locality::NodeLocal,
+        )
+    }
+
+    fn tracker() -> TaskTracker {
+        TaskTracker::new(NodeId(0), NodeOsConfig::default(), 1, 1)
+    }
+
+    #[test]
+    fn launch_occupies_a_slot() {
+        let mut tt = tracker();
+        assert_eq!(tt.free_map_slots(), 1);
+        tt.launch(attempt_id(0), TaskKind::Map, plan(0), SimTime::ZERO).unwrap();
+        assert_eq!(tt.free_map_slots(), 0);
+        assert_eq!(tt.free_reduce_slots(), 1);
+        assert_eq!(tt.running_attempts().len(), 1);
+        // Second map launch fails: no free slot.
+        assert_eq!(
+            tt.launch(attempt_id(1), TaskKind::Map, plan(0), SimTime::ZERO).unwrap_err(),
+            TrackerError::NoFreeSlot
+        );
+        // Relaunching the same attempt id is invalid.
+        assert_eq!(
+            tt.launch(attempt_id(0), TaskKind::Map, plan(0), SimTime::ZERO).unwrap_err(),
+            TrackerError::InvalidState
+        );
+    }
+
+    #[test]
+    fn suspend_frees_the_slot_and_resume_takes_it_back() {
+        let mut tt = tracker();
+        tt.launch(attempt_id(0), TaskKind::Map, plan(0), SimTime::ZERO).unwrap();
+        tt.allocate_task_memory(attempt_id(0), SimTime::ZERO).unwrap();
+        // Move into work phase manually (the cluster normally does this).
+        {
+            let a = tt.attempt_mut(attempt_id(0)).unwrap();
+            a.phase = AttemptPhase::Work;
+            a.segment_start = SimTime::from_secs(3);
+        }
+        let progress = tt.suspend(attempt_id(0), SimTime::from_secs(43)).unwrap();
+        assert!(progress > 0.4 && progress < 0.7, "progress {progress}");
+        assert_eq!(tt.free_map_slots(), 1);
+        assert_eq!(tt.suspended_attempts().len(), 1);
+        // Suspending again is invalid.
+        assert_eq!(tt.suspend(attempt_id(0), SimTime::from_secs(44)).unwrap_err(), TrackerError::InvalidState);
+        let stall = tt.resume(attempt_id(0), SimTime::from_secs(50)).unwrap();
+        assert_eq!(stall, SimDuration::ZERO, "no paging happened, resume is free");
+        assert_eq!(tt.free_map_slots(), 0);
+    }
+
+    #[test]
+    fn resume_needs_a_free_slot() {
+        let mut tt = TaskTracker::new(NodeId(0), NodeOsConfig::default(), 1, 0);
+        tt.launch(attempt_id(0), TaskKind::Map, plan(0), SimTime::ZERO).unwrap();
+        {
+            let a = tt.attempt_mut(attempt_id(0)).unwrap();
+            a.phase = AttemptPhase::Work;
+            a.segment_start = SimTime::ZERO;
+        }
+        tt.suspend(attempt_id(0), SimTime::from_secs(10)).unwrap();
+        // Another attempt takes the slot.
+        tt.launch(attempt_id(1), TaskKind::Map, plan(0), SimTime::from_secs(11)).unwrap();
+        assert_eq!(
+            tt.resume(attempt_id(0), SimTime::from_secs(12)).unwrap_err(),
+            TrackerError::NoFreeSlot
+        );
+    }
+
+    #[test]
+    fn memory_pressure_pages_out_the_suspended_attempt() {
+        let mut tt = tracker();
+        tt.launch(attempt_id(0), TaskKind::Map, plan(2 * GIB), SimTime::ZERO).unwrap();
+        tt.allocate_task_memory(attempt_id(0), SimTime::ZERO).unwrap();
+        {
+            let a = tt.attempt_mut(attempt_id(0)).unwrap();
+            a.phase = AttemptPhase::Work;
+            a.segment_start = SimTime::from_secs(3);
+        }
+        tt.suspend(attempt_id(0), SimTime::from_secs(30)).unwrap();
+
+        // A second, memory-hungry attempt launches and allocates: the
+        // suspended one is the paging victim and the newcomer pays the stall.
+        tt.launch(attempt_id(1), TaskKind::Map, plan(2 * GIB), SimTime::from_secs(31)).unwrap();
+        let out = tt.allocate_task_memory(attempt_id(1), SimTime::from_secs(34)).unwrap();
+        assert!(out.stall > SimDuration::ZERO);
+        assert!(out.paged_out_bytes > 0);
+        assert!(out.oom_killed.is_empty());
+        let victim_pid = tt.attempt(attempt_id(0)).unwrap().pid;
+        assert!(tt.kernel().swapped_bytes(victim_pid) > 0);
+
+        // Completing the newcomer and resuming the victim pays the page-in.
+        {
+            let a = tt.attempt_mut(attempt_id(1)).unwrap();
+            a.phase = AttemptPhase::Work;
+        }
+        tt.complete(attempt_id(1), SimTime::from_secs(120)).unwrap();
+        let stall = tt.resume(attempt_id(0), SimTime::from_secs(121)).unwrap();
+        assert!(stall > SimDuration::ZERO);
+        assert_eq!(tt.kernel().swapped_bytes(victim_pid), 0);
+    }
+
+    #[test]
+    fn kill_reports_paged_bytes_and_keeps_the_slot_for_cleanup() {
+        let mut tt = tracker();
+        tt.launch(attempt_id(0), TaskKind::Map, plan(0), SimTime::ZERO).unwrap();
+        tt.allocate_task_memory(attempt_id(0), SimTime::ZERO).unwrap();
+        let out = tt.kill(attempt_id(0), SimTime::from_secs(10)).unwrap();
+        assert!(out.held_slot);
+        assert_eq!(out.paged_out_bytes, 0);
+        // Slot is still occupied until the cleanup attempt finishes.
+        assert_eq!(tt.free_map_slots(), 0);
+        tt.release_slot(TaskKind::Map);
+        assert_eq!(tt.free_map_slots(), 1);
+        assert!(tt.attempt(attempt_id(0)).is_none());
+    }
+
+    #[test]
+    fn complete_releases_everything() {
+        let mut tt = tracker();
+        tt.launch(attempt_id(0), TaskKind::Map, plan(GIB), SimTime::ZERO).unwrap();
+        tt.allocate_task_memory(attempt_id(0), SimTime::ZERO).unwrap();
+        let out = tt.complete(attempt_id(0), SimTime::from_secs(90)).unwrap();
+        assert!(out.held_slot);
+        assert_eq!(tt.free_map_slots(), 1);
+        assert_eq!(tt.kernel().memory().total_resident(), 0);
+        assert!(tt.attempt(attempt_id(0)).is_none());
+        // Completing twice is an error.
+        assert_eq!(tt.complete(attempt_id(0), SimTime::from_secs(91)).unwrap_err(), TrackerError::UnknownAttempt);
+    }
+
+    #[test]
+    fn unknown_attempt_operations_fail() {
+        let mut tt = tracker();
+        let ghost = attempt_id(9);
+        assert_eq!(tt.suspend(ghost, SimTime::ZERO).unwrap_err(), TrackerError::UnknownAttempt);
+        assert_eq!(tt.resume(ghost, SimTime::ZERO).unwrap_err(), TrackerError::UnknownAttempt);
+        assert_eq!(tt.kill(ghost, SimTime::ZERO).unwrap_err(), TrackerError::UnknownAttempt);
+        assert_eq!(tt.allocate_task_memory(ghost, SimTime::ZERO).unwrap_err(), TrackerError::UnknownAttempt);
+        assert_eq!(tt.fault_in_own_memory(ghost, SimTime::ZERO).unwrap_err(), TrackerError::UnknownAttempt);
+    }
+
+    #[test]
+    fn oom_killer_sacrifices_a_suspended_attempt_when_swap_is_tiny() {
+        let os = NodeOsConfig {
+            memory: mrp_simos::MemoryConfig {
+                total_ram: 3 * GIB,
+                os_reserve: 512 * MIB,
+                swap_capacity: 64 * MIB,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut tt = TaskTracker::new(NodeId(0), os, 2, 0);
+        tt.launch(attempt_id(0), TaskKind::Map, plan(GIB + 512 * MIB), SimTime::ZERO).unwrap();
+        tt.allocate_task_memory(attempt_id(0), SimTime::ZERO).unwrap();
+        {
+            let a = tt.attempt_mut(attempt_id(0)).unwrap();
+            a.phase = AttemptPhase::Work;
+            a.segment_start = SimTime::ZERO;
+        }
+        tt.suspend(attempt_id(0), SimTime::from_secs(10)).unwrap();
+        tt.launch(attempt_id(1), TaskKind::Map, plan(2 * GIB), SimTime::from_secs(11)).unwrap();
+        let out = tt.allocate_task_memory(attempt_id(1), SimTime::from_secs(14)).unwrap();
+        assert_eq!(out.oom_killed, vec![attempt_id(0)]);
+        assert!(tt.attempt(attempt_id(0)).is_none());
+    }
+}

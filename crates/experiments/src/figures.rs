@@ -1,0 +1,452 @@
+//! One experiment definition per figure of the paper, plus the ablations
+//! suggested by its discussion section.
+
+use crate::priority::PriorityPreemptingScheduler;
+use crate::scenario::{run_scenario, ScenarioConfig};
+use mrp_engine::{Cluster, ClusterConfig, JobSpec, TaskProfile};
+use mrp_preempt::{EvictionPolicy, NatjamModel, PreemptionPrimitive};
+use mrp_sim::{SimDuration, SimTime, GIB, MIB};
+use serde::{Deserialize, Serialize};
+
+/// The figures and tables reproduced from the paper, plus ablations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Figure {
+    /// Figure 2a: sojourn time of `th`, light-weight tasks.
+    F2a,
+    /// Figure 2b: makespan, light-weight tasks.
+    F2b,
+    /// Figure 3a: sojourn time of `th`, memory-hungry tasks.
+    F3a,
+    /// Figure 3b: makespan, memory-hungry tasks.
+    F3b,
+    /// Figure 4: paged bytes and overheads vs. memory allocated by `th`.
+    F4,
+    /// Section IV-C: comparison with Natjam's reported ~7% overhead.
+    NatjamComparison,
+    /// Section V-A ablation: eviction policies.
+    EvictionPolicies,
+    /// Section V-A ablation: resume locality (local resume vs. non-local restart).
+    ResumeLocality,
+}
+
+impl Figure {
+    /// Every figure, in paper order.
+    pub const ALL: [Figure; 8] = [
+        Figure::F2a,
+        Figure::F2b,
+        Figure::F3a,
+        Figure::F3b,
+        Figure::F4,
+        Figure::NatjamComparison,
+        Figure::EvictionPolicies,
+        Figure::ResumeLocality,
+    ];
+
+    /// Short identifier used in file names and bench ids.
+    pub fn id(self) -> &'static str {
+        match self {
+            Figure::F2a => "fig2a",
+            Figure::F2b => "fig2b",
+            Figure::F3a => "fig3a",
+            Figure::F3b => "fig3b",
+            Figure::F4 => "fig4",
+            Figure::NatjamComparison => "natjam",
+            Figure::EvictionPolicies => "eviction",
+            Figure::ResumeLocality => "resume_locality",
+        }
+    }
+}
+
+/// A reproduced figure: a table of named columns, one row per x-axis point.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FigureData {
+    /// Short identifier (e.g. `fig2a`).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Column names; the first column is the x axis.
+    pub columns: Vec<String>,
+    /// Rows of values, one per x-axis point.
+    pub rows: Vec<Vec<f64>>,
+    /// Free-form notes (what the paper reported, calibration caveats).
+    pub notes: String,
+}
+
+impl FigureData {
+    /// The values of a named column.
+    pub fn column(&self, name: &str) -> Option<Vec<f64>> {
+        let idx = self.columns.iter().position(|c| c == name)?;
+        Some(self.rows.iter().map(|r| r[idx]).collect())
+    }
+}
+
+/// The x-axis of Figures 2 and 3: `tl` progress at launch of `th`, 10%–90%.
+pub fn paper_fractions() -> Vec<f64> {
+    (1..=9).map(|i| i as f64 / 10.0).collect()
+}
+
+/// The x-axis of Figure 4: memory allocated by `th`.
+pub fn figure4_memory_points() -> Vec<u64> {
+    vec![
+        0,
+        625 * MIB,
+        1250 * MIB,
+        1875 * MIB,
+        2500 * MIB,
+    ]
+}
+
+fn preemption_sweep(
+    id: &str,
+    title: &str,
+    metric: impl Fn(&crate::scenario::ScenarioOutcome) -> f64,
+    state_memory: u64,
+    repetitions: usize,
+    notes: &str,
+) -> FigureData {
+    let mut rows = Vec::new();
+    for fraction in paper_fractions() {
+        let mut row = vec![fraction * 100.0];
+        for primitive in PreemptionPrimitive::PAPER_SET {
+            let config = ScenarioConfig {
+                primitive,
+                preempt_at: fraction,
+                tl_state_memory: state_memory,
+                th_state_memory: state_memory,
+                repetitions,
+                base_seed: 1,
+                cluster: ClusterConfig::paper_single_node(),
+            };
+            row.push(metric(&run_scenario(&config)));
+        }
+        rows.push(row);
+    }
+    FigureData {
+        id: id.to_string(),
+        title: title.to_string(),
+        columns: vec![
+            "tl_progress_%".to_string(),
+            "wait".to_string(),
+            "kill".to_string(),
+            "susp".to_string(),
+        ],
+        rows,
+        notes: notes.to_string(),
+    }
+}
+
+/// Figures 2a and 2b: the light-weight baseline.
+pub fn figure2(repetitions: usize) -> (FigureData, FigureData) {
+    let a = preemption_sweep(
+        "fig2a",
+        "Baseline (light-weight tasks): sojourn time of th [s]",
+        |o| o.sojourn_th_secs.mean,
+        0,
+        repetitions,
+        "Paper: wait ~150s falling to ~90s; kill and susp flat ~80-85s with susp lowest.",
+    );
+    let b = preemption_sweep(
+        "fig2b",
+        "Baseline (light-weight tasks): makespan [s]",
+        |o| o.makespan_secs.mean,
+        0,
+        repetitions,
+        "Paper: wait and susp flat ~170-175s; kill rising from ~180s to ~240s.",
+    );
+    (a, b)
+}
+
+/// Figures 3a and 3b: the memory-hungry worst case (2 GB of state each).
+pub fn figure3(repetitions: usize) -> (FigureData, FigureData) {
+    let a = preemption_sweep(
+        "fig3a",
+        "Worst case (2 GB memory-hungry tasks): sojourn time of th [s]",
+        |o| o.sojourn_th_secs.mean,
+        2 * GIB,
+        repetitions,
+        "Paper: same shape as 2a but kill slightly below susp because susp pays the page-out of tl.",
+    );
+    let b = preemption_sweep(
+        "fig3b",
+        "Worst case (2 GB memory-hungry tasks): makespan [s]",
+        |o| o.makespan_secs.mean,
+        2 * GIB,
+        repetitions,
+        "Paper: wait slightly below susp because susp pays page-out and page-in; kill still worst.",
+    );
+    (a, b)
+}
+
+/// Figure 4: overheads as a function of the memory allocated by `th`
+/// (`tl` allocates 2.5 GB). Columns: memory, bytes paged for `tl`, sojourn
+/// overhead of susp vs. kill, makespan overhead of susp vs. wait.
+pub fn figure4(repetitions: usize) -> FigureData {
+    let tl_state = 2560 * MIB;
+    let mut rows = Vec::new();
+    for th_state in figure4_memory_points() {
+        let outcome_for = |primitive| {
+            run_scenario(&ScenarioConfig {
+                primitive,
+                preempt_at: 0.5,
+                tl_state_memory: tl_state,
+                th_state_memory: th_state,
+                repetitions,
+                base_seed: 1,
+                cluster: ClusterConfig::paper_single_node(),
+            })
+        };
+        let susp = outcome_for(PreemptionPrimitive::SuspendResume);
+        let kill = outcome_for(PreemptionPrimitive::Kill);
+        let wait = outcome_for(PreemptionPrimitive::Wait);
+        rows.push(vec![
+            th_state as f64 / MIB as f64,
+            susp.tl_paged_out_bytes.mean / MIB as f64,
+            susp.sojourn_th_secs.mean - kill.sojourn_th_secs.mean,
+            susp.makespan_secs.mean - wait.makespan_secs.mean,
+        ]);
+    }
+    FigureData {
+        id: "fig4".to_string(),
+        title: "Overheads when varying th memory (tl allocates 2.5 GB)".to_string(),
+        columns: vec![
+            "th_memory_MB".to_string(),
+            "paged_bytes_MB".to_string(),
+            "sojourn_overhead_s".to_string(),
+            "makespan_overhead_s".to_string(),
+        ],
+        rows,
+        notes: "Paper: swap grows superlinearly up to ~1500 MB; sojourn overhead up to ~20% over kill; \
+                makespan overhead up to ~12% over wait; overheads roughly linear in swapped bytes."
+            .to_string(),
+    }
+}
+
+/// Section IV-C: the OS-assisted primitive's measured makespan overhead vs.
+/// the ~7% overhead the Natjam authors report (modelled analytically here).
+pub fn natjam_comparison(repetitions: usize) -> FigureData {
+    let model = NatjamModel::default();
+    let mut rows = Vec::new();
+    for fraction in [0.25, 0.5, 0.75] {
+        let susp = run_scenario(&ScenarioConfig::lightweight(
+            PreemptionPrimitive::SuspendResume,
+            fraction,
+        ).with_repetitions(repetitions));
+        let wait = run_scenario(&ScenarioConfig::lightweight(PreemptionPrimitive::Wait, fraction)
+            .with_repetitions(repetitions));
+        let susp_overhead_pct =
+            (susp.makespan_secs.mean - wait.makespan_secs.mean) / wait.makespan_secs.mean * 100.0;
+        // Natjam checkpoints the task's working state; for the light-weight
+        // jobs this is the Hadoop engine footprint (~192 MB buffers).
+        let natjam_makespan = model.predicted_makespan_secs(
+            wait.makespan_secs.mean,
+            192 * MIB,
+            SimDuration::from_secs(78),
+        );
+        let natjam_overhead_pct = (natjam_makespan - wait.makespan_secs.mean) / wait.makespan_secs.mean * 100.0;
+        rows.push(vec![
+            fraction * 100.0,
+            susp_overhead_pct,
+            natjam_overhead_pct,
+        ]);
+    }
+    FigureData {
+        id: "natjam".to_string(),
+        title: "Makespan overhead vs. the wait baseline: OS-assisted suspend vs. checkpointing".to_string(),
+        columns: vec![
+            "tl_progress_%".to_string(),
+            "susp_overhead_%".to_string(),
+            "natjam_model_overhead_%".to_string(),
+        ],
+        rows,
+        notes: "The paper notes Natjam reports ~7% makespan overhead in a similar setting while the \
+                OS-assisted primitive's overhead is negligible for light-weight tasks."
+            .to_string(),
+    }
+}
+
+/// Section V-A ablation: which task to evict. Three low-priority single-task
+/// jobs with different memory footprints run on a 3-slot node; a high-priority
+/// memory-hungry job arrives and exactly one victim is suspended, chosen by
+/// the policy under test.
+pub fn eviction_ablation(_repetitions: usize) -> FigureData {
+    let policies = [
+        EvictionPolicy::SmallestMemory,
+        EvictionPolicy::ClosestToCompletion,
+        EvictionPolicy::LargestMemory,
+    ];
+    let mut rows = Vec::new();
+    for (i, policy) in policies.iter().enumerate() {
+        let mut cfg = ClusterConfig::paper_single_node();
+        cfg.nodes[0].map_slots = 3;
+        // Give the node more RAM so three background tasks plus the
+        // high-priority one are feasible at all: 8 GB instead of 4 GB.
+        cfg.nodes[0].os.memory.total_ram = 8 * GIB;
+        let scheduler = PriorityPreemptingScheduler::new(PreemptionPrimitive::SuspendResume, *policy);
+        let mut cluster = Cluster::new(cfg, Box::new(scheduler));
+        for (name, state) in [("bg-small", 256 * MIB), ("bg-medium", GIB), ("bg-large", 3 * GIB)] {
+            cluster.submit_job(
+                JobSpec::synthetic(name, 1, 512 * MIB)
+                    .with_priority(0)
+                    .with_profile(TaskProfile::memory_hungry(state)),
+            );
+        }
+        cluster.submit_job_at(
+            JobSpec::synthetic("hp", 1, 512 * MIB)
+                .with_priority(10)
+                .with_profile(TaskProfile::memory_hungry(2 * GIB)),
+            SimTime::from_secs(40),
+        );
+        cluster.run(SimTime::from_secs(24 * 3_600));
+        let report = cluster.report();
+        assert!(report.all_jobs_complete(), "eviction ablation run incomplete");
+        rows.push(vec![
+            i as f64,
+            report.sojourn_secs("hp").unwrap_or(f64::NAN),
+            report.makespan_secs().unwrap_or(f64::NAN),
+            report.total_swap_out_bytes() as f64 / MIB as f64,
+        ]);
+    }
+    FigureData {
+        id: "eviction".to_string(),
+        title: "Eviction policy ablation (0=smallest-memory, 1=closest-to-completion, 2=largest-memory)"
+            .to_string(),
+        columns: vec![
+            "policy".to_string(),
+            "hp_sojourn_s".to_string(),
+            "makespan_s".to_string(),
+            "swap_out_MB".to_string(),
+        ],
+        rows,
+        notes: "Suspending the task with the smallest memory footprint minimises paging and therefore \
+                the high-priority job's sojourn time, as argued in Section V-A."
+            .to_string(),
+    }
+}
+
+/// Section V-A ablation: resume locality. `tl`'s input lives on node 0 only;
+/// when it is preempted there the alternatives are to resume locally later
+/// (suspend/resume) or to restart it immediately on the idle node 1
+/// (effectively a delayed kill). The crossover depends on how much work the
+/// restart throws away.
+pub fn resume_locality_ablation(repetitions: usize) -> FigureData {
+    let mut rows = Vec::new();
+    for fraction in [0.2, 0.5, 0.8] {
+        let run = |primitive| {
+            let mut cluster_cfg = ClusterConfig::paper_single_node();
+            cluster_cfg.nodes.push(cluster_cfg.nodes[0].clone());
+            run_scenario(&ScenarioConfig {
+                primitive,
+                preempt_at: fraction,
+                tl_state_memory: 0,
+                th_state_memory: 0,
+                repetitions,
+                base_seed: 1,
+                cluster: cluster_cfg,
+            })
+        };
+        let local_resume = run(PreemptionPrimitive::SuspendResume);
+        let nonlocal_restart = run(PreemptionPrimitive::Kill);
+        rows.push(vec![
+            fraction * 100.0,
+            local_resume.makespan_secs.mean,
+            nonlocal_restart.makespan_secs.mean,
+            local_resume.wasted_work_secs.mean,
+            nonlocal_restart.wasted_work_secs.mean,
+        ]);
+    }
+    FigureData {
+        id: "resume_locality".to_string(),
+        title: "Resume locality: local resume (suspend) vs. non-local restart (kill) on a 2-node cluster"
+            .to_string(),
+        columns: vec![
+            "tl_progress_%".to_string(),
+            "local_resume_makespan_s".to_string(),
+            "nonlocal_restart_makespan_s".to_string(),
+            "local_resume_wasted_s".to_string(),
+            "nonlocal_restart_wasted_s".to_string(),
+        ],
+        rows,
+        notes: "Restarting elsewhere overlaps tl with th but repeats work (a 'delayed kill'); resuming \
+                locally preserves work but waits for the original node — the more progress tl has made, \
+                the more attractive the local resume becomes."
+            .to_string(),
+    }
+}
+
+/// Runs one figure end to end.
+pub fn run_figure(figure: Figure, repetitions: usize) -> Vec<FigureData> {
+    match figure {
+        Figure::F2a => vec![figure2(repetitions).0],
+        Figure::F2b => vec![figure2(repetitions).1],
+        Figure::F3a => vec![figure3(repetitions).0],
+        Figure::F3b => vec![figure3(repetitions).1],
+        Figure::F4 => vec![figure4(repetitions)],
+        Figure::NatjamComparison => vec![natjam_comparison(repetitions)],
+        Figure::EvictionPolicies => vec![eviction_ablation(repetitions)],
+        Figure::ResumeLocality => vec![resume_locality_ablation(repetitions)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_shape_matches_the_paper() {
+        let (a, b) = figure2(1);
+        let wait_sojourn = a.column("wait").unwrap();
+        let susp_sojourn = a.column("susp").unwrap();
+        let kill_sojourn = a.column("kill").unwrap();
+        // wait decreases with r, and is far above the others early on.
+        assert!(wait_sojourn.first().unwrap() > wait_sojourn.last().unwrap());
+        assert!(wait_sojourn[0] > susp_sojourn[0] + 40.0);
+        // susp <= kill everywhere (same latency path, no cleanup attempt).
+        for (s, k) in susp_sojourn.iter().zip(&kill_sojourn) {
+            assert!(s <= &(k + 1.0), "susp {s} vs kill {k}");
+        }
+        // Makespan: kill grows with r, susp tracks wait within a few seconds.
+        let kill_makespan = b.column("kill").unwrap();
+        let susp_makespan = b.column("susp").unwrap();
+        let wait_makespan = b.column("wait").unwrap();
+        assert!(kill_makespan.last().unwrap() > kill_makespan.first().unwrap());
+        assert!(kill_makespan.last().unwrap() - wait_makespan.last().unwrap() > 40.0);
+        for (s, w) in susp_makespan.iter().zip(&wait_makespan) {
+            assert!((s - w).abs() < 10.0, "susp makespan {s} should track wait {w}");
+        }
+    }
+
+    #[test]
+    fn figure4_overheads_grow_with_th_memory() {
+        let f = figure4(1);
+        let paged = f.column("paged_bytes_MB").unwrap();
+        let sojourn_overhead = f.column("sojourn_overhead_s").unwrap();
+        assert!(paged.first().unwrap() < &10.0, "no paging when th allocates nothing");
+        assert!(paged.last().unwrap() > &800.0, "2.5 GB th must page out a lot of tl");
+        assert!(paged.windows(2).all(|w| w[1] >= w[0] - 1.0), "paged bytes must be non-decreasing");
+        assert!(
+            sojourn_overhead.last().unwrap() > &5.0,
+            "paging must visibly slow th at the right end of the sweep"
+        );
+        assert!(f.column("missing").is_none());
+    }
+
+    #[test]
+    fn natjam_model_overhead_is_larger_than_suspends() {
+        let f = natjam_comparison(1);
+        for row in &f.rows {
+            let susp = row[1];
+            let natjam = row[2];
+            assert!(susp < natjam, "susp overhead {susp}% should undercut checkpointing {natjam}%");
+            assert!(natjam > 1.0 && natjam < 15.0);
+        }
+    }
+
+    #[test]
+    fn figure_ids_are_unique() {
+        let ids: Vec<&str> = Figure::ALL.iter().map(|f| f.id()).collect();
+        let mut dedup = ids.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len());
+    }
+}

@@ -1,0 +1,210 @@
+//! A manual-priority scheduler with preemption: the Introduction's motivating
+//! use case ("best-effort" vs. production jobs) turned into a policy.
+//!
+//! Low-priority tasks run whenever slots are idle; when a higher-priority job
+//! cannot get its slots, running lower-priority tasks are preempted with the
+//! configured primitive, victims chosen by the eviction policy. Suspended
+//! low-priority tasks are resumed once the high-priority demand drains.
+
+use mrp_engine::{
+    FifoScheduler, JobRuntime, NodeId, SchedulerAction, SchedulerContext, SchedulerPolicy, TaskState,
+};
+use mrp_preempt::{EvictionCandidate, EvictionPolicy, PreemptionPrimitive};
+use mrp_sim::SimRng;
+
+const BASE_TASK_FOOTPRINT: u64 = 192 * 1024 * 1024;
+
+/// Priority scheduler with preemption of lower-priority tasks.
+pub struct PriorityPreemptingScheduler {
+    /// Primitive used to evict lower-priority tasks.
+    pub primitive: PreemptionPrimitive,
+    /// Victim selection policy.
+    pub eviction: EvictionPolicy,
+    launcher: FifoScheduler,
+    rng: SimRng,
+}
+
+impl PriorityPreemptingScheduler {
+    /// Creates the scheduler.
+    pub fn new(primitive: PreemptionPrimitive, eviction: EvictionPolicy) -> Self {
+        PriorityPreemptingScheduler {
+            primitive,
+            eviction,
+            // Resumption is handled here, priority-aware, so the launcher must
+            // not hand slots back to suspended low-priority tasks while
+            // higher-priority work is still waiting.
+            launcher: FifoScheduler {
+                resume_suspended: false,
+            },
+            rng: SimRng::new(0x9817),
+        }
+    }
+
+    /// Resumes suspended tasks on `node` with whatever slots the launcher left
+    /// over — safe because the launcher has already served every schedulable
+    /// task it could.
+    fn resume_leftovers(
+        ctx: &SchedulerContext<'_>,
+        node: NodeId,
+        launches_here: usize,
+    ) -> Vec<SchedulerAction> {
+        let Some(view) = ctx.node(node) else {
+            return Vec::new();
+        };
+        let mut free = (view.free_map_slots as usize).saturating_sub(launches_here);
+        let mut actions = Vec::new();
+        // Any schedulable task still waiting means slots are contended; do not
+        // hand them to suspended low-priority work.
+        let still_waiting = ctx.schedulable_tasks().len() > launches_here;
+        if still_waiting {
+            return actions;
+        }
+        for task in ctx.suspended_tasks() {
+            if free == 0 {
+                break;
+            }
+            if ctx.task(task).map(|t| t.node) == Some(Some(node)) {
+                actions.push(SchedulerAction::Resume { task });
+                free -= 1;
+            }
+        }
+        actions
+    }
+
+    fn unmet_high_priority_demand(ctx: &SchedulerContext<'_>) -> Vec<(i32, usize)> {
+        ctx.jobs
+            .values()
+            .filter(|j| !j.is_complete())
+            .map(|j| {
+                let waiting = j
+                    .tasks
+                    .iter()
+                    .filter(|t| t.state.is_schedulable() || t.state == TaskState::Suspended)
+                    .count();
+                (j.spec.priority, waiting)
+            })
+            .filter(|(_, waiting)| *waiting > 0)
+            .collect()
+    }
+
+    fn preemption_actions(&mut self, ctx: &SchedulerContext<'_>) -> Vec<SchedulerAction> {
+        let free_slots: u32 = ctx.nodes.iter().map(|n| n.free_map_slots).sum();
+        let demand = Self::unmet_high_priority_demand(ctx);
+        let mut actions = Vec::new();
+        for (priority, waiting) in demand {
+            let mut needed = waiting.saturating_sub(free_slots as usize);
+            if needed == 0 {
+                continue;
+            }
+            // Victims: running tasks of strictly lower-priority jobs.
+            let victim_jobs: Vec<&JobRuntime> = ctx
+                .jobs
+                .values()
+                .filter(|j| j.spec.priority < priority && !j.is_complete())
+                .collect();
+            let candidates: Vec<EvictionCandidate> = victim_jobs
+                .iter()
+                .flat_map(|j| {
+                    j.tasks
+                        .iter()
+                        .filter(|t| t.state == TaskState::Running)
+                        .map(|t| EvictionCandidate {
+                            task: t.id,
+                            progress: t.progress,
+                            memory_bytes: j.spec.profile.state_memory + BASE_TASK_FOOTPRINT,
+                        })
+                })
+                .collect();
+            for victim in self.eviction.pick(&candidates, needed, &mut self.rng) {
+                if let Some(a) = self.primitive.preempt_action(victim) {
+                    actions.push(a);
+                    needed = needed.saturating_sub(1);
+                }
+            }
+        }
+        actions
+    }
+}
+
+impl SchedulerPolicy for PriorityPreemptingScheduler {
+    fn on_heartbeat(&mut self, ctx: &SchedulerContext<'_>, node: NodeId) -> Vec<SchedulerAction> {
+        // The priority-aware FIFO launcher serves higher priorities first;
+        // leftover slots go back to suspended (preempted) tasks.
+        let mut actions = self.launcher.on_heartbeat(ctx, node);
+        let launches_here = actions
+            .iter()
+            .filter(|a| matches!(a, SchedulerAction::Launch { node: n, .. } if *n == node))
+            .count();
+        actions.extend(Self::resume_leftovers(ctx, node, launches_here));
+        actions.extend(self.preemption_actions(ctx));
+        actions
+    }
+
+    fn on_job_submitted(&mut self, ctx: &SchedulerContext<'_>, _job: mrp_engine::JobId) -> Vec<SchedulerAction> {
+        self.preemption_actions(ctx)
+    }
+
+    fn name(&self) -> &str {
+        "priority-preempting"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrp_engine::{Cluster, ClusterConfig, JobSpec, TaskProfile};
+    use mrp_sim::{SimTime, GIB, MIB};
+
+    #[test]
+    fn high_priority_job_preempts_best_effort_work() {
+        let scheduler =
+            PriorityPreemptingScheduler::new(PreemptionPrimitive::SuspendResume, EvictionPolicy::SmallestMemory);
+        let mut cluster = Cluster::new(ClusterConfig::paper_single_node(), Box::new(scheduler));
+        cluster.submit_job(JobSpec::synthetic("best-effort", 1, 512 * MIB).with_priority(0));
+        cluster.submit_job_at(
+            JobSpec::synthetic("production", 1, 512 * MIB).with_priority(10),
+            SimTime::from_secs(30),
+        );
+        cluster.run(SimTime::from_secs(8 * 3_600));
+        let report = cluster.report();
+        assert!(report.all_jobs_complete());
+        let prod = report.sojourn_secs("production").unwrap();
+        assert!(prod < 100.0, "the production job must not wait for best-effort work, got {prod}");
+        assert_eq!(report.job("best-effort").unwrap().tasks[0].suspend_cycles, 1);
+        assert_eq!(report.total_wasted_work_secs(), 0.0);
+    }
+
+    #[test]
+    fn smallest_memory_eviction_pages_less_than_largest_memory() {
+        let run = |policy| {
+            let scheduler = PriorityPreemptingScheduler::new(PreemptionPrimitive::SuspendResume, policy);
+            let mut cfg = ClusterConfig::paper_single_node();
+            cfg.nodes[0].map_slots = 3;
+            cfg.nodes[0].os.memory.total_ram = 8 * GIB;
+            let mut cluster = Cluster::new(cfg, Box::new(scheduler));
+            for (name, state) in [("small", 128 * MIB), ("medium", GIB), ("large", 3 * GIB)] {
+                cluster.submit_job(
+                    JobSpec::synthetic(name, 1, 512 * MIB)
+                        .with_priority(0)
+                        .with_profile(TaskProfile::memory_hungry(state)),
+                );
+            }
+            cluster.submit_job_at(
+                JobSpec::synthetic("hp", 1, 512 * MIB)
+                    .with_priority(10)
+                    .with_profile(TaskProfile::memory_hungry(2 * GIB)),
+                SimTime::from_secs(40),
+            );
+            cluster.run(SimTime::from_secs(24 * 3_600));
+            let r = cluster.report();
+            assert!(r.all_jobs_complete());
+            r.total_swap_out_bytes()
+        };
+        let small_first = run(EvictionPolicy::SmallestMemory);
+        let large_first = run(EvictionPolicy::LargestMemory);
+        assert!(
+            small_first <= large_first,
+            "evicting the small-footprint task should not page more ({small_first} vs {large_first})"
+        );
+    }
+}

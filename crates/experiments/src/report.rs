@@ -1,0 +1,116 @@
+//! Rendering of reproduced figures as text tables and CSV.
+
+use crate::figures::FigureData;
+use std::fmt::Write as _;
+
+/// Renders a figure as an aligned, human-readable text table (the form used
+/// in `EXPERIMENTS.md` and printed by the benches).
+pub fn to_table(figure: &FigureData) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {} — {}", figure.id, figure.title);
+    // Column widths: max of header and formatted cells.
+    let formatted: Vec<Vec<String>> = figure
+        .rows
+        .iter()
+        .map(|row| row.iter().map(|v| format_value(*v)).collect())
+        .collect();
+    let widths: Vec<usize> = figure
+        .columns
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            formatted
+                .iter()
+                .map(|r| r.get(i).map(String::len).unwrap_or(0))
+                .chain(std::iter::once(c.len()))
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+    let header: Vec<String> = figure
+        .columns
+        .iter()
+        .enumerate()
+        .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+        .collect();
+    let _ = writeln!(out, "| {} |", header.join(" | "));
+    let separator: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    let _ = writeln!(out, "| {} |", separator.join(" | "));
+    for row in &formatted {
+        let cells: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, v)| format!("{:>width$}", v, width = widths[i]))
+            .collect();
+        let _ = writeln!(out, "| {} |", cells.join(" | "));
+    }
+    if !figure.notes.is_empty() {
+        let _ = writeln!(out, "paper: {}", figure.notes);
+    }
+    out
+}
+
+/// Renders a figure as CSV (header + rows).
+pub fn to_csv(figure: &FigureData) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", figure.columns.join(","));
+    for row in &figure.rows {
+        let cells: Vec<String> = row.iter().map(|v| format_value(*v)).collect();
+        let _ = writeln!(out, "{}", cells.join(","));
+    }
+    out
+}
+
+fn format_value(v: f64) -> String {
+    if v.is_nan() {
+        "nan".to_string()
+    } else if (v.fract()).abs() < 1e-9 && v.abs() < 1e12 {
+        format!("{:.0}", v)
+    } else {
+        format!("{:.2}", v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure() -> FigureData {
+        FigureData {
+            id: "fig-test".to_string(),
+            title: "A test figure".to_string(),
+            columns: vec!["x".to_string(), "wait".to_string(), "susp".to_string()],
+            rows: vec![vec![10.0, 150.25, 84.0], vec![90.0, 91.5, 83.0]],
+            notes: "shape only".to_string(),
+        }
+    }
+
+    #[test]
+    fn table_contains_headers_rows_and_notes() {
+        let t = to_table(&figure());
+        assert!(t.contains("fig-test"));
+        assert!(t.contains("wait"));
+        assert!(t.contains("150.25"));
+        assert!(t.contains("90"));
+        assert!(t.contains("paper: shape only"));
+        // Aligned: every data line has the same number of separators.
+        let pipes: Vec<usize> = t.lines().filter(|l| l.starts_with('|')).map(|l| l.matches('|').count()).collect();
+        assert!(pipes.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn csv_round_trips_columns_and_rows() {
+        let c = to_csv(&figure());
+        let mut lines = c.lines();
+        assert_eq!(lines.next().unwrap(), "x,wait,susp");
+        assert_eq!(lines.next().unwrap(), "10,150.25,84");
+        assert_eq!(lines.next().unwrap(), "90,91.50,83");
+    }
+
+    #[test]
+    fn nan_is_rendered_explicitly() {
+        let mut f = figure();
+        f.rows[0][1] = f64::NAN;
+        assert!(to_csv(&f).contains("nan"));
+    }
+}

@@ -1,0 +1,122 @@
+//! # mrp-sim — discrete-event simulation kernel
+//!
+//! The foundation shared by every simulated substrate in the
+//! `hadoop-os-preempt` workspace: a virtual clock ([`SimTime`] /
+//! [`SimDuration`]), a deterministic cancellable event queue
+//! ([`EventQueue`]), a seeded random number generator ([`SimRng`]) and the
+//! statistics helpers ([`Summary`], [`OnlineStats`]) used by the experiment
+//! harness to reproduce the paper's figures.
+//!
+//! Determinism is a design goal throughout: same seed, same configuration ⇒
+//! bit-identical simulation, which makes the reproduction of the paper's
+//! figures and the golden-shape integration tests stable.
+//!
+//! ```
+//! use mrp_sim::{EventQueue, SimTime};
+//!
+//! let mut queue = EventQueue::new();
+//! queue.schedule(SimTime::from_secs(3), "heartbeat");
+//! queue.schedule(SimTime::from_secs(1), "task-finished");
+//! assert_eq!(queue.pop(), Some((SimTime::from_secs(1), "task-finished")));
+//! assert_eq!(queue.now(), SimTime::from_secs(1));
+//! ```
+
+#![warn(missing_docs)]
+
+mod events;
+mod rng;
+mod stats;
+mod time;
+
+pub use events::{EventId, EventQueue};
+pub use rng::SimRng;
+pub use stats::{percentile, OnlineStats, Summary};
+pub use time::{SimDuration, SimTime};
+
+/// Number of bytes in one mebibyte; sizes throughout the workspace are plain
+/// `u64` byte counts and these constants keep call sites readable.
+pub const MIB: u64 = 1024 * 1024;
+/// Number of bytes in one gibibyte.
+pub const GIB: u64 = 1024 * MIB;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Events always come out of the queue in non-decreasing time order,
+        /// regardless of the insertion order.
+        #[test]
+        fn queue_pops_in_nondecreasing_order(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_micros(*t), i);
+            }
+            let mut last = SimTime::ZERO;
+            let mut popped = 0;
+            while let Some((t, _)) = q.pop() {
+                prop_assert!(t >= last);
+                last = t;
+                popped += 1;
+            }
+            prop_assert_eq!(popped, times.len());
+        }
+
+        /// Cancelling an arbitrary subset removes exactly that subset.
+        #[test]
+        fn queue_cancellation_is_exact(
+            times in proptest::collection::vec(0u64..1_000_000, 1..100),
+            cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
+        ) {
+            let mut q = EventQueue::new();
+            let ids: Vec<_> = times.iter().enumerate()
+                .map(|(i, t)| (q.schedule(SimTime::from_micros(*t), i), i))
+                .collect();
+            let mut expected: std::collections::HashSet<usize> =
+                (0..times.len()).collect();
+            for (idx, (id, payload)) in ids.iter().enumerate() {
+                if *cancel_mask.get(idx).unwrap_or(&false) {
+                    q.cancel(*id);
+                    expected.remove(payload);
+                }
+            }
+            let mut seen = std::collections::HashSet::new();
+            while let Some((_, p)) = q.pop() {
+                seen.insert(p);
+            }
+            prop_assert_eq!(seen, expected);
+        }
+
+        /// Summary invariants: min <= mean <= max and spread is non-negative.
+        #[test]
+        fn summary_invariants(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let s = Summary::of(&values).unwrap();
+            prop_assert!(s.min <= s.mean + 1e-9);
+            prop_assert!(s.mean <= s.max + 1e-9);
+            prop_assert!(s.std_dev >= 0.0);
+            prop_assert_eq!(s.count, values.len());
+        }
+
+        /// Percentile is monotone in p and bounded by the data range.
+        #[test]
+        fn percentile_monotone(values in proptest::collection::vec(0f64..1e6, 1..100),
+                               p1 in 0f64..100.0, p2 in 0f64..100.0) {
+            let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+            let a = percentile(&values, lo).unwrap();
+            let b = percentile(&values, hi).unwrap();
+            prop_assert!(a <= b + 1e-9);
+            let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(a >= min - 1e-9 && b <= max + 1e-9);
+        }
+
+        /// SimTime arithmetic: (t + d) - t == d for all representable values.
+        #[test]
+        fn time_addition_roundtrip(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+            let time = SimTime::from_micros(t);
+            let dur = SimDuration::from_micros(d);
+            prop_assert_eq!((time + dur) - time, dur);
+        }
+    }
+}

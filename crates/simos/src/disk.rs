@@ -1,0 +1,220 @@
+//! A simple disk performance model.
+//!
+//! Two aspects of the disk matter for the paper's evaluation:
+//!
+//! * sequential reads of HDFS blocks by map tasks (which dominate task
+//!   duration together with the CPU parse rate), and
+//! * swap traffic caused by paging out the memory of suspended tasks and
+//!   paging it back in on resume — the entire overhead of the
+//!   suspend/resume primitive comes from here.
+//!
+//! Linux clusters page-out operations into large sequential writes to amortise
+//! seek costs (Section III-A of the paper), so swap writes run near sequential
+//! bandwidth; page-ins on resume are also mostly sequential because the
+//! process touches its whole working set while warming back up, but we model a
+//! configurable efficiency factor for both directions.
+
+use mrp_sim::{SimDuration, MIB};
+use serde::{Deserialize, Serialize};
+
+/// Static description of a node-local disk.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DiskConfig {
+    /// Sequential read bandwidth in bytes/second (HDFS block reads).
+    pub seq_read_bytes_per_sec: f64,
+    /// Sequential write bandwidth in bytes/second (task output, spills).
+    pub seq_write_bytes_per_sec: f64,
+    /// Fraction of sequential bandwidth achieved by clustered page-out writes.
+    pub swap_out_efficiency: f64,
+    /// Fraction of sequential bandwidth achieved by page-in reads.
+    pub swap_in_efficiency: f64,
+    /// Fixed per-operation latency (seek + queueing), in seconds.
+    pub access_latency_secs: f64,
+}
+
+impl Default for DiskConfig {
+    fn default() -> Self {
+        // A single 7.2k RPM SATA disk of the kind used in 2013-era Hadoop
+        // nodes: ~120 MB/s streaming, a few ms of positioning time.
+        DiskConfig {
+            seq_read_bytes_per_sec: 130.0 * MIB as f64,
+            seq_write_bytes_per_sec: 120.0 * MIB as f64,
+            swap_out_efficiency: 0.9,
+            swap_in_efficiency: 0.75,
+            access_latency_secs: 0.008,
+        }
+    }
+}
+
+/// Cumulative I/O accounting for a disk.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct DiskStats {
+    /// Bytes read sequentially (block reads).
+    pub bytes_read: u64,
+    /// Bytes written sequentially (task output).
+    pub bytes_written: u64,
+    /// Bytes written to the swap area.
+    pub swap_bytes_out: u64,
+    /// Bytes read back from the swap area.
+    pub swap_bytes_in: u64,
+}
+
+/// A disk with a bandwidth/latency cost model and cumulative statistics.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Disk {
+    config: DiskConfig,
+    stats: DiskStats,
+}
+
+impl Disk {
+    /// Creates a disk with the given configuration.
+    pub fn new(config: DiskConfig) -> Self {
+        assert!(config.seq_read_bytes_per_sec > 0.0);
+        assert!(config.seq_write_bytes_per_sec > 0.0);
+        assert!(config.swap_out_efficiency > 0.0 && config.swap_out_efficiency <= 1.0);
+        assert!(config.swap_in_efficiency > 0.0 && config.swap_in_efficiency <= 1.0);
+        Disk {
+            config,
+            stats: DiskStats::default(),
+        }
+    }
+
+    /// The disk's configuration.
+    pub fn config(&self) -> &DiskConfig {
+        &self.config
+    }
+
+    /// Cumulative I/O statistics.
+    pub fn stats(&self) -> &DiskStats {
+        &self.stats
+    }
+
+    fn transfer_time(&self, bytes: u64, bytes_per_sec: f64) -> SimDuration {
+        if bytes == 0 {
+            return SimDuration::ZERO;
+        }
+        let secs = self.config.access_latency_secs + bytes as f64 / bytes_per_sec;
+        SimDuration::from_secs_f64(secs)
+    }
+
+    /// Time to sequentially read `bytes` (e.g. an HDFS block), and records it.
+    pub fn read(&mut self, bytes: u64) -> SimDuration {
+        self.stats.bytes_read += bytes;
+        self.transfer_time(bytes, self.config.seq_read_bytes_per_sec)
+    }
+
+    /// Time to sequentially write `bytes` (e.g. task output), and records it.
+    pub fn write(&mut self, bytes: u64) -> SimDuration {
+        self.stats.bytes_written += bytes;
+        self.transfer_time(bytes, self.config.seq_write_bytes_per_sec)
+    }
+
+    /// Time to page out `bytes` of dirty anonymous memory to swap.
+    pub fn swap_out(&mut self, bytes: u64) -> SimDuration {
+        self.stats.swap_bytes_out += bytes;
+        let bw = self.config.seq_write_bytes_per_sec * self.config.swap_out_efficiency;
+        self.transfer_time(bytes, bw)
+    }
+
+    /// Time to page `bytes` back in from swap.
+    pub fn swap_in(&mut self, bytes: u64) -> SimDuration {
+        self.stats.swap_bytes_in += bytes;
+        let bw = self.config.seq_read_bytes_per_sec * self.config.swap_in_efficiency;
+        self.transfer_time(bytes, bw)
+    }
+
+    /// Estimates (without recording) how long paging out `bytes` would take.
+    pub fn estimate_swap_out(&self, bytes: u64) -> SimDuration {
+        let bw = self.config.seq_write_bytes_per_sec * self.config.swap_out_efficiency;
+        self.transfer_time(bytes, bw)
+    }
+
+    /// Estimates (without recording) how long paging in `bytes` would take.
+    pub fn estimate_swap_in(&self, bytes: u64) -> SimDuration {
+        let bw = self.config.seq_read_bytes_per_sec * self.config.swap_in_efficiency;
+        self.transfer_time(bytes, bw)
+    }
+}
+
+impl Default for Disk {
+    fn default() -> Self {
+        Disk::new(DiskConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrp_sim::GIB;
+
+    #[test]
+    fn zero_bytes_costs_nothing() {
+        let mut d = Disk::default();
+        assert_eq!(d.read(0), SimDuration::ZERO);
+        assert_eq!(d.write(0), SimDuration::ZERO);
+        assert_eq!(d.swap_out(0), SimDuration::ZERO);
+        assert_eq!(d.swap_in(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn read_time_scales_with_bytes() {
+        let mut d = Disk::default();
+        let one = d.read(100 * MIB).as_secs_f64();
+        let two = d.read(200 * MIB).as_secs_f64();
+        assert!(two > one * 1.8 && two < one * 2.2);
+    }
+
+    #[test]
+    fn swap_is_slower_than_sequential_io() {
+        let mut d = Disk::default();
+        let seq = d.write(GIB).as_secs_f64();
+        let swap = d.swap_out(GIB).as_secs_f64();
+        assert!(swap >= seq, "swap out should not beat sequential writes");
+        let seq_r = d.read(GIB).as_secs_f64();
+        let swap_r = d.swap_in(GIB).as_secs_f64();
+        assert!(swap_r >= seq_r);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut d = Disk::default();
+        d.read(10);
+        d.read(20);
+        d.write(5);
+        d.swap_out(100);
+        d.swap_in(50);
+        assert_eq!(d.stats().bytes_read, 30);
+        assert_eq!(d.stats().bytes_written, 5);
+        assert_eq!(d.stats().swap_bytes_out, 100);
+        assert_eq!(d.stats().swap_bytes_in, 50);
+    }
+
+    #[test]
+    fn estimates_match_actuals_without_recording() {
+        let mut d = Disk::default();
+        let est = d.estimate_swap_out(512 * MIB);
+        let act = d.swap_out(512 * MIB);
+        assert_eq!(est, act);
+        assert_eq!(d.stats().swap_bytes_out, 512 * MIB);
+        let est_in = d.estimate_swap_in(256 * MIB);
+        let act_in = d.swap_in(256 * MIB);
+        assert_eq!(est_in, act_in);
+    }
+
+    #[test]
+    fn gigabyte_swap_takes_seconds_not_minutes() {
+        let mut d = Disk::default();
+        let t = d.swap_out(GIB).as_secs_f64();
+        assert!(t > 5.0 && t < 20.0, "1 GiB page-out took {t}s");
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_config_rejected() {
+        let cfg = DiskConfig {
+            swap_out_efficiency: 0.0,
+            ..DiskConfig::default()
+        };
+        let _ = Disk::new(cfg);
+    }
+}

@@ -1,0 +1,182 @@
+//! # mrp-simos — a simulated node operating system
+//!
+//! The paper's preemption primitive ("OS-Assisted Task Preemption for
+//! Hadoop") leans entirely on mechanisms the operating system already
+//! provides: POSIX job-control signals to stop and continue task processes,
+//! and demand paging to move the memory of stopped tasks out of the way only
+//! when — and only as much as — physical memory pressure requires.
+//!
+//! This crate models those mechanisms for one node:
+//!
+//! * [`Kernel`] — the facade: process table, signal delivery, memory charges,
+//!   disk I/O timing, OOM killing.
+//! * [`Signal`], [`ProcessState`], [`transition`] — POSIX-style signal
+//!   semantics (`SIGTSTP`, `SIGCONT`, `SIGKILL`, …).
+//! * [`MemoryManager`] — resident/swapped accounting, file-cache-first reclaim
+//!   (`swappiness = 0`), suspended-processes-first LRU victim selection,
+//!   clustered page-out with over-eviction, swap-capacity limits.
+//! * [`Disk`] — a bandwidth/latency model for block reads and swap traffic.
+//!
+//! All operations are pure state transitions that *return* their virtual-time
+//! cost; the MapReduce engine integrates the costs into its discrete-event
+//! simulation.
+//!
+//! ```
+//! use mrp_simos::{Kernel, Signal};
+//! use mrp_sim::{SimTime, GIB};
+//!
+//! let mut kernel = Kernel::default();
+//! let low = kernel.spawn("task_low", SimTime::ZERO);
+//! let high = kernel.spawn("task_high", SimTime::ZERO);
+//!
+//! // The low-priority task fills most of the RAM, then gets suspended.
+//! kernel.allocate(low, 2 * GIB, 1.0, SimTime::ZERO).unwrap();
+//! kernel.signal(low, Signal::Sigtstp, SimTime::from_secs(30)).unwrap();
+//!
+//! // The high-priority task's allocation pushes the suspended task to swap,
+//! // and the stall for doing so is charged to the allocator.
+//! let outcome = kernel.allocate(high, 2 * GIB, 1.0, SimTime::from_secs(31)).unwrap();
+//! assert!(outcome.charge.dirty_paged_out > 0);
+//! assert!(kernel.swapped_bytes(low) > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod disk;
+mod kernel;
+mod memory;
+mod process;
+mod signal;
+
+pub use disk::{Disk, DiskConfig, DiskStats};
+pub use kernel::{Kernel, MemOutcome, NodeOsConfig, SignalOutcome};
+pub use memory::{MemoryCharge, MemoryConfig, MemoryManager, MemoryStats, ProcMemory};
+pub use process::{Pid, Process};
+pub use signal::{transition, OsError, ProcessState, Signal, SignalEffect};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use mrp_sim::{SimTime, GIB, MIB};
+    use proptest::prelude::*;
+
+    /// Arbitrary interleavings of kernel operations never violate the memory
+    /// manager's accounting invariants, never panic, and never leave swapped
+    /// bytes attributed to dead processes.
+    #[derive(Debug, Clone)]
+    enum Op {
+        Spawn,
+        Allocate { proc_idx: usize, mib: u64, dirty: bool },
+        Suspend(usize),
+        Resume(usize),
+        Kill(usize),
+        Exit(usize),
+        FaultIn(usize),
+        DiskRead { mib: u64 },
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            Just(Op::Spawn),
+            (0usize..8, 1u64..2048, any::<bool>())
+                .prop_map(|(p, m, d)| Op::Allocate { proc_idx: p, mib: m, dirty: d }),
+            (0usize..8).prop_map(Op::Suspend),
+            (0usize..8).prop_map(Op::Resume),
+            (0usize..8).prop_map(Op::Kill),
+            (0usize..8).prop_map(Op::Exit),
+            (0usize..8).prop_map(Op::FaultIn),
+            (1u64..1024).prop_map(|m| Op::DiskRead { mib: m }),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn kernel_survives_arbitrary_interleavings(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+            let mut k = Kernel::new(NodeOsConfig {
+                memory: MemoryConfig {
+                    total_ram: 4 * GIB,
+                    os_reserve: 512 * MIB,
+                    swap_capacity: 16 * GIB,
+                    ..MemoryConfig::default()
+                },
+                disk: DiskConfig::default(),
+            });
+            let mut pids: Vec<Pid> = Vec::new();
+            let mut t = 0u64;
+            for op in ops {
+                t += 1;
+                let now = SimTime::from_secs(t);
+                match op {
+                    Op::Spawn => pids.push(k.spawn(format!("p{t}"), now)),
+                    Op::Allocate { proc_idx, mib, dirty } => {
+                        if let Some(&pid) = pids.get(proc_idx) {
+                            let frac = if dirty { 1.0 } else { 0.25 };
+                            let _ = k.allocate(pid, mib * MIB, frac, now);
+                        }
+                    }
+                    Op::Suspend(i) => {
+                        if let Some(&pid) = pids.get(i) {
+                            let _ = k.signal(pid, Signal::Sigtstp, now);
+                        }
+                    }
+                    Op::Resume(i) => {
+                        if let Some(&pid) = pids.get(i) {
+                            let _ = k.signal(pid, Signal::Sigcont, now);
+                        }
+                    }
+                    Op::Kill(i) => {
+                        if let Some(&pid) = pids.get(i) {
+                            let _ = k.signal(pid, Signal::Sigkill, now);
+                        }
+                    }
+                    Op::Exit(i) => {
+                        if let Some(&pid) = pids.get(i) {
+                            let _ = k.exit(pid, 0, now);
+                        }
+                    }
+                    Op::FaultIn(i) => {
+                        if let Some(&pid) = pids.get(i) {
+                            let _ = k.fault_in_all(pid, now);
+                        }
+                    }
+                    Op::DiskRead { mib } => {
+                        let _ = k.disk_read(mib * MIB);
+                    }
+                }
+                prop_assert!(k.memory().check_invariants().is_ok(),
+                    "invariant violated after {:?}: {:?}", op, k.memory().check_invariants());
+            }
+            // Dead processes must not hold memory.
+            for &pid in &pids {
+                if let Ok(state) = k.state(pid) {
+                    if !state.is_alive() {
+                        prop_assert!(k.proc_memory(pid).is_none() || k.proc_memory(pid).unwrap().virtual_size() == 0);
+                    }
+                }
+            }
+        }
+
+        /// Signal transition function is total over live states and never
+        /// resurrects dead processes.
+        #[test]
+        fn signal_transitions_are_sane(sig_seq in proptest::collection::vec(0u8..5, 1..50)) {
+            let sigs = [Signal::Sigtstp, Signal::Sigcont, Signal::Sigterm, Signal::Sigkill, Signal::Sigstop];
+            let mut state = ProcessState::Running;
+            for s in sig_seq {
+                let sig = sigs[s as usize];
+                match transition(state, sig) {
+                    Ok((next, _)) => {
+                        // Once dead, transition must error forever after.
+                        prop_assert!(state.is_alive());
+                        state = next;
+                    }
+                    Err(e) => {
+                        prop_assert_eq!(e, OsError::NoSuchProcess);
+                        prop_assert!(!state.is_alive());
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,727 @@
+//! Virtual memory accounting: resident/swapped anonymous memory, file cache,
+//! LRU victim selection and swap capacity.
+//!
+//! This module captures the Linux behaviours the paper's evaluation depends
+//! on (Section III-A):
+//!
+//! * With `swappiness = 0` (the recommended Hadoop configuration) the kernel
+//!   reclaims file-cache pages before it pages out anonymous memory, so
+//!   paging of task memory only happens to avoid out-of-memory conditions.
+//! * Pages belonging to **suspended** processes are preferential eviction
+//!   victims: they are outside every working set, so an LRU-style policy
+//!   evicts them before pages of running processes.
+//! * Clean pages are dropped without disk writes; dirty pages must be written
+//!   to the swap device.
+//! * Page-out is clustered and the approximate page-replacement implementation
+//!   reclaims somewhat more than strictly necessary under pressure, which is
+//!   why the paper observes swapped bytes growing "more than linearly" with
+//!   the memory footprint (Figure 4).
+//!
+//! The manager is pure bookkeeping: it returns *byte quantities*; the
+//! [`crate::kernel::Kernel`] turns them into virtual-time charges using the
+//! [`crate::disk::Disk`] model.
+
+use crate::process::Pid;
+use crate::signal::OsError;
+use mrp_sim::{SimTime, GIB, MIB};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Static memory configuration of a simulated node.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MemoryConfig {
+    /// Physical RAM installed, in bytes.
+    pub total_ram: u64,
+    /// Memory permanently claimed by the OS, the DataNode and the TaskTracker
+    /// daemons; never available to task processes.
+    pub os_reserve: u64,
+    /// Capacity of the swap area, in bytes.
+    pub swap_capacity: u64,
+    /// Linux `vm.swappiness`: 0 means file cache is always reclaimed before
+    /// anonymous memory (the Hadoop best practice the paper follows); larger
+    /// values make the kernel page out anonymous memory proportionally
+    /// earlier.
+    pub swappiness: u8,
+    /// Extra fraction of pages reclaimed beyond the immediate shortfall when
+    /// the kernel is under pressure, modelling watermark-based batched
+    /// reclaim. This produces the super-linear swapped-bytes growth of
+    /// Figure 4.
+    pub over_eviction_factor: f64,
+    /// Granularity of page-out batches; reclaim amounts are rounded up to a
+    /// multiple of this (Linux `page-cluster` behaviour).
+    pub page_cluster_bytes: u64,
+}
+
+impl Default for MemoryConfig {
+    fn default() -> Self {
+        // The paper's evaluation machine: 4 GB of RAM, of which roughly 0.6 GB
+        // is used by the OS and the Hadoop daemons, swap on a local disk.
+        MemoryConfig {
+            total_ram: 4 * GIB,
+            os_reserve: 600 * MIB,
+            swap_capacity: 8 * GIB,
+            swappiness: 0,
+            over_eviction_factor: 0.18,
+            page_cluster_bytes: 2 * MIB,
+        }
+    }
+}
+
+impl MemoryConfig {
+    /// RAM usable by task processes and the file cache.
+    pub fn usable_ram(&self) -> u64 {
+        self.total_ram.saturating_sub(self.os_reserve)
+    }
+}
+
+/// Per-process memory accounting.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProcMemory {
+    /// Resident anonymous bytes that have been written (must go to swap if
+    /// evicted).
+    pub resident_dirty: u64,
+    /// Resident bytes that can be dropped without writing (code, mmapped
+    /// read-only data, or anonymous pages already backed by swap).
+    pub resident_clean: u64,
+    /// Bytes currently in the swap area.
+    pub swapped: u64,
+    /// Whether the process is suspended (its pages are preferred eviction
+    /// victims).
+    pub suspended: bool,
+    /// Last time the process touched its memory; used for LRU ordering among
+    /// same-priority victims.
+    pub last_touch: SimTime,
+    /// Cumulative bytes this process has had paged out (the quantity plotted
+    /// on the left axis of Figure 4).
+    pub total_paged_out: u64,
+    /// Cumulative bytes paged back in.
+    pub total_paged_in: u64,
+}
+
+impl ProcMemory {
+    /// Total resident bytes.
+    pub fn resident(&self) -> u64 {
+        self.resident_dirty + self.resident_clean
+    }
+
+    /// Total virtual size (resident + swapped).
+    pub fn virtual_size(&self) -> u64 {
+        self.resident() + self.swapped
+    }
+}
+
+/// Byte quantities moved during one reclaim / allocation operation.
+///
+/// The kernel converts these into stall time: `dirty_paged_out` and
+/// `self_thrash_bytes` cost swap-write bandwidth, `paged_in` costs swap-read
+/// bandwidth, everything else is free.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MemoryCharge {
+    /// File-cache bytes reclaimed (no I/O charge).
+    pub cache_reclaimed: u64,
+    /// Clean pages dropped (no I/O charge).
+    pub clean_dropped: u64,
+    /// Dirty pages written to the swap area.
+    pub dirty_paged_out: u64,
+    /// Bytes paged in from swap (on touch/resume).
+    pub paged_in: u64,
+    /// Bytes the allocating process had to cycle through swap itself because
+    /// its own working set exceeds usable RAM (thrashing).
+    pub self_thrash_bytes: u64,
+    /// Per-victim paged-out bytes `(pid, bytes)`, suspended victims first.
+    pub victims: Vec<(Pid, u64)>,
+}
+
+impl MemoryCharge {
+    /// Total bytes that will be written to the swap device.
+    pub fn swap_write_bytes(&self) -> u64 {
+        self.dirty_paged_out + self.self_thrash_bytes
+    }
+
+    /// Total bytes that will be read from the swap device.
+    pub fn swap_read_bytes(&self) -> u64 {
+        self.paged_in + self.self_thrash_bytes
+    }
+
+    /// Merges another charge into this one.
+    pub fn merge(&mut self, other: MemoryCharge) {
+        self.cache_reclaimed += other.cache_reclaimed;
+        self.clean_dropped += other.clean_dropped;
+        self.dirty_paged_out += other.dirty_paged_out;
+        self.paged_in += other.paged_in;
+        self.self_thrash_bytes += other.self_thrash_bytes;
+        self.victims.extend(other.victims);
+    }
+
+    /// True if the operation required no paging at all.
+    pub fn is_free(&self) -> bool {
+        self.swap_write_bytes() == 0 && self.swap_read_bytes() == 0
+    }
+}
+
+/// Cumulative node-wide memory statistics.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MemoryStats {
+    /// Total bytes ever written to swap.
+    pub swap_out_bytes: u64,
+    /// Total bytes ever read back from swap.
+    pub swap_in_bytes: u64,
+    /// Total file-cache bytes reclaimed under pressure.
+    pub cache_reclaimed_bytes: u64,
+    /// Number of allocation requests that needed reclaim.
+    pub pressure_events: u64,
+    /// Number of OOM-killer invocations.
+    pub oom_kills: u64,
+}
+
+/// The per-node memory manager.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MemoryManager {
+    config: MemoryConfig,
+    procs: HashMap<Pid, ProcMemory>,
+    file_cache: u64,
+    swap_used: u64,
+    stats: MemoryStats,
+}
+
+impl MemoryManager {
+    /// Creates a memory manager for a node with the given configuration.
+    pub fn new(config: MemoryConfig) -> Self {
+        assert!(config.total_ram > config.os_reserve, "RAM must exceed the OS reserve");
+        assert!(config.over_eviction_factor >= 0.0);
+        MemoryManager {
+            config,
+            procs: HashMap::new(),
+            file_cache: 0,
+            swap_used: 0,
+            stats: MemoryStats::default(),
+        }
+    }
+
+    /// The node's memory configuration.
+    pub fn config(&self) -> &MemoryConfig {
+        &self.config
+    }
+
+    /// Node-wide statistics.
+    pub fn stats(&self) -> &MemoryStats {
+        &self.stats
+    }
+
+    /// Current file-cache size in bytes.
+    pub fn file_cache(&self) -> u64 {
+        self.file_cache
+    }
+
+    /// Current swap-area occupancy in bytes.
+    pub fn swap_used(&self) -> u64 {
+        self.swap_used
+    }
+
+    /// Registers a new process with an empty address space.
+    pub fn register(&mut self, pid: Pid, now: SimTime) {
+        self.procs.insert(
+            pid,
+            ProcMemory {
+                last_touch: now,
+                ..ProcMemory::default()
+            },
+        );
+    }
+
+    /// Per-process memory view, if the process is registered.
+    pub fn process(&self, pid: Pid) -> Option<&ProcMemory> {
+        self.procs.get(&pid)
+    }
+
+    /// Sum of resident bytes over all registered processes.
+    pub fn total_resident(&self) -> u64 {
+        self.procs.values().map(|p| p.resident()).sum()
+    }
+
+    /// RAM not used by processes, the file cache, or the OS reserve.
+    pub fn free_ram(&self) -> u64 {
+        self.config
+            .usable_ram()
+            .saturating_sub(self.total_resident() + self.file_cache)
+    }
+
+    /// Marks a process as suspended or running for victim-selection purposes.
+    pub fn set_suspended(&mut self, pid: Pid, suspended: bool) -> Result<(), OsError> {
+        let p = self.procs.get_mut(&pid).ok_or(OsError::NoSuchProcess)?;
+        p.suspended = suspended;
+        Ok(())
+    }
+
+    /// Inserts bytes into the file cache (called when HDFS blocks are read);
+    /// the cache only grows into otherwise-free RAM, so this never causes
+    /// paging.
+    pub fn populate_file_cache(&mut self, bytes: u64) {
+        let room = self.free_ram();
+        self.file_cache += bytes.min(room);
+    }
+
+    fn round_cluster(&self, bytes: u64) -> u64 {
+        let c = self.config.page_cluster_bytes.max(1);
+        bytes.div_ceil(c) * c
+    }
+
+    /// Orders eviction victims: suspended processes first (their pages are
+    /// outside every working set), then stopped-but-not-suspended or idle
+    /// processes by least-recent touch. The allocating process itself is
+    /// excluded.
+    fn victim_order(&self, exclude: Pid) -> Vec<Pid> {
+        let mut victims: Vec<(&Pid, &ProcMemory)> = self
+            .procs
+            .iter()
+            .filter(|(pid, pm)| **pid != exclude && pm.resident() > 0)
+            .collect();
+        victims.sort_by(|a, b| {
+            b.1.suspended
+                .cmp(&a.1.suspended)
+                .then(a.1.last_touch.cmp(&b.1.last_touch))
+                .then(a.0.cmp(b.0))
+        });
+        victims.into_iter().map(|(pid, _)| *pid).collect()
+    }
+
+    /// Evicts up to `target` bytes from `victim`, clean pages first, then
+    /// dirty pages. Returns `(clean_dropped, dirty_paged_out)`.
+    fn evict_from(&mut self, victim: Pid, target: u64) -> (u64, u64) {
+        let pm = self.procs.get_mut(&victim).expect("victim must be registered");
+        let clean = pm.resident_clean.min(target);
+        pm.resident_clean -= clean;
+        pm.swapped += clean;
+        let remaining = target - clean;
+        let dirty = pm.resident_dirty.min(remaining);
+        pm.resident_dirty -= dirty;
+        pm.swapped += dirty;
+        pm.total_paged_out += clean + dirty;
+        (clean, dirty)
+    }
+
+    /// Reclaims at least `needed` bytes of RAM for the benefit of `for_pid`.
+    ///
+    /// Reclaim order: file cache (modulated by swappiness), then pages of
+    /// other processes with suspended ones first, then — as a last resort —
+    /// the requesting process thrashes against its own pages.
+    fn reclaim(&mut self, for_pid: Pid, needed: u64) -> Result<MemoryCharge, OsError> {
+        let mut charge = MemoryCharge::default();
+        if needed == 0 {
+            return Ok(charge);
+        }
+        self.stats.pressure_events += 1;
+        let mut shortfall = needed;
+
+        // 1. Reclaim file cache. With swappiness 0 the whole shortfall is taken
+        //    from the cache if possible; with higher swappiness a proportional
+        //    share is deliberately left to anonymous-page eviction.
+        let cache_share = 1.0 - f64::from(self.config.swappiness.min(100)) / 200.0;
+        let from_cache = ((shortfall as f64 * cache_share) as u64)
+            .max(if self.config.swappiness == 0 { shortfall } else { 0 })
+            .min(self.file_cache);
+        self.file_cache -= from_cache;
+        self.stats.cache_reclaimed_bytes += from_cache;
+        charge.cache_reclaimed = from_cache;
+        shortfall = shortfall.saturating_sub(from_cache);
+        if shortfall == 0 {
+            return Ok(charge);
+        }
+
+        // 2. Page out other processes' memory, suspended victims first. The
+        //    kernel reclaims in clustered batches and overshoots the strict
+        //    need under pressure (approximate LRU), hence the over-eviction
+        //    factor scaled by how large the shortfall is relative to RAM.
+        let pressure = shortfall as f64 / self.config.usable_ram().max(1) as f64;
+        let target_total = self.round_cluster(
+            (shortfall as f64 * (1.0 + self.config.over_eviction_factor * (1.0 + pressure))) as u64,
+        );
+        let mut to_reclaim = target_total;
+        for victim in self.victim_order(for_pid) {
+            if to_reclaim == 0 || shortfall == 0 {
+                break;
+            }
+            let available = self.procs[&victim].resident();
+            let take = available.min(to_reclaim);
+            // Swap capacity check: clean pages do not consume new swap space in
+            // real kernels if they are file-backed; we conservatively charge
+            // everything against swap capacity.
+            if self.swap_used + take > self.config.swap_capacity {
+                self.stats.oom_kills += 1;
+                return Err(OsError::OutOfMemory);
+            }
+            let (clean, dirty) = self.evict_from(victim, take);
+            self.swap_used += clean + dirty;
+            self.stats.swap_out_bytes += dirty;
+            charge.clean_dropped += clean;
+            charge.dirty_paged_out += dirty;
+            charge.victims.push((victim, clean + dirty));
+            to_reclaim = to_reclaim.saturating_sub(take);
+            shortfall = shortfall.saturating_sub(take);
+        }
+        if shortfall == 0 {
+            return Ok(charge);
+        }
+
+        // 3. The requesting process's own working set does not fit: it will
+        //    thrash, cycling `shortfall` bytes through swap.
+        if self.swap_used + shortfall > self.config.swap_capacity {
+            self.stats.oom_kills += 1;
+            return Err(OsError::OutOfMemory);
+        }
+        charge.self_thrash_bytes = shortfall;
+        self.stats.swap_out_bytes += shortfall;
+        self.stats.swap_in_bytes += shortfall;
+        Ok(charge)
+    }
+
+    /// Allocates `bytes` of anonymous memory to `pid`; `dirty_fraction` of it
+    /// is written immediately (the paper's memory-hungry tasks write random
+    /// values to their whole allocation, making every page dirty).
+    ///
+    /// Returns the byte movements the allocation caused; the caller charges
+    /// the corresponding stall time to the allocating process.
+    pub fn allocate(
+        &mut self,
+        pid: Pid,
+        bytes: u64,
+        dirty_fraction: f64,
+        now: SimTime,
+    ) -> Result<MemoryCharge, OsError> {
+        assert!((0.0..=1.0).contains(&dirty_fraction));
+        if !self.procs.contains_key(&pid) {
+            return Err(OsError::NoSuchProcess);
+        }
+        let shortfall = bytes.saturating_sub(self.free_ram());
+        let charge = self.reclaim(pid, shortfall)?;
+        let pm = self.procs.get_mut(&pid).expect("checked above");
+        let dirty = (bytes as f64 * dirty_fraction) as u64;
+        pm.resident_dirty += dirty;
+        pm.resident_clean += bytes - dirty;
+        pm.last_touch = now;
+        // A thrashing allocation cannot keep everything resident: the excess
+        // lives in swap and cycles in and out while the process runs.
+        let thrash = charge.self_thrash_bytes;
+        if thrash > 0 {
+            let from_dirty = pm.resident_dirty.min(thrash);
+            pm.resident_dirty -= from_dirty;
+            let from_clean = (thrash - from_dirty).min(pm.resident_clean);
+            pm.resident_clean -= from_clean;
+            let moved = from_dirty + from_clean;
+            pm.swapped += moved;
+            pm.total_paged_out += moved;
+            self.swap_used += moved;
+        }
+        Ok(charge)
+    }
+
+    /// Releases `bytes` of `pid`'s memory (dirty first), e.g. when a task
+    /// disposes of a large buffer.
+    pub fn release(&mut self, pid: Pid, bytes: u64) -> Result<(), OsError> {
+        let pm = self.procs.get_mut(&pid).ok_or(OsError::NoSuchProcess)?;
+        let from_dirty = pm.resident_dirty.min(bytes);
+        pm.resident_dirty -= from_dirty;
+        let mut left = bytes - from_dirty;
+        let from_clean = pm.resident_clean.min(left);
+        pm.resident_clean -= from_clean;
+        left -= from_clean;
+        let from_swap = pm.swapped.min(left);
+        pm.swapped -= from_swap;
+        self.swap_used = self.swap_used.saturating_sub(from_swap);
+        Ok(())
+    }
+
+    /// Removes a terminated process, freeing all its resident and swapped
+    /// memory instantly (the kernel tears down the address space without any
+    /// disk I/O).
+    pub fn remove(&mut self, pid: Pid) -> Result<(), OsError> {
+        let pm = self.procs.remove(&pid).ok_or(OsError::NoSuchProcess)?;
+        self.swap_used = self.swap_used.saturating_sub(pm.swapped);
+        Ok(())
+    }
+
+    /// Touches the whole address space of `pid` (as a resumed task does while
+    /// it warms back up), faulting in everything that was swapped out.
+    ///
+    /// Returns the charge whose `paged_in` field is the number of bytes read
+    /// back from the swap device; bringing them in may in turn evict memory of
+    /// other (suspended) processes.
+    pub fn page_in_all(&mut self, pid: Pid, now: SimTime) -> Result<MemoryCharge, OsError> {
+        let swapped = self
+            .procs
+            .get(&pid)
+            .ok_or(OsError::NoSuchProcess)?
+            .swapped;
+        if swapped == 0 {
+            if let Some(pm) = self.procs.get_mut(&pid) {
+                pm.last_touch = now;
+            }
+            return Ok(MemoryCharge::default());
+        }
+        let shortfall = swapped.saturating_sub(self.free_ram());
+        let mut charge = self.reclaim(pid, shortfall)?;
+        // If even evicting every other process cannot make room, part of the
+        // address space has to stay in swap (the process will thrash).
+        let stay_swapped = charge.self_thrash_bytes.min(swapped);
+        let bring_in = swapped - stay_swapped;
+        let pm = self.procs.get_mut(&pid).expect("checked above");
+        pm.swapped = stay_swapped;
+        // Swapped-in pages come back clean (they are backed by their swap
+        // slots until rewritten); a process that keeps writing will dirty them
+        // again through subsequent allocations.
+        pm.resident_clean += bring_in;
+        pm.total_paged_in += bring_in;
+        pm.last_touch = now;
+        self.swap_used = self.swap_used.saturating_sub(bring_in);
+        self.stats.swap_in_bytes += bring_in;
+        charge.paged_in = bring_in;
+        Ok(charge)
+    }
+
+    /// Marks `pid`'s memory as recently used (it is actively computing).
+    pub fn touch(&mut self, pid: Pid, now: SimTime) -> Result<(), OsError> {
+        let pm = self.procs.get_mut(&pid).ok_or(OsError::NoSuchProcess)?;
+        pm.last_touch = now;
+        Ok(())
+    }
+
+    /// Chooses the process the OOM killer would sacrifice: the one with the
+    /// largest virtual size, preferring suspended processes (smallest harm to
+    /// the running workload).
+    pub fn oom_victim(&self) -> Option<Pid> {
+        self.procs
+            .iter()
+            .max_by_key(|(pid, pm)| (pm.suspended, pm.virtual_size(), std::cmp::Reverse(pid.0)))
+            .map(|(pid, _)| *pid)
+    }
+
+    /// Verifies internal accounting invariants; used by property tests and
+    /// debug assertions in the kernel.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let resident = self.total_resident();
+        if resident + self.file_cache > self.config.usable_ram() {
+            return Err(format!(
+                "resident ({resident}) + cache ({}) exceeds usable RAM ({})",
+                self.file_cache,
+                self.config.usable_ram()
+            ));
+        }
+        let swapped: u64 = self.procs.values().map(|p| p.swapped).sum();
+        if swapped != self.swap_used {
+            return Err(format!(
+                "per-process swapped sum ({swapped}) != swap_used ({})",
+                self.swap_used
+            ));
+        }
+        if self.swap_used > self.config.swap_capacity {
+            return Err("swap used exceeds swap capacity".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr() -> MemoryManager {
+        MemoryManager::new(MemoryConfig::default())
+    }
+
+    #[test]
+    fn allocation_within_free_ram_is_free() {
+        let mut m = mgr();
+        m.register(Pid(1), SimTime::ZERO);
+        let charge = m.allocate(Pid(1), GIB, 1.0, SimTime::ZERO).unwrap();
+        assert!(charge.is_free());
+        assert_eq!(m.process(Pid(1)).unwrap().resident_dirty, GIB);
+        assert_eq!(m.swap_used(), 0);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn file_cache_reclaimed_before_anonymous_memory() {
+        let mut m = mgr();
+        m.register(Pid(1), SimTime::ZERO);
+        m.register(Pid(2), SimTime::ZERO);
+        m.allocate(Pid(1), GIB, 1.0, SimTime::ZERO).unwrap();
+        m.populate_file_cache(2 * GIB);
+        assert!(m.file_cache() > GIB);
+        // Allocating 2 GiB now exceeds free RAM but the cache absorbs it.
+        let charge = m.allocate(Pid(2), 2 * GIB, 1.0, SimTime::from_secs(1)).unwrap();
+        assert!(charge.cache_reclaimed > 0);
+        assert_eq!(charge.dirty_paged_out, 0, "no anonymous paging while cache is available");
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn suspended_process_is_paged_out_first() {
+        let mut m = mgr();
+        m.register(Pid(1), SimTime::ZERO);
+        m.register(Pid(2), SimTime::from_secs(1));
+        m.register(Pid(3), SimTime::from_secs(2));
+        m.allocate(Pid(1), GIB, 1.0, SimTime::ZERO).unwrap();
+        m.allocate(Pid(2), GIB, 1.0, SimTime::from_secs(1)).unwrap();
+        m.set_suspended(Pid(2), true).unwrap();
+        // Node has 4 GiB - 0.6 reserve = ~3.4 usable; 2 GiB used; allocating
+        // 2 GiB more must evict ~0.6 GiB and the victim must be pid 2.
+        let charge = m.allocate(Pid(3), 2 * GIB, 1.0, SimTime::from_secs(2)).unwrap();
+        assert!(charge.dirty_paged_out > 0);
+        assert_eq!(charge.victims.len(), 1);
+        assert_eq!(charge.victims[0].0, Pid(2));
+        assert!(m.process(Pid(2)).unwrap().swapped > 0);
+        assert_eq!(m.process(Pid(1)).unwrap().swapped, 0);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn lru_breaks_ties_between_running_victims() {
+        let mut m = mgr();
+        m.register(Pid(1), SimTime::ZERO);
+        m.register(Pid(2), SimTime::ZERO);
+        m.register(Pid(3), SimTime::ZERO);
+        m.allocate(Pid(1), GIB, 1.0, SimTime::from_secs(1)).unwrap();
+        m.allocate(Pid(2), GIB, 1.0, SimTime::from_secs(5)).unwrap();
+        // pid 1 touched longest ago: it is the first victim.
+        let charge = m.allocate(Pid(3), 2 * GIB, 1.0, SimTime::from_secs(6)).unwrap();
+        assert_eq!(charge.victims[0].0, Pid(1));
+    }
+
+    #[test]
+    fn clean_pages_are_dropped_without_swap_writes() {
+        let mut m = mgr();
+        m.register(Pid(1), SimTime::ZERO);
+        m.register(Pid(2), SimTime::ZERO);
+        // 1 GiB fully clean (e.g. mapped code/readonly data).
+        m.allocate(Pid(1), GIB, 0.0, SimTime::ZERO).unwrap();
+        m.set_suspended(Pid(1), true).unwrap();
+        let charge = m.allocate(Pid(2), 3 * GIB, 1.0, SimTime::from_secs(1)).unwrap();
+        assert!(charge.clean_dropped > 0);
+        assert_eq!(charge.dirty_paged_out, 0);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn over_eviction_makes_swap_grow_superlinearly() {
+        // Paging out for a small shortfall vs a large shortfall: the ratio of
+        // swapped bytes should exceed the ratio of shortfalls.
+        let run = |alloc: u64| -> u64 {
+            let mut m = mgr();
+            m.register(Pid(1), SimTime::ZERO);
+            m.register(Pid(2), SimTime::ZERO);
+            m.allocate(Pid(1), 2 * GIB + 512 * MIB, 1.0, SimTime::ZERO).unwrap();
+            m.set_suspended(Pid(1), true).unwrap();
+            m.allocate(Pid(2), alloc, 1.0, SimTime::from_secs(1)).unwrap();
+            m.process(Pid(1)).unwrap().total_paged_out
+        };
+        let small = run(GIB);
+        let large = run(2 * GIB);
+        assert!(small > 0);
+        let shortfall_ratio = 2.0; // the second allocation's shortfall is ~2x... (approximately)
+        let swap_ratio = large as f64 / small as f64;
+        assert!(
+            swap_ratio > shortfall_ratio * 0.9,
+            "swapped bytes should grow at least roughly linearly: {swap_ratio}"
+        );
+    }
+
+    #[test]
+    fn page_in_restores_resident_memory() {
+        let mut m = mgr();
+        m.register(Pid(1), SimTime::ZERO);
+        m.register(Pid(2), SimTime::ZERO);
+        m.allocate(Pid(1), 2 * GIB, 1.0, SimTime::ZERO).unwrap();
+        m.set_suspended(Pid(1), true).unwrap();
+        m.allocate(Pid(2), 2 * GIB, 1.0, SimTime::from_secs(1)).unwrap();
+        let swapped_before = m.process(Pid(1)).unwrap().swapped;
+        assert!(swapped_before > 0);
+        // pid 2 finishes and its memory is freed; pid 1 resumes.
+        m.remove(Pid(2)).unwrap();
+        m.set_suspended(Pid(1), false).unwrap();
+        let charge = m.page_in_all(Pid(1), SimTime::from_secs(100)).unwrap();
+        assert_eq!(charge.paged_in, swapped_before);
+        let pm = m.process(Pid(1)).unwrap();
+        assert_eq!(pm.swapped, 0);
+        assert_eq!(pm.virtual_size(), 2 * GIB);
+        assert_eq!(m.swap_used(), 0);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn page_in_with_no_swapped_bytes_is_free() {
+        let mut m = mgr();
+        m.register(Pid(1), SimTime::ZERO);
+        m.allocate(Pid(1), GIB, 1.0, SimTime::ZERO).unwrap();
+        let charge = m.page_in_all(Pid(1), SimTime::from_secs(1)).unwrap();
+        assert!(charge.is_free());
+    }
+
+    #[test]
+    fn release_and_remove_free_memory() {
+        let mut m = mgr();
+        m.register(Pid(1), SimTime::ZERO);
+        m.allocate(Pid(1), GIB, 1.0, SimTime::ZERO).unwrap();
+        m.release(Pid(1), 512 * MIB).unwrap();
+        assert_eq!(m.process(Pid(1)).unwrap().resident(), GIB - 512 * MIB);
+        m.remove(Pid(1)).unwrap();
+        assert!(m.process(Pid(1)).is_none());
+        assert_eq!(m.total_resident(), 0);
+    }
+
+    #[test]
+    fn swap_exhaustion_is_oom() {
+        let cfg = MemoryConfig {
+            total_ram: 2 * GIB,
+            os_reserve: 256 * MIB,
+            swap_capacity: 256 * MIB,
+            ..MemoryConfig::default()
+        };
+        let mut m = MemoryManager::new(cfg);
+        m.register(Pid(1), SimTime::ZERO);
+        m.register(Pid(2), SimTime::ZERO);
+        m.allocate(Pid(1), GIB + 512 * MIB, 1.0, SimTime::ZERO).unwrap();
+        m.set_suspended(Pid(1), true).unwrap();
+        let err = m.allocate(Pid(2), GIB + 512 * MIB, 1.0, SimTime::from_secs(1)).unwrap_err();
+        assert_eq!(err, OsError::OutOfMemory);
+        assert_eq!(m.stats().oom_kills, 1);
+        assert!(m.oom_victim().is_some());
+    }
+
+    #[test]
+    fn thrashing_when_working_set_exceeds_ram() {
+        let mut m = mgr();
+        m.register(Pid(1), SimTime::ZERO);
+        // A single process asking for more than usable RAM must thrash.
+        let charge = m.allocate(Pid(1), 5 * GIB, 1.0, SimTime::ZERO).unwrap();
+        assert!(charge.self_thrash_bytes > 0);
+        assert!(charge.swap_read_bytes() > 0 && charge.swap_write_bytes() > 0);
+    }
+
+    #[test]
+    fn unknown_pid_is_an_error() {
+        let mut m = mgr();
+        assert_eq!(m.allocate(Pid(9), 1, 1.0, SimTime::ZERO).unwrap_err(), OsError::NoSuchProcess);
+        assert_eq!(m.page_in_all(Pid(9), SimTime::ZERO).unwrap_err(), OsError::NoSuchProcess);
+        assert_eq!(m.release(Pid(9), 1).unwrap_err(), OsError::NoSuchProcess);
+        assert_eq!(m.remove(Pid(9)).unwrap_err(), OsError::NoSuchProcess);
+        assert_eq!(m.set_suspended(Pid(9), true).unwrap_err(), OsError::NoSuchProcess);
+        assert_eq!(m.touch(Pid(9), SimTime::ZERO).unwrap_err(), OsError::NoSuchProcess);
+    }
+
+    #[test]
+    fn higher_swappiness_pages_anon_even_with_cache_available() {
+        let cfg = MemoryConfig {
+            swappiness: 100,
+            ..MemoryConfig::default()
+        };
+        let mut m = MemoryManager::new(cfg);
+        m.register(Pid(1), SimTime::ZERO);
+        m.register(Pid(2), SimTime::ZERO);
+        m.allocate(Pid(1), GIB, 1.0, SimTime::ZERO).unwrap();
+        m.set_suspended(Pid(1), true).unwrap();
+        m.populate_file_cache(3 * GIB);
+        let charge = m.allocate(Pid(2), 2 * GIB, 1.0, SimTime::from_secs(1)).unwrap();
+        // With swappiness=100 only ~half the shortfall is taken from the cache.
+        assert!(charge.dirty_paged_out > 0, "expected anonymous paging with high swappiness");
+    }
+}

@@ -1,0 +1,32 @@
+//! The preemption primitive on the real operating system: spawn a worker
+//! process, suspend it with SIGTSTP, observe its /proc state and RSS, resume
+//! it with SIGCONT, and print the measured latencies.
+//!
+//! ```text
+//! cargo run --example os_prototype
+//! ```
+
+use mrp_oschild::{prototype_supported, WorkerProcess};
+
+fn main() {
+    if !prototype_supported() {
+        eprintln!("This example needs a Unix system with /proc; skipping.");
+        return;
+    }
+    let worker = WorkerProcess::spawn_busy_loop().expect("spawn worker");
+    println!("spawned worker pid {} (state {:?})", worker.pid(), worker.state().unwrap());
+
+    for cycle in 1..=3 {
+        let rt = worker.suspend_resume_roundtrip().expect("roundtrip");
+        println!(
+            "cycle {cycle}: SIGTSTP->stopped in {:?}, SIGCONT->running in {:?}, RSS while stopped {} KiB",
+            rt.suspend_latency,
+            rt.resume_latency,
+            rt.rss_while_stopped / 1024
+        );
+    }
+
+    println!("final state: {:?}", worker.state().unwrap());
+    worker.kill().expect("kill worker");
+    println!("worker killed; the same two signals are what the TaskTracker sends to task JVMs.");
+}

@@ -1,0 +1,20 @@
+//! Regenerates every figure of the paper and prints the tables that back
+//! EXPERIMENTS.md. Runs the full sweeps; expect a few seconds.
+//!
+//! ```text
+//! cargo run --release --example paper_figures
+//! ```
+
+use mrp_experiments::{run_figure, to_table, Figure};
+
+fn main() {
+    let repetitions: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(3);
+    for figure in Figure::ALL {
+        for data in run_figure(figure, repetitions) {
+            println!("{}", to_table(&data));
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Quickstart: run the paper's scenario once with the suspend/resume
+//! primitive and print what happened.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use hadoop_os_preempt::prelude::*;
+
+fn main() {
+    // 1. Describe the two jobs: a low-priority tl and a high-priority th,
+    //    both single-task map-only jobs over 512 MB inputs.
+    let (tl, th) = two_job_scenario(0, 0);
+
+    // 2. Build the paper's dummy scheduler: when tl reaches 50% progress,
+    //    submit th and suspend tl; resume tl when th completes.
+    let plan = DummyPlan::paper_scenario(PreemptionPrimitive::SuspendResume, "tl", th, 0.5);
+    let scheduler = DummyScheduler::new(plan);
+    let triggers = scheduler.required_triggers();
+
+    // 3. Build the single-node cluster (4 GB RAM, one map slot, swappiness 0),
+    //    create the HDFS inputs and register the progress trigger.
+    let mut cluster = Cluster::new(ClusterConfig::paper_single_node(), Box::new(scheduler));
+    for (path, len) in two_job_input_files() {
+        cluster.create_input_file(&path, len).expect("create input");
+    }
+    for (job, task, fraction) in triggers {
+        cluster.add_progress_trigger(&job, task, fraction);
+    }
+
+    // 4. Submit tl and run.
+    cluster.submit_job(tl);
+    cluster.run(SimTime::from_secs(3_600));
+
+    // 5. Inspect the outcome.
+    let report = cluster.report();
+    println!("== schedule trace ==");
+    for entry in cluster.trace() {
+        println!("{}", entry.to_line());
+    }
+    println!("\n== metrics ==");
+    println!(
+        "sojourn(th) = {:.1}s   makespan = {:.1}s   swap out = {} MiB   tl suspend cycles = {}",
+        report.sojourn_secs("th").unwrap(),
+        report.makespan_secs().unwrap(),
+        report.total_swap_out_bytes() / MIB,
+        report.job("tl").unwrap().tasks[0].suspend_cycles,
+    );
+}

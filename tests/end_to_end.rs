@@ -1,0 +1,166 @@
+//! Cross-crate integration tests: determinism, configuration files, failure
+//! injection, and the real-OS prototype (skipped where unavailable).
+
+use hadoop_os_preempt::prelude::*;
+use mrp_engine::TaskState;
+use mrp_experiments::run_once;
+
+fn paper_run(primitive: PreemptionPrimitive, seed: u64) -> ClusterReport {
+    run_once(&ScenarioConfig::lightweight(primitive, 0.5), seed).report
+}
+
+#[test]
+fn same_seed_is_bit_identical_different_seed_still_completes() {
+    let a = paper_run(PreemptionPrimitive::SuspendResume, 7);
+    let b = paper_run(PreemptionPrimitive::SuspendResume, 7);
+    assert_eq!(a, b);
+    let c = paper_run(PreemptionPrimitive::SuspendResume, 8);
+    assert!(c.all_jobs_complete());
+}
+
+#[test]
+fn dummy_plan_round_trips_through_json_config_files() {
+    let (_, th) = two_job_scenario(0, 0);
+    let plan = DummyPlan::paper_scenario(PreemptionPrimitive::Kill, "tl", th, 0.75);
+    let json = plan.to_json();
+    let parsed = DummyPlan::from_json(&json).expect("valid config");
+    assert_eq!(plan, parsed);
+
+    // A plan loaded from the config file drives the cluster exactly like the
+    // original one.
+    let scheduler = DummyScheduler::new(parsed);
+    let triggers = scheduler.required_triggers();
+    let mut cluster = Cluster::new(ClusterConfig::paper_single_node(), Box::new(scheduler));
+    for (path, len) in two_job_input_files() {
+        cluster.create_input_file(&path, len).unwrap();
+    }
+    for (job, task, fraction) in triggers {
+        cluster.add_progress_trigger(&job, task, fraction);
+    }
+    cluster.submit_job(two_job_scenario(0, 0).0);
+    cluster.run(SimTime::from_secs(3_600));
+    let report = cluster.report();
+    assert!(report.all_jobs_complete());
+    assert_eq!(report.job("tl").unwrap().tasks[0].attempts, 2, "kill primitive restarts tl");
+}
+
+#[test]
+fn suspend_command_racing_completion_is_harmless() {
+    // Preempt at 99.9%: by the time the suspend command is piggybacked on a
+    // heartbeat the task is typically finalizing or done — the protocol must
+    // let it complete rather than wedging the job.
+    let run = run_once(&ScenarioConfig::lightweight(PreemptionPrimitive::SuspendResume, 0.999), 1);
+    assert!(run.report.all_jobs_complete());
+    assert!(run.report.job("tl").unwrap().tasks[0].suspend_cycles <= 1);
+}
+
+#[test]
+fn swap_exhaustion_triggers_the_oom_killer_without_corrupting_state() {
+    // Failure injection: two 2 GiB tasks share a 4 GiB node whose swap area is
+    // far too small to absorb either of them. The node cannot host both, so
+    // the OOM killer fires (repeatedly -- each relaunch displaces the other,
+    // the realistic outcome of such a misconfiguration). What we require is
+    // that the engine stays consistent: OOM kills are recorded, the killed
+    // tasks return to a schedulable state, and nothing deadlocks or panics
+    // within the bounded horizon.
+    use mrp_engine::{Cluster, ClusterConfig, JobSpec};
+    let mut cfg = ClusterConfig::paper_single_node();
+    cfg.nodes[0].map_slots = 2;
+    cfg.nodes[0].os.memory.swap_capacity = 64 * MIB;
+    let mut cluster = Cluster::new(cfg, Box::new(mrp_engine::FifoScheduler::new()));
+    cluster.submit_job(
+        JobSpec::synthetic("hog-a", 1, 256 * MIB)
+            .with_profile(TaskProfile::memory_hungry(2 * GIB)),
+    );
+    cluster.submit_job(
+        JobSpec::synthetic("hog-b", 1, 256 * MIB)
+            .with_profile(TaskProfile::memory_hungry(2 * GIB)),
+    );
+    cluster.run(SimTime::from_secs(1_800));
+    let report = cluster.report();
+    let ooms: u64 = report.nodes.iter().map(|n| n.oom_kills).sum();
+    assert!(ooms >= 1, "with 64 MiB of swap one of the 2 GiB tasks must be OOM killed");
+    for job in cluster.jobs().values() {
+        for task in &job.tasks {
+            assert!(
+                matches!(
+                    task.state,
+                    TaskState::Pending | TaskState::Running | TaskState::Succeeded
+                ),
+                "{:?} left in unexpected state {:?}",
+                task.id,
+                task.state
+            );
+        }
+    }
+
+    // With a properly sized swap area the same workload completes: the
+    // eviction path absorbs the pressure instead of the OOM killer.
+    let mut cfg = ClusterConfig::paper_single_node();
+    cfg.nodes[0].map_slots = 2;
+    cfg.nodes[0].os.memory.swap_capacity = 8 * GIB;
+    let mut cluster = Cluster::new(cfg, Box::new(mrp_engine::FifoScheduler::new()));
+    cluster.submit_job(
+        JobSpec::synthetic("hog-a", 1, 256 * MIB)
+            .with_profile(TaskProfile::memory_hungry(2 * GIB)),
+    );
+    cluster.submit_job(
+        JobSpec::synthetic("hog-b", 1, 256 * MIB)
+            .with_profile(TaskProfile::memory_hungry(2 * GIB)),
+    );
+    cluster.run(SimTime::from_secs(24 * 3_600));
+    let report = cluster.report();
+    assert!(report.all_jobs_complete());
+    assert!(report.total_swap_out_bytes() > 0);
+    let ooms: u64 = report.nodes.iter().map(|n| n.oom_kills).sum();
+    assert_eq!(ooms, 0);
+}
+
+#[test]
+fn preemptive_scheduler_keeps_task_states_consistent() {
+    // Drive the HFSP scheduler over a small workload and check the engine's
+    // bookkeeping stays consistent at the end: every task succeeded, nothing
+    // is left suspended, no slot leaked (checked implicitly by completion).
+    let mut cluster = Cluster::new(
+        ClusterConfig::small_cluster(2, 1, 1),
+        Box::new(HfspScheduler::new(
+            PreemptionPrimitive::SuspendResume,
+            EvictionPolicy::ClosestToCompletion,
+        )),
+    );
+    cluster.submit_job(JobSpec::synthetic("large", 4, 512 * MIB));
+    cluster.submit_job_at(JobSpec::synthetic("small", 1, 128 * MIB), SimTime::from_secs(30));
+    cluster.submit_job_at(JobSpec::synthetic("tiny", 1, 64 * MIB), SimTime::from_secs(60));
+    cluster.run(SimTime::from_secs(24 * 3_600));
+    for job in cluster.jobs().values() {
+        for task in &job.tasks {
+            assert_eq!(task.state, TaskState::Succeeded, "{:?} ended as {:?}", task.id, task.state);
+            assert!((task.progress - 1.0).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn real_os_prototype_round_trip() {
+    if !mrp_oschild::prototype_supported() {
+        eprintln!("skipping real-OS prototype test: unsupported platform");
+        return;
+    }
+    let worker = match mrp_oschild::WorkerProcess::spawn_busy_loop() {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("skipping real-OS prototype test: {e}");
+            return;
+        }
+    };
+    let rt = match worker.suspend_resume_roundtrip() {
+        Ok(rt) => rt,
+        Err(e) => {
+            eprintln!("skipping real-OS prototype test: {e}");
+            return;
+        }
+    };
+    assert!(rt.suspend_latency.as_millis() < 1_000);
+    assert!(rt.resume_latency.as_millis() < 1_000);
+    worker.kill().unwrap();
+}

@@ -1,0 +1,132 @@
+//! Integration tests spanning the whole stack: golden-*shape* assertions for
+//! every figure of the paper (orderings, factors and crossovers — not
+//! absolute seconds, which depend on calibration).
+
+use hadoop_os_preempt::prelude::*;
+use mrp_experiments::{eviction_ablation, figure4, natjam_comparison, resume_locality_ablation, run_once};
+
+fn sojourn(primitive: PreemptionPrimitive, r: f64) -> f64 {
+    run_once(&ScenarioConfig::lightweight(primitive, r), 1).sojourn_th_secs
+}
+
+fn makespan(primitive: PreemptionPrimitive, r: f64) -> f64 {
+    run_once(&ScenarioConfig::lightweight(primitive, r), 1).makespan_secs
+}
+
+#[test]
+fn figure2a_shape_wait_falls_kill_and_susp_flat() {
+    // wait: dominated by tl's remaining work, so it falls steeply with r.
+    let wait_early = sojourn(PreemptionPrimitive::Wait, 0.1);
+    let wait_late = sojourn(PreemptionPrimitive::Wait, 0.9);
+    assert!(wait_early - wait_late > 40.0, "wait sojourn must fall with r: {wait_early} -> {wait_late}");
+
+    // kill / susp: flat (within a heartbeat) and far below wait at small r.
+    for primitive in [PreemptionPrimitive::Kill, PreemptionPrimitive::SuspendResume] {
+        let early = sojourn(primitive, 0.1);
+        let late = sojourn(primitive, 0.9);
+        assert!((early - late).abs() < 10.0, "{primitive} sojourn should be flat: {early} vs {late}");
+        assert!(wait_early - early > 40.0, "{primitive} must beat wait for early arrivals");
+    }
+
+    // susp is at least as good as kill at every measured point (no cleanup attempt).
+    for r in [0.1, 0.3, 0.5, 0.7, 0.9] {
+        assert!(
+            sojourn(PreemptionPrimitive::SuspendResume, r) <= sojourn(PreemptionPrimitive::Kill, r) + 1.0,
+            "susp must not lose to kill at r={r}"
+        );
+    }
+}
+
+#[test]
+fn figure2b_shape_kill_makespan_grows_with_wasted_work() {
+    let kill_early = makespan(PreemptionPrimitive::Kill, 0.1);
+    let kill_late = makespan(PreemptionPrimitive::Kill, 0.9);
+    assert!(kill_late - kill_early > 40.0, "kill makespan must grow with r");
+
+    for r in [0.1, 0.5, 0.9] {
+        let wait = makespan(PreemptionPrimitive::Wait, r);
+        let susp = makespan(PreemptionPrimitive::SuspendResume, r);
+        let kill = makespan(PreemptionPrimitive::Kill, r);
+        assert!((susp - wait).abs() < 10.0, "susp makespan tracks wait at r={r}: {susp} vs {wait}");
+        assert!(kill >= susp, "kill cannot beat susp on makespan at r={r}");
+    }
+    // At late preemption points kill is far worse than both.
+    assert!(makespan(PreemptionPrimitive::Kill, 0.9) - makespan(PreemptionPrimitive::Wait, 0.9) > 50.0);
+}
+
+#[test]
+fn figure3_shape_memory_hungry_overheads_are_visible_but_bounded() {
+    let state = 2 * GIB;
+    let susp = run_once(&ScenarioConfig::memory_hungry(PreemptionPrimitive::SuspendResume, 0.5, state), 1);
+    let kill = run_once(&ScenarioConfig::memory_hungry(PreemptionPrimitive::Kill, 0.5, state), 1);
+    let wait = run_once(&ScenarioConfig::memory_hungry(PreemptionPrimitive::Wait, 0.5, state), 1);
+
+    // Paging happened, and only under suspend/resume.
+    assert!(susp.tl_paged_out_bytes > 0);
+    assert_eq!(kill.tl_paged_out_bytes, 0);
+    assert_eq!(wait.tl_paged_out_bytes, 0);
+
+    // The worst case flips the close calls: kill's sojourn is now slightly
+    // better than susp's, wait's makespan slightly better than susp's — but
+    // the margins stay small (the paper calls them "marginal"), and susp
+    // still beats the opposite extreme by a lot.
+    assert!(susp.sojourn_th_secs >= kill.sojourn_th_secs);
+    assert!(susp.sojourn_th_secs < kill.sojourn_th_secs * 1.35);
+    assert!(susp.makespan_secs >= wait.makespan_secs);
+    assert!(susp.makespan_secs < wait.makespan_secs * 1.25);
+    assert!(wait.sojourn_th_secs > susp.sojourn_th_secs + 20.0);
+    assert!(kill.makespan_secs > susp.makespan_secs + 20.0);
+}
+
+#[test]
+fn figure4_shape_overheads_grow_with_memory_footprint() {
+    let f = figure4(1);
+    let paged = f.column("paged_bytes_MB").unwrap();
+    let sojourn_overhead = f.column("sojourn_overhead_s").unwrap();
+    let makespan_overhead = f.column("makespan_overhead_s").unwrap();
+
+    // No memory, no paging, (essentially) no overhead.
+    assert!(paged[0] < 10.0);
+    assert!(sojourn_overhead[0].abs() < 6.0);
+    // Large memory: hundreds of MB to >1 GB paged and tens of seconds of overhead.
+    assert!(*paged.last().unwrap() > 800.0);
+    assert!(*sojourn_overhead.last().unwrap() > 5.0);
+    assert!(*makespan_overhead.last().unwrap() > 5.0);
+    // Paged bytes are non-decreasing in the th footprint.
+    assert!(paged.windows(2).all(|w| w[1] >= w[0] - 1.0));
+    // Overheads are roughly ordered with paged bytes (linear correlation in the paper).
+    assert!(sojourn_overhead.last().unwrap() > &sojourn_overhead[0]);
+    assert!(makespan_overhead.last().unwrap() > &makespan_overhead[0]);
+}
+
+#[test]
+fn natjam_comparison_shows_checkpointing_costs_more() {
+    let f = natjam_comparison(1);
+    for row in &f.rows {
+        assert!(row[1] < row[2], "susp overhead {} must undercut the checkpoint model {}", row[1], row[2]);
+    }
+}
+
+#[test]
+fn eviction_ablation_smallest_memory_minimises_paging() {
+    let f = eviction_ablation(1);
+    let swap = f.column("swap_out_MB").unwrap();
+    // Row 0 = smallest-memory victim, row 2 = largest-memory victim.
+    assert!(swap[0] <= swap[2], "evicting the small task must not page more: {swap:?}");
+}
+
+#[test]
+fn resume_locality_crossover_favours_local_resume_at_high_progress() {
+    let f = resume_locality_ablation(1);
+    let local = f.column("local_resume_makespan_s").unwrap();
+    let nonlocal = f.column("nonlocal_restart_makespan_s").unwrap();
+    let wasted_nonlocal = f.column("nonlocal_restart_wasted_s").unwrap();
+    // Restarting elsewhere always wastes work; the waste grows with progress.
+    assert!(wasted_nonlocal.windows(2).all(|w| w[1] >= w[0]));
+    assert!(wasted_nonlocal[0] > 1.0);
+    // With little progress the non-local restart can compete (it overlaps the
+    // two jobs on two nodes); with a lot of progress the local resume is no
+    // worse than, or close to, the restart despite using a single node.
+    let last = local.len() - 1;
+    assert!(local[last] <= nonlocal[last] + 30.0);
+}
