@@ -1,17 +1,12 @@
 //! Section V-A ablation: which task to evict (smallest memory footprint vs.
 //! closest to completion vs. largest memory footprint).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mrp_bench::Bench;
 use mrp_experiments::{eviction_ablation, to_table};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("eviction_policies");
-    group.sample_size(10);
-    group.bench_function("three_policies", |b| b.iter(|| eviction_ablation(1)));
-    group.finish();
+fn main() {
+    let bench = Bench::from_args();
+    bench.measure("eviction_policies/three_policies", || eviction_ablation(1));
 
     println!("\n{}", to_table(&eviction_ablation(1)));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

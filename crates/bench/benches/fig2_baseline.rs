@@ -1,19 +1,14 @@
 //! Regenerates Figures 2a and 2b: sojourn time of `th` and makespan with
 //! light-weight tasks, for the wait / kill / suspend-resume primitives.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mrp_bench::Bench;
 use mrp_experiments::{figure2, to_table};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig2_baseline");
-    group.sample_size(10);
-    group.bench_function("sweep_10_to_90_percent", |b| b.iter(|| figure2(1)));
-    group.finish();
+fn main() {
+    let bench = Bench::from_args();
+    bench.measure("fig2_baseline/sweep_10_to_90_percent", || figure2(1));
 
-    let (a, bfig) = figure2(1);
+    let (a, b) = figure2(1);
     println!("\n{}", to_table(&a));
-    println!("{}", to_table(&bfig));
+    println!("{}", to_table(&b));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

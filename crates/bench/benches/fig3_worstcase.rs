@@ -1,19 +1,14 @@
 //! Regenerates Figures 3a and 3b: the memory-hungry worst case (both tasks
 //! allocate 2 GB of dirty state on a 4 GB node).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mrp_bench::Bench;
 use mrp_experiments::{figure3, to_table};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig3_worstcase");
-    group.sample_size(10);
-    group.bench_function("sweep_10_to_90_percent", |b| b.iter(|| figure3(1)));
-    group.finish();
+fn main() {
+    let bench = Bench::from_args();
+    bench.measure("fig3_worstcase/sweep_10_to_90_percent", || figure3(1));
 
-    let (a, bfig) = figure3(1);
+    let (a, b) = figure3(1);
     println!("\n{}", to_table(&a));
-    println!("{}", to_table(&bfig));
+    println!("{}", to_table(&b));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

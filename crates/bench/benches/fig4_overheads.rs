@@ -1,17 +1,12 @@
 //! Regenerates Figure 4: bytes paged out for `tl` and the sojourn/makespan
 //! overheads of suspend/resume as the memory allocated by `th` grows.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mrp_bench::Bench;
 use mrp_experiments::{figure4, to_table};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig4_overheads");
-    group.sample_size(10);
-    group.bench_function("memory_sweep_0_to_2500mb", |b| b.iter(|| figure4(1)));
-    group.finish();
+fn main() {
+    let bench = Bench::from_args();
+    bench.measure("fig4_overheads/memory_sweep_0_to_2500mb", || figure4(1));
 
     println!("\n{}", to_table(&figure4(1)));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,17 +1,14 @@
 //! Section IV-C comparison: measured suspend/resume makespan overhead vs. the
 //! analytical cost of Natjam-style checkpointing on the same workload.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mrp_bench::Bench;
 use mrp_experiments::{natjam_comparison, to_table};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("natjam_comparison");
-    group.sample_size(10);
-    group.bench_function("overhead_vs_checkpointing", |b| b.iter(|| natjam_comparison(1)));
-    group.finish();
+fn main() {
+    let bench = Bench::from_args();
+    bench.measure("natjam_comparison/overhead_vs_checkpointing", || {
+        natjam_comparison(1)
+    });
 
     println!("\n{}", to_table(&natjam_comparison(1)));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

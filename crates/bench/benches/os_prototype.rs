@@ -1,10 +1,10 @@
 //! Measures the real-OS suspend/resume round trip (SIGTSTP/SIGCONT on a live
 //! child process), the mechanism underlying the whole paper.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mrp_bench::Bench;
 use mrp_oschild::{prototype_supported, WorkerProcess};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     if !prototype_supported() {
         eprintln!("os_prototype bench skipped: /proc or POSIX signals unavailable");
         return;
@@ -16,12 +16,10 @@ fn bench(c: &mut Criterion) {
             return;
         }
     };
-    let mut group = c.benchmark_group("os_prototype");
-    group.sample_size(20);
-    group.bench_function("sigtstp_sigcont_roundtrip", |b| {
-        b.iter(|| worker.suspend_resume_roundtrip().expect("roundtrip"))
+    let bench = Bench::from_args();
+    bench.measure("os_prototype/sigtstp_sigcont_roundtrip", || {
+        worker.suspend_resume_roundtrip().expect("roundtrip")
     });
-    group.finish();
     let rt = worker.suspend_resume_roundtrip().expect("roundtrip");
     println!(
         "\nreal-OS roundtrip: suspend {:?}, resume {:?}, RSS while stopped {} KiB",
@@ -29,8 +27,4 @@ fn bench(c: &mut Criterion) {
         rt.resume_latency,
         rt.rss_while_stopped / 1024
     );
-    worker.kill().expect("kill worker");
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,17 +1,14 @@
 //! Section V-A ablation: resume locality — resuming a suspended task on its
 //! original node vs. restarting it from scratch on another node.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mrp_bench::Bench;
 use mrp_experiments::{resume_locality_ablation, to_table};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("resume_locality");
-    group.sample_size(10);
-    group.bench_function("local_vs_nonlocal", |b| b.iter(|| resume_locality_ablation(1)));
-    group.finish();
+fn main() {
+    let bench = Bench::from_args();
+    bench.measure("resume_locality/local_vs_nonlocal", || {
+        resume_locality_ablation(1)
+    });
 
     println!("\n{}", to_table(&resume_locality_ablation(1)));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

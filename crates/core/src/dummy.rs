@@ -24,13 +24,15 @@
 //! static configuration files.
 
 use crate::eviction::{EvictionCandidate, EvictionPolicy};
+use crate::json::{Json, JsonError};
 use crate::primitive::PreemptionPrimitive;
 use mrp_engine::{
-    FifoScheduler, JobSpec, NodeId, SchedulerAction, SchedulerContext, SchedulerPolicy, TaskId,
-    TaskState,
+    FifoScheduler, JobSpec, MapInput, NodeId, SchedulerAction, SchedulerContext, SchedulerPolicy,
+    TaskId, TaskProfile, TaskState,
 };
 use mrp_sim::SimRng;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// One trigger of the dummy scheduler's static plan.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -118,13 +120,316 @@ impl DummyPlan {
 
     /// Serialises the plan to the JSON format used by configuration files.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("plans are always serialisable")
+        Json::obj(vec![
+            (
+                "primitive",
+                Json::Str(primitive_name(self.primitive).to_string()),
+            ),
+            (
+                "eviction",
+                Json::Str(eviction_name(self.eviction).to_string()),
+            ),
+            (
+                "triggers",
+                Json::Arr(self.triggers.iter().map(trigger_to_json).collect()),
+            ),
+            (
+                "restores",
+                Json::Arr(self.restores.iter().map(restore_to_json).collect()),
+            ),
+        ])
+        .pretty()
     }
 
     /// Parses a plan from JSON.
-    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(json)
+    pub fn from_json(json: &str) -> Result<Self, PlanJsonError> {
+        let root = Json::parse(json)?;
+        Ok(DummyPlan {
+            primitive: parse_primitive(str_field(&root, "primitive")?)?,
+            eviction: parse_eviction(str_field(&root, "eviction")?)?,
+            triggers: arr_field(&root, "triggers")?
+                .iter()
+                .map(trigger_from_json)
+                .collect::<Result<_, _>>()?,
+            restores: arr_field(&root, "restores")?
+                .iter()
+                .map(restore_from_json)
+                .collect::<Result<_, _>>()?,
+        })
     }
+}
+
+/// Error from reading a plan configuration file.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PlanJsonError {
+    /// The document is not valid JSON.
+    Syntax(JsonError),
+    /// The document is JSON but does not describe a valid plan.
+    Invalid(String),
+}
+
+impl fmt::Display for PlanJsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanJsonError::Syntax(e) => write!(f, "invalid plan JSON: {e}"),
+            PlanJsonError::Invalid(msg) => write!(f, "invalid plan: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanJsonError {}
+
+impl From<JsonError> for PlanJsonError {
+    fn from(e: JsonError) -> Self {
+        PlanJsonError::Syntax(e)
+    }
+}
+
+fn invalid(msg: impl Into<String>) -> PlanJsonError {
+    PlanJsonError::Invalid(msg.into())
+}
+
+fn str_field<'j>(obj: &'j Json, key: &str) -> Result<&'j str, PlanJsonError> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| invalid(format!("missing string field '{key}'")))
+}
+
+fn num_field(obj: &Json, key: &str) -> Result<f64, PlanJsonError> {
+    obj.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| invalid(format!("missing numeric field '{key}'")))
+}
+
+fn u64_field(obj: &Json, key: &str) -> Result<u64, PlanJsonError> {
+    obj.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| invalid(format!("missing integer field '{key}'")))
+}
+
+/// Missing array fields default to empty, mirroring `#[serde(default)]`.
+fn arr_field<'j>(obj: &'j Json, key: &str) -> Result<&'j [Json], PlanJsonError> {
+    match obj.get(key) {
+        None => Ok(&[]),
+        Some(v) => v
+            .as_arr()
+            .ok_or_else(|| invalid(format!("field '{key}' must be an array"))),
+    }
+}
+
+fn primitive_name(p: PreemptionPrimitive) -> &'static str {
+    match p {
+        PreemptionPrimitive::Wait => "Wait",
+        PreemptionPrimitive::Kill => "Kill",
+        PreemptionPrimitive::SuspendResume => "SuspendResume",
+        PreemptionPrimitive::NatjamCheckpoint => "NatjamCheckpoint",
+    }
+}
+
+fn parse_primitive(name: &str) -> Result<PreemptionPrimitive, PlanJsonError> {
+    match name {
+        "Wait" => Ok(PreemptionPrimitive::Wait),
+        "Kill" => Ok(PreemptionPrimitive::Kill),
+        "SuspendResume" => Ok(PreemptionPrimitive::SuspendResume),
+        "NatjamCheckpoint" => Ok(PreemptionPrimitive::NatjamCheckpoint),
+        other => other
+            .parse()
+            .map_err(|_| invalid(format!("unknown primitive '{other}'"))),
+    }
+}
+
+fn eviction_name(e: EvictionPolicy) -> &'static str {
+    match e {
+        EvictionPolicy::ClosestToCompletion => "ClosestToCompletion",
+        EvictionPolicy::LeastProgress => "LeastProgress",
+        EvictionPolicy::SmallestMemory => "SmallestMemory",
+        EvictionPolicy::LargestMemory => "LargestMemory",
+        EvictionPolicy::Random => "Random",
+    }
+}
+
+fn parse_eviction(name: &str) -> Result<EvictionPolicy, PlanJsonError> {
+    match name {
+        "ClosestToCompletion" => Ok(EvictionPolicy::ClosestToCompletion),
+        "LeastProgress" => Ok(EvictionPolicy::LeastProgress),
+        "SmallestMemory" => Ok(EvictionPolicy::SmallestMemory),
+        "LargestMemory" => Ok(EvictionPolicy::LargestMemory),
+        "Random" => Ok(EvictionPolicy::Random),
+        other => Err(invalid(format!("unknown eviction policy '{other}'"))),
+    }
+}
+
+fn opt_num(v: Option<f64>) -> Json {
+    match v {
+        Some(n) => Json::Num(n),
+        None => Json::Null,
+    }
+}
+
+fn profile_to_json(p: &TaskProfile) -> Json {
+    Json::obj(vec![
+        (
+            "parse_rate_bytes_per_sec",
+            opt_num(p.parse_rate_bytes_per_sec),
+        ),
+        ("state_memory", Json::Num(p.state_memory as f64)),
+        ("state_dirty_fraction", Json::Num(p.state_dirty_fraction)),
+        ("output_ratio", opt_num(p.output_ratio)),
+    ])
+}
+
+fn profile_from_json(v: &Json) -> Result<TaskProfile, PlanJsonError> {
+    Ok(TaskProfile {
+        parse_rate_bytes_per_sec: v.get("parse_rate_bytes_per_sec").and_then(Json::as_f64),
+        state_memory: u64_field(v, "state_memory")?,
+        state_dirty_fraction: num_field(v, "state_dirty_fraction")?,
+        output_ratio: v.get("output_ratio").and_then(Json::as_f64),
+    })
+}
+
+fn input_to_json(input: &MapInput) -> Json {
+    match input {
+        MapInput::DfsFile { path } => Json::obj(vec![(
+            "DfsFile",
+            Json::obj(vec![("path", Json::Str(path.clone()))]),
+        )]),
+        MapInput::Synthetic {
+            tasks,
+            bytes_per_task,
+        } => Json::obj(vec![(
+            "Synthetic",
+            Json::obj(vec![
+                ("tasks", Json::Num(f64::from(*tasks))),
+                ("bytes_per_task", Json::Num(*bytes_per_task as f64)),
+            ]),
+        )]),
+    }
+}
+
+fn input_from_json(v: &Json) -> Result<MapInput, PlanJsonError> {
+    if let Some(dfs) = v.get("DfsFile") {
+        return Ok(MapInput::DfsFile {
+            path: str_field(dfs, "path")?.to_string(),
+        });
+    }
+    if let Some(synth) = v.get("Synthetic") {
+        return Ok(MapInput::Synthetic {
+            tasks: u64_field(synth, "tasks")? as u32,
+            bytes_per_task: u64_field(synth, "bytes_per_task")?,
+        });
+    }
+    Err(invalid("map input must be 'DfsFile' or 'Synthetic'"))
+}
+
+fn spec_to_json(spec: &JobSpec) -> Json {
+    Json::obj(vec![
+        ("name", Json::Str(spec.name.clone())),
+        ("priority", Json::Num(f64::from(spec.priority))),
+        ("input", input_to_json(&spec.input)),
+        ("reduce_tasks", Json::Num(f64::from(spec.reduce_tasks))),
+        ("profile", profile_to_json(&spec.profile)),
+    ])
+}
+
+fn spec_from_json(v: &Json) -> Result<JobSpec, PlanJsonError> {
+    let priority = num_field(v, "priority")?;
+    Ok(JobSpec {
+        name: str_field(v, "name")?.to_string(),
+        priority: priority as i32,
+        input: input_from_json(
+            v.get("input")
+                .ok_or_else(|| invalid("job spec missing 'input'"))?,
+        )?,
+        reduce_tasks: u64_field(v, "reduce_tasks")? as u32,
+        profile: profile_from_json(
+            v.get("profile")
+                .ok_or_else(|| invalid("job spec missing 'profile'"))?,
+        )?,
+    })
+}
+
+fn trigger_to_json(rule: &TriggerRule) -> Json {
+    Json::obj(vec![
+        ("watch_job", Json::Str(rule.watch_job.clone())),
+        ("watch_task", Json::Num(f64::from(rule.watch_task))),
+        ("fraction", Json::Num(rule.fraction)),
+        (
+            "submit",
+            Json::Arr(rule.submit.iter().map(spec_to_json).collect()),
+        ),
+        (
+            "preempt_jobs",
+            Json::Arr(
+                rule.preempt_jobs
+                    .iter()
+                    .map(|j| Json::Str(j.clone()))
+                    .collect(),
+            ),
+        ),
+        (
+            "max_victims",
+            match rule.max_victims {
+                Some(n) => Json::Num(n as f64),
+                None => Json::Null,
+            },
+        ),
+    ])
+}
+
+fn trigger_from_json(v: &Json) -> Result<TriggerRule, PlanJsonError> {
+    Ok(TriggerRule {
+        watch_job: str_field(v, "watch_job")?.to_string(),
+        watch_task: u64_field(v, "watch_task")? as u32,
+        fraction: num_field(v, "fraction")?,
+        submit: arr_field(v, "submit")?
+            .iter()
+            .map(spec_from_json)
+            .collect::<Result<_, _>>()?,
+        preempt_jobs: arr_field(v, "preempt_jobs")?
+            .iter()
+            .map(|j| {
+                j.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| invalid("preempt_jobs entries must be strings"))
+            })
+            .collect::<Result<_, _>>()?,
+        max_victims: v
+            .get("max_victims")
+            .and_then(Json::as_u64)
+            .map(|n| n as usize),
+    })
+}
+
+fn restore_to_json(rule: &RestoreRule) -> Json {
+    Json::obj(vec![
+        (
+            "when_job_completes",
+            Json::Str(rule.when_job_completes.clone()),
+        ),
+        (
+            "restore_jobs",
+            Json::Arr(
+                rule.restore_jobs
+                    .iter()
+                    .map(|j| Json::Str(j.clone()))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn restore_from_json(v: &Json) -> Result<RestoreRule, PlanJsonError> {
+    Ok(RestoreRule {
+        when_job_completes: str_field(v, "when_job_completes")?.to_string(),
+        restore_jobs: arr_field(v, "restore_jobs")?
+            .iter()
+            .map(|j| {
+                j.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| invalid("restore_jobs entries must be strings"))
+            })
+            .collect::<Result<_, _>>()?,
+    })
 }
 
 /// The dummy scheduler itself.
@@ -177,7 +482,12 @@ impl DummyScheduler {
             .map(|j| j.id)
     }
 
-    fn preempt_job(&mut self, ctx: &SchedulerContext<'_>, job_name: &str, max_victims: Option<usize>) -> Vec<SchedulerAction> {
+    fn preempt_job(
+        &mut self,
+        ctx: &SchedulerContext<'_>,
+        job_name: &str,
+        max_victims: Option<usize>,
+    ) -> Vec<SchedulerAction> {
         let Some(job_id) = Self::job_id_by_name(ctx, job_name) else {
             return Vec::new();
         };
@@ -189,8 +499,7 @@ impl DummyScheduler {
             .map(|t| EvictionCandidate {
                 task: t.id,
                 progress: t.progress,
-                memory_bytes: job.spec.profile.state_memory
-                    + 192 * 1024 * 1024, // base task footprint estimate
+                memory_bytes: job.spec.profile.state_memory + 192 * 1024 * 1024, // base task footprint estimate
             })
             .collect();
         let count = max_victims.unwrap_or(candidates.len());
@@ -252,7 +561,11 @@ impl SchedulerPolicy for DummyScheduler {
         actions
     }
 
-    fn on_job_finished(&mut self, ctx: &SchedulerContext<'_>, job: mrp_engine::JobId) -> Vec<SchedulerAction> {
+    fn on_job_finished(
+        &mut self,
+        ctx: &SchedulerContext<'_>,
+        job: mrp_engine::JobId,
+    ) -> Vec<SchedulerAction> {
         let Some(finished) = ctx.jobs.get(&job) else {
             return Vec::new();
         };
@@ -284,7 +597,10 @@ mod tests {
     use mrp_engine::{Cluster, ClusterConfig, TaskProfile};
     use mrp_sim::{SimTime, MIB};
 
-    fn lightweight_scenario(primitive: PreemptionPrimitive, fraction: f64) -> mrp_engine::ClusterReport {
+    fn lightweight_scenario(
+        primitive: PreemptionPrimitive,
+        fraction: f64,
+    ) -> mrp_engine::ClusterReport {
         let high = JobSpec::map_only("th", "/input-high").with_priority(10);
         let plan = DummyPlan::paper_scenario(primitive, "tl", high, fraction);
         let scheduler = DummyScheduler::new(plan);
@@ -320,9 +636,19 @@ mod tests {
         let report = lightweight_scenario(PreemptionPrimitive::SuspendResume, 0.5);
         assert!(report.all_jobs_complete());
         let tl = report.job("tl").unwrap();
-        assert_eq!(tl.tasks[0].suspend_cycles, 1, "tl must be suspended exactly once");
-        assert_eq!(tl.tasks[0].attempts, 1, "suspend/resume keeps the same attempt");
-        assert_eq!(tl.wasted_work_secs(), 0.0, "no work is wasted by suspension");
+        assert_eq!(
+            tl.tasks[0].suspend_cycles, 1,
+            "tl must be suspended exactly once"
+        );
+        assert_eq!(
+            tl.tasks[0].attempts, 1,
+            "suspend/resume keeps the same attempt"
+        );
+        assert_eq!(
+            tl.wasted_work_secs(),
+            0.0,
+            "no work is wasted by suspension"
+        );
         let th = report.job("th").unwrap();
         assert!(th.sojourn_secs.unwrap() < 100.0, "th must not wait for tl");
     }
@@ -332,7 +658,10 @@ mod tests {
         let report = lightweight_scenario(PreemptionPrimitive::Kill, 0.5);
         assert!(report.all_jobs_complete());
         let tl = report.job("tl").unwrap();
-        assert_eq!(tl.tasks[0].attempts, 2, "the killed task restarts from scratch");
+        assert_eq!(
+            tl.tasks[0].attempts, 2,
+            "the killed task restarts from scratch"
+        );
         assert!(tl.wasted_work_secs() > 20.0, "about half the work is lost");
         let th = report.job("th").unwrap();
         assert!(th.sojourn_secs.unwrap() < 110.0);
@@ -392,9 +721,15 @@ mod tests {
         cluster.run(SimTime::from_secs(4 * 3_600));
         let report = cluster.report();
         assert!(report.all_jobs_complete());
-        assert!(report.total_swap_out_bytes() > 0, "2 GB + 2 GB on a 4 GB node must page");
+        assert!(
+            report.total_swap_out_bytes() > 0,
+            "2 GB + 2 GB on a 4 GB node must page"
+        );
         let tl = report.job("tl").unwrap();
-        assert!(tl.tasks[0].paged_out_bytes > 0, "the suspended task is the paging victim");
+        assert!(
+            tl.tasks[0].paged_out_bytes > 0,
+            "the suspended task is the paging victim"
+        );
     }
 
     #[test]

@@ -91,15 +91,23 @@ impl EvictionPolicy {
                 });
             }
             EvictionPolicy::SmallestMemory => {
-                ranked.sort_by(|a, b| a.memory_bytes.cmp(&b.memory_bytes).then(a.task.cmp(&b.task)));
+                ranked.sort_by(|a, b| {
+                    a.memory_bytes
+                        .cmp(&b.memory_bytes)
+                        .then(a.task.cmp(&b.task))
+                });
             }
             EvictionPolicy::LargestMemory => {
-                ranked.sort_by(|a, b| b.memory_bytes.cmp(&a.memory_bytes).then(a.task.cmp(&b.task)));
+                ranked.sort_by(|a, b| {
+                    b.memory_bytes
+                        .cmp(&a.memory_bytes)
+                        .then(a.task.cmp(&b.task))
+                });
             }
             EvictionPolicy::Random => {
                 // Deterministic given the seed: sort first for a stable base
                 // order, then shuffle.
-                ranked.sort_by(|a, b| a.task.cmp(&b.task));
+                ranked.sort_by_key(|c| c.task);
                 rng.shuffle(&mut ranked);
             }
         }
@@ -107,7 +115,12 @@ impl EvictionPolicy {
     }
 
     /// Picks the first `count` victims according to the policy.
-    pub fn pick(self, candidates: &[EvictionCandidate], count: usize, rng: &mut SimRng) -> Vec<TaskId> {
+    pub fn pick(
+        self,
+        candidates: &[EvictionCandidate],
+        count: usize,
+        rng: &mut SimRng,
+    ) -> Vec<TaskId> {
         self.rank(candidates, rng).into_iter().take(count).collect()
     }
 }
@@ -136,25 +149,49 @@ mod tests {
 
     #[test]
     fn closest_to_completion_prefers_most_progressed() {
-        let c = [candidate(0, 0.2, 100), candidate(1, 0.9, 100), candidate(2, 0.5, 100)];
+        let c = [
+            candidate(0, 0.2, 100),
+            candidate(1, 0.9, 100),
+            candidate(2, 0.5, 100),
+        ];
         let order = EvictionPolicy::ClosestToCompletion.rank(&c, &mut rng());
-        assert_eq!(order.iter().map(|t| t.index).collect::<Vec<_>>(), vec![1, 2, 0]);
+        assert_eq!(
+            order.iter().map(|t| t.index).collect::<Vec<_>>(),
+            vec![1, 2, 0]
+        );
     }
 
     #[test]
     fn least_progress_is_the_reverse() {
-        let c = [candidate(0, 0.2, 100), candidate(1, 0.9, 100), candidate(2, 0.5, 100)];
+        let c = [
+            candidate(0, 0.2, 100),
+            candidate(1, 0.9, 100),
+            candidate(2, 0.5, 100),
+        ];
         let order = EvictionPolicy::LeastProgress.rank(&c, &mut rng());
-        assert_eq!(order.iter().map(|t| t.index).collect::<Vec<_>>(), vec![0, 2, 1]);
+        assert_eq!(
+            order.iter().map(|t| t.index).collect::<Vec<_>>(),
+            vec![0, 2, 1]
+        );
     }
 
     #[test]
     fn memory_policies_sort_by_footprint() {
-        let c = [candidate(0, 0.5, 2048), candidate(1, 0.5, 128), candidate(2, 0.5, 512)];
+        let c = [
+            candidate(0, 0.5, 2048),
+            candidate(1, 0.5, 128),
+            candidate(2, 0.5, 512),
+        ];
         let small = EvictionPolicy::SmallestMemory.rank(&c, &mut rng());
-        assert_eq!(small.iter().map(|t| t.index).collect::<Vec<_>>(), vec![1, 2, 0]);
+        assert_eq!(
+            small.iter().map(|t| t.index).collect::<Vec<_>>(),
+            vec![1, 2, 0]
+        );
         let large = EvictionPolicy::LargestMemory.rank(&c, &mut rng());
-        assert_eq!(large.iter().map(|t| t.index).collect::<Vec<_>>(), vec![0, 2, 1]);
+        assert_eq!(
+            large.iter().map(|t| t.index).collect::<Vec<_>>(),
+            vec![0, 2, 1]
+        );
     }
 
     #[test]
@@ -184,9 +221,16 @@ mod tests {
 
     #[test]
     fn ties_break_deterministically() {
-        let c = [candidate(3, 0.5, 100), candidate(1, 0.5, 100), candidate(2, 0.5, 100)];
+        let c = [
+            candidate(3, 0.5, 100),
+            candidate(1, 0.5, 100),
+            candidate(2, 0.5, 100),
+        ];
         let order = EvictionPolicy::ClosestToCompletion.rank(&c, &mut rng());
-        assert_eq!(order.iter().map(|t| t.index).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(
+            order.iter().map(|t| t.index).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
         assert_eq!(EvictionPolicy::ALL.len(), 5);
         assert_eq!(EvictionPolicy::SmallestMemory.label(), "smallest-memory");
     }

@@ -1,0 +1,483 @@
+//! A minimal, dependency-free JSON value, parser and pretty-printer.
+//!
+//! The dummy scheduler's static configuration files (Section III-B of the
+//! paper) are JSON; the build environment has no access to crates.io, so this
+//! module supplies the small slice of JSON the plan files need: objects,
+//! arrays, strings, numbers, booleans and null, with deterministic
+//! (insertion-ordered) object keys so serialised plans are stable.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as `f64`; integers up to 2^53 round-trip).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for an object.
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Looks up a field of an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Renders the value as pretty-printed JSON (two-space indentation).
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        let pad_inner = "  ".repeat(indent + 1);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    // `{:?}` is Rust's shortest round-trip f64 formatting.
+                    let _ = write!(out, "{n:?}");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad_inner);
+                    item.write_pretty(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    out.push_str(&pad_inner);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                    if i + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document; trailing non-whitespace is an error.
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after the document"));
+        }
+        Ok(value)
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A JSON syntax error with a byte offset into the input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the error.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let code = self.hex_escape()?;
+                            let c = match code {
+                                // High surrogate: must pair with a following
+                                // \uDC00..\uDFFF low surrogate (how JSON
+                                // escapes non-BMP characters).
+                                0xD800..=0xDBFF => {
+                                    if self.bytes.get(self.pos + 1) != Some(&b'\\')
+                                        || self.bytes.get(self.pos + 2) != Some(&b'u')
+                                    {
+                                        return Err(self.err("unpaired high surrogate"));
+                                    }
+                                    self.pos += 2;
+                                    let low = self.hex_escape()?;
+                                    if !(0xDC00..=0xDFFF).contains(&low) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    let combined =
+                                        0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                    char::from_u32(combined)
+                                        .ok_or_else(|| self.err("invalid surrogate pair"))?
+                                }
+                                0xDC00..=0xDFFF => return Err(self.err("unpaired low surrogate")),
+                                other => char::from_u32(other)
+                                    .ok_or_else(|| self.err("invalid \\u escape"))?,
+                            };
+                            out.push(c);
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is valid UTF-8 by
+                    // construction, so slicing at char boundaries is safe).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = s.chars().next().expect("peeked non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Reads the four hex digits of a `\uXXXX` escape; on entry `pos` is at
+    /// the `u`, on exit at its last hex digit (the caller's shared
+    /// post-escape advance consumes it).
+    fn hex_escape(&mut self) -> Result<u32, JsonError> {
+        if self.pos + 5 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        text.parse::<f64>().map(Json::Num).map_err(|_| JsonError {
+            offset: start,
+            message: format!("invalid number '{text}'"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        for doc in ["null", "true", "false", "42", "-3.5", "\"hi\\nthere\""] {
+            let v = Json::parse(doc).unwrap();
+            let back = Json::parse(&v.pretty()).unwrap();
+            assert_eq!(v, back, "{doc}");
+        }
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let v = Json::obj(vec![
+            ("name", Json::Str("tl".into())),
+            ("fraction", Json::Num(0.5)),
+            (
+                "submit",
+                Json::Arr(vec![Json::Num(1.0), Json::Null, Json::Bool(true)]),
+            ),
+            ("empty_obj", Json::Obj(vec![])),
+            ("empty_arr", Json::Arr(vec![])),
+        ]);
+        let text = v.pretty();
+        assert_eq!(Json::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn accessors() {
+        let v = Json::obj(vec![("a", Json::Num(3.0)), ("b", Json::Str("x".into()))]);
+        assert_eq!(v.get("a").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("a").unwrap().as_f64(), Some(3.0));
+        assert_eq!(v.get("b").unwrap().as_str(), Some("x"));
+        assert!(v.get("c").is_none());
+        assert!(v.as_arr().is_none());
+        assert_eq!(Json::Arr(vec![]).as_arr().unwrap().len(), 0);
+        assert_eq!(Json::Num(1.5).as_u64(), None);
+        assert_eq!(Json::Num(-1.0).as_u64(), None);
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(Json::parse("{not json").is_err());
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("[1, 2").is_err());
+        assert!(Json::parse("{\"a\": 1} trailing").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn float_precision_survives_round_trips() {
+        let values = [0.1, 0.75, 1.0 / 3.0, 1e-9, 123456.789];
+        for v in values {
+            let text = Json::Num(v).pretty();
+            let back = Json::parse(&text).unwrap().as_f64().unwrap();
+            assert_eq!(v, back, "{v} reparsed as {back}");
+        }
+    }
+
+    #[test]
+    fn unicode_and_escapes_parse() {
+        let v = Json::parse("\"caf\\u00e9 \\t ok\"").unwrap();
+        assert_eq!(v.as_str(), Some("café \t ok"));
+        let v = Json::parse("\"naïve\"").unwrap();
+        assert_eq!(v.as_str(), Some("naïve"));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_non_bmp_characters() {
+        // U+1F600 as a standard JSON surrogate-pair escape.
+        let v = Json::parse("\"\\ud83d\\ude00-job\"").unwrap();
+        assert_eq!(v.as_str(), Some("😀-job"));
+        // Raw non-BMP characters round-trip through the writer.
+        let text = Json::Str("😀-job".into()).pretty();
+        assert_eq!(Json::parse(&text).unwrap().as_str(), Some("😀-job"));
+        // Lone or malformed surrogates are rejected, not silently replaced.
+        assert!(Json::parse("\"\\ud83d\"").is_err());
+        assert!(Json::parse("\"\\ud83d x\"").is_err());
+        assert!(Json::parse("\"\\ud83d\\u0041\"").is_err());
+        assert!(Json::parse("\"\\ude00\"").is_err());
+    }
+}

@@ -98,7 +98,11 @@ impl NatjamModel {
         state_bytes: u64,
         work_duration: SimDuration,
     ) -> f64 {
-        wait_makespan_secs + self.cycle_cost(state_bytes, work_duration).total().as_secs_f64()
+        wait_makespan_secs
+            + self
+                .cycle_cost(state_bytes, work_duration)
+                .total()
+                .as_secs_f64()
     }
 
     /// Predicted sojourn time of the high-priority task under checkpointing:
@@ -111,7 +115,11 @@ impl NatjamModel {
         state_bytes: u64,
         work_duration: SimDuration,
     ) -> f64 {
-        suspend_sojourn_floor_secs + self.cycle_cost(state_bytes, work_duration).suspend.as_secs_f64()
+        suspend_sojourn_floor_secs
+            + self
+                .cycle_cost(state_bytes, work_duration)
+                .suspend
+                .as_secs_f64()
     }
 }
 

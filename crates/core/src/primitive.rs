@@ -171,8 +171,14 @@ mod tests {
             PreemptionPrimitive::SuspendResume.restore_action(task(), TaskState::Pending),
             None
         );
-        assert_eq!(PreemptionPrimitive::Kill.restore_action(task(), TaskState::Pending), None);
-        assert_eq!(PreemptionPrimitive::Wait.restore_action(task(), TaskState::Suspended), None);
+        assert_eq!(
+            PreemptionPrimitive::Kill.restore_action(task(), TaskState::Pending),
+            None
+        );
+        assert_eq!(
+            PreemptionPrimitive::Wait.restore_action(task(), TaskState::Suspended),
+            None
+        );
     }
 
     #[test]
@@ -196,7 +202,10 @@ mod tests {
             assert_eq!(p.label().parse::<PreemptionPrimitive>().unwrap(), p);
             assert_eq!(p.to_string(), p.label());
         }
-        assert_eq!("SUSPEND".parse::<PreemptionPrimitive>().unwrap(), PreemptionPrimitive::SuspendResume);
+        assert_eq!(
+            "SUSPEND".parse::<PreemptionPrimitive>().unwrap(),
+            PreemptionPrimitive::SuspendResume
+        );
         assert!("teleport".parse::<PreemptionPrimitive>().is_err());
         assert_eq!(PreemptionPrimitive::PAPER_SET.len(), 3);
     }

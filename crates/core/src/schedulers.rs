@@ -62,36 +62,52 @@ fn fill_node(
     let Some(view) = ctx.node(node) else {
         return Vec::new();
     };
+    // Hot-path early exit: a fully occupied node can neither launch nor
+    // resume anything, so skip the per-job task scans. At cluster scale most
+    // heartbeats hit this case.
+    if view.free_map_slots == 0 && view.free_reduce_slots == 0 {
+        return Vec::new();
+    }
     let mut free_map = view.free_map_slots;
     let mut free_reduce = view.free_reduce_slots;
     let mut actions = Vec::new();
     for job_id in ordered_jobs {
-        let Some(job) = ctx.jobs.get(job_id) else { continue };
+        // Once every slot is spoken for there is nothing left to decide;
+        // do not keep scanning the remaining (potentially huge) task lists.
+        if free_map == 0 && free_reduce == 0 {
+            break;
+        }
+        let Some(job) = ctx.jobs.get(job_id) else {
+            continue;
+        };
         // Resume the job's own suspended tasks before launching new ones: a
         // suspended task already holds memory on its node and finishing it
-        // releases that memory soonest.
-        for task in suspended_of(job) {
-            let Some(t) = job.task(task) else { continue };
+        // releases that memory soonest. Iterate the task list directly — no
+        // intermediate Vec per job on this per-heartbeat path.
+        for t in job.tasks.iter().filter(|t| t.state == TaskState::Suspended) {
             if t.node != Some(node) {
                 continue;
             }
-            let free = match task.kind {
+            let free = match t.id.kind {
                 TaskKind::Map => &mut free_map,
                 TaskKind::Reduce => &mut free_reduce,
             };
             if *free > 0 {
                 *free -= 1;
-                actions.push(SchedulerAction::Resume { task });
+                actions.push(SchedulerAction::Resume { task: t.id });
             }
         }
-        for task in schedulable_of(job) {
-            let free = match task.kind {
+        for t in job.tasks.iter().filter(|t| t.state.is_schedulable()) {
+            if free_map == 0 && free_reduce == 0 {
+                break;
+            }
+            let free = match t.id.kind {
                 TaskKind::Map => &mut free_map,
                 TaskKind::Reduce => &mut free_reduce,
             };
             if *free > 0 {
                 *free -= 1;
-                actions.push(SchedulerAction::Launch { task, node });
+                actions.push(SchedulerAction::Launch { task: t.id, node });
             }
         }
     }
@@ -137,15 +153,13 @@ impl FairScheduler {
     }
 
     fn incomplete_jobs<'c>(ctx: &'c SchedulerContext<'_>) -> Vec<&'c JobRuntime> {
-        ctx.jobs.values().filter(|j| !j.is_complete()).collect()
+        ctx.jobs.values().filter(|j| !j.is_finished()).collect()
     }
 
     fn fair_share(&self, incomplete: usize) -> usize {
-        if incomplete == 0 {
-            self.total_map_slots
-        } else {
-            (self.total_map_slots / incomplete).max(1)
-        }
+        self.total_map_slots
+            .checked_div(incomplete)
+            .map_or(self.total_map_slots, |share| share.max(1))
     }
 
     fn preemption_pass(&mut self, ctx: &SchedulerContext<'_>) -> Vec<SchedulerAction> {
@@ -183,9 +197,7 @@ impl FairScheduler {
             }
             let surplus = running_slots(job) - share;
             let take = surplus.min(claims);
-            let victims = self
-                .eviction
-                .pick(&candidates_of(job), take, &mut self.rng);
+            let victims = self.eviction.pick(&candidates_of(job), take, &mut self.rng);
             for v in victims {
                 if let Some(a) = self.primitive.preempt_action(v) {
                     actions.push(a);
@@ -227,6 +239,16 @@ pub struct HfspScheduler {
     /// Victim selection policy.
     pub eviction: EvictionPolicy,
     rng: SimRng,
+    /// Reusable (size, job) scratch for the per-heartbeat size ordering.
+    order_scratch: Vec<(u64, JobId)>,
+    /// Reusable ordered-job buffer handed to `fill_node`.
+    order: Vec<JobId>,
+    /// Virtual second the cached order was computed in; remaining sizes drift
+    /// with task progress far slower than heartbeats arrive, so the order is
+    /// recomputed at most once per simulated second (and immediately when a
+    /// job arrives or finishes). Purely a function of simulation state, so
+    /// determinism is preserved.
+    order_stamp: Option<u64>,
 }
 
 impl HfspScheduler {
@@ -236,6 +258,9 @@ impl HfspScheduler {
             primitive,
             eviction,
             rng: SimRng::new(0x45F5),
+            order_scratch: Vec::new(),
+            order: Vec::new(),
+            order_stamp: None,
         }
     }
 
@@ -248,24 +273,45 @@ impl HfspScheduler {
             .sum()
     }
 
-    fn size_order(ctx: &SchedulerContext<'_>) -> Vec<JobId> {
-        let mut jobs: Vec<(&JobId, u64)> = ctx
-            .jobs
-            .iter()
-            .filter(|(_, j)| !j.is_complete())
-            .map(|(id, j)| (id, Self::remaining_size(j)))
-            .collect();
-        jobs.sort_by_key(|(id, size)| (*size, **id));
-        jobs.into_iter().map(|(id, _)| *id).collect()
+    /// Rebuilds the smallest-remaining-size-first job order into the reusable
+    /// `order` buffer (no per-call allocations once warm), at most once per
+    /// simulated second unless invalidated.
+    fn refresh_size_order(&mut self, ctx: &SchedulerContext<'_>) {
+        let bucket = ctx.now.as_micros() / 1_000_000;
+        if self.order_stamp == Some(bucket) {
+            return;
+        }
+        self.order_stamp = Some(bucket);
+        self.order_scratch.clear();
+        self.order_scratch.extend(
+            ctx.jobs
+                .iter()
+                .filter(|(_, j)| !j.is_finished())
+                .map(|(id, j)| (Self::remaining_size(j), *id)),
+        );
+        self.order_scratch.sort_unstable();
+        self.order.clear();
+        self.order
+            .extend(self.order_scratch.iter().map(|(_, id)| *id));
     }
 }
 
 impl SchedulerPolicy for HfspScheduler {
     fn on_heartbeat(&mut self, ctx: &SchedulerContext<'_>, node: NodeId) -> Vec<SchedulerAction> {
-        fill_node(ctx, node, &Self::size_order(ctx))
+        // Skip the O(jobs x tasks) size estimation entirely when this node
+        // has nothing to hand out — the common case at cluster scale.
+        let Some(view) = ctx.node(node) else {
+            return Vec::new();
+        };
+        if view.free_map_slots == 0 && view.free_reduce_slots == 0 {
+            return Vec::new();
+        }
+        self.refresh_size_order(ctx);
+        fill_node(ctx, node, &self.order)
     }
 
     fn on_job_submitted(&mut self, ctx: &SchedulerContext<'_>, job: JobId) -> Vec<SchedulerAction> {
+        self.order_stamp = None; // a new job invalidates the cached order
         let Some(new_job) = ctx.jobs.get(&job) else {
             return Vec::new();
         };
@@ -284,7 +330,7 @@ impl SchedulerPolicy for HfspScheduler {
         let mut larger: Vec<&JobRuntime> = ctx
             .jobs
             .values()
-            .filter(|j| j.id != job && !j.is_complete())
+            .filter(|j| j.id != job && !j.is_finished())
             .filter(|j| Self::remaining_size(j) > new_size)
             .filter(|j| running_slots(j) > 0)
             .collect();
@@ -305,6 +351,15 @@ impl SchedulerPolicy for HfspScheduler {
             }
         }
         actions
+    }
+
+    fn on_job_finished(
+        &mut self,
+        _ctx: &SchedulerContext<'_>,
+        _job: JobId,
+    ) -> Vec<SchedulerAction> {
+        self.order_stamp = None; // a finished job invalidates the cached order
+        Vec::new()
     }
 
     fn name(&self) -> &str {
@@ -365,7 +420,10 @@ mod tests {
         )));
         assert!(report.all_jobs_complete());
         let small = report.sojourn_secs("small").unwrap();
-        assert!(small > 60.0, "without preemption the small job waits, got {small}");
+        assert!(
+            small > 60.0,
+            "without preemption the small job waits, got {small}"
+        );
         assert_eq!(report.job("big").unwrap().tasks[0].suspend_cycles, 0);
     }
 
@@ -397,7 +455,10 @@ mod tests {
         // A job with many tasks hogs both slots; a later job should get one
         // of them back through fairness preemption.
         cluster.submit_job(JobSpec::synthetic("hog", 6, 256 * MIB));
-        cluster.submit_job_at(JobSpec::synthetic("latecomer", 1, 256 * MIB), SimTime::from_secs(30));
+        cluster.submit_job_at(
+            JobSpec::synthetic("latecomer", 1, 256 * MIB),
+            SimTime::from_secs(30),
+        );
         cluster.run(SimTime::from_secs(8 * 3_600));
         let report = cluster.report();
         assert!(report.all_jobs_complete());
@@ -407,7 +468,10 @@ mod tests {
         assert!(late < 140.0, "latecomer sojourn {late}");
         let hog = report.job("hog").unwrap();
         let suspensions: u32 = hog.tasks.iter().map(|t| t.suspend_cycles).sum();
-        assert!(suspensions >= 1, "fairness should have suspended at least one hog task");
+        assert!(
+            suspensions >= 1,
+            "fairness should have suspended at least one hog task"
+        );
     }
 
     #[test]
@@ -424,7 +488,13 @@ mod tests {
         let report = cluster.report();
         assert!(report.all_jobs_complete());
         assert_eq!(
-            report.job("solo").unwrap().tasks.iter().map(|t| t.suspend_cycles).sum::<u32>(),
+            report
+                .job("solo")
+                .unwrap()
+                .tasks
+                .iter()
+                .map(|t| t.suspend_cycles)
+                .sum::<u32>(),
             0
         );
     }
@@ -440,12 +510,20 @@ mod tests {
             completed_at: None,
             tasks: vec![
                 mrp_engine::TaskRuntime::new(
-                    TaskId { job: JobId(1), kind: TaskKind::Map, index: 0 },
+                    TaskId {
+                        job: JobId(1),
+                        kind: TaskKind::Map,
+                        index: 0,
+                    },
                     100 * MIB,
                     vec![],
                 ),
                 mrp_engine::TaskRuntime::new(
-                    TaskId { job: JobId(1), kind: TaskKind::Map, index: 1 },
+                    TaskId {
+                        job: JobId(1),
+                        kind: TaskKind::Map,
+                        index: 1,
+                    },
                     100 * MIB,
                     vec![],
                 ),

@@ -36,78 +36,88 @@ pub use namenode::{DfsError, NameNode, ReadPlan};
 pub use topology::{Locality, NodeId, RackId, Topology};
 
 #[cfg(test)]
-mod proptests {
+mod randomized_tests {
+    //! Property-style tests driven by seeded randomization (the container has
+    //! no proptest); fixed seeds keep every failure reproducible.
+
     use super::*;
     use mrp_sim::{SimRng, MIB};
-    use proptest::prelude::*;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        /// Block sizes always sum to the file length and never exceed the
-        /// configured block size.
-        #[test]
-        fn block_split_conserves_length(len in 0u64..64 * 1024 * 1024 * 1024u64, bs_mib in 1u64..1024) {
-            let bs = bs_mib * MIB;
+    /// Block sizes always sum to the file length and never exceed the
+    /// configured block size.
+    #[test]
+    fn block_split_conserves_length() {
+        let mut rng = SimRng::new(0xDF5_001);
+        for _ in 0..64 {
+            let len = rng.next_u64() % (64 * 1024 * 1024 * 1024);
+            let bs = (1 + rng.index(1023) as u64) * MIB;
             let sizes = split_into_blocks(len, bs);
-            prop_assert_eq!(sizes.iter().sum::<u64>(), len);
-            prop_assert!(sizes.iter().all(|s| *s > 0 && *s <= bs));
+            assert_eq!(sizes.iter().sum::<u64>(), len);
+            assert!(sizes.iter().all(|s| *s > 0 && *s <= bs));
         }
+    }
 
-        /// Every created file is readable: each block has at least one replica,
-        /// all replicas are registered nodes, and a reader co-located with a
-        /// replica always gets a node-local plan.
-        #[test]
-        fn files_are_always_readable(
-            racks in 1u32..4,
-            per_rack in 1u32..5,
-            len_mib in 1u64..4096,
-            replication in 1u32..4,
-            seed in 0u64..1000,
-        ) {
+    /// Every created file is readable: each block has at least one replica,
+    /// all replicas are registered nodes, and a reader co-located with a
+    /// replica always gets a node-local plan.
+    #[test]
+    fn files_are_always_readable() {
+        for seed in 0..64u64 {
+            let mut meta_rng = SimRng::new(0xDF5_002 + seed);
+            let racks = 1 + meta_rng.index(3) as u32;
+            let per_rack = 1 + meta_rng.index(4) as u32;
+            let len_mib = 1 + meta_rng.index(4095) as u64;
+            let replication = 1 + meta_rng.index(3) as u32;
             let topo = Topology::regular(racks, per_rack);
             let nodes = topo.nodes();
             let mut nn = NameNode::new(topo, 128 * MIB, replication);
             let mut rng = SimRng::new(seed);
             let writer = nodes[(seed as usize) % nodes.len()];
-            let id = nn.create_file("/f", len_mib * MIB, Some(writer), &mut rng).unwrap();
+            let id = nn
+                .create_file("/f", len_mib * MIB, Some(writer), &mut rng)
+                .unwrap();
             let meta = nn.file(id).unwrap().clone();
             for block in &meta.blocks {
                 let replicas = nn.replicas_of(*block).to_vec();
-                prop_assert!(!replicas.is_empty());
-                prop_assert!(replicas.iter().all(|r| nodes.contains(r)));
+                assert!(!replicas.is_empty());
+                assert!(replicas.iter().all(|r| nodes.contains(r)));
                 // replicas must be distinct
                 let mut uniq = replicas.clone();
                 uniq.sort();
                 uniq.dedup();
-                prop_assert_eq!(uniq.len(), replicas.len());
+                assert_eq!(uniq.len(), replicas.len());
                 // first replica is writer-local
-                prop_assert_eq!(replicas[0], writer);
+                assert_eq!(replicas[0], writer);
                 let plan = nn.plan_read(*block, replicas[0]).unwrap();
-                prop_assert_eq!(plan.locality, Locality::NodeLocal);
+                assert_eq!(plan.locality, Locality::NodeLocal);
                 // any reader gets a valid plan
                 for reader in &nodes {
                     let p = nn.plan_read(*block, *reader).unwrap();
-                    prop_assert!(replicas.contains(&p.source));
+                    assert!(replicas.contains(&p.source));
                 }
             }
         }
+    }
 
-        /// Locality is symmetric in rack membership and node-local only for
-        /// identical nodes.
-        #[test]
-        fn locality_properties(racks in 1u32..5, per_rack in 1u32..5, a in 0u32..25, b in 0u32..25) {
+    /// Locality is symmetric in rack membership and node-local only for
+    /// identical nodes.
+    #[test]
+    fn locality_properties() {
+        let mut rng = SimRng::new(0xDF5_003);
+        for _ in 0..200 {
+            let racks = 1 + rng.index(4) as u32;
+            let per_rack = 1 + rng.index(4) as u32;
             let topo = Topology::regular(racks, per_rack);
             let n = racks * per_rack;
-            let a = NodeId(a % n);
-            let b = NodeId(b % n);
+            let a = NodeId(rng.index(25) as u32 % n);
+            let b = NodeId(rng.index(25) as u32 % n);
             let ab = topo.locality(a, b);
             let ba = topo.locality(b, a);
-            prop_assert_eq!(ab, ba);
+            assert_eq!(ab, ba);
             if a == b {
-                prop_assert_eq!(ab, Locality::NodeLocal);
+                assert_eq!(ab, Locality::NodeLocal);
             } else {
-                prop_assert!(ab != Locality::NodeLocal);
+                assert!(ab != Locality::NodeLocal);
             }
         }
     }

@@ -6,7 +6,7 @@
 //! third on yet another node), and answering "where can I read block B from,
 //! and how local is that to node N?".
 
-use crate::block::{Block, BlockId, FileId, FileMeta, split_into_blocks};
+use crate::block::{split_into_blocks, Block, BlockId, FileId, FileMeta};
 use crate::topology::{Locality, NodeId, Topology};
 use mrp_sim::SimRng;
 use serde::{Deserialize, Serialize};
@@ -166,7 +166,14 @@ impl NameNode {
         writer: Option<NodeId>,
         rng: &mut SimRng,
     ) -> Result<FileId, DfsError> {
-        self.create_file_with(path, len, self.default_block_size, self.default_replication, writer, rng)
+        self.create_file_with(
+            path,
+            len,
+            self.default_block_size,
+            self.default_replication,
+            writer,
+            rng,
+        )
     }
 
     /// Creates a file with explicit block size and replication factor.
@@ -281,7 +288,9 @@ mod tests {
     #[test]
     fn create_and_lookup() {
         let mut nn = namenode(1, 4);
-        let id = nn.create_file("/input", 512 * MIB, Some(NodeId(0)), &mut rng()).unwrap();
+        let id = nn
+            .create_file("/input", 512 * MIB, Some(NodeId(0)), &mut rng())
+            .unwrap();
         let meta = nn.lookup("/input").unwrap();
         assert_eq!(meta.id, id);
         assert_eq!(meta.blocks.len(), 4);
@@ -302,7 +311,9 @@ mod tests {
     #[test]
     fn first_replica_is_writer_local() {
         let mut nn = namenode(2, 3);
-        let id = nn.create_file("/local", 100 * MIB, Some(NodeId(4)), &mut rng()).unwrap();
+        let id = nn
+            .create_file("/local", 100 * MIB, Some(NodeId(4)), &mut rng())
+            .unwrap();
         let block = nn.file(id).unwrap().blocks[0];
         assert_eq!(nn.replicas_of(block)[0], NodeId(4));
     }
@@ -310,7 +321,9 @@ mod tests {
     #[test]
     fn replication_factor_is_respected_when_possible() {
         let mut nn = namenode(2, 3);
-        let id = nn.create_file("/r3", 10 * MIB, Some(NodeId(0)), &mut rng()).unwrap();
+        let id = nn
+            .create_file("/r3", 10 * MIB, Some(NodeId(0)), &mut rng())
+            .unwrap();
         let block = nn.file(id).unwrap().blocks[0];
         assert_eq!(nn.replicas_of(block).len(), 3);
         // Replicas must be distinct nodes.
@@ -323,17 +336,27 @@ mod tests {
     #[test]
     fn second_replica_prefers_other_rack() {
         let mut nn = namenode(2, 2);
-        let id = nn.create_file("/x", MIB, Some(NodeId(0)), &mut rng()).unwrap();
+        let id = nn
+            .create_file("/x", MIB, Some(NodeId(0)), &mut rng())
+            .unwrap();
         let block = nn.file(id).unwrap().blocks[0];
         let replicas = nn.replicas_of(block);
-        let racks: Vec<_> = replicas.iter().map(|n| nn.topology().rack_of(*n).unwrap()).collect();
-        assert!(racks.windows(2).any(|w| w[0] != w[1]), "replicas should span racks: {racks:?}");
+        let racks: Vec<_> = replicas
+            .iter()
+            .map(|n| nn.topology().rack_of(*n).unwrap())
+            .collect();
+        assert!(
+            racks.windows(2).any(|w| w[0] != w[1]),
+            "replicas should span racks: {racks:?}"
+        );
     }
 
     #[test]
     fn single_node_cluster_gets_one_replica() {
         let mut nn = NameNode::new(Topology::single_rack(1), 512 * MIB, 3);
-        let id = nn.create_file("/single", 512 * MIB, Some(NodeId(0)), &mut rng()).unwrap();
+        let id = nn
+            .create_file("/single", 512 * MIB, Some(NodeId(0)), &mut rng())
+            .unwrap();
         let block = nn.file(id).unwrap().blocks[0];
         assert_eq!(nn.replicas_of(block), &[NodeId(0)]);
     }
@@ -341,7 +364,9 @@ mod tests {
     #[test]
     fn plan_read_picks_closest_replica() {
         let mut nn = namenode(2, 2);
-        let id = nn.create_file("/data", MIB, Some(NodeId(0)), &mut rng()).unwrap();
+        let id = nn
+            .create_file("/data", MIB, Some(NodeId(0)), &mut rng())
+            .unwrap();
         let block = nn.file(id).unwrap().blocks[0];
         let local = nn.plan_read(block, NodeId(0)).unwrap();
         assert_eq!(local.locality, Locality::NodeLocal);
@@ -350,19 +375,27 @@ mod tests {
         // and whose locality matches the topology's verdict.
         let other = nn.plan_read(block, NodeId(3)).unwrap();
         assert!(nn.replicas_of(block).contains(&other.source));
-        assert_eq!(other.locality, nn.topology().locality(NodeId(3), other.source));
+        assert_eq!(
+            other.locality,
+            nn.topology().locality(NodeId(3), other.source)
+        );
     }
 
     #[test]
     fn plan_read_unknown_block_fails() {
         let nn = namenode(1, 1);
-        assert!(matches!(nn.plan_read(BlockId(99), NodeId(0)), Err(DfsError::NotFound(_))));
+        assert!(matches!(
+            nn.plan_read(BlockId(99), NodeId(0)),
+            Err(DfsError::NotFound(_))
+        ));
     }
 
     #[test]
     fn preferred_nodes_cover_all_blocks() {
         let mut nn = namenode(1, 4);
-        let id = nn.create_file("/big", GIB, Some(NodeId(1)), &mut rng()).unwrap();
+        let id = nn
+            .create_file("/big", GIB, Some(NodeId(1)), &mut rng())
+            .unwrap();
         let preferred = nn.preferred_nodes(id);
         assert!(preferred.contains(&NodeId(1)));
         assert!(!preferred.is_empty());
@@ -372,7 +405,9 @@ mod tests {
     #[test]
     fn decommission_removes_replicas() {
         let mut nn = namenode(1, 2);
-        let id = nn.create_file("/d", MIB, Some(NodeId(0)), &mut rng()).unwrap();
+        let id = nn
+            .create_file("/d", MIB, Some(NodeId(0)), &mut rng())
+            .unwrap();
         let block = nn.file(id).unwrap().blocks[0];
         nn.decommission(NodeId(0));
         assert!(!nn.replicas_of(block).contains(&NodeId(0)));

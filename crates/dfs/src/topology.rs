@@ -181,6 +181,6 @@ mod tests {
     fn unknown_nodes_are_off_rack() {
         let t = Topology::single_rack(1);
         assert_eq!(t.locality(NodeId(0), NodeId(7)), Locality::OffRack);
-        assert!(t.is_empty() == false);
+        assert!(!t.is_empty());
     }
 }

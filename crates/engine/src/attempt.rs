@@ -123,7 +123,9 @@ impl ExecPlan {
         let write_time = output_bytes as f64 / disk.seq_write_bytes_per_sec;
         ExecPlan {
             setup: defaults.jvm_startup,
-            shuffle: SimDuration::from_secs_f64(shuffle_bytes as f64 / defaults.shuffle_bytes_per_sec),
+            shuffle: SimDuration::from_secs_f64(
+                shuffle_bytes as f64 / defaults.shuffle_bytes_per_sec,
+            ),
             work: SimDuration::from_secs_f64(shuffle_bytes as f64 / parse_rate),
             finalize: defaults.commit_overhead + SimDuration::from_secs_f64(write_time),
             memory: defaults.base_memory + profile.state_memory,
@@ -280,7 +282,10 @@ mod tests {
             Locality::NodeLocal,
         );
         let work = plan.work.as_secs_f64();
-        assert!((70.0..90.0).contains(&work), "512MB at ~6.7MB/s ≈ 76s, got {work}");
+        assert!(
+            (70.0..90.0).contains(&work),
+            "512MB at ~6.7MB/s ≈ 76s, got {work}"
+        );
         assert!(plan.nominal_duration().as_secs_f64() > work);
         assert_eq!(plan.shuffle, SimDuration::ZERO);
         assert_eq!(plan.memory, defaults().base_memory);
@@ -311,8 +316,20 @@ mod tests {
     fn locality_matters_when_io_bound() {
         let mut profile = TaskProfile::lightweight();
         profile.parse_rate_bytes_per_sec = Some(1e12); // effectively IO-bound
-        let local = ExecPlan::for_map(&defaults(), &DiskConfig::default(), &profile, 512 * MIB, Locality::NodeLocal);
-        let remote = ExecPlan::for_map(&defaults(), &DiskConfig::default(), &profile, 512 * MIB, Locality::OffRack);
+        let local = ExecPlan::for_map(
+            &defaults(),
+            &DiskConfig::default(),
+            &profile,
+            512 * MIB,
+            Locality::NodeLocal,
+        );
+        let remote = ExecPlan::for_map(
+            &defaults(),
+            &DiskConfig::default(),
+            &profile,
+            512 * MIB,
+            Locality::OffRack,
+        );
         assert!(remote.work > local.work);
     }
 
@@ -367,7 +384,10 @@ mod tests {
         a.segment_start = SimTime::from_secs(3);
         let halfway = SimTime::from_secs(3) + work.mul_f64(0.5);
         let p = a.progress(halfway);
-        assert!((p - 0.5).abs() < 0.01, "progress at half the work should be ~0.5, got {p}");
+        assert!(
+            (p - 0.5).abs() < 0.01,
+            "progress at half the work should be ~0.5, got {p}"
+        );
         // Suspend at halfway: progress freezes.
         a.interrupt_work(halfway);
         a.state = AttemptState::Suspended;
@@ -419,7 +439,13 @@ mod tests {
             512 * MIB,
             Locality::NodeLocal,
         );
-        let mut a = Attempt::new(attempt_id(), TaskKind::Map, Pid(1), plan.clone(), SimTime::ZERO);
+        let mut a = Attempt::new(
+            attempt_id(),
+            TaskKind::Map,
+            Pid(1),
+            plan.clone(),
+            SimTime::ZERO,
+        );
         a.phase = AttemptPhase::Work;
         a.segment_start = SimTime::from_secs(3);
         let t = SimTime::from_secs(33);

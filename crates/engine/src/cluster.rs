@@ -10,9 +10,30 @@
 //! every `heartbeat_interval` and — as recommended for low-latency Hadoop
 //! deployments — send an out-of-band heartbeat whenever a task completes, is
 //! suspended, or is killed.
+//!
+//! # Hot-path design
+//!
+//! The event loop is the inner loop of every experiment, so its per-event
+//! work is kept index-based and allocation-lean:
+//!
+//! * TaskTrackers live in a `Vec` indexed by node id (node ids are dense by
+//!   construction), not a tree;
+//! * per-node [`NodeView`] snapshots for scheduler policies are reusable
+//!   buffers refreshed only for trackers whose occupancy changed since the
+//!   last refresh (dirty tracking), instead of being rebuilt from scratch on
+//!   every scheduler invocation;
+//! * pending `MUST_*` commands are indexed per node, so a heartbeat delivers
+//!   its commands in O(commands) instead of scanning every task of every job;
+//! * "all jobs complete" is an incrementally maintained counter, not an
+//!   O(jobs) scan per event;
+//! * execution plans are built from borrowed config/profile state — no
+//!   per-launch clones of profiles, disk configs or preferred-node lists;
+//! * trace recording (and its string formatting) is gated behind
+//!   [`TraceLevel`](crate::config::TraceLevel) so throughput runs pay nothing
+//!   for it.
 
 use crate::attempt::{AttemptPhase, AttemptState, ExecPlan};
-use crate::config::ClusterConfig;
+use crate::config::{ClusterConfig, TraceLevel};
 use crate::job::{
     AttemptId, JobId, JobRuntime, JobSpec, MapInput, TaskId, TaskKind, TaskRuntime, TaskState,
 };
@@ -65,15 +86,29 @@ pub struct Cluster {
     config: ClusterConfig,
     queue: EventQueue<Event>,
     namenode: NameNode,
-    trackers: BTreeMap<NodeId, TaskTracker>,
+    /// TaskTrackers indexed by node id (node ids are dense: 0..n).
+    trackers: Vec<TaskTracker>,
     jobs: BTreeMap<JobId, JobRuntime>,
     scheduler: Box<dyn SchedulerPolicy>,
     rng: SimRng,
-    pending_arrivals: Vec<(SimTime, JobSpec)>,
+    pending_arrivals: Vec<(SimTime, Option<JobSpec>)>,
     arrivals_remaining: usize,
     triggers: Vec<ProgressTrigger>,
     trace: Vec<TraceEntry>,
     next_job_id: u32,
+    /// Reusable per-node scheduler views, refreshed via dirty tracking.
+    views: Vec<NodeView>,
+    /// Node indices whose tracker state changed since the last view refresh
+    /// (may contain duplicates; the tracker's dirty flag dedups the rebuild).
+    dirty_nodes: Vec<u32>,
+    /// Pending `MUST_*` commands indexed by node; delivered at heartbeats.
+    pending_cmds: Vec<Vec<TaskId>>,
+    /// Reusable buffer for per-heartbeat progress refreshes.
+    progress_buf: Vec<(TaskId, f64)>,
+    /// Jobs registered but not yet complete (incremental completion count).
+    incomplete_jobs: usize,
+    /// Events handled by [`Cluster::run`] so far (throughput accounting).
+    events_processed: u64,
 }
 
 impl Cluster {
@@ -89,22 +124,36 @@ impl Cluster {
             .unwrap_or_else(|e| panic!("invalid cluster configuration: {e}"));
         let topology = Topology::single_rack(config.nodes.len() as u32);
         let namenode = NameNode::new(topology, config.dfs_block_size, config.dfs_replication);
-        let mut trackers = BTreeMap::new();
+        let mut trackers = Vec::with_capacity(config.nodes.len());
+        let mut views = Vec::with_capacity(config.nodes.len());
         let mut queue = EventQueue::new();
         for (i, node_cfg) in config.nodes.iter().enumerate() {
             let id = NodeId(i as u32);
-            trackers.insert(
+            trackers.push(TaskTracker::new(
                 id,
-                TaskTracker::new(id, node_cfg.os.clone(), node_cfg.map_slots, node_cfg.reduce_slots),
-            );
+                node_cfg.os.clone(),
+                node_cfg.map_slots,
+                node_cfg.reduce_slots,
+            ));
+            views.push(NodeView {
+                id,
+                free_map_slots: node_cfg.map_slots,
+                free_reduce_slots: node_cfg.reduce_slots,
+                running: Vec::new(),
+                suspended: Vec::new(),
+            });
             // Stagger the first heartbeats slightly so they do not all land on
             // the same instant.
             queue.schedule(
                 SimTime::from_millis(200 * (i as u64 + 1)),
-                Event::Heartbeat { node: id, periodic: true },
+                Event::Heartbeat {
+                    node: id,
+                    periodic: true,
+                },
             );
         }
         let rng = SimRng::new(config.seed);
+        let node_count = config.nodes.len();
         Cluster {
             config,
             queue,
@@ -118,6 +167,12 @@ impl Cluster {
             triggers: Vec::new(),
             trace: Vec::new(),
             next_job_id: 1,
+            views,
+            dirty_nodes: (0..node_count as u32).collect(),
+            pending_cmds: vec![Vec::new(); node_count],
+            progress_buf: Vec::new(),
+            incomplete_jobs: 0,
+            events_processed: 0,
         }
     }
 
@@ -136,7 +191,8 @@ impl Cluster {
         self.queue.now()
     }
 
-    /// The recorded schedule trace.
+    /// The recorded schedule trace (empty when tracing is
+    /// [`TraceLevel::Off`]).
     pub fn trace(&self) -> &[TraceEntry] {
         &self.trace
     }
@@ -146,18 +202,33 @@ impl Cluster {
         &self.jobs
     }
 
+    /// Number of events processed by [`Cluster::run`] so far; the numerator
+    /// of the `sim_throughput` bench's events/sec metric.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    fn tracker(&self, node: NodeId) -> Option<&TaskTracker> {
+        self.trackers.get(node.0 as usize)
+    }
+
+    fn tracker_mut(&mut self, node: NodeId) -> Option<&mut TaskTracker> {
+        self.trackers.get_mut(node.0 as usize)
+    }
+
     /// Creates an input file in the simulated HDFS, writing it from node 0 so
     /// the paper's single-node experiments get node-local splits.
     pub fn create_input_file(&mut self, path: &str, len: u64) -> Result<(), mrp_dfs::DfsError> {
         let writer = self.namenode.topology().nodes().first().copied();
-        self.namenode.create_file(path, len, writer, &mut self.rng)?;
+        self.namenode
+            .create_file(path, len, writer, &mut self.rng)?;
         Ok(())
     }
 
     /// Registers a job to arrive at `at`.
     pub fn submit_job_at(&mut self, spec: JobSpec, at: SimTime) {
         let index = self.pending_arrivals.len();
-        self.pending_arrivals.push((at, spec));
+        self.pending_arrivals.push((at, Some(spec)));
         self.arrivals_remaining += 1;
         self.queue.schedule(at, Event::JobArrival { index });
     }
@@ -173,7 +244,10 @@ impl Cluster {
     /// most once; if the watched task is suspended or killed before reaching
     /// the fraction, the watch re-arms when it runs again.
     pub fn add_progress_trigger(&mut self, job_name: &str, task_index: u32, fraction: f64) {
-        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be in [0, 1]"
+        );
         self.triggers.push(ProgressTrigger {
             job_name: job_name.to_string(),
             task_index,
@@ -196,13 +270,14 @@ impl Cluster {
                 break;
             }
             let (now, event) = self.queue.pop().expect("peeked event must exist");
+            self.events_processed += 1;
             self.handle_event(now, event);
         }
         self.queue.now()
     }
 
     fn all_jobs_complete(&self) -> bool {
-        self.jobs.values().all(|j| j.is_complete())
+        self.incomplete_jobs == 0
     }
 
     /// Builds the end-of-run report.
@@ -211,7 +286,7 @@ impl Cluster {
             jobs: self.jobs.values().map(JobReport::from_runtime).collect(),
             nodes: self
                 .trackers
-                .values()
+                .iter()
                 .map(|tt| {
                     let disk = tt.kernel().disk_stats();
                     NodeReport {
@@ -230,6 +305,14 @@ impl Cluster {
 
     // ----- internal helpers -------------------------------------------------
 
+    /// Whether schedule tracing is enabled; callers gate both the
+    /// [`TraceEntry`] push and the detail-string formatting behind this, so a
+    /// throughput run allocates nothing for tracing.
+    #[inline]
+    fn tracing(&self) -> bool {
+        self.config.trace_level != TraceLevel::Off
+    }
+
     fn trace_event(
         &mut self,
         at: SimTime,
@@ -239,6 +322,9 @@ impl Cluster {
         node: Option<NodeId>,
         detail: impl Into<String>,
     ) {
+        if !self.tracing() {
+            return;
+        }
         self.trace.push(TraceEntry {
             at,
             kind,
@@ -249,17 +335,37 @@ impl Cluster {
         });
     }
 
-    fn node_views(&self) -> Vec<NodeView> {
-        self.trackers
-            .values()
-            .map(|tt| NodeView {
-                id: tt.id,
-                free_map_slots: tt.free_map_slots(),
-                free_reduce_slots: tt.free_reduce_slots(),
-                running: tt.running_attempts().into_iter().map(|a| a.task).collect(),
-                suspended: tt.suspended_attempts().into_iter().map(|a| a.task).collect(),
-            })
-            .collect()
+    /// Marks `node`'s view stale; the next [`Cluster::refresh_views`] rebuilds
+    /// it. Call sites are the cluster paths that mutate tracker occupancy.
+    #[inline]
+    fn mark_node_dirty(&mut self, node: NodeId) {
+        self.dirty_nodes.push(node.0);
+    }
+
+    /// Refreshes the reusable per-node scheduler views; only trackers whose
+    /// occupancy changed since the last refresh are rebuilt, and only the
+    /// nodes on the dirty list are even inspected (O(changes), not O(nodes)).
+    fn refresh_views(&mut self) {
+        while let Some(idx) = self.dirty_nodes.pop() {
+            let Some(tt) = self.trackers.get_mut(idx as usize) else {
+                continue;
+            };
+            if !tt.take_dirty() {
+                continue;
+            }
+            let view = &mut self.views[idx as usize];
+            view.free_map_slots = tt.free_map_slots();
+            view.free_reduce_slots = tt.free_reduce_slots();
+            view.running.clear();
+            view.suspended.clear();
+            for a in tt.attempts() {
+                match a.state {
+                    AttemptState::Running => view.running.push(a.task),
+                    AttemptState::Suspended => view.suspended.push(a.task),
+                    _ => {}
+                }
+            }
+        }
     }
 
     fn task_mut(&mut self, id: TaskId) -> Option<&mut TaskRuntime> {
@@ -270,9 +376,25 @@ impl Cluster {
         self.jobs.get(&id.job).and_then(|j| j.task(id))
     }
 
+    /// Records that `task` has a pending `MUST_*` command awaiting delivery
+    /// at `node`'s next heartbeat.
+    fn enqueue_command(&mut self, node: NodeId, task: TaskId) {
+        if let Some(list) = self.pending_cmds.get_mut(node.0 as usize) {
+            if !list.contains(&task) {
+                list.push(task);
+            }
+        }
+    }
+
     fn schedule_out_of_band_heartbeat(&mut self, node: NodeId, now: SimTime) {
         if self.config.out_of_band_heartbeats {
-            self.queue.schedule(now, Event::Heartbeat { node, periodic: false });
+            self.queue.schedule(
+                now,
+                Event::Heartbeat {
+                    node,
+                    periodic: false,
+                },
+            );
         }
     }
 
@@ -280,7 +402,10 @@ impl Cluster {
         match event {
             Event::JobArrival { index } => {
                 self.arrivals_remaining -= 1;
-                let spec = self.pending_arrivals[index].1.clone();
+                let spec = self.pending_arrivals[index]
+                    .1
+                    .take()
+                    .expect("each arrival fires exactly once");
                 self.register_job(spec, now);
             }
             Event::Heartbeat { node, periodic } => {
@@ -288,17 +413,25 @@ impl Cluster {
                 if periodic {
                     self.queue.schedule(
                         now + self.config.heartbeat_interval,
-                        Event::Heartbeat { node, periodic: true },
+                        Event::Heartbeat {
+                            node,
+                            periodic: true,
+                        },
                     );
                 }
             }
-            Event::PhaseDone { node, attempt, phase } => {
+            Event::PhaseDone {
+                node,
+                attempt,
+                phase,
+            } => {
                 self.handle_phase_done(node, attempt, phase, now);
             }
             Event::CleanupDone { node, kind } => {
-                if let Some(tt) = self.trackers.get_mut(&node) {
+                if let Some(tt) = self.tracker_mut(node) {
                     tt.release_slot(kind);
                 }
+                self.mark_node_dirty(node);
                 self.schedule_out_of_band_heartbeat(node, now);
             }
             Event::ProgressTrigger { index } => {
@@ -318,24 +451,41 @@ impl Cluster {
                 let file = self
                     .namenode
                     .lookup(path)
-                    .unwrap_or_else(|| panic!("input file {path} does not exist in the simulated HDFS"))
+                    .unwrap_or_else(|| {
+                        panic!("input file {path} does not exist in the simulated HDFS")
+                    })
                     .clone();
                 for (i, block_id) in file.blocks.iter().enumerate() {
-                    let block = self.namenode.block(*block_id).expect("block metadata").clone();
+                    let block = self
+                        .namenode
+                        .block(*block_id)
+                        .expect("block metadata")
+                        .clone();
                     let preferred = self.namenode.replicas_of(*block_id).to_vec();
                     total_map_input += block.size;
                     tasks.push(TaskRuntime::new(
-                        TaskId { job: id, kind: TaskKind::Map, index: i as u32 },
+                        TaskId {
+                            job: id,
+                            kind: TaskKind::Map,
+                            index: i as u32,
+                        },
                         block.size,
                         preferred,
                     ));
                 }
             }
-            MapInput::Synthetic { tasks: n, bytes_per_task } => {
+            MapInput::Synthetic {
+                tasks: n,
+                bytes_per_task,
+            } => {
                 for i in 0..*n {
                     total_map_input += bytes_per_task;
                     tasks.push(TaskRuntime::new(
-                        TaskId { job: id, kind: TaskKind::Map, index: i },
+                        TaskId {
+                            job: id,
+                            kind: TaskKind::Map,
+                            index: i,
+                        },
                         *bytes_per_task,
                         Vec::new(),
                     ));
@@ -343,12 +493,19 @@ impl Cluster {
             }
         }
         if spec.reduce_tasks > 0 {
-            let output_ratio = spec.profile.output_ratio.unwrap_or(self.config.task.output_ratio);
+            let output_ratio = spec
+                .profile
+                .output_ratio
+                .unwrap_or(self.config.task.output_ratio);
             let shuffle_per_reduce =
                 ((total_map_input as f64 * output_ratio) / spec.reduce_tasks as f64) as u64;
             for i in 0..spec.reduce_tasks {
                 tasks.push(TaskRuntime::new(
-                    TaskId { job: id, kind: TaskKind::Reduce, index: i },
+                    TaskId {
+                        job: id,
+                        kind: TaskKind::Reduce,
+                        index: i,
+                    },
                     shuffle_per_reduce.max(1),
                     Vec::new(),
                 ));
@@ -356,7 +513,11 @@ impl Cluster {
         }
         assert!(!tasks.is_empty(), "job {} has no tasks", spec.name);
 
-        let name = spec.name.clone();
+        let name = if self.tracing() {
+            spec.name.clone()
+        } else {
+            String::new()
+        };
         self.jobs.insert(
             id,
             JobRuntime {
@@ -367,11 +528,16 @@ impl Cluster {
                 tasks,
             },
         );
+        self.incomplete_jobs += 1;
         self.trace_event(now, TraceKind::JobSubmitted, id, None, None, name);
 
+        self.refresh_views();
         let actions = {
-            let views = self.node_views();
-            let ctx = SchedulerContext { now, jobs: &self.jobs, nodes: &views };
+            let ctx = SchedulerContext {
+                now,
+                jobs: &self.jobs,
+                nodes: &self.views,
+            };
             self.scheduler.on_job_submitted(&ctx, id)
         };
         self.apply_actions(actions, now);
@@ -379,57 +545,84 @@ impl Cluster {
     }
 
     fn handle_heartbeat(&mut self, node: NodeId, now: SimTime) {
-        // 1. Refresh reported progress for tasks on this node.
-        let updates: Vec<(TaskId, f64)> = {
-            let Some(tt) = self.trackers.get(&node) else { return };
-            tt.running_attempts()
-                .into_iter()
-                .chain(tt.suspended_attempts())
-                .filter_map(|aid| tt.attempt(aid).map(|a| (a.task, a.progress(now))))
-                .collect()
-        };
-        for (task, progress) in updates {
+        let node_idx = node.0 as usize;
+        if node_idx >= self.trackers.len() {
+            return;
+        }
+
+        // 1. Refresh reported progress for tasks on this node (reusable
+        //    buffer: no per-heartbeat allocation).
+        let mut buf = std::mem::take(&mut self.progress_buf);
+        buf.clear();
+        for a in self.trackers[node_idx].attempts() {
+            if matches!(a.state, AttemptState::Running | AttemptState::Suspended) {
+                buf.push((a.task, a.progress(now)));
+            }
+        }
+        for &(task, progress) in &buf {
             if let Some(t) = self.task_mut(task) {
                 t.progress = progress;
             }
         }
+        buf.clear();
+        self.progress_buf = buf;
 
         // 2. Deliver pending MUST_* commands piggybacked on this heartbeat.
-        let pending: Vec<(TaskId, TaskState)> = self
-            .jobs
-            .values()
-            .flat_map(|j| j.tasks.iter())
-            .filter(|t| t.node == Some(node))
-            .filter(|t| {
-                matches!(
-                    t.state,
-                    TaskState::MustSuspend | TaskState::MustResume | TaskState::MustKill
-                )
-            })
-            .map(|t| (t.id, t.state))
-            .collect();
-        for (task, state) in pending {
-            match state {
+        //    The per-node command index replaces the old O(jobs x tasks) scan.
+        let mut pending = std::mem::take(&mut self.pending_cmds[node_idx]);
+        for &task in &pending {
+            let Some(t) = self.task(task) else { continue };
+            if t.node != Some(node) {
+                continue;
+            }
+            match t.state {
                 TaskState::MustSuspend => self.deliver_suspend(task, node, now),
                 TaskState::MustResume => self.deliver_resume(task, node, now),
                 TaskState::MustKill => self.deliver_kill(task, node, now),
-                _ => unreachable!(),
+                _ => {}
+            }
+        }
+        // Keep commands that could not be delivered yet (e.g. suspend during
+        // setup, resume without a free slot); they retry next heartbeat.
+        pending.retain(|&task| {
+            self.task(task).is_some_and(|t| {
+                t.node == Some(node)
+                    && matches!(
+                        t.state,
+                        TaskState::MustSuspend | TaskState::MustResume | TaskState::MustKill
+                    )
+            })
+        });
+        let list = &mut self.pending_cmds[node_idx];
+        for task in pending {
+            if !list.contains(&task) {
+                list.push(task);
             }
         }
 
         // 3. Let the scheduling policy hand out work for this node.
+        self.refresh_views();
         let actions = {
-            let views = self.node_views();
-            let ctx = SchedulerContext { now, jobs: &self.jobs, nodes: &views };
+            let ctx = SchedulerContext {
+                now,
+                jobs: &self.jobs,
+                nodes: &self.views,
+            };
             self.scheduler.on_heartbeat(&ctx, node)
         };
         self.apply_actions(actions, now);
     }
 
     fn deliver_suspend(&mut self, task: TaskId, node: NodeId, now: SimTime) {
-        let Some(attempt_id) = self.task(task).and_then(|t| t.current_attempt) else { return };
-        let Some(tt) = self.trackers.get_mut(&node) else { return };
-        let Some(attempt) = tt.attempt(attempt_id) else { return };
+        let Some(attempt_id) = self.task(task).and_then(|t| t.current_attempt) else {
+            return;
+        };
+        let Some(tt) = self.tracker_mut(node) else {
+            return;
+        };
+        let Some(attempt) = tt.attempt(attempt_id) else {
+            return;
+        };
         match attempt.phase {
             // Too early: retry at the next heartbeat once the task is in its
             // work phase (a task that has not started working has nothing
@@ -444,6 +637,7 @@ impl Cluster {
                     Ok(p) => p,
                     Err(_) => return,
                 };
+                self.mark_node_dirty(node);
                 if let Some(ev) = pending_event {
                     self.queue.cancel(ev);
                 }
@@ -453,22 +647,28 @@ impl Cluster {
                     t.progress = progress;
                     t.suspend_cycles += 1;
                 }
-                self.trace_event(
-                    now,
-                    TraceKind::Suspended,
-                    task.job,
-                    Some(task),
-                    Some(node),
-                    format!("SIGTSTP at {:.0}% progress", progress * 100.0),
-                );
+                if self.tracing() {
+                    self.trace_event(
+                        now,
+                        TraceKind::Suspended,
+                        task.job,
+                        Some(task),
+                        Some(node),
+                        format!("SIGTSTP at {:.0}% progress", progress * 100.0),
+                    );
+                }
                 self.schedule_out_of_band_heartbeat(node, now);
             }
         }
     }
 
     fn deliver_resume(&mut self, task: TaskId, node: NodeId, now: SimTime) {
-        let Some(attempt_id) = self.task(task).and_then(|t| t.current_attempt) else { return };
-        let Some(tt) = self.trackers.get_mut(&node) else { return };
+        let Some(attempt_id) = self.task(task).and_then(|t| t.current_attempt) else {
+            return;
+        };
+        let Some(tt) = self.tracker_mut(node) else {
+            return;
+        };
         let stall = match tt.resume(attempt_id, now) {
             Ok(stall) => stall,
             // No free slot (or similar): stay in MUST_RESUME and retry at the
@@ -476,7 +676,9 @@ impl Cluster {
             Err(_) => return,
         };
         let (segment_start, remaining) = {
-            let attempt = tt.attempt_mut(attempt_id).expect("attempt present after resume");
+            let attempt = tt
+                .attempt_mut(attempt_id)
+                .expect("attempt present after resume");
             debug_assert_eq!(attempt.phase, AttemptPhase::Work);
             let remaining = attempt.remaining_work();
             attempt.segment_start = now + stall;
@@ -485,30 +687,41 @@ impl Cluster {
         };
         let event = self.queue.schedule(
             segment_start + remaining,
-            Event::PhaseDone { node, attempt: attempt_id, phase: AttemptPhase::Work },
+            Event::PhaseDone {
+                node,
+                attempt: attempt_id,
+                phase: AttemptPhase::Work,
+            },
         );
-        if let Some(tt) = self.trackers.get_mut(&node) {
+        if let Some(tt) = self.tracker_mut(node) {
             if let Some(attempt) = tt.attempt_mut(attempt_id) {
                 attempt.segment_event = Some(event);
             }
         }
+        self.mark_node_dirty(node);
         if let Some(t) = self.task_mut(task) {
             t.set_state(TaskState::Running);
         }
         self.arm_triggers(task, node, attempt_id, now);
-        self.trace_event(
-            now,
-            TraceKind::Resumed,
-            task.job,
-            Some(task),
-            Some(node),
-            format!("SIGCONT, page-in stall {:.2}s", stall.as_secs_f64()),
-        );
+        if self.tracing() {
+            self.trace_event(
+                now,
+                TraceKind::Resumed,
+                task.job,
+                Some(task),
+                Some(node),
+                format!("SIGCONT, page-in stall {:.2}s", stall.as_secs_f64()),
+            );
+        }
     }
 
     fn deliver_kill(&mut self, task: TaskId, node: NodeId, now: SimTime) {
-        let Some(attempt_id) = self.task(task).and_then(|t| t.current_attempt) else { return };
-        let Some(tt) = self.trackers.get_mut(&node) else { return };
+        let Some(attempt_id) = self.task(task).and_then(|t| t.current_attempt) else {
+            return;
+        };
+        let Some(tt) = self.tracker_mut(node) else {
+            return;
+        };
         if tt.attempt(attempt_id).is_none() {
             // The attempt vanished underneath us (e.g. the OOM killer took
             // it); make the task schedulable again so it restarts from scratch.
@@ -520,14 +733,19 @@ impl Cluster {
             }
             return;
         }
-        let Some(tt) = self.trackers.get_mut(&node) else { return };
-        let Some(attempt) = tt.attempt(attempt_id) else { return };
+        let Some(tt) = self.tracker_mut(node) else {
+            return;
+        };
+        let Some(attempt) = tt.attempt(attempt_id) else {
+            return;
+        };
         let pending_event = attempt.segment_event;
         let invested = attempt.invested_time(now);
         let outcome = match tt.kill(attempt_id, now) {
             Ok(o) => o,
             Err(_) => return,
         };
+        self.mark_node_dirty(node);
         if let Some(ev) = pending_event {
             self.queue.cancel(ev);
         }
@@ -536,7 +754,13 @@ impl Cluster {
         if outcome.held_slot {
             // The cleanup attempt holds the slot while it deletes the killed
             // task's partial output.
-            self.queue.schedule(now + cleanup, Event::CleanupDone { node, kind: task.kind });
+            self.queue.schedule(
+                now + cleanup,
+                Event::CleanupDone {
+                    node,
+                    kind: task.kind,
+                },
+            );
         }
         if let Some(t) = self.task_mut(task) {
             t.set_state(TaskState::Killed);
@@ -549,22 +773,34 @@ impl Cluster {
             // The task itself is rescheduled from scratch.
             t.set_state(TaskState::Pending);
         }
-        self.trace_event(
-            now,
-            TraceKind::Killed,
-            task.job,
-            Some(task),
-            Some(node),
-            format!("SIGKILL, {:.1}s of work lost", invested.as_secs_f64()),
-        );
+        if self.tracing() {
+            self.trace_event(
+                now,
+                TraceKind::Killed,
+                task.job,
+                Some(task),
+                Some(node),
+                format!("SIGKILL, {:.1}s of work lost", invested.as_secs_f64()),
+            );
+        }
     }
 
-    fn handle_phase_done(&mut self, node: NodeId, attempt_id: AttemptId, phase: AttemptPhase, now: SimTime) {
+    fn handle_phase_done(
+        &mut self,
+        node: NodeId,
+        attempt_id: AttemptId,
+        phase: AttemptPhase,
+        now: SimTime,
+    ) {
         // Defensive: the attempt may have been suspended, killed or OOM-killed
         // since this event was scheduled; its cancellation normally removes
         // the event, but a removed attempt cannot be cancelled, so re-check.
-        let Some(tt) = self.trackers.get_mut(&node) else { return };
-        let Some(attempt) = tt.attempt(attempt_id) else { return };
+        let Some(tt) = self.tracker_mut(node) else {
+            return;
+        };
+        let Some(attempt) = tt.attempt(attempt_id) else {
+            return;
+        };
         if attempt.state != AttemptState::Running || attempt.phase != phase {
             return;
         }
@@ -579,8 +815,14 @@ impl Cluster {
                         return;
                     }
                 };
-                let input_bytes = tt.attempt(attempt_id).map(|a| a.plan.input_bytes).unwrap_or(0);
+                let input_bytes = tt
+                    .attempt(attempt_id)
+                    .map(|a| a.plan.input_bytes)
+                    .unwrap_or(0);
                 tt.record_input_read(input_bytes);
+                if !alloc.oom_killed.is_empty() {
+                    self.mark_node_dirty(node);
+                }
                 for victim in &alloc.oom_killed {
                     self.handle_oom_victim(*victim, node, now);
                 }
@@ -597,8 +839,13 @@ impl Cluster {
             AttemptPhase::Work => {
                 // Work finished: fault the task's own state back in (stateful
                 // tasks read their memory when finalizing) and write output.
-                let stall = tt.fault_in_own_memory(attempt_id, now).unwrap_or(SimDuration::ZERO);
-                let output = tt.attempt(attempt_id).map(|a| a.plan.output_bytes).unwrap_or(0);
+                let stall = tt
+                    .fault_in_own_memory(attempt_id, now)
+                    .unwrap_or(SimDuration::ZERO);
+                let output = tt
+                    .attempt(attempt_id)
+                    .map(|a| a.plan.output_bytes)
+                    .unwrap_or(0);
                 tt.write_output(output);
                 if let Some(a) = tt.attempt_mut(attempt_id) {
                     a.work_completed = a.plan.work;
@@ -621,8 +868,12 @@ impl Cluster {
         stall: SimDuration,
         now: SimTime,
     ) {
-        let Some(tt) = self.trackers.get_mut(&node) else { return };
-        let Some(attempt) = tt.attempt_mut(attempt_id) else { return };
+        let Some(tt) = self.tracker_mut(node) else {
+            return;
+        };
+        let Some(attempt) = tt.attempt_mut(attempt_id) else {
+            return;
+        };
         attempt.phase = phase;
         let duration = match phase {
             AttemptPhase::Setup => attempt.plan.setup,
@@ -633,8 +884,15 @@ impl Cluster {
         attempt.segment_start = now + stall;
         attempt.segment_duration = duration;
         let fire_at = attempt.segment_start + duration;
-        let event = self.queue.schedule(fire_at, Event::PhaseDone { node, attempt: attempt_id, phase });
-        if let Some(tt) = self.trackers.get_mut(&node) {
+        let event = self.queue.schedule(
+            fire_at,
+            Event::PhaseDone {
+                node,
+                attempt: attempt_id,
+                phase,
+            },
+        );
+        if let Some(tt) = self.tracker_mut(node) {
             if let Some(attempt) = tt.attempt_mut(attempt_id) {
                 attempt.segment_event = Some(event);
             }
@@ -646,11 +904,14 @@ impl Cluster {
 
     fn complete_attempt(&mut self, node: NodeId, attempt_id: AttemptId, now: SimTime) {
         let task = attempt_id.task;
-        let Some(tt) = self.trackers.get_mut(&node) else { return };
+        let Some(tt) = self.tracker_mut(node) else {
+            return;
+        };
         let outcome = match tt.complete(attempt_id, now) {
             Ok(o) => o,
             Err(_) => return,
         };
+        self.mark_node_dirty(node);
         if let Some(t) = self.task_mut(task) {
             t.set_state(TaskState::Succeeded);
             t.progress = 1.0;
@@ -659,7 +920,14 @@ impl Cluster {
             t.paged_out_bytes += outcome.paged_out_bytes;
             t.paged_in_bytes += outcome.paged_in_bytes;
         }
-        self.trace_event(now, TraceKind::Completed, task.job, Some(task), Some(node), "");
+        self.trace_event(
+            now,
+            TraceKind::Completed,
+            task.job,
+            Some(task),
+            Some(node),
+            "",
+        );
 
         // Job completion check.
         let job_complete = self
@@ -671,19 +939,27 @@ impl Cluster {
             if let Some(job) = self.jobs.get_mut(&task.job) {
                 job.completed_at = Some(now);
             }
+            self.incomplete_jobs = self.incomplete_jobs.saturating_sub(1);
             self.trace_event(now, TraceKind::JobCompleted, task.job, None, None, "");
         }
 
         // Scheduler hooks.
+        self.refresh_views();
         let mut actions = {
-            let views = self.node_views();
-            let ctx = SchedulerContext { now, jobs: &self.jobs, nodes: &views };
+            let ctx = SchedulerContext {
+                now,
+                jobs: &self.jobs,
+                nodes: &self.views,
+            };
             self.scheduler.on_task_finished(&ctx, task)
         };
         if job_complete {
             let more = {
-                let views = self.node_views();
-                let ctx = SchedulerContext { now, jobs: &self.jobs, nodes: &views };
+                let ctx = SchedulerContext {
+                    now,
+                    jobs: &self.jobs,
+                    nodes: &self.views,
+                };
                 self.scheduler.on_job_finished(&ctx, task.job)
             };
             actions.extend(more);
@@ -720,10 +996,17 @@ impl Cluster {
     }
 
     fn force_kill_after_failure(&mut self, task: TaskId, node: NodeId, now: SimTime) {
-        if let Some(t) = self.task_mut(task) {
-            if matches!(t.state, TaskState::Running | TaskState::MustSuspend) {
+        let marked = match self.task_mut(task) {
+            Some(t) if matches!(t.state, TaskState::Running | TaskState::MustSuspend) => {
                 t.set_state(TaskState::MustKill);
+                true
             }
+            _ => false,
+        };
+        if marked {
+            // Index the command in case the immediate delivery below cannot
+            // complete (the retry then rides the next heartbeat).
+            self.enqueue_command(node, task);
         }
         self.deliver_kill(task, node, now);
     }
@@ -741,27 +1024,47 @@ impl Cluster {
                     self.launch_task(task, node, now);
                 }
                 SchedulerAction::Suspend { task } => {
-                    if let Some(t) = self.task_mut(task) {
-                        if t.state == TaskState::Running {
+                    let node = match self.task_mut(task) {
+                        Some(t) if t.state == TaskState::Running => {
                             t.set_state(TaskState::MustSuspend);
+                            t.node
                         }
+                        _ => None,
+                    };
+                    if let Some(node) = node {
+                        self.enqueue_command(node, task);
                     }
                 }
                 SchedulerAction::Resume { task } => {
-                    if let Some(t) = self.task_mut(task) {
-                        if t.state == TaskState::Suspended {
+                    let node = match self.task_mut(task) {
+                        Some(t) if t.state == TaskState::Suspended => {
                             t.set_state(TaskState::MustResume);
+                            t.node
                         }
+                        _ => None,
+                    };
+                    if let Some(node) = node {
+                        self.enqueue_command(node, task);
                     }
                 }
                 SchedulerAction::Kill { task } => {
-                    if let Some(t) = self.task_mut(task) {
-                        if matches!(
-                            t.state,
-                            TaskState::Running | TaskState::Suspended | TaskState::MustSuspend | TaskState::MustResume
-                        ) {
+                    let node = match self.task_mut(task) {
+                        Some(t)
+                            if matches!(
+                                t.state,
+                                TaskState::Running
+                                    | TaskState::Suspended
+                                    | TaskState::MustSuspend
+                                    | TaskState::MustResume
+                            ) =>
+                        {
                             t.set_state(TaskState::MustKill);
+                            t.node
                         }
+                        _ => None,
+                    };
+                    if let Some(node) = node {
+                        self.enqueue_command(node, task);
                     }
                 }
             }
@@ -769,45 +1072,51 @@ impl Cluster {
     }
 
     fn launch_task(&mut self, task: TaskId, node: NodeId, now: SimTime) {
-        let Some(t) = self.task(task) else { return };
-        if !t.state.is_schedulable() {
-            return;
-        }
-        let input_bytes = t.input_bytes;
-        let preferred = t.preferred_nodes.clone();
-        let profile = self
-            .jobs
-            .get(&task.job)
-            .map(|j| j.spec.profile.clone())
-            .unwrap_or_default();
-        let Some(tt) = self.trackers.get(&node) else { return };
-        if tt.free_slots(task.kind) == 0 {
-            return;
-        }
-        let locality = if preferred.is_empty() {
-            Locality::NodeLocal
-        } else {
-            preferred
-                .iter()
-                .map(|holder| self.namenode.topology().locality(node, *holder))
-                .min()
-                .unwrap_or(Locality::OffRack)
-        };
-        let disk = tt.kernel().config().disk.clone();
-        let plan = match task.kind {
-            TaskKind::Map => ExecPlan::for_map(&self.config.task, &disk, &profile, input_bytes, locality),
-            TaskKind::Reduce => ExecPlan::for_reduce(&self.config.task, &disk, &profile, input_bytes),
+        // Build the execution plan from borrowed state: no clones of the
+        // profile, the preferred-node list or the disk config on this path.
+        let plan = {
+            let Some(job) = self.jobs.get(&task.job) else {
+                return;
+            };
+            let Some(t) = job.task(task) else { return };
+            if !t.state.is_schedulable() {
+                return;
+            }
+            let Some(tt) = self.tracker(node) else { return };
+            if tt.free_slots(task.kind) == 0 {
+                return;
+            }
+            let locality = if t.preferred_nodes.is_empty() {
+                Locality::NodeLocal
+            } else {
+                t.preferred_nodes
+                    .iter()
+                    .map(|holder| self.namenode.topology().locality(node, *holder))
+                    .min()
+                    .unwrap_or(Locality::OffRack)
+            };
+            let disk = &tt.kernel().config().disk;
+            let profile = &job.spec.profile;
+            match task.kind {
+                TaskKind::Map => {
+                    ExecPlan::for_map(&self.config.task, disk, profile, t.input_bytes, locality)
+                }
+                TaskKind::Reduce => {
+                    ExecPlan::for_reduce(&self.config.task, disk, profile, t.input_bytes)
+                }
+            }
         };
         let attempt_id = {
             let Some(t) = self.task_mut(task) else { return };
             t.next_attempt()
         };
-        let tt = self.trackers.get_mut(&node).expect("checked above");
+        let tt = self.tracker_mut(node).expect("checked above");
         if tt.launch(attempt_id, task.kind, plan, now).is_err() {
             // Roll back the attempt counter bump is not necessary: attempt ids
             // only need to be unique.
             return;
         }
+        self.mark_node_dirty(node);
         {
             let t = self.task_mut(task).expect("task exists");
             t.set_state(TaskState::Running);
@@ -820,43 +1129,52 @@ impl Cluster {
         }
         // Schedule the end of the setup phase.
         let setup = self
-            .trackers
-            .get(&node)
+            .tracker(node)
             .and_then(|tt| tt.attempt(attempt_id))
             .map(|a| a.plan.setup)
             .unwrap_or(SimDuration::ZERO);
         let event = self.queue.schedule(
             now + setup,
-            Event::PhaseDone { node, attempt: attempt_id, phase: AttemptPhase::Setup },
+            Event::PhaseDone {
+                node,
+                attempt: attempt_id,
+                phase: AttemptPhase::Setup,
+            },
         );
-        if let Some(tt) = self.trackers.get_mut(&node) {
+        if let Some(tt) = self.tracker_mut(node) {
             if let Some(a) = tt.attempt_mut(attempt_id) {
                 a.segment_event = Some(event);
                 a.segment_start = now;
                 a.segment_duration = setup;
             }
         }
-        self.trace_event(
-            now,
-            TraceKind::Launched,
-            task.job,
-            Some(task),
-            Some(node),
-            format!("attempt {}", attempt_id.number),
-        );
+        if self.tracing() {
+            self.trace_event(
+                now,
+                TraceKind::Launched,
+                task.job,
+                Some(task),
+                Some(node),
+                format!("attempt {}", attempt_id.number),
+            );
+        }
     }
 
     // ----- progress triggers -----------------------------------------------
 
     fn arm_triggers(&mut self, task: TaskId, node: NodeId, attempt_id: AttemptId, _now: SimTime) {
-        if task.kind != TaskKind::Map {
+        if self.triggers.is_empty() || task.kind != TaskKind::Map {
             return;
         }
-        let Some(job) = self.jobs.get(&task.job) else { return };
+        let Some(job) = self.jobs.get(&task.job) else {
+            return;
+        };
         let job_name = job.spec.name.clone();
         let (segment_start, work, work_completed) = {
-            let Some(tt) = self.trackers.get(&node) else { return };
-            let Some(a) = tt.attempt(attempt_id) else { return };
+            let Some(tt) = self.tracker(node) else { return };
+            let Some(a) = tt.attempt(attempt_id) else {
+                return;
+            };
             (a.segment_start, a.plan.work, a.work_completed)
         };
         for index in 0..self.triggers.len() {
@@ -876,14 +1194,20 @@ impl Cluster {
             } else {
                 segment_start + target.saturating_sub(work_completed)
             };
-            let event = self.queue.schedule(fire_at, Event::ProgressTrigger { index });
+            let event = self
+                .queue
+                .schedule(fire_at, Event::ProgressTrigger { index });
             self.triggers[index].state = TriggerState::Armed { event, task };
         }
     }
 
     fn unarm_triggers(&mut self, task: TaskId) {
         for trigger in &mut self.triggers {
-            if let TriggerState::Armed { event, task: armed_task } = trigger.state {
+            if let TriggerState::Armed {
+                event,
+                task: armed_task,
+            } = trigger.state
+            {
                 if armed_task == task {
                     self.queue.cancel(event);
                     trigger.state = TriggerState::Waiting;
@@ -898,9 +1222,13 @@ impl Cluster {
             _ => return,
         };
         self.triggers[index].state = TriggerState::Fired;
+        self.refresh_views();
         let actions = {
-            let views = self.node_views();
-            let ctx = SchedulerContext { now, jobs: &self.jobs, nodes: &views };
+            let ctx = SchedulerContext {
+                now,
+                jobs: &self.jobs,
+                nodes: &self.views,
+            };
             self.scheduler.on_progress_trigger(&ctx, task, fraction)
         };
         self.apply_actions(actions, now);
@@ -926,7 +1254,10 @@ mod tests {
     use mrp_sim::MIB;
 
     fn single_node_cluster() -> Cluster {
-        Cluster::new(ClusterConfig::paper_single_node(), Box::new(FifoScheduler::new()))
+        Cluster::new(
+            ClusterConfig::paper_single_node(),
+            Box::new(FifoScheduler::new()),
+        )
     }
 
     #[test]
@@ -942,8 +1273,13 @@ mod tests {
             (70.0..100.0).contains(&sojourn),
             "a 512MB map-only job should take ~80-90s, got {sojourn}"
         );
-        assert_eq!(report.total_swap_out_bytes(), 0, "no paging for a single light job");
+        assert_eq!(
+            report.total_swap_out_bytes(),
+            0,
+            "no paging for a single light job"
+        );
         assert_eq!(report.jobs[0].tasks[0].attempts, 1);
+        assert!(c.events_processed() > 0);
     }
 
     #[test]
@@ -958,9 +1294,15 @@ mod tests {
         assert!(report.all_jobs_complete());
         let first = report.sojourn_secs("first").unwrap();
         let second = report.sojourn_secs("second").unwrap();
-        assert!(second > first + 40.0, "the second job has to wait for the slot");
+        assert!(
+            second > first + 40.0,
+            "the second job has to wait for the slot"
+        );
         let makespan = report.makespan_secs().unwrap();
-        assert!((150.0..220.0).contains(&makespan), "two ~85s tasks back to back, got {makespan}");
+        assert!(
+            (150.0..220.0).contains(&makespan),
+            "two ~85s tasks back to back, got {makespan}"
+        );
     }
 
     #[test]
@@ -1025,6 +1367,27 @@ mod tests {
         assert!(kinds.contains(&TraceKind::Completed));
         assert!(kinds.contains(&TraceKind::JobCompleted));
         assert!(c.trace().iter().all(|e| !e.to_line().is_empty()));
+    }
+
+    #[test]
+    fn trace_level_off_records_nothing_but_produces_the_same_report() {
+        let run = |trace_level| {
+            let mut cfg = ClusterConfig::paper_single_node();
+            cfg.trace_level = trace_level;
+            let mut c = Cluster::new(cfg, Box::new(FifoScheduler::new()));
+            c.create_input_file("/input", 512 * MIB).unwrap();
+            c.submit_job(JobSpec::map_only("job", "/input"));
+            c.run(SimTime::from_secs(3_600));
+            (c.trace().len(), c.report())
+        };
+        let (traced_len, traced_report) = run(TraceLevel::Schedule);
+        let (off_len, off_report) = run(TraceLevel::Off);
+        assert!(traced_len > 0);
+        assert_eq!(off_len, 0, "TraceLevel::Off must record nothing");
+        assert_eq!(
+            traced_report, off_report,
+            "tracing must not alter the simulation"
+        );
     }
 
     #[test]

@@ -5,8 +5,8 @@
 //! files, with task durations around 80 seconds, a 3-second heartbeat, and
 //! `swappiness = 0`.
 
-use mrp_simos::NodeOsConfig;
 use mrp_sim::{SimDuration, MIB};
+use mrp_simos::NodeOsConfig;
 use serde::{Deserialize, Serialize};
 
 /// Execution-model defaults shared by all tasks unless a job overrides them.
@@ -75,6 +75,22 @@ impl NodeConfig {
     }
 }
 
+/// How much schedule tracing the cluster records.
+///
+/// Recording a [`TraceEntry`](crate::metrics::TraceEntry) allocates (the
+/// human-readable detail string in particular), so throughput-sensitive runs
+/// — the `sim_throughput` bench, large-scale sweeps — switch tracing off and
+/// pay nothing for it; the paper-scale presets keep it on because the
+/// examples print Figure-1-style schedules from the trace.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum TraceLevel {
+    /// Record nothing; `Cluster::trace()` stays empty.
+    Off,
+    /// Record every schedule event (launch, suspend, resume, kill, completion).
+    #[default]
+    Schedule,
+}
+
 /// Whole-cluster configuration.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ClusterConfig {
@@ -94,6 +110,9 @@ pub struct ClusterConfig {
     pub task: TaskDefaults,
     /// Seed for all randomised decisions (placement, tie-breaking).
     pub seed: u64,
+    /// Schedule-trace verbosity (default [`TraceLevel::Schedule`]; set to
+    /// [`TraceLevel::Off`] for throughput runs).
+    pub trace_level: TraceLevel,
 }
 
 impl ClusterConfig {
@@ -107,6 +126,7 @@ impl ClusterConfig {
             dfs_replication: 1,
             task: TaskDefaults::default(),
             seed: 1,
+            trace_level: TraceLevel::Schedule,
         }
     }
 
@@ -127,6 +147,7 @@ impl ClusterConfig {
             dfs_replication: 3.min(nodes),
             task: TaskDefaults::default(),
             seed: 1,
+            trace_level: TraceLevel::Schedule,
         }
     }
 

@@ -59,7 +59,13 @@ pub struct TaskId {
 
 impl fmt::Debug for TaskId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "task_{:04}_{}_{:06}", self.job.0, self.kind.code(), self.index)
+        write!(
+            f,
+            "task_{:04}_{}_{:06}",
+            self.job.0,
+            self.kind.code(),
+            self.index
+        )
     }
 }
 
@@ -194,7 +200,10 @@ impl JobSpec {
         JobSpec {
             name: name.into(),
             priority: 0,
-            input: MapInput::Synthetic { tasks, bytes_per_task },
+            input: MapInput::Synthetic {
+                tasks,
+                bytes_per_task,
+            },
             reduce_tasks: 0,
             profile: TaskProfile::default(),
         }
@@ -250,7 +259,10 @@ impl TaskState {
 
     /// True if the task currently occupies a slot on some TaskTracker.
     pub fn occupies_slot(self) -> bool {
-        matches!(self, TaskState::Running | TaskState::MustSuspend | TaskState::MustKill)
+        matches!(
+            self,
+            TaskState::Running | TaskState::MustSuspend | TaskState::MustKill
+        )
     }
 
     /// True if a scheduler may launch (or re-launch) this task on a node.
@@ -384,18 +396,51 @@ pub struct JobRuntime {
 
 impl JobRuntime {
     /// Looks up a task by id.
+    ///
+    /// Map tasks sit at `tasks[index]` by construction (maps first, then
+    /// reduces), so the common lookup is O(1); the linear scan only remains as
+    /// a fallback for reduce tasks and hand-built task vectors in tests.
     pub fn task(&self, id: TaskId) -> Option<&TaskRuntime> {
+        if id.kind == TaskKind::Map {
+            if let Some(t) = self.tasks.get(id.index as usize) {
+                if t.id == id {
+                    return Some(t);
+                }
+            }
+        }
         self.tasks.iter().find(|t| t.id == id)
     }
 
-    /// Mutable task lookup.
+    /// Mutable task lookup (same O(1) fast path as [`JobRuntime::task`]).
     pub fn task_mut(&mut self, id: TaskId) -> Option<&mut TaskRuntime> {
+        if id.kind == TaskKind::Map {
+            let direct = self
+                .tasks
+                .get(id.index as usize)
+                .map(|t| t.id == id)
+                .unwrap_or(false);
+            if direct {
+                return self.tasks.get_mut(id.index as usize);
+            }
+        }
         self.tasks.iter_mut().find(|t| t.id == id)
     }
 
     /// True when every task has succeeded.
+    ///
+    /// O(tasks): scans the task list. On scheduler hot paths prefer
+    /// [`JobRuntime::is_finished`], which reads the engine-maintained
+    /// completion stamp in O(1).
     pub fn is_complete(&self) -> bool {
         !self.tasks.is_empty() && self.tasks.iter().all(|t| t.state.is_terminal())
+    }
+
+    /// O(1) completion check: the engine stamps `completed_at` the moment the
+    /// last task succeeds, so for jobs observed through a
+    /// [`SchedulerContext`](crate::SchedulerContext) this is equivalent to
+    /// [`JobRuntime::is_complete`] without the task scan.
+    pub fn is_finished(&self) -> bool {
+        self.completed_at.is_some()
     }
 
     /// Time from submission to completion, if the job is done — the paper's

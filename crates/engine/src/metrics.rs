@@ -210,20 +210,19 @@ pub struct TraceEntry {
 impl TraceEntry {
     /// Renders the entry as a single human-readable line.
     pub fn to_line(&self) -> String {
-        let task = self
-            .task
-            .map(|t| format!(" {t}"))
-            .unwrap_or_default();
-        let node = self
-            .node
-            .map(|n| format!(" on {n}"))
-            .unwrap_or_default();
+        let task = self.task.map(|t| format!(" {t}")).unwrap_or_default();
+        let node = self.node.map(|n| format!(" on {n}")).unwrap_or_default();
         let detail = if self.detail.is_empty() {
             String::new()
         } else {
             format!(" ({})", self.detail)
         };
-        format!("[{:>9}] {:?} {}{task}{node}{detail}", format!("{}", self.at), self.kind, self.job)
+        format!(
+            "[{:>9}] {:?} {}{task}{node}{detail}",
+            format!("{}", self.at),
+            self.kind,
+            self.job
+        )
     }
 }
 

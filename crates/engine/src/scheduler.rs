@@ -83,7 +83,16 @@ pub struct SchedulerContext<'a> {
 
 impl<'a> SchedulerContext<'a> {
     /// The view of a specific node, if it exists.
+    ///
+    /// Cluster-built view slices are indexed by dense node id, so the lookup
+    /// is O(1); the scan only remains as a fallback for hand-built slices in
+    /// tests and custom harnesses.
     pub fn node(&self, id: NodeId) -> Option<&NodeView> {
+        if let Some(view) = self.nodes.get(id.0 as usize) {
+            if view.id == id {
+                return Some(view);
+            }
+        }
         self.nodes.iter().find(|n| n.id == id)
     }
 
@@ -138,7 +147,7 @@ impl<'a> SchedulerContext<'a> {
 
     /// True when there is at least one incomplete job.
     pub fn has_incomplete_jobs(&self) -> bool {
-        self.jobs.values().any(|j| !j.is_complete())
+        self.jobs.values().any(|j| !j.is_finished())
     }
 }
 
@@ -152,17 +161,29 @@ pub trait SchedulerPolicy {
     fn on_heartbeat(&mut self, ctx: &SchedulerContext<'_>, node: NodeId) -> Vec<SchedulerAction>;
 
     /// Called right after a job is submitted.
-    fn on_job_submitted(&mut self, _ctx: &SchedulerContext<'_>, _job: JobId) -> Vec<SchedulerAction> {
+    fn on_job_submitted(
+        &mut self,
+        _ctx: &SchedulerContext<'_>,
+        _job: JobId,
+    ) -> Vec<SchedulerAction> {
         Vec::new()
     }
 
     /// Called when a task reaches a terminal state (succeeded).
-    fn on_task_finished(&mut self, _ctx: &SchedulerContext<'_>, _task: TaskId) -> Vec<SchedulerAction> {
+    fn on_task_finished(
+        &mut self,
+        _ctx: &SchedulerContext<'_>,
+        _task: TaskId,
+    ) -> Vec<SchedulerAction> {
         Vec::new()
     }
 
     /// Called when a job completes (all its tasks succeeded).
-    fn on_job_finished(&mut self, _ctx: &SchedulerContext<'_>, _job: JobId) -> Vec<SchedulerAction> {
+    fn on_job_finished(
+        &mut self,
+        _ctx: &SchedulerContext<'_>,
+        _job: JobId,
+    ) -> Vec<SchedulerAction> {
         Vec::new()
     }
 
@@ -209,12 +230,18 @@ impl SchedulerPolicy for FifoScheduler {
         let Some(view) = ctx.node(node) else {
             return Vec::new();
         };
+        // Hot-path early exit: a fully occupied node with nothing suspended
+        // cannot receive work, so skip the whole-cluster task scans below.
+        // At scale most heartbeats hit this case.
+        if view.free_map_slots == 0 && view.free_reduce_slots == 0 {
+            return Vec::new();
+        }
         let mut actions = Vec::new();
         let mut free_map = view.free_map_slots;
         let mut free_reduce = view.free_reduce_slots;
 
         // First give slots back to suspended tasks stranded on this node.
-        if self.resume_suspended {
+        if self.resume_suspended && !view.suspended.is_empty() {
             for task in ctx.suspended_tasks() {
                 let Some(t) = ctx.task(task) else { continue };
                 if t.node != Some(node) {
@@ -270,7 +297,8 @@ mod tests {
     use crate::job::{JobSpec, TaskRuntime};
 
     fn make_job(id: u32, priority: i32, submitted: u64, tasks: usize) -> JobRuntime {
-        let spec = JobSpec::synthetic(format!("job{id}"), tasks as u32, 100).with_priority(priority);
+        let spec =
+            JobSpec::synthetic(format!("job{id}"), tasks as u32, 100).with_priority(priority);
         let job_id = JobId(id);
         JobRuntime {
             id: job_id,

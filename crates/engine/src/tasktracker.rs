@@ -15,7 +15,7 @@ use crate::job::{AttemptId, TaskKind};
 use mrp_dfs::NodeId;
 use mrp_sim::{SimDuration, SimTime};
 use mrp_simos::{Kernel, NodeOsConfig, OsError, Pid, Signal};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Result of allocating a task's memory at the end of its setup phase.
 #[derive(Clone, Debug, Default)]
@@ -73,6 +73,13 @@ impl From<OsError> for TrackerError {
 }
 
 /// The per-node TaskTracker.
+///
+/// Attempts are kept in a `BTreeMap` so every iteration over them is
+/// deterministic (std `HashMap` ordering varies per process run, which would
+/// leak nondeterminism into scheduler decisions and reports). The tracker also
+/// maintains a `dirty` flag so the cluster can refresh only the per-node
+/// scheduler views whose slot occupancy actually changed since the last
+/// heartbeat, instead of rebuilding every view on every event.
 #[derive(Debug)]
 pub struct TaskTracker {
     /// The node this tracker runs on.
@@ -82,7 +89,8 @@ pub struct TaskTracker {
     reduce_slots: u32,
     used_map_slots: u32,
     used_reduce_slots: u32,
-    attempts: HashMap<AttemptId, Attempt>,
+    attempts: BTreeMap<AttemptId, Attempt>,
+    dirty: bool,
 }
 
 impl TaskTracker {
@@ -95,8 +103,15 @@ impl TaskTracker {
             reduce_slots,
             used_map_slots: 0,
             used_reduce_slots: 0,
-            attempts: HashMap::new(),
+            attempts: BTreeMap::new(),
+            dirty: true,
         }
+    }
+
+    /// Returns (and clears) whether slot occupancy or the running/suspended
+    /// attempt sets changed since the last call.
+    pub fn take_dirty(&mut self) -> bool {
+        std::mem::take(&mut self.dirty)
     }
 
     /// Read-only access to the node's kernel (for statistics).
@@ -139,13 +154,20 @@ impl TaskTracker {
     /// Releases a slot of the given kind (used by the cluster when a killed
     /// task's cleanup attempt finishes).
     pub fn release_slot(&mut self, kind: TaskKind) {
+        self.dirty = true;
         match kind {
             TaskKind::Map => {
-                debug_assert!(self.used_map_slots > 0, "releasing a map slot that was never taken");
+                debug_assert!(
+                    self.used_map_slots > 0,
+                    "releasing a map slot that was never taken"
+                );
                 self.used_map_slots = self.used_map_slots.saturating_sub(1);
             }
             TaskKind::Reduce => {
-                debug_assert!(self.used_reduce_slots > 0, "releasing a reduce slot that was never taken");
+                debug_assert!(
+                    self.used_reduce_slots > 0,
+                    "releasing a reduce slot that was never taken"
+                );
                 self.used_reduce_slots = self.used_reduce_slots.saturating_sub(1);
             }
         }
@@ -161,22 +183,27 @@ impl TaskTracker {
         self.attempts.get_mut(&id)
     }
 
-    /// Attempts currently running (holding a slot) on this node.
-    pub fn running_attempts(&self) -> Vec<AttemptId> {
+    /// All live attempts on this node, in deterministic (id) order.
+    pub fn attempts(&self) -> impl Iterator<Item = &Attempt> {
+        self.attempts.values()
+    }
+
+    /// Attempts currently running (holding a slot) on this node, in
+    /// deterministic (id) order. Allocation-free: returns an iterator rather
+    /// than a fresh `Vec` (this is on the per-heartbeat hot path).
+    pub fn running_attempts(&self) -> impl Iterator<Item = AttemptId> + '_ {
         self.attempts
             .values()
             .filter(|a| a.state == AttemptState::Running)
             .map(|a| a.id)
-            .collect()
     }
 
-    /// Attempts currently suspended on this node.
-    pub fn suspended_attempts(&self) -> Vec<AttemptId> {
+    /// Attempts currently suspended on this node, in deterministic (id) order.
+    pub fn suspended_attempts(&self) -> impl Iterator<Item = AttemptId> + '_ {
         self.attempts
             .values()
             .filter(|a| a.state == AttemptState::Suspended)
             .map(|a| a.id)
-            .collect()
     }
 
     /// Launches a new attempt: occupies a slot and forks the child process.
@@ -193,7 +220,11 @@ impl TaskTracker {
             return Err(TrackerError::InvalidState);
         }
         self.occupy_slot(kind)?;
-        let pid = self.kernel.spawn(format!("{id}"), now);
+        self.dirty = true;
+        // The simulated process name is never read on any engine path, and
+        // formatting the attempt id per launch shows up in cluster-scale
+        // profiles; attempts are identified through the attempt table instead.
+        let pid = self.kernel.spawn(String::new(), now);
         let mut attempt = Attempt::new(id, kind, pid, plan, now);
         attempt.segment_duration = attempt.plan.setup;
         self.attempts.insert(id, attempt);
@@ -218,7 +249,8 @@ impl TaskTracker {
             match self.kernel.allocate(pid, bytes, dirty, now) {
                 Ok(res) => {
                     outcome.stall += res.stall;
-                    outcome.paged_out_bytes += res.charge.dirty_paged_out + res.charge.clean_dropped;
+                    outcome.paged_out_bytes +=
+                        res.charge.dirty_paged_out + res.charge.clean_dropped;
                     return Ok(outcome);
                 }
                 Err(OsError::OutOfMemory) if remaining_oom_retries > 0 => {
@@ -232,13 +264,17 @@ impl TaskTracker {
                         .find(|a| a.pid == victim_pid)
                         .map(|a| a.id)
                     {
+                        self.dirty = true;
                         if let Some(v) = self.attempts.get_mut(&victim) {
                             if v.state == AttemptState::Running {
                                 // It held a slot; the caller must reschedule it.
                                 match v.kind {
-                                    TaskKind::Map => self.used_map_slots = self.used_map_slots.saturating_sub(1),
+                                    TaskKind::Map => {
+                                        self.used_map_slots = self.used_map_slots.saturating_sub(1)
+                                    }
                                     TaskKind::Reduce => {
-                                        self.used_reduce_slots = self.used_reduce_slots.saturating_sub(1)
+                                        self.used_reduce_slots =
+                                            self.used_reduce_slots.saturating_sub(1)
                                     }
                                 }
                             }
@@ -262,7 +298,10 @@ impl TaskTracker {
     /// Suspends a running attempt with `SIGTSTP`: releases its slot, freezes
     /// its progress. Returns the progress at suspension time.
     pub fn suspend(&mut self, id: AttemptId, now: SimTime) -> Result<f64, TrackerError> {
-        let attempt = self.attempts.get_mut(&id).ok_or(TrackerError::UnknownAttempt)?;
+        let attempt = self
+            .attempts
+            .get_mut(&id)
+            .ok_or(TrackerError::UnknownAttempt)?;
         if attempt.state != AttemptState::Running {
             return Err(TrackerError::InvalidState);
         }
@@ -289,6 +328,7 @@ impl TaskTracker {
             (attempt.kind, attempt.pid)
         };
         self.occupy_slot(kind)?;
+        self.dirty = true;
         self.kernel.signal(pid, Signal::Sigcont, now)?;
         let fault = self.kernel.fault_in_all(pid, now)?;
         let attempt = self.attempts.get_mut(&id).expect("checked above");
@@ -299,7 +339,11 @@ impl TaskTracker {
     /// Faults in any of the attempt's own memory that ended up in swap (done
     /// at the start of the finalize phase, when stateful tasks read their
     /// state back).
-    pub fn fault_in_own_memory(&mut self, id: AttemptId, now: SimTime) -> Result<SimDuration, TrackerError> {
+    pub fn fault_in_own_memory(
+        &mut self,
+        id: AttemptId,
+        now: SimTime,
+    ) -> Result<SimDuration, TrackerError> {
         let pid = self
             .attempts
             .get(&id)
@@ -318,8 +362,16 @@ impl TaskTracker {
     /// Hadoop runs a cleanup attempt to delete partial output; the caller
     /// schedules the cleanup completion and then calls
     /// [`TaskTracker::release_slot`].
-    pub fn kill(&mut self, id: AttemptId, now: SimTime) -> Result<TerminationOutcome, TrackerError> {
-        let attempt = self.attempts.get_mut(&id).ok_or(TrackerError::UnknownAttempt)?;
+    pub fn kill(
+        &mut self,
+        id: AttemptId,
+        now: SimTime,
+    ) -> Result<TerminationOutcome, TrackerError> {
+        let attempt = self
+            .attempts
+            .get_mut(&id)
+            .ok_or(TrackerError::UnknownAttempt)?;
+        self.dirty = true;
         attempt.interrupt_work(now);
         let pid = attempt.pid;
         let held_slot = attempt.state == AttemptState::Running;
@@ -340,8 +392,15 @@ impl TaskTracker {
 
     /// Completes an attempt successfully: the child process exits and the
     /// slot is released.
-    pub fn complete(&mut self, id: AttemptId, now: SimTime) -> Result<TerminationOutcome, TrackerError> {
-        let attempt = self.attempts.get_mut(&id).ok_or(TrackerError::UnknownAttempt)?;
+    pub fn complete(
+        &mut self,
+        id: AttemptId,
+        now: SimTime,
+    ) -> Result<TerminationOutcome, TrackerError> {
+        let attempt = self
+            .attempts
+            .get_mut(&id)
+            .ok_or(TrackerError::UnknownAttempt)?;
         if attempt.state != AttemptState::Running {
             return Err(TrackerError::InvalidState);
         }
@@ -403,18 +462,21 @@ mod tests {
     fn launch_occupies_a_slot() {
         let mut tt = tracker();
         assert_eq!(tt.free_map_slots(), 1);
-        tt.launch(attempt_id(0), TaskKind::Map, plan(0), SimTime::ZERO).unwrap();
+        tt.launch(attempt_id(0), TaskKind::Map, plan(0), SimTime::ZERO)
+            .unwrap();
         assert_eq!(tt.free_map_slots(), 0);
         assert_eq!(tt.free_reduce_slots(), 1);
-        assert_eq!(tt.running_attempts().len(), 1);
+        assert_eq!(tt.running_attempts().count(), 1);
         // Second map launch fails: no free slot.
         assert_eq!(
-            tt.launch(attempt_id(1), TaskKind::Map, plan(0), SimTime::ZERO).unwrap_err(),
+            tt.launch(attempt_id(1), TaskKind::Map, plan(0), SimTime::ZERO)
+                .unwrap_err(),
             TrackerError::NoFreeSlot
         );
         // Relaunching the same attempt id is invalid.
         assert_eq!(
-            tt.launch(attempt_id(0), TaskKind::Map, plan(0), SimTime::ZERO).unwrap_err(),
+            tt.launch(attempt_id(0), TaskKind::Map, plan(0), SimTime::ZERO)
+                .unwrap_err(),
             TrackerError::InvalidState
         );
     }
@@ -422,8 +484,10 @@ mod tests {
     #[test]
     fn suspend_frees_the_slot_and_resume_takes_it_back() {
         let mut tt = tracker();
-        tt.launch(attempt_id(0), TaskKind::Map, plan(0), SimTime::ZERO).unwrap();
-        tt.allocate_task_memory(attempt_id(0), SimTime::ZERO).unwrap();
+        tt.launch(attempt_id(0), TaskKind::Map, plan(0), SimTime::ZERO)
+            .unwrap();
+        tt.allocate_task_memory(attempt_id(0), SimTime::ZERO)
+            .unwrap();
         // Move into work phase manually (the cluster normally does this).
         {
             let a = tt.attempt_mut(attempt_id(0)).unwrap();
@@ -433,18 +497,27 @@ mod tests {
         let progress = tt.suspend(attempt_id(0), SimTime::from_secs(43)).unwrap();
         assert!(progress > 0.4 && progress < 0.7, "progress {progress}");
         assert_eq!(tt.free_map_slots(), 1);
-        assert_eq!(tt.suspended_attempts().len(), 1);
+        assert_eq!(tt.suspended_attempts().count(), 1);
         // Suspending again is invalid.
-        assert_eq!(tt.suspend(attempt_id(0), SimTime::from_secs(44)).unwrap_err(), TrackerError::InvalidState);
+        assert_eq!(
+            tt.suspend(attempt_id(0), SimTime::from_secs(44))
+                .unwrap_err(),
+            TrackerError::InvalidState
+        );
         let stall = tt.resume(attempt_id(0), SimTime::from_secs(50)).unwrap();
-        assert_eq!(stall, SimDuration::ZERO, "no paging happened, resume is free");
+        assert_eq!(
+            stall,
+            SimDuration::ZERO,
+            "no paging happened, resume is free"
+        );
         assert_eq!(tt.free_map_slots(), 0);
     }
 
     #[test]
     fn resume_needs_a_free_slot() {
         let mut tt = TaskTracker::new(NodeId(0), NodeOsConfig::default(), 1, 0);
-        tt.launch(attempt_id(0), TaskKind::Map, plan(0), SimTime::ZERO).unwrap();
+        tt.launch(attempt_id(0), TaskKind::Map, plan(0), SimTime::ZERO)
+            .unwrap();
         {
             let a = tt.attempt_mut(attempt_id(0)).unwrap();
             a.phase = AttemptPhase::Work;
@@ -452,9 +525,16 @@ mod tests {
         }
         tt.suspend(attempt_id(0), SimTime::from_secs(10)).unwrap();
         // Another attempt takes the slot.
-        tt.launch(attempt_id(1), TaskKind::Map, plan(0), SimTime::from_secs(11)).unwrap();
+        tt.launch(
+            attempt_id(1),
+            TaskKind::Map,
+            plan(0),
+            SimTime::from_secs(11),
+        )
+        .unwrap();
         assert_eq!(
-            tt.resume(attempt_id(0), SimTime::from_secs(12)).unwrap_err(),
+            tt.resume(attempt_id(0), SimTime::from_secs(12))
+                .unwrap_err(),
             TrackerError::NoFreeSlot
         );
     }
@@ -462,8 +542,10 @@ mod tests {
     #[test]
     fn memory_pressure_pages_out_the_suspended_attempt() {
         let mut tt = tracker();
-        tt.launch(attempt_id(0), TaskKind::Map, plan(2 * GIB), SimTime::ZERO).unwrap();
-        tt.allocate_task_memory(attempt_id(0), SimTime::ZERO).unwrap();
+        tt.launch(attempt_id(0), TaskKind::Map, plan(2 * GIB), SimTime::ZERO)
+            .unwrap();
+        tt.allocate_task_memory(attempt_id(0), SimTime::ZERO)
+            .unwrap();
         {
             let a = tt.attempt_mut(attempt_id(0)).unwrap();
             a.phase = AttemptPhase::Work;
@@ -473,8 +555,16 @@ mod tests {
 
         // A second, memory-hungry attempt launches and allocates: the
         // suspended one is the paging victim and the newcomer pays the stall.
-        tt.launch(attempt_id(1), TaskKind::Map, plan(2 * GIB), SimTime::from_secs(31)).unwrap();
-        let out = tt.allocate_task_memory(attempt_id(1), SimTime::from_secs(34)).unwrap();
+        tt.launch(
+            attempt_id(1),
+            TaskKind::Map,
+            plan(2 * GIB),
+            SimTime::from_secs(31),
+        )
+        .unwrap();
+        let out = tt
+            .allocate_task_memory(attempt_id(1), SimTime::from_secs(34))
+            .unwrap();
         assert!(out.stall > SimDuration::ZERO);
         assert!(out.paged_out_bytes > 0);
         assert!(out.oom_killed.is_empty());
@@ -495,8 +585,10 @@ mod tests {
     #[test]
     fn kill_reports_paged_bytes_and_keeps_the_slot_for_cleanup() {
         let mut tt = tracker();
-        tt.launch(attempt_id(0), TaskKind::Map, plan(0), SimTime::ZERO).unwrap();
-        tt.allocate_task_memory(attempt_id(0), SimTime::ZERO).unwrap();
+        tt.launch(attempt_id(0), TaskKind::Map, plan(0), SimTime::ZERO)
+            .unwrap();
+        tt.allocate_task_memory(attempt_id(0), SimTime::ZERO)
+            .unwrap();
         let out = tt.kill(attempt_id(0), SimTime::from_secs(10)).unwrap();
         assert!(out.held_slot);
         assert_eq!(out.paged_out_bytes, 0);
@@ -510,26 +602,47 @@ mod tests {
     #[test]
     fn complete_releases_everything() {
         let mut tt = tracker();
-        tt.launch(attempt_id(0), TaskKind::Map, plan(GIB), SimTime::ZERO).unwrap();
-        tt.allocate_task_memory(attempt_id(0), SimTime::ZERO).unwrap();
+        tt.launch(attempt_id(0), TaskKind::Map, plan(GIB), SimTime::ZERO)
+            .unwrap();
+        tt.allocate_task_memory(attempt_id(0), SimTime::ZERO)
+            .unwrap();
         let out = tt.complete(attempt_id(0), SimTime::from_secs(90)).unwrap();
         assert!(out.held_slot);
         assert_eq!(tt.free_map_slots(), 1);
         assert_eq!(tt.kernel().memory().total_resident(), 0);
         assert!(tt.attempt(attempt_id(0)).is_none());
         // Completing twice is an error.
-        assert_eq!(tt.complete(attempt_id(0), SimTime::from_secs(91)).unwrap_err(), TrackerError::UnknownAttempt);
+        assert_eq!(
+            tt.complete(attempt_id(0), SimTime::from_secs(91))
+                .unwrap_err(),
+            TrackerError::UnknownAttempt
+        );
     }
 
     #[test]
     fn unknown_attempt_operations_fail() {
         let mut tt = tracker();
         let ghost = attempt_id(9);
-        assert_eq!(tt.suspend(ghost, SimTime::ZERO).unwrap_err(), TrackerError::UnknownAttempt);
-        assert_eq!(tt.resume(ghost, SimTime::ZERO).unwrap_err(), TrackerError::UnknownAttempt);
-        assert_eq!(tt.kill(ghost, SimTime::ZERO).unwrap_err(), TrackerError::UnknownAttempt);
-        assert_eq!(tt.allocate_task_memory(ghost, SimTime::ZERO).unwrap_err(), TrackerError::UnknownAttempt);
-        assert_eq!(tt.fault_in_own_memory(ghost, SimTime::ZERO).unwrap_err(), TrackerError::UnknownAttempt);
+        assert_eq!(
+            tt.suspend(ghost, SimTime::ZERO).unwrap_err(),
+            TrackerError::UnknownAttempt
+        );
+        assert_eq!(
+            tt.resume(ghost, SimTime::ZERO).unwrap_err(),
+            TrackerError::UnknownAttempt
+        );
+        assert_eq!(
+            tt.kill(ghost, SimTime::ZERO).unwrap_err(),
+            TrackerError::UnknownAttempt
+        );
+        assert_eq!(
+            tt.allocate_task_memory(ghost, SimTime::ZERO).unwrap_err(),
+            TrackerError::UnknownAttempt
+        );
+        assert_eq!(
+            tt.fault_in_own_memory(ghost, SimTime::ZERO).unwrap_err(),
+            TrackerError::UnknownAttempt
+        );
     }
 
     #[test]
@@ -544,16 +657,31 @@ mod tests {
             ..Default::default()
         };
         let mut tt = TaskTracker::new(NodeId(0), os, 2, 0);
-        tt.launch(attempt_id(0), TaskKind::Map, plan(GIB + 512 * MIB), SimTime::ZERO).unwrap();
-        tt.allocate_task_memory(attempt_id(0), SimTime::ZERO).unwrap();
+        tt.launch(
+            attempt_id(0),
+            TaskKind::Map,
+            plan(GIB + 512 * MIB),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        tt.allocate_task_memory(attempt_id(0), SimTime::ZERO)
+            .unwrap();
         {
             let a = tt.attempt_mut(attempt_id(0)).unwrap();
             a.phase = AttemptPhase::Work;
             a.segment_start = SimTime::ZERO;
         }
         tt.suspend(attempt_id(0), SimTime::from_secs(10)).unwrap();
-        tt.launch(attempt_id(1), TaskKind::Map, plan(2 * GIB), SimTime::from_secs(11)).unwrap();
-        let out = tt.allocate_task_memory(attempt_id(1), SimTime::from_secs(14)).unwrap();
+        tt.launch(
+            attempt_id(1),
+            TaskKind::Map,
+            plan(2 * GIB),
+            SimTime::from_secs(11),
+        )
+        .unwrap();
+        let out = tt
+            .allocate_task_memory(attempt_id(1), SimTime::from_secs(14))
+            .unwrap();
         assert_eq!(out.oom_killed, vec![attempt_id(0)]);
         assert!(tt.attempt(attempt_id(0)).is_none());
     }

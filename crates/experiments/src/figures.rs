@@ -87,13 +87,7 @@ pub fn paper_fractions() -> Vec<f64> {
 
 /// The x-axis of Figure 4: memory allocated by `th`.
 pub fn figure4_memory_points() -> Vec<u64> {
-    vec![
-        0,
-        625 * MIB,
-        1250 * MIB,
-        1875 * MIB,
-        2500 * MIB,
-    ]
+    vec![0, 625 * MIB, 1250 * MIB, 1875 * MIB, 2500 * MIB]
 }
 
 fn preemption_sweep(
@@ -227,12 +221,14 @@ pub fn natjam_comparison(repetitions: usize) -> FigureData {
     let model = NatjamModel::default();
     let mut rows = Vec::new();
     for fraction in [0.25, 0.5, 0.75] {
-        let susp = run_scenario(&ScenarioConfig::lightweight(
-            PreemptionPrimitive::SuspendResume,
-            fraction,
-        ).with_repetitions(repetitions));
-        let wait = run_scenario(&ScenarioConfig::lightweight(PreemptionPrimitive::Wait, fraction)
-            .with_repetitions(repetitions));
+        let susp = run_scenario(
+            &ScenarioConfig::lightweight(PreemptionPrimitive::SuspendResume, fraction)
+                .with_repetitions(repetitions),
+        );
+        let wait = run_scenario(
+            &ScenarioConfig::lightweight(PreemptionPrimitive::Wait, fraction)
+                .with_repetitions(repetitions),
+        );
         let susp_overhead_pct =
             (susp.makespan_secs.mean - wait.makespan_secs.mean) / wait.makespan_secs.mean * 100.0;
         // Natjam checkpoints the task's working state; for the light-weight
@@ -242,7 +238,8 @@ pub fn natjam_comparison(repetitions: usize) -> FigureData {
             192 * MIB,
             SimDuration::from_secs(78),
         );
-        let natjam_overhead_pct = (natjam_makespan - wait.makespan_secs.mean) / wait.makespan_secs.mean * 100.0;
+        let natjam_overhead_pct =
+            (natjam_makespan - wait.makespan_secs.mean) / wait.makespan_secs.mean * 100.0;
         rows.push(vec![
             fraction * 100.0,
             susp_overhead_pct,
@@ -251,16 +248,18 @@ pub fn natjam_comparison(repetitions: usize) -> FigureData {
     }
     FigureData {
         id: "natjam".to_string(),
-        title: "Makespan overhead vs. the wait baseline: OS-assisted suspend vs. checkpointing".to_string(),
+        title: "Makespan overhead vs. the wait baseline: OS-assisted suspend vs. checkpointing"
+            .to_string(),
         columns: vec![
             "tl_progress_%".to_string(),
             "susp_overhead_%".to_string(),
             "natjam_model_overhead_%".to_string(),
         ],
         rows,
-        notes: "The paper notes Natjam reports ~7% makespan overhead in a similar setting while the \
+        notes:
+            "The paper notes Natjam reports ~7% makespan overhead in a similar setting while the \
                 OS-assisted primitive's overhead is negligible for light-weight tasks."
-            .to_string(),
+                .to_string(),
     }
 }
 
@@ -281,9 +280,14 @@ pub fn eviction_ablation(_repetitions: usize) -> FigureData {
         // Give the node more RAM so three background tasks plus the
         // high-priority one are feasible at all: 8 GB instead of 4 GB.
         cfg.nodes[0].os.memory.total_ram = 8 * GIB;
-        let scheduler = PriorityPreemptingScheduler::new(PreemptionPrimitive::SuspendResume, *policy);
+        let scheduler =
+            PriorityPreemptingScheduler::new(PreemptionPrimitive::SuspendResume, *policy);
         let mut cluster = Cluster::new(cfg, Box::new(scheduler));
-        for (name, state) in [("bg-small", 256 * MIB), ("bg-medium", GIB), ("bg-large", 3 * GIB)] {
+        for (name, state) in [
+            ("bg-small", 256 * MIB),
+            ("bg-medium", GIB),
+            ("bg-large", 3 * GIB),
+        ] {
             cluster.submit_job(
                 JobSpec::synthetic(name, 1, 512 * MIB)
                     .with_priority(0)
@@ -298,7 +302,10 @@ pub fn eviction_ablation(_repetitions: usize) -> FigureData {
         );
         cluster.run(SimTime::from_secs(24 * 3_600));
         let report = cluster.report();
-        assert!(report.all_jobs_complete(), "eviction ablation run incomplete");
+        assert!(
+            report.all_jobs_complete(),
+            "eviction ablation run incomplete"
+        );
         rows.push(vec![
             i as f64,
             report.sojourn_secs("hp").unwrap_or(f64::NAN),
@@ -411,7 +418,10 @@ mod tests {
         assert!(kill_makespan.last().unwrap() > kill_makespan.first().unwrap());
         assert!(kill_makespan.last().unwrap() - wait_makespan.last().unwrap() > 40.0);
         for (s, w) in susp_makespan.iter().zip(&wait_makespan) {
-            assert!((s - w).abs() < 10.0, "susp makespan {s} should track wait {w}");
+            assert!(
+                (s - w).abs() < 10.0,
+                "susp makespan {s} should track wait {w}"
+            );
         }
     }
 
@@ -420,9 +430,18 @@ mod tests {
         let f = figure4(1);
         let paged = f.column("paged_bytes_MB").unwrap();
         let sojourn_overhead = f.column("sojourn_overhead_s").unwrap();
-        assert!(paged.first().unwrap() < &10.0, "no paging when th allocates nothing");
-        assert!(paged.last().unwrap() > &800.0, "2.5 GB th must page out a lot of tl");
-        assert!(paged.windows(2).all(|w| w[1] >= w[0] - 1.0), "paged bytes must be non-decreasing");
+        assert!(
+            paged.first().unwrap() < &10.0,
+            "no paging when th allocates nothing"
+        );
+        assert!(
+            paged.last().unwrap() > &800.0,
+            "2.5 GB th must page out a lot of tl"
+        );
+        assert!(
+            paged.windows(2).all(|w| w[1] >= w[0] - 1.0),
+            "paged bytes must be non-decreasing"
+        );
         assert!(
             sojourn_overhead.last().unwrap() > &5.0,
             "paging must visibly slow th at the right end of the sweep"
@@ -436,7 +455,10 @@ mod tests {
         for row in &f.rows {
             let susp = row[1];
             let natjam = row[2];
-            assert!(susp < natjam, "susp overhead {susp}% should undercut checkpointing {natjam}%");
+            assert!(
+                susp < natjam,
+                "susp overhead {susp}% should undercut checkpointing {natjam}%"
+            );
             assert!(natjam > 1.0 && natjam < 15.0);
         }
     }

@@ -7,7 +7,8 @@
 //! low-priority tasks are resumed once the high-priority demand drains.
 
 use mrp_engine::{
-    FifoScheduler, JobRuntime, NodeId, SchedulerAction, SchedulerContext, SchedulerPolicy, TaskState,
+    FifoScheduler, JobRuntime, NodeId, SchedulerAction, SchedulerContext, SchedulerPolicy,
+    TaskState,
 };
 use mrp_preempt::{EvictionCandidate, EvictionPolicy, PreemptionPrimitive};
 use mrp_sim::SimRng;
@@ -74,7 +75,7 @@ impl PriorityPreemptingScheduler {
     fn unmet_high_priority_demand(ctx: &SchedulerContext<'_>) -> Vec<(i32, usize)> {
         ctx.jobs
             .values()
-            .filter(|j| !j.is_complete())
+            .filter(|j| !j.is_finished())
             .map(|j| {
                 let waiting = j
                     .tasks
@@ -100,7 +101,7 @@ impl PriorityPreemptingScheduler {
             let victim_jobs: Vec<&JobRuntime> = ctx
                 .jobs
                 .values()
-                .filter(|j| j.spec.priority < priority && !j.is_complete())
+                .filter(|j| j.spec.priority < priority && !j.is_finished())
                 .collect();
             let candidates: Vec<EvictionCandidate> = victim_jobs
                 .iter()
@@ -140,7 +141,11 @@ impl SchedulerPolicy for PriorityPreemptingScheduler {
         actions
     }
 
-    fn on_job_submitted(&mut self, ctx: &SchedulerContext<'_>, _job: mrp_engine::JobId) -> Vec<SchedulerAction> {
+    fn on_job_submitted(
+        &mut self,
+        ctx: &SchedulerContext<'_>,
+        _job: mrp_engine::JobId,
+    ) -> Vec<SchedulerAction> {
         self.preemption_actions(ctx)
     }
 
@@ -157,8 +162,10 @@ mod tests {
 
     #[test]
     fn high_priority_job_preempts_best_effort_work() {
-        let scheduler =
-            PriorityPreemptingScheduler::new(PreemptionPrimitive::SuspendResume, EvictionPolicy::SmallestMemory);
+        let scheduler = PriorityPreemptingScheduler::new(
+            PreemptionPrimitive::SuspendResume,
+            EvictionPolicy::SmallestMemory,
+        );
         let mut cluster = Cluster::new(ClusterConfig::paper_single_node(), Box::new(scheduler));
         cluster.submit_job(JobSpec::synthetic("best-effort", 1, 512 * MIB).with_priority(0));
         cluster.submit_job_at(
@@ -169,15 +176,22 @@ mod tests {
         let report = cluster.report();
         assert!(report.all_jobs_complete());
         let prod = report.sojourn_secs("production").unwrap();
-        assert!(prod < 100.0, "the production job must not wait for best-effort work, got {prod}");
-        assert_eq!(report.job("best-effort").unwrap().tasks[0].suspend_cycles, 1);
+        assert!(
+            prod < 100.0,
+            "the production job must not wait for best-effort work, got {prod}"
+        );
+        assert_eq!(
+            report.job("best-effort").unwrap().tasks[0].suspend_cycles,
+            1
+        );
         assert_eq!(report.total_wasted_work_secs(), 0.0);
     }
 
     #[test]
     fn smallest_memory_eviction_pages_less_than_largest_memory() {
         let run = |policy| {
-            let scheduler = PriorityPreemptingScheduler::new(PreemptionPrimitive::SuspendResume, policy);
+            let scheduler =
+                PriorityPreemptingScheduler::new(PreemptionPrimitive::SuspendResume, policy);
             let mut cfg = ClusterConfig::paper_single_node();
             cfg.nodes[0].map_slots = 3;
             cfg.nodes[0].os.memory.total_ram = 8 * GIB;

@@ -94,7 +94,11 @@ mod tests {
         assert!(t.contains("90"));
         assert!(t.contains("paper: shape only"));
         // Aligned: every data line has the same number of separators.
-        let pipes: Vec<usize> = t.lines().filter(|l| l.starts_with('|')).map(|l| l.matches('|').count()).collect();
+        let pipes: Vec<usize> = t
+            .lines()
+            .filter(|l| l.starts_with('|'))
+            .map(|l| l.matches('|').count())
+            .collect();
         assert!(pipes.windows(2).all(|w| w[0] == w[1]));
     }
 

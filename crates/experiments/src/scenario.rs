@@ -105,12 +105,7 @@ pub struct ScenarioOutcome {
 /// Runs the scenario once with the given seed.
 pub fn run_once(config: &ScenarioConfig, seed: u64) -> SingleRun {
     let (tl, th) = two_job_scenario(config.tl_state_memory, config.th_state_memory);
-    let plan = DummyPlan::paper_scenario(
-        config.primitive,
-        LOW_PRIORITY_JOB,
-        th,
-        config.preempt_at,
-    );
+    let plan = DummyPlan::paper_scenario(config.primitive, LOW_PRIORITY_JOB, th, config.preempt_at);
     let scheduler = DummyScheduler::new(plan);
     let triggers = scheduler.required_triggers();
 
@@ -181,9 +176,20 @@ mod tests {
 
     #[test]
     fn lightweight_run_matches_paper_magnitudes() {
-        let run = run_once(&ScenarioConfig::lightweight(PreemptionPrimitive::SuspendResume, 0.5), 1);
-        assert!((75.0..110.0).contains(&run.sojourn_th_secs), "sojourn {}", run.sojourn_th_secs);
-        assert!((150.0..200.0).contains(&run.makespan_secs), "makespan {}", run.makespan_secs);
+        let run = run_once(
+            &ScenarioConfig::lightweight(PreemptionPrimitive::SuspendResume, 0.5),
+            1,
+        );
+        assert!(
+            (75.0..110.0).contains(&run.sojourn_th_secs),
+            "sojourn {}",
+            run.sojourn_th_secs
+        );
+        assert!(
+            (150.0..200.0).contains(&run.makespan_secs),
+            "makespan {}",
+            run.makespan_secs
+        );
         assert_eq!(run.tl_suspend_cycles, 1);
         assert_eq!(run.tl_attempts, 1);
         assert_eq!(run.swap_out_bytes, 0, "light-weight tasks never page");
@@ -191,8 +197,14 @@ mod tests {
 
     #[test]
     fn wait_sojourn_exceeds_suspend_sojourn_early() {
-        let susp = run_once(&ScenarioConfig::lightweight(PreemptionPrimitive::SuspendResume, 0.1), 1);
-        let wait = run_once(&ScenarioConfig::lightweight(PreemptionPrimitive::Wait, 0.1), 1);
+        let susp = run_once(
+            &ScenarioConfig::lightweight(PreemptionPrimitive::SuspendResume, 0.1),
+            1,
+        );
+        let wait = run_once(
+            &ScenarioConfig::lightweight(PreemptionPrimitive::Wait, 0.1),
+            1,
+        );
         assert!(wait.sojourn_th_secs > susp.sojourn_th_secs + 40.0);
     }
 
@@ -204,7 +216,10 @@ mod tests {
         );
         assert!(run.swap_out_bytes > 0);
         assert!(run.tl_paged_out_bytes > 0);
-        assert!(run.swap_in_bytes > 0, "the resumed task must fault its memory back in");
+        assert!(
+            run.swap_in_bytes > 0,
+            "the resumed task must fault its memory back in"
+        );
     }
 
     #[test]
@@ -221,7 +236,8 @@ mod tests {
     #[test]
     fn scenario_summary_is_tight_across_repetitions() {
         let outcome = run_scenario(
-            &ScenarioConfig::lightweight(PreemptionPrimitive::SuspendResume, 0.5).with_repetitions(3),
+            &ScenarioConfig::lightweight(PreemptionPrimitive::SuspendResume, 0.5)
+                .with_repetitions(3),
         );
         assert_eq!(outcome.sojourn_th_secs.count, 3);
         // The paper reports min/max within 5% of the mean; the deterministic

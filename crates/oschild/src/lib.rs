@@ -49,14 +49,34 @@ impl fmt::Display for OsChildError {
             OsChildError::Signal(e) => write!(f, "failed to signal worker: {e}"),
             OsChildError::ProcRead(e) => write!(f, "failed to read /proc for worker: {e}"),
             OsChildError::Timeout { expected, observed } => {
-                write!(f, "worker did not reach state '{expected}' (still '{observed}')")
+                write!(
+                    f,
+                    "worker did not reach state '{expected}' (still '{observed}')"
+                )
             }
-            OsChildError::Unsupported => write!(f, "POSIX job control is not supported on this platform"),
+            OsChildError::Unsupported => {
+                write!(f, "POSIX job control is not supported on this platform")
+            }
         }
     }
 }
 
 impl std::error::Error for OsChildError {}
+
+/// POSIX signal numbers. Only `SIGKILL` is universal; the job-control
+/// signals differ between Linux (SIGTSTP=20, SIGCONT=18 on x86/arm/riscv)
+/// and the BSD family including macOS (SIGTSTP=18, SIGCONT=19). Linux on
+/// mips/sparc uses yet another numbering and is reported as unsupported by
+/// [`prototype_supported`].
+const SIGKILL: i32 = 9;
+#[cfg(target_os = "linux")]
+const SIGTSTP: i32 = 20;
+#[cfg(target_os = "linux")]
+const SIGCONT: i32 = 18;
+#[cfg(not(target_os = "linux"))]
+const SIGTSTP: i32 = 18;
+#[cfg(not(target_os = "linux"))]
+const SIGCONT: i32 = 19;
 
 /// Observed state of the worker, mirroring `/proc/<pid>/stat` field 3.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -90,10 +110,7 @@ impl WorkerProcess {
     /// Spawns the default synthetic worker: a shell loop that keeps a small
     /// amount of state and burns CPU, standing in for a task JVM.
     pub fn spawn_busy_loop() -> Result<Self, OsChildError> {
-        Self::spawn_command(Command::new("sh").args([
-            "-c",
-            "i=0; while true; do i=$((i+1)); done",
-        ]))
+        Self::spawn_command(Command::new("sh").args(["-c", "i=0; while true; do i=$((i+1)); done"]))
     }
 
     /// Spawns a worker that allocates roughly `mib` MiB of dirty memory and
@@ -129,7 +146,13 @@ impl WorkerProcess {
 
     #[cfg(unix)]
     fn send_signal(&self, signal: i32) -> Result<(), OsChildError> {
-        let rc = unsafe { libc::kill(self.child.id() as libc::pid_t, signal) };
+        // Declared directly instead of through the libc crate: the build
+        // environment is offline and `kill(2)` is part of every Unix libc the
+        // workspace targets.
+        extern "C" {
+            fn kill(pid: i32, sig: i32) -> i32;
+        }
+        let rc = unsafe { kill(self.child.id() as i32, signal) };
         if rc == 0 {
             Ok(())
         } else {
@@ -177,7 +200,11 @@ impl WorkerProcess {
         Ok(pages * page_size)
     }
 
-    fn wait_for(&self, predicate: impl Fn(WorkerState) -> bool, expected: char) -> Result<Duration, OsChildError> {
+    fn wait_for(
+        &self,
+        predicate: impl Fn(WorkerState) -> bool,
+        expected: char,
+    ) -> Result<Duration, OsChildError> {
         let start = Instant::now();
         let timeout = Duration::from_secs(5);
         loop {
@@ -202,14 +229,14 @@ impl WorkerProcess {
     /// Suspends the worker with `SIGTSTP` and waits for the `T` state.
     /// Returns the observed suspension latency.
     pub fn suspend(&self) -> Result<Duration, OsChildError> {
-        self.send_signal(libc::SIGTSTP)?;
+        self.send_signal(SIGTSTP)?;
         self.wait_for(|s| s == WorkerState::Stopped, 'T')
     }
 
     /// Resumes the worker with `SIGCONT` and waits for it to leave the `T`
     /// state. Returns the observed resume latency.
     pub fn resume(&self) -> Result<Duration, OsChildError> {
-        self.send_signal(libc::SIGCONT)?;
+        self.send_signal(SIGCONT)?;
         self.wait_for(|s| s != WorkerState::Stopped, 'R')
     }
 
@@ -229,7 +256,7 @@ impl WorkerProcess {
 
     /// Kills the worker with `SIGKILL` and reaps it.
     pub fn kill(mut self) -> Result<(), OsChildError> {
-        let _ = self.send_signal(libc::SIGKILL);
+        let _ = self.send_signal(SIGKILL);
         let _ = self.child.wait();
         Ok(())
     }
@@ -237,14 +264,25 @@ impl WorkerProcess {
 
 impl Drop for WorkerProcess {
     fn drop(&mut self) {
-        let _ = self.send_signal(libc::SIGKILL);
+        let _ = self.send_signal(SIGKILL);
         let _ = self.child.wait();
     }
 }
 
 /// True if the current environment supports the prototype (Unix with /proc).
 pub fn prototype_supported() -> bool {
-    cfg!(unix) && std::path::Path::new("/proc/self/stat").exists()
+    // mips/sparc Linux number the job-control signals differently from the
+    // constants above; refuse rather than deliver the wrong signal.
+    let odd_signal_numbering = cfg!(all(
+        target_os = "linux",
+        any(
+            target_arch = "mips",
+            target_arch = "mips64",
+            target_arch = "sparc",
+            target_arch = "sparc64"
+        )
+    ));
+    cfg!(unix) && !odd_signal_numbering && std::path::Path::new("/proc/self/stat").exists()
 }
 
 #[cfg(test)]

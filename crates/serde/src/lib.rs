@@ -1,0 +1,9 @@
+//! Offline stand-in for the real `serde` crate.
+//!
+//! The container this workspace builds in has no access to crates.io, so this
+//! crate provides just enough surface for `use serde::{Deserialize,
+//! Serialize}` + `#[derive(...)]` + `#[serde(...)]` attributes to compile:
+//! the derives are re-exported no-ops (see the sibling `serde_derive` crate).
+//! Actual serialization in the workspace is hand-rolled (`mrp_preempt::json`).
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,23 @@
+//! Offline stand-in for the real `serde_derive` crate.
+//!
+//! The workspace builds in environments without access to crates.io, so the
+//! derive macros here only *accept* the same syntax as serde's — including
+//! `#[serde(...)]` helper attributes — and expand to nothing. No code in the
+//! workspace relies on generated `Serialize`/`Deserialize` impls (the JSON
+//! configuration files are read and written by hand-rolled code in
+//! `mrp_preempt::json`); the derives exist so type definitions stay
+//! source-compatible with the real serde if it is ever swapped back in.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -5,19 +5,66 @@
 //! its own event type while sharing the same deterministic ordering rules:
 //! events fire in timestamp order, and events with equal timestamps fire in
 //! insertion order (FIFO), which keeps simulations reproducible.
+//!
+//! # Cancellation design
+//!
+//! Cancellation is slab/generation based rather than tombstone based. Every
+//! scheduled event owns a slot in a slab; the slot records a generation
+//! counter and a liveness bit, and the [`EventId`] handed to the caller packs
+//! `(slot, generation)`. Cancelling flips the liveness bit (O(1)); the heap
+//! entry is discarded lazily when it surfaces, at which point the slot's
+//! generation is bumped and the slot is recycled. Consequences:
+//!
+//! * `cancel()` of an id whose event already fired (or whose slot was
+//!   recycled) is a guaranteed no-op — the generation no longer matches, so
+//!   nothing leaks and nothing is mis-cancelled;
+//! * [`EventQueue::len`] is an exact counter maintained on schedule / cancel /
+//!   pop, never an approximation derived from tombstone bookkeeping;
+//! * memory for cancelled events is reclaimed as the heap drains, and slots
+//!   are reused, so long-running simulations with heavy cancellation churn
+//!   (suspend/resume preemption cancels a timer per preemption) stay compact.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 /// Handle that identifies a scheduled event so it can be cancelled.
+///
+/// Internally packs a slab slot index and that slot's generation at scheduling
+/// time; a stale handle (fired or recycled event) can never affect a newer
+/// event that happens to reuse the same slot.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct EventId(u64);
+
+impl EventId {
+    #[inline]
+    fn new(slot: u32, gen: u32) -> Self {
+        EventId(u64::from(slot) | (u64::from(gen) << 32))
+    }
+
+    #[inline]
+    fn slot(self) -> u32 {
+        self.0 as u32
+    }
+
+    #[inline]
+    fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
+
+/// One slab slot: the current generation and whether the event that owns the
+/// slot is still pending.
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    generation: u32,
+    live: bool,
+}
 
 struct Scheduled<E> {
     at: SimTime,
     seq: u64,
-    id: EventId,
+    slot: u32,
     payload: E,
 }
 
@@ -45,9 +92,10 @@ impl<E> Ord for Scheduled<E> {
 /// A deterministic, cancellable event queue keyed by [`SimTime`].
 pub struct EventQueue<E> {
     heap: BinaryHeap<Scheduled<E>>,
+    slots: Vec<Slot>,
+    free_slots: Vec<u32>,
     next_seq: u64,
-    next_id: u64,
-    cancelled: std::collections::HashSet<EventId>,
+    pending: usize,
     now: SimTime,
 }
 
@@ -62,9 +110,22 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
+            slots: Vec::new(),
+            free_slots: Vec::new(),
             next_seq: 0,
-            next_id: 0,
-            cancelled: std::collections::HashSet::new(),
+            pending: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Creates an empty queue sized for roughly `capacity` in-flight events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            free_slots: Vec::new(),
+            next_seq: 0,
+            pending: 0,
             now: SimTime::ZERO,
         }
     }
@@ -86,29 +147,69 @@ impl<E> EventQueue<E> {
             "cannot schedule an event at {at:?} before the current time {:?}",
             self.now
         );
-        let id = EventId(self.next_id);
-        self.next_id += 1;
+        let slot = match self.free_slots.pop() {
+            Some(slot) => {
+                let entry = &mut self.slots[slot as usize];
+                debug_assert!(!entry.live, "free slot must not be live");
+                entry.live = true;
+                slot
+            }
+            None => {
+                let slot = self.slots.len() as u32;
+                self.slots.push(Slot {
+                    generation: 0,
+                    live: true,
+                });
+                slot
+            }
+        };
+        let generation = self.slots[slot as usize].generation;
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { at, seq, id, payload });
-        id
+        self.heap.push(Scheduled {
+            at,
+            seq,
+            slot,
+            payload,
+        });
+        self.pending += 1;
+        EventId::new(slot, generation)
     }
 
     /// Cancels a previously scheduled event. Cancelling an event that already
-    /// fired (or was already cancelled) is a no-op.
+    /// fired (or was already cancelled) is a no-op: the generation encoded in
+    /// the id no longer matches the slot, so the handle is simply stale.
     pub fn cancel(&mut self, id: EventId) {
-        self.cancelled.insert(id);
+        if let Some(slot) = self.slots.get_mut(id.slot() as usize) {
+            if slot.live && slot.generation == id.generation() {
+                slot.live = false;
+                self.pending -= 1;
+            }
+        }
+    }
+
+    /// Recycles the slot of a heap entry that has just been removed from the
+    /// heap. Returns whether the event was still live (not cancelled).
+    #[inline]
+    fn retire_slot(&mut self, slot: u32) -> bool {
+        let entry = &mut self.slots[slot as usize];
+        let was_live = entry.live;
+        entry.live = false;
+        entry.generation = entry.generation.wrapping_add(1);
+        self.free_slots.push(slot);
+        was_live
     }
 
     /// Removes and returns the next event, advancing the clock to its
     /// timestamp. Cancelled events are skipped silently.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(ev) = self.heap.pop() {
-            if self.cancelled.remove(&ev.id) {
-                continue;
+            let live = self.retire_slot(ev.slot);
+            if live {
+                self.pending -= 1;
+                self.now = ev.at;
+                return Some((ev.at, ev.payload));
             }
-            self.now = ev.at;
-            return Some((ev.at, ev.payload));
         }
         None
     }
@@ -118,24 +219,24 @@ impl<E> EventQueue<E> {
     pub fn peek_time(&mut self) -> Option<SimTime> {
         // Drop cancelled events lazily so peek is accurate.
         while let Some(ev) = self.heap.peek() {
-            if self.cancelled.contains(&ev.id) {
-                let ev = self.heap.pop().expect("peeked event must exist");
-                self.cancelled.remove(&ev.id);
-            } else {
+            if self.slots[ev.slot as usize].live {
                 return Some(ev.at);
             }
+            let ev = self.heap.pop().expect("peeked event must exist");
+            self.retire_slot(ev.slot);
         }
         None
     }
 
-    /// Number of pending (non-cancelled) events.
+    /// Number of pending (non-cancelled) events. Exact: maintained as a
+    /// counter across schedule, cancel and pop, with no tombstone drift.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len().min(self.heap.len())
+        self.pending
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.pending == 0
     }
 }
 
@@ -197,6 +298,48 @@ mod tests {
     }
 
     #[test]
+    fn cancel_after_fire_does_not_undercount_len() {
+        // Regression test: the old tombstone design left a permanent entry in
+        // the cancelled set when an already-fired id was cancelled, making
+        // len() report fewer pending events than actually existed.
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), "a");
+        assert_eq!(q.pop(), Some((SimTime::from_secs(1), "a")));
+        q.cancel(a); // stale id: must not affect anything
+        q.schedule(SimTime::from_secs(2), "b");
+        q.schedule(SimTime::from_secs(3), "c");
+        assert_eq!(q.len(), 2, "len must count both pending events");
+        assert_eq!(q.pop(), Some((SimTime::from_secs(2), "b")));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(3), "c")));
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn stale_id_cannot_cancel_a_recycled_slot() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), "a");
+        assert_eq!(q.pop(), Some((SimTime::from_secs(1), "a")));
+        // The next schedule reuses slot 0 with a bumped generation.
+        let b = q.schedule(SimTime::from_secs(2), "b");
+        q.cancel(a); // stale handle into the reused slot
+        assert_eq!(q.len(), 1, "the stale cancel must not kill the new event");
+        assert_eq!(q.pop(), Some((SimTime::from_secs(2), "b")));
+        q.cancel(b); // now b itself is stale too: no-op
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn double_cancel_is_counted_once() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(2), "b");
+        q.cancel(a);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((SimTime::from_secs(2), "b")));
+    }
+
+    #[test]
     fn peek_respects_cancellation() {
         let mut q = EventQueue::new();
         let a = q.schedule(SimTime::from_secs(1), "a");
@@ -225,5 +368,23 @@ mod tests {
         q.cancel(ids[3]);
         assert_eq!(q.len(), 3);
         let _ = SimDuration::ZERO; // keep the import exercised
+    }
+
+    #[test]
+    fn slots_are_recycled_under_churn() {
+        let mut q = EventQueue::new();
+        for round in 0..1000u64 {
+            let id = q.schedule(SimTime::from_secs(round + 1), round);
+            if round % 2 == 0 {
+                q.cancel(id);
+            } else {
+                q.pop();
+            }
+        }
+        assert!(
+            q.slots.len() < 16,
+            "slab must stay compact under schedule/cancel churn, got {} slots",
+            q.slots.len()
+        );
     }
 }

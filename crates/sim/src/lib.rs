@@ -40,43 +40,171 @@ pub const MIB: u64 = 1024 * 1024;
 pub const GIB: u64 = 1024 * MIB;
 
 #[cfg(test)]
-mod proptests {
-    use super::*;
-    use proptest::prelude::*;
+mod randomized_tests {
+    //! Property-style tests driven by the crate's own seeded generator (the
+    //! container has no proptest): each test runs many randomized cases from
+    //! fixed seeds, so failures are reproducible by construction.
 
-    proptest! {
-        /// Events always come out of the queue in non-decreasing time order,
-        /// regardless of the insertion order.
-        #[test]
-        fn queue_pops_in_nondecreasing_order(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+    use super::*;
+
+    /// Reference implementation of the queue's ordering contract: a sorted
+    /// vector popped front-first, with (timestamp, insertion sequence) order
+    /// and eager removal on cancellation.
+    struct NaiveQueue<E> {
+        entries: Vec<(SimTime, u64, u64, E)>, // (at, seq, id, payload)
+        next_seq: u64,
+        next_id: u64,
+    }
+
+    impl<E> NaiveQueue<E> {
+        fn new() -> Self {
+            NaiveQueue {
+                entries: Vec::new(),
+                next_seq: 0,
+                next_id: 0,
+            }
+        }
+
+        fn schedule(&mut self, at: SimTime, payload: E) -> u64 {
+            let id = self.next_id;
+            self.next_id += 1;
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.entries.push((at, seq, id, payload));
+            id
+        }
+
+        fn cancel(&mut self, id: u64) {
+            self.entries.retain(|(_, _, eid, _)| *eid != id);
+        }
+
+        fn pop(&mut self) -> Option<(SimTime, E)> {
+            if self.entries.is_empty() {
+                return None;
+            }
+            let best = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (at, seq, _, _))| (*at, *seq))
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            let (at, _, _, payload) = self.entries.remove(best);
+            Some((at, payload))
+        }
+
+        fn len(&self) -> usize {
+            self.entries.len()
+        }
+    }
+
+    /// The event queue produces the identical pop order (timestamp, then
+    /// FIFO) as the naive sorted-vec reference across randomized
+    /// schedule/cancel/pop interleavings, and its `len()` stays exact.
+    #[test]
+    fn queue_matches_naive_reference_under_random_interleavings() {
+        for case in 0..200u64 {
+            let mut rng = SimRng::new(0xE7E7 + case);
+            let mut fast = EventQueue::new();
+            let mut naive = NaiveQueue::new();
+            // Live ids, kept in lockstep between the two implementations.
+            let mut live: Vec<(EventId, u64)> = Vec::new();
+            let mut floor = SimTime::ZERO;
+            let ops = 50 + rng.index(150);
+            for _ in 0..ops {
+                match rng.index(10) {
+                    // Schedule (biased: queues grow more than they shrink).
+                    0..=4 => {
+                        let at = floor + SimDuration::from_micros(rng.index(1_000) as u64);
+                        let fid = fast.schedule(at, live.len());
+                        let nid = naive.schedule(at, live.len());
+                        live.push((fid, nid));
+                    }
+                    // Cancel a random live event.
+                    5..=6 => {
+                        if !live.is_empty() {
+                            let i = rng.index(live.len());
+                            let (fid, nid) = live.swap_remove(i);
+                            fast.cancel(fid);
+                            naive.cancel(nid);
+                        }
+                    }
+                    // Cancel an already-dead id (stale handle): must be a no-op.
+                    7 => {
+                        let fid = fast.schedule(floor, usize::MAX);
+                        let nid = naive.schedule(floor, usize::MAX);
+                        fast.cancel(fid);
+                        naive.cancel(nid);
+                        fast.cancel(fid); // double cancel
+                    }
+                    // Pop: both must agree exactly.
+                    _ => {
+                        let f = fast.pop();
+                        let n = naive.pop();
+                        assert_eq!(f, n, "pop mismatch (case {case})");
+                        if let Some((at, _)) = f {
+                            floor = at;
+                            // The popped event's handles stay in `live` on
+                            // purpose: a later "cancel" on them exercises the
+                            // stale-handle path of both implementations.
+                        }
+                    }
+                }
+                assert_eq!(fast.len(), naive.len(), "len drift (case {case})");
+            }
+            // Drain: the full remaining sequence must match.
+            loop {
+                let f = fast.pop();
+                let n = naive.pop();
+                assert_eq!(f, n, "drain mismatch (case {case})");
+                if f.is_none() {
+                    break;
+                }
+            }
+            assert_eq!(fast.len(), 0);
+        }
+    }
+
+    /// Events always come out of the queue in non-decreasing time order,
+    /// regardless of the insertion order.
+    #[test]
+    fn queue_pops_in_nondecreasing_order() {
+        for case in 0..50u64 {
+            let mut rng = SimRng::new(100 + case);
+            let n = 1 + rng.index(200);
             let mut q = EventQueue::new();
-            for (i, t) in times.iter().enumerate() {
-                q.schedule(SimTime::from_micros(*t), i);
+            for i in 0..n {
+                q.schedule(SimTime::from_micros(rng.index(1_000_000) as u64), i);
             }
             let mut last = SimTime::ZERO;
             let mut popped = 0;
             while let Some((t, _)) = q.pop() {
-                prop_assert!(t >= last);
+                assert!(t >= last);
                 last = t;
                 popped += 1;
             }
-            prop_assert_eq!(popped, times.len());
+            assert_eq!(popped, n);
         }
+    }
 
-        /// Cancelling an arbitrary subset removes exactly that subset.
-        #[test]
-        fn queue_cancellation_is_exact(
-            times in proptest::collection::vec(0u64..1_000_000, 1..100),
-            cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
-        ) {
+    /// Cancelling an arbitrary subset removes exactly that subset.
+    #[test]
+    fn queue_cancellation_is_exact() {
+        for case in 0..50u64 {
+            let mut rng = SimRng::new(200 + case);
+            let n = 1 + rng.index(100);
             let mut q = EventQueue::new();
-            let ids: Vec<_> = times.iter().enumerate()
-                .map(|(i, t)| (q.schedule(SimTime::from_micros(*t), i), i))
+            let ids: Vec<(EventId, usize)> = (0..n)
+                .map(|i| {
+                    (
+                        q.schedule(SimTime::from_micros(rng.index(1_000_000) as u64), i),
+                        i,
+                    )
+                })
                 .collect();
-            let mut expected: std::collections::HashSet<usize> =
-                (0..times.len()).collect();
-            for (idx, (id, payload)) in ids.iter().enumerate() {
-                if *cancel_mask.get(idx).unwrap_or(&false) {
+            let mut expected: std::collections::HashSet<usize> = (0..n).collect();
+            for (id, payload) in &ids {
+                if rng.chance(0.5) {
                     q.cancel(*id);
                     expected.remove(payload);
                 }
@@ -85,38 +213,53 @@ mod proptests {
             while let Some((_, p)) = q.pop() {
                 seen.insert(p);
             }
-            prop_assert_eq!(seen, expected);
+            assert_eq!(seen, expected);
         }
+    }
 
-        /// Summary invariants: min <= mean <= max and spread is non-negative.
-        #[test]
-        fn summary_invariants(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+    /// Summary invariants: min <= mean <= max and spread is non-negative.
+    #[test]
+    fn summary_invariants() {
+        for case in 0..50u64 {
+            let mut rng = SimRng::new(300 + case);
+            let n = 1 + rng.index(200);
+            let values: Vec<f64> = (0..n).map(|_| (rng.unit() - 0.5) * 2e6).collect();
             let s = Summary::of(&values).unwrap();
-            prop_assert!(s.min <= s.mean + 1e-9);
-            prop_assert!(s.mean <= s.max + 1e-9);
-            prop_assert!(s.std_dev >= 0.0);
-            prop_assert_eq!(s.count, values.len());
+            assert!(s.min <= s.mean + 1e-9);
+            assert!(s.mean <= s.max + 1e-9);
+            assert!(s.std_dev >= 0.0);
+            assert_eq!(s.count, values.len());
         }
+    }
 
-        /// Percentile is monotone in p and bounded by the data range.
-        #[test]
-        fn percentile_monotone(values in proptest::collection::vec(0f64..1e6, 1..100),
-                               p1 in 0f64..100.0, p2 in 0f64..100.0) {
+    /// Percentile is monotone in p and bounded by the data range.
+    #[test]
+    fn percentile_monotone() {
+        for case in 0..50u64 {
+            let mut rng = SimRng::new(400 + case);
+            let n = 1 + rng.index(100);
+            let values: Vec<f64> = (0..n).map(|_| rng.unit() * 1e6).collect();
+            let (p1, p2) = (rng.unit() * 100.0, rng.unit() * 100.0);
             let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
             let a = percentile(&values, lo).unwrap();
             let b = percentile(&values, hi).unwrap();
-            prop_assert!(a <= b + 1e-9);
+            assert!(a <= b + 1e-9);
             let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
             let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-            prop_assert!(a >= min - 1e-9 && b <= max + 1e-9);
+            assert!(a >= min - 1e-9 && b <= max + 1e-9);
         }
+    }
 
-        /// SimTime arithmetic: (t + d) - t == d for all representable values.
-        #[test]
-        fn time_addition_roundtrip(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+    /// SimTime arithmetic: (t + d) - t == d for representable values.
+    #[test]
+    fn time_addition_roundtrip() {
+        let mut rng = SimRng::new(500);
+        for _ in 0..1000 {
+            let t = rng.next_u64() % (u64::MAX / 4);
+            let d = rng.next_u64() % (u64::MAX / 4);
             let time = SimTime::from_micros(t);
             let dur = SimDuration::from_micros(d);
-            prop_assert_eq!((time + dur) - time, dur);
+            assert_eq!((time + dur) - time, dur);
         }
     }
 }

@@ -3,28 +3,39 @@
 //! Every experiment run is seeded explicitly so results are reproducible; the
 //! experiment harness derives per-repetition seeds from a base seed, exactly
 //! like the paper repeats each configuration 20 times.
+//!
+//! The generator is a self-contained xoshiro256++ seeded through SplitMix64.
+//! It has a stable output stream across platforms and Rust versions (no
+//! external crates, no hash randomisation), so golden-value tests do not
+//! depend on the host.
 
-use rand::distributions::uniform::{SampleRange, SampleUniform};
-use rand::{Rng, RngCore, SeedableRng};
-use rand_chacha::ChaCha8Rng;
-
-/// A seeded, reproducible random number generator.
-///
-/// Wraps ChaCha8 which is fast, portable and has a stable output stream across
-/// platforms, so golden-value tests do not depend on the host architecture.
+/// A seeded, reproducible random number generator (xoshiro256++).
 #[derive(Clone, Debug)]
 pub struct SimRng {
-    inner: ChaCha8Rng,
+    state: [u64; 4],
     seed: u64,
+}
+
+#[inline]
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        SimRng {
-            inner: ChaCha8Rng::seed_from_u64(seed),
-            seed,
-        }
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { state, seed }
     }
 
     /// The seed this generator was created with.
@@ -39,39 +50,69 @@ impl SimRng {
         SimRng::new(self.seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
-    /// Samples uniformly from a range.
-    pub fn range<T, R>(&mut self, range: R) -> T
-    where
-        T: SampleUniform,
-        R: SampleRange<T>,
-    {
-        self.inner.gen_range(range)
+    /// The next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// The next 32 random bits.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniformly random index in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    #[inline]
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot sample an index from an empty range");
+        // Lemire-style widening multiply avoids modulo bias for all practical
+        // range sizes while staying branch-light on the hot path.
+        ((u128::from(self.next_u64()) * n as u128) >> 64) as usize
     }
 
     /// Samples a uniform value in `[0, 1)`.
+    #[inline]
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high-quality bits map exactly onto the f64 mantissa.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli trial with probability `p` of returning true.
     pub fn chance(&mut self, p: f64) -> bool {
         debug_assert!((0.0..=1.0).contains(&p));
-        self.inner.gen_bool(p.clamp(0.0, 1.0))
+        let p = p.clamp(0.0, 1.0);
+        if p >= 1.0 {
+            return true;
+        }
+        self.unit() < p
     }
 
     /// Samples from an exponential distribution with the given mean.
     pub fn exponential(&mut self, mean: f64) -> f64 {
         assert!(mean > 0.0);
-        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
-        -mean * u.ln()
+        // 1 - unit() lies in (0, 1], so the logarithm is always finite.
+        -mean * (1.0 - self.unit()).ln()
     }
 
     /// Samples from a (truncated at zero) normal distribution using the
     /// Box-Muller transform.
     pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
         assert!(std_dev >= 0.0);
-        let u1: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
-        let u2: f64 = self.inner.gen();
+        let u1 = 1.0 - self.unit(); // (0, 1]
+        let u2 = self.unit();
         let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
         (mean + std_dev * z).max(0.0)
     }
@@ -80,7 +121,7 @@ impl SimRng {
     /// `[lo, hi]`), the classic heavy-tailed model for MapReduce job sizes.
     pub fn bounded_pareto(&mut self, alpha: f64, lo: f64, hi: f64) -> f64 {
         assert!(alpha > 0.0 && lo > 0.0 && hi > lo);
-        let u: f64 = self.inner.gen_range(0.0..1.0);
+        let u = self.unit();
         let la = lo.powf(alpha);
         let ha = hi.powf(alpha);
         (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / alpha)
@@ -91,7 +132,7 @@ impl SimRng {
         if items.is_empty() {
             None
         } else {
-            let idx = self.inner.gen_range(0..items.len());
+            let idx = self.index(items.len());
             Some(&items[idx])
         }
     }
@@ -99,24 +140,9 @@ impl SimRng {
     /// Fisher–Yates shuffle of a mutable slice.
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.index(i + 1);
             items.swap(i, j);
         }
-    }
-}
-
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
     }
 }
 
@@ -163,13 +189,30 @@ mod tests {
     }
 
     #[test]
+    fn index_is_in_range_and_covers_the_range() {
+        let mut r = SimRng::new(5);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            let i = r.index(8);
+            seen[i] = true;
+        }
+        assert!(
+            seen.iter().all(|s| *s),
+            "all indices should occur: {seen:?}"
+        );
+    }
+
+    #[test]
     fn exponential_mean_is_close() {
         let mut r = SimRng::new(11);
         let n = 20_000;
         let mean = 5.0;
         let total: f64 = (0..n).map(|_| r.exponential(mean)).sum();
         let empirical = total / n as f64;
-        assert!((empirical - mean).abs() < 0.25, "empirical mean {empirical}");
+        assert!(
+            (empirical - mean).abs() < 0.25,
+            "empirical mean {empirical}"
+        );
     }
 
     #[test]

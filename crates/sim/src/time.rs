@@ -87,7 +87,10 @@ impl SimDuration {
 
     /// Creates a duration from fractional seconds.
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s >= 0.0 && s.is_finite(), "durations must be finite and non-negative");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "durations must be finite and non-negative"
+        );
         SimDuration((s * 1e6).round() as u64)
     }
 
@@ -205,7 +208,10 @@ mod tests {
         let d = SimDuration::from_secs(10);
         assert_eq!(d.mul_f64(0.5), SimDuration::from_secs(5));
         assert_eq!(d.mul_f64(0.0), SimDuration::ZERO);
-        assert_eq!(d.saturating_sub(SimDuration::from_secs(20)), SimDuration::ZERO);
+        assert_eq!(
+            d.saturating_sub(SimDuration::from_secs(20)),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

@@ -141,7 +141,12 @@ impl Kernel {
     ///   *not* eagerly read back — they fault in when the process touches
     ///   them (see [`Kernel::fault_in_all`]).
     /// * `SIGKILL`/`SIGTERM` terminate it and release all its memory.
-    pub fn signal(&mut self, pid: Pid, signal: Signal, now: SimTime) -> Result<SignalOutcome, OsError> {
+    pub fn signal(
+        &mut self,
+        pid: Pid,
+        signal: Signal,
+        now: SimTime,
+    ) -> Result<SignalOutcome, OsError> {
         let proc_state = self.state(pid)?;
         let (new_state, effect) = transition(proc_state, signal)?;
         let mut released = 0;
@@ -162,7 +167,10 @@ impl Kernel {
             }
             SignalEffect::Ignored => {}
         }
-        let entry = self.processes.get_mut(&pid).expect("state() checked existence");
+        let entry = self
+            .processes
+            .get_mut(&pid)
+            .expect("state() checked existence");
         match new_state {
             ProcessState::Killed(sig) => entry.killed_by(sig, now),
             other => entry.set_state(other, now),
@@ -206,7 +214,11 @@ impl Kernel {
         }
         let charge = self.memory.allocate(pid, bytes, dirty_fraction, now)?;
         let stall = self.stall_for(&charge);
-        debug_assert!(self.memory.check_invariants().is_ok(), "{:?}", self.memory.check_invariants());
+        debug_assert!(
+            self.memory.check_invariants().is_ok(),
+            "{:?}",
+            self.memory.check_invariants()
+        );
         Ok(MemOutcome { charge, stall })
     }
 
@@ -297,11 +309,15 @@ mod tests {
     fn suspend_resume_cycle_via_signals() {
         let mut k = kernel();
         let pid = k.spawn("task", SimTime::ZERO);
-        let out = k.signal(pid, Signal::Sigtstp, SimTime::from_secs(1)).unwrap();
+        let out = k
+            .signal(pid, Signal::Sigtstp, SimTime::from_secs(1))
+            .unwrap();
         assert_eq!(out.effect, SignalEffect::Suspended);
         assert_eq!(k.state(pid).unwrap(), ProcessState::Stopped);
         assert!(k.memory().process(pid).unwrap().suspended);
-        let out = k.signal(pid, Signal::Sigcont, SimTime::from_secs(2)).unwrap();
+        let out = k
+            .signal(pid, Signal::Sigcont, SimTime::from_secs(2))
+            .unwrap();
         assert_eq!(out.effect, SignalEffect::Resumed);
         assert_eq!(k.state(pid).unwrap(), ProcessState::Running);
         assert!(!k.memory().process(pid).unwrap().suspended);
@@ -315,13 +331,19 @@ mod tests {
         let pid = k.spawn("task", SimTime::ZERO);
         k.allocate(pid, GIB, 1.0, SimTime::ZERO).unwrap();
         assert_eq!(k.memory().total_resident(), GIB);
-        let out = k.signal(pid, Signal::Sigkill, SimTime::from_secs(1)).unwrap();
+        let out = k
+            .signal(pid, Signal::Sigkill, SimTime::from_secs(1))
+            .unwrap();
         assert_eq!(out.effect, SignalEffect::Terminated);
         assert_eq!(out.released_bytes, GIB);
         assert_eq!(k.memory().total_resident(), 0);
         assert_eq!(k.state(pid).unwrap(), ProcessState::Killed(Signal::Sigkill));
         // Further signals fail with ESRCH.
-        assert_eq!(k.signal(pid, Signal::Sigcont, SimTime::from_secs(2)).unwrap_err(), OsError::NoSuchProcess);
+        assert_eq!(
+            k.signal(pid, Signal::Sigcont, SimTime::from_secs(2))
+                .unwrap_err(),
+            OsError::NoSuchProcess
+        );
     }
 
     #[test]
@@ -332,7 +354,10 @@ mod tests {
         let released = k.exit(pid, 0, SimTime::from_secs(1)).unwrap();
         assert_eq!(released, 512 * MIB);
         assert_eq!(k.state(pid).unwrap(), ProcessState::Exited(0));
-        assert_eq!(k.exit(pid, 0, SimTime::from_secs(2)).unwrap_err(), OsError::NoSuchProcess);
+        assert_eq!(
+            k.exit(pid, 0, SimTime::from_secs(2)).unwrap_err(),
+            OsError::NoSuchProcess
+        );
     }
 
     #[test]
@@ -341,11 +366,17 @@ mod tests {
         let victim = k.spawn("low-priority", SimTime::ZERO);
         let newcomer = k.spawn("high-priority", SimTime::ZERO);
         k.allocate(victim, 2 * GIB, 1.0, SimTime::ZERO).unwrap();
-        k.signal(victim, Signal::Sigtstp, SimTime::from_secs(1)).unwrap();
-        let out = k.allocate(newcomer, 2 * GIB, 1.0, SimTime::from_secs(2)).unwrap();
+        k.signal(victim, Signal::Sigtstp, SimTime::from_secs(1))
+            .unwrap();
+        let out = k
+            .allocate(newcomer, 2 * GIB, 1.0, SimTime::from_secs(2))
+            .unwrap();
         assert!(out.charge.dirty_paged_out > 0);
         assert!(out.stall > SimDuration::ZERO);
-        assert!(out.stall.as_secs_f64() < 60.0, "page-out stall should be seconds, not minutes");
+        assert!(
+            out.stall.as_secs_f64() < 60.0,
+            "page-out stall should be seconds, not minutes"
+        );
         assert!(k.swapped_bytes(victim) > 0);
         assert_eq!(k.swapped_bytes(newcomer), 0);
     }
@@ -356,12 +387,14 @@ mod tests {
         let victim = k.spawn("tl", SimTime::ZERO);
         let hp = k.spawn("th", SimTime::ZERO);
         k.allocate(victim, 2 * GIB, 1.0, SimTime::ZERO).unwrap();
-        k.signal(victim, Signal::Sigtstp, SimTime::from_secs(1)).unwrap();
+        k.signal(victim, Signal::Sigtstp, SimTime::from_secs(1))
+            .unwrap();
         k.allocate(hp, 2 * GIB, 1.0, SimTime::from_secs(2)).unwrap();
         let swapped = k.swapped_bytes(victim);
         assert!(swapped > 0);
         k.exit(hp, 0, SimTime::from_secs(50)).unwrap();
-        k.signal(victim, Signal::Sigcont, SimTime::from_secs(51)).unwrap();
+        k.signal(victim, Signal::Sigcont, SimTime::from_secs(51))
+            .unwrap();
         let out = k.fault_in_all(victim, SimTime::from_secs(51)).unwrap();
         assert_eq!(out.charge.paged_in, swapped);
         assert!(out.stall > SimDuration::ZERO);
@@ -374,11 +407,13 @@ mod tests {
         let mut k = kernel();
         let pid = k.spawn("light", SimTime::ZERO);
         k.allocate(pid, 200 * MIB, 1.0, SimTime::ZERO).unwrap();
-        k.signal(pid, Signal::Sigtstp, SimTime::from_secs(1)).unwrap();
+        k.signal(pid, Signal::Sigtstp, SimTime::from_secs(1))
+            .unwrap();
         // Nothing else needs memory, so nothing is paged: this is the key
         // advantage over checkpoint-based preemption.
         assert_eq!(k.swapped_bytes(pid), 0);
-        k.signal(pid, Signal::Sigcont, SimTime::from_secs(2)).unwrap();
+        k.signal(pid, Signal::Sigcont, SimTime::from_secs(2))
+            .unwrap();
         let out = k.fault_in_all(pid, SimTime::from_secs(2)).unwrap();
         assert_eq!(out.stall, SimDuration::ZERO);
         assert_eq!(k.disk_stats().swap_bytes_out, 0);
@@ -408,7 +443,9 @@ mod tests {
         let b = k.spawn("b", SimTime::ZERO);
         k.allocate(a, GIB + 256 * MIB, 1.0, SimTime::ZERO).unwrap();
         k.signal(a, Signal::Sigtstp, SimTime::ZERO).unwrap();
-        let err = k.allocate(b, GIB + 256 * MIB, 1.0, SimTime::from_secs(1)).unwrap_err();
+        let err = k
+            .allocate(b, GIB + 256 * MIB, 1.0, SimTime::from_secs(1))
+            .unwrap_err();
         assert_eq!(err, OsError::OutOfMemory);
         let victim = k.oom_kill(SimTime::from_secs(1)).unwrap();
         assert_eq!(victim, a, "the suspended memory hog should be sacrificed");

@@ -55,44 +55,20 @@ pub use process::{Pid, Process};
 pub use signal::{transition, OsError, ProcessState, Signal, SignalEffect};
 
 #[cfg(test)]
-mod proptests {
+mod randomized_tests {
+    //! Property-style tests driven by seeded randomization (the container has
+    //! no proptest); fixed seeds keep every failure reproducible.
+
     use super::*;
-    use mrp_sim::{SimTime, GIB, MIB};
-    use proptest::prelude::*;
+    use mrp_sim::{SimRng, SimTime, GIB, MIB};
 
     /// Arbitrary interleavings of kernel operations never violate the memory
     /// manager's accounting invariants, never panic, and never leave swapped
     /// bytes attributed to dead processes.
-    #[derive(Debug, Clone)]
-    enum Op {
-        Spawn,
-        Allocate { proc_idx: usize, mib: u64, dirty: bool },
-        Suspend(usize),
-        Resume(usize),
-        Kill(usize),
-        Exit(usize),
-        FaultIn(usize),
-        DiskRead { mib: u64 },
-    }
-
-    fn op_strategy() -> impl Strategy<Value = Op> {
-        prop_oneof![
-            Just(Op::Spawn),
-            (0usize..8, 1u64..2048, any::<bool>())
-                .prop_map(|(p, m, d)| Op::Allocate { proc_idx: p, mib: m, dirty: d }),
-            (0usize..8).prop_map(Op::Suspend),
-            (0usize..8).prop_map(Op::Resume),
-            (0usize..8).prop_map(Op::Kill),
-            (0usize..8).prop_map(Op::Exit),
-            (0usize..8).prop_map(Op::FaultIn),
-            (1u64..1024).prop_map(|m| Op::DiskRead { mib: m }),
-        ]
-    }
-
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-        #[test]
-        fn kernel_survives_arbitrary_interleavings(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+    #[test]
+    fn kernel_survives_arbitrary_interleavings() {
+        for case in 0..64u64 {
+            let mut rng = SimRng::new(0x5105 + case);
             let mut k = Kernel::new(NodeOsConfig {
                 memory: MemoryConfig {
                     total_ram: 4 * GIB,
@@ -103,77 +79,94 @@ mod proptests {
                 disk: DiskConfig::default(),
             });
             let mut pids: Vec<Pid> = Vec::new();
-            let mut t = 0u64;
-            for op in ops {
-                t += 1;
+            let ops = 1 + rng.index(120);
+            for t in 1..=ops as u64 {
                 let now = SimTime::from_secs(t);
-                match op {
-                    Op::Spawn => pids.push(k.spawn(format!("p{t}"), now)),
-                    Op::Allocate { proc_idx, mib, dirty } => {
+                let proc_idx = rng.index(8);
+                match rng.index(8) {
+                    0 => pids.push(k.spawn(format!("p{t}"), now)),
+                    1 => {
                         if let Some(&pid) = pids.get(proc_idx) {
-                            let frac = if dirty { 1.0 } else { 0.25 };
+                            let mib = 1 + rng.index(2047) as u64;
+                            let frac = if rng.chance(0.5) { 1.0 } else { 0.25 };
                             let _ = k.allocate(pid, mib * MIB, frac, now);
                         }
                     }
-                    Op::Suspend(i) => {
-                        if let Some(&pid) = pids.get(i) {
+                    2 => {
+                        if let Some(&pid) = pids.get(proc_idx) {
                             let _ = k.signal(pid, Signal::Sigtstp, now);
                         }
                     }
-                    Op::Resume(i) => {
-                        if let Some(&pid) = pids.get(i) {
+                    3 => {
+                        if let Some(&pid) = pids.get(proc_idx) {
                             let _ = k.signal(pid, Signal::Sigcont, now);
                         }
                     }
-                    Op::Kill(i) => {
-                        if let Some(&pid) = pids.get(i) {
+                    4 => {
+                        if let Some(&pid) = pids.get(proc_idx) {
                             let _ = k.signal(pid, Signal::Sigkill, now);
                         }
                     }
-                    Op::Exit(i) => {
-                        if let Some(&pid) = pids.get(i) {
+                    5 => {
+                        if let Some(&pid) = pids.get(proc_idx) {
                             let _ = k.exit(pid, 0, now);
                         }
                     }
-                    Op::FaultIn(i) => {
-                        if let Some(&pid) = pids.get(i) {
+                    6 => {
+                        if let Some(&pid) = pids.get(proc_idx) {
                             let _ = k.fault_in_all(pid, now);
                         }
                     }
-                    Op::DiskRead { mib } => {
-                        let _ = k.disk_read(mib * MIB);
+                    _ => {
+                        let _ = k.disk_read((1 + rng.index(1023) as u64) * MIB);
                     }
                 }
-                prop_assert!(k.memory().check_invariants().is_ok(),
-                    "invariant violated after {:?}: {:?}", op, k.memory().check_invariants());
+                assert!(
+                    k.memory().check_invariants().is_ok(),
+                    "invariant violated (case {case}, op {t}): {:?}",
+                    k.memory().check_invariants()
+                );
             }
             // Dead processes must not hold memory.
             for &pid in &pids {
                 if let Ok(state) = k.state(pid) {
                     if !state.is_alive() {
-                        prop_assert!(k.proc_memory(pid).is_none() || k.proc_memory(pid).unwrap().virtual_size() == 0);
+                        assert!(
+                            k.proc_memory(pid).is_none()
+                                || k.proc_memory(pid).unwrap().virtual_size() == 0
+                        );
                     }
                 }
             }
         }
+    }
 
-        /// Signal transition function is total over live states and never
-        /// resurrects dead processes.
-        #[test]
-        fn signal_transitions_are_sane(sig_seq in proptest::collection::vec(0u8..5, 1..50)) {
-            let sigs = [Signal::Sigtstp, Signal::Sigcont, Signal::Sigterm, Signal::Sigkill, Signal::Sigstop];
+    /// Signal transition function is total over live states and never
+    /// resurrects dead processes.
+    #[test]
+    fn signal_transitions_are_sane() {
+        let sigs = [
+            Signal::Sigtstp,
+            Signal::Sigcont,
+            Signal::Sigterm,
+            Signal::Sigkill,
+            Signal::Sigstop,
+        ];
+        for case in 0..64u64 {
+            let mut rng = SimRng::new(0x5165 + case);
             let mut state = ProcessState::Running;
-            for s in sig_seq {
-                let sig = sigs[s as usize];
+            let steps = 1 + rng.index(50);
+            for _ in 0..steps {
+                let sig = sigs[rng.index(sigs.len())];
                 match transition(state, sig) {
                     Ok((next, _)) => {
                         // Once dead, transition must error forever after.
-                        prop_assert!(state.is_alive());
+                        assert!(state.is_alive());
                         state = next;
                     }
                     Err(e) => {
-                        prop_assert_eq!(e, OsError::NoSuchProcess);
-                        prop_assert!(!state.is_alive());
+                        assert_eq!(e, OsError::NoSuchProcess);
+                        assert!(!state.is_alive());
                     }
                 }
             }

@@ -25,7 +25,7 @@ use crate::process::Pid;
 use crate::signal::OsError;
 use mrp_sim::{SimTime, GIB, MIB};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// Static memory configuration of a simulated node.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -174,11 +174,32 @@ pub struct MemoryStats {
     pub oom_kills: u64,
 }
 
+/// Ordering key of the LRU victim index: suspended processes first (their
+/// pages are outside every working set), then by least-recent touch, ties
+/// broken by pid for determinism.
+type VictimKey = (u8, SimTime, Pid);
+
+fn victim_key(pm: &ProcMemory, pid: Pid) -> VictimKey {
+    (u8::from(!pm.suspended), pm.last_touch, pid)
+}
+
 /// The per-node memory manager.
+///
+/// Victim selection is backed by an ordered index (`lru`) maintained
+/// incrementally on register / touch / suspend / remove, so each `reclaim`
+/// walks candidates in eviction order directly instead of collecting and
+/// sorting every process table entry per call. Total resident bytes are a
+/// counter updated on every byte movement, not an O(processes) sum — both
+/// matter because `free_ram()` runs on every allocation in the simulation's
+/// hot path.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct MemoryManager {
     config: MemoryConfig,
     procs: HashMap<Pid, ProcMemory>,
+    /// Ordered eviction-victim index; one entry per registered process.
+    lru: BTreeSet<VictimKey>,
+    /// Sum of `resident()` over all registered processes.
+    resident_total: u64,
     file_cache: u64,
     swap_used: u64,
     stats: MemoryStats,
@@ -187,15 +208,34 @@ pub struct MemoryManager {
 impl MemoryManager {
     /// Creates a memory manager for a node with the given configuration.
     pub fn new(config: MemoryConfig) -> Self {
-        assert!(config.total_ram > config.os_reserve, "RAM must exceed the OS reserve");
+        assert!(
+            config.total_ram > config.os_reserve,
+            "RAM must exceed the OS reserve"
+        );
         assert!(config.over_eviction_factor >= 0.0);
         MemoryManager {
             config,
             procs: HashMap::new(),
+            lru: BTreeSet::new(),
+            resident_total: 0,
             file_cache: 0,
             swap_used: 0,
             stats: MemoryStats::default(),
         }
+    }
+
+    /// Re-keys `pid`'s entry in the victim index around a mutation of its
+    /// `suspended` flag or `last_touch` stamp.
+    fn reindex<R>(
+        &mut self,
+        pid: Pid,
+        mutate: impl FnOnce(&mut ProcMemory) -> R,
+    ) -> Result<R, OsError> {
+        let pm = self.procs.get_mut(&pid).ok_or(OsError::NoSuchProcess)?;
+        self.lru.remove(&victim_key(pm, pid));
+        let out = mutate(pm);
+        self.lru.insert(victim_key(pm, pid));
+        Ok(out)
     }
 
     /// The node's memory configuration.
@@ -220,13 +260,18 @@ impl MemoryManager {
 
     /// Registers a new process with an empty address space.
     pub fn register(&mut self, pid: Pid, now: SimTime) {
-        self.procs.insert(
-            pid,
-            ProcMemory {
-                last_touch: now,
-                ..ProcMemory::default()
-            },
-        );
+        if let Some(old) = self.procs.get(&pid) {
+            // Re-registering an existing pid replaces its accounting.
+            self.lru.remove(&victim_key(old, pid));
+            self.resident_total -= old.resident();
+            self.swap_used = self.swap_used.saturating_sub(old.swapped);
+        }
+        let pm = ProcMemory {
+            last_touch: now,
+            ..ProcMemory::default()
+        };
+        self.lru.insert(victim_key(&pm, pid));
+        self.procs.insert(pid, pm);
     }
 
     /// Per-process memory view, if the process is registered.
@@ -234,9 +279,10 @@ impl MemoryManager {
         self.procs.get(&pid)
     }
 
-    /// Sum of resident bytes over all registered processes.
+    /// Sum of resident bytes over all registered processes (an incrementally
+    /// maintained counter; this runs on every allocation).
     pub fn total_resident(&self) -> u64 {
-        self.procs.values().map(|p| p.resident()).sum()
+        self.resident_total
     }
 
     /// RAM not used by processes, the file cache, or the OS reserve.
@@ -248,9 +294,7 @@ impl MemoryManager {
 
     /// Marks a process as suspended or running for victim-selection purposes.
     pub fn set_suspended(&mut self, pid: Pid, suspended: bool) -> Result<(), OsError> {
-        let p = self.procs.get_mut(&pid).ok_or(OsError::NoSuchProcess)?;
-        p.suspended = suspended;
-        Ok(())
+        self.reindex(pid, |p| p.suspended = suspended)
     }
 
     /// Inserts bytes into the file cache (called when HDFS blocks are read);
@@ -269,26 +313,23 @@ impl MemoryManager {
     /// Orders eviction victims: suspended processes first (their pages are
     /// outside every working set), then stopped-but-not-suspended or idle
     /// processes by least-recent touch. The allocating process itself is
-    /// excluded.
+    /// excluded. Backed by the incrementally maintained ordered index — no
+    /// per-reclaim sort of the process table.
     fn victim_order(&self, exclude: Pid) -> Vec<Pid> {
-        let mut victims: Vec<(&Pid, &ProcMemory)> = self
-            .procs
+        self.lru
             .iter()
-            .filter(|(pid, pm)| **pid != exclude && pm.resident() > 0)
-            .collect();
-        victims.sort_by(|a, b| {
-            b.1.suspended
-                .cmp(&a.1.suspended)
-                .then(a.1.last_touch.cmp(&b.1.last_touch))
-                .then(a.0.cmp(b.0))
-        });
-        victims.into_iter().map(|(pid, _)| *pid).collect()
+            .map(|(_, _, pid)| *pid)
+            .filter(|pid| *pid != exclude && self.procs[pid].resident() > 0)
+            .collect()
     }
 
     /// Evicts up to `target` bytes from `victim`, clean pages first, then
     /// dirty pages. Returns `(clean_dropped, dirty_paged_out)`.
     fn evict_from(&mut self, victim: Pid, target: u64) -> (u64, u64) {
-        let pm = self.procs.get_mut(&victim).expect("victim must be registered");
+        let pm = self
+            .procs
+            .get_mut(&victim)
+            .expect("victim must be registered");
         let clean = pm.resident_clean.min(target);
         pm.resident_clean -= clean;
         pm.swapped += clean;
@@ -297,6 +338,7 @@ impl MemoryManager {
         pm.resident_dirty -= dirty;
         pm.swapped += dirty;
         pm.total_paged_out += clean + dirty;
+        self.resident_total -= clean + dirty;
         (clean, dirty)
     }
 
@@ -318,7 +360,11 @@ impl MemoryManager {
         //    share is deliberately left to anonymous-page eviction.
         let cache_share = 1.0 - f64::from(self.config.swappiness.min(100)) / 200.0;
         let from_cache = ((shortfall as f64 * cache_share) as u64)
-            .max(if self.config.swappiness == 0 { shortfall } else { 0 })
+            .max(if self.config.swappiness == 0 {
+                shortfall
+            } else {
+                0
+            })
             .min(self.file_cache);
         self.file_cache -= from_cache;
         self.stats.cache_reclaimed_bytes += from_cache;
@@ -394,24 +440,29 @@ impl MemoryManager {
         }
         let shortfall = bytes.saturating_sub(self.free_ram());
         let charge = self.reclaim(pid, shortfall)?;
-        let pm = self.procs.get_mut(&pid).expect("checked above");
-        let dirty = (bytes as f64 * dirty_fraction) as u64;
-        pm.resident_dirty += dirty;
-        pm.resident_clean += bytes - dirty;
-        pm.last_touch = now;
-        // A thrashing allocation cannot keep everything resident: the excess
-        // lives in swap and cycles in and out while the process runs.
-        let thrash = charge.self_thrash_bytes;
-        if thrash > 0 {
-            let from_dirty = pm.resident_dirty.min(thrash);
-            pm.resident_dirty -= from_dirty;
-            let from_clean = (thrash - from_dirty).min(pm.resident_clean);
-            pm.resident_clean -= from_clean;
-            let moved = from_dirty + from_clean;
-            pm.swapped += moved;
-            pm.total_paged_out += moved;
-            self.swap_used += moved;
-        }
+        let mut moved = 0;
+        self.reindex(pid, |pm| {
+            let dirty = (bytes as f64 * dirty_fraction) as u64;
+            pm.resident_dirty += dirty;
+            pm.resident_clean += bytes - dirty;
+            pm.last_touch = now;
+            // A thrashing allocation cannot keep everything resident: the
+            // excess lives in swap and cycles in and out while the process
+            // runs.
+            let thrash = charge.self_thrash_bytes;
+            if thrash > 0 {
+                let from_dirty = pm.resident_dirty.min(thrash);
+                pm.resident_dirty -= from_dirty;
+                let from_clean = (thrash - from_dirty).min(pm.resident_clean);
+                pm.resident_clean -= from_clean;
+                moved = from_dirty + from_clean;
+                pm.swapped += moved;
+                pm.total_paged_out += moved;
+            }
+        })
+        .expect("checked above");
+        self.resident_total += bytes - moved;
+        self.swap_used += moved;
         Ok(charge)
     }
 
@@ -427,6 +478,7 @@ impl MemoryManager {
         left -= from_clean;
         let from_swap = pm.swapped.min(left);
         pm.swapped -= from_swap;
+        self.resident_total -= from_dirty + from_clean;
         self.swap_used = self.swap_used.saturating_sub(from_swap);
         Ok(())
     }
@@ -436,6 +488,8 @@ impl MemoryManager {
     /// disk I/O).
     pub fn remove(&mut self, pid: Pid) -> Result<(), OsError> {
         let pm = self.procs.remove(&pid).ok_or(OsError::NoSuchProcess)?;
+        self.lru.remove(&victim_key(&pm, pid));
+        self.resident_total -= pm.resident();
         self.swap_used = self.swap_used.saturating_sub(pm.swapped);
         Ok(())
     }
@@ -447,15 +501,9 @@ impl MemoryManager {
     /// back from the swap device; bringing them in may in turn evict memory of
     /// other (suspended) processes.
     pub fn page_in_all(&mut self, pid: Pid, now: SimTime) -> Result<MemoryCharge, OsError> {
-        let swapped = self
-            .procs
-            .get(&pid)
-            .ok_or(OsError::NoSuchProcess)?
-            .swapped;
+        let swapped = self.procs.get(&pid).ok_or(OsError::NoSuchProcess)?.swapped;
         if swapped == 0 {
-            if let Some(pm) = self.procs.get_mut(&pid) {
-                pm.last_touch = now;
-            }
+            self.reindex(pid, |pm| pm.last_touch = now)?;
             return Ok(MemoryCharge::default());
         }
         let shortfall = swapped.saturating_sub(self.free_ram());
@@ -464,14 +512,17 @@ impl MemoryManager {
         // address space has to stay in swap (the process will thrash).
         let stay_swapped = charge.self_thrash_bytes.min(swapped);
         let bring_in = swapped - stay_swapped;
-        let pm = self.procs.get_mut(&pid).expect("checked above");
-        pm.swapped = stay_swapped;
-        // Swapped-in pages come back clean (they are backed by their swap
-        // slots until rewritten); a process that keeps writing will dirty them
-        // again through subsequent allocations.
-        pm.resident_clean += bring_in;
-        pm.total_paged_in += bring_in;
-        pm.last_touch = now;
+        self.reindex(pid, |pm| {
+            pm.swapped = stay_swapped;
+            // Swapped-in pages come back clean (they are backed by their swap
+            // slots until rewritten); a process that keeps writing will dirty
+            // them again through subsequent allocations.
+            pm.resident_clean += bring_in;
+            pm.total_paged_in += bring_in;
+            pm.last_touch = now;
+        })
+        .expect("checked above");
+        self.resident_total += bring_in;
         self.swap_used = self.swap_used.saturating_sub(bring_in);
         self.stats.swap_in_bytes += bring_in;
         charge.paged_in = bring_in;
@@ -480,9 +531,7 @@ impl MemoryManager {
 
     /// Marks `pid`'s memory as recently used (it is actively computing).
     pub fn touch(&mut self, pid: Pid, now: SimTime) -> Result<(), OsError> {
-        let pm = self.procs.get_mut(&pid).ok_or(OsError::NoSuchProcess)?;
-        pm.last_touch = now;
-        Ok(())
+        self.reindex(pid, |pm| pm.last_touch = now)
     }
 
     /// Chooses the process the OOM killer would sacrifice: the one with the
@@ -499,6 +548,19 @@ impl MemoryManager {
     /// debug assertions in the kernel.
     pub fn check_invariants(&self) -> Result<(), String> {
         let resident = self.total_resident();
+        let recomputed: u64 = self.procs.values().map(|p| p.resident()).sum();
+        if resident != recomputed {
+            return Err(format!(
+                "resident counter ({resident}) != recomputed sum ({recomputed})"
+            ));
+        }
+        if self.lru.len() != self.procs.len() {
+            return Err(format!(
+                "victim index has {} entries for {} processes",
+                self.lru.len(),
+                self.procs.len()
+            ));
+        }
         if resident + self.file_cache > self.config.usable_ram() {
             return Err(format!(
                 "resident ({resident}) + cache ({}) exceeds usable RAM ({})",
@@ -548,9 +610,14 @@ mod tests {
         m.populate_file_cache(2 * GIB);
         assert!(m.file_cache() > GIB);
         // Allocating 2 GiB now exceeds free RAM but the cache absorbs it.
-        let charge = m.allocate(Pid(2), 2 * GIB, 1.0, SimTime::from_secs(1)).unwrap();
+        let charge = m
+            .allocate(Pid(2), 2 * GIB, 1.0, SimTime::from_secs(1))
+            .unwrap();
         assert!(charge.cache_reclaimed > 0);
-        assert_eq!(charge.dirty_paged_out, 0, "no anonymous paging while cache is available");
+        assert_eq!(
+            charge.dirty_paged_out, 0,
+            "no anonymous paging while cache is available"
+        );
         m.check_invariants().unwrap();
     }
 
@@ -565,7 +632,9 @@ mod tests {
         m.set_suspended(Pid(2), true).unwrap();
         // Node has 4 GiB - 0.6 reserve = ~3.4 usable; 2 GiB used; allocating
         // 2 GiB more must evict ~0.6 GiB and the victim must be pid 2.
-        let charge = m.allocate(Pid(3), 2 * GIB, 1.0, SimTime::from_secs(2)).unwrap();
+        let charge = m
+            .allocate(Pid(3), 2 * GIB, 1.0, SimTime::from_secs(2))
+            .unwrap();
         assert!(charge.dirty_paged_out > 0);
         assert_eq!(charge.victims.len(), 1);
         assert_eq!(charge.victims[0].0, Pid(2));
@@ -583,7 +652,9 @@ mod tests {
         m.allocate(Pid(1), GIB, 1.0, SimTime::from_secs(1)).unwrap();
         m.allocate(Pid(2), GIB, 1.0, SimTime::from_secs(5)).unwrap();
         // pid 1 touched longest ago: it is the first victim.
-        let charge = m.allocate(Pid(3), 2 * GIB, 1.0, SimTime::from_secs(6)).unwrap();
+        let charge = m
+            .allocate(Pid(3), 2 * GIB, 1.0, SimTime::from_secs(6))
+            .unwrap();
         assert_eq!(charge.victims[0].0, Pid(1));
     }
 
@@ -595,7 +666,9 @@ mod tests {
         // 1 GiB fully clean (e.g. mapped code/readonly data).
         m.allocate(Pid(1), GIB, 0.0, SimTime::ZERO).unwrap();
         m.set_suspended(Pid(1), true).unwrap();
-        let charge = m.allocate(Pid(2), 3 * GIB, 1.0, SimTime::from_secs(1)).unwrap();
+        let charge = m
+            .allocate(Pid(2), 3 * GIB, 1.0, SimTime::from_secs(1))
+            .unwrap();
         assert!(charge.clean_dropped > 0);
         assert_eq!(charge.dirty_paged_out, 0);
         m.check_invariants().unwrap();
@@ -609,9 +682,11 @@ mod tests {
             let mut m = mgr();
             m.register(Pid(1), SimTime::ZERO);
             m.register(Pid(2), SimTime::ZERO);
-            m.allocate(Pid(1), 2 * GIB + 512 * MIB, 1.0, SimTime::ZERO).unwrap();
+            m.allocate(Pid(1), 2 * GIB + 512 * MIB, 1.0, SimTime::ZERO)
+                .unwrap();
             m.set_suspended(Pid(1), true).unwrap();
-            m.allocate(Pid(2), alloc, 1.0, SimTime::from_secs(1)).unwrap();
+            m.allocate(Pid(2), alloc, 1.0, SimTime::from_secs(1))
+                .unwrap();
             m.process(Pid(1)).unwrap().total_paged_out
         };
         let small = run(GIB);
@@ -632,7 +707,8 @@ mod tests {
         m.register(Pid(2), SimTime::ZERO);
         m.allocate(Pid(1), 2 * GIB, 1.0, SimTime::ZERO).unwrap();
         m.set_suspended(Pid(1), true).unwrap();
-        m.allocate(Pid(2), 2 * GIB, 1.0, SimTime::from_secs(1)).unwrap();
+        m.allocate(Pid(2), 2 * GIB, 1.0, SimTime::from_secs(1))
+            .unwrap();
         let swapped_before = m.process(Pid(1)).unwrap().swapped;
         assert!(swapped_before > 0);
         // pid 2 finishes and its memory is freed; pid 1 resumes.
@@ -679,9 +755,12 @@ mod tests {
         let mut m = MemoryManager::new(cfg);
         m.register(Pid(1), SimTime::ZERO);
         m.register(Pid(2), SimTime::ZERO);
-        m.allocate(Pid(1), GIB + 512 * MIB, 1.0, SimTime::ZERO).unwrap();
+        m.allocate(Pid(1), GIB + 512 * MIB, 1.0, SimTime::ZERO)
+            .unwrap();
         m.set_suspended(Pid(1), true).unwrap();
-        let err = m.allocate(Pid(2), GIB + 512 * MIB, 1.0, SimTime::from_secs(1)).unwrap_err();
+        let err = m
+            .allocate(Pid(2), GIB + 512 * MIB, 1.0, SimTime::from_secs(1))
+            .unwrap_err();
         assert_eq!(err, OsError::OutOfMemory);
         assert_eq!(m.stats().oom_kills, 1);
         assert!(m.oom_victim().is_some());
@@ -700,12 +779,24 @@ mod tests {
     #[test]
     fn unknown_pid_is_an_error() {
         let mut m = mgr();
-        assert_eq!(m.allocate(Pid(9), 1, 1.0, SimTime::ZERO).unwrap_err(), OsError::NoSuchProcess);
-        assert_eq!(m.page_in_all(Pid(9), SimTime::ZERO).unwrap_err(), OsError::NoSuchProcess);
+        assert_eq!(
+            m.allocate(Pid(9), 1, 1.0, SimTime::ZERO).unwrap_err(),
+            OsError::NoSuchProcess
+        );
+        assert_eq!(
+            m.page_in_all(Pid(9), SimTime::ZERO).unwrap_err(),
+            OsError::NoSuchProcess
+        );
         assert_eq!(m.release(Pid(9), 1).unwrap_err(), OsError::NoSuchProcess);
         assert_eq!(m.remove(Pid(9)).unwrap_err(), OsError::NoSuchProcess);
-        assert_eq!(m.set_suspended(Pid(9), true).unwrap_err(), OsError::NoSuchProcess);
-        assert_eq!(m.touch(Pid(9), SimTime::ZERO).unwrap_err(), OsError::NoSuchProcess);
+        assert_eq!(
+            m.set_suspended(Pid(9), true).unwrap_err(),
+            OsError::NoSuchProcess
+        );
+        assert_eq!(
+            m.touch(Pid(9), SimTime::ZERO).unwrap_err(),
+            OsError::NoSuchProcess
+        );
     }
 
     #[test]
@@ -720,8 +811,13 @@ mod tests {
         m.allocate(Pid(1), GIB, 1.0, SimTime::ZERO).unwrap();
         m.set_suspended(Pid(1), true).unwrap();
         m.populate_file_cache(3 * GIB);
-        let charge = m.allocate(Pid(2), 2 * GIB, 1.0, SimTime::from_secs(1)).unwrap();
+        let charge = m
+            .allocate(Pid(2), 2 * GIB, 1.0, SimTime::from_secs(1))
+            .unwrap();
         // With swappiness=100 only ~half the shortfall is taken from the cache.
-        assert!(charge.dirty_paged_out > 0, "expected anonymous paging with high swappiness");
+        assert!(
+            charge.dirty_paged_out > 0,
+            "expected anonymous paging with high swappiness"
+        );
     }
 }

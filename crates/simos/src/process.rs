@@ -68,7 +68,10 @@ impl Process {
     /// Records a state change at `now`, updating suspend/resume counters when
     /// the transition stops or continues the process.
     pub fn set_state(&mut self, state: ProcessState, now: SimTime) {
-        if self.state.is_alive() && state == ProcessState::Stopped && self.state != ProcessState::Stopped {
+        if self.state.is_alive()
+            && state == ProcessState::Stopped
+            && self.state != ProcessState::Stopped
+        {
             self.suspend_count += 1;
         }
         if self.state == ProcessState::Stopped && state == ProcessState::Running {

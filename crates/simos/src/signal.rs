@@ -116,7 +116,10 @@ impl std::error::Error for OsError {}
 /// Computes the state transition caused by delivering `signal` to a process in
 /// `state`, without any side effects. The kernel uses this pure function so it
 /// can be tested exhaustively.
-pub fn transition(state: ProcessState, signal: Signal) -> Result<(ProcessState, SignalEffect), OsError> {
+pub fn transition(
+    state: ProcessState,
+    signal: Signal,
+) -> Result<(ProcessState, SignalEffect), OsError> {
     if !state.is_alive() {
         return Err(OsError::NoSuchProcess);
     }
@@ -129,10 +132,18 @@ pub fn transition(state: ProcessState, signal: Signal) -> Result<(ProcessState, 
         }
         (ProcessState::Stopped, Signal::Sigcont) => (ProcessState::Running, SignalEffect::Resumed),
         (ProcessState::Running, Signal::Sigcont) => (ProcessState::Running, SignalEffect::Ignored),
-        (_, Signal::Sigkill) => (ProcessState::Killed(Signal::Sigkill), SignalEffect::Terminated),
-        (_, Signal::Sigterm) => (ProcessState::Killed(Signal::Sigterm), SignalEffect::Terminated),
+        (_, Signal::Sigkill) => (
+            ProcessState::Killed(Signal::Sigkill),
+            SignalEffect::Terminated,
+        ),
+        (_, Signal::Sigterm) => (
+            ProcessState::Killed(Signal::Sigterm),
+            SignalEffect::Terminated,
+        ),
         // Dead states were rejected above with ESRCH.
-        (ProcessState::Exited(_) | ProcessState::Killed(_), _) => unreachable!("dead states rejected above"),
+        (ProcessState::Exited(_) | ProcessState::Killed(_), _) => {
+            unreachable!("dead states rejected above")
+        }
     };
     Ok(outcome)
 }
@@ -178,7 +189,10 @@ mod tests {
 
     #[test]
     fn signalling_dead_process_is_esrch() {
-        for st in [ProcessState::Exited(0), ProcessState::Killed(Signal::Sigkill)] {
+        for st in [
+            ProcessState::Exited(0),
+            ProcessState::Killed(Signal::Sigkill),
+        ] {
             for sig in [Signal::Sigtstp, Signal::Sigcont, Signal::Sigkill] {
                 assert_eq!(transition(st, sig), Err(OsError::NoSuchProcess));
             }
@@ -196,6 +210,9 @@ mod tests {
     fn display_names() {
         assert_eq!(Signal::Sigtstp.to_string(), "SIGTSTP");
         assert_eq!(Signal::Sigcont.to_string(), "SIGCONT");
-        assert_eq!(OsError::NoSuchProcess.to_string(), "no such process (ESRCH)");
+        assert_eq!(
+            OsError::NoSuchProcess.to_string(),
+            "no such process (ESRCH)"
+        );
     }
 }

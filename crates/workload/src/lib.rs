@@ -189,7 +189,10 @@ pub fn summarize(trace: &[TraceJob]) -> TraceSummary {
     let total_bytes = trace
         .iter()
         .map(|j| match j.spec.input {
-            MapInput::Synthetic { tasks, bytes_per_task } => tasks as u64 * bytes_per_task,
+            MapInput::Synthetic {
+                tasks,
+                bytes_per_task,
+            } => tasks as u64 * bytes_per_task,
             MapInput::DfsFile { .. } => 0,
         })
         .sum();
@@ -198,7 +201,10 @@ pub fn summarize(trace: &[TraceJob]) -> TraceSummary {
         tasks,
         total_bytes,
         high_priority_jobs: trace.iter().filter(|j| j.spec.priority > 0).count(),
-        stateful_jobs: trace.iter().filter(|j| j.spec.profile.state_memory > 0).count(),
+        stateful_jobs: trace
+            .iter()
+            .filter(|j| j.spec.profile.state_memory > 0)
+            .count(),
         last_arrival_secs: trace.last().map(|j| j.arrival.as_secs_f64()).unwrap_or(0.0),
     }
 }
@@ -217,7 +223,9 @@ mod tests {
         let (_tl, th) = two_job_scenario(2 * GIB, GIB);
         assert_eq!(th.profile.state_memory, GIB);
         assert_eq!(two_job_input_files().len(), 2);
-        assert!(two_job_input_files().iter().all(|(_, len)| *len == 512 * MIB));
+        assert!(two_job_input_files()
+            .iter()
+            .all(|(_, len)| *len == 512 * MIB));
     }
 
     #[test]
@@ -241,7 +249,11 @@ mod tests {
             assert!(w[1].arrival >= w[0].arrival);
         }
         for job in &trace {
-            if let MapInput::Synthetic { tasks, bytes_per_task } = job.spec.input {
+            if let MapInput::Synthetic {
+                tasks,
+                bytes_per_task,
+            } = job.spec.input
+            {
                 let size = tasks as u64 * bytes_per_task;
                 assert!(size >= cfg.min_job_bytes);
                 assert!(size <= cfg.max_job_bytes + cfg.bytes_per_task);
@@ -272,7 +284,10 @@ mod tests {
         let sizes: Vec<u64> = trace
             .iter()
             .map(|j| match j.spec.input {
-                MapInput::Synthetic { tasks, bytes_per_task } => tasks as u64 * bytes_per_task,
+                MapInput::Synthetic {
+                    tasks,
+                    bytes_per_task,
+                } => tasks as u64 * bytes_per_task,
                 _ => 0,
             })
             .collect();

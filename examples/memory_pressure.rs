@@ -19,10 +19,7 @@ fn main() {
 
     let mut results = Vec::new();
     for primitive in PreemptionPrimitive::PAPER_SET {
-        let run = run_once(
-            &ScenarioConfig::memory_hungry(primitive, 0.5, state),
-            1,
-        );
+        let run = run_once(&ScenarioConfig::memory_hungry(primitive, 0.5, state), 1);
         println!(
             "{:<5} sojourn(th) = {:6.1}s  makespan = {:6.1}s  tl paged out = {:5} MiB  swap in = {:5} MiB",
             primitive.to_string(),
@@ -34,9 +31,21 @@ fn main() {
         results.push((primitive, run));
     }
 
-    let susp = &results.iter().find(|(p, _)| *p == PreemptionPrimitive::SuspendResume).unwrap().1;
-    let kill = &results.iter().find(|(p, _)| *p == PreemptionPrimitive::Kill).unwrap().1;
-    let wait = &results.iter().find(|(p, _)| *p == PreemptionPrimitive::Wait).unwrap().1;
+    let susp = &results
+        .iter()
+        .find(|(p, _)| *p == PreemptionPrimitive::SuspendResume)
+        .unwrap()
+        .1;
+    let kill = &results
+        .iter()
+        .find(|(p, _)| *p == PreemptionPrimitive::Kill)
+        .unwrap()
+        .1;
+    let wait = &results
+        .iter()
+        .find(|(p, _)| *p == PreemptionPrimitive::Wait)
+        .unwrap()
+        .1;
     println!();
     println!(
         "suspend/resume overhead: sojourn +{:.1}s vs kill ({:+.1}%), makespan +{:.1}s vs wait ({:+.1}%)",

@@ -9,7 +9,11 @@ use hadoop_os_preempt::prelude::*;
 use mrp_engine::SchedulerPolicy;
 use mrp_preempt::EvictionPolicy;
 
-fn run(workload: &[mrp_workload::TraceJob], scheduler: Box<dyn SchedulerPolicy>, nodes: u32) -> ClusterReport {
+fn run(
+    workload: &[mrp_workload::TraceJob],
+    scheduler: Box<dyn SchedulerPolicy>,
+    nodes: u32,
+) -> ClusterReport {
     let mut cluster = Cluster::new(ClusterConfig::small_cluster(nodes, 2, 1), scheduler);
     for job in workload {
         cluster.submit_job_at(job.spec.clone(), job.arrival);
@@ -32,9 +36,18 @@ fn mean_sojourn(report: &ClusterReport, high_priority: bool) -> f64 {
 }
 
 fn main() {
-    let jobs: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(15);
-    let seed: u64 = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(42);
-    let config = SwimConfig { jobs, ..SwimConfig::default() };
+    let jobs: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(15);
+    let seed: u64 = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(42);
+    let config = SwimConfig {
+        jobs,
+        ..SwimConfig::default()
+    };
     let workload = SwimGenerator::new(config, seed).generate();
     let summary = mrp_workload::summarize(&workload);
     println!(

@@ -14,7 +14,11 @@ fn main() {
         return;
     }
     let worker = WorkerProcess::spawn_busy_loop().expect("spawn worker");
-    println!("spawned worker pid {} (state {:?})", worker.pid(), worker.state().unwrap());
+    println!(
+        "spawned worker pid {} (state {:?})",
+        worker.pid(),
+        worker.state().unwrap()
+    );
 
     for cycle in 1..=3 {
         let rt = worker.suspend_resume_roundtrip().expect("roundtrip");

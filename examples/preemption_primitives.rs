@@ -47,7 +47,10 @@ fn main() {
         .nth(1)
         .and_then(|a| a.parse().ok())
         .unwrap_or(0.5);
-    println!("th launched when tl reaches {:.0}% progress\n", fraction * 100.0);
+    println!(
+        "th launched when tl reaches {:.0}% progress\n",
+        fraction * 100.0
+    );
     for primitive in PreemptionPrimitive::PAPER_SET {
         let (report, schedule) = run(primitive, fraction);
         println!("=== primitive: {primitive} ===");

@@ -41,7 +41,11 @@ fn dummy_plan_round_trips_through_json_config_files() {
     cluster.run(SimTime::from_secs(3_600));
     let report = cluster.report();
     assert!(report.all_jobs_complete());
-    assert_eq!(report.job("tl").unwrap().tasks[0].attempts, 2, "kill primitive restarts tl");
+    assert_eq!(
+        report.job("tl").unwrap().tasks[0].attempts,
+        2,
+        "kill primitive restarts tl"
+    );
 }
 
 #[test]
@@ -49,7 +53,10 @@ fn suspend_command_racing_completion_is_harmless() {
     // Preempt at 99.9%: by the time the suspend command is piggybacked on a
     // heartbeat the task is typically finalizing or done — the protocol must
     // let it complete rather than wedging the job.
-    let run = run_once(&ScenarioConfig::lightweight(PreemptionPrimitive::SuspendResume, 0.999), 1);
+    let run = run_once(
+        &ScenarioConfig::lightweight(PreemptionPrimitive::SuspendResume, 0.999),
+        1,
+    );
     assert!(run.report.all_jobs_complete());
     assert!(run.report.job("tl").unwrap().tasks[0].suspend_cycles <= 1);
 }
@@ -69,17 +76,18 @@ fn swap_exhaustion_triggers_the_oom_killer_without_corrupting_state() {
     cfg.nodes[0].os.memory.swap_capacity = 64 * MIB;
     let mut cluster = Cluster::new(cfg, Box::new(mrp_engine::FifoScheduler::new()));
     cluster.submit_job(
-        JobSpec::synthetic("hog-a", 1, 256 * MIB)
-            .with_profile(TaskProfile::memory_hungry(2 * GIB)),
+        JobSpec::synthetic("hog-a", 1, 256 * MIB).with_profile(TaskProfile::memory_hungry(2 * GIB)),
     );
     cluster.submit_job(
-        JobSpec::synthetic("hog-b", 1, 256 * MIB)
-            .with_profile(TaskProfile::memory_hungry(2 * GIB)),
+        JobSpec::synthetic("hog-b", 1, 256 * MIB).with_profile(TaskProfile::memory_hungry(2 * GIB)),
     );
     cluster.run(SimTime::from_secs(1_800));
     let report = cluster.report();
     let ooms: u64 = report.nodes.iter().map(|n| n.oom_kills).sum();
-    assert!(ooms >= 1, "with 64 MiB of swap one of the 2 GiB tasks must be OOM killed");
+    assert!(
+        ooms >= 1,
+        "with 64 MiB of swap one of the 2 GiB tasks must be OOM killed"
+    );
     for job in cluster.jobs().values() {
         for task in &job.tasks {
             assert!(
@@ -101,12 +109,10 @@ fn swap_exhaustion_triggers_the_oom_killer_without_corrupting_state() {
     cfg.nodes[0].os.memory.swap_capacity = 8 * GIB;
     let mut cluster = Cluster::new(cfg, Box::new(mrp_engine::FifoScheduler::new()));
     cluster.submit_job(
-        JobSpec::synthetic("hog-a", 1, 256 * MIB)
-            .with_profile(TaskProfile::memory_hungry(2 * GIB)),
+        JobSpec::synthetic("hog-a", 1, 256 * MIB).with_profile(TaskProfile::memory_hungry(2 * GIB)),
     );
     cluster.submit_job(
-        JobSpec::synthetic("hog-b", 1, 256 * MIB)
-            .with_profile(TaskProfile::memory_hungry(2 * GIB)),
+        JobSpec::synthetic("hog-b", 1, 256 * MIB).with_profile(TaskProfile::memory_hungry(2 * GIB)),
     );
     cluster.run(SimTime::from_secs(24 * 3_600));
     let report = cluster.report();
@@ -129,12 +135,24 @@ fn preemptive_scheduler_keeps_task_states_consistent() {
         )),
     );
     cluster.submit_job(JobSpec::synthetic("large", 4, 512 * MIB));
-    cluster.submit_job_at(JobSpec::synthetic("small", 1, 128 * MIB), SimTime::from_secs(30));
-    cluster.submit_job_at(JobSpec::synthetic("tiny", 1, 64 * MIB), SimTime::from_secs(60));
+    cluster.submit_job_at(
+        JobSpec::synthetic("small", 1, 128 * MIB),
+        SimTime::from_secs(30),
+    );
+    cluster.submit_job_at(
+        JobSpec::synthetic("tiny", 1, 64 * MIB),
+        SimTime::from_secs(60),
+    );
     cluster.run(SimTime::from_secs(24 * 3_600));
     for job in cluster.jobs().values() {
         for task in &job.tasks {
-            assert_eq!(task.state, TaskState::Succeeded, "{:?} ended as {:?}", task.id, task.state);
+            assert_eq!(
+                task.state,
+                TaskState::Succeeded,
+                "{:?} ended as {:?}",
+                task.id,
+                task.state
+            );
             assert!((task.progress - 1.0).abs() < 1e-9);
         }
     }

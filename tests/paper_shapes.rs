@@ -3,7 +3,9 @@
 //! absolute seconds, which depend on calibration).
 
 use hadoop_os_preempt::prelude::*;
-use mrp_experiments::{eviction_ablation, figure4, natjam_comparison, resume_locality_ablation, run_once};
+use mrp_experiments::{
+    eviction_ablation, figure4, natjam_comparison, resume_locality_ablation, run_once,
+};
 
 fn sojourn(primitive: PreemptionPrimitive, r: f64) -> f64 {
     run_once(&ScenarioConfig::lightweight(primitive, r), 1).sojourn_th_secs
@@ -18,20 +20,33 @@ fn figure2a_shape_wait_falls_kill_and_susp_flat() {
     // wait: dominated by tl's remaining work, so it falls steeply with r.
     let wait_early = sojourn(PreemptionPrimitive::Wait, 0.1);
     let wait_late = sojourn(PreemptionPrimitive::Wait, 0.9);
-    assert!(wait_early - wait_late > 40.0, "wait sojourn must fall with r: {wait_early} -> {wait_late}");
+    assert!(
+        wait_early - wait_late > 40.0,
+        "wait sojourn must fall with r: {wait_early} -> {wait_late}"
+    );
 
     // kill / susp: flat (within a heartbeat) and far below wait at small r.
-    for primitive in [PreemptionPrimitive::Kill, PreemptionPrimitive::SuspendResume] {
+    for primitive in [
+        PreemptionPrimitive::Kill,
+        PreemptionPrimitive::SuspendResume,
+    ] {
         let early = sojourn(primitive, 0.1);
         let late = sojourn(primitive, 0.9);
-        assert!((early - late).abs() < 10.0, "{primitive} sojourn should be flat: {early} vs {late}");
-        assert!(wait_early - early > 40.0, "{primitive} must beat wait for early arrivals");
+        assert!(
+            (early - late).abs() < 10.0,
+            "{primitive} sojourn should be flat: {early} vs {late}"
+        );
+        assert!(
+            wait_early - early > 40.0,
+            "{primitive} must beat wait for early arrivals"
+        );
     }
 
     // susp is at least as good as kill at every measured point (no cleanup attempt).
     for r in [0.1, 0.3, 0.5, 0.7, 0.9] {
         assert!(
-            sojourn(PreemptionPrimitive::SuspendResume, r) <= sojourn(PreemptionPrimitive::Kill, r) + 1.0,
+            sojourn(PreemptionPrimitive::SuspendResume, r)
+                <= sojourn(PreemptionPrimitive::Kill, r) + 1.0,
             "susp must not lose to kill at r={r}"
         );
     }
@@ -41,25 +56,42 @@ fn figure2a_shape_wait_falls_kill_and_susp_flat() {
 fn figure2b_shape_kill_makespan_grows_with_wasted_work() {
     let kill_early = makespan(PreemptionPrimitive::Kill, 0.1);
     let kill_late = makespan(PreemptionPrimitive::Kill, 0.9);
-    assert!(kill_late - kill_early > 40.0, "kill makespan must grow with r");
+    assert!(
+        kill_late - kill_early > 40.0,
+        "kill makespan must grow with r"
+    );
 
     for r in [0.1, 0.5, 0.9] {
         let wait = makespan(PreemptionPrimitive::Wait, r);
         let susp = makespan(PreemptionPrimitive::SuspendResume, r);
         let kill = makespan(PreemptionPrimitive::Kill, r);
-        assert!((susp - wait).abs() < 10.0, "susp makespan tracks wait at r={r}: {susp} vs {wait}");
+        assert!(
+            (susp - wait).abs() < 10.0,
+            "susp makespan tracks wait at r={r}: {susp} vs {wait}"
+        );
         assert!(kill >= susp, "kill cannot beat susp on makespan at r={r}");
     }
     // At late preemption points kill is far worse than both.
-    assert!(makespan(PreemptionPrimitive::Kill, 0.9) - makespan(PreemptionPrimitive::Wait, 0.9) > 50.0);
+    assert!(
+        makespan(PreemptionPrimitive::Kill, 0.9) - makespan(PreemptionPrimitive::Wait, 0.9) > 50.0
+    );
 }
 
 #[test]
 fn figure3_shape_memory_hungry_overheads_are_visible_but_bounded() {
     let state = 2 * GIB;
-    let susp = run_once(&ScenarioConfig::memory_hungry(PreemptionPrimitive::SuspendResume, 0.5, state), 1);
-    let kill = run_once(&ScenarioConfig::memory_hungry(PreemptionPrimitive::Kill, 0.5, state), 1);
-    let wait = run_once(&ScenarioConfig::memory_hungry(PreemptionPrimitive::Wait, 0.5, state), 1);
+    let susp = run_once(
+        &ScenarioConfig::memory_hungry(PreemptionPrimitive::SuspendResume, 0.5, state),
+        1,
+    );
+    let kill = run_once(
+        &ScenarioConfig::memory_hungry(PreemptionPrimitive::Kill, 0.5, state),
+        1,
+    );
+    let wait = run_once(
+        &ScenarioConfig::memory_hungry(PreemptionPrimitive::Wait, 0.5, state),
+        1,
+    );
 
     // Paging happened, and only under suspend/resume.
     assert!(susp.tl_paged_out_bytes > 0);
@@ -103,7 +135,12 @@ fn figure4_shape_overheads_grow_with_memory_footprint() {
 fn natjam_comparison_shows_checkpointing_costs_more() {
     let f = natjam_comparison(1);
     for row in &f.rows {
-        assert!(row[1] < row[2], "susp overhead {} must undercut the checkpoint model {}", row[1], row[2]);
+        assert!(
+            row[1] < row[2],
+            "susp overhead {} must undercut the checkpoint model {}",
+            row[1],
+            row[2]
+        );
     }
 }
 
@@ -112,7 +149,10 @@ fn eviction_ablation_smallest_memory_minimises_paging() {
     let f = eviction_ablation(1);
     let swap = f.column("swap_out_MB").unwrap();
     // Row 0 = smallest-memory victim, row 2 = largest-memory victim.
-    assert!(swap[0] <= swap[2], "evicting the small task must not page more: {swap:?}");
+    assert!(
+        swap[0] <= swap[2],
+        "evicting the small task must not page more: {swap:?}"
+    );
 }
 
 #[test]
