@@ -12,8 +12,8 @@
 use crate::eviction::{EvictionCandidate, EvictionPolicy};
 use crate::primitive::PreemptionPrimitive;
 use mrp_engine::{
-    JobId, JobRuntime, NodeId, SchedulerAction, SchedulerContext, SchedulerPolicy, TaskId,
-    TaskKind, TaskState,
+    JobId, JobRuntime, NodeId, SchedulerAction, SchedulerContext, SchedulerPolicy, TaskKind,
+    TaskState,
 };
 use mrp_sim::{SimDuration, SimRng, SimTime};
 use std::collections::HashMap;
@@ -32,84 +32,310 @@ fn candidates_of(job: &JobRuntime) -> Vec<EvictionCandidate> {
         .collect()
 }
 
-fn running_slots(job: &JobRuntime) -> usize {
-    job.tasks.iter().filter(|t| t.state.occupies_slot()).count()
+/// A lazily-consumed list of candidate task positions (indices into
+/// `JobRuntime::tasks`). Entries are skipped — and permanently consumed — when
+/// their task is no longer schedulable by the time the cursor reaches them,
+/// so each entry is visited at most once over the job's lifetime.
+#[derive(Default)]
+struct PendingList {
+    items: Vec<u32>,
+    cursor: usize,
 }
 
-fn schedulable_of(job: &JobRuntime) -> Vec<TaskId> {
-    job.tasks
-        .iter()
-        .filter(|t| t.state.is_schedulable())
-        .map(|t| t.id)
-        .collect()
+impl PendingList {
+    /// Next entry whose task is still schedulable and not already chosen in
+    /// this round (a task picked from the node list may also sit on the rack
+    /// list; the context's task states only change once the round's actions
+    /// are applied, so the guard prevents double-launching).
+    fn next_schedulable(&mut self, job: &JobRuntime, chosen: &[usize]) -> Option<usize> {
+        while self.cursor < self.items.len() {
+            let pos = self.items[self.cursor] as usize;
+            self.cursor += 1;
+            if chosen.contains(&pos) {
+                continue;
+            }
+            if job.tasks.get(pos).is_some_and(|t| t.state.is_schedulable()) {
+                return Some(pos);
+            }
+        }
+        None
+    }
 }
 
-fn suspended_of(job: &JobRuntime) -> Vec<TaskId> {
-    job.tasks
-        .iter()
-        .filter(|t| t.state == TaskState::Suspended)
-        .map(|t| t.id)
-        .collect()
+/// Per-job rack-aware pending-task index, in the spirit of Hadoop's
+/// `JobInProgress` non-running task caches: for every replica-holding node
+/// (and its rack) a list of pending map tasks, plus a cursor for the
+/// any-locality fallback scan. This is what keeps a free-slot heartbeat
+/// O(launches) instead of O(job tasks): without it, every launch on a
+/// 1000-task job re-scanned the whole task list per locality tier.
+///
+/// The lists are consume-once (see [`PendingList`]): a task killed after its
+/// entry was consumed is simply no longer found *locally* — the fallback
+/// scan, which rewinds when the job still reports schedulable work that the
+/// cursor cannot see, guarantees it is found at all. Determinism holds
+/// because the maps are only ever indexed by key, never iterated.
+#[derive(Default)]
+struct JobIndex {
+    /// node id -> pending map tasks with a replica on that node.
+    by_node: HashMap<u32, PendingList>,
+    /// rack id -> pending map tasks with a replica in that rack.
+    by_rack: HashMap<u32, PendingList>,
+    /// First position of `tasks` that may still be schedulable; only ever
+    /// advanced past non-schedulable tasks (and rewound after kills).
+    cursor: usize,
+}
+
+impl JobIndex {
+    fn build(job: &JobRuntime, ctx: &SchedulerContext<'_>) -> Self {
+        let mut index = JobIndex::default();
+        let mut racks_seen: Vec<u32> = Vec::with_capacity(4);
+        for (pos, t) in job.tasks.iter().enumerate() {
+            racks_seen.clear();
+            for holder in &t.preferred_nodes {
+                index
+                    .by_node
+                    .entry(holder.0)
+                    .or_default()
+                    .items
+                    .push(pos as u32);
+                if let Some(rack) = ctx.topology.rack_of(*holder) {
+                    if !racks_seen.contains(&rack.0) {
+                        racks_seen.push(rack.0);
+                        index
+                            .by_rack
+                            .entry(rack.0)
+                            .or_default()
+                            .items
+                            .push(pos as u32);
+                    }
+                }
+            }
+        }
+        index
+    }
+}
+
+/// The per-job indices of one scheduler instance, built lazily per job and
+/// dropped when the job finishes.
+#[derive(Default)]
+struct LocalityIndex {
+    jobs: HashMap<JobId, JobIndex>,
+    /// Reusable per-round buffer of task positions already chosen for launch
+    /// from the current job (guards against double-launching a task that
+    /// appears on several candidate lists).
+    chosen: Vec<usize>,
+}
+
+impl LocalityIndex {
+    fn forget(&mut self, job: JobId) {
+        self.jobs.remove(&job);
+    }
 }
 
 /// Launches (and resumes) the tasks of jobs in the order produced by
-/// `ordered_jobs`, filling free slots on `node`.
+/// `ordered_jobs`, filling free slots on `node`. Fresh launches are handed
+/// out rack-aware — node-local tasks first, then rack-local, then anything —
+/// via the per-job [`LocalityIndex`].
 fn fill_node(
     ctx: &SchedulerContext<'_>,
     node: NodeId,
     ordered_jobs: &[JobId],
+    index: &mut LocalityIndex,
 ) -> Vec<SchedulerAction> {
     let Some(view) = ctx.node(node) else {
         return Vec::new();
     };
-    // Hot-path early exit: a fully occupied node can neither launch nor
-    // resume anything, so skip the per-job task scans. At cluster scale most
-    // heartbeats hit this case.
-    if view.free_map_slots == 0 && view.free_reduce_slots == 0 {
+    // Hot-path early exit, O(1) via the engine-maintained cluster totals:
+    // skip everything when this node's free slots provably cannot be used —
+    // no pending work of a matching kind exists anywhere and nothing is
+    // suspended *on this node*. At 10k-node scale the overwhelming majority
+    // of heartbeats hit this case (e.g. the always-free reduce slot of a
+    // map-only workload).
+    let any_slot_free = view.free_map_slots > 0 || view.free_reduce_slots > 0;
+    let mut maps_unclaimed = ctx.totals.schedulable_maps;
+    let mut reduces_unclaimed = ctx.totals.schedulable_reduces;
+    let can_launch_map = view.free_map_slots > 0 && maps_unclaimed > 0;
+    let can_launch_reduce = view.free_reduce_slots > 0 && reduces_unclaimed > 0;
+    let can_resume = any_slot_free && !view.suspended.is_empty();
+    if !can_launch_map && !can_launch_reduce && !can_resume {
         return Vec::new();
     }
+    let rack = ctx.topology.rack_of(node);
     let mut free_map = view.free_map_slots;
     let mut free_reduce = view.free_reduce_slots;
+    let mut resumable = view.suspended.len();
     let mut actions = Vec::new();
     for job_id in ordered_jobs {
-        // Once every slot is spoken for there is nothing left to decide;
-        // do not keep scanning the remaining (potentially huge) task lists.
-        if free_map == 0 && free_reduce == 0 {
+        // Stop as soon as the remaining slots provably cannot be used by
+        // anything further down the list (per-kind: a free reduce slot must
+        // not keep the loop scanning map-only jobs).
+        let want_map = free_map > 0 && maps_unclaimed > 0;
+        let want_reduce = free_reduce > 0 && reduces_unclaimed > 0;
+        let want_resume = resumable > 0 && (free_map > 0 || free_reduce > 0);
+        if !want_map && !want_reduce && !want_resume {
             break;
         }
         let Some(job) = ctx.jobs.get(job_id) else {
             continue;
         };
+        // O(1) skip via the engine-maintained per-job counters: a job with
+        // nothing this node could take costs one map lookup here, not a scan
+        // of its (potentially huge) task list.
+        let job_maps = free_map > 0 && job.schedulable_maps > 0;
+        let job_reduces = free_reduce > 0 && job.schedulable_reduces > 0;
+        let job_resumes = want_resume && job.suspended_count > 0;
+        if !job_maps && !job_reduces && !job_resumes {
+            continue;
+        }
         // Resume the job's own suspended tasks before launching new ones: a
         // suspended task already holds memory on its node and finishing it
-        // releases that memory soonest. Iterate the task list directly — no
-        // intermediate Vec per job on this per-heartbeat path.
-        for t in job.tasks.iter().filter(|t| t.state == TaskState::Suspended) {
-            if t.node != Some(node) {
-                continue;
-            }
-            let free = match t.id.kind {
-                TaskKind::Map => &mut free_map,
-                TaskKind::Reduce => &mut free_reduce,
-            };
-            if *free > 0 {
-                *free -= 1;
-                actions.push(SchedulerAction::Resume { task: t.id });
+        // releases that memory soonest. The node view lists exactly the
+        // tasks suspended *here*, so the match is O(suspended-on-node), not
+        // O(job tasks). The view is attempt-level and may still list a task
+        // whose JobTracker state moved on to MustResume/MustKill (a resume
+        // that could not be delivered retries via the command path, not
+        // here), so re-check the task state before spending a slot on a
+        // Resume the engine would discard.
+        if job_resumes {
+            for &task in view.suspended.iter().filter(|t| t.job == *job_id) {
+                if !ctx
+                    .task(task)
+                    .is_some_and(|t| t.state == TaskState::Suspended)
+                {
+                    continue;
+                }
+                let free = match task.kind {
+                    TaskKind::Map => &mut free_map,
+                    TaskKind::Reduce => &mut free_reduce,
+                };
+                if *free > 0 {
+                    *free -= 1;
+                    resumable -= 1;
+                    actions.push(SchedulerAction::Resume { task });
+                }
             }
         }
-        for t in job.tasks.iter().filter(|t| t.state.is_schedulable()) {
-            if free_map == 0 && free_reduce == 0 {
+        if !job_maps && !job_reduces {
+            continue;
+        }
+        let mut chosen = std::mem::take(&mut index.chosen);
+        chosen.clear();
+        let job_index = index
+            .jobs
+            .entry(*job_id)
+            .or_insert_with(|| JobIndex::build(job, ctx));
+        // Tier 1: map tasks with a replica on this very node.
+        if free_map > 0 {
+            if let Some(list) = job_index.by_node.get_mut(&node.0) {
+                while free_map > 0 {
+                    let Some(pos) = list.next_schedulable(job, &chosen) else {
+                        break;
+                    };
+                    free_map -= 1;
+                    maps_unclaimed = maps_unclaimed.saturating_sub(1);
+                    chosen.push(pos);
+                    actions.push(SchedulerAction::Launch {
+                        task: job.tasks[pos].id,
+                        node,
+                    });
+                }
+            }
+        }
+        // Tier 2: map tasks with a replica somewhere in this node's rack.
+        if free_map > 0 {
+            if let Some(list) = rack.and_then(|r| job_index.by_rack.get_mut(&r.0)) {
+                while free_map > 0 {
+                    let Some(pos) = list.next_schedulable(job, &chosen) else {
+                        break;
+                    };
+                    free_map -= 1;
+                    maps_unclaimed = maps_unclaimed.saturating_sub(1);
+                    chosen.push(pos);
+                    actions.push(SchedulerAction::Launch {
+                        task: job.tasks[pos].id,
+                        node,
+                    });
+                }
+            }
+        }
+        // Tier 3: anything still schedulable (off-rack maps, reduces, and
+        // synthetic tasks, which have no locality preference at all), scanned
+        // from the fallback cursor. The cursor only ever moves past
+        // non-schedulable tasks, so the scan is O(new work) per heartbeat; a
+        // rewind pass catches tasks re-made schedulable (kills) behind it.
+        for attempt in 0..2 {
+            // Per-kind satisfaction: stop when every remaining slot kind is
+            // either full or exhausted for this job, so a free reduce slot
+            // never drags the scan across a map-only job's task list.
+            // "Left" counts schedulable tasks of the job not yet *seen* by
+            // this pass (already-chosen ones count as seen when reached).
+            let mut maps_left = job.schedulable_maps as usize;
+            let mut reduces_left = job.schedulable_reduces as usize;
+            while job_index.cursor < job.tasks.len()
+                && !job.tasks[job_index.cursor].state.is_schedulable()
+            {
+                job_index.cursor += 1;
+            }
+            let mut launched_any = false;
+            let mut pos = job_index.cursor;
+            // Tasks are laid out maps-first, then reduces (a JobRuntime
+            // invariant). When no map slot is free nothing in the map region
+            // can launch, so jump straight to the reduce region instead of
+            // dragging the scan across up to thousands of pending maps on
+            // every reduce-slot heartbeat.
+            if free_map == 0 {
+                let map_region = job
+                    .tasks
+                    .len()
+                    .saturating_sub(job.spec.reduce_tasks as usize);
+                pos = pos.max(map_region);
+            }
+            while pos < job.tasks.len() {
+                let maps_satisfied = free_map == 0 || maps_left == 0;
+                let reduces_satisfied = free_reduce == 0 || reduces_left == 0;
+                if maps_satisfied && reduces_satisfied {
+                    break;
+                }
+                let t = &job.tasks[pos];
+                if t.state.is_schedulable() {
+                    let already_chosen = chosen.contains(&pos);
+                    match t.id.kind {
+                        TaskKind::Map => {
+                            if !already_chosen && free_map > 0 {
+                                free_map -= 1;
+                                maps_unclaimed = maps_unclaimed.saturating_sub(1);
+                                launched_any = true;
+                                chosen.push(pos);
+                                actions.push(SchedulerAction::Launch { task: t.id, node });
+                            }
+                            maps_left = maps_left.saturating_sub(1);
+                        }
+                        TaskKind::Reduce => {
+                            if !already_chosen && free_reduce > 0 {
+                                free_reduce -= 1;
+                                reduces_unclaimed = reduces_unclaimed.saturating_sub(1);
+                                launched_any = true;
+                                chosen.push(pos);
+                                actions.push(SchedulerAction::Launch { task: t.id, node });
+                            }
+                            reduces_left = reduces_left.saturating_sub(1);
+                        }
+                    }
+                }
+                pos += 1;
+            }
+            // The job claims schedulable work the cursor cannot see (a task
+            // behind it was killed back to pending): rewind once and retry.
+            let invisible = !launched_any
+                && attempt == 0
+                && job_index.cursor > 0
+                && chosen.len() < job.schedulable_count() as usize;
+            if !invisible {
                 break;
             }
-            let free = match t.id.kind {
-                TaskKind::Map => &mut free_map,
-                TaskKind::Reduce => &mut free_reduce,
-            };
-            if *free > 0 {
-                *free -= 1;
-                actions.push(SchedulerAction::Launch { task: t.id, node });
-            }
+            job_index.cursor = 0;
         }
+        index.chosen = chosen;
     }
     actions
 }
@@ -132,6 +358,13 @@ pub struct FairScheduler {
     total_map_slots: usize,
     starved_since: HashMap<JobId, SimTime>,
     rng: SimRng,
+    /// Reusable (running-slots, submitted, id) scratch for the per-round
+    /// fair-share ordering (no per-heartbeat allocations once warm).
+    order_scratch: Vec<(u32, SimTime, JobId)>,
+    /// Reusable ordered-job buffer handed to `fill_node`.
+    order: Vec<JobId>,
+    /// Per-job rack-aware pending-task index for `fill_node`.
+    locality: LocalityIndex,
 }
 
 impl FairScheduler {
@@ -149,11 +382,10 @@ impl FairScheduler {
             total_map_slots: total_map_slots.max(1),
             starved_since: HashMap::new(),
             rng: SimRng::new(0xFA1),
+            order_scratch: Vec::new(),
+            order: Vec::new(),
+            locality: LocalityIndex::default(),
         }
-    }
-
-    fn incomplete_jobs<'c>(ctx: &'c SchedulerContext<'_>) -> Vec<&'c JobRuntime> {
-        ctx.jobs.values().filter(|j| !j.is_finished()).collect()
     }
 
     fn fair_share(&self, incomplete: usize) -> usize {
@@ -162,40 +394,71 @@ impl FairScheduler {
             .map_or(self.total_map_slots, |share| share.max(1))
     }
 
+    /// Rebuilds the most-starved-first job order into the reusable `order`
+    /// buffer. Running-slot counts come from the engine-maintained
+    /// `occupying_count`, so the round's ordering is O(jobs log jobs) with no
+    /// task-list scans and no allocations once the buffers are warm.
+    fn refresh_order(&mut self, ctx: &SchedulerContext<'_>) {
+        self.order_scratch.clear();
+        self.order_scratch.extend(
+            ctx.jobs
+                .values()
+                .filter(|j| !j.is_finished())
+                // Jobs with nothing to launch or resume contribute nothing
+                // to `fill_node`; this order is rebuilt per heartbeat, so
+                // the filter is exact (no staleness).
+                .filter(|j| j.schedulable_count() > 0 || j.suspended_count > 0)
+                .map(|j| (j.occupying_count, j.submitted_at, j.id)),
+        );
+        self.order_scratch.sort_unstable();
+        self.order.clear();
+        self.order
+            .extend(self.order_scratch.iter().map(|(_, _, id)| *id));
+    }
+
     fn preemption_pass(&mut self, ctx: &SchedulerContext<'_>) -> Vec<SchedulerAction> {
-        let incomplete = Self::incomplete_jobs(ctx);
-        let share = self.fair_share(incomplete.len());
+        // Deficit tracking is O(1) per job via the engine-maintained
+        // counters: no task-list scans, no candidate Vecs until a victim job
+        // is actually chosen.
+        let incomplete = ctx.jobs.values().filter(|j| !j.is_finished()).count();
+        let share = self.fair_share(incomplete);
         let mut actions = Vec::new();
 
         // Track starvation times and find jobs with a legitimate claim.
         let mut claims: usize = 0;
-        for job in &incomplete {
-            let wants_more = !schedulable_of(job).is_empty() || !suspended_of(job).is_empty();
-            let starving = wants_more && running_slots(job) < share;
+        for job in ctx.jobs.values().filter(|j| !j.is_finished()) {
+            let wants_more = job.schedulable_count() > 0 || job.suspended_count > 0;
+            let running = job.occupying_count as usize;
+            let starving = wants_more && running < share;
             if starving {
                 let since = *self.starved_since.entry(job.id).or_insert(ctx.now);
                 if ctx.now - since >= self.preemption_timeout {
-                    claims += share - running_slots(job);
+                    claims += share - running;
                 }
             } else {
                 self.starved_since.remove(&job.id);
             }
         }
+        // No-deficit early return: nothing has starved past the timeout, so
+        // the (allocating, sorting) victim-selection phase never runs. At
+        // scale this is the overwhelmingly common case.
         if claims == 0 {
             return actions;
         }
 
         // Victims come from jobs above their share, most-over-share first.
-        let mut over_share: Vec<&&JobRuntime> = incomplete
-            .iter()
-            .filter(|j| running_slots(j) > share)
+        let mut over_share: Vec<&JobRuntime> = ctx
+            .jobs
+            .values()
+            .filter(|j| !j.is_finished())
+            .filter(|j| j.occupying_count as usize > share)
             .collect();
-        over_share.sort_by_key(|j| std::cmp::Reverse(running_slots(j)));
+        over_share.sort_by_key(|j| std::cmp::Reverse(j.occupying_count));
         for job in over_share {
             if claims == 0 {
                 break;
             }
-            let surplus = running_slots(job) - share;
+            let surplus = job.occupying_count as usize - share;
             let take = surplus.min(claims);
             let victims = self.eviction.pick(&candidates_of(job), take, &mut self.rng);
             for v in victims {
@@ -213,12 +476,17 @@ impl SchedulerPolicy for FairScheduler {
     fn on_heartbeat(&mut self, ctx: &SchedulerContext<'_>, node: NodeId) -> Vec<SchedulerAction> {
         // Order jobs by how far below their fair share they are (most starved
         // first), then by submission time.
-        let mut jobs: Vec<&JobRuntime> = Self::incomplete_jobs(ctx);
-        jobs.sort_by_key(|j| (running_slots(j), j.submitted_at, j.id));
-        let order: Vec<JobId> = jobs.iter().map(|j| j.id).collect();
-        let mut actions = fill_node(ctx, node, &order);
+        self.refresh_order(ctx);
+        let order = std::mem::take(&mut self.order);
+        let mut actions = fill_node(ctx, node, &order, &mut self.locality);
+        self.order = order;
         actions.extend(self.preemption_pass(ctx));
         actions
+    }
+
+    fn on_job_finished(&mut self, _ctx: &SchedulerContext<'_>, job: JobId) -> Vec<SchedulerAction> {
+        self.locality.forget(job);
+        Vec::new()
     }
 
     fn name(&self) -> &str {
@@ -249,6 +517,8 @@ pub struct HfspScheduler {
     /// job arrives or finishes). Purely a function of simulation state, so
     /// determinism is preserved.
     order_stamp: Option<u64>,
+    /// Per-job rack-aware pending-task index for `fill_node`.
+    locality: LocalityIndex,
 }
 
 impl HfspScheduler {
@@ -261,6 +531,7 @@ impl HfspScheduler {
             order_scratch: Vec::new(),
             order: Vec::new(),
             order_stamp: None,
+            locality: LocalityIndex::default(),
         }
     }
 
@@ -287,6 +558,14 @@ impl HfspScheduler {
             ctx.jobs
                 .iter()
                 .filter(|(_, j)| !j.is_finished())
+                // Fully-launched jobs have nothing for `fill_node` to hand
+                // out; at overload they are the (large) majority of the
+                // incomplete set, so dropping them here keeps the per-
+                // heartbeat fill loop proportional to jobs with actual
+                // pending work. A task killed back to pending mid-second is
+                // picked up at the next rebuild — immaterial next to the 3s
+                // cleanup its slot takes to free anyway.
+                .filter(|(_, j)| j.schedulable_count() > 0 || j.suspended_count > 0)
                 .map(|(id, j)| (Self::remaining_size(j), *id)),
         );
         self.order_scratch.sort_unstable();
@@ -307,7 +586,10 @@ impl SchedulerPolicy for HfspScheduler {
             return Vec::new();
         }
         self.refresh_size_order(ctx);
-        fill_node(ctx, node, &self.order)
+        let order = std::mem::take(&mut self.order);
+        let actions = fill_node(ctx, node, &order, &mut self.locality);
+        self.order = order;
+        actions
     }
 
     fn on_job_submitted(&mut self, ctx: &SchedulerContext<'_>, job: JobId) -> Vec<SchedulerAction> {
@@ -315,24 +597,30 @@ impl SchedulerPolicy for HfspScheduler {
         let Some(new_job) = ctx.jobs.get(&job) else {
             return Vec::new();
         };
-        let new_size = Self::remaining_size(new_job);
-        let new_demand = schedulable_of(new_job).len();
+        // Demand is the job's *map* demand: it is compared against free map
+        // slots and satisfied by preempting map tasks below, so counting
+        // reduces here (as the pre-rack-sharding code did) overstated it.
+        let new_demand = new_job.schedulable_maps as usize;
         if new_demand == 0 {
             return Vec::new();
         }
-        let free_slots: u32 = ctx.nodes.iter().map(|n| n.free_map_slots).sum();
+        // Cluster-wide capacity from the engine-maintained per-rack counters:
+        // O(racks) per arrival instead of the old O(nodes) view scan.
+        let free_slots = ctx.free_map_slots_total();
         if free_slots as usize >= new_demand {
             return Vec::new();
         }
+        let new_size = Self::remaining_size(new_job);
         // Preempt tasks of strictly larger running jobs, largest first, until
-        // the new job's demand could be satisfied.
+        // the new job's demand could be satisfied. The O(1) occupying-count
+        // filter runs before the O(tasks) size estimate.
         let mut needed = new_demand - free_slots as usize;
         let mut larger: Vec<&JobRuntime> = ctx
             .jobs
             .values()
             .filter(|j| j.id != job && !j.is_finished())
+            .filter(|j| j.occupying_count > 0)
             .filter(|j| Self::remaining_size(j) > new_size)
-            .filter(|j| running_slots(j) > 0)
             .collect();
         larger.sort_by_key(|j| std::cmp::Reverse(Self::remaining_size(j)));
         let mut actions = Vec::new();
@@ -353,12 +641,9 @@ impl SchedulerPolicy for HfspScheduler {
         actions
     }
 
-    fn on_job_finished(
-        &mut self,
-        _ctx: &SchedulerContext<'_>,
-        _job: JobId,
-    ) -> Vec<SchedulerAction> {
+    fn on_job_finished(&mut self, _ctx: &SchedulerContext<'_>, job: JobId) -> Vec<SchedulerAction> {
         self.order_stamp = None; // a finished job invalidates the cached order
+        self.locality.forget(job);
         Vec::new()
     }
 
@@ -370,7 +655,7 @@ impl SchedulerPolicy for HfspScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mrp_engine::{Cluster, ClusterConfig, JobSpec};
+    use mrp_engine::{Cluster, ClusterConfig, JobSpec, TaskId};
     use mrp_sim::{SimTime, MIB};
 
     fn two_job_cluster(scheduler: Box<dyn SchedulerPolicy>) -> mrp_engine::ClusterReport {
@@ -500,6 +785,40 @@ mod tests {
     }
 
     #[test]
+    fn hfsp_on_racked_cluster_prefers_local_launches() {
+        let mut cfg = ClusterConfig::racked_cluster(2, 2, 1, 1);
+        cfg.dfs_replication = 1;
+        let mut cluster = Cluster::new(
+            cfg,
+            Box::new(HfspScheduler::new(
+                PreemptionPrimitive::SuspendResume,
+                EvictionPolicy::ClosestToCompletion,
+            )),
+        );
+        // All replicas on node 3 (rack 1): the first launch should be
+        // node-local there, and the scheduler should still spill the
+        // remaining blocks to rack-local/off-rack nodes rather than starve.
+        cluster
+            .create_input_file_from("/pinned", 512 * MIB, Some(mrp_engine::NodeId(3)))
+            .unwrap();
+        cluster.submit_job(JobSpec::map_only("pinned", "/pinned"));
+        cluster.run(SimTime::from_secs(4 * 3_600));
+        let report = cluster.report();
+        assert!(report.all_jobs_complete());
+        assert_eq!(report.locality.total(), 4, "four 128MB blocks, four maps");
+        assert!(
+            report.locality.node_local >= 1,
+            "the replica holder must get node-local work: {:?}",
+            report.locality
+        );
+        assert!(
+            report.locality.rack_local + report.locality.off_rack >= 1,
+            "non-holders must still get (remote) work: {:?}",
+            report.locality
+        );
+    }
+
+    #[test]
     fn remaining_size_shrinks_with_progress() {
         // Direct unit check of the HFSP size estimator.
         let spec = JobSpec::synthetic("x", 2, 100 * MIB);
@@ -508,6 +827,10 @@ mod tests {
             spec,
             submitted_at: SimTime::ZERO,
             completed_at: None,
+            schedulable_maps: 0,
+            schedulable_reduces: 0,
+            suspended_count: 0,
+            occupying_count: 0,
             tasks: vec![
                 mrp_engine::TaskRuntime::new(
                     TaskId {

@@ -111,50 +111,87 @@ impl NameNode {
     }
 
     /// Default replica placement: first replica on the writer (if it is a
-    /// cluster node), remaining replicas spread over other nodes, preferring a
-    /// different rack for the second replica as HDFS does.
+    /// cluster node), second preferring a different rack as HDFS does,
+    /// remaining replicas on any distinct nodes.
+    ///
+    /// O(replication) per block: candidates are sampled (with a deterministic
+    /// scan fallback) instead of materialising and shuffling whole-cluster
+    /// candidate lists, so creating the 100k-block inputs of the 10k-node
+    /// `swim_cluster` bench does not cost O(blocks x nodes).
     fn place_replicas(
         &self,
         writer: Option<NodeId>,
         replication: u32,
         rng: &mut SimRng,
     ) -> Result<Vec<NodeId>, DfsError> {
-        let all = self.topology.nodes();
-        if all.is_empty() {
+        let n = self.topology.len();
+        if n == 0 {
             return Err(DfsError::NoDataNodes);
         }
-        let mut chosen: Vec<NodeId> = Vec::new();
+        let target = (replication as usize).min(n);
+        let mut chosen: Vec<NodeId> = Vec::with_capacity(target);
         let first = match writer {
-            Some(w) if all.contains(&w) => w,
-            _ => *rng.pick(&all).expect("non-empty"),
+            Some(w) if self.topology.contains(w) => w,
+            _ => self
+                .topology
+                .node_at(rng.index(n))
+                .expect("topology is non-empty"),
         };
         chosen.push(first);
-
-        // Second replica: prefer a node in a different rack.
-        if replication >= 2 {
-            let first_rack = self.topology.rack_of(first);
-            let mut off_rack: Vec<NodeId> = all
-                .iter()
-                .copied()
-                .filter(|n| !chosen.contains(n) && self.topology.rack_of(*n) != first_rack)
-                .collect();
-            let mut same_rack: Vec<NodeId> = all
-                .iter()
-                .copied()
-                .filter(|n| !chosen.contains(n) && self.topology.rack_of(*n) == first_rack)
-                .collect();
-            rng.shuffle(&mut off_rack);
-            rng.shuffle(&mut same_rack);
-            let mut candidates = off_rack;
-            candidates.extend(same_rack);
-            for node in candidates {
-                if chosen.len() as u32 >= replication {
-                    break;
-                }
-                chosen.push(node);
+        if chosen.len() < target {
+            if let Some(second) = self.pick_off_rack(first, rng) {
+                chosen.push(second);
             }
         }
+        while chosen.len() < target {
+            chosen.push(self.pick_distinct(&chosen, rng));
+        }
         Ok(chosen)
+    }
+
+    /// A random node from a non-empty rack other than `anchor`'s, or `None`
+    /// when every node shares the anchor's rack. Scans racks from a random
+    /// starting offset, so the choice stays seed-deterministic.
+    fn pick_off_rack(&self, anchor: NodeId, rng: &mut SimRng) -> Option<NodeId> {
+        let racks = self.topology.rack_count();
+        if racks <= 1 {
+            return None;
+        }
+        let anchor_rack = self.topology.rack_of(anchor);
+        let start = rng.index(racks);
+        for i in 0..racks {
+            let rack = crate::RackId(((start + i) % racks) as u32);
+            if Some(rack) == anchor_rack {
+                continue;
+            }
+            let members = self.topology.members_of(rack);
+            if !members.is_empty() {
+                return Some(members[rng.index(members.len())]);
+            }
+        }
+        None
+    }
+
+    /// A random node not already in `chosen`. Rejection-samples a few times
+    /// (`chosen` has at most `replication` entries), then falls back to a
+    /// deterministic scan from a random offset; callers guarantee
+    /// `chosen.len() < topology.len()`, so the scan always finds a node.
+    fn pick_distinct(&self, chosen: &[NodeId], rng: &mut SimRng) -> NodeId {
+        let n = self.topology.len();
+        for _ in 0..8 {
+            let cand = self.topology.node_at(rng.index(n)).expect("in range");
+            if !chosen.contains(&cand) {
+                return cand;
+            }
+        }
+        let start = rng.index(n);
+        for i in 0..n {
+            let cand = self.topology.node_at((start + i) % n).expect("in range");
+            if !chosen.contains(&cand) {
+                return cand;
+            }
+        }
+        unreachable!("fewer chosen replicas than cluster nodes")
     }
 
     /// Creates a file of `len` bytes at `path`, written from `writer` (if the

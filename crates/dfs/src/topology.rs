@@ -5,6 +5,16 @@
 //! discussion of *resume locality* (Section V-A) is the scheduling analogue of
 //! HDFS data locality, so the topology vocabulary is shared across the
 //! workspace.
+//!
+//! # Hot-path design
+//!
+//! [`Topology::rack_of`] and [`Topology::locality`] sit on the engine's task
+//! launch path (one locality query per preferred replica per launch) and on
+//! the NameNode's placement path (one per replica per block), so both are
+//! O(1): alongside the registration-ordered assignment list the topology
+//! maintains a dense node-id → rack index and per-rack member lists. At the
+//! 10k-node scale of the `swim_cluster` bench the old linear scans would have
+//! made every launch O(nodes).
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -55,10 +65,18 @@ impl Locality {
     }
 }
 
+/// Sentinel in the dense node → rack index for unregistered node ids.
+const NO_RACK: u32 = u32::MAX;
+
 /// The static shape of the cluster: which node lives in which rack.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct Topology {
+    /// Registration-ordered (node, rack) pairs; the source of truth.
     assignments: Vec<(NodeId, RackId)>,
+    /// Dense node-id → rack-id index (`NO_RACK` where unregistered).
+    rack_by_node: Vec<u32>,
+    /// Per-rack member lists, indexed by rack id, in registration order.
+    members: Vec<Vec<NodeId>>,
 }
 
 impl Topology {
@@ -81,6 +99,31 @@ impl Topology {
         t
     }
 
+    /// Splits `nodes` sequentially numbered nodes over exactly `racks` racks
+    /// in contiguous blocks whose sizes differ by at most one (rack `r` gets
+    /// the `r`-th block). This is how the engine maps a flat node list onto a
+    /// requested rack count; when `racks` divides `nodes` it is identical to
+    /// [`Topology::regular`].
+    ///
+    /// # Panics
+    /// Panics if `racks` is zero or exceeds `nodes`.
+    pub fn blocked(nodes: u32, racks: u32) -> Self {
+        assert!(racks >= 1, "a topology needs at least one rack");
+        assert!(racks <= nodes, "more racks ({racks}) than nodes ({nodes})");
+        let base = nodes / racks;
+        let remainder = nodes % racks;
+        let mut t = Topology::new();
+        let mut next = 0;
+        for r in 0..racks {
+            let size = base + u32::from(r < remainder);
+            for _ in 0..size {
+                t.add_node(NodeId(next), RackId(r));
+                next += 1;
+            }
+        }
+        t
+    }
+
     /// A single-rack topology with `n` nodes — the paper's evaluation setup is
     /// the degenerate single-node case of this.
     pub fn single_rack(n: u32) -> Self {
@@ -89,14 +132,30 @@ impl Topology {
 
     /// Registers a node in a rack.
     pub fn add_node(&mut self, node: NodeId, rack: RackId) {
-        if !self.assignments.iter().any(|(n, _)| *n == node) {
-            self.assignments.push((node, rack));
+        let idx = node.0 as usize;
+        if self.rack_by_node.get(idx).copied().unwrap_or(NO_RACK) != NO_RACK {
+            return;
         }
+        if self.rack_by_node.len() <= idx {
+            self.rack_by_node.resize(idx + 1, NO_RACK);
+        }
+        self.rack_by_node[idx] = rack.0;
+        let rack_idx = rack.0 as usize;
+        if self.members.len() <= rack_idx {
+            self.members.resize_with(rack_idx + 1, Vec::new);
+        }
+        self.members[rack_idx].push(node);
+        self.assignments.push((node, rack));
     }
 
     /// All nodes, in registration order.
     pub fn nodes(&self) -> Vec<NodeId> {
         self.assignments.iter().map(|(n, _)| *n).collect()
+    }
+
+    /// The `i`-th registered node (registration order), if it exists.
+    pub fn node_at(&self, i: usize) -> Option<NodeId> {
+        self.assignments.get(i).map(|(n, _)| *n)
     }
 
     /// Number of registered nodes.
@@ -109,24 +168,40 @@ impl Topology {
         self.assignments.is_empty()
     }
 
-    /// The rack a node belongs to, if registered.
+    /// Number of rack slots (the highest registered rack id plus one; racks
+    /// with no members still count so rack ids stay usable as dense indices).
+    pub fn rack_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when a node with this id is registered.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.rack_of(node).is_some()
+    }
+
+    /// The rack a node belongs to, if registered. O(1).
     pub fn rack_of(&self, node: NodeId) -> Option<RackId> {
-        self.assignments
-            .iter()
-            .find(|(n, _)| *n == node)
-            .map(|(_, r)| *r)
+        match self.rack_by_node.get(node.0 as usize).copied() {
+            Some(r) if r != NO_RACK => Some(RackId(r)),
+            _ => None,
+        }
     }
 
-    /// Nodes in the given rack.
+    /// The members of a rack, in registration order. O(1).
+    pub fn members_of(&self, rack: RackId) -> &[NodeId] {
+        self.members
+            .get(rack.0 as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Nodes in the given rack (owned; see [`Topology::members_of`] for the
+    /// allocation-free variant).
     pub fn nodes_in_rack(&self, rack: RackId) -> Vec<NodeId> {
-        self.assignments
-            .iter()
-            .filter(|(_, r)| *r == rack)
-            .map(|(n, _)| *n)
-            .collect()
+        self.members_of(rack).to_vec()
     }
 
-    /// Locality of `reader` with respect to `holder`.
+    /// Locality of `reader` with respect to `holder`. O(1).
     pub fn locality(&self, reader: NodeId, holder: NodeId) -> Locality {
         if reader == holder {
             return Locality::NodeLocal;
@@ -150,6 +225,31 @@ mod tests {
         assert_eq!(t.nodes_in_rack(RackId(1)).len(), 3);
         assert_eq!(t.rack_of(NodeId(4)), Some(RackId(1)));
         assert_eq!(t.rack_of(NodeId(99)), None);
+        assert_eq!(t.rack_count(), 2);
+        assert_eq!(t.node_at(4), Some(NodeId(4)));
+        assert_eq!(t.node_at(6), None);
+    }
+
+    #[test]
+    fn blocked_topology_spreads_the_remainder() {
+        let t = Topology::blocked(10, 4);
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.rack_count(), 4);
+        // 10 = 3 + 3 + 2 + 2, contiguous blocks.
+        assert_eq!(t.members_of(RackId(0)).len(), 3);
+        assert_eq!(t.members_of(RackId(1)).len(), 3);
+        assert_eq!(t.members_of(RackId(2)).len(), 2);
+        assert_eq!(t.members_of(RackId(3)).len(), 2);
+        assert_eq!(t.rack_of(NodeId(0)), Some(RackId(0)));
+        assert_eq!(t.rack_of(NodeId(9)), Some(RackId(3)));
+        // Exact divisor: identical to regular().
+        assert_eq!(Topology::blocked(6, 2), Topology::regular(2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "more racks")]
+    fn blocked_rejects_more_racks_than_nodes() {
+        Topology::blocked(2, 3);
     }
 
     #[test]
@@ -175,6 +275,8 @@ mod tests {
         t.add_node(NodeId(1), RackId(5));
         assert_eq!(t.len(), 1);
         assert_eq!(t.rack_of(NodeId(1)), Some(RackId(0)));
+        assert_eq!(t.members_of(RackId(0)), &[NodeId(1)]);
+        assert!(t.members_of(RackId(5)).is_empty());
     }
 
     #[test]
@@ -182,5 +284,19 @@ mod tests {
         let t = Topology::single_rack(1);
         assert_eq!(t.locality(NodeId(0), NodeId(7)), Locality::OffRack);
         assert!(!t.is_empty());
+        assert!(t.contains(NodeId(0)));
+        assert!(!t.contains(NodeId(7)));
+    }
+
+    #[test]
+    fn sparse_node_ids_are_indexed_correctly() {
+        let mut t = Topology::new();
+        t.add_node(NodeId(7), RackId(1));
+        t.add_node(NodeId(2), RackId(0));
+        assert_eq!(t.rack_of(NodeId(7)), Some(RackId(1)));
+        assert_eq!(t.rack_of(NodeId(2)), Some(RackId(0)));
+        assert_eq!(t.rack_of(NodeId(3)), None);
+        assert_eq!(t.locality(NodeId(7), NodeId(2)), Locality::OffRack);
+        assert_eq!(t.nodes(), vec![NodeId(7), NodeId(2)]);
     }
 }

@@ -33,24 +33,28 @@
 //!   for it.
 
 use crate::attempt::{AttemptPhase, AttemptState, ExecPlan};
-use crate::config::{ClusterConfig, TraceLevel};
+use crate::config::{ClusterConfig, RefreshMode, TraceLevel};
 use crate::job::{
-    AttemptId, JobId, JobRuntime, JobSpec, MapInput, TaskId, TaskKind, TaskRuntime, TaskState,
+    AttemptId, JobId, JobRuntime, JobSpec, JobTable, MapInput, TaskId, TaskKind, TaskRuntime,
+    TaskState,
 };
-use crate::metrics::{ClusterReport, JobReport, NodeReport, TraceEntry, TraceKind};
-use crate::scheduler::{NodeView, SchedulerAction, SchedulerContext, SchedulerPolicy};
+use crate::metrics::{ClusterReport, JobReport, LocalityStats, NodeReport, TraceEntry, TraceKind};
+use crate::scheduler::{
+    NodeView, PendingTotals, RackView, SchedulerAction, SchedulerContext, SchedulerPolicy,
+};
 use crate::tasktracker::TaskTracker;
-use mrp_dfs::{Locality, NameNode, NodeId, Topology};
+use mrp_dfs::{Locality, NameNode, NodeId, RackId, Topology};
 use mrp_sim::{EventId, EventQueue, SimDuration, SimRng, SimTime};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Events driving the cluster simulation.
 #[derive(Clone, Debug)]
 enum Event {
     /// A pre-registered job arrives.
     JobArrival { index: usize },
-    /// A TaskTracker heartbeat; `periodic` heartbeats reschedule themselves.
-    Heartbeat { node: NodeId, periodic: bool },
+    /// An out-of-band TaskTracker heartbeat (periodic heartbeats come from
+    /// the [`HeartbeatWheel`], not the event queue).
+    Heartbeat { node: NodeId },
     /// The current phase segment of an attempt finished.
     PhaseDone {
         node: NodeId,
@@ -81,6 +85,67 @@ struct ProgressTrigger {
     state: TriggerState,
 }
 
+/// Per-rack shard of the cluster's heartbeat bookkeeping: the rack's member
+/// nodes and a dirty list of members whose tracker state changed since the
+/// last view refresh. Shards keep a scheduling round O(changed nodes): racks
+/// with an empty dirty list are never even visited.
+#[derive(Debug, Default)]
+struct RackShard {
+    /// Node indices (dense ids) in this rack.
+    members: Vec<u32>,
+    /// Members whose tracker state changed since the last refresh (may
+    /// contain duplicates; the tracker's dirty flag dedups the rebuild).
+    dirty: Vec<u32>,
+    /// Whether this shard is already queued on the cluster's dirty-rack list.
+    queued: bool,
+}
+
+/// O(1) source of the periodic heartbeat schedule: every node heartbeats
+/// every `interval`, staggered evenly over one interval, so the rotation is
+/// pure arithmetic — node `idx` of cycle `c` fires at
+/// `c * interval + interval * (idx + 1) / (nodes + 1)`. Computing the
+/// periodic heartbeats instead of storing them keeps the 10k heartbeat
+/// events of a large cluster out of the central heap entirely; without the
+/// wheel they dominate the heap and make every pop O(log nodes) over a
+/// cache-hostile working set.
+#[derive(Debug)]
+struct HeartbeatWheel {
+    interval_us: u64,
+    nodes: u64,
+    /// Next node to fire (dense id).
+    idx: u64,
+    /// Completed full rotations.
+    cycle: u64,
+}
+
+impl HeartbeatWheel {
+    fn new(interval_us: u64, nodes: u64) -> Self {
+        HeartbeatWheel {
+            interval_us,
+            nodes,
+            idx: 0,
+            cycle: 0,
+        }
+    }
+
+    /// Timestamp of the next periodic heartbeat.
+    fn peek(&self) -> SimTime {
+        let offset = (self.interval_us * (self.idx + 1) / (self.nodes + 1)).max(1);
+        SimTime::from_micros(self.cycle * self.interval_us + offset)
+    }
+
+    /// Consumes the next periodic heartbeat, returning its node.
+    fn advance(&mut self) -> NodeId {
+        let node = NodeId(self.idx as u32);
+        self.idx += 1;
+        if self.idx == self.nodes {
+            self.idx = 0;
+            self.cycle += 1;
+        }
+        node
+    }
+}
+
 /// The simulated Hadoop cluster.
 pub struct Cluster {
     config: ClusterConfig,
@@ -88,7 +153,7 @@ pub struct Cluster {
     namenode: NameNode,
     /// TaskTrackers indexed by node id (node ids are dense: 0..n).
     trackers: Vec<TaskTracker>,
-    jobs: BTreeMap<JobId, JobRuntime>,
+    jobs: JobTable,
     scheduler: Box<dyn SchedulerPolicy>,
     rng: SimRng,
     pending_arrivals: Vec<(SimTime, Option<JobSpec>)>,
@@ -98,9 +163,17 @@ pub struct Cluster {
     next_job_id: u32,
     /// Reusable per-node scheduler views, refreshed via dirty tracking.
     views: Vec<NodeView>,
-    /// Node indices whose tracker state changed since the last view refresh
-    /// (may contain duplicates; the tracker's dirty flag dedups the rebuild).
-    dirty_nodes: Vec<u32>,
+    /// Rack of each node (dense rack ids, indexed by dense node id).
+    node_rack: Vec<u32>,
+    /// Per-rack shards: members plus the rack-local dirty list.
+    shards: Vec<RackShard>,
+    /// Racks with a non-empty dirty list (no duplicates; `RackShard::queued`
+    /// guards the push).
+    dirty_racks: Vec<u32>,
+    /// Per-rack aggregate free-slot counters, maintained by delta whenever a
+    /// member view is rebuilt; handed to schedulers as
+    /// [`RackView`](crate::scheduler::RackView) slices.
+    rack_views: Vec<RackView>,
     /// Pending `MUST_*` commands indexed by node; delivered at heartbeats.
     pending_cmds: Vec<Vec<TaskId>>,
     /// Reusable buffer for per-heartbeat progress refreshes.
@@ -109,6 +182,13 @@ pub struct Cluster {
     incomplete_jobs: usize,
     /// Events handled by [`Cluster::run`] so far (throughput accounting).
     events_processed: u64,
+    /// Map-task launches bucketed by input locality.
+    locality: LocalityStats,
+    /// Cluster-wide pending-work counters (see [`PendingTotals`]), updated on
+    /// every task state transition alongside the per-job counters.
+    totals: PendingTotals,
+    /// Computed periodic-heartbeat schedule (see [`HeartbeatWheel`]).
+    wheel: HeartbeatWheel,
 }
 
 impl Cluster {
@@ -122,11 +202,16 @@ impl Cluster {
         config
             .validate()
             .unwrap_or_else(|e| panic!("invalid cluster configuration: {e}"));
-        let topology = Topology::single_rack(config.nodes.len() as u32);
-        let namenode = NameNode::new(topology, config.dfs_block_size, config.dfs_replication);
-        let mut trackers = Vec::with_capacity(config.nodes.len());
-        let mut views = Vec::with_capacity(config.nodes.len());
-        let mut queue = EventQueue::new();
+        let node_count = config.nodes.len();
+        let topology = Topology::blocked(node_count as u32, config.racks);
+        let mut trackers = Vec::with_capacity(node_count);
+        let mut views = Vec::with_capacity(node_count);
+        let queue = EventQueue::new();
+        // First heartbeats are staggered evenly over one interval by the
+        // wheel, so they neither all land on the same instant nor (as a
+        // fixed per-node offset would at 10k nodes) stretch the cluster's
+        // start-up over many minutes of virtual time.
+        let wheel = HeartbeatWheel::new(config.heartbeat_interval.as_micros(), node_count as u64);
         for (i, node_cfg) in config.nodes.iter().enumerate() {
             let id = NodeId(i as u32);
             trackers.push(TaskTracker::new(
@@ -142,24 +227,44 @@ impl Cluster {
                 running: Vec::new(),
                 suspended: Vec::new(),
             });
-            // Stagger the first heartbeats slightly so they do not all land on
-            // the same instant.
-            queue.schedule(
-                SimTime::from_millis(200 * (i as u64 + 1)),
-                Event::Heartbeat {
-                    node: id,
-                    periodic: true,
-                },
-            );
         }
+        // Per-rack shards and aggregate free-slot counters.
+        let mut node_rack = vec![0u32; node_count];
+        let mut shards: Vec<RackShard> = Vec::with_capacity(topology.rack_count());
+        let mut rack_views: Vec<RackView> = Vec::with_capacity(topology.rack_count());
+        for rack in 0..topology.rack_count() {
+            let members: Vec<u32> = topology
+                .members_of(RackId(rack as u32))
+                .iter()
+                .map(|n| n.0)
+                .collect();
+            let mut rv = RackView {
+                id: RackId(rack as u32),
+                nodes: members.len() as u32,
+                free_map_slots: 0,
+                free_reduce_slots: 0,
+            };
+            for &m in &members {
+                node_rack[m as usize] = rack as u32;
+                rv.free_map_slots += config.nodes[m as usize].map_slots;
+                rv.free_reduce_slots += config.nodes[m as usize].reduce_slots;
+            }
+            shards.push(RackShard {
+                dirty: members.clone(),
+                members,
+                queued: true,
+            });
+            rack_views.push(rv);
+        }
+        let namenode = NameNode::new(topology, config.dfs_block_size, config.dfs_replication);
         let rng = SimRng::new(config.seed);
-        let node_count = config.nodes.len();
+        let rack_count = shards.len();
         Cluster {
             config,
             queue,
             namenode,
             trackers,
-            jobs: BTreeMap::new(),
+            jobs: JobTable::new(),
             scheduler,
             rng,
             pending_arrivals: Vec::new(),
@@ -168,11 +273,17 @@ impl Cluster {
             trace: Vec::new(),
             next_job_id: 1,
             views,
-            dirty_nodes: (0..node_count as u32).collect(),
+            node_rack,
+            shards,
+            dirty_racks: (0..rack_count as u32).collect(),
+            rack_views,
             pending_cmds: vec![Vec::new(); node_count],
             progress_buf: Vec::new(),
             incomplete_jobs: 0,
             events_processed: 0,
+            locality: LocalityStats::default(),
+            totals: PendingTotals::default(),
+            wheel,
         }
     }
 
@@ -198,7 +309,7 @@ impl Cluster {
     }
 
     /// Read access to the JobTracker's job table.
-    pub fn jobs(&self) -> &BTreeMap<JobId, JobRuntime> {
+    pub fn jobs(&self) -> &JobTable {
         &self.jobs
     }
 
@@ -206,6 +317,18 @@ impl Cluster {
     /// of the `sim_throughput` bench's events/sec metric.
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// Map-task launch counts by input locality so far (also part of the
+    /// end-of-run [`ClusterReport`]).
+    pub fn locality_stats(&self) -> LocalityStats {
+        self.locality
+    }
+
+    /// The per-rack aggregate free-slot counters, as schedulers see them
+    /// after the most recent refresh.
+    pub fn rack_views(&self) -> &[RackView] {
+        &self.rack_views
     }
 
     fn tracker(&self, node: NodeId) -> Option<&TaskTracker> {
@@ -219,7 +342,20 @@ impl Cluster {
     /// Creates an input file in the simulated HDFS, writing it from node 0 so
     /// the paper's single-node experiments get node-local splits.
     pub fn create_input_file(&mut self, path: &str, len: u64) -> Result<(), mrp_dfs::DfsError> {
-        let writer = self.namenode.topology().nodes().first().copied();
+        let writer = self.namenode.topology().node_at(0);
+        self.create_input_file_from(path, len, writer)
+    }
+
+    /// Creates an input file written from an explicit node, so multi-rack
+    /// harnesses can spread first replicas over the cluster instead of
+    /// stacking them all on node 0. `None` lets the NameNode pick a random
+    /// writer.
+    pub fn create_input_file_from(
+        &mut self,
+        path: &str,
+        len: u64,
+        writer: Option<NodeId>,
+    ) -> Result<(), mrp_dfs::DfsError> {
         self.namenode
             .create_file(path, len, writer, &mut self.rng)?;
         Ok(())
@@ -263,15 +399,31 @@ impl Cluster {
             if self.arrivals_remaining == 0 && self.all_jobs_complete() {
                 break;
             }
-            let Some(next_at) = self.queue.peek_time() else {
-                break;
+            // Next event is the earlier of the queue's head and the wheel's
+            // computed periodic heartbeat; on a timestamp tie the heartbeat
+            // fires first (either order would be deterministic).
+            let wheel_at = self.wheel.peek();
+            let take_wheel = match self.queue.peek_time() {
+                Some(queue_at) => wheel_at <= queue_at,
+                None => true,
+            };
+            let next_at = if take_wheel {
+                wheel_at
+            } else {
+                self.queue.peek_time().expect("checked above")
             };
             if next_at > max_time {
                 break;
             }
-            let (now, event) = self.queue.pop().expect("peeked event must exist");
             self.events_processed += 1;
-            self.handle_event(now, event);
+            if take_wheel {
+                self.queue.advance_to(wheel_at);
+                let node = self.wheel.advance();
+                self.handle_heartbeat(node, wheel_at);
+            } else {
+                let (now, event) = self.queue.pop().expect("peeked event must exist");
+                self.handle_event(now, event);
+            }
         }
         self.queue.now()
     }
@@ -299,6 +451,7 @@ impl Cluster {
                     }
                 })
                 .collect(),
+            locality: self.locality,
             finished_at: self.queue.now(),
         }
     }
@@ -337,39 +490,219 @@ impl Cluster {
 
     /// Marks `node`'s view stale; the next [`Cluster::refresh_views`] rebuilds
     /// it. Call sites are the cluster paths that mutate tracker occupancy.
+    /// The node goes on its rack's dirty list, and the rack on the cluster's
+    /// dirty-rack list, so the refresh touches only racks with actual dirt.
     #[inline]
     fn mark_node_dirty(&mut self, node: NodeId) {
-        self.dirty_nodes.push(node.0);
+        let Some(&rack) = self.node_rack.get(node.0 as usize) else {
+            return;
+        };
+        let shard = &mut self.shards[rack as usize];
+        shard.dirty.push(node.0);
+        if !shard.queued {
+            shard.queued = true;
+            self.dirty_racks.push(rack);
+        }
     }
 
-    /// Refreshes the reusable per-node scheduler views; only trackers whose
-    /// occupancy changed since the last refresh are rebuilt, and only the
-    /// nodes on the dirty list are even inspected (O(changes), not O(nodes)).
+    /// Refreshes the reusable per-node scheduler views and the per-rack
+    /// free-slot counters before a scheduling round.
+    ///
+    /// In the default [`RefreshMode::Sharded`] only racks on the dirty-rack
+    /// list are visited, only nodes on their shards' dirty lists are
+    /// inspected, and only trackers whose occupancy actually changed are
+    /// rebuilt — O(changed nodes), not O(nodes). Rack counters are adjusted
+    /// by the delta between a view's old and new free-slot counts.
+    /// [`RefreshMode::Full`] instead rebuilds everything from scratch; it
+    /// exists as the naive reference for equivalence tests.
     fn refresh_views(&mut self) {
-        while let Some(idx) = self.dirty_nodes.pop() {
-            let Some(tt) = self.trackers.get_mut(idx as usize) else {
-                continue;
-            };
-            if !tt.take_dirty() {
-                continue;
-            }
-            let view = &mut self.views[idx as usize];
-            view.free_map_slots = tt.free_map_slots();
-            view.free_reduce_slots = tt.free_reduce_slots();
-            view.running.clear();
-            view.suspended.clear();
-            for a in tt.attempts() {
-                match a.state {
-                    AttemptState::Running => view.running.push(a.task),
-                    AttemptState::Suspended => view.suspended.push(a.task),
-                    _ => {}
+        match self.config.refresh_mode {
+            RefreshMode::Sharded => self.refresh_views_sharded(),
+            RefreshMode::Full => self.refresh_views_full(),
+        }
+    }
+
+    fn refresh_views_sharded(&mut self) {
+        while let Some(rack) = self.dirty_racks.pop() {
+            let shard = &mut self.shards[rack as usize];
+            shard.queued = false;
+            // Take the dirty list so the shard borrow does not overlap the
+            // tracker/view borrows; nothing re-dirties nodes mid-refresh, and
+            // the buffer (and its capacity) is handed back afterwards.
+            let mut dirty = std::mem::take(&mut shard.dirty);
+            for idx in dirty.drain(..) {
+                let Some(tt) = self.trackers.get_mut(idx as usize) else {
+                    continue;
+                };
+                if !tt.take_dirty() {
+                    continue;
                 }
+                let view = &mut self.views[idx as usize];
+                let rv = &mut self.rack_views[rack as usize];
+                rv.free_map_slots = rv.free_map_slots + tt.free_map_slots() - view.free_map_slots;
+                rv.free_reduce_slots =
+                    rv.free_reduce_slots + tt.free_reduce_slots() - view.free_reduce_slots;
+                fill_view(view, tt);
+            }
+            self.shards[rack as usize].dirty = dirty;
+        }
+    }
+
+    fn refresh_views_full(&mut self) {
+        self.dirty_racks.clear();
+        for rack in 0..self.shards.len() {
+            let shard = &mut self.shards[rack];
+            shard.dirty.clear();
+            shard.queued = false;
+            let rv = &mut self.rack_views[rack];
+            rv.free_map_slots = 0;
+            rv.free_reduce_slots = 0;
+            for mi in 0..self.shards[rack].members.len() {
+                let idx = self.shards[rack].members[mi] as usize;
+                let tt = &mut self.trackers[idx];
+                let _ = tt.take_dirty();
+                let view = &mut self.views[idx];
+                fill_view(view, tt);
+                let rv = &mut self.rack_views[rack];
+                rv.free_map_slots += view.free_map_slots;
+                rv.free_reduce_slots += view.free_reduce_slots;
             }
         }
     }
 
     fn task_mut(&mut self, id: TaskId) -> Option<&mut TaskRuntime> {
         self.jobs.get_mut(&id.job).and_then(|j| j.task_mut(id))
+    }
+
+    /// The counter-relevant classification of a task state:
+    /// (schedulable, suspended, occupies a slot).
+    #[inline]
+    fn state_classes(state: TaskState) -> (bool, bool, bool) {
+        (
+            state.is_schedulable(),
+            state == TaskState::Suspended,
+            state.occupies_slot(),
+        )
+    }
+
+    /// Adjusts the job's maintained per-state counters *and* the cluster-wide
+    /// pending totals for one task of `kind` moving between the given
+    /// classifications. Job counters and totals are updated from the same
+    /// branches so they cannot drift apart — the O(1) heartbeat early-exits
+    /// trust both to prove "no work exists".
+    #[inline]
+    fn apply_state_delta(
+        job: &mut JobRuntime,
+        totals: &mut PendingTotals,
+        kind: TaskKind,
+        before: (bool, bool, bool),
+        after: (bool, bool, bool),
+    ) {
+        if before.0 != after.0 {
+            let (job_field, total_field) = match kind {
+                TaskKind::Map => (&mut job.schedulable_maps, &mut totals.schedulable_maps),
+                TaskKind::Reduce => (
+                    &mut job.schedulable_reduces,
+                    &mut totals.schedulable_reduces,
+                ),
+            };
+            if after.0 {
+                *job_field += 1;
+                *total_field += 1;
+            } else {
+                debug_assert!(*job_field > 0 && *total_field > 0);
+                *job_field -= 1;
+                *total_field -= 1;
+            }
+        }
+        if before.1 != after.1 {
+            if after.1 {
+                job.suspended_count += 1;
+                totals.suspended += 1;
+            } else {
+                debug_assert!(job.suspended_count > 0 && totals.suspended > 0);
+                job.suspended_count -= 1;
+                totals.suspended -= 1;
+            }
+        }
+        if before.2 != after.2 {
+            if after.2 {
+                job.occupying_count += 1;
+            } else {
+                debug_assert!(job.occupying_count > 0);
+                job.occupying_count -= 1;
+            }
+        }
+    }
+
+    /// Transitions `task` through the legality-checked state machine and
+    /// keeps the owning job's schedulable/suspended/occupying counters in
+    /// sync. Every engine-side task state change goes through here (or
+    /// through [`Cluster::force_task_pending`] for the reset paths), so the
+    /// counters schedulers rely on for O(1) job skipping stay exact.
+    fn set_task_state(&mut self, task: TaskId, next: TaskState) {
+        let Some(job) = self.jobs.get_mut(&task.job) else {
+            return;
+        };
+        let before = {
+            let Some(t) = job.task_mut(task) else { return };
+            let before = Self::state_classes(t.state);
+            t.set_state(next);
+            before
+        };
+        let after = Self::state_classes(next);
+        Self::apply_state_delta(job, &mut self.totals, task.kind, before, after);
+    }
+
+    /// Resets a task whose attempt vanished underneath the JobTracker (OOM
+    /// kill, lost attempt) straight back to `Pending`, bypassing the legality
+    /// check exactly like the old field assignments did, while keeping the
+    /// job counters in sync.
+    fn force_task_pending(&mut self, task: TaskId) {
+        let Some(job) = self.jobs.get_mut(&task.job) else {
+            return;
+        };
+        let before = {
+            let Some(t) = job.task_mut(task) else { return };
+            let before = Self::state_classes(t.state);
+            t.state = TaskState::Pending;
+            t.progress = 0.0;
+            t.node = None;
+            t.current_attempt = None;
+            before
+        };
+        let after = Self::state_classes(TaskState::Pending);
+        Self::apply_state_delta(job, &mut self.totals, task.kind, before, after);
+    }
+
+    /// Debug-build invariant: the incrementally maintained job counters match
+    /// a recount from the task list.
+    #[cfg(debug_assertions)]
+    fn debug_check_job_counters(&self, job: JobId) {
+        if let Some(j) = self.jobs.get(&job) {
+            let mut fresh = j.clone();
+            fresh.recount_task_states();
+            assert_eq!(
+                (
+                    j.schedulable_maps,
+                    j.schedulable_reduces,
+                    j.suspended_count,
+                    j.occupying_count
+                ),
+                (
+                    fresh.schedulable_maps,
+                    fresh.schedulable_reduces,
+                    fresh.suspended_count,
+                    fresh.occupying_count
+                ),
+                "maintained task-state counters drifted for {job:?}"
+            );
+        }
+        assert_eq!(
+            self.totals,
+            PendingTotals::from_jobs(&self.jobs),
+            "maintained cluster-wide pending totals drifted"
+        );
     }
 
     fn task(&self, id: TaskId) -> Option<&TaskRuntime> {
@@ -388,13 +721,7 @@ impl Cluster {
 
     fn schedule_out_of_band_heartbeat(&mut self, node: NodeId, now: SimTime) {
         if self.config.out_of_band_heartbeats {
-            self.queue.schedule(
-                now,
-                Event::Heartbeat {
-                    node,
-                    periodic: false,
-                },
-            );
+            self.queue.schedule(now, Event::Heartbeat { node });
         }
     }
 
@@ -408,17 +735,8 @@ impl Cluster {
                     .expect("each arrival fires exactly once");
                 self.register_job(spec, now);
             }
-            Event::Heartbeat { node, periodic } => {
+            Event::Heartbeat { node } => {
                 self.handle_heartbeat(node, now);
-                if periodic {
-                    self.queue.schedule(
-                        now + self.config.heartbeat_interval,
-                        Event::Heartbeat {
-                            node,
-                            periodic: true,
-                        },
-                    );
-                }
             }
             Event::PhaseDone {
                 node,
@@ -518,6 +836,11 @@ impl Cluster {
         } else {
             String::new()
         };
+        // Freshly registered tasks are all Pending, hence schedulable.
+        let map_count = tasks.iter().filter(|t| t.id.kind == TaskKind::Map).count() as u32;
+        let reduce_count = tasks.len() as u32 - map_count;
+        self.totals.schedulable_maps += map_count;
+        self.totals.schedulable_reduces += reduce_count;
         self.jobs.insert(
             id,
             JobRuntime {
@@ -526,6 +849,10 @@ impl Cluster {
                 submitted_at: now,
                 completed_at: None,
                 tasks,
+                schedulable_maps: map_count,
+                schedulable_reduces: reduce_count,
+                suspended_count: 0,
+                occupying_count: 0,
             },
         );
         self.incomplete_jobs += 1;
@@ -537,6 +864,9 @@ impl Cluster {
                 now,
                 jobs: &self.jobs,
                 nodes: &self.views,
+                racks: &self.rack_views,
+                topology: self.namenode.topology(),
+                totals: self.totals,
             };
             self.scheduler.on_job_submitted(&ctx, id)
         };
@@ -607,6 +937,9 @@ impl Cluster {
                 now,
                 jobs: &self.jobs,
                 nodes: &self.views,
+                racks: &self.rack_views,
+                topology: self.namenode.topology(),
+                totals: self.totals,
             };
             self.scheduler.on_heartbeat(&ctx, node)
         };
@@ -642,8 +975,8 @@ impl Cluster {
                     self.queue.cancel(ev);
                 }
                 self.unarm_triggers(task);
+                self.set_task_state(task, TaskState::Suspended);
                 if let Some(t) = self.task_mut(task) {
-                    t.set_state(TaskState::Suspended);
                     t.progress = progress;
                     t.suspend_cycles += 1;
                 }
@@ -699,9 +1032,7 @@ impl Cluster {
             }
         }
         self.mark_node_dirty(node);
-        if let Some(t) = self.task_mut(task) {
-            t.set_state(TaskState::Running);
-        }
+        self.set_task_state(task, TaskState::Running);
         self.arm_triggers(task, node, attempt_id, now);
         if self.tracing() {
             self.trace_event(
@@ -725,12 +1056,7 @@ impl Cluster {
         if tt.attempt(attempt_id).is_none() {
             // The attempt vanished underneath us (e.g. the OOM killer took
             // it); make the task schedulable again so it restarts from scratch.
-            if let Some(t) = self.task_mut(task) {
-                t.state = TaskState::Pending;
-                t.progress = 0.0;
-                t.node = None;
-                t.current_attempt = None;
-            }
+            self.force_task_pending(task);
             return;
         }
         let Some(tt) = self.tracker_mut(node) else {
@@ -762,17 +1088,17 @@ impl Cluster {
                 },
             );
         }
+        self.set_task_state(task, TaskState::Killed);
         if let Some(t) = self.task_mut(task) {
-            t.set_state(TaskState::Killed);
             t.wasted_work += invested;
             t.paged_out_bytes += outcome.paged_out_bytes;
             t.paged_in_bytes += outcome.paged_in_bytes;
             t.progress = 0.0;
             t.node = None;
             t.current_attempt = None;
-            // The task itself is rescheduled from scratch.
-            t.set_state(TaskState::Pending);
         }
+        // The task itself is rescheduled from scratch.
+        self.set_task_state(task, TaskState::Pending);
         if self.tracing() {
             self.trace_event(
                 now,
@@ -912,8 +1238,8 @@ impl Cluster {
             Err(_) => return,
         };
         self.mark_node_dirty(node);
+        self.set_task_state(task, TaskState::Succeeded);
         if let Some(t) = self.task_mut(task) {
-            t.set_state(TaskState::Succeeded);
             t.progress = 1.0;
             t.finished_at = Some(now);
             t.current_attempt = None;
@@ -940,6 +1266,8 @@ impl Cluster {
                 job.completed_at = Some(now);
             }
             self.incomplete_jobs = self.incomplete_jobs.saturating_sub(1);
+            #[cfg(debug_assertions)]
+            self.debug_check_job_counters(task.job);
             self.trace_event(now, TraceKind::JobCompleted, task.job, None, None, "");
         }
 
@@ -950,6 +1278,9 @@ impl Cluster {
                 now,
                 jobs: &self.jobs,
                 nodes: &self.views,
+                racks: &self.rack_views,
+                topology: self.namenode.topology(),
+                totals: self.totals,
             };
             self.scheduler.on_task_finished(&ctx, task)
         };
@@ -959,6 +1290,9 @@ impl Cluster {
                     now,
                     jobs: &self.jobs,
                     nodes: &self.views,
+                    racks: &self.rack_views,
+                    topology: self.namenode.topology(),
+                    totals: self.totals,
                 };
                 self.scheduler.on_job_finished(&ctx, task.job)
             };
@@ -972,18 +1306,19 @@ impl Cluster {
     /// another task was allocating memory.
     fn handle_oom_victim(&mut self, attempt_id: AttemptId, node: NodeId, now: SimTime) {
         let task = attempt_id.task;
-        let Some(t) = self.task_mut(task) else { return };
-        if t.current_attempt != Some(attempt_id) {
-            return;
-        }
+        let wasted = {
+            let Some(t) = self.task_mut(task) else { return };
+            if t.current_attempt != Some(attempt_id) {
+                return;
+            }
+            t.progress
+        };
         // Whatever state the task was in, its attempt is gone: it goes back to
         // pending and will be rescheduled from scratch.
-        let wasted = t.progress;
-        t.state = TaskState::Pending;
-        t.progress = 0.0;
-        t.node = None;
-        t.current_attempt = None;
-        t.wasted_work += SimDuration::from_secs_f64(wasted * 10.0);
+        self.force_task_pending(task);
+        if let Some(t) = self.task_mut(task) {
+            t.wasted_work += SimDuration::from_secs_f64(wasted * 10.0);
+        }
         self.unarm_triggers(task);
         self.trace_event(
             now,
@@ -996,14 +1331,12 @@ impl Cluster {
     }
 
     fn force_kill_after_failure(&mut self, task: TaskId, node: NodeId, now: SimTime) {
-        let marked = match self.task_mut(task) {
-            Some(t) if matches!(t.state, TaskState::Running | TaskState::MustSuspend) => {
-                t.set_state(TaskState::MustKill);
-                true
-            }
-            _ => false,
-        };
+        let marked = matches!(
+            self.task(task).map(|t| t.state),
+            Some(TaskState::Running | TaskState::MustSuspend)
+        );
         if marked {
+            self.set_task_state(task, TaskState::MustKill);
             // Index the command in case the immediate delivery below cannot
             // complete (the retry then rides the next heartbeat).
             self.enqueue_command(node, task);
@@ -1024,31 +1357,27 @@ impl Cluster {
                     self.launch_task(task, node, now);
                 }
                 SchedulerAction::Suspend { task } => {
-                    let node = match self.task_mut(task) {
-                        Some(t) if t.state == TaskState::Running => {
-                            t.set_state(TaskState::MustSuspend);
-                            t.node
-                        }
+                    let node = match self.task(task) {
+                        Some(t) if t.state == TaskState::Running => t.node,
                         _ => None,
                     };
                     if let Some(node) = node {
+                        self.set_task_state(task, TaskState::MustSuspend);
                         self.enqueue_command(node, task);
                     }
                 }
                 SchedulerAction::Resume { task } => {
-                    let node = match self.task_mut(task) {
-                        Some(t) if t.state == TaskState::Suspended => {
-                            t.set_state(TaskState::MustResume);
-                            t.node
-                        }
+                    let node = match self.task(task) {
+                        Some(t) if t.state == TaskState::Suspended => t.node,
                         _ => None,
                     };
                     if let Some(node) = node {
+                        self.set_task_state(task, TaskState::MustResume);
                         self.enqueue_command(node, task);
                     }
                 }
                 SchedulerAction::Kill { task } => {
-                    let node = match self.task_mut(task) {
+                    let node = match self.task(task) {
                         Some(t)
                             if matches!(
                                 t.state,
@@ -1058,12 +1387,12 @@ impl Cluster {
                                     | TaskState::MustResume
                             ) =>
                         {
-                            t.set_state(TaskState::MustKill);
                             t.node
                         }
                         _ => None,
                     };
                     if let Some(node) = node {
+                        self.set_task_state(task, TaskState::MustKill);
                         self.enqueue_command(node, task);
                     }
                 }
@@ -1074,7 +1403,7 @@ impl Cluster {
     fn launch_task(&mut self, task: TaskId, node: NodeId, now: SimTime) {
         // Build the execution plan from borrowed state: no clones of the
         // profile, the preferred-node list or the disk config on this path.
-        let plan = {
+        let (plan, locality) = {
             let Some(job) = self.jobs.get(&task.job) else {
                 return;
             };
@@ -1086,6 +1415,7 @@ impl Cluster {
             if tt.free_slots(task.kind) == 0 {
                 return;
             }
+            // O(replicas): the topology's rack lookups are O(1).
             let locality = if t.preferred_nodes.is_empty() {
                 Locality::NodeLocal
             } else {
@@ -1097,14 +1427,15 @@ impl Cluster {
             };
             let disk = &tt.kernel().config().disk;
             let profile = &job.spec.profile;
-            match task.kind {
+            let plan = match task.kind {
                 TaskKind::Map => {
                     ExecPlan::for_map(&self.config.task, disk, profile, t.input_bytes, locality)
                 }
                 TaskKind::Reduce => {
                     ExecPlan::for_reduce(&self.config.task, disk, profile, t.input_bytes)
                 }
-            }
+            };
+            (plan, locality)
         };
         let attempt_id = {
             let Some(t) = self.task_mut(task) else { return };
@@ -1117,9 +1448,12 @@ impl Cluster {
             return;
         }
         self.mark_node_dirty(node);
+        if task.kind == TaskKind::Map {
+            self.locality.record(locality);
+        }
+        self.set_task_state(task, TaskState::Running);
         {
             let t = self.task_mut(task).expect("task exists");
-            t.set_state(TaskState::Running);
             t.node = Some(node);
             t.current_attempt = Some(attempt_id);
             t.progress = 0.0;
@@ -1228,10 +1562,28 @@ impl Cluster {
                 now,
                 jobs: &self.jobs,
                 nodes: &self.views,
+                racks: &self.rack_views,
+                topology: self.namenode.topology(),
+                totals: self.totals,
             };
             self.scheduler.on_progress_trigger(&ctx, task, fraction)
         };
         self.apply_actions(actions, now);
+    }
+}
+
+/// Rebuilds one node view from its tracker's current state.
+fn fill_view(view: &mut NodeView, tt: &TaskTracker) {
+    view.free_map_slots = tt.free_map_slots();
+    view.free_reduce_slots = tt.free_reduce_slots();
+    view.running.clear();
+    view.suspended.clear();
+    for a in tt.attempts() {
+        match a.state {
+            AttemptState::Running => view.running.push(a.task),
+            AttemptState::Suspended => view.suspended.push(a.task),
+            _ => {}
+        }
     }
 }
 
@@ -1403,6 +1755,50 @@ mod tests {
         let mut c = single_node_cluster();
         c.submit_job(JobSpec::map_only("broken", "/nope"));
         c.run(SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn multi_rack_cluster_completes_and_records_locality() {
+        let mut cfg = ClusterConfig::racked_cluster(2, 2, 1, 1);
+        cfg.dfs_replication = 2;
+        let mut c = Cluster::new(cfg, Box::new(FifoScheduler::new()));
+        assert_eq!(c.namenode().topology().rack_count(), 2);
+        assert_eq!(c.rack_views().len(), 2);
+        // Write the input from a node in rack 1; replicas then prefer to
+        // span racks, so launches land in every locality bucket over time.
+        c.create_input_file_from("/in", 512 * MIB, Some(NodeId(3)))
+            .unwrap();
+        c.submit_job(JobSpec::map_only("racked", "/in"));
+        c.run(SimTime::from_secs(3_600));
+        let report = c.report();
+        assert!(report.all_jobs_complete());
+        // 4 x 128 MB blocks -> 4 map launches, all recorded.
+        assert_eq!(report.locality.total(), 4);
+        assert_eq!(c.locality_stats(), report.locality);
+        // With everything idle again, the maintained rack counters must add
+        // back up to the configured slots.
+        let total_free: u32 = c.rack_views().iter().map(|r| r.free_map_slots).sum();
+        assert_eq!(total_free, 4);
+        for rv in c.rack_views() {
+            assert_eq!(rv.nodes, 2);
+        }
+    }
+
+    #[test]
+    fn full_refresh_mode_matches_sharded_mode() {
+        let run = |mode| {
+            let mut cfg = ClusterConfig::racked_cluster(2, 2, 1, 1);
+            cfg.refresh_mode = mode;
+            let mut c = Cluster::new(cfg, Box::new(FifoScheduler::new()));
+            c.create_input_file("/a", 512 * MIB).unwrap();
+            c.submit_job(JobSpec::map_only("a", "/a"));
+            c.submit_job_at(JobSpec::synthetic("b", 6, 64 * MIB), SimTime::from_secs(15));
+            c.run(SimTime::from_secs(3_600));
+            (c.report(), c.events_processed())
+        };
+        let sharded = run(crate::config::RefreshMode::Sharded);
+        let full = run(crate::config::RefreshMode::Full);
+        assert_eq!(sharded, full, "refresh sharding must not change outcomes");
     }
 
     #[test]

@@ -91,11 +91,35 @@ pub enum TraceLevel {
     Schedule,
 }
 
+/// How the cluster refreshes the per-node scheduler views and per-rack
+/// free-slot counters between events.
+///
+/// [`RefreshMode::Sharded`] is the production path: per-rack dirty lists, so
+/// a scheduling round touches only racks and nodes whose tracker state
+/// changed since the last round. [`RefreshMode::Full`] rebuilds every view
+/// and recomputes every rack counter from scratch on each round — the naive
+/// O(nodes) reference, kept so tests can assert the sharded bookkeeping
+/// changes nothing but cost.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum RefreshMode {
+    /// O(changed nodes) per round via per-rack dirty lists (default).
+    #[default]
+    Sharded,
+    /// O(nodes) per round; reference implementation for equivalence tests.
+    Full,
+}
+
 /// Whole-cluster configuration.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ClusterConfig {
     /// Per-node configurations; node ids are assigned in order starting at 0.
     pub nodes: Vec<NodeConfig>,
+    /// Number of racks the nodes are split over (contiguous blocks of nearly
+    /// equal size, rack 0 first). `1` reproduces the paper's single-rack
+    /// setup; the `swim_cluster` bench runs 100 racks x 100 nodes.
+    pub racks: u32,
+    /// View/counter refresh strategy (see [`RefreshMode`]).
+    pub refresh_mode: RefreshMode,
     /// TaskTracker heartbeat interval (`mapreduce.jobtracker.heartbeat.interval`).
     pub heartbeat_interval: SimDuration,
     /// Whether TaskTrackers send an immediate out-of-band heartbeat when a
@@ -120,6 +144,8 @@ impl ClusterConfig {
     pub fn paper_single_node() -> Self {
         ClusterConfig {
             nodes: vec![NodeConfig::paper_node()],
+            racks: 1,
+            refresh_mode: RefreshMode::Sharded,
             heartbeat_interval: SimDuration::from_secs(3),
             out_of_band_heartbeats: true,
             dfs_block_size: 512 * MIB,
@@ -141,6 +167,8 @@ impl ClusterConfig {
                     reduce_slots,
                 })
                 .collect(),
+            racks: 1,
+            refresh_mode: RefreshMode::Sharded,
             heartbeat_interval: SimDuration::from_secs(3),
             out_of_band_heartbeats: true,
             dfs_block_size: 128 * MIB,
@@ -149,6 +177,21 @@ impl ClusterConfig {
             seed: 1,
             trace_level: TraceLevel::Schedule,
         }
+    }
+
+    /// A multi-rack cluster: `racks` racks of `nodes_per_rack` nodes each.
+    /// Replica placement, task-input locality and scheduler assignment all
+    /// become rack-aware; throughput-sensitive callers still switch
+    /// `trace_level` off themselves.
+    pub fn racked_cluster(
+        racks: u32,
+        nodes_per_rack: u32,
+        map_slots: u32,
+        reduce_slots: u32,
+    ) -> Self {
+        let mut cfg = ClusterConfig::small_cluster(racks * nodes_per_rack, map_slots, reduce_slots);
+        cfg.racks = racks;
+        cfg
     }
 
     /// Number of nodes in the cluster.
@@ -161,6 +204,16 @@ impl ClusterConfig {
     pub fn validate(&self) -> Result<(), String> {
         if self.nodes.is_empty() {
             return Err("cluster must have at least one node".into());
+        }
+        if self.racks == 0 {
+            return Err("cluster must have at least one rack".into());
+        }
+        if self.racks as usize > self.nodes.len() {
+            return Err(format!(
+                "more racks ({}) than nodes ({})",
+                self.racks,
+                self.nodes.len()
+            ));
         }
         if self.heartbeat_interval.is_zero() {
             return Err("heartbeat interval must be positive".into());
@@ -256,5 +309,23 @@ mod tests {
         c.nodes[0].map_slots = 0;
         c.nodes[0].reduce_slots = 0;
         assert!(c.validate().is_err());
+
+        let mut c = ClusterConfig::paper_single_node();
+        c.racks = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = ClusterConfig::paper_single_node();
+        c.racks = 2;
+        assert!(c.validate().is_err(), "more racks than nodes is invalid");
+    }
+
+    #[test]
+    fn racked_cluster_shape() {
+        let c = ClusterConfig::racked_cluster(4, 3, 2, 1);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.node_count(), 12);
+        assert_eq!(c.racks, 4);
+        assert_eq!(c.refresh_mode, RefreshMode::Sharded);
+        assert_eq!(c.dfs_replication, 3);
     }
 }

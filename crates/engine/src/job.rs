@@ -392,9 +392,56 @@ pub struct JobRuntime {
     pub completed_at: Option<SimTime>,
     /// All tasks of the job (maps first, then reduces).
     pub tasks: Vec<TaskRuntime>,
+    /// Number of map tasks currently in a schedulable state. Maintained
+    /// incrementally by the engine on every task state transition so
+    /// schedulers can skip exhausted jobs in O(1) instead of scanning their
+    /// (potentially huge) task lists per heartbeat — and, split by kind, so
+    /// a node with only a free reduce slot never scans a map-only job. After
+    /// hand-building a `JobRuntime` or mutating task states directly, call
+    /// [`JobRuntime::recount_task_states`].
+    pub schedulable_maps: u32,
+    /// Number of reduce tasks currently in a schedulable state (same
+    /// maintenance contract as [`JobRuntime::schedulable_maps`]).
+    pub schedulable_reduces: u32,
+    /// Number of tasks currently in [`TaskState::Suspended`] (same
+    /// maintenance contract as [`JobRuntime::schedulable_count`]).
+    pub suspended_count: u32,
+    /// Number of tasks currently occupying a slot somewhere
+    /// ([`TaskState::occupies_slot`]; same maintenance contract).
+    pub occupying_count: u32,
 }
 
 impl JobRuntime {
+    /// Tasks of either kind currently in a schedulable state.
+    pub fn schedulable_count(&self) -> u32 {
+        self.schedulable_maps + self.schedulable_reduces
+    }
+
+    /// Recomputes the maintained per-state task counters from the task list.
+    /// The engine keeps them in sync incrementally; tests and harnesses that
+    /// build or mutate `JobRuntime` values by hand call this afterwards.
+    pub fn recount_task_states(&mut self) {
+        self.schedulable_maps = self
+            .tasks
+            .iter()
+            .filter(|t| t.id.kind == TaskKind::Map && t.state.is_schedulable())
+            .count() as u32;
+        self.schedulable_reduces = self
+            .tasks
+            .iter()
+            .filter(|t| t.id.kind == TaskKind::Reduce && t.state.is_schedulable())
+            .count() as u32;
+        self.suspended_count = self
+            .tasks
+            .iter()
+            .filter(|t| t.state == TaskState::Suspended)
+            .count() as u32;
+        self.occupying_count = self
+            .tasks
+            .iter()
+            .filter(|t| t.state.occupies_slot())
+            .count() as u32;
+    }
     /// Looks up a task by id.
     ///
     /// Map tasks sit at `tasks[index]` by construction (maps first, then
@@ -454,6 +501,85 @@ impl JobRuntime {
         self.tasks
             .iter()
             .fold(SimDuration::ZERO, |acc, t| acc + t.wasted_work)
+    }
+}
+
+/// The JobTracker's job table: a dense `Vec` indexed by job id.
+///
+/// Job ids are assigned sequentially from 1 and jobs are never removed, so
+/// `jobs[id - 1]` is an O(1), single-cache-line lookup — this sits on every
+/// hot path that resolves a `TaskId` (per-heartbeat progress refreshes,
+/// `fill_node`'s per-job skips), where the `BTreeMap` it replaces cost a
+/// multi-level pointer walk per access. The API mirrors the map it replaced
+/// (including `(&JobId, &JobRuntime)` iteration in id order), so determinism
+/// and call sites are unchanged.
+#[derive(Debug, Default)]
+pub struct JobTable {
+    jobs: Vec<JobRuntime>,
+}
+
+impl JobTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        JobTable::default()
+    }
+
+    /// Inserts the next job.
+    ///
+    /// # Panics
+    /// Panics unless `id == job.id` and ids arrive densely (1, 2, 3, …) —
+    /// the JobTracker assigns them that way, and density is what makes every
+    /// lookup O(1).
+    pub fn insert(&mut self, id: JobId, job: JobRuntime) {
+        assert_eq!(id, job.id, "job inserted under a foreign id");
+        assert_eq!(
+            id.0 as usize,
+            self.jobs.len() + 1,
+            "job ids must be dense and sequential from 1"
+        );
+        self.jobs.push(job);
+    }
+
+    /// Looks up a job by id (O(1)).
+    pub fn get(&self, id: &JobId) -> Option<&JobRuntime> {
+        self.jobs.get((id.0 as usize).checked_sub(1)?)
+    }
+
+    /// Mutable lookup by id (O(1)).
+    pub fn get_mut(&mut self, id: &JobId) -> Option<&mut JobRuntime> {
+        self.jobs.get_mut((id.0 as usize).checked_sub(1)?)
+    }
+
+    /// All jobs in id (= submission) order.
+    pub fn values(&self) -> std::slice::Iter<'_, JobRuntime> {
+        self.jobs.iter()
+    }
+
+    /// Mutable iteration in id order.
+    pub fn values_mut(&mut self) -> std::slice::IterMut<'_, JobRuntime> {
+        self.jobs.iter_mut()
+    }
+
+    /// `(&id, &job)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (&JobId, &JobRuntime)> {
+        self.jobs.iter().map(|j| (&j.id, j))
+    }
+
+    /// Number of registered jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True when no jobs are registered.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+}
+
+impl std::ops::Index<&JobId> for JobTable {
+    type Output = JobRuntime;
+    fn index(&self, id: &JobId) -> &JobRuntime {
+        self.get(id).expect("unknown job id")
     }
 }
 
@@ -560,7 +686,17 @@ mod tests {
             submitted_at: SimTime::from_secs(10),
             completed_at: None,
             tasks: vec![TaskRuntime::new(tid(), 100, vec![])],
+            schedulable_maps: 0,
+            schedulable_reduces: 0,
+            suspended_count: 0,
+            occupying_count: 0,
         };
+        job.recount_task_states();
+        assert_eq!(job.schedulable_count(), 1);
+        assert_eq!(job.schedulable_maps, 1);
+        assert_eq!(job.schedulable_reduces, 0);
+        assert_eq!(job.suspended_count, 0);
+        assert_eq!(job.occupying_count, 0);
         assert!(!job.is_complete());
         assert!(job.sojourn().is_none());
         job.tasks[0].set_state(TaskState::Running);

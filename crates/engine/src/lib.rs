@@ -44,18 +44,23 @@ mod tasktracker;
 
 pub use attempt::{Attempt, AttemptPhase, AttemptState, ExecPlan};
 pub use cluster::Cluster;
-pub use config::{ClusterConfig, NodeConfig, TaskDefaults, TraceLevel};
+pub use config::{ClusterConfig, NodeConfig, RefreshMode, TaskDefaults, TraceLevel};
 pub use job::{
-    AttemptId, JobId, JobRuntime, JobSpec, MapInput, TaskId, TaskKind, TaskProfile, TaskRuntime,
-    TaskState,
+    AttemptId, JobId, JobRuntime, JobSpec, JobTable, MapInput, TaskId, TaskKind, TaskProfile,
+    TaskRuntime, TaskState,
 };
-pub use metrics::{ClusterReport, JobReport, NodeReport, TaskReport, TraceEntry, TraceKind};
-pub use scheduler::{FifoScheduler, NodeView, SchedulerAction, SchedulerContext, SchedulerPolicy};
+pub use metrics::{
+    ClusterReport, JobReport, LocalityStats, NodeReport, TaskReport, TraceEntry, TraceKind,
+};
+pub use scheduler::{
+    FifoScheduler, NodeView, PendingTotals, RackView, SchedulerAction, SchedulerContext,
+    SchedulerPolicy,
+};
 pub use tasktracker::{AllocationOutcome, TaskTracker, TerminationOutcome, TrackerError};
 
 // Re-exported so downstream crates can talk about placement without pulling
 // in the DFS crate explicitly.
-pub use mrp_dfs::{Locality, NodeId};
+pub use mrp_dfs::{Locality, NodeId, RackId, Topology};
 
 #[cfg(test)]
 mod randomized_tests {

@@ -96,6 +96,62 @@ impl JobReport {
     }
 }
 
+/// Map-task launch counts bucketed by input locality (the scheduling analogue
+/// of HDFS read locality). Maintained by the engine at every successful map
+/// launch, so benches and figures can assert on rack-aware placement quality
+/// without replaying the trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LocalityStats {
+    /// Launches where the node held a replica of the task's input (tasks
+    /// with no placement preference at all, e.g. synthetic input, count here:
+    /// every node is equally good for them).
+    pub node_local: u64,
+    /// Launches on a different node in a replica-holding rack.
+    pub rack_local: u64,
+    /// Launches with every replica in a foreign rack.
+    pub off_rack: u64,
+}
+
+impl LocalityStats {
+    /// Records one launch at the given locality.
+    pub fn record(&mut self, locality: mrp_dfs::Locality) {
+        match locality {
+            mrp_dfs::Locality::NodeLocal => self.node_local += 1,
+            mrp_dfs::Locality::RackLocal => self.rack_local += 1,
+            mrp_dfs::Locality::OffRack => self.off_rack += 1,
+        }
+    }
+
+    /// Total recorded launches.
+    pub fn total(&self) -> u64 {
+        self.node_local + self.rack_local + self.off_rack
+    }
+
+    /// Fraction of launches that were node-local (0 when nothing recorded).
+    pub fn node_local_ratio(&self) -> f64 {
+        self.ratio(self.node_local)
+    }
+
+    /// Fraction of launches that were rack-local.
+    pub fn rack_local_ratio(&self) -> f64 {
+        self.ratio(self.rack_local)
+    }
+
+    /// Fraction of launches that were off-rack.
+    pub fn off_rack_ratio(&self) -> f64 {
+        self.ratio(self.off_rack)
+    }
+
+    fn ratio(&self, count: u64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            count as f64 / total as f64
+        }
+    }
+}
+
 /// Per-node OS statistics at the end of a run.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct NodeReport {
@@ -120,6 +176,8 @@ pub struct ClusterReport {
     pub jobs: Vec<JobReport>,
     /// One entry per node.
     pub nodes: Vec<NodeReport>,
+    /// Map-task launch counts by input locality.
+    pub locality: LocalityStats,
     /// Virtual time when the simulation stopped.
     pub finished_at: SimTime,
 }
@@ -247,6 +305,10 @@ mod tests {
                     100,
                     vec![],
                 )],
+                schedulable_maps: 1,
+                schedulable_reduces: 0,
+                suspended_count: 0,
+                occupying_count: 0,
             };
             if complete.is_some() {
                 job.tasks[0].set_state(TaskState::Running);
@@ -264,6 +326,7 @@ mod tests {
                 disk_write_bytes: 0,
                 oom_kills: 0,
             }],
+            locality: LocalityStats::default(),
             finished_at: SimTime::from_secs(170),
         }
     }
@@ -314,10 +377,28 @@ mod tests {
         let r = ClusterReport {
             jobs: vec![],
             nodes: vec![],
+            locality: LocalityStats::default(),
             finished_at: SimTime::ZERO,
         };
         assert_eq!(r.makespan_secs(), None);
         assert!(r.all_jobs_complete());
         assert_eq!(r.total_wasted_work_secs(), 0.0);
+    }
+
+    #[test]
+    fn locality_stats_record_and_ratios() {
+        use mrp_dfs::Locality;
+        let mut s = LocalityStats::default();
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.node_local_ratio(), 0.0);
+        s.record(Locality::NodeLocal);
+        s.record(Locality::NodeLocal);
+        s.record(Locality::RackLocal);
+        s.record(Locality::OffRack);
+        assert_eq!(s.total(), 4);
+        assert_eq!(s.node_local, 2);
+        assert_eq!(s.node_local_ratio(), 0.5);
+        assert_eq!(s.rack_local_ratio(), 0.25);
+        assert_eq!(s.off_rack_ratio(), 0.25);
     }
 }

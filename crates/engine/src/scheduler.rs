@@ -8,11 +8,10 @@
 //! preemptive FAIR scheduler and the HFSP-style size-based scheduler all live
 //! in the `mrp-preempt` crate and implement this trait.
 
-use crate::job::{JobId, JobRuntime, JobSpec, TaskId, TaskKind, TaskState};
-use mrp_dfs::NodeId;
+use crate::job::{JobId, JobRuntime, JobSpec, JobTable, TaskId, TaskKind, TaskRuntime, TaskState};
+use mrp_dfs::{Locality, NodeId, RackId, Topology};
 use mrp_sim::SimTime;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// A command a scheduler hands back to the JobTracker.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -71,14 +70,67 @@ impl NodeView {
     }
 }
 
+/// Aggregate slot occupancy of one rack, maintained incrementally by the
+/// engine (per-rack counters updated only for nodes whose tracker state
+/// changed). Policies use these to answer cluster-wide capacity questions in
+/// O(racks) instead of O(nodes).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RackView {
+    /// The rack.
+    pub id: RackId,
+    /// Number of nodes in the rack.
+    pub nodes: u32,
+    /// Free map slots across the rack right now.
+    pub free_map_slots: u32,
+    /// Free reduce slots across the rack right now.
+    pub free_reduce_slots: u32,
+}
+
+/// Cluster-wide pending-work counters, maintained incrementally by the
+/// engine on every task state transition. They let a scheduling round prove
+/// "this node's free slots cannot be used by anything" in O(1) — the
+/// overwhelmingly common case at 10k-node scale (e.g. a free reduce slot on
+/// every node of a map-only workload must not trigger job scans).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PendingTotals {
+    /// Schedulable map tasks across all jobs.
+    pub schedulable_maps: u32,
+    /// Schedulable reduce tasks across all jobs.
+    pub schedulable_reduces: u32,
+    /// Suspended tasks across all jobs.
+    pub suspended: u32,
+}
+
+impl PendingTotals {
+    /// Recomputes the totals from a job table (for hand-built harnesses and
+    /// invariant checks; the engine maintains them incrementally).
+    pub fn from_jobs(jobs: &JobTable) -> Self {
+        let mut totals = PendingTotals::default();
+        for job in jobs.values() {
+            totals.schedulable_maps += job.schedulable_maps;
+            totals.schedulable_reduces += job.schedulable_reduces;
+            totals.suspended += job.suspended_count;
+        }
+        totals
+    }
+}
+
 /// Read-only view of the cluster handed to scheduler policies.
 pub struct SchedulerContext<'a> {
     /// Current virtual time.
     pub now: SimTime,
     /// All jobs the JobTracker knows about, keyed by id (insertion ordered).
-    pub jobs: &'a BTreeMap<JobId, JobRuntime>,
+    pub jobs: &'a JobTable,
     /// Per-node slot occupancy snapshots.
     pub nodes: &'a [NodeView],
+    /// Per-rack aggregate slot counters (empty slices are fine for
+    /// hand-built single-node harnesses; only cluster-wide capacity helpers
+    /// read them).
+    pub racks: &'a [RackView],
+    /// The cluster topology, for rack-aware placement decisions.
+    pub topology: &'a Topology,
+    /// Cluster-wide pending-work counters (see [`PendingTotals`]).
+    pub totals: PendingTotals,
 }
 
 impl<'a> SchedulerContext<'a> {
@@ -101,6 +153,33 @@ impl<'a> SchedulerContext<'a> {
         self.jobs.get(&id.job).and_then(|j| j.task(id))
     }
 
+    /// Free map slots across the whole cluster, from the maintained per-rack
+    /// counters: O(racks), not O(nodes).
+    pub fn free_map_slots_total(&self) -> u32 {
+        self.racks.iter().map(|r| r.free_map_slots).sum()
+    }
+
+    /// Free reduce slots across the whole cluster (O(racks)).
+    pub fn free_reduce_slots_total(&self) -> u32 {
+        self.racks.iter().map(|r| r.free_reduce_slots).sum()
+    }
+
+    /// Input locality a launch of `task` on `node` would get: the best
+    /// locality over the task's preferred (replica-holding) nodes. Tasks with
+    /// no placement preference (synthetic input) count as node-local, since
+    /// every node is equally good. O(replicas) via the topology's dense rack
+    /// index.
+    pub fn task_locality(&self, task: &TaskRuntime, node: NodeId) -> Locality {
+        if task.preferred_nodes.is_empty() {
+            return Locality::NodeLocal;
+        }
+        task.preferred_nodes
+            .iter()
+            .map(|holder| self.topology.locality(node, *holder))
+            .min()
+            .unwrap_or(Locality::OffRack)
+    }
+
     /// All tasks in a schedulable state, ordered by (priority desc, job
     /// submission order, task index): the order a priority-aware FIFO
     /// scheduler would serve them in.
@@ -115,6 +194,11 @@ impl<'a> SchedulerContext<'a> {
         });
         let mut out = Vec::new();
         for job in jobs {
+            // The engine-maintained counter lets exhausted jobs be skipped
+            // without touching their task lists.
+            if job.schedulable_count() == 0 {
+                continue;
+            }
             for t in &job.tasks {
                 if t.state.is_schedulable() {
                     out.push(t.id);
@@ -136,6 +220,9 @@ impl<'a> SchedulerContext<'a> {
         });
         let mut out = Vec::new();
         for job in jobs {
+            if job.suspended_count == 0 {
+                continue;
+            }
             for t in &job.tasks {
                 if t.state == TaskState::Suspended {
                     out.push(t.id);
@@ -230,10 +317,17 @@ impl SchedulerPolicy for FifoScheduler {
         let Some(view) = ctx.node(node) else {
             return Vec::new();
         };
-        // Hot-path early exit: a fully occupied node with nothing suspended
-        // cannot receive work, so skip the whole-cluster task scans below.
+        // Hot-path early exit: skip the whole-cluster task scans below when
+        // this node's free slots provably cannot be used — no pending work of
+        // the matching kind exists anywhere (the cluster-wide totals are
+        // engine-maintained, O(1) to consult) and nothing is suspended here.
         // At scale most heartbeats hit this case.
-        if view.free_map_slots == 0 && view.free_reduce_slots == 0 {
+        let can_launch_map = view.free_map_slots > 0 && ctx.totals.schedulable_maps > 0;
+        let can_launch_reduce = view.free_reduce_slots > 0 && ctx.totals.schedulable_reduces > 0;
+        let can_resume = self.resume_suspended
+            && !view.suspended.is_empty()
+            && (view.free_map_slots > 0 || view.free_reduce_slots > 0);
+        if !can_launch_map && !can_launch_reduce && !can_resume {
             return Vec::new();
         }
         let mut actions = Vec::new();
@@ -258,19 +352,28 @@ impl SchedulerPolicy for FifoScheduler {
             }
         }
 
-        // Then launch fresh work, preferring data-local tasks.
+        // Then launch fresh work in three locality tiers: node-local first,
+        // then rack-local, then off-rack. One pass computes each task's
+        // locality exactly once and buckets it; draining the buckets in tier
+        // order preserves the within-tier priority order of the schedulable
+        // list. A task's locality is fixed, so every task lands in exactly
+        // one bucket and cannot be launched twice.
         let schedulable = ctx.schedulable_tasks();
-        let mut chosen: Vec<TaskId> = Vec::new();
-        for &prefer_local in &[true, false] {
-            for &task in &schedulable {
-                if chosen.contains(&task) {
-                    continue;
-                }
-                let Some(t) = ctx.task(task) else { continue };
-                let local = t.preferred_nodes.is_empty() || t.preferred_nodes.contains(&node);
-                if prefer_local && !local {
-                    continue;
-                }
+        let mut tiers: [Vec<TaskId>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for &task in &schedulable {
+            let Some(t) = ctx.task(task) else { continue };
+            let bucket = match ctx.task_locality(t, node) {
+                Locality::NodeLocal => 0,
+                Locality::RackLocal => 1,
+                Locality::OffRack => 2,
+            };
+            tiers[bucket].push(task);
+        }
+        for tier in &tiers {
+            if free_map == 0 && free_reduce == 0 {
+                break;
+            }
+            for &task in tier {
                 let free = match task.kind {
                     TaskKind::Map => &mut free_map,
                     TaskKind::Reduce => &mut free_reduce,
@@ -279,7 +382,6 @@ impl SchedulerPolicy for FifoScheduler {
                     continue;
                 }
                 *free -= 1;
-                chosen.push(task);
                 actions.push(SchedulerAction::Launch { task, node });
             }
         }
@@ -300,7 +402,7 @@ mod tests {
         let spec =
             JobSpec::synthetic(format!("job{id}"), tasks as u32, 100).with_priority(priority);
         let job_id = JobId(id);
-        JobRuntime {
+        let mut job = JobRuntime {
             id: job_id,
             spec,
             submitted_at: SimTime::from_secs(submitted),
@@ -318,7 +420,13 @@ mod tests {
                     )
                 })
                 .collect(),
-        }
+            schedulable_maps: 0,
+            schedulable_reduces: 0,
+            suspended_count: 0,
+            occupying_count: 0,
+        };
+        job.recount_task_states();
+        job
     }
 
     fn view(id: u32, free_map: u32) -> NodeView {
@@ -333,15 +441,19 @@ mod tests {
 
     #[test]
     fn schedulable_tasks_respect_priority_then_fifo() {
-        let mut jobs = BTreeMap::new();
+        let mut jobs = JobTable::new();
         jobs.insert(JobId(1), make_job(1, 0, 0, 1));
         jobs.insert(JobId(2), make_job(2, 5, 10, 1));
         jobs.insert(JobId(3), make_job(3, 0, 5, 1));
         let nodes = [view(0, 1)];
+        let topo = Topology::single_rack(10);
         let ctx = SchedulerContext {
             now: SimTime::from_secs(20),
             jobs: &jobs,
             nodes: &nodes,
+            racks: &[],
+            topology: &topo,
+            totals: PendingTotals::from_jobs(&jobs),
         };
         let order = ctx.schedulable_tasks();
         assert_eq!(order[0].job, JobId(2), "highest priority first");
@@ -351,13 +463,17 @@ mod tests {
 
     #[test]
     fn fifo_fills_free_slots_only() {
-        let mut jobs = BTreeMap::new();
+        let mut jobs = JobTable::new();
         jobs.insert(JobId(1), make_job(1, 0, 0, 3));
         let nodes = [view(0, 2)];
+        let topo = Topology::single_rack(10);
         let ctx = SchedulerContext {
             now: SimTime::ZERO,
             jobs: &jobs,
             nodes: &nodes,
+            racks: &[],
+            topology: &topo,
+            totals: PendingTotals::from_jobs(&jobs),
         };
         let mut fifo = FifoScheduler::new();
         let actions = fifo.on_heartbeat(&ctx, NodeId(0));
@@ -370,16 +486,20 @@ mod tests {
 
     #[test]
     fn fifo_prefers_data_local_tasks() {
-        let mut jobs = BTreeMap::new();
+        let mut jobs = JobTable::new();
         let mut job = make_job(1, 0, 0, 2);
         job.tasks[0].preferred_nodes = vec![NodeId(5)];
         job.tasks[1].preferred_nodes = vec![NodeId(0)];
         jobs.insert(JobId(1), job);
         let nodes = [view(0, 1)];
+        let topo = Topology::single_rack(10);
         let ctx = SchedulerContext {
             now: SimTime::ZERO,
             jobs: &jobs,
             nodes: &nodes,
+            racks: &[],
+            topology: &topo,
+            totals: PendingTotals::from_jobs(&jobs),
         };
         let mut fifo = FifoScheduler::new();
         let actions = fifo.on_heartbeat(&ctx, NodeId(0));
@@ -395,13 +515,14 @@ mod tests {
 
     #[test]
     fn fifo_resumes_suspended_tasks_on_their_node() {
-        let mut jobs = BTreeMap::new();
+        let mut jobs = JobTable::new();
         let mut job = make_job(1, 0, 0, 1);
         job.tasks[0].state = TaskState::Pending;
         job.tasks[0].set_state(TaskState::Running);
         job.tasks[0].set_state(TaskState::MustSuspend);
         job.tasks[0].set_state(TaskState::Suspended);
         job.tasks[0].node = Some(NodeId(0));
+        job.recount_task_states();
         jobs.insert(JobId(1), job);
         let mut v = view(0, 1);
         v.suspended = vec![TaskId {
@@ -410,10 +531,14 @@ mod tests {
             index: 0,
         }];
         let nodes = [v];
+        let topo = Topology::single_rack(10);
         let ctx = SchedulerContext {
             now: SimTime::ZERO,
             jobs: &jobs,
             nodes: &nodes,
+            racks: &[],
+            topology: &topo,
+            totals: PendingTotals::from_jobs(&jobs),
         };
         let mut fifo = FifoScheduler::new();
         let actions = fifo.on_heartbeat(&ctx, NodeId(0));
@@ -426,13 +551,17 @@ mod tests {
 
     #[test]
     fn context_helpers() {
-        let mut jobs = BTreeMap::new();
+        let mut jobs = JobTable::new();
         jobs.insert(JobId(1), make_job(1, 0, 0, 1));
         let nodes = [view(0, 1)];
+        let topo = Topology::single_rack(10);
         let ctx = SchedulerContext {
             now: SimTime::ZERO,
             jobs: &jobs,
             nodes: &nodes,
+            racks: &[],
+            topology: &topo,
+            totals: PendingTotals::from_jobs(&jobs),
         };
         assert!(ctx.node(NodeId(0)).is_some());
         assert!(ctx.node(NodeId(4)).is_none());

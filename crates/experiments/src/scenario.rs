@@ -81,6 +81,8 @@ pub struct SingleRun {
     pub tl_suspend_cycles: u32,
     /// Work wasted by killed attempts, in seconds.
     pub wasted_work_secs: f64,
+    /// Map-launch locality outcomes (node-local / rack-local / off-rack).
+    pub locality: mrp_engine::LocalityStats,
     /// The full engine report, for detailed inspection.
     pub report: ClusterReport,
 }
@@ -142,6 +144,7 @@ pub fn run_once(config: &ScenarioConfig, seed: u64) -> SingleRun {
         tl_attempts: tl_report.tasks[0].attempts,
         tl_suspend_cycles: tl_report.tasks[0].suspend_cycles,
         wasted_work_secs: report.total_wasted_work_secs(),
+        locality: report.locality,
         report,
     }
 }
@@ -193,6 +196,10 @@ mod tests {
         assert_eq!(run.tl_suspend_cycles, 1);
         assert_eq!(run.tl_attempts, 1);
         assert_eq!(run.swap_out_bytes, 0, "light-weight tasks never page");
+        // Both jobs' single-block inputs are written from node 0 of a
+        // single-node cluster: all launches are node-local.
+        assert_eq!(run.locality.total(), 2);
+        assert_eq!(run.locality.node_local_ratio(), 1.0);
     }
 
     #[test]

@@ -136,6 +136,22 @@ impl<E> EventQueue<E> {
         self.now
     }
 
+    /// Advances the clock to `t` without popping anything. Drivers that merge
+    /// this queue with computed event sources (e.g. the engine's periodic
+    /// heartbeat wheel) use this so `schedule`'s not-in-the-past invariant
+    /// keeps holding across events the queue never saw.
+    ///
+    /// # Panics
+    /// Panics if `t` is before [`Self::now`].
+    pub fn advance_to(&mut self, t: SimTime) {
+        assert!(
+            t >= self.now,
+            "cannot rewind the clock to {t:?} from {:?}",
+            self.now
+        );
+        self.now = t;
+    }
+
     /// Schedules `payload` to fire at absolute time `at`.
     ///
     /// # Panics

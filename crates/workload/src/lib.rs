@@ -160,6 +160,41 @@ impl SwimGenerator {
     }
 }
 
+/// Converts a synthetic SWIM trace into DFS-file-backed jobs plus the list
+/// of input files the harness must create (path, bytes) before submitting.
+///
+/// Synthetic jobs carry no placement preference, so every launch is trivially
+/// "node-local"; backing each job with a real HDFS file (one -
+/// `bytes_per_task`-sized block per map task, replicas placed by the
+/// NameNode) is what makes rack-aware scheduling measurable. The file for
+/// job `i` is `{dir}/{job name}`; spread the writers over the cluster when
+/// creating them (e.g. via `Cluster::create_input_file_from`) so first
+/// replicas do not all stack on node 0.
+pub fn dfs_backed(trace: &[TraceJob], dir: &str) -> (Vec<TraceJob>, Vec<(String, u64)>) {
+    let mut jobs = Vec::with_capacity(trace.len());
+    let mut files = Vec::with_capacity(trace.len());
+    for job in trace {
+        let MapInput::Synthetic {
+            tasks,
+            bytes_per_task,
+        } = job.spec.input
+        else {
+            // Already file-backed: pass through unchanged.
+            jobs.push(job.clone());
+            continue;
+        };
+        let path = format!("{dir}/{}", job.spec.name);
+        files.push((path.clone(), u64::from(tasks) * bytes_per_task));
+        let mut spec = job.spec.clone();
+        spec.input = MapInput::DfsFile { path };
+        jobs.push(TraceJob {
+            arrival: job.arrival,
+            spec,
+        });
+    }
+    (jobs, files)
+}
+
 /// Summary statistics of a generated trace, used in reports and tests.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct TraceSummary {
@@ -261,6 +296,30 @@ mod tests {
             } else {
                 panic!("SWIM jobs are synthetic");
             }
+        }
+    }
+
+    #[test]
+    fn dfs_backed_preserves_shape_and_lists_files() {
+        let mut g = SwimGenerator::new(SwimConfig::default(), 5);
+        let trace = g.generate();
+        let (jobs, files) = dfs_backed(&trace, "/swim");
+        assert_eq!(jobs.len(), trace.len());
+        assert_eq!(files.len(), trace.len());
+        for ((orig, conv), (path, bytes)) in trace.iter().zip(&jobs).zip(&files) {
+            assert_eq!(orig.arrival, conv.arrival);
+            assert_eq!(orig.spec.name, conv.spec.name);
+            assert_eq!(orig.spec.priority, conv.spec.priority);
+            let MapInput::Synthetic {
+                tasks,
+                bytes_per_task,
+            } = orig.spec.input
+            else {
+                panic!("SWIM traces are synthetic");
+            };
+            assert_eq!(*bytes, u64::from(tasks) * bytes_per_task);
+            assert_eq!(path, &format!("/swim/{}", orig.spec.name));
+            assert!(matches!(conv.spec.input, MapInput::DfsFile { .. }));
         }
     }
 

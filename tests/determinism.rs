@@ -2,15 +2,17 @@
 //!
 //! The allocation-lean core refactor (slab/generation event queue, dirty-
 //! tracked scheduler views, per-node command index, incremental completion
-//! counting) must not change *what* the simulator computes, only how fast.
-//! These tests pin concrete fixed-seed outcomes so any future change to the
-//! hot path that perturbs scheduling order or timing is caught immediately —
-//! the same role a golden `ClusterReport` diff would play.
+//! counting) and the rack-sharded engine (per-rack dirty lists and free-slot
+//! counters, rack-aware assignment, interval-spread heartbeat staggering)
+//! must not change *what* the simulator computes, only how fast. These tests
+//! pin concrete fixed-seed outcomes so any future change to the hot path
+//! that perturbs scheduling order or timing is caught immediately — the same
+//! role a golden `ClusterReport` diff would play.
 
 use hadoop_os_preempt::prelude::*;
-use mrp_engine::Cluster;
+use mrp_engine::{Cluster, NodeId, RefreshMode};
 use mrp_experiments::run_once;
-use mrp_sim::SimTime;
+use mrp_sim::{SimRng, SimTime};
 
 #[test]
 fn fixed_seed_paper_scenario_is_pinned() {
@@ -18,11 +20,14 @@ fn fixed_seed_paper_scenario_is_pinned() {
         &ScenarioConfig::lightweight(PreemptionPrimitive::SuspendResume, 0.5),
         1,
     );
-    // Exact values recorded from the post-refactor core (identical in debug
+    // Exact values recorded from the rack-sharded core (identical in debug
     // and release builds; the clock is integer microseconds throughout).
-    assert_eq!(run.report.finished_at.as_micros(), 161_862_486);
+    // The first heartbeat of a single-node cluster now lands at 1.5s (evenly
+    // spread over one interval) instead of the old fixed 200ms, which shifts
+    // the schedule by 1.3s against the PR-1 pins.
+    assert_eq!(run.report.finished_at.as_micros(), 163_162_486);
     assert_eq!(run.sojourn_th_secs, 81.622_288);
-    assert_eq!(run.makespan_secs, 161.862_486);
+    assert_eq!(run.makespan_secs, 163.162_486);
     assert_eq!(run.tl_suspend_cycles, 1);
     assert_eq!(run.tl_attempts, 1);
     assert_eq!(run.swap_out_bytes, 0);
@@ -63,14 +68,138 @@ fn fixed_seed_preemption_churn_run_is_pinned() {
         .flat_map(|j| j.tasks.iter())
         .map(|t| t.suspend_cycles)
         .sum();
-    // Pinned fixed-seed outcome of the HFSP suspend/resume churn scenario.
-    assert_eq!(cluster.events_processed(), 610);
-    assert_eq!(report.finished_at.as_micros(), 83_273_436);
-    assert_eq!(suspends, 10);
+    // Pinned fixed-seed outcome of the HFSP suspend/resume churn scenario
+    // (re-recorded for the rack-sharded engine's heartbeat staggering).
+    assert_eq!(cluster.events_processed(), 605);
+    assert_eq!(report.finished_at.as_micros(), 83_340_102);
+    assert_eq!(suspends, 6);
+    // Synthetic tasks have no placement preference: every launch counts as
+    // node-local by definition.
+    assert_eq!(report.locality.total(), 92);
+    assert_eq!(report.locality.node_local, 92);
 
     // And the run is bit-for-bit repeatable within the same binary.
     let mut again = churn_cluster();
     again.run(SimTime::from_secs(24 * 3_600));
     assert_eq!(again.report(), report);
     assert_eq!(again.events_processed(), cluster.events_processed());
+}
+
+/// A 4-rack / 16-node HFSP cluster with DFS-backed jobs whose first replicas
+/// are spread over the racks, so launches land in all three locality buckets.
+fn racked_cluster() -> Cluster {
+    let mut cfg = ClusterConfig::racked_cluster(4, 4, 2, 1);
+    cfg.dfs_replication = 2;
+    let mut cluster = Cluster::new(
+        cfg,
+        Box::new(HfspScheduler::new(
+            PreemptionPrimitive::SuspendResume,
+            EvictionPolicy::ClosestToCompletion,
+        )),
+    );
+    for i in 0..6u32 {
+        let path = format!("/racked/in-{i}");
+        cluster
+            .create_input_file_from(&path, 384 * MIB, Some(NodeId((i * 5) % 16)))
+            .unwrap();
+        cluster.submit_job_at(
+            JobSpec::map_only(format!("job-{i}"), path),
+            SimTime::from_secs(u64::from(4 * i)),
+        );
+    }
+    cluster
+}
+
+const PINNED_RACKED_EVENTS: u64 = 310;
+const PINNED_RACKED_FINISH: u64 = 43_828_399;
+const PINNED_RACKED_LOCALITY: (u64, u64, u64) = (7, 10, 1);
+
+#[test]
+fn fixed_seed_multi_rack_run_is_pinned() {
+    let mut cluster = racked_cluster();
+    cluster.run(SimTime::from_secs(24 * 3_600));
+    let report = cluster.report();
+    assert!(report.all_jobs_complete());
+    // Pinned fixed-seed outcome of the multi-rack scenario, including the
+    // exact locality split (6 jobs x 3 blocks = 18 map launches).
+    assert_eq!(report.locality.total(), 18);
+    assert_eq!(cluster.events_processed(), PINNED_RACKED_EVENTS);
+    assert_eq!(report.finished_at.as_micros(), PINNED_RACKED_FINISH);
+    assert_eq!(
+        (
+            report.locality.node_local,
+            report.locality.rack_local,
+            report.locality.off_rack
+        ),
+        PINNED_RACKED_LOCALITY
+    );
+    assert!(
+        report.locality.rack_local + report.locality.off_rack > 0,
+        "a multi-rack run must exercise remote launches"
+    );
+
+    let mut again = racked_cluster();
+    again.run(SimTime::from_secs(24 * 3_600));
+    assert_eq!(again.report(), report);
+}
+
+/// The rack-sharded refresh path (per-rack dirty lists, delta-maintained
+/// free-slot counters) must be observationally identical to the naive
+/// rebuild-everything reference, across randomized topologies, schedulers
+/// and workload mixes.
+#[test]
+fn sharded_and_full_refresh_produce_identical_reports() {
+    for case in 0..8u64 {
+        let mut rng = SimRng::new(0x5AAD + case);
+        let racks = 2 + rng.index(3) as u32; // 2..=4
+        let per_rack = 2 + rng.index(3) as u32; // 2..=4
+        let nodes = racks * per_rack;
+        let job_count = 3 + rng.index(5); // 3..=7
+                                          // Pre-draw the workload so both runs see identical submissions.
+        let mut jobs = Vec::new();
+        for i in 0..job_count {
+            let dfs = rng.chance(0.5);
+            let size_mib = 64 + rng.index(512) as u64;
+            let arrival = rng.index(60) as u64;
+            let writer = rng.index(nodes as usize) as u32;
+            jobs.push((i, dfs, size_mib, arrival, writer));
+        }
+        let use_fifo = rng.chance(0.33);
+        let run = |mode: RefreshMode| {
+            let mut cfg = ClusterConfig::racked_cluster(racks, per_rack, 2, 1);
+            cfg.refresh_mode = mode;
+            cfg.trace_level = mrp_engine::TraceLevel::Off;
+            let scheduler: Box<dyn SchedulerPolicy> = if use_fifo {
+                Box::new(mrp_engine::FifoScheduler::new())
+            } else {
+                Box::new(HfspScheduler::new(
+                    PreemptionPrimitive::SuspendResume,
+                    EvictionPolicy::ClosestToCompletion,
+                ))
+            };
+            let mut cluster = Cluster::new(cfg, scheduler);
+            for &(i, dfs, size_mib, arrival, writer) in &jobs {
+                let name = format!("job-{i}");
+                let spec = if dfs {
+                    let path = format!("/in-{i}");
+                    cluster
+                        .create_input_file_from(&path, size_mib * MIB, Some(NodeId(writer)))
+                        .unwrap();
+                    JobSpec::map_only(name, path)
+                } else {
+                    JobSpec::synthetic(name, 1 + (size_mib / 64) as u32, 64 * MIB)
+                };
+                cluster.submit_job_at(spec, SimTime::from_secs(arrival));
+            }
+            cluster.run(SimTime::from_secs(24 * 3_600));
+            (cluster.events_processed(), cluster.report())
+        };
+        let sharded = run(RefreshMode::Sharded);
+        let full = run(RefreshMode::Full);
+        assert!(sharded.1.all_jobs_complete(), "case {case} must complete");
+        assert_eq!(
+            sharded, full,
+            "sharded vs full refresh diverged in case {case}"
+        );
+    }
 }
