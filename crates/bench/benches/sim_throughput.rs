@@ -16,68 +16,11 @@
 //! Determinism is asserted on every run: the optimized and emulated runs must
 //! produce byte-identical `ClusterReport`s from the same seed.
 
+use mrp_bench::scenarios::{hfsp, sim_throughput as scenario};
 use mrp_bench::Bench;
-use mrp_engine::{
-    Cluster, ClusterConfig, JobSpec, NodeId, SchedulerAction, SchedulerContext, SchedulerPolicy,
-    TaskId, TaskState, TraceLevel,
-};
-use mrp_preempt::{EvictionPolicy, HfspScheduler, PreemptionPrimitive};
+use mrp_engine::{NodeId, SchedulerAction, SchedulerContext, SchedulerPolicy, TaskId, TaskState};
 use mrp_sim::{EventQueue, SimRng, SimTime};
 use std::time::Instant;
-
-const NODES: u32 = 200;
-const MAP_SLOTS: u32 = 2;
-const BIG_JOBS: u32 = 20;
-const BIG_JOB_TASKS: u32 = 180;
-const SMALL_JOBS: u32 = 40;
-const SMALL_JOB_TASKS: u32 = 10;
-const BYTES_PER_TASK: u64 = 64 * 1024 * 1024;
-const TOTAL_TASKS: u32 = BIG_JOBS * BIG_JOB_TASKS + SMALL_JOBS * SMALL_JOB_TASKS;
-
-fn scenario_config() -> ClusterConfig {
-    let mut cfg = ClusterConfig::small_cluster(NODES, MAP_SLOTS, 1);
-    cfg.trace_level = TraceLevel::Off;
-    cfg
-}
-
-fn submit_workload(cluster: &mut Cluster) {
-    // Big batch jobs saturate every slot early...
-    for i in 0..BIG_JOBS {
-        cluster.submit_job_at(
-            JobSpec::synthetic(format!("batch-{i:02}"), BIG_JOB_TASKS, BYTES_PER_TASK),
-            SimTime::from_secs(u64::from(i)),
-        );
-    }
-    // ...then a stream of small jobs arrives; HFSP preempts the big jobs'
-    // tasks (suspend/resume) to run them, generating continuous churn.
-    for i in 0..SMALL_JOBS {
-        cluster.submit_job_at(
-            JobSpec::synthetic(format!("small-{i:02}"), SMALL_JOB_TASKS, BYTES_PER_TASK / 4),
-            SimTime::from_secs(20 + 7 * u64::from(i)),
-        );
-    }
-}
-
-fn run_scenario(scheduler: Box<dyn SchedulerPolicy>) -> (mrp_engine::ClusterReport, u64, f64) {
-    let mut cluster = Cluster::new(scenario_config(), scheduler);
-    submit_workload(&mut cluster);
-    let start = Instant::now();
-    cluster.run(SimTime::from_secs(24 * 3_600));
-    let wall = start.elapsed().as_secs_f64();
-    let report = cluster.report();
-    assert!(
-        report.all_jobs_complete(),
-        "throughput scenario must run to completion"
-    );
-    (report, cluster.events_processed(), wall)
-}
-
-fn hfsp() -> Box<dyn SchedulerPolicy> {
-    Box::new(HfspScheduler::new(
-        PreemptionPrimitive::SuspendResume,
-        EvictionPolicy::ClosestToCompletion,
-    ))
-}
 
 /// One pre-refactor node-view snapshot: (id, free map, free reduce, running,
 /// suspended).
@@ -295,14 +238,23 @@ fn baseline_path() -> std::path::PathBuf {
 fn main() {
     let bench = Bench::from_args();
     println!(
-        "sim_throughput: {NODES} nodes x {MAP_SLOTS} map slots, {TOTAL_TASKS} tasks \
-         ({BIG_JOBS} batch jobs x {BIG_JOB_TASKS} + {SMALL_JOBS} small jobs x {SMALL_JOB_TASKS}), \
-         HFSP suspend/resume preemption churn"
+        "sim_throughput: {} nodes x {} map slots, {} tasks \
+         ({} batch jobs x {} + {} small jobs x {}), \
+         HFSP suspend/resume preemption churn",
+        scenario::NODES,
+        scenario::MAP_SLOTS,
+        scenario::TOTAL_TASKS,
+        scenario::BIG_JOBS,
+        scenario::BIG_JOB_TASKS,
+        scenario::SMALL_JOBS,
+        scenario::SMALL_JOB_TASKS,
     );
 
     // Optimized core, plus a byte-identical-determinism check.
-    let (report_a, events, wall_first) = run_scenario(hfsp());
-    let (report_b, events_b, _) = run_scenario(hfsp());
+    let first = scenario::run(hfsp());
+    let second = scenario::run(hfsp());
+    let (report_a, events, wall_first) = (first.report, first.events, first.wall_secs);
+    let (report_b, events_b) = (second.report, second.events);
     assert_eq!(
         report_a, report_b,
         "fixed-seed ClusterReport must be byte-identical"
@@ -320,15 +272,15 @@ fn main() {
     if !bench.is_test() {
         // A few more runs; keep the fastest for the headline number.
         for _ in 0..2 {
-            let (_, _, w) = run_scenario(hfsp());
-            wall = wall.min(w);
+            wall = wall.min(scenario::run(hfsp()).wall_secs);
         }
     }
     let events_per_sec = events as f64 / wall;
 
     // Emulated pre-refactor per-heartbeat costs on the same workload.
+    let legacy = scenario::run(Box::new(LegacyOverhead { inner: hfsp() }));
     let (legacy_report, legacy_events, legacy_wall) =
-        run_scenario(Box::new(LegacyOverhead { inner: hfsp() }));
+        (legacy.report, legacy.events, legacy.wall_secs);
     assert_eq!(
         legacy_report, report_a,
         "the legacy-cost emulation must not change the simulation outcome"
@@ -354,14 +306,17 @@ fn main() {
             (
                 "scenario",
                 mrp_preempt::json::Json::obj(vec![
-                    ("nodes", mrp_preempt::json::Json::Num(f64::from(NODES))),
+                    (
+                        "nodes",
+                        mrp_preempt::json::Json::Num(f64::from(scenario::NODES)),
+                    ),
                     (
                         "map_slots_per_node",
-                        mrp_preempt::json::Json::Num(f64::from(MAP_SLOTS)),
+                        mrp_preempt::json::Json::Num(f64::from(scenario::MAP_SLOTS)),
                     ),
                     (
                         "tasks",
-                        mrp_preempt::json::Json::Num(f64::from(TOTAL_TASKS)),
+                        mrp_preempt::json::Json::Num(f64::from(scenario::TOTAL_TASKS)),
                     ),
                     (
                         "scheduler",

@@ -8,141 +8,26 @@
 //!    across PRs in `BENCH_swim_cluster.json`). The acceptance bar is that
 //!    per-event cost stays near-O(1) in cluster size: events/sec within 3x of
 //!    the 200-node `sim_throughput` rate (checked against the checked-in
-//!    `BENCH_sim_throughput.json` when present);
+//!    `BENCH_sim_throughput.json` when present, and enforced ratio-wise by
+//!    the `check_bench` CI gate);
 //! 2. **locality-hit ratios** — node-local / rack-local / off-rack map launch
 //!    fractions from the engine's maintained `LocalityStats`;
 //! 3. fixed-seed determinism: two runs must produce byte-identical
 //!    `ClusterReport`s, asserted on every invocation (including `--test`).
 //!
-//! `--test` runs a shrunken cluster (64 nodes) so CI can keep the scenario
-//! compiling and deterministic on every PR without the 10k-node cost.
+//! The scenario itself lives in `mrp_bench::scenarios::swim_cluster` so the
+//! CI regression gate runs exactly the same workload. `--test` runs the
+//! shrunken 64-node variant so CI can keep the scenario compiling and
+//! deterministic on every PR without the 10k-node cost.
 
+use mrp_bench::scenarios::swim_cluster::SwimScenario;
 use mrp_bench::Bench;
-use mrp_engine::{Cluster, ClusterConfig, NodeId, TraceLevel};
 use mrp_preempt::json::Json;
-use mrp_preempt::{EvictionPolicy, HfspScheduler, PreemptionPrimitive};
-use mrp_sim::{SimTime, GIB, MIB};
-use mrp_workload::{dfs_backed, summarize, SwimConfig, SwimGenerator};
-use std::time::Instant;
+use mrp_sim::GIB;
+use mrp_workload::{summarize, SwimGenerator};
 
-/// Scenario shape; `small()` is the CI smoke variant.
-struct Scenario {
-    racks: u32,
-    nodes_per_rack: u32,
-    map_slots: u32,
-    jobs: usize,
-    min_job_bytes: u64,
-    max_job_bytes: u64,
-    mean_interarrival_secs: f64,
-    /// Sanity floor on the generated map-task count.
-    min_tasks: usize,
-    seed: u64,
-}
-
-impl Scenario {
-    fn full() -> Self {
-        Scenario {
-            racks: 100,
-            nodes_per_rack: 100,
-            map_slots: 2,
-            jobs: 2_400,
-            min_job_bytes: GIB,
-            max_job_bytes: 128 * GIB,
-            // Total work ~= tasks x 23s over 20k slots ~= 120s saturated;
-            // arrivals paced slightly faster than drain keeps a preemption-
-            // heavy backlog without collapsing into one giant batch.
-            mean_interarrival_secs: 0.06,
-            min_tasks: 100_000,
-            seed: 0x5717,
-        }
-    }
-
-    fn small() -> Self {
-        Scenario {
-            racks: 8,
-            nodes_per_rack: 8,
-            map_slots: 2,
-            jobs: 60,
-            min_job_bytes: 256 * MIB,
-            max_job_bytes: 8 * GIB,
-            mean_interarrival_secs: 0.4,
-            min_tasks: 200,
-            seed: 0x5717,
-        }
-    }
-
-    fn nodes(&self) -> u32 {
-        self.racks * self.nodes_per_rack
-    }
-
-    fn swim_config(&self) -> SwimConfig {
-        SwimConfig {
-            jobs: self.jobs,
-            mean_interarrival_secs: self.mean_interarrival_secs,
-            size_shape: 0.9,
-            min_job_bytes: self.min_job_bytes,
-            max_job_bytes: self.max_job_bytes,
-            bytes_per_task: 128 * MIB,
-            stateful_fraction: 0.05,
-            stateful_memory: GIB,
-            high_priority_fraction: 0.25,
-        }
-    }
-}
-
-struct RunOutcome {
-    report: mrp_engine::ClusterReport,
-    events: u64,
-    wall_secs: f64,
-}
-
-fn run_scenario(sc: &Scenario) -> RunOutcome {
-    let mut cfg = ClusterConfig::racked_cluster(sc.racks, sc.nodes_per_rack, sc.map_slots, 1);
-    cfg.trace_level = TraceLevel::Off;
-    let mut cluster = Cluster::new(
-        cfg,
-        Box::new(HfspScheduler::new(
-            PreemptionPrimitive::SuspendResume,
-            EvictionPolicy::ClosestToCompletion,
-        )),
-    );
-    // SWIM trace, DFS-backed so replica placement and rack-aware assignment
-    // actually matter; writers are spread deterministically over the cluster.
-    let trace = SwimGenerator::new(sc.swim_config(), sc.seed).generate();
-    let (jobs, files) = dfs_backed(&trace, "/swim");
-    let n = sc.nodes() as u64;
-    for (i, (path, bytes)) in files.iter().enumerate() {
-        let writer = NodeId(((i as u64 * 37) % n) as u32);
-        cluster
-            .create_input_file_from(path, *bytes, Some(writer))
-            .expect("swim input files are unique");
-    }
-    for job in jobs {
-        cluster.submit_job_at(job.spec, job.arrival);
-    }
-    let start = Instant::now();
-    cluster.run(SimTime::from_secs(24 * 3_600));
-    let wall_secs = start.elapsed().as_secs_f64();
-    let report = cluster.report();
-    assert!(
-        report.all_jobs_complete(),
-        "swim_cluster scenario must run to completion"
-    );
-    RunOutcome {
-        report,
-        events: cluster.events_processed(),
-        wall_secs,
-    }
-}
-
-/// The `sim_throughput` events/sec baseline, if its JSON is checked in and
-/// parseable; used to report the events/sec ratio the acceptance criterion
-/// ("within 3x of the 200-node rate") is defined against.
 fn sim_throughput_baseline() -> Option<f64> {
-    let path =
-        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sim_throughput.json");
-    let text = std::fs::read_to_string(path).ok()?;
-    Json::parse(&text).ok()?.get("events_per_sec")?.as_f64()
+    mrp_bench::scenarios::baseline_events_per_sec("BENCH_sim_throughput.json")
 }
 
 fn baseline_path() -> std::path::PathBuf {
@@ -152,9 +37,9 @@ fn baseline_path() -> std::path::PathBuf {
 fn main() {
     let bench = Bench::from_args();
     let sc = if bench.is_test() {
-        Scenario::small()
+        SwimScenario::small()
     } else {
-        Scenario::full()
+        SwimScenario::full()
     };
     let summary = summarize(&SwimGenerator::new(sc.swim_config(), sc.seed).generate());
     println!(
@@ -176,8 +61,8 @@ fn main() {
     );
 
     // Run twice and pin fixed-seed report equality on every invocation.
-    let first = run_scenario(&sc);
-    let second = run_scenario(&sc);
+    let first = sc.run();
+    let second = sc.run();
     assert_eq!(
         first.report, second.report,
         "fixed-seed ClusterReport must be byte-identical"
@@ -199,8 +84,7 @@ fn main() {
 
     let mut wall = first.wall_secs.min(second.wall_secs);
     if !bench.is_test() {
-        let extra = run_scenario(&sc);
-        wall = wall.min(extra.wall_secs);
+        wall = wall.min(sc.run().wall_secs);
     }
     let events_per_sec = first.events as f64 / wall;
 

@@ -1,0 +1,157 @@
+//! CI bench-regression gate.
+//!
+//! Re-runs the three tracked throughput scenarios (`sim_throughput`,
+//! `swim_cluster`, `fault_churn`) on the current machine and compares the
+//! events/sec **ratios** between scenarios against the ratios recorded in
+//! the checked-in `BENCH_*.json` baselines. Per the ROADMAP rule, absolute
+//! events/sec are machine-dependent and never compared across machines —
+//! only the ratios are: a scenario whose per-event cost regresses shows up
+//! as its ratio against the same-machine `sim_throughput` run dropping.
+//!
+//! Measurement discipline: the scenarios complete in milliseconds to a
+//! couple of seconds, so single timings on shared CI machines jitter by tens
+//! of percent. Every number here is a median of several runs, and the
+//! regression threshold is a 2x-style guard (fail when a ratio drops below
+//! half its baseline) — tight enough to catch accidental O(n) -> O(n^2)
+//! hot-path regressions (those show up as 3-10x), loose enough not to flap
+//! on timing noise.
+//!
+//! Fails (exit code 1) when:
+//!
+//! * a scenario's events/sec ratio vs `sim_throughput` drops below 50% of
+//!   the checked-in baseline ratio, or
+//! * `fault_churn` breaks its acceptance bar from the fault-injection PR:
+//!   events/sec below 1/3 of the same-machine `sim_throughput` rate.
+//!
+//! `swim_cluster` has no hard bar here: its measured ratio straddles 1/3
+//! purely with anchor timing noise (see docs/PERF.md), so regressions are
+//! caught by the ratio-vs-baseline comparison instead.
+//!
+//! Run with `--quick` to use the shrunken smoke scenarios (useful locally;
+//! CI runs the full shapes).
+
+use mrp_bench::scenarios::{
+    baseline_events_per_sec, fault_churn::FaultChurnScenario, hfsp, sim_throughput, swim_cluster,
+};
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+    xs[xs.len() / 2]
+}
+
+struct Measured {
+    name: &'static str,
+    baseline_file: &'static str,
+    events_per_sec: f64,
+    /// Hard floor on events/sec as a fraction of the same-machine
+    /// `sim_throughput` rate (the scenario's recorded acceptance bar), if
+    /// one is enforced.
+    hard_bar: Option<f64>,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let runs = if quick { 3 } else { 5 };
+
+    // sim_throughput is the per-machine anchor every ratio is defined
+    // against.
+    let sim_eps = median(
+        (0..runs)
+            .map(|_| sim_throughput::run(hfsp()).events_per_sec())
+            .collect(),
+    );
+
+    let swim_eps = {
+        let sc = if quick {
+            swim_cluster::SwimScenario::small()
+        } else {
+            swim_cluster::SwimScenario::full()
+        };
+        median((0..3).map(|_| sc.run().events_per_sec()).collect())
+    };
+
+    let fault_eps = {
+        let sc = if quick {
+            FaultChurnScenario::small()
+        } else {
+            FaultChurnScenario::full()
+        };
+        median((0..3).map(|_| sc.run().events_per_sec()).collect())
+    };
+
+    let measured = [
+        Measured {
+            name: "swim_cluster",
+            baseline_file: "BENCH_swim_cluster.json",
+            events_per_sec: swim_eps,
+            hard_bar: None,
+        },
+        Measured {
+            name: "fault_churn",
+            baseline_file: "BENCH_fault_churn.json",
+            events_per_sec: fault_eps,
+            hard_bar: Some(1.0 / 3.0),
+        },
+    ];
+
+    let Some(sim_base) = baseline_events_per_sec("BENCH_sim_throughput.json") else {
+        eprintln!("check_bench: missing/unparseable BENCH_sim_throughput.json baseline");
+        std::process::exit(1);
+    };
+
+    println!(
+        "check_bench: sim_throughput anchor {:.0} ev/s (baseline {:.0}; mode: {})",
+        sim_eps,
+        sim_base,
+        if quick {
+            "quick/smoke shapes"
+        } else {
+            "full shapes"
+        }
+    );
+    let mut failed = false;
+    for m in &measured {
+        let Some(base_eps) = baseline_events_per_sec(m.baseline_file) else {
+            eprintln!(
+                "check_bench: missing/unparseable {} baseline",
+                m.baseline_file
+            );
+            failed = true;
+            continue;
+        };
+        let fresh_ratio = m.events_per_sec / sim_eps;
+        let base_ratio = base_eps / sim_base;
+        let rel = fresh_ratio / base_ratio;
+        // The baselines (and the hard acceptance bar) were recorded on the
+        // full shapes; quick mode prints the table without enforcing either.
+        let ratio_ok = quick || rel >= 0.5;
+        let bar_ok = quick || m.hard_bar.map(|bar| fresh_ratio >= bar).unwrap_or(true);
+        println!(
+            "  {:<13} {:>12.0} ev/s  ratio {:.3} (baseline {:.3}, {:+.1}%)  [{}{}]",
+            m.name,
+            m.events_per_sec,
+            fresh_ratio,
+            base_ratio,
+            (rel - 1.0) * 100.0,
+            if ratio_ok {
+                "ratio ok"
+            } else {
+                "RATIO REGRESSION >50%"
+            },
+            match (m.hard_bar, bar_ok) {
+                (None, _) => "",
+                (Some(_), true) => ", 1/3 bar ok",
+                (Some(_), false) => ", BELOW 1/3 BAR",
+            },
+        );
+        if !ratio_ok || !bar_ok {
+            failed = true;
+        }
+    }
+
+    if failed {
+        eprintln!("check_bench: FAILED — events/sec ratio regression beyond tolerance");
+        std::process::exit(1);
+    }
+    println!("check_bench: OK");
+}

@@ -13,6 +13,8 @@
 
 #![warn(missing_docs)]
 
+pub mod scenarios;
+
 use std::time::Instant;
 
 /// Timing options parsed from the bench binary's command line.

@@ -1,0 +1,389 @@
+//! Shared throughput-scenario definitions.
+//!
+//! The three tracked scenarios (`sim_throughput`, `swim_cluster`,
+//! `fault_churn`) live here so both the bench binaries and the CI
+//! bench-regression gate (`check_bench`) run *exactly* the same workloads:
+//! the gate compares fresh events/sec ratios against the checked-in
+//! baselines, which is only meaningful when the scenarios are identical.
+
+use mrp_engine::{
+    Cluster, ClusterConfig, ClusterReport, FaultEvent, FaultKind, JobSpec, NodeId, RackId,
+    RandomFaults, SchedulerPolicy, SpeculationConfig, TraceLevel,
+};
+use mrp_preempt::{EvictionPolicy, HfspScheduler, PreemptionPrimitive};
+use mrp_sim::{SimTime, GIB, MIB};
+use mrp_workload::{dfs_backed, SwimConfig, SwimGenerator};
+use std::time::Instant;
+
+/// What one scenario run produced: the full report, the number of events the
+/// run loop handled, and the wall-clock seconds it took.
+pub struct ScenarioOutcome {
+    /// The end-of-run cluster report.
+    pub report: ClusterReport,
+    /// Events processed by `Cluster::run`.
+    pub events: u64,
+    /// Wall-clock seconds for the `Cluster::run` call alone.
+    pub wall_secs: f64,
+}
+
+impl ScenarioOutcome {
+    /// Events per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_secs
+    }
+}
+
+fn timed_run(mut cluster: Cluster, max: SimTime, name: &str) -> ScenarioOutcome {
+    let start = Instant::now();
+    cluster.run(max);
+    let wall_secs = start.elapsed().as_secs_f64();
+    let report = cluster.report();
+    assert!(
+        report.all_jobs_complete(),
+        "{name} scenario must run to completion"
+    );
+    ScenarioOutcome {
+        report,
+        events: cluster.events_processed(),
+        wall_secs,
+    }
+}
+
+/// Reads the `events_per_sec` field of a checked-in `BENCH_*.json`
+/// baseline at the repository root, if present and parseable.
+pub fn baseline_events_per_sec(file: &str) -> Option<f64> {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(format!("../../{file}"));
+    let text = std::fs::read_to_string(path).ok()?;
+    mrp_preempt::json::Json::parse(&text)
+        .ok()?
+        .get("events_per_sec")?
+        .as_f64()
+}
+
+/// The default HFSP suspend/resume policy the throughput scenarios use.
+pub fn hfsp() -> Box<dyn SchedulerPolicy> {
+    Box::new(HfspScheduler::new(
+        PreemptionPrimitive::SuspendResume,
+        EvictionPolicy::ClosestToCompletion,
+    ))
+}
+
+/// The 200-node / 4000-task suspend-churn scenario behind the
+/// `sim_throughput` bench.
+pub mod sim_throughput {
+    use super::*;
+
+    /// Cluster nodes.
+    pub const NODES: u32 = 200;
+    /// Map slots per node.
+    pub const MAP_SLOTS: u32 = 2;
+    /// Number of big batch jobs.
+    pub const BIG_JOBS: u32 = 20;
+    /// Map tasks per batch job.
+    pub const BIG_JOB_TASKS: u32 = 180;
+    /// Number of small latency-sensitive jobs.
+    pub const SMALL_JOBS: u32 = 40;
+    /// Map tasks per small job.
+    pub const SMALL_JOB_TASKS: u32 = 10;
+    /// Input bytes per batch map task.
+    pub const BYTES_PER_TASK: u64 = 64 * 1024 * 1024;
+    /// Total map tasks in the scenario.
+    pub const TOTAL_TASKS: u32 = BIG_JOBS * BIG_JOB_TASKS + SMALL_JOBS * SMALL_JOB_TASKS;
+
+    /// The scenario's cluster configuration (tracing off).
+    pub fn config() -> ClusterConfig {
+        let mut cfg = ClusterConfig::small_cluster(NODES, MAP_SLOTS, 1);
+        cfg.trace_level = TraceLevel::Off;
+        cfg
+    }
+
+    /// Submits the churn workload: batch jobs saturate every slot, then a
+    /// stream of small jobs arrives and HFSP preempts batch tasks to run
+    /// them.
+    pub fn submit_workload(cluster: &mut Cluster) {
+        for i in 0..BIG_JOBS {
+            cluster.submit_job_at(
+                JobSpec::synthetic(format!("batch-{i:02}"), BIG_JOB_TASKS, BYTES_PER_TASK),
+                SimTime::from_secs(u64::from(i)),
+            );
+        }
+        for i in 0..SMALL_JOBS {
+            cluster.submit_job_at(
+                JobSpec::synthetic(format!("small-{i:02}"), SMALL_JOB_TASKS, BYTES_PER_TASK / 4),
+                SimTime::from_secs(20 + 7 * u64::from(i)),
+            );
+        }
+    }
+
+    /// Runs the scenario under the given policy.
+    pub fn run(scheduler: Box<dyn SchedulerPolicy>) -> ScenarioOutcome {
+        let mut cluster = Cluster::new(config(), scheduler);
+        submit_workload(&mut cluster);
+        timed_run(cluster, SimTime::from_secs(24 * 3_600), "sim_throughput")
+    }
+}
+
+/// The 10k-node / 100-rack SWIM-trace scenario behind the `swim_cluster`
+/// bench.
+pub mod swim_cluster {
+    use super::*;
+
+    /// Scenario shape; [`SwimScenario::small`] is the CI smoke variant.
+    pub struct SwimScenario {
+        /// Number of racks.
+        pub racks: u32,
+        /// Nodes per rack.
+        pub nodes_per_rack: u32,
+        /// Map slots per node.
+        pub map_slots: u32,
+        /// Jobs in the SWIM trace.
+        pub jobs: usize,
+        /// Smallest job input size.
+        pub min_job_bytes: u64,
+        /// Largest job input size.
+        pub max_job_bytes: u64,
+        /// Mean job inter-arrival time in seconds.
+        pub mean_interarrival_secs: f64,
+        /// Sanity floor on the generated map-task count.
+        pub min_tasks: usize,
+        /// Trace seed.
+        pub seed: u64,
+    }
+
+    impl SwimScenario {
+        /// The full 10,000-node scenario (the tracked baseline).
+        pub fn full() -> Self {
+            SwimScenario {
+                racks: 100,
+                nodes_per_rack: 100,
+                map_slots: 2,
+                jobs: 2_400,
+                min_job_bytes: GIB,
+                max_job_bytes: 128 * GIB,
+                // Total work ~= tasks x 23s over 20k slots ~= 120s saturated;
+                // arrivals paced slightly faster than drain keeps a
+                // preemption-heavy backlog without collapsing into one giant
+                // batch.
+                mean_interarrival_secs: 0.06,
+                min_tasks: 100_000,
+                seed: 0x5717,
+            }
+        }
+
+        /// The shrunken 64-node CI smoke variant.
+        pub fn small() -> Self {
+            SwimScenario {
+                racks: 8,
+                nodes_per_rack: 8,
+                map_slots: 2,
+                jobs: 60,
+                min_job_bytes: 256 * MIB,
+                max_job_bytes: 8 * GIB,
+                mean_interarrival_secs: 0.4,
+                min_tasks: 200,
+                seed: 0x5717,
+            }
+        }
+
+        /// Total cluster nodes.
+        pub fn nodes(&self) -> u32 {
+            self.racks * self.nodes_per_rack
+        }
+
+        /// The SWIM generator configuration for this shape.
+        pub fn swim_config(&self) -> SwimConfig {
+            SwimConfig {
+                jobs: self.jobs,
+                mean_interarrival_secs: self.mean_interarrival_secs,
+                size_shape: 0.9,
+                min_job_bytes: self.min_job_bytes,
+                max_job_bytes: self.max_job_bytes,
+                bytes_per_task: 128 * MIB,
+                stateful_fraction: 0.05,
+                stateful_memory: GIB,
+                high_priority_fraction: 0.25,
+                slow_fraction: 0.0,
+                slow_parse_rate_bytes_per_sec: 1.5 * MIB as f64,
+                slow_max_tasks: u32::MAX,
+            }
+        }
+
+        /// Runs the scenario once (HFSP suspend/resume, DFS-backed inputs).
+        pub fn run(&self) -> ScenarioOutcome {
+            let mut cfg =
+                ClusterConfig::racked_cluster(self.racks, self.nodes_per_rack, self.map_slots, 1);
+            cfg.trace_level = TraceLevel::Off;
+            let mut cluster = Cluster::new(cfg, hfsp());
+            let trace = SwimGenerator::new(self.swim_config(), self.seed).generate();
+            let (jobs, files) = dfs_backed(&trace, "/swim");
+            let n = u64::from(self.nodes());
+            for (i, (path, bytes)) in files.iter().enumerate() {
+                let writer = NodeId(((i as u64 * 37) % n) as u32);
+                cluster
+                    .create_input_file_from(path, *bytes, Some(writer))
+                    .expect("swim input files are unique");
+            }
+            for job in jobs {
+                cluster.submit_job_at(job.spec, job.arrival);
+            }
+            timed_run(cluster, SimTime::from_secs(24 * 3_600), "swim_cluster")
+        }
+    }
+}
+
+/// The fault-injection churn scenario behind the `fault_churn` bench: a
+/// 200-node multi-rack cluster under HFSP suspend/resume preemption churn
+/// *and* seeded random node failures (plus a scripted rack outage and a
+/// decommission), with speculative re-execution togglable so the bench can
+/// measure its tail-latency payoff on the same seed.
+pub mod fault_churn {
+    use super::*;
+
+    /// Scenario shape; [`FaultChurnScenario::small`] is the CI smoke variant.
+    pub struct FaultChurnScenario {
+        /// Number of racks.
+        pub racks: u32,
+        /// Nodes per rack.
+        pub nodes_per_rack: u32,
+        /// Map slots per node.
+        pub map_slots: u32,
+        /// Jobs in the SWIM trace.
+        pub jobs: usize,
+        /// Mean job inter-arrival time in seconds.
+        pub mean_interarrival_secs: f64,
+        /// Per-rack mean time between node failures, seconds.
+        pub rack_mtbf_secs: f64,
+        /// Mean node downtime before rejoin, seconds.
+        pub mean_recovery_secs: f64,
+        /// No random failures after this virtual time.
+        pub fault_horizon: SimTime,
+        /// Whether speculative re-execution is enabled.
+        pub speculation: bool,
+        /// Fraction of jobs whose tasks parse slowly (straggler population).
+        pub slow_fraction: f64,
+        /// Parse rate of slow jobs' tasks, bytes/second.
+        pub slow_parse_rate_bytes_per_sec: f64,
+        /// Trace seed (workload and fault draws derive from it).
+        pub seed: u64,
+    }
+
+    impl FaultChurnScenario {
+        /// The full 1000-node scenario (the tracked baseline): ~50 racks of
+        /// churn with a rack MTBF short enough that hundreds of nodes fail
+        /// (and rejoin) over the run, at ~0.8 utilisation so preemption,
+        /// stranded suspended tasks and idle backup slots all coexist.
+        pub fn full() -> Self {
+            FaultChurnScenario {
+                racks: 50,
+                nodes_per_rack: 20,
+                map_slots: 2,
+                jobs: 1_200,
+                mean_interarrival_secs: 0.3,
+                rack_mtbf_secs: 90.0,
+                mean_recovery_secs: 45.0,
+                fault_horizon: SimTime::from_secs(600),
+                speculation: true,
+                slow_fraction: 0.15,
+                slow_parse_rate_bytes_per_sec: 1.6 * MIB as f64,
+                seed: 0xFA17,
+            }
+        }
+
+        /// The shrunken CI smoke variant (100 nodes).
+        pub fn small() -> Self {
+            FaultChurnScenario {
+                racks: 10,
+                nodes_per_rack: 10,
+                map_slots: 2,
+                jobs: 150,
+                mean_interarrival_secs: 2.2,
+                rack_mtbf_secs: 60.0,
+                mean_recovery_secs: 45.0,
+                fault_horizon: SimTime::from_secs(600),
+                speculation: true,
+                slow_fraction: 0.15,
+                slow_parse_rate_bytes_per_sec: 1.6 * MIB as f64,
+                seed: 0xFA17,
+            }
+        }
+
+        /// Total cluster nodes.
+        pub fn nodes(&self) -> u32 {
+            self.racks * self.nodes_per_rack
+        }
+
+        /// The SWIM generator configuration for this shape.
+        pub fn swim_config(&self) -> SwimConfig {
+            SwimConfig {
+                jobs: self.jobs,
+                mean_interarrival_secs: self.mean_interarrival_secs,
+                size_shape: 0.9,
+                min_job_bytes: 512 * MIB,
+                max_job_bytes: 24 * GIB,
+                bytes_per_task: 128 * MIB,
+                stateful_fraction: 0.1,
+                stateful_memory: GIB,
+                high_priority_fraction: 0.25,
+                // Slow jobs' long tasks pin slots, strand suspended
+                // neighbours, and form the straggler population speculative
+                // re-execution is for.
+                slow_fraction: self.slow_fraction,
+                slow_parse_rate_bytes_per_sec: self.slow_parse_rate_bytes_per_sec,
+                slow_max_tasks: 8,
+            }
+        }
+
+        /// The cluster configuration: SWIM churn plus the fault plan (random
+        /// per-rack MTBF churn with rejoins, a scripted whole-rack outage,
+        /// and an administrative decommission).
+        pub fn config(&self) -> ClusterConfig {
+            let mut cfg =
+                ClusterConfig::racked_cluster(self.racks, self.nodes_per_rack, self.map_slots, 1);
+            cfg.trace_level = TraceLevel::Off;
+            cfg.faults.random = Some(RandomFaults {
+                rack_mtbf_secs: self.rack_mtbf_secs,
+                mean_recovery_secs: Some(self.mean_recovery_secs),
+                horizon: self.fault_horizon,
+                seed: self.seed ^ 0xDEAD,
+            });
+            cfg.faults.events.push(FaultEvent {
+                at: SimTime::from_secs(45),
+                kind: FaultKind::RackOutage {
+                    rack: RackId(self.racks - 1),
+                },
+            });
+            cfg.faults.events.push(FaultEvent {
+                at: SimTime::from_secs(90),
+                kind: FaultKind::RackRejoin {
+                    rack: RackId(self.racks - 1),
+                },
+            });
+            cfg.faults.events.push(FaultEvent {
+                at: SimTime::from_secs(30),
+                kind: FaultKind::Decommission { node: NodeId(0) },
+            });
+            if self.speculation {
+                cfg.speculation = SpeculationConfig::enabled();
+            }
+            cfg
+        }
+
+        /// Runs the scenario once (HFSP suspend/resume, DFS-backed inputs).
+        pub fn run(&self) -> ScenarioOutcome {
+            let mut cluster = Cluster::new(self.config(), hfsp());
+            let trace = SwimGenerator::new(self.swim_config(), self.seed).generate();
+            let (jobs, files) = dfs_backed(&trace, "/churn");
+            let n = u64::from(self.nodes());
+            for (i, (path, bytes)) in files.iter().enumerate() {
+                let writer = NodeId(((i as u64 * 37) % n) as u32);
+                cluster
+                    .create_input_file_from(path, *bytes, Some(writer))
+                    .expect("churn input files are unique");
+            }
+            for job in jobs {
+                cluster.submit_job_at(job.spec, job.arrival);
+            }
+            timed_run(cluster, SimTime::from_secs(24 * 3_600), "fault_churn")
+        }
+    }
+}

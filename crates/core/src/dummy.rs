@@ -447,9 +447,7 @@ impl DummyScheduler {
             // The dummy scheduler controls resumption explicitly through its
             // restore rules, so the underlying launcher must not resume
             // suspended tasks on its own.
-            launcher: FifoScheduler {
-                resume_suspended: false,
-            },
+            launcher: FifoScheduler::non_resuming(),
             rng: SimRng::new(0x0D_D0),
         }
     }

@@ -124,6 +124,13 @@ struct LocalityIndex {
     /// from the current job (guards against double-launching a task that
     /// appears on several candidate lists).
     chosen: Vec<usize>,
+    /// Reusable per-round buffer of speculative-launch candidates.
+    spec_buf: Vec<mrp_engine::TaskId>,
+    /// Simulated second of the last speculation scan. The O(tail-job tasks)
+    /// straggler scan runs at most once per simulated second cluster-wide:
+    /// straggler rates move on task timescales, while free-slot heartbeats
+    /// arrive hundreds of times per second at cluster scale.
+    spec_stamp: Option<u64>,
 }
 
 impl LocalityIndex {
@@ -157,7 +164,11 @@ fn fill_node(
     let can_launch_map = view.free_map_slots > 0 && maps_unclaimed > 0;
     let can_launch_reduce = view.free_reduce_slots > 0 && reduces_unclaimed > 0;
     let can_resume = any_slot_free && !view.suspended.is_empty();
-    if !can_launch_map && !can_launch_reduce && !can_resume {
+    // Speculation (when enabled) inspects only tail-phase jobs, and only
+    // when this node still has a free map slot after regular assignment —
+    // Hadoop's trigger: a slot nothing pending can use.
+    let can_speculate = ctx.speculation.enabled && view.free_map_slots > 0;
+    if !can_launch_map && !can_launch_reduce && !can_resume && !can_speculate {
         return Vec::new();
     }
     let rack = ctx.topology.rack_of(node);
@@ -336,6 +347,36 @@ fn fill_node(
             job_index.cursor = 0;
         }
         index.chosen = chosen;
+    }
+
+    // Map slots still free after regular assignment: nothing pending can
+    // use them, so offer them to stragglers as speculative backups. All
+    // incomplete jobs are considered (not just `ordered_jobs`, which
+    // policies prune to jobs with launchable/resumable work): a tail-phase
+    // job whose tasks are all running or suspended is exactly the
+    // speculation target.
+    if can_speculate && free_map > 0 {
+        let second = ctx.now.as_micros() / 1_000_000;
+        if index.spec_stamp != Some(second) {
+            index.spec_stamp = Some(second);
+            let mut candidates = std::mem::take(&mut index.spec_buf);
+            for job in ctx.jobs.values() {
+                if free_map == 0 {
+                    break;
+                }
+                if job.is_finished() {
+                    continue;
+                }
+                candidates.clear();
+                ctx.push_speculative_candidates(job, node, free_map as usize, &mut candidates);
+                for &task in &candidates {
+                    free_map -= 1;
+                    actions.push(SchedulerAction::LaunchSpeculative { task, node });
+                }
+            }
+            candidates.clear();
+            index.spec_buf = candidates;
+        }
     }
     actions
 }
@@ -819,6 +860,63 @@ mod tests {
     }
 
     #[test]
+    fn speculation_re_executes_a_stranded_suspended_task() {
+        // Two nodes, one map slot each. A four-task "big" job runs in two
+        // waves; mid-wave-2 a smaller "medium" job arrives, and HFSP suspends
+        // one wave-2 task to make room. The medium job then pins that node
+        // while the other node drains — the suspended task is stranded: its
+        // progress rate decays below half the job mean (anchored by the three
+        // completed siblings). With speculation the idle node runs a backup
+        // that finishes before the original can even resume
+        // (first-finisher-wins), shrinking the makespan; without it the job
+        // waits for the resume.
+        let run = |speculation: bool| {
+            let mut cfg = ClusterConfig::small_cluster(2, 1, 0);
+            if speculation {
+                cfg.speculation = mrp_engine::SpeculationConfig::enabled();
+            }
+            let mut cluster = Cluster::new(
+                cfg,
+                Box::new(HfspScheduler::new(
+                    PreemptionPrimitive::SuspendResume,
+                    EvictionPolicy::ClosestToCompletion,
+                )),
+            );
+            cluster.submit_job(JobSpec::synthetic("big", 4, 256 * MIB));
+            cluster.submit_job_at(
+                JobSpec::synthetic("medium", 1, 320 * MIB),
+                SimTime::from_secs(55),
+            );
+            cluster.run(SimTime::from_secs(8 * 3_600));
+            let report = cluster.report();
+            assert!(report.all_jobs_complete());
+            report
+        };
+        let with_spec = run(true);
+        let without = run(false);
+        assert!(
+            without.faults.speculative_launched == 0,
+            "speculation off must not speculate"
+        );
+        assert!(
+            with_spec.faults.speculative_launched >= 1,
+            "the stranded suspended task must draw a backup: {:?}",
+            with_spec.faults
+        );
+        assert!(
+            with_spec.faults.speculative_won >= 1,
+            "the backup finishes before the stranded original can resume: {:?}",
+            with_spec.faults
+        );
+        assert!(
+            with_spec.makespan_secs().unwrap() < without.makespan_secs().unwrap(),
+            "speculative re-execution must shrink the makespan: {} vs {}",
+            with_spec.makespan_secs().unwrap(),
+            without.makespan_secs().unwrap()
+        );
+    }
+
+    #[test]
     fn remaining_size_shrinks_with_progress() {
         // Direct unit check of the HFSP size estimator.
         let spec = JobSpec::synthetic("x", 2, 100 * MIB);
@@ -831,6 +929,7 @@ mod tests {
             schedulable_reduces: 0,
             suspended_count: 0,
             occupying_count: 0,
+            speculative_live: 0,
             tasks: vec![
                 mrp_engine::TaskRuntime::new(
                     TaskId {

@@ -32,7 +32,7 @@ mod namenode;
 mod topology;
 
 pub use block::{split_into_blocks, Block, BlockId, FileId, FileMeta};
-pub use namenode::{DfsError, NameNode, ReadPlan};
+pub use namenode::{DfsError, NameNode, ReadPlan, ReplicationRepair};
 pub use topology::{Locality, NodeId, RackId, Topology};
 
 #[cfg(test)]

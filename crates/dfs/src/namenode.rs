@@ -48,6 +48,17 @@ impl std::fmt::Display for DfsError {
 
 impl std::error::Error for DfsError {}
 
+/// Outcome of repairing under-replicated blocks after a node left the
+/// cluster (see [`NameNode::re_replicate`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicationRepair {
+    /// New replicas created on surviving nodes.
+    pub re_replicated: u64,
+    /// Blocks whose last replica disappeared with the node (unrepairable
+    /// after a crash; a graceful decommission drains them instead).
+    pub lost_blocks: u64,
+}
+
 /// The simulated NameNode.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct NameNode {
@@ -56,6 +67,19 @@ pub struct NameNode {
     paths: HashMap<String, FileId>,
     blocks: HashMap<BlockId, Block>,
     replicas: HashMap<BlockId, Vec<NodeId>>,
+    /// Dense liveness map (indexed by node id); dead DataNodes hold no
+    /// replicas and are never chosen for placement.
+    dead: Vec<bool>,
+    /// Per-node replica index (dense by node id): the blocks each DataNode
+    /// holds. Keeps [`NameNode::decommission`] O(replicas on the node)
+    /// instead of O(all blocks in the namespace) — fault-injection runs kill
+    /// hundreds of nodes, and a namespace scan per failure dominated their
+    /// profile.
+    node_blocks: Vec<Vec<BlockId>>,
+    /// Maintained count of live nodes (`dead` has this many `false`
+    /// entries); placement consults it once per block, so it must not cost
+    /// an O(nodes) scan.
+    live: usize,
     default_block_size: u64,
     default_replication: u32,
     next_file: u64,
@@ -67,12 +91,18 @@ impl NameNode {
     pub fn new(topology: Topology, default_block_size: u64, default_replication: u32) -> Self {
         assert!(default_block_size > 0);
         assert!(default_replication > 0);
+        let dead = vec![false; topology.len()];
+        let node_blocks = vec![Vec::new(); topology.len()];
+        let live = topology.len();
         NameNode {
             topology,
             files: HashMap::new(),
             paths: HashMap::new(),
             blocks: HashMap::new(),
             replicas: HashMap::new(),
+            dead,
+            node_blocks,
+            live,
             default_block_size,
             default_replication,
             next_file: 1,
@@ -110,6 +140,18 @@ impl NameNode {
         self.replicas.get(&block).map(Vec::as_slice).unwrap_or(&[])
     }
 
+    /// Whether `node` is a live DataNode (in the topology and not
+    /// decommissioned/failed).
+    pub fn is_live(&self, node: NodeId) -> bool {
+        self.topology.contains(node) && !self.dead.get(node.0 as usize).copied().unwrap_or(true)
+    }
+
+    /// Number of live DataNodes (O(1): maintained by
+    /// [`NameNode::decommission`] / [`NameNode::rejoin`]).
+    pub fn live_count(&self) -> usize {
+        self.live
+    }
+
     /// Default replica placement: first replica on the writer (if it is a
     /// cluster node), second preferring a different rack as HDFS does,
     /// remaining replicas on any distinct nodes.
@@ -124,18 +166,18 @@ impl NameNode {
         replication: u32,
         rng: &mut SimRng,
     ) -> Result<Vec<NodeId>, DfsError> {
-        let n = self.topology.len();
-        if n == 0 {
+        let live = self.live_count();
+        if live == 0 {
             return Err(DfsError::NoDataNodes);
         }
-        let target = (replication as usize).min(n);
+        let target = (replication as usize).min(live);
         let mut chosen: Vec<NodeId> = Vec::with_capacity(target);
         let first = match writer {
-            Some(w) if self.topology.contains(w) => w,
-            _ => self
-                .topology
-                .node_at(rng.index(n))
-                .expect("topology is non-empty"),
+            Some(w) if self.is_live(w) => w,
+            _ => match self.pick_distinct(&[], rng) {
+                Some(n) => n,
+                None => return Err(DfsError::NoDataNodes),
+            },
         };
         chosen.push(first);
         if chosen.len() < target {
@@ -144,14 +186,19 @@ impl NameNode {
             }
         }
         while chosen.len() < target {
-            chosen.push(self.pick_distinct(&chosen, rng));
+            match self.pick_distinct(&chosen, rng) {
+                Some(n) => chosen.push(n),
+                None => break,
+            }
         }
         Ok(chosen)
     }
 
-    /// A random node from a non-empty rack other than `anchor`'s, or `None`
-    /// when every node shares the anchor's rack. Scans racks from a random
-    /// starting offset, so the choice stays seed-deterministic.
+    /// A random live node from a non-empty rack other than `anchor`'s, or
+    /// `None` when no such node exists. Scans racks (and rack members) from a
+    /// random starting offset, so the choice stays seed-deterministic and —
+    /// with every node live — draws exactly the same rng sequence as before
+    /// liveness tracking existed.
     fn pick_off_rack(&self, anchor: NodeId, rng: &mut SimRng) -> Option<NodeId> {
         let racks = self.topology.rack_count();
         if racks <= 1 {
@@ -165,33 +212,43 @@ impl NameNode {
                 continue;
             }
             let members = self.topology.members_of(rack);
-            if !members.is_empty() {
-                return Some(members[rng.index(members.len())]);
+            if members.is_empty() {
+                continue;
+            }
+            let offset = rng.index(members.len());
+            for j in 0..members.len() {
+                let cand = members[(offset + j) % members.len()];
+                if self.is_live(cand) {
+                    return Some(cand);
+                }
             }
         }
         None
     }
 
-    /// A random node not already in `chosen`. Rejection-samples a few times
-    /// (`chosen` has at most `replication` entries), then falls back to a
-    /// deterministic scan from a random offset; callers guarantee
-    /// `chosen.len() < topology.len()`, so the scan always finds a node.
-    fn pick_distinct(&self, chosen: &[NodeId], rng: &mut SimRng) -> NodeId {
+    /// A random live node not already in `chosen`. Rejection-samples a few
+    /// times (`chosen` has at most `replication` entries), then falls back to
+    /// a deterministic scan from a random offset; returns `None` only when
+    /// every live node is already chosen.
+    fn pick_distinct(&self, chosen: &[NodeId], rng: &mut SimRng) -> Option<NodeId> {
         let n = self.topology.len();
+        if n == 0 {
+            return None;
+        }
         for _ in 0..8 {
             let cand = self.topology.node_at(rng.index(n)).expect("in range");
-            if !chosen.contains(&cand) {
-                return cand;
+            if !chosen.contains(&cand) && self.is_live(cand) {
+                return Some(cand);
             }
         }
         let start = rng.index(n);
         for i in 0..n {
             let cand = self.topology.node_at((start + i) % n).expect("in range");
-            if !chosen.contains(&cand) {
-                return cand;
+            if !chosen.contains(&cand) && self.is_live(cand) {
+                return Some(cand);
             }
         }
-        unreachable!("fewer chosen replicas than cluster nodes")
+        None
     }
 
     /// Creates a file of `len` bytes at `path`, written from `writer` (if the
@@ -245,6 +302,9 @@ impl NameNode {
                 },
             );
             let placement = self.place_replicas(writer, replication, rng)?;
+            for holder in &placement {
+                self.record_holder(*holder, block_id);
+            }
             self.replicas.insert(block_id, placement);
             block_ids.push(block_id);
         }
@@ -301,11 +361,95 @@ impl NameNode {
         nodes
     }
 
-    /// Removes a DataNode (failure injection); its replicas disappear.
-    pub fn decommission(&mut self, node: NodeId) {
-        for replicas in self.replicas.values_mut() {
-            replicas.retain(|n| *n != node);
+    /// Records `holder` as holding `block` in the per-node index.
+    fn record_holder(&mut self, holder: NodeId, block: BlockId) {
+        if let Some(list) = self.node_blocks.get_mut(holder.0 as usize) {
+            list.push(block);
         }
+    }
+
+    /// Removes a DataNode from service (failure or administrative
+    /// decommission): the node is marked dead, its replicas disappear, and
+    /// the blocks that lost a replica are returned (sorted, so callers can
+    /// repair them deterministically via [`NameNode::re_replicate`]).
+    /// O(replicas held by the node) via the per-node index.
+    pub fn decommission(&mut self, node: NodeId) -> Vec<BlockId> {
+        if let Some(d) = self.dead.get_mut(node.0 as usize) {
+            if !*d {
+                *d = true;
+                self.live -= 1;
+            }
+        }
+        let mut affected = self
+            .node_blocks
+            .get_mut(node.0 as usize)
+            .map(std::mem::take)
+            .unwrap_or_default();
+        for block in &affected {
+            if let Some(replicas) = self.replicas.get_mut(block) {
+                replicas.retain(|n| *n != node);
+            }
+        }
+        affected.sort();
+        affected
+    }
+
+    /// Returns a previously removed DataNode to service. Its disks are
+    /// empty: it holds no replicas until placement chooses it again.
+    pub fn rejoin(&mut self, node: NodeId) {
+        if let Some(d) = self.dead.get_mut(node.0 as usize) {
+            if *d {
+                *d = false;
+                self.live += 1;
+            }
+        }
+    }
+
+    /// Repairs under-replicated blocks after a node left: each affected block
+    /// gets new replicas on live nodes until it reaches its file's
+    /// replication factor (or the live-node count, whichever is smaller).
+    ///
+    /// `graceful` models an administrative decommission, where the leaving
+    /// node itself serves as the copy source, so even last-replica blocks are
+    /// drained rather than lost; after a crash (`graceful == false`) a block
+    /// with no surviving replica is counted in
+    /// [`ReplicationRepair::lost_blocks`].
+    pub fn re_replicate(
+        &mut self,
+        affected: &[BlockId],
+        graceful: bool,
+        rng: &mut SimRng,
+    ) -> ReplicationRepair {
+        let mut repair = ReplicationRepair::default();
+        let live = self.live_count();
+        for block in affected {
+            let Some(meta) = self.blocks.get(block) else {
+                continue;
+            };
+            let target = self
+                .files
+                .get(&meta.file)
+                .map(|f| f.replication)
+                .unwrap_or(self.default_replication) as usize;
+            let target = target.min(live);
+            let mut holders = self.replicas.get(block).cloned().unwrap_or_default();
+            if holders.is_empty() && !graceful {
+                repair.lost_blocks += 1;
+                continue;
+            }
+            while holders.len() < target {
+                match self.pick_distinct(&holders, rng) {
+                    Some(n) => {
+                        self.record_holder(n, *block);
+                        holders.push(n);
+                        repair.re_replicated += 1;
+                    }
+                    None => break,
+                }
+            }
+            self.replicas.insert(*block, holders);
+        }
+        repair
     }
 }
 
@@ -446,8 +590,84 @@ mod tests {
             .create_file("/d", MIB, Some(NodeId(0)), &mut rng())
             .unwrap();
         let block = nn.file(id).unwrap().blocks[0];
-        nn.decommission(NodeId(0));
+        let affected = nn.decommission(NodeId(0));
+        assert_eq!(affected, vec![block]);
         assert!(!nn.replicas_of(block).contains(&NodeId(0)));
+        assert!(!nn.is_live(NodeId(0)));
+        assert_eq!(nn.live_count(), 1);
+    }
+
+    #[test]
+    fn re_replication_restores_the_replication_factor() {
+        let mut nn = namenode(2, 3); // replication 3 over 6 nodes
+        let mut r = rng();
+        let id = nn.create_file("/r", MIB, Some(NodeId(0)), &mut r).unwrap();
+        let block = nn.file(id).unwrap().blocks[0];
+        let lost = nn.replicas_of(block)[0];
+        let affected = nn.decommission(lost);
+        assert_eq!(nn.replicas_of(block).len(), 2);
+        let repair = nn.re_replicate(&affected, false, &mut r);
+        assert_eq!(repair.re_replicated, 1);
+        assert_eq!(repair.lost_blocks, 0);
+        let replicas = nn.replicas_of(block);
+        assert_eq!(replicas.len(), 3);
+        assert!(replicas.iter().all(|n| nn.is_live(*n)), "{replicas:?}");
+        // Distinct replicas.
+        let mut sorted = replicas.to_vec();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3);
+    }
+
+    #[test]
+    fn crash_of_the_last_replica_loses_the_block_but_decommission_drains_it() {
+        let mut nn = NameNode::new(Topology::regular(1, 3), 128 * MIB, 1);
+        let mut r = rng();
+        let id = nn
+            .create_file("/solo", MIB, Some(NodeId(1)), &mut r)
+            .unwrap();
+        let block = nn.file(id).unwrap().blocks[0];
+
+        // Crash: the only replica is gone for good.
+        let affected = nn.decommission(NodeId(1));
+        let repair = nn.re_replicate(&affected, false, &mut r);
+        assert_eq!(repair.lost_blocks, 1);
+        assert_eq!(repair.re_replicated, 0);
+        assert!(nn.replicas_of(block).is_empty());
+
+        // Graceful drain: the leaving node is still a copy source.
+        nn.rejoin(NodeId(1));
+        let mut nn2 = NameNode::new(Topology::regular(1, 3), 128 * MIB, 1);
+        let id2 = nn2
+            .create_file("/solo", MIB, Some(NodeId(1)), &mut r)
+            .unwrap();
+        let block2 = nn2.file(id2).unwrap().blocks[0];
+        let affected2 = nn2.decommission(NodeId(1));
+        let repair2 = nn2.re_replicate(&affected2, true, &mut r);
+        assert_eq!(repair2.lost_blocks, 0);
+        assert_eq!(repair2.re_replicated, 1);
+        assert_eq!(nn2.replicas_of(block2).len(), 1);
+        assert!(nn2.is_live(nn2.replicas_of(block2)[0]));
+    }
+
+    #[test]
+    fn placement_skips_dead_nodes_and_rejoined_nodes_return() {
+        let mut nn = namenode(1, 4); // replication 3 over 4 nodes
+        let mut r = rng();
+        nn.decommission(NodeId(2));
+        let id = nn
+            .create_file("/live", MIB, Some(NodeId(2)), &mut r)
+            .unwrap();
+        let block = nn.file(id).unwrap().blocks[0];
+        // The dead writer cannot hold the first replica.
+        assert!(!nn.replicas_of(block).contains(&NodeId(2)));
+        assert_eq!(nn.replicas_of(block).len(), 3, "3 live nodes remain");
+        nn.rejoin(NodeId(2));
+        let id2 = nn
+            .create_file("/back", MIB, Some(NodeId(2)), &mut r)
+            .unwrap();
+        let block2 = nn.file(id2).unwrap().blocks[0];
+        assert_eq!(nn.replicas_of(block2)[0], NodeId(2));
     }
 
     #[test]

@@ -33,16 +33,18 @@
 //!   for it.
 
 use crate::attempt::{AttemptPhase, AttemptState, ExecPlan};
-use crate::config::{ClusterConfig, RefreshMode, TraceLevel};
+use crate::config::{ClusterConfig, FaultEvent, FaultKind, RefreshMode, TraceLevel};
 use crate::job::{
     AttemptId, JobId, JobRuntime, JobSpec, JobTable, MapInput, TaskId, TaskKind, TaskRuntime,
     TaskState,
 };
-use crate::metrics::{ClusterReport, JobReport, LocalityStats, NodeReport, TraceEntry, TraceKind};
+use crate::metrics::{
+    ClusterReport, FaultStats, JobReport, LocalityStats, NodeReport, TraceEntry, TraceKind,
+};
 use crate::scheduler::{
     NodeView, PendingTotals, RackView, SchedulerAction, SchedulerContext, SchedulerPolicy,
 };
-use crate::tasktracker::TaskTracker;
+use crate::tasktracker::{FailedAttempt, TaskTracker};
 use mrp_dfs::{Locality, NameNode, NodeId, RackId, Topology};
 use mrp_sim::{EventId, EventQueue, SimDuration, SimRng, SimTime};
 use std::collections::VecDeque;
@@ -61,10 +63,20 @@ enum Event {
         attempt: AttemptId,
         phase: AttemptPhase,
     },
-    /// The cleanup attempt of a killed task released its slot.
-    CleanupDone { node: NodeId, kind: TaskKind },
+    /// The cleanup attempt of a killed task released its slot. `epoch` is
+    /// the node's failure epoch at scheduling time: if the node failed in
+    /// between, `fail` already freed every slot and the stale release is
+    /// discarded.
+    CleanupDone {
+        node: NodeId,
+        kind: TaskKind,
+        epoch: u64,
+    },
     /// A registered progress trigger fired.
     ProgressTrigger { index: usize },
+    /// A fault-plan event (node kill/decommission/rejoin, rack outage)
+    /// strikes; `index` points into the cluster's resolved fault schedule.
+    Fault { index: usize },
 }
 
 #[derive(Clone, Debug)]
@@ -189,6 +201,20 @@ pub struct Cluster {
     totals: PendingTotals,
     /// Computed periodic-heartbeat schedule (see [`HeartbeatWheel`]).
     wheel: HeartbeatWheel,
+    /// Resolved fault schedule (scripted events plus pre-drawn random churn),
+    /// referenced by [`Event::Fault`] indexes.
+    fault_events: Vec<FaultEvent>,
+    /// Number of leading `fault_events` entries that came from the user's
+    /// script (the rest are generated churn).
+    scripted_faults: usize,
+    /// Nodes whose current outage was caused by a *churn* kill. A churn
+    /// rejoin only revives these: an absorbed churn strike on a node that a
+    /// scripted kill, rack outage or decommission took down must not let its
+    /// paired recovery cut the scripted outage short. Scripted rejoins (an
+    /// operator action) revive anything.
+    churn_down: Vec<bool>,
+    /// Fault-injection and speculation counters for the report.
+    fault_stats: FaultStats,
 }
 
 impl Cluster {
@@ -206,7 +232,7 @@ impl Cluster {
         let topology = Topology::blocked(node_count as u32, config.racks);
         let mut trackers = Vec::with_capacity(node_count);
         let mut views = Vec::with_capacity(node_count);
-        let queue = EventQueue::new();
+        let mut queue = EventQueue::new();
         // First heartbeats are staggered evenly over one interval by the
         // wheel, so they neither all land on the same instant nor (as a
         // fixed per-node offset would at 10k nodes) stretch the cluster's
@@ -259,6 +285,61 @@ impl Cluster {
         let namenode = NameNode::new(topology, config.dfs_block_size, config.dfs_replication);
         let rng = SimRng::new(config.seed);
         let rack_count = shards.len();
+        // Resolve the fault plan: scripted events first, then per-rack random
+        // churn drawn from a dedicated seed (one derived stream per rack, so
+        // adding a rack never perturbs another rack's failure times). All
+        // fault events go through the ordinary event heap; whether they fire
+        // is decided by the run loop like any other event.
+        let mut fault_events = config.faults.events.clone();
+        // Events below this index are the user's scripted ones; everything
+        // appended by the random generator is churn. The distinction matters
+        // at fire time: a churn rejoin must never resurrect a node an
+        // operator decommissioned.
+        let scripted_faults = fault_events.len();
+        if let Some(rf) = config.faults.random {
+            let frng = SimRng::new(rf.seed);
+            for (rack, shard) in shards.iter().enumerate() {
+                if shard.members.is_empty() {
+                    continue;
+                }
+                let mut rrng = frng.derive(rack as u64);
+                let mut clock = 0.0f64;
+                // Scheduled recovery time per member: a strike on a node
+                // still down from an earlier strike is absorbed (no Kill, and
+                // crucially no orphaned Rejoin that would cut the first
+                // outage short).
+                let mut down_until = vec![f64::NEG_INFINITY; shard.members.len()];
+                loop {
+                    clock += rrng.exponential(rf.rack_mtbf_secs);
+                    let at = SimTime::from_secs_f64(clock);
+                    if at > rf.horizon {
+                        break;
+                    }
+                    let member = rrng.index(shard.members.len());
+                    if clock < down_until[member] {
+                        continue;
+                    }
+                    let node = NodeId(shard.members[member]);
+                    fault_events.push(FaultEvent {
+                        at,
+                        kind: FaultKind::Kill { node },
+                    });
+                    if let Some(recovery) = rf.mean_recovery_secs {
+                        let downtime = rrng.exponential(recovery).max(1.0);
+                        down_until[member] = clock + downtime;
+                        fault_events.push(FaultEvent {
+                            at: at + SimDuration::from_secs_f64(downtime),
+                            kind: FaultKind::Rejoin { node },
+                        });
+                    } else {
+                        down_until[member] = f64::INFINITY;
+                    }
+                }
+            }
+        }
+        for (index, ev) in fault_events.iter().enumerate() {
+            queue.schedule(ev.at, Event::Fault { index });
+        }
         Cluster {
             config,
             queue,
@@ -284,6 +365,10 @@ impl Cluster {
             locality: LocalityStats::default(),
             totals: PendingTotals::default(),
             wheel,
+            fault_events,
+            scripted_faults,
+            churn_down: vec![false; node_count],
+            fault_stats: FaultStats::default(),
         }
     }
 
@@ -323,6 +408,23 @@ impl Cluster {
     /// end-of-run [`ClusterReport`]).
     pub fn locality_stats(&self) -> LocalityStats {
         self.locality
+    }
+
+    /// Fault-injection and speculation counters so far (also part of the
+    /// end-of-run [`ClusterReport`]).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
+    }
+
+    /// The engine-maintained cluster-wide pending-work counters; exposed so
+    /// tests can assert they match a recount from the job table.
+    pub fn pending_totals(&self) -> PendingTotals {
+        self.totals
+    }
+
+    /// Whether `node` is currently in service.
+    pub fn node_is_alive(&self, node: NodeId) -> bool {
+        self.tracker(node).map(|tt| tt.is_alive()).unwrap_or(false)
     }
 
     /// The per-rack aggregate free-slot counters, as schedulers see them
@@ -452,6 +554,7 @@ impl Cluster {
                 })
                 .collect(),
             locality: self.locality,
+            faults: self.fault_stats,
             finished_at: self.queue.now(),
         }
     }
@@ -675,6 +778,39 @@ impl Cluster {
         Self::apply_state_delta(job, &mut self.totals, task.kind, before, after);
     }
 
+    /// Forces a task into `next` without the legality check, keeping the job
+    /// counters in sync. Used by the fault paths, where a node vanishing
+    /// under a task produces transitions the heartbeat protocol never would
+    /// (e.g. `Suspended` → `Running` when a speculative backup is promoted).
+    fn force_task_state(&mut self, task: TaskId, next: TaskState) {
+        let Some(job) = self.jobs.get_mut(&task.job) else {
+            return;
+        };
+        let before = {
+            let Some(t) = job.task_mut(task) else { return };
+            let before = Self::state_classes(t.state);
+            t.state = next;
+            before
+        };
+        let after = Self::state_classes(next);
+        Self::apply_state_delta(job, &mut self.totals, task.kind, before, after);
+    }
+
+    /// Clears a task's speculative-attempt fields and decrements the owning
+    /// job's live-speculation counter. Does *not* touch the backup attempt on
+    /// its tracker — callers either killed it already or are promoting it.
+    fn clear_speculation_fields(&mut self, task: TaskId) {
+        let Some(job) = self.jobs.get_mut(&task.job) else {
+            return;
+        };
+        let Some(t) = job.task_mut(task) else { return };
+        if t.spec_attempt.take().is_some() {
+            t.spec_node = None;
+            debug_assert!(job.speculative_live > 0);
+            job.speculative_live = job.speculative_live.saturating_sub(1);
+        }
+    }
+
     /// Debug-build invariant: the incrementally maintained job counters match
     /// a recount from the task list.
     #[cfg(debug_assertions)]
@@ -687,13 +823,15 @@ impl Cluster {
                     j.schedulable_maps,
                     j.schedulable_reduces,
                     j.suspended_count,
-                    j.occupying_count
+                    j.occupying_count,
+                    j.speculative_live
                 ),
                 (
                     fresh.schedulable_maps,
                     fresh.schedulable_reduces,
                     fresh.suspended_count,
-                    fresh.occupying_count
+                    fresh.occupying_count,
+                    fresh.speculative_live
                 ),
                 "maintained task-state counters drifted for {job:?}"
             );
@@ -745,16 +883,215 @@ impl Cluster {
             } => {
                 self.handle_phase_done(node, attempt, phase, now);
             }
-            Event::CleanupDone { node, kind } => {
-                if let Some(tt) = self.tracker_mut(node) {
-                    tt.release_slot(kind);
+            Event::CleanupDone { node, kind, epoch } => {
+                let Some(tt) = self.tracker_mut(node) else {
+                    return;
+                };
+                if !tt.is_alive() || tt.epoch() != epoch {
+                    return; // the node failed since; its slots were all freed
                 }
+                tt.release_slot(kind);
                 self.mark_node_dirty(node);
                 self.schedule_out_of_band_heartbeat(node, now);
             }
             Event::ProgressTrigger { index } => {
                 self.handle_progress_trigger(index, now);
             }
+            Event::Fault { index } => {
+                self.handle_fault(index, now);
+            }
+        }
+    }
+
+    // ----- fault injection --------------------------------------------------
+
+    fn handle_fault(&mut self, index: usize, now: SimTime) {
+        let scripted = index < self.scripted_faults;
+        match self.fault_events[index].kind {
+            FaultKind::Kill { node } => {
+                if self.fail_node(node, now, false) && !scripted {
+                    self.churn_down[node.0 as usize] = true;
+                }
+            }
+            FaultKind::Decommission { node } => {
+                self.fail_node(node, now, true);
+            }
+            FaultKind::Rejoin { node } => self.rejoin_node(node, now, scripted),
+            FaultKind::RackOutage { rack } => {
+                let members = self
+                    .shards
+                    .get(rack.0 as usize)
+                    .map(|s| s.members.clone())
+                    .unwrap_or_default();
+                for m in members {
+                    // Rack outages are scripted-only: a member already down
+                    // from churn now belongs to the scripted outage, so its
+                    // pending churn recovery must not revive it.
+                    self.fail_node(NodeId(m), now, false);
+                    self.churn_down[m as usize] = false;
+                }
+            }
+            FaultKind::RackRejoin { rack } => {
+                let members = self
+                    .shards
+                    .get(rack.0 as usize)
+                    .map(|s| s.members.clone())
+                    .unwrap_or_default();
+                for m in members {
+                    self.rejoin_node(NodeId(m), now, scripted);
+                }
+            }
+        }
+    }
+
+    /// Takes a node out of service: tears down its attempts (suspended-to-
+    /// disk state is lost — the paper's key cost under failure), drops its
+    /// pending commands, routes block loss through the NameNode with
+    /// re-replication, and reconciles every incremental index so sharded and
+    /// full refresh stay equivalent under churn.
+    /// Returns `true` when the node was alive and actually taken down.
+    fn fail_node(&mut self, node: NodeId, now: SimTime, decommission: bool) -> bool {
+        let Some(tt) = self.tracker_mut(node) else {
+            return false;
+        };
+        if !tt.is_alive() {
+            return false; // duplicate fault (e.g. random churn hit a dead node)
+        }
+        let torn_down = tt.fail(now);
+        self.mark_node_dirty(node);
+        // Commands addressed to this node can never be delivered now; the
+        // teardown below resets their tasks, so drop them wholesale.
+        if let Some(cmds) = self.pending_cmds.get_mut(node.0 as usize) {
+            cmds.clear();
+        }
+        for failed in torn_down {
+            self.resolve_failed_attempt(failed, now);
+        }
+        // Block loss goes through the NameNode: replicas on the node vanish
+        // and under-replicated blocks are repaired from survivors (a graceful
+        // decommission drains even last-replica blocks).
+        let affected = self.namenode.decommission(node);
+        let repair = self
+            .namenode
+            .re_replicate(&affected, decommission, &mut self.rng);
+        self.fault_stats.re_replicated_blocks += repair.re_replicated;
+        self.fault_stats.lost_blocks += repair.lost_blocks;
+        if decommission {
+            self.fault_stats.node_decommissions += 1;
+        } else {
+            self.fault_stats.node_failures += 1;
+        }
+        if self.tracing() {
+            let kind = if decommission {
+                TraceKind::NodeDecommissioned
+            } else {
+                TraceKind::NodeFailed
+            };
+            self.trace_event(
+                now,
+                kind,
+                JobId(0),
+                None,
+                Some(node),
+                format!(
+                    "{} replicas re-created, {} blocks lost",
+                    repair.re_replicated, repair.lost_blocks
+                ),
+            );
+        }
+        true
+    }
+
+    /// Reconciles one attempt torn down by node loss with the JobTracker
+    /// state: promotes a surviving speculative backup, or resets the task to
+    /// `Pending` for re-execution.
+    fn resolve_failed_attempt(&mut self, failed: FailedAttempt, now: SimTime) {
+        let task = failed.id.task;
+        self.fault_stats.attempts_lost += 1;
+        if let Some(ev) = failed.segment_event {
+            self.queue.cancel(ev);
+        }
+        self.unarm_triggers(task);
+        if failed.state == AttemptState::Suspended {
+            self.fault_stats.suspended_tasks_lost += 1;
+            self.fault_stats.lost_suspended_work_secs += failed.invested.as_secs_f64();
+        }
+        let (is_current, is_spec, backup) = {
+            let Some(t) = self.task(task) else { return };
+            (
+                t.current_attempt == Some(failed.id),
+                t.spec_attempt == Some(failed.id),
+                t.spec_attempt.zip(t.spec_node),
+            )
+        };
+        if is_current {
+            match backup {
+                Some((spec_attempt, spec_node)) if self.node_is_alive(spec_node) => {
+                    // The speculative backup survives the failure: promote it
+                    // to be the task's attempt. This is exactly the payoff of
+                    // speculative re-execution under churn. Progress watches
+                    // re-arm against the promoted attempt.
+                    self.clear_speculation_fields(task);
+                    if let Some(t) = self.task_mut(task) {
+                        t.current_attempt = Some(spec_attempt);
+                        t.node = Some(spec_node);
+                        t.wasted_work += failed.invested;
+                    }
+                    self.force_task_state(task, TaskState::Running);
+                    self.arm_triggers(task, spec_node, spec_attempt, now);
+                }
+                _ => {
+                    // No live backup: the task restarts from scratch
+                    // elsewhere. (A backup on a node torn down by the same
+                    // rack outage is resolved by its own FailedAttempt entry;
+                    // only the fields are cleared here.)
+                    self.fault_stats.re_executed_tasks += 1;
+                    if backup.is_some() {
+                        self.clear_speculation_fields(task);
+                    }
+                    self.force_task_pending(task);
+                    if let Some(t) = self.task_mut(task) {
+                        t.wasted_work += failed.invested;
+                    }
+                }
+            }
+        } else if is_spec {
+            // Only the backup died; the original attempt continues.
+            self.fault_stats.speculative_wasted_secs += failed.invested.as_secs_f64();
+            self.clear_speculation_fields(task);
+        }
+    }
+
+    /// Returns a failed node to service with empty disks and all slots free.
+    /// A *churn* rejoin only revives a node whose current outage was caused
+    /// by a churn kill — never one a scripted kill, rack outage or
+    /// decommission took down. Scripted rejoins (operator actions) revive
+    /// anything.
+    fn rejoin_node(&mut self, node: NodeId, now: SimTime, scripted: bool) {
+        if !scripted
+            && !self
+                .churn_down
+                .get(node.0 as usize)
+                .copied()
+                .unwrap_or(false)
+        {
+            return;
+        }
+        {
+            let Some(tt) = self.tracker_mut(node) else {
+                return;
+            };
+            if tt.is_alive() {
+                return;
+            }
+            tt.revive();
+        }
+        self.churn_down[node.0 as usize] = false;
+        self.namenode.rejoin(node);
+        self.mark_node_dirty(node);
+        self.fault_stats.node_rejoins += 1;
+        if self.tracing() {
+            self.trace_event(now, TraceKind::NodeRejoined, JobId(0), None, Some(node), "");
         }
     }
 
@@ -853,6 +1190,7 @@ impl Cluster {
                 schedulable_reduces: reduce_count,
                 suspended_count: 0,
                 occupying_count: 0,
+                speculative_live: 0,
             },
         );
         self.incomplete_jobs += 1;
@@ -867,6 +1205,7 @@ impl Cluster {
                 racks: &self.rack_views,
                 topology: self.namenode.topology(),
                 totals: self.totals,
+                speculation: self.config.speculation,
             };
             self.scheduler.on_job_submitted(&ctx, id)
         };
@@ -877,6 +1216,12 @@ impl Cluster {
     fn handle_heartbeat(&mut self, node: NodeId, now: SimTime) {
         let node_idx = node.0 as usize;
         if node_idx >= self.trackers.len() {
+            return;
+        }
+        // Dead nodes do not heartbeat. The wheel keeps computing their
+        // periodic slots (same event count in every refresh mode), but the
+        // cluster ignores them until the node rejoins.
+        if !self.trackers[node_idx].is_alive() {
             return;
         }
 
@@ -891,7 +1236,13 @@ impl Cluster {
         }
         for &(task, progress) in &buf {
             if let Some(t) = self.task_mut(task) {
-                t.progress = progress;
+                // With a live backup attempt the task's progress is the best
+                // of the two attempts, whichever node reports it.
+                if t.spec_attempt.is_some() {
+                    t.progress = t.progress.max(progress);
+                } else {
+                    t.progress = progress;
+                }
             }
         }
         buf.clear();
@@ -940,6 +1291,7 @@ impl Cluster {
                 racks: &self.rack_views,
                 topology: self.namenode.topology(),
                 totals: self.totals,
+                speculation: self.config.speculation,
             };
             self.scheduler.on_heartbeat(&ctx, node)
         };
@@ -1050,6 +1402,8 @@ impl Cluster {
         let Some(attempt_id) = self.task(task).and_then(|t| t.current_attempt) else {
             return;
         };
+        // Killing a task kills the whole task: any live backup dies with it.
+        self.abort_speculation(task, now);
         let Some(tt) = self.tracker_mut(node) else {
             return;
         };
@@ -1080,11 +1434,13 @@ impl Cluster {
         if outcome.held_slot {
             // The cleanup attempt holds the slot while it deletes the killed
             // task's partial output.
+            let epoch = self.tracker(node).map(|tt| tt.epoch()).unwrap_or(0);
             self.queue.schedule(
                 now + cleanup,
                 Event::CleanupDone {
                     node,
                     kind: task.kind,
+                    epoch,
                 },
             );
         }
@@ -1135,22 +1491,30 @@ impl Cluster {
             AttemptPhase::Setup => {
                 let alloc = match tt.allocate_task_memory(attempt_id, now) {
                     Ok(a) => a,
-                    Err(_) => {
-                        // Unrecoverable allocation failure: kill the attempt.
-                        self.force_kill_after_failure(task, node, now);
-                        return;
-                    }
+                    Err(_) => return, // unknown attempt: nothing to clean up
                 };
-                let input_bytes = tt
-                    .attempt(attempt_id)
-                    .map(|a| a.plan.input_bytes)
-                    .unwrap_or(0);
-                tt.record_input_read(input_bytes);
+                if !alloc.failed {
+                    let input_bytes = tt
+                        .attempt(attempt_id)
+                        .map(|a| a.plan.input_bytes)
+                        .unwrap_or(0);
+                    tt.record_input_read(input_bytes);
+                }
                 if !alloc.oom_killed.is_empty() {
                     self.mark_node_dirty(node);
                 }
+                // The allocating attempt itself may be among the victims (the
+                // OOM killer sacrificed it); the failure path below resolves
+                // it, so only the *other* victims are handled here.
+                let self_killed = alloc.oom_killed.contains(&attempt_id);
                 for victim in &alloc.oom_killed {
-                    self.handle_oom_victim(*victim, node, now);
+                    if *victim != attempt_id {
+                        self.handle_oom_victim(*victim, node, now);
+                    }
+                }
+                if alloc.failed {
+                    self.handle_allocation_failure(task, attempt_id, node, self_killed, now);
+                    return;
                 }
                 let next_phase = if task.kind == TaskKind::Reduce {
                     AttemptPhase::Shuffle
@@ -1238,11 +1602,38 @@ impl Cluster {
             Err(_) => return,
         };
         self.mark_node_dirty(node);
+        // First finisher wins: a completing attempt kills its sibling (the
+        // original kills the backup; a winning backup kills the original,
+        // wherever — running or suspended — it currently sits).
+        let (is_current, is_spec, sibling) = {
+            match self.task(task) {
+                Some(t) => {
+                    let is_current = t.current_attempt == Some(attempt_id);
+                    let sibling = if is_current {
+                        t.spec_attempt.zip(t.spec_node)
+                    } else {
+                        t.current_attempt.zip(t.node)
+                    };
+                    (is_current, t.spec_attempt == Some(attempt_id), sibling)
+                }
+                None => (false, false, None),
+            }
+        };
+        if is_current || is_spec {
+            if let Some((loser, loser_node)) = sibling {
+                self.kill_sibling_attempt(loser, loser_node, now);
+            }
+            self.clear_speculation_fields(task);
+            if is_spec {
+                self.fault_stats.speculative_won += 1;
+            }
+        }
         self.set_task_state(task, TaskState::Succeeded);
         if let Some(t) = self.task_mut(task) {
             t.progress = 1.0;
             t.finished_at = Some(now);
             t.current_attempt = None;
+            t.node = Some(node);
             t.paged_out_bytes += outcome.paged_out_bytes;
             t.paged_in_bytes += outcome.paged_in_bytes;
         }
@@ -1281,6 +1672,7 @@ impl Cluster {
                 racks: &self.rack_views,
                 topology: self.namenode.topology(),
                 totals: self.totals,
+                speculation: self.config.speculation,
             };
             self.scheduler.on_task_finished(&ctx, task)
         };
@@ -1293,6 +1685,7 @@ impl Cluster {
                     racks: &self.rack_views,
                     topology: self.namenode.topology(),
                     totals: self.totals,
+                    speculation: self.config.speculation,
                 };
                 self.scheduler.on_job_finished(&ctx, task.job)
             };
@@ -1306,20 +1699,53 @@ impl Cluster {
     /// another task was allocating memory.
     fn handle_oom_victim(&mut self, attempt_id: AttemptId, node: NodeId, now: SimTime) {
         let task = attempt_id.task;
-        let wasted = {
-            let Some(t) = self.task_mut(task) else { return };
-            if t.current_attempt != Some(attempt_id) {
-                return;
-            }
-            t.progress
+        let (is_current, is_spec, backup, wasted) = {
+            let Some(t) = self.task(task) else { return };
+            (
+                t.current_attempt == Some(attempt_id),
+                t.spec_attempt == Some(attempt_id),
+                t.spec_attempt.zip(t.spec_node),
+                t.progress,
+            )
         };
-        // Whatever state the task was in, its attempt is gone: it goes back to
-        // pending and will be rescheduled from scratch.
-        self.force_task_pending(task);
-        if let Some(t) = self.task_mut(task) {
-            t.wasted_work += SimDuration::from_secs_f64(wasted * 10.0);
+        if is_spec {
+            // Only the backup died (its process is already gone); the
+            // original attempt is untouched.
+            self.clear_speculation_fields(task);
+            self.trace_event(
+                now,
+                TraceKind::Killed,
+                task.job,
+                Some(task),
+                Some(node),
+                "speculative attempt OOM-killed",
+            );
+            return;
+        }
+        if !is_current {
+            return;
         }
         self.unarm_triggers(task);
+        if let Some((spec_attempt, spec_node)) = backup {
+            // The original died but its backup lives on another node (the
+            // OOM happened on the original's node): promote the backup and
+            // re-arm any progress watches against it.
+            self.clear_speculation_fields(task);
+            if let Some(t) = self.task_mut(task) {
+                t.current_attempt = Some(spec_attempt);
+                t.node = Some(spec_node);
+                t.wasted_work += SimDuration::from_secs_f64(wasted * 10.0);
+            }
+            self.force_task_state(task, TaskState::Running);
+            self.arm_triggers(task, spec_node, spec_attempt, now);
+        } else {
+            // Whatever state the task was in, its attempt is gone: it goes
+            // back to pending and will be rescheduled from scratch.
+            self.force_task_pending(task);
+            if let Some(t) = self.task_mut(task) {
+                t.wasted_work += SimDuration::from_secs_f64(wasted * 10.0);
+            }
+        }
         self.trace_event(
             now,
             TraceKind::Killed,
@@ -1328,6 +1754,35 @@ impl Cluster {
             Some(node),
             "OOM-killed while another task allocated memory",
         );
+    }
+
+    /// Resolves an unrecoverable memory-allocation failure for `attempt_id`.
+    /// `attempt_gone` means the OOM killer already took the allocating
+    /// attempt's process; otherwise the attempt is still on the tracker and
+    /// goes through the ordinary kill path.
+    fn handle_allocation_failure(
+        &mut self,
+        task: TaskId,
+        attempt_id: AttemptId,
+        node: NodeId,
+        attempt_gone: bool,
+        now: SimTime,
+    ) {
+        if attempt_gone {
+            // Same resolution as any other OOM victim: reschedule the task
+            // (or promote its backup).
+            self.handle_oom_victim(attempt_id, node, now);
+            return;
+        }
+        let is_spec = self
+            .task(task)
+            .is_some_and(|t| t.spec_attempt == Some(attempt_id));
+        if is_spec {
+            // Only the backup failed to allocate; the original continues.
+            self.abort_speculation(task, now);
+        } else {
+            self.force_kill_after_failure(task, node, now);
+        }
     }
 
     fn force_kill_after_failure(&mut self, task: TaskId, node: NodeId, now: SimTime) {
@@ -1355,6 +1810,9 @@ impl Cluster {
                 }
                 SchedulerAction::Launch { task, node } => {
                     self.launch_task(task, node, now);
+                }
+                SchedulerAction::LaunchSpeculative { task, node } => {
+                    self.launch_speculative(task, node, now);
                 }
                 SchedulerAction::Suspend { task } => {
                     let node = match self.task(task) {
@@ -1494,6 +1952,147 @@ impl Cluster {
         }
     }
 
+    // ----- speculative re-execution -----------------------------------------
+
+    /// Launches a speculative (backup) attempt of `task` on `node`. The task
+    /// keeps its JobTracker state (`Running` or `Suspended`); the backup is
+    /// tracked through [`TaskRuntime::spec_attempt`] and the first attempt to
+    /// finish wins.
+    fn launch_speculative(&mut self, task: TaskId, node: NodeId, now: SimTime) {
+        let plan = {
+            let Some(job) = self.jobs.get(&task.job) else {
+                return;
+            };
+            if job.speculative_live >= self.config.speculation.max_live_per_job {
+                return;
+            }
+            let Some(t) = job.task(task) else { return };
+            if t.spec_attempt.is_some()
+                || !matches!(
+                    t.state,
+                    TaskState::Running | TaskState::Suspended | TaskState::MustResume
+                )
+                || t.node == Some(node)
+            {
+                return;
+            }
+            let Some(tt) = self.tracker(node) else { return };
+            if !tt.is_alive() || tt.free_slots(task.kind) == 0 {
+                return;
+            }
+            let locality = if t.preferred_nodes.is_empty() {
+                Locality::NodeLocal
+            } else {
+                t.preferred_nodes
+                    .iter()
+                    .map(|holder| self.namenode.topology().locality(node, *holder))
+                    .min()
+                    .unwrap_or(Locality::OffRack)
+            };
+            let disk = &tt.kernel().config().disk;
+            let profile = &job.spec.profile;
+            match task.kind {
+                TaskKind::Map => {
+                    ExecPlan::for_map(&self.config.task, disk, profile, t.input_bytes, locality)
+                }
+                TaskKind::Reduce => {
+                    ExecPlan::for_reduce(&self.config.task, disk, profile, t.input_bytes)
+                }
+            }
+        };
+        let attempt_id = {
+            let Some(t) = self.task_mut(task) else { return };
+            t.next_attempt()
+        };
+        let tt = self.tracker_mut(node).expect("checked above");
+        if tt.launch(attempt_id, task.kind, plan, now).is_err() {
+            return;
+        }
+        self.mark_node_dirty(node);
+        {
+            let job = self.jobs.get_mut(&task.job).expect("checked above");
+            job.speculative_live += 1;
+            let t = job.task_mut(task).expect("checked above");
+            t.spec_attempt = Some(attempt_id);
+            t.spec_node = Some(node);
+        }
+        self.fault_stats.speculative_launched += 1;
+        let setup = self
+            .tracker(node)
+            .and_then(|tt| tt.attempt(attempt_id))
+            .map(|a| a.plan.setup)
+            .unwrap_or(SimDuration::ZERO);
+        let event = self.queue.schedule(
+            now + setup,
+            Event::PhaseDone {
+                node,
+                attempt: attempt_id,
+                phase: AttemptPhase::Setup,
+            },
+        );
+        if let Some(tt) = self.tracker_mut(node) {
+            if let Some(a) = tt.attempt_mut(attempt_id) {
+                a.segment_event = Some(event);
+                a.segment_start = now;
+                a.segment_duration = setup;
+            }
+        }
+        if self.tracing() {
+            self.trace_event(
+                now,
+                TraceKind::Speculated,
+                task.job,
+                Some(task),
+                Some(node),
+                format!("backup attempt {}", attempt_id.number),
+            );
+        }
+    }
+
+    /// Kills the losing attempt of a first-finisher-wins race (or of an
+    /// aborted speculation), wherever it is and whatever state it is in.
+    /// Charges its invested time to the speculation-waste counter.
+    fn kill_sibling_attempt(&mut self, attempt: AttemptId, node: NodeId, now: SimTime) {
+        let Some(tt) = self.tracker_mut(node) else {
+            return;
+        };
+        let Some(a) = tt.attempt(attempt) else { return };
+        let pending_event = a.segment_event;
+        let invested = a.invested_time(now);
+        if tt.kill(attempt, now).map(|o| o.held_slot).unwrap_or(false) {
+            // The killed loser held a slot: a cleanup attempt occupies it
+            // until the partial output is deleted, exactly like a scheduler
+            // kill.
+            let epoch = self.tracker(node).map(|tt| tt.epoch()).unwrap_or(0);
+            self.queue.schedule(
+                now + self.config.task.cleanup_duration,
+                Event::CleanupDone {
+                    node,
+                    kind: attempt.task.kind,
+                    epoch,
+                },
+            );
+        }
+        self.mark_node_dirty(node);
+        if let Some(ev) = pending_event {
+            self.queue.cancel(ev);
+        }
+        self.fault_stats.speculative_wasted_secs += invested.as_secs_f64();
+        self.schedule_out_of_band_heartbeat(node, now);
+    }
+
+    /// Tears down a task's live backup attempt (if any) and clears the
+    /// speculation fields; the original attempt is unaffected.
+    fn abort_speculation(&mut self, task: TaskId, now: SimTime) {
+        let backup = self
+            .task(task)
+            .and_then(|t| t.spec_attempt.zip(t.spec_node));
+        if let Some((spec_attempt, spec_node)) = backup {
+            self.kill_sibling_attempt(spec_attempt, spec_node, now);
+            self.clear_speculation_fields(task);
+        }
+    }
+
     // ----- progress triggers -----------------------------------------------
 
     fn arm_triggers(&mut self, task: TaskId, node: NodeId, attempt_id: AttemptId, _now: SimTime) {
@@ -1565,6 +2164,7 @@ impl Cluster {
                 racks: &self.rack_views,
                 topology: self.namenode.topology(),
                 totals: self.totals,
+                speculation: self.config.speculation,
             };
             self.scheduler.on_progress_trigger(&ctx, task, fraction)
         };
@@ -1799,6 +2399,199 @@ mod tests {
         let sharded = run(crate::config::RefreshMode::Sharded);
         let full = run(crate::config::RefreshMode::Full);
         assert_eq!(sharded, full, "refresh sharding must not change outcomes");
+    }
+
+    #[test]
+    fn node_failure_reschedules_tasks_and_the_job_still_completes() {
+        let mut cfg = ClusterConfig::small_cluster(2, 1, 1);
+        cfg.faults.events.push(crate::config::FaultEvent {
+            at: SimTime::from_secs(30),
+            kind: crate::config::FaultKind::Kill { node: NodeId(1) },
+        });
+        let mut c = Cluster::new(cfg, Box::new(FifoScheduler::new()));
+        c.create_input_file("/in", 512 * MIB).unwrap();
+        c.submit_job(JobSpec::map_only("churn", "/in"));
+        c.run(SimTime::from_secs(3_600));
+        let report = c.report();
+        assert!(report.all_jobs_complete(), "survivor node finishes the job");
+        assert_eq!(report.faults.node_failures, 1);
+        assert!(
+            report.faults.attempts_lost >= 1,
+            "node 1 was running a task at t=30: {:?}",
+            report.faults
+        );
+        assert!(report.faults.attempts_lost >= report.faults.re_executed_tasks);
+        assert!(!c.node_is_alive(NodeId(1)));
+        assert!(!c.namenode().is_live(NodeId(1)));
+        // The re-executed task needed a second attempt.
+        let max_attempts = report.jobs[0]
+            .tasks
+            .iter()
+            .map(|t| t.attempts)
+            .max()
+            .unwrap();
+        assert!(max_attempts >= 2);
+        let kinds: Vec<TraceKind> = c.trace().iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&TraceKind::NodeFailed));
+    }
+
+    #[test]
+    fn failed_node_rejoins_and_takes_work_again() {
+        let mut cfg = ClusterConfig::small_cluster(2, 1, 1);
+        cfg.faults.events.push(crate::config::FaultEvent {
+            at: SimTime::from_secs(10),
+            kind: crate::config::FaultKind::Kill { node: NodeId(1) },
+        });
+        cfg.faults.events.push(crate::config::FaultEvent {
+            at: SimTime::from_secs(40),
+            kind: crate::config::FaultKind::Rejoin { node: NodeId(1) },
+        });
+        let mut c = Cluster::new(cfg, Box::new(FifoScheduler::new()));
+        c.create_input_file("/in", 512 * MIB).unwrap();
+        c.submit_job(JobSpec::map_only("rejoin", "/in"));
+        c.run(SimTime::from_secs(3_600));
+        let report = c.report();
+        assert!(report.all_jobs_complete());
+        assert_eq!(report.faults.node_failures, 1);
+        assert_eq!(report.faults.node_rejoins, 1);
+        assert!(c.node_is_alive(NodeId(1)));
+        assert!(c.namenode().is_live(NodeId(1)));
+        // Both nodes active again at the end: total free map slots add up.
+        let total_free: u32 = c.rack_views().iter().map(|r| r.free_map_slots).sum();
+        assert_eq!(total_free, 2);
+    }
+
+    #[test]
+    fn decommission_drains_replicas_and_counts_separately() {
+        let mut cfg = ClusterConfig::small_cluster(4, 1, 1);
+        cfg.faults.events.push(crate::config::FaultEvent {
+            at: SimTime::from_secs(5),
+            kind: crate::config::FaultKind::Decommission { node: NodeId(0) },
+        });
+        let mut c = Cluster::new(cfg, Box::new(FifoScheduler::new()));
+        // Written from node 0, replication 3: node 0 holds a replica of
+        // every block, so decommissioning it forces re-replication.
+        c.create_input_file("/in", 512 * MIB).unwrap();
+        c.submit_job(JobSpec::map_only("drain", "/in"));
+        c.run(SimTime::from_secs(3_600));
+        let report = c.report();
+        assert!(report.all_jobs_complete());
+        assert_eq!(report.faults.node_decommissions, 1);
+        assert_eq!(report.faults.node_failures, 0);
+        assert!(
+            report.faults.re_replicated_blocks >= 1,
+            "node 0 held first replicas: {:?}",
+            report.faults
+        );
+        assert_eq!(
+            report.faults.lost_blocks, 0,
+            "decommission never loses blocks"
+        );
+    }
+
+    #[test]
+    fn rack_outage_fails_every_member_and_rack_rejoin_restores_them() {
+        let mut cfg = ClusterConfig::racked_cluster(2, 2, 1, 1);
+        cfg.faults.events.push(crate::config::FaultEvent {
+            at: SimTime::from_secs(20),
+            kind: crate::config::FaultKind::RackOutage { rack: RackId(1) },
+        });
+        cfg.faults.events.push(crate::config::FaultEvent {
+            at: SimTime::from_secs(50),
+            kind: crate::config::FaultKind::RackRejoin { rack: RackId(1) },
+        });
+        let mut c = Cluster::new(cfg, Box::new(FifoScheduler::new()));
+        c.submit_job(JobSpec::synthetic("outage", 8, 128 * MIB));
+        c.run(SimTime::from_secs(3_600));
+        let report = c.report();
+        assert!(report.all_jobs_complete());
+        assert_eq!(report.faults.node_failures, 2, "both rack members fail");
+        assert_eq!(report.faults.node_rejoins, 2);
+        assert!(c.node_is_alive(NodeId(2)) && c.node_is_alive(NodeId(3)));
+    }
+
+    #[test]
+    fn random_mtbf_churn_is_deterministic_and_survivable() {
+        let run = || {
+            let mut cfg = ClusterConfig::racked_cluster(2, 3, 1, 1);
+            cfg.faults.random = Some(crate::config::RandomFaults {
+                rack_mtbf_secs: 25.0,
+                mean_recovery_secs: Some(20.0),
+                horizon: SimTime::from_secs(600),
+                seed: 0xFA11,
+            });
+            let mut c = Cluster::new(cfg, Box::new(FifoScheduler::new()));
+            c.submit_job(JobSpec::synthetic("churny", 24, 128 * MIB));
+            c.run(SimTime::from_secs(24 * 3_600));
+            (c.events_processed(), c.report())
+        };
+        let (events_a, report_a) = run();
+        let (events_b, report_b) = run();
+        assert!(report_a.all_jobs_complete());
+        assert!(
+            report_a.faults.node_failures >= 2,
+            "a 60s-per-rack MTBF over a multi-minute run must strike: {:?}",
+            report_a.faults
+        );
+        assert_eq!(events_a, events_b);
+        assert_eq!(
+            report_a, report_b,
+            "fault injection must stay deterministic"
+        );
+    }
+
+    #[test]
+    fn unrecoverable_allocation_failure_keeps_counters_consistent() {
+        // Pinned regression test for `force_kill_after_failure` and the
+        // allocation-failure path: a task whose allocation can never succeed
+        // (8 GB of state on a 3 GB node with 64 MB of swap) is OOM-killed at
+        // the end of every setup phase and rescheduled, forever. The
+        // maintained per-job per-kind counters and the cluster-wide
+        // PendingTotals must survive this loop without drifting.
+        let mut cfg = ClusterConfig::paper_single_node();
+        cfg.nodes[0].os.memory = mrp_simos::MemoryConfig {
+            total_ram: 3 * 1024 * MIB,
+            os_reserve: 512 * MIB,
+            swap_capacity: 64 * MIB,
+            ..Default::default()
+        };
+        let mut c = Cluster::new(cfg, Box::new(FifoScheduler::new()));
+        c.submit_job(
+            JobSpec::synthetic("doomed", 1, 64 * MIB)
+                .with_profile(TaskProfile::memory_hungry(8 * 1024 * MIB)),
+        );
+        c.run(SimTime::from_secs(60));
+        let report = c.report();
+        assert!(!report.all_jobs_complete(), "the job can never finish");
+        let job = c.jobs().values().next().unwrap();
+        assert!(
+            job.tasks[0].attempts_made >= 2,
+            "the task must have been retried, got {}",
+            job.tasks[0].attempts_made
+        );
+        assert_eq!(job.tasks[0].state, TaskState::Pending);
+        // The incrementally maintained counters match a recount.
+        let mut fresh = job.clone();
+        fresh.recount_task_states();
+        assert_eq!(
+            (
+                job.schedulable_maps,
+                job.schedulable_reduces,
+                job.suspended_count,
+                job.occupying_count,
+                job.speculative_live
+            ),
+            (
+                fresh.schedulable_maps,
+                fresh.schedulable_reduces,
+                fresh.suspended_count,
+                fresh.occupying_count,
+                fresh.speculative_live
+            ),
+            "maintained counters drifted across the kill-after-failure loop"
+        );
+        assert_eq!(c.pending_totals(), PendingTotals::from_jobs(c.jobs()));
+        assert!(report.nodes[0].oom_kills >= 1);
     }
 
     #[test]

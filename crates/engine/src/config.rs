@@ -5,7 +5,8 @@
 //! files, with task durations around 80 seconds, a 3-second heartbeat, and
 //! `swappiness = 0`.
 
-use mrp_sim::{SimDuration, MIB};
+use mrp_dfs::{NodeId, RackId};
+use mrp_sim::{SimDuration, SimTime, MIB};
 use mrp_simos::NodeOsConfig;
 use serde::{Deserialize, Serialize};
 
@@ -109,6 +110,128 @@ pub enum RefreshMode {
     Full,
 }
 
+/// What happens to a node (or a whole rack) at a scripted fault time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Abrupt node crash: every running attempt dies, every suspended
+    /// attempt's swapped-out state is lost (the paper's key cost under
+    /// failure), and the node's block replicas disappear (re-replicated from
+    /// survivors where possible).
+    Kill {
+        /// The node that crashes.
+        node: NodeId,
+    },
+    /// Administrative decommission: same task teardown as a crash, but the
+    /// DFS drains the node's replicas gracefully (no block loss).
+    Decommission {
+        /// The node being decommissioned.
+        node: NodeId,
+    },
+    /// A previously removed node returns to service with empty disks and a
+    /// fresh TaskTracker.
+    Rejoin {
+        /// The node rejoining.
+        node: NodeId,
+    },
+    /// Every node of the rack crashes at once (switch/PDU failure).
+    RackOutage {
+        /// The rack losing power.
+        rack: RackId,
+    },
+    /// Every node of the rack returns to service.
+    RackRejoin {
+        /// The rack rejoining.
+        rack: RackId,
+    },
+}
+
+/// One scripted fault-injection event.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// When the fault strikes (virtual time).
+    pub at: SimTime,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// Seeded random node churn: each rack draws failure times from an
+/// exponential distribution with the given MTBF, kills a random member at
+/// each strike, and (optionally) rejoins it after an exponential downtime.
+/// All draws come from a dedicated seed, so fault timing is reproducible and
+/// independent of the cluster's placement randomness.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RandomFaults {
+    /// Mean time between failures *per rack*, in seconds.
+    pub rack_mtbf_secs: f64,
+    /// Mean downtime before a failed node rejoins, in seconds; `None` means
+    /// failed nodes stay dead for the rest of the run.
+    pub mean_recovery_secs: Option<f64>,
+    /// No failures are generated after this virtual time.
+    pub horizon: SimTime,
+    /// Seed for the fault-time/victim draws.
+    pub seed: u64,
+}
+
+/// The cluster's fault-injection plan: scripted events plus optional seeded
+/// random churn. Empty by default — the failure-free cluster of the paper's
+/// testbed.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Scripted kill/decommission/rejoin/rack-outage events.
+    pub events: Vec<FaultEvent>,
+    /// Seeded random per-rack MTBF churn, if any.
+    pub random: Option<RandomFaults>,
+}
+
+impl FaultPlan {
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.random.is_none()
+    }
+}
+
+/// Speculative re-execution (straggler mitigation) knobs.
+///
+/// When enabled, schedulers launch a backup attempt for a map task whose
+/// progress rate has fallen below `slowness_ratio` times its job's mean rate
+/// — including tasks frozen in `Suspended` (their rate decays while they
+/// wait, which is exactly the re-execution opportunity preemption churn and
+/// node failures create). The first attempt to finish wins; the engine kills
+/// the loser.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SpeculationConfig {
+    /// Master switch (default off: the paper's scenarios are speculation-free).
+    pub enabled: bool,
+    /// A task is a straggler when its progress rate is below this fraction of
+    /// the job's mean progress rate.
+    pub slowness_ratio: f64,
+    /// Minimum time since a task's first launch before it may be speculated.
+    pub min_runtime: SimDuration,
+    /// Cap on concurrently live backup attempts per job (bounds slot waste).
+    pub max_live_per_job: u32,
+}
+
+impl Default for SpeculationConfig {
+    fn default() -> Self {
+        SpeculationConfig {
+            enabled: false,
+            slowness_ratio: 0.4,
+            min_runtime: SimDuration::from_secs(30),
+            max_live_per_job: 2,
+        }
+    }
+}
+
+impl SpeculationConfig {
+    /// Speculation switched on with the default Hadoop-like thresholds.
+    pub fn enabled() -> Self {
+        SpeculationConfig {
+            enabled: true,
+            ..SpeculationConfig::default()
+        }
+    }
+}
+
 /// Whole-cluster configuration.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ClusterConfig {
@@ -137,6 +260,10 @@ pub struct ClusterConfig {
     /// Schedule-trace verbosity (default [`TraceLevel::Schedule`]; set to
     /// [`TraceLevel::Off`] for throughput runs).
     pub trace_level: TraceLevel,
+    /// Fault-injection plan (default: no faults).
+    pub faults: FaultPlan,
+    /// Speculative re-execution knobs (default: off).
+    pub speculation: SpeculationConfig,
 }
 
 impl ClusterConfig {
@@ -153,6 +280,8 @@ impl ClusterConfig {
             task: TaskDefaults::default(),
             seed: 1,
             trace_level: TraceLevel::Schedule,
+            faults: FaultPlan::default(),
+            speculation: SpeculationConfig::default(),
         }
     }
 
@@ -176,6 +305,8 @@ impl ClusterConfig {
             task: TaskDefaults::default(),
             seed: 1,
             trace_level: TraceLevel::Schedule,
+            faults: FaultPlan::default(),
+            speculation: SpeculationConfig::default(),
         }
     }
 
@@ -233,6 +364,41 @@ impl ClusterConfig {
         for (i, n) in self.nodes.iter().enumerate() {
             if n.map_slots == 0 && n.reduce_slots == 0 {
                 return Err(format!("node {i} has no task slots"));
+            }
+        }
+        let node_in_range = |n: NodeId| (n.0 as usize) < self.nodes.len();
+        for ev in &self.faults.events {
+            match ev.kind {
+                FaultKind::Kill { node }
+                | FaultKind::Decommission { node }
+                | FaultKind::Rejoin { node } => {
+                    if !node_in_range(node) {
+                        return Err(format!("fault event targets unknown node {node:?}"));
+                    }
+                }
+                FaultKind::RackOutage { rack } | FaultKind::RackRejoin { rack } => {
+                    if rack.0 >= self.racks {
+                        return Err(format!("fault event targets unknown rack {rack:?}"));
+                    }
+                }
+            }
+        }
+        if let Some(rf) = &self.faults.random {
+            if rf.rack_mtbf_secs <= 0.0 || rf.rack_mtbf_secs.is_nan() {
+                return Err("random-fault MTBF must be positive".into());
+            }
+            if let Some(rec) = rf.mean_recovery_secs {
+                if rec <= 0.0 || rec.is_nan() {
+                    return Err("random-fault mean recovery must be positive".into());
+                }
+            }
+        }
+        if self.speculation.enabled {
+            if !(self.speculation.slowness_ratio > 0.0 && self.speculation.slowness_ratio <= 1.0) {
+                return Err("speculation slowness ratio must be in (0, 1]".into());
+            }
+            if self.speculation.min_runtime.is_zero() {
+                return Err("speculation min runtime must be positive".into());
             }
         }
         Ok(())
@@ -317,6 +483,41 @@ mod tests {
         let mut c = ClusterConfig::paper_single_node();
         c.racks = 2;
         assert!(c.validate().is_err(), "more racks than nodes is invalid");
+    }
+
+    #[test]
+    fn fault_and_speculation_validation() {
+        let mut c = ClusterConfig::racked_cluster(2, 2, 1, 1);
+        c.faults.events.push(FaultEvent {
+            at: SimTime::from_secs(10),
+            kind: FaultKind::Kill { node: NodeId(3) },
+        });
+        c.faults.random = Some(RandomFaults {
+            rack_mtbf_secs: 600.0,
+            mean_recovery_secs: Some(60.0),
+            horizon: SimTime::from_secs(3_600),
+            seed: 7,
+        });
+        c.speculation = SpeculationConfig::enabled();
+        assert!(c.validate().is_ok());
+
+        let mut bad = c.clone();
+        bad.faults.events[0].kind = FaultKind::Kill { node: NodeId(99) };
+        assert!(bad.validate().is_err(), "out-of-range node");
+
+        let mut bad = c.clone();
+        bad.faults.events[0].kind = FaultKind::RackOutage { rack: RackId(5) };
+        assert!(bad.validate().is_err(), "out-of-range rack");
+
+        let mut bad = c.clone();
+        bad.faults.random.as_mut().unwrap().rack_mtbf_secs = 0.0;
+        assert!(bad.validate().is_err(), "zero MTBF");
+
+        let mut bad = c.clone();
+        bad.speculation.slowness_ratio = 1.5;
+        assert!(bad.validate().is_err(), "slowness ratio out of range");
+
+        assert!(ClusterConfig::paper_single_node().faults.is_empty());
     }
 
     #[test]

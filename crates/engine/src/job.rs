@@ -295,6 +295,11 @@ impl TaskState {
                 | (MustKill, Killed)
                 | (MustKill, Succeeded) // completed before the command arrived
                 | (Killed, Pending)
+                // A speculative backup attempt can complete while the
+                // original attempt sits suspended (or waits for a resume):
+                // first finisher wins, the task succeeds.
+                | (Suspended, Succeeded)
+                | (MustResume, Succeeded)
         )
     }
 }
@@ -318,6 +323,11 @@ pub struct TaskRuntime {
     pub attempts_made: u32,
     /// Identifier of the live attempt, if any.
     pub current_attempt: Option<AttemptId>,
+    /// Identifier of the live speculative (backup) attempt, if any; always on
+    /// a different node than [`TaskRuntime::node`].
+    pub spec_attempt: Option<AttemptId>,
+    /// Node where the speculative attempt runs.
+    pub spec_node: Option<NodeId>,
     /// When the first attempt started.
     pub first_launched_at: Option<SimTime>,
     /// When the task succeeded.
@@ -345,6 +355,8 @@ impl TaskRuntime {
             node: None,
             attempts_made: 0,
             current_attempt: None,
+            spec_attempt: None,
+            spec_node: None,
             first_launched_at: None,
             finished_at: None,
             wasted_work: SimDuration::ZERO,
@@ -409,6 +421,9 @@ pub struct JobRuntime {
     /// Number of tasks currently occupying a slot somewhere
     /// ([`TaskState::occupies_slot`]; same maintenance contract).
     pub occupying_count: u32,
+    /// Number of live speculative (backup) attempts across the job's tasks
+    /// (same maintenance contract); bounds speculation slot waste in O(1).
+    pub speculative_live: u32,
 }
 
 impl JobRuntime {
@@ -440,6 +455,11 @@ impl JobRuntime {
             .tasks
             .iter()
             .filter(|t| t.state.occupies_slot())
+            .count() as u32;
+        self.speculative_live = self
+            .tasks
+            .iter()
+            .filter(|t| t.spec_attempt.is_some())
             .count() as u32;
     }
     /// Looks up a task by id.
@@ -690,6 +710,7 @@ mod tests {
             schedulable_reduces: 0,
             suspended_count: 0,
             occupying_count: 0,
+            speculative_live: 0,
         };
         job.recount_task_states();
         assert_eq!(job.schedulable_count(), 1);

@@ -44,19 +44,25 @@ mod tasktracker;
 
 pub use attempt::{Attempt, AttemptPhase, AttemptState, ExecPlan};
 pub use cluster::Cluster;
-pub use config::{ClusterConfig, NodeConfig, RefreshMode, TaskDefaults, TraceLevel};
+pub use config::{
+    ClusterConfig, FaultEvent, FaultKind, FaultPlan, NodeConfig, RandomFaults, RefreshMode,
+    SpeculationConfig, TaskDefaults, TraceLevel,
+};
 pub use job::{
     AttemptId, JobId, JobRuntime, JobSpec, JobTable, MapInput, TaskId, TaskKind, TaskProfile,
     TaskRuntime, TaskState,
 };
 pub use metrics::{
-    ClusterReport, JobReport, LocalityStats, NodeReport, TaskReport, TraceEntry, TraceKind,
+    ClusterReport, FaultStats, JobReport, LocalityStats, NodeReport, TaskReport, TraceEntry,
+    TraceKind,
 };
 pub use scheduler::{
     FifoScheduler, NodeView, PendingTotals, RackView, SchedulerAction, SchedulerContext,
     SchedulerPolicy,
 };
-pub use tasktracker::{AllocationOutcome, TaskTracker, TerminationOutcome, TrackerError};
+pub use tasktracker::{
+    AllocationOutcome, FailedAttempt, TaskTracker, TerminationOutcome, TrackerError,
+};
 
 // Re-exported so downstream crates can talk about placement without pulling
 // in the DFS crate explicitly.

@@ -152,6 +152,46 @@ impl LocalityStats {
     }
 }
 
+/// Fault-injection and speculative-execution counters for one run,
+/// maintained incrementally by the engine.
+///
+/// `suspended_tasks_lost` / `lost_suspended_work_secs` quantify the paper's
+/// key cost under failure: a suspended task's paged-out state lives on the
+/// node that suspended it, so losing the node loses all progress the
+/// suspension had preserved.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Node crashes injected (rack outages count each member).
+    pub node_failures: u64,
+    /// Administrative decommissions injected.
+    pub node_decommissions: u64,
+    /// Nodes returned to service.
+    pub node_rejoins: u64,
+    /// Attempts — running, suspended, or speculative backups — torn down
+    /// because their node left the cluster (a superset of
+    /// `re_executed_tasks`: a lost original whose backup is promoted, or a
+    /// lost backup whose original lives on, costs an attempt without forcing
+    /// a re-execution).
+    pub attempts_lost: u64,
+    /// Suspended attempts whose preserved (suspended-to-disk) state was lost
+    /// with their node.
+    pub suspended_tasks_lost: u64,
+    /// Work the lost suspended attempts had already completed, in seconds.
+    pub lost_suspended_work_secs: f64,
+    /// Tasks sent back to `Pending` for re-execution by node loss.
+    pub re_executed_tasks: u64,
+    /// Block replicas re-created on surviving nodes after node loss.
+    pub re_replicated_blocks: u64,
+    /// Blocks whose last replica was lost in a crash.
+    pub lost_blocks: u64,
+    /// Speculative (backup) attempts launched.
+    pub speculative_launched: u64,
+    /// Tasks finished by their speculative attempt (the backup won).
+    pub speculative_won: u64,
+    /// Work thrown away killing speculation losers, in seconds.
+    pub speculative_wasted_secs: f64,
+}
+
 /// Per-node OS statistics at the end of a run.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct NodeReport {
@@ -178,6 +218,8 @@ pub struct ClusterReport {
     pub nodes: Vec<NodeReport>,
     /// Map-task launch counts by input locality.
     pub locality: LocalityStats,
+    /// Fault-injection and speculation counters.
+    pub faults: FaultStats,
     /// Virtual time when the simulation stopped.
     pub finished_at: SimTime,
 }
@@ -246,6 +288,14 @@ pub enum TraceKind {
     Completed,
     /// A job completed.
     JobCompleted,
+    /// A node crashed (fault injection).
+    NodeFailed,
+    /// A node was administratively decommissioned.
+    NodeDecommissioned,
+    /// A node returned to service.
+    NodeRejoined,
+    /// A speculative (backup) attempt was launched for a straggler.
+    Speculated,
 }
 
 /// One entry of the run trace.
@@ -309,6 +359,7 @@ mod tests {
                 schedulable_reduces: 0,
                 suspended_count: 0,
                 occupying_count: 0,
+                speculative_live: 0,
             };
             if complete.is_some() {
                 job.tasks[0].set_state(TaskState::Running);
@@ -327,6 +378,7 @@ mod tests {
                 oom_kills: 0,
             }],
             locality: LocalityStats::default(),
+            faults: FaultStats::default(),
             finished_at: SimTime::from_secs(170),
         }
     }
@@ -378,6 +430,7 @@ mod tests {
             jobs: vec![],
             nodes: vec![],
             locality: LocalityStats::default(),
+            faults: FaultStats::default(),
             finished_at: SimTime::ZERO,
         };
         assert_eq!(r.makespan_secs(), None);

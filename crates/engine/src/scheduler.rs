@@ -8,6 +8,7 @@
 //! preemptive FAIR scheduler and the HFSP-style size-based scheduler all live
 //! in the `mrp-preempt` crate and implement this trait.
 
+use crate::config::SpeculationConfig;
 use crate::job::{JobId, JobRuntime, JobSpec, JobTable, TaskId, TaskKind, TaskRuntime, TaskState};
 use mrp_dfs::{Locality, NodeId, RackId, Topology};
 use mrp_sim::SimTime;
@@ -23,6 +24,16 @@ pub enum SchedulerAction {
         /// The task to launch.
         task: TaskId,
         /// The node to launch it on.
+        node: NodeId,
+    },
+    /// Launch a speculative (backup) attempt of a straggling task on a node
+    /// with a free slot; the first attempt to finish wins and the engine
+    /// kills the loser. Only valid for tasks currently running or suspended,
+    /// on a node other than the original attempt's.
+    LaunchSpeculative {
+        /// The straggling task to back up.
+        task: TaskId,
+        /// The node to run the backup on.
         node: NodeId,
     },
     /// Ask the task's TaskTracker to suspend it (`SIGTSTP`) at its next
@@ -131,6 +142,11 @@ pub struct SchedulerContext<'a> {
     pub topology: &'a Topology,
     /// Cluster-wide pending-work counters (see [`PendingTotals`]).
     pub totals: PendingTotals,
+    /// Speculative-execution knobs (from
+    /// [`ClusterConfig::speculation`](crate::ClusterConfig)); policies use
+    /// [`SchedulerContext::push_speculative_candidates`] and never need to
+    /// read this directly.
+    pub speculation: SpeculationConfig,
 }
 
 impl<'a> SchedulerContext<'a> {
@@ -236,6 +252,115 @@ impl<'a> SchedulerContext<'a> {
     pub fn has_incomplete_jobs(&self) -> bool {
         self.jobs.values().any(|j| !j.is_finished())
     }
+
+    /// Appends up to `max` speculative-launch candidates from `job` for a
+    /// backup on `node`, using the job's mean progress rate as the straggler
+    /// baseline (Hadoop-style, but rate-based so tasks frozen in `Suspended`
+    /// decay into candidacy — the re-execution opportunity preemption churn
+    /// and node loss create).
+    ///
+    /// Policies call this only for tail-phase jobs (nothing schedulable
+    /// left) with free slots remaining after regular assignment, so the
+    /// O(job tasks) scan stays off the saturated hot path.
+    pub fn push_speculative_candidates(
+        &self,
+        job: &JobRuntime,
+        node: NodeId,
+        max: usize,
+        out: &mut Vec<TaskId>,
+    ) {
+        let cfg = self.speculation;
+        if !cfg.enabled
+            || max == 0
+            || job.speculative_live >= cfg.max_live_per_job
+            || job.schedulable_maps > 0
+        {
+            return;
+        }
+        let min_runtime = cfg.min_runtime.as_secs_f64();
+        // Pass 1: the job's mean progress rate. Completed tasks anchor the
+        // baseline (their rate is 1/duration), so a job whose remaining
+        // attempts are *all* degraded — e.g. every one frozen in `Suspended`
+        // — still recognises them as stragglers once siblings have finished.
+        let mut rate_sum = 0.0f64;
+        let mut count = 0u32;
+        let eligible = |t: &TaskRuntime| {
+            t.id.kind == TaskKind::Map
+                && matches!(
+                    t.state,
+                    TaskState::Running
+                        | TaskState::Suspended
+                        | TaskState::MustSuspend
+                        | TaskState::MustResume
+                )
+        };
+        for t in &job.tasks {
+            if t.id.kind != TaskKind::Map {
+                continue;
+            }
+            let Some(started) = t.first_launched_at else {
+                continue;
+            };
+            if t.state == TaskState::Succeeded {
+                if let Some(done) = t.finished_at {
+                    let duration = (done - started).as_secs_f64();
+                    if duration > 0.0 {
+                        rate_sum += 1.0 / duration;
+                        count += 1;
+                    }
+                }
+                continue;
+            }
+            if !eligible(t) {
+                continue;
+            }
+            let elapsed = (self.now - started).as_secs_f64();
+            if elapsed < min_runtime {
+                continue;
+            }
+            rate_sum += t.progress / elapsed;
+            count += 1;
+        }
+        if count < 2 {
+            return; // no population to call anything a straggler against
+        }
+        let threshold = cfg.slowness_ratio * (rate_sum / f64::from(count));
+        // Pass 2: tasks whose rate fell below the threshold and that can
+        // take a backup on this node. Only `Suspended` stragglers qualify: a
+        // running straggler (e.g. a task restarted after a node failure)
+        // executes at full speed, so a from-scratch backup loses the race by
+        // construction and only wastes a slot, and a `MustResume` task's
+        // resume is already riding the next heartbeat — whereas a task
+        // frozen in `Suspended` makes no progress at all until its node
+        // frees a slot, which is exactly when a backup elsewhere wins. (The
+        // engine accepts `LaunchSpeculative` for `MustResume` too, for
+        // policies with their own detectors.)
+        let budget = max.min((cfg.max_live_per_job - job.speculative_live) as usize);
+        let mut pushed = 0usize;
+        for t in &job.tasks {
+            if pushed >= budget {
+                break;
+            }
+            if t.state != TaskState::Suspended
+                || t.id.kind != TaskKind::Map
+                || t.spec_attempt.is_some()
+                || t.node == Some(node)
+            {
+                continue;
+            }
+            let Some(started) = t.first_launched_at else {
+                continue;
+            };
+            let elapsed = (self.now - started).as_secs_f64();
+            if elapsed < min_runtime || t.progress >= 1.0 {
+                continue;
+            }
+            if t.progress / elapsed < threshold {
+                out.push(t.id);
+                pushed += 1;
+            }
+        }
+    }
 }
 
 /// A pluggable scheduling policy driven by JobTracker events.
@@ -301,6 +426,9 @@ pub trait SchedulerPolicy {
 pub struct FifoScheduler {
     /// Whether the policy resumes suspended tasks when slots are free.
     pub resume_suspended: bool,
+    /// Simulated second of the last speculation scan (the O(tail-job tasks)
+    /// straggler scan runs at most once per simulated second cluster-wide).
+    spec_stamp: Option<u64>,
 }
 
 impl FifoScheduler {
@@ -308,6 +436,16 @@ impl FifoScheduler {
     pub fn new() -> Self {
         FifoScheduler {
             resume_suspended: true,
+            spec_stamp: None,
+        }
+    }
+
+    /// A FIFO launcher that never resumes suspended tasks on its own (used
+    /// by wrappers that control resumption themselves).
+    pub fn non_resuming() -> Self {
+        FifoScheduler {
+            resume_suspended: false,
+            spec_stamp: None,
         }
     }
 }
@@ -327,7 +465,11 @@ impl SchedulerPolicy for FifoScheduler {
         let can_resume = self.resume_suspended
             && !view.suspended.is_empty()
             && (view.free_map_slots > 0 || view.free_reduce_slots > 0);
-        if !can_launch_map && !can_launch_reduce && !can_resume {
+        // Speculation (when enabled) looks only at tail-phase jobs, and only
+        // when map slots survive regular assignment — Hadoop's trigger: a
+        // slot nothing pending can use.
+        let can_speculate = ctx.speculation.enabled && view.free_map_slots > 0;
+        if !can_launch_map && !can_launch_reduce && !can_resume && !can_speculate {
             return Vec::new();
         }
         let mut actions = Vec::new();
@@ -385,6 +527,29 @@ impl SchedulerPolicy for FifoScheduler {
                 actions.push(SchedulerAction::Launch { task, node });
             }
         }
+
+        // Map slots still free after regular assignment: nothing pending can
+        // use them, so offer them to stragglers as speculative backups
+        // (candidate scans stay per-job-gated to tail-phase jobs, and run at
+        // most once per simulated second cluster-wide).
+        if ctx.speculation.enabled && free_map > 0 {
+            let second = ctx.now.as_micros() / 1_000_000;
+            if self.spec_stamp != Some(second) {
+                self.spec_stamp = Some(second);
+                let mut candidates = Vec::new();
+                for job in ctx.jobs.values().filter(|j| !j.is_finished()) {
+                    if free_map == 0 {
+                        break;
+                    }
+                    candidates.clear();
+                    ctx.push_speculative_candidates(job, node, free_map as usize, &mut candidates);
+                    for &task in &candidates {
+                        free_map -= 1;
+                        actions.push(SchedulerAction::LaunchSpeculative { task, node });
+                    }
+                }
+            }
+        }
         actions
     }
 
@@ -424,6 +589,7 @@ mod tests {
             schedulable_reduces: 0,
             suspended_count: 0,
             occupying_count: 0,
+            speculative_live: 0,
         };
         job.recount_task_states();
         job
@@ -454,6 +620,7 @@ mod tests {
             racks: &[],
             topology: &topo,
             totals: PendingTotals::from_jobs(&jobs),
+            speculation: SpeculationConfig::default(),
         };
         let order = ctx.schedulable_tasks();
         assert_eq!(order[0].job, JobId(2), "highest priority first");
@@ -474,6 +641,7 @@ mod tests {
             racks: &[],
             topology: &topo,
             totals: PendingTotals::from_jobs(&jobs),
+            speculation: SpeculationConfig::default(),
         };
         let mut fifo = FifoScheduler::new();
         let actions = fifo.on_heartbeat(&ctx, NodeId(0));
@@ -500,6 +668,7 @@ mod tests {
             racks: &[],
             topology: &topo,
             totals: PendingTotals::from_jobs(&jobs),
+            speculation: SpeculationConfig::default(),
         };
         let mut fifo = FifoScheduler::new();
         let actions = fifo.on_heartbeat(&ctx, NodeId(0));
@@ -539,6 +708,7 @@ mod tests {
             racks: &[],
             topology: &topo,
             totals: PendingTotals::from_jobs(&jobs),
+            speculation: SpeculationConfig::default(),
         };
         let mut fifo = FifoScheduler::new();
         let actions = fifo.on_heartbeat(&ctx, NodeId(0));
@@ -562,6 +732,7 @@ mod tests {
             racks: &[],
             topology: &topo,
             totals: PendingTotals::from_jobs(&jobs),
+            speculation: SpeculationConfig::default(),
         };
         assert!(ctx.node(NodeId(0)).is_some());
         assert!(ctx.node(NodeId(4)).is_none());

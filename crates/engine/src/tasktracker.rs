@@ -27,6 +27,27 @@ pub struct AllocationOutcome {
     /// Tasks whose processes were killed by the OOM killer to satisfy the
     /// allocation (rare; only when swap is exhausted).
     pub oom_killed: Vec<AttemptId>,
+    /// The allocation ultimately failed (RAM and swap exhausted with no
+    /// further OOM victim, or the OOM killer sacrificed the allocating task
+    /// itself). Victims in `oom_killed` were still killed and must still be
+    /// handled by the caller — the old `Err` return silently dropped them,
+    /// leaving their tasks `Running` with no attempt behind them.
+    pub failed: bool,
+}
+
+/// Everything the cluster needs to know about one attempt torn down by a
+/// node failure: which task it served, whether its suspended state was lost,
+/// and the accounting the attempt would otherwise have reported itself.
+#[derive(Clone, Debug)]
+pub struct FailedAttempt {
+    /// The torn-down attempt.
+    pub id: AttemptId,
+    /// Its TaskTracker-side state at failure time.
+    pub state: AttemptState,
+    /// Running time invested in the attempt (setup + completed work).
+    pub invested: SimDuration,
+    /// The pending phase-completion event to cancel, if any.
+    pub segment_event: Option<mrp_sim::EventId>,
 }
 
 /// Result of terminating an attempt (kill or completion).
@@ -91,6 +112,16 @@ pub struct TaskTracker {
     used_reduce_slots: u32,
     attempts: BTreeMap<AttemptId, Attempt>,
     dirty: bool,
+    /// False while the node is failed or decommissioned: a dead tracker
+    /// reports zero free slots, accepts no launches, and its heartbeats are
+    /// ignored by the cluster.
+    alive: bool,
+    /// Incremented on every [`TaskTracker::fail`]: slot-releasing events
+    /// scheduled before a failure (cleanup completions) carry the epoch they
+    /// were scheduled in and are discarded if the node died in between —
+    /// `fail` already freed every slot, so a stale release would corrupt the
+    /// accounting of whatever runs after a rejoin.
+    epoch: u64,
 }
 
 impl TaskTracker {
@@ -105,7 +136,52 @@ impl TaskTracker {
             used_reduce_slots: 0,
             attempts: BTreeMap::new(),
             dirty: true,
+            alive: true,
+            epoch: 0,
         }
+    }
+
+    /// The current failure epoch (see the field docs).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether the node is in service.
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    /// Takes the node out of service (crash or decommission): every live
+    /// attempt's process is killed, the attempt table is cleared, and all
+    /// slots are freed. Returns what was torn down so the cluster can cancel
+    /// events, account lost work, and reschedule the tasks.
+    pub fn fail(&mut self, now: SimTime) -> Vec<FailedAttempt> {
+        self.alive = false;
+        self.dirty = true;
+        self.epoch += 1;
+        let mut torn_down = Vec::with_capacity(self.attempts.len());
+        for attempt in self.attempts.values() {
+            torn_down.push(FailedAttempt {
+                id: attempt.id,
+                state: attempt.state,
+                invested: attempt.invested_time(now),
+                segment_event: attempt.segment_event,
+            });
+            // The process dies with the node; ignore already-dead errors.
+            let _ = self.kernel.signal(attempt.pid, Signal::Sigkill, now);
+        }
+        self.attempts.clear();
+        self.used_map_slots = 0;
+        self.used_reduce_slots = 0;
+        torn_down
+    }
+
+    /// Returns the node to service with all slots free (its disks and any
+    /// suspended-task state are gone; the kernel's cumulative statistics
+    /// survive for the end-of-run report).
+    pub fn revive(&mut self) {
+        self.alive = true;
+        self.dirty = true;
     }
 
     /// Returns (and clears) whether slot occupancy or the running/suspended
@@ -119,13 +195,19 @@ impl TaskTracker {
         &self.kernel
     }
 
-    /// Free map slots.
+    /// Free map slots (a dead node has none).
     pub fn free_map_slots(&self) -> u32 {
+        if !self.alive {
+            return 0;
+        }
         self.map_slots - self.used_map_slots
     }
 
-    /// Free reduce slots.
+    /// Free reduce slots (a dead node has none).
     pub fn free_reduce_slots(&self) -> u32 {
+        if !self.alive {
+            return 0;
+        }
         self.reduce_slots - self.used_reduce_slots
     }
 
@@ -216,6 +298,9 @@ impl TaskTracker {
         plan: ExecPlan,
         now: SimTime,
     ) -> Result<Pid, TrackerError> {
+        if !self.alive {
+            return Err(TrackerError::NoFreeSlot);
+        }
         if self.attempts.contains_key(&id) {
             return Err(TrackerError::InvalidState);
         }
@@ -234,6 +319,12 @@ impl TaskTracker {
     /// Allocates the attempt's memory (base footprint + configured state) at
     /// the end of its setup phase. Handles OOM by invoking the OOM killer and
     /// reporting which attempts died.
+    ///
+    /// An unrecoverable allocation failure is reported through
+    /// [`AllocationOutcome::failed`], never through `Err`: by the time the
+    /// failure is known the OOM killer may already have sacrificed other
+    /// attempts, and those victims must reach the caller either way. `Err` is
+    /// reserved for an unknown attempt id.
     pub fn allocate_task_memory(
         &mut self,
         id: AttemptId,
@@ -256,7 +347,8 @@ impl TaskTracker {
                 Err(OsError::OutOfMemory) if remaining_oom_retries > 0 => {
                     remaining_oom_retries -= 1;
                     let Some(victim_pid) = self.kernel.oom_kill(now) else {
-                        return Err(TrackerError::Os(OsError::OutOfMemory));
+                        outcome.failed = true;
+                        return Ok(outcome);
                     };
                     if let Some(victim) = self
                         .attempts
@@ -282,9 +374,18 @@ impl TaskTracker {
                         }
                         self.attempts.remove(&victim);
                         outcome.oom_killed.push(victim);
+                        if victim == id {
+                            // The OOM killer took the allocating attempt
+                            // itself; there is nothing left to retry for.
+                            outcome.failed = true;
+                            return Ok(outcome);
+                        }
                     }
                 }
-                Err(e) => return Err(TrackerError::Os(e)),
+                Err(_) => {
+                    outcome.failed = true;
+                    return Ok(outcome);
+                }
             }
         }
     }
@@ -643,6 +744,61 @@ mod tests {
             tt.fault_in_own_memory(ghost, SimTime::ZERO).unwrap_err(),
             TrackerError::UnknownAttempt
         );
+    }
+
+    #[test]
+    fn fail_tears_down_attempts_and_revive_restores_capacity() {
+        let mut tt = TaskTracker::new(NodeId(0), NodeOsConfig::default(), 2, 1);
+        tt.launch(attempt_id(0), TaskKind::Map, plan(0), SimTime::ZERO)
+            .unwrap();
+        tt.allocate_task_memory(attempt_id(0), SimTime::ZERO)
+            .unwrap();
+        tt.launch(attempt_id(1), TaskKind::Map, plan(0), SimTime::ZERO)
+            .unwrap();
+        // Suspend the second attempt so the teardown covers both states.
+        {
+            let a = tt.attempt_mut(attempt_id(1)).unwrap();
+            a.phase = AttemptPhase::Work;
+            a.segment_start = SimTime::from_secs(3);
+        }
+        tt.suspend(attempt_id(1), SimTime::from_secs(20)).unwrap();
+
+        let torn_down = tt.fail(SimTime::from_secs(30));
+        assert!(!tt.is_alive());
+        assert_eq!(torn_down.len(), 2);
+        assert_eq!(torn_down[0].id, attempt_id(0));
+        assert_eq!(torn_down[0].state, AttemptState::Running);
+        assert_eq!(torn_down[1].state, AttemptState::Suspended);
+        assert!(torn_down[1].invested > SimDuration::ZERO);
+        assert_eq!(tt.attempts().count(), 0);
+        // Dead nodes expose no capacity and refuse launches.
+        assert_eq!(tt.free_map_slots(), 0);
+        assert_eq!(tt.free_reduce_slots(), 0);
+        assert_eq!(
+            tt.launch(
+                attempt_id(2),
+                TaskKind::Map,
+                plan(0),
+                SimTime::from_secs(31)
+            )
+            .unwrap_err(),
+            TrackerError::NoFreeSlot
+        );
+        // Failing an already-dead node again is a no-op teardown.
+        assert!(tt.fail(SimTime::from_secs(32)).is_empty());
+
+        tt.revive();
+        assert!(tt.is_alive());
+        assert_eq!(tt.free_map_slots(), 2);
+        assert_eq!(tt.free_reduce_slots(), 1);
+        tt.launch(
+            attempt_id(3),
+            TaskKind::Map,
+            plan(0),
+            SimTime::from_secs(40),
+        )
+        .unwrap();
+        assert_eq!(tt.free_map_slots(), 1);
     }
 
     #[test]

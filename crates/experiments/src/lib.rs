@@ -26,11 +26,16 @@
 
 #![warn(missing_docs)]
 
+mod faults;
 mod figures;
 mod priority;
 mod report;
 mod scenario;
 
+pub use faults::{
+    run_fault_scenario, sojourn_quantile, speculation_ablation, FaultScenarioConfig,
+    FaultScenarioOutcome,
+};
 pub use figures::{
     eviction_ablation, figure2, figure3, figure4, figure4_memory_points, natjam_comparison,
     paper_fractions, resume_locality_ablation, run_figure, Figure, FigureData,

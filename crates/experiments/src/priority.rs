@@ -34,9 +34,7 @@ impl PriorityPreemptingScheduler {
             // Resumption is handled here, priority-aware, so the launcher must
             // not hand slots back to suspended low-priority tasks while
             // higher-priority work is still waiting.
-            launcher: FifoScheduler {
-                resume_suspended: false,
-            },
+            launcher: FifoScheduler::non_resuming(),
             rng: SimRng::new(0x9817),
         }
     }

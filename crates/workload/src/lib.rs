@@ -76,6 +76,19 @@ pub struct SwimConfig {
     pub stateful_memory: u64,
     /// Fraction of jobs marked high priority.
     pub high_priority_fraction: f64,
+    /// Fraction of jobs whose tasks parse slowly (degraded hardware, skewed
+    /// records): their long-running tasks pin slots and strand suspended
+    /// neighbours, the straggler population fault/speculation scenarios
+    /// need. `0.0` (the default) draws nothing from the rng, so existing
+    /// traces are byte-identical.
+    pub slow_fraction: f64,
+    /// Parse rate of slow jobs' tasks, bytes/second (only read when
+    /// [`SwimConfig::slow_fraction`] selects a job).
+    pub slow_parse_rate_bytes_per_sec: f64,
+    /// Only jobs with at most this many map tasks can be slow: a handful of
+    /// long-running tasks pins slots (stranding suspended neighbours) without
+    /// letting one giant degraded job dominate the whole trace's makespan.
+    pub slow_max_tasks: u32,
 }
 
 impl Default for SwimConfig {
@@ -90,6 +103,9 @@ impl Default for SwimConfig {
             stateful_fraction: 0.2,
             stateful_memory: GIB,
             high_priority_fraction: 0.25,
+            slow_fraction: 0.0,
+            slow_parse_rate_bytes_per_sec: 1.5 * MIB as f64,
+            slow_max_tasks: u32::MAX,
         }
     }
 }
@@ -136,11 +152,19 @@ impl SwimGenerator {
             let tasks = size.div_ceil(self.config.bytes_per_task).max(1) as u32;
             let stateful = self.rng.chance(self.config.stateful_fraction);
             let high_priority = self.rng.chance(self.config.high_priority_fraction);
-            let profile = if stateful {
+            // Short-circuit keeps the rng sequence of slow-free traces
+            // byte-identical to pre-`slow_fraction` generators.
+            let slow = self.config.slow_fraction > 0.0
+                && self.rng.chance(self.config.slow_fraction)
+                && tasks <= self.config.slow_max_tasks;
+            let mut profile = if stateful {
                 TaskProfile::memory_hungry(self.config.stateful_memory)
             } else {
                 TaskProfile::lightweight()
             };
+            if slow {
+                profile.parse_rate_bytes_per_sec = Some(self.config.slow_parse_rate_bytes_per_sec);
+            }
             let spec = JobSpec {
                 name: format!("swim-{i:03}"),
                 priority: if high_priority { 10 } else { 0 },

@@ -10,7 +10,9 @@
 //! role a golden `ClusterReport` diff would play.
 
 use hadoop_os_preempt::prelude::*;
-use mrp_engine::{Cluster, NodeId, RefreshMode};
+use mrp_engine::{
+    Cluster, FaultEvent, FaultKind, NodeId, RackId, RandomFaults, RefreshMode, SpeculationConfig,
+};
 use mrp_experiments::run_once;
 use mrp_sim::{SimRng, SimTime};
 
@@ -141,6 +143,149 @@ fn fixed_seed_multi_rack_run_is_pinned() {
     let mut again = racked_cluster();
     again.run(SimTime::from_secs(24 * 3_600));
     assert_eq!(again.report(), report);
+}
+
+/// Fixed-seed pinned outcome of a fault-injection churn scenario: HFSP
+/// suspend/resume with speculation enabled, scripted node kill/rejoin and a
+/// rack outage, plus seeded random MTBF churn. Pins the exact event count,
+/// finish time and fault counters so any change to the fault paths (teardown
+/// order, re-replication draws, speculation triggering) is caught
+/// immediately.
+fn fault_churn_cluster() -> Cluster {
+    let mut cfg = ClusterConfig::racked_cluster(3, 4, 1, 1);
+    cfg.trace_level = mrp_engine::TraceLevel::Off;
+    cfg.speculation = SpeculationConfig::enabled();
+    cfg.faults.events.push(FaultEvent {
+        at: SimTime::from_secs(30),
+        kind: FaultKind::Kill { node: NodeId(5) },
+    });
+    cfg.faults.events.push(FaultEvent {
+        at: SimTime::from_secs(70),
+        kind: FaultKind::Rejoin { node: NodeId(5) },
+    });
+    cfg.faults.events.push(FaultEvent {
+        at: SimTime::from_secs(45),
+        kind: FaultKind::RackOutage { rack: RackId(2) },
+    });
+    cfg.faults.events.push(FaultEvent {
+        at: SimTime::from_secs(95),
+        kind: FaultKind::RackRejoin { rack: RackId(2) },
+    });
+    cfg.faults.random = Some(RandomFaults {
+        rack_mtbf_secs: 80.0,
+        mean_recovery_secs: Some(40.0),
+        horizon: SimTime::from_secs(400),
+        seed: 0xC0FFEE,
+    });
+    let mut cluster = Cluster::new(
+        cfg,
+        Box::new(HfspScheduler::new(
+            PreemptionPrimitive::SuspendResume,
+            EvictionPolicy::ClosestToCompletion,
+        )),
+    );
+    for i in 0..4u32 {
+        cluster.submit_job_at(
+            JobSpec::synthetic(format!("batch-{i}"), 18, 96 * MIB),
+            SimTime::from_secs(u64::from(i)),
+        );
+    }
+    for i in 0..6u32 {
+        cluster.submit_job_at(
+            JobSpec::synthetic(format!("small-{i}"), 2, 16 * MIB),
+            SimTime::from_secs(12 + 9 * u64::from(i)),
+        );
+    }
+    cluster
+}
+
+#[test]
+fn fixed_seed_fault_churn_run_is_pinned() {
+    let mut cluster = fault_churn_cluster();
+    cluster.run(SimTime::from_secs(24 * 3_600));
+    let report = cluster.report();
+    assert!(report.all_jobs_complete());
+    let faults = report.faults;
+    // Scripted events all fired (1 kill + 4-node rack outage, matching
+    // rejoins) on top of the random churn.
+    assert!(faults.node_failures >= 5, "{faults:?}");
+    assert!(faults.node_rejoins >= 5, "{faults:?}");
+    assert!(faults.re_executed_tasks >= 1, "{faults:?}");
+    // Pinned fixed-seed outcome (see PINNED_FAULT_* below).
+    assert_eq!(cluster.events_processed(), PINNED_FAULT_EVENTS);
+    assert_eq!(report.finished_at.as_micros(), PINNED_FAULT_FINISH);
+    assert_eq!(
+        (faults.node_failures, faults.re_executed_tasks),
+        PINNED_FAULT_COUNTS
+    );
+
+    let mut again = fault_churn_cluster();
+    again.run(SimTime::from_secs(24 * 3_600));
+    assert_eq!(again.report(), report);
+    assert_eq!(again.events_processed(), cluster.events_processed());
+}
+
+const PINNED_FAULT_EVENTS: u64 = 1_059;
+const PINNED_FAULT_FINISH: u64 = 169_811_893;
+const PINNED_FAULT_COUNTS: (u64, u64) = (12, 12);
+
+/// The rack-sharded refresh path must also be observationally identical to
+/// the naive reference *under fault injection*: node teardown, rejoin,
+/// re-replication and speculative re-execution all mutate the incremental
+/// indexes (RackView counters, PendingTotals, per-job counters, dirty
+/// lists), and none of it may depend on the refresh strategy.
+#[test]
+fn sharded_and_full_refresh_match_under_fault_injection() {
+    for case in 0..6u64 {
+        let mut rng = SimRng::new(0xFA57 + case);
+        let racks = 2 + rng.index(3) as u32; // 2..=4
+        let per_rack = 2 + rng.index(3) as u32; // 2..=4
+        let job_count = 3 + rng.index(4); // 3..=6
+        let mut jobs = Vec::new();
+        for i in 0..job_count {
+            let tasks = 2 + rng.index(12) as u32;
+            let arrival = rng.index(40) as u64;
+            jobs.push((i, tasks, arrival));
+        }
+        let mtbf = 30.0 + rng.index(60) as f64;
+        let use_speculation = rng.chance(0.5);
+        let run = |mode: RefreshMode| {
+            let mut cfg = ClusterConfig::racked_cluster(racks, per_rack, 2, 1);
+            cfg.refresh_mode = mode;
+            cfg.trace_level = mrp_engine::TraceLevel::Off;
+            if use_speculation {
+                cfg.speculation = SpeculationConfig::enabled();
+            }
+            cfg.faults.random = Some(RandomFaults {
+                rack_mtbf_secs: mtbf,
+                mean_recovery_secs: Some(25.0),
+                horizon: SimTime::from_secs(500),
+                seed: 0xFEE7 + case,
+            });
+            let mut cluster = Cluster::new(
+                cfg,
+                Box::new(HfspScheduler::new(
+                    PreemptionPrimitive::SuspendResume,
+                    EvictionPolicy::ClosestToCompletion,
+                )),
+            );
+            for &(i, tasks, arrival) in &jobs {
+                cluster.submit_job_at(
+                    JobSpec::synthetic(format!("job-{i}"), tasks, 64 * MIB),
+                    SimTime::from_secs(arrival),
+                );
+            }
+            cluster.run(SimTime::from_secs(24 * 3_600));
+            (cluster.events_processed(), cluster.report())
+        };
+        let sharded = run(RefreshMode::Sharded);
+        let full = run(RefreshMode::Full);
+        assert!(sharded.1.all_jobs_complete(), "case {case} must complete");
+        assert_eq!(
+            sharded, full,
+            "sharded vs full refresh diverged under faults in case {case}"
+        );
+    }
 }
 
 /// The rack-sharded refresh path (per-rack dirty lists, delta-maintained
