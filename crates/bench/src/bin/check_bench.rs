@@ -1,12 +1,13 @@
 //! CI bench-regression gate.
 //!
-//! Re-runs the three tracked throughput scenarios (`sim_throughput`,
-//! `swim_cluster`, `fault_churn`) on the current machine and compares the
-//! events/sec **ratios** between scenarios against the ratios recorded in
-//! the checked-in `BENCH_*.json` baselines. Per the ROADMAP rule, absolute
-//! events/sec are machine-dependent and never compared across machines —
-//! only the ratios are: a scenario whose per-event cost regresses shows up
-//! as its ratio against the same-machine `sim_throughput` run dropping.
+//! Re-runs the four tracked throughput scenarios (`sim_throughput`,
+//! `swim_cluster`, `fault_churn`, `locality_delay`) on the current machine
+//! and compares the events/sec **ratios** between scenarios against the
+//! ratios recorded in the checked-in `BENCH_*.json` baselines. Per the
+//! ROADMAP rule, absolute events/sec are machine-dependent and never
+//! compared across machines — only the ratios are: a scenario whose
+//! per-event cost regresses shows up as its ratio against the same-machine
+//! `sim_throughput` run dropping.
 //!
 //! Measurement discipline: the scenarios complete in milliseconds to a
 //! couple of seconds, so single timings on shared CI machines jitter by tens
@@ -20,8 +21,11 @@
 //!
 //! * a scenario's events/sec ratio vs `sim_throughput` drops below 50% of
 //!   the checked-in baseline ratio, or
-//! * `fault_churn` breaks its acceptance bar from the fault-injection PR:
-//!   events/sec below 1/3 of the same-machine `sim_throughput` rate.
+//! * `fault_churn` or `locality_delay` break the hard acceptance bar:
+//!   events/sec below 1/3 of the same-machine `sim_throughput` rate, or
+//! * the delay-scheduling quality gate regresses: node-local launch rate
+//!   below 30% with delay enabled, or same-seed makespan more than 5%
+//!   worse than greedy placement (from one delay-on/off pair).
 //!
 //! `swim_cluster` has no hard bar here: its measured ratio straddles 1/3
 //! purely with anchor timing noise (see docs/PERF.md), so regressions are
@@ -31,7 +35,8 @@
 //! CI runs the full shapes).
 
 use mrp_bench::scenarios::{
-    baseline_events_per_sec, fault_churn::FaultChurnScenario, hfsp, sim_throughput, swim_cluster,
+    baseline_events_per_sec, fault_churn::FaultChurnScenario, hfsp, locality_delay, sim_throughput,
+    swim_cluster,
 };
 
 fn median(mut xs: Vec<f64>) -> f64 {
@@ -79,6 +84,19 @@ fn main() {
         median((0..3).map(|_| sc.run().events_per_sec()).collect())
     };
 
+    // locality_delay also gates the delay-scheduling acceptance criteria:
+    // node-local launch rate and same-seed makespan cost, from one
+    // delay-on/off pair on the full shape.
+    let ld_sc = if quick {
+        locality_delay::small()
+    } else {
+        locality_delay::full()
+    };
+    let ld_runs: Vec<_> = (0..3).map(|_| locality_delay::run(&ld_sc, true)).collect();
+    // The greedy side only feeds the quality gate, which quick mode skips.
+    let ld_off = (!quick).then(|| locality_delay::run(&ld_sc, false));
+    let ld_eps = median(ld_runs.iter().map(|o| o.events_per_sec()).collect());
+
     let measured = [
         Measured {
             name: "swim_cluster",
@@ -90,6 +108,12 @@ fn main() {
             name: "fault_churn",
             baseline_file: "BENCH_fault_churn.json",
             events_per_sec: fault_eps,
+            hard_bar: Some(1.0 / 3.0),
+        },
+        Measured {
+            name: "locality_delay",
+            baseline_file: "BENCH_locality_delay.json",
+            events_per_sec: ld_eps,
             hard_bar: Some(1.0 / 3.0),
         },
     ];
@@ -146,6 +170,33 @@ fn main() {
         );
         if !ratio_ok || !bar_ok {
             failed = true;
+        }
+    }
+
+    // Delay-scheduling acceptance gate (full shapes only; the bars were
+    // recorded on them): node-local launch rate >= 30% with delay enabled,
+    // at <= 5% same-seed makespan regression.
+    match &ld_off {
+        None => println!("  delay gate    skipped (--quick shapes; bars hold on full shapes only)"),
+        Some(ld_off) => {
+            let on_report = &ld_runs[0].report;
+            let node_local = on_report.locality.node_local_ratio();
+            let makespan_ratio = match (on_report.makespan_secs(), ld_off.report.makespan_secs()) {
+                (Some(on), Some(off)) if off > 0.0 => on / off,
+                _ => f64::INFINITY,
+            };
+            let locality_ok = node_local >= 0.30;
+            let makespan_ok = makespan_ratio <= 1.05;
+            println!(
+                "  delay gate    node-local {:.1}% (bar >= 30%)  makespan {:+.1}% vs greedy (bar <= +5%)  [{}{}]",
+                node_local * 100.0,
+                (makespan_ratio - 1.0) * 100.0,
+                if locality_ok { "locality ok" } else { "LOCALITY BELOW 30%" },
+                if makespan_ok { ", makespan ok" } else { ", MAKESPAN REGRESSION >5%" },
+            );
+            if !locality_ok || !makespan_ok {
+                failed = true;
+            }
         }
     }
 

@@ -210,9 +210,17 @@ pub mod swim_cluster {
 
         /// Runs the scenario once (HFSP suspend/resume, DFS-backed inputs).
         pub fn run(&self) -> ScenarioOutcome {
+            self.run_with_config(|_| {})
+        }
+
+        /// Runs the scenario with a configuration tweak applied before the
+        /// cluster is built (the `locality_delay` scenario switches delay
+        /// scheduling on this way, so both scenarios share one workload).
+        pub fn run_with_config(&self, tweak: impl FnOnce(&mut ClusterConfig)) -> ScenarioOutcome {
             let mut cfg =
                 ClusterConfig::racked_cluster(self.racks, self.nodes_per_rack, self.map_slots, 1);
             cfg.trace_level = TraceLevel::Off;
+            tweak(&mut cfg);
             let mut cluster = Cluster::new(cfg, hfsp());
             let trace = SwimGenerator::new(self.swim_config(), self.seed).generate();
             let (jobs, files) = dfs_backed(&trace, "/swim");
@@ -228,6 +236,69 @@ pub mod swim_cluster {
             }
             timed_run(cluster, SimTime::from_secs(24 * 3_600), "swim_cluster")
         }
+    }
+}
+
+/// The delay-scheduling scenario behind the `locality_delay` bench: the
+/// `swim_cluster`-shaped workload (multi-rack SWIM trace, DFS-backed inputs,
+/// HFSP suspend/resume) run twice on the same seed — greedy placement vs
+/// delay scheduling at 1+1 heartbeat intervals — so the bench can record the
+/// node-local-rate gain and the makespan cost side by side.
+pub mod locality_delay {
+    use super::swim_cluster::SwimScenario;
+    use super::*;
+
+    /// Wait for a node-local slot, in heartbeat intervals.
+    pub const NODE_WAIT_INTERVALS: f64 = 1.0;
+    /// Additional wait for a rack-local slot, in heartbeat intervals.
+    pub const RACK_WAIT_INTERVALS: f64 = 1.0;
+
+    /// The tracked full shape: a 2,000-node / 40-rack slice of the
+    /// `swim_cluster` workload at moderate (rather than collapse-level)
+    /// backlog. Large enough that strict HFSP order shows the same
+    /// sub-percent node-local rate as the 10k-node scenario, small enough
+    /// that `check_bench` can afford the delay-on/off pair, and paced so
+    /// the delayed run's per-event cost stays within the 3x bar (a deeper
+    /// backlog multiplies declining-job scans per free slot).
+    pub fn full() -> SwimScenario {
+        SwimScenario {
+            racks: 40,
+            nodes_per_rack: 50,
+            map_slots: 2,
+            jobs: 500,
+            min_job_bytes: GIB,
+            max_job_bytes: 64 * GIB,
+            mean_interarrival_secs: 0.6,
+            min_tasks: 15_000,
+            seed: 0x10CA1,
+        }
+    }
+
+    /// The shrunken CI smoke variant (64 nodes).
+    pub fn small() -> SwimScenario {
+        SwimScenario {
+            racks: 8,
+            nodes_per_rack: 8,
+            map_slots: 2,
+            jobs: 60,
+            min_job_bytes: 256 * MIB,
+            max_job_bytes: 8 * GIB,
+            mean_interarrival_secs: 0.4,
+            min_tasks: 200,
+            seed: 0x10CA1,
+        }
+    }
+
+    /// Runs the scenario with delay scheduling on or off (same seed, same
+    /// workload — the only difference is `ClusterConfig::delay`).
+    pub fn run(sc: &SwimScenario, delay: bool) -> ScenarioOutcome {
+        sc.run_with_config(|cfg| {
+            if delay {
+                *cfg = cfg
+                    .clone()
+                    .with_delay_intervals(NODE_WAIT_INTERVALS, RACK_WAIT_INTERVALS);
+            }
+        })
     }
 }
 

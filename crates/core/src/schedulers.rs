@@ -12,8 +12,8 @@
 use crate::eviction::{EvictionCandidate, EvictionPolicy};
 use crate::primitive::PreemptionPrimitive;
 use mrp_engine::{
-    JobId, JobRuntime, NodeId, SchedulerAction, SchedulerContext, SchedulerPolicy, TaskKind,
-    TaskState,
+    JobId, JobRuntime, Locality, NodeId, SchedulerAction, SchedulerContext, SchedulerPolicy,
+    TaskKind, TaskState,
 };
 use mrp_sim::{SimDuration, SimRng, SimTime};
 use std::collections::HashMap;
@@ -80,9 +80,39 @@ struct JobIndex {
     by_node: HashMap<u32, PendingList>,
     /// rack id -> pending map tasks with a replica in that rack.
     by_rack: HashMap<u32, PendingList>,
+    /// Bit per node id: set while `by_node` *may* still hold unconsumed
+    /// entries for that node, cleared once the node's list is exhausted. A
+    /// delay-scheduling round visits many jobs that have nothing local on
+    /// the heartbeating node; the bit test answers that in a dense read
+    /// instead of a (SipHash) map lookup per job per heartbeat.
+    node_bits: Vec<u64>,
+    /// Same for rack ids over `by_rack`.
+    rack_bits: Vec<u64>,
     /// First position of `tasks` that may still be schedulable; only ever
     /// advanced past non-schedulable tasks (and rewound after kills).
     cursor: usize,
+}
+
+#[inline]
+fn test_bit(bits: &[u64], key: u32) -> bool {
+    bits.get((key / 64) as usize)
+        .is_some_and(|w| w & (1u64 << (key % 64)) != 0)
+}
+
+#[inline]
+fn clear_bit(bits: &mut [u64], key: u32) {
+    if let Some(w) = bits.get_mut((key / 64) as usize) {
+        *w &= !(1u64 << (key % 64));
+    }
+}
+
+fn bitset_of(keys: impl Iterator<Item = u32> + Clone) -> Vec<u64> {
+    let max = keys.clone().max().map(|m| m as usize + 1).unwrap_or(0);
+    let mut bits = vec![0u64; max.div_ceil(64)];
+    for key in keys {
+        bits[(key / 64) as usize] |= 1u64 << (key % 64);
+    }
+    bits
 }
 
 impl JobIndex {
@@ -111,15 +141,19 @@ impl JobIndex {
                 }
             }
         }
+        index.node_bits = bitset_of(index.by_node.keys().copied());
+        index.rack_bits = bitset_of(index.by_rack.keys().copied());
         index
     }
 }
 
 /// The per-job indices of one scheduler instance, built lazily per job and
-/// dropped when the job finishes.
+/// dropped when the job finishes. Job ids are dense (sequential from 1), so
+/// the table is a `Vec` indexed by `id - 1` — the per-job lookup on the
+/// fill-loop hot path is a bounds check, not a hash.
 #[derive(Default)]
 struct LocalityIndex {
-    jobs: HashMap<JobId, JobIndex>,
+    jobs: Vec<Option<JobIndex>>,
     /// Reusable per-round buffer of task positions already chosen for launch
     /// from the current job (guards against double-launching a task that
     /// appears on several candidate lists).
@@ -135,7 +169,18 @@ struct LocalityIndex {
 
 impl LocalityIndex {
     fn forget(&mut self, job: JobId) {
-        self.jobs.remove(&job);
+        if let Some(slot) = self.jobs.get_mut((job.0 as usize).wrapping_sub(1)) {
+            *slot = None;
+        }
+    }
+
+    /// The job's index, built on first touch.
+    fn entry(&mut self, job: &JobRuntime, ctx: &SchedulerContext<'_>) -> &mut JobIndex {
+        let idx = (job.id.0 as usize).saturating_sub(1);
+        if idx >= self.jobs.len() {
+            self.jobs.resize_with(idx + 1, || None);
+        }
+        self.jobs[idx].get_or_insert_with(|| JobIndex::build(job, ctx))
     }
 }
 
@@ -143,6 +188,17 @@ impl LocalityIndex {
 /// `ordered_jobs`, filling free slots on `node`. Fresh launches are handed
 /// out rack-aware — node-local tasks first, then rack-local, then anything —
 /// via the per-job [`LocalityIndex`].
+///
+/// With delay scheduling enabled (`ClusterConfig::delay`), a job whose
+/// allowed locality level has not yet escalated *declines* the non-local
+/// tiers: its rack list is left untouched and the fallback scan skips the
+/// map region, the declined opportunity is recorded (which starts/continues
+/// the job's wait clock), and the loop moves on so the next job in policy
+/// order can use the slot. Jobs whose tasks have no placement preference are
+/// never restricted, and reduces always launch anywhere. Liveness holds
+/// because the allowed level is a pure function of elapsed wait: every
+/// declining job reaches `OffRack` within the configured waits, even when
+/// all its replica holders are dead.
 fn fill_node(
     ctx: &SchedulerContext<'_>,
     node: NodeId,
@@ -172,10 +228,19 @@ fn fill_node(
         return Vec::new();
     }
     let rack = ctx.topology.rack_of(node);
+    let delay_on = ctx.delay_enabled();
     let mut free_map = view.free_map_slots;
     let mut free_reduce = view.free_reduce_slots;
     let mut resumable = view.suspended.len();
     let mut actions = Vec::new();
+    // Bound on declining jobs visited per round. Without it, a round where
+    // every backlogged job waits for locality scans the whole job order on
+    // every heartbeat — O(jobs) of pure declines. Past the cap the slot
+    // simply stays free until the next heartbeat (by which point waits have
+    // escalated); capped-out jobs' clocks start a few heartbeats later,
+    // which only shifts their bounded wait, never starves them.
+    const MAX_DECLINES_PER_ROUND: usize = 64;
+    let mut declines = 0usize;
     for job_id in ordered_jobs {
         // Stop as soon as the remaining slots provably cannot be used by
         // anything further down the list (per-kind: a free reduce slot must
@@ -229,14 +294,57 @@ fn fill_node(
         if !job_maps && !job_reduces {
             continue;
         }
+        // Delay scheduling: the loosest locality this job may launch maps at
+        // right now, decided *before* any index work — at scale most
+        // delayed rounds visit many declining jobs, and the decline path
+        // must stay a few dense reads, not hash lookups. Jobs with no
+        // replica preferences (synthetic input; tasks are maps-first, so
+        // the first task tells) are never restricted, and neither is a job
+        // with no schedulable maps at all: the gate only ever withholds map
+        // launches, and treating a pure-reduce-phase job as restricted
+        // would also suppress the tier-3 rewind below — stranding a reduce
+        // killed back to pending behind the cursor forever, since a job
+        // without schedulable maps never declines anything and so never
+        // escalates.
+        let prefers_local = job
+            .tasks
+            .first()
+            .is_some_and(|t| !t.preferred_nodes.is_empty());
+        let allowed = if delay_on && prefers_local && job.schedulable_maps > 0 {
+            ctx.delay_allowed(*job_id)
+        } else {
+            Locality::OffRack
+        };
+        let maps_any = allowed == Locality::OffRack;
         let mut chosen = std::mem::take(&mut index.chosen);
         chosen.clear();
-        let job_index = index
-            .jobs
-            .entry(*job_id)
-            .or_insert_with(|| JobIndex::build(job, ctx));
-        // Tier 1: map tasks with a replica on this very node.
-        if free_map > 0 {
+        let mut maps_chosen = 0usize;
+        let job_index = index.entry(job, ctx);
+        // Fast decline: the job is locality-restricted, has provably nothing
+        // it may launch on this node (the replica bitsets say so), and no
+        // reduce work to place — the whole visit collapses to recording the
+        // skipped opportunity. This is the common case of a delayed round at
+        // scale, so it must stay a handful of dense reads.
+        if !maps_any && free_map > 0 && job.schedulable_maps > 0 && !job_reduces {
+            let node_possible = test_bit(&job_index.node_bits, node.0);
+            let rack_possible = allowed >= Locality::RackLocal
+                && rack.is_some_and(|r| test_bit(&job_index.rack_bits, r.0));
+            if !node_possible && !rack_possible {
+                index.chosen = chosen;
+                ctx.note_delay_skip(*job_id);
+                declines += 1;
+                if declines >= MAX_DECLINES_PER_ROUND {
+                    break;
+                }
+                continue;
+            }
+        }
+        // Tier 1: map tasks with a replica on this very node. The bit test
+        // keeps the overwhelmingly common "nothing local here" answer off
+        // the hash; an exhausted list clears its bit so it is never probed
+        // again.
+        let mut node_local_chosen = false;
+        if free_map > 0 && test_bit(&job_index.node_bits, node.0) {
             if let Some(list) = job_index.by_node.get_mut(&node.0) {
                 while free_map > 0 {
                     let Some(pos) = list.next_schedulable(job, &chosen) else {
@@ -244,28 +352,41 @@ fn fill_node(
                     };
                     free_map -= 1;
                     maps_unclaimed = maps_unclaimed.saturating_sub(1);
+                    maps_chosen += 1;
+                    node_local_chosen = true;
                     chosen.push(pos);
                     actions.push(SchedulerAction::Launch {
                         task: job.tasks[pos].id,
                         node,
                     });
                 }
+                if list.cursor >= list.items.len() {
+                    clear_bit(&mut job_index.node_bits, node.0);
+                }
             }
         }
-        // Tier 2: map tasks with a replica somewhere in this node's rack.
-        if free_map > 0 {
-            if let Some(list) = rack.and_then(|r| job_index.by_rack.get_mut(&r.0)) {
-                while free_map > 0 {
-                    let Some(pos) = list.next_schedulable(job, &chosen) else {
-                        break;
-                    };
-                    free_map -= 1;
-                    maps_unclaimed = maps_unclaimed.saturating_sub(1);
-                    chosen.push(pos);
-                    actions.push(SchedulerAction::Launch {
-                        task: job.tasks[pos].id,
-                        node,
-                    });
+        // Tier 2: map tasks with a replica somewhere in this node's rack —
+        // skipped entirely (lists untouched) while the job's delay level is
+        // still node-local-only.
+        if free_map > 0 && allowed >= Locality::RackLocal {
+            if let Some(r) = rack.filter(|r| test_bit(&job_index.rack_bits, r.0)) {
+                if let Some(list) = job_index.by_rack.get_mut(&r.0) {
+                    while free_map > 0 {
+                        let Some(pos) = list.next_schedulable(job, &chosen) else {
+                            break;
+                        };
+                        free_map -= 1;
+                        maps_unclaimed = maps_unclaimed.saturating_sub(1);
+                        maps_chosen += 1;
+                        chosen.push(pos);
+                        actions.push(SchedulerAction::Launch {
+                            task: job.tasks[pos].id,
+                            node,
+                        });
+                    }
+                    if list.cursor >= list.items.len() {
+                        clear_bit(&mut job_index.rack_bits, r.0);
+                    }
                 }
             }
         }
@@ -274,6 +395,14 @@ fn fill_node(
         // from the fallback cursor. The cursor only ever moves past
         // non-schedulable tasks, so the scan is O(new work) per heartbeat; a
         // rewind pass catches tasks re-made schedulable (kills) behind it.
+        // Tier-3 maps are off-rack by construction (anything node- or
+        // rack-local was reachable through the tier-1/2 lists), so the whole
+        // map region is skipped while delay keeps the job below `OffRack`.
+        // The one loss is a task re-made schedulable after its consume-once
+        // list entries were spent (kill/reschedule): it stays invisible to
+        // the local tiers and only launches once the job escalates to
+        // `OffRack` — a wait bounded by the configured delay, never a
+        // livelock.
         for attempt in 0..2 {
             // Per-kind satisfaction: stop when every remaining slot kind is
             // either full or exhausted for this job, so a free reduce slot
@@ -290,16 +419,18 @@ fn fill_node(
             let mut launched_any = false;
             let mut pos = job_index.cursor;
             // Tasks are laid out maps-first, then reduces (a JobRuntime
-            // invariant). When no map slot is free nothing in the map region
-            // can launch, so jump straight to the reduce region instead of
-            // dragging the scan across up to thousands of pending maps on
-            // every reduce-slot heartbeat.
-            if free_map == 0 {
+            // invariant). When no map slot is free — or delay scheduling
+            // still withholds this job's off-rack launches — nothing in the
+            // map region can launch, so jump straight to the reduce region
+            // instead of dragging the scan across up to thousands of pending
+            // maps on every reduce-slot heartbeat.
+            if free_map == 0 || !maps_any {
                 let map_region = job
                     .tasks
                     .len()
                     .saturating_sub(job.spec.reduce_tasks as usize);
                 pos = pos.max(map_region);
+                maps_left = 0;
             }
             while pos < job.tasks.len() {
                 let maps_satisfied = free_map == 0 || maps_left == 0;
@@ -315,6 +446,7 @@ fn fill_node(
                             if !already_chosen && free_map > 0 {
                                 free_map -= 1;
                                 maps_unclaimed = maps_unclaimed.saturating_sub(1);
+                                maps_chosen += 1;
                                 launched_any = true;
                                 chosen.push(pos);
                                 actions.push(SchedulerAction::Launch { task: t.id, node });
@@ -337,8 +469,11 @@ fn fill_node(
             }
             // The job claims schedulable work the cursor cannot see (a task
             // behind it was killed back to pending): rewind once and retry.
+            // A delay-declining job's unlaunched maps are *withheld*, not
+            // invisible — rewinding for them would rescan every heartbeat.
             let invisible = !launched_any
                 && attempt == 0
+                && maps_any
                 && job_index.cursor > 0
                 && chosen.len() < job.schedulable_count() as usize;
             if !invisible {
@@ -347,6 +482,23 @@ fn fill_node(
             job_index.cursor = 0;
         }
         index.chosen = chosen;
+        // The job declined map launches it had slots for: record the skipped
+        // opportunity so its wait clock runs and its allowed level escalates.
+        // A round that launched a node-local map did NOT skip the
+        // opportunity — the engine resets the wait on that launch anyway, so
+        // noting a skip here would only mint a spurious zero-length entry in
+        // the wait histogram.
+        if !maps_any
+            && !node_local_chosen
+            && free_map > 0
+            && (job.schedulable_maps as usize) > maps_chosen
+        {
+            ctx.note_delay_skip(*job_id);
+            declines += 1;
+            if declines >= MAX_DECLINES_PER_ROUND {
+                break;
+            }
+        }
     }
 
     // Map slots still free after regular assignment: nothing pending can
@@ -465,10 +617,15 @@ impl FairScheduler {
         let share = self.fair_share(incomplete);
         let mut actions = Vec::new();
 
-        // Track starvation times and find jobs with a legitimate claim.
+        // Track starvation times and find jobs with a legitimate claim. A
+        // job voluntarily declining slots under delay scheduling
+        // (`delay_gated`) has no claim: preempting victims to free slots it
+        // would decline again is pure churn, and its bounded wait ends (by
+        // local launch or escalation) within the configured delay.
         let mut claims: usize = 0;
         for job in ctx.jobs.values().filter(|j| !j.is_finished()) {
-            let wants_more = job.schedulable_count() > 0 || job.suspended_count > 0;
+            let wants_more =
+                job.suspended_count > 0 || (job.schedulable_count() > 0 && !ctx.delay_gated(job));
             let running = job.occupying_count as usize;
             let starving = wants_more && running < share;
             if starving {
@@ -605,7 +762,11 @@ impl HfspScheduler {
                 // heartbeat fill loop proportional to jobs with actual
                 // pending work. A task killed back to pending mid-second is
                 // picked up at the next rebuild — immaterial next to the 3s
-                // cleanup its slot takes to free anyway.
+                // cleanup its slot takes to free anyway. Delay-blocked jobs
+                // still count as having pending work (`schedulable_count`
+                // ignores the delay gate), so a waiting job stays in the
+                // order and keeps receiving the node-local offers its wait
+                // exists for — only `fill_node` itself declines tiers.
                 .filter(|(_, j)| j.schedulable_count() > 0 || j.suspended_count > 0)
                 .map(|(id, j)| (Self::remaining_size(j), *id)),
         );

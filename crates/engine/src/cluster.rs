@@ -34,6 +34,7 @@
 
 use crate::attempt::{AttemptPhase, AttemptState, ExecPlan};
 use crate::config::{ClusterConfig, FaultEvent, FaultKind, RefreshMode, TraceLevel};
+use crate::delay::DelayScoreboard;
 use crate::job::{
     AttemptId, JobId, JobRuntime, JobSpec, JobTable, MapInput, TaskId, TaskKind, TaskRuntime,
     TaskState,
@@ -215,6 +216,9 @@ pub struct Cluster {
     churn_down: Vec<bool>,
     /// Fault-injection and speculation counters for the report.
     fault_stats: FaultStats,
+    /// Delay-scheduling state (per-job wait clocks and skip counters),
+    /// shared with policies through the [`SchedulerContext`].
+    delay: DelayScoreboard,
 }
 
 impl Cluster {
@@ -340,6 +344,7 @@ impl Cluster {
         for (index, ev) in fault_events.iter().enumerate() {
             queue.schedule(ev.at, Event::Fault { index });
         }
+        let delay = DelayScoreboard::new(config.delay);
         Cluster {
             config,
             queue,
@@ -369,6 +374,7 @@ impl Cluster {
             scripted_faults,
             churn_down: vec![false; node_count],
             fault_stats: FaultStats::default(),
+            delay,
         }
     }
 
@@ -405,9 +411,19 @@ impl Cluster {
     }
 
     /// Map-task launch counts by input locality so far (also part of the
-    /// end-of-run [`ClusterReport`]).
+    /// end-of-run [`ClusterReport`]), including the delay-scheduling skip
+    /// count maintained on the scoreboard.
     pub fn locality_stats(&self) -> LocalityStats {
-        self.locality
+        let mut stats = self.locality;
+        stats.delayed_skips = self.delay.total_skips();
+        stats
+    }
+
+    /// Read access to the delay-scheduling scoreboard (per-job wait clocks
+    /// and skip counters), for tests and harnesses that assert on the delay
+    /// state directly.
+    pub fn delay_scoreboard(&self) -> &DelayScoreboard {
+        &self.delay
     }
 
     /// Fault-injection and speculation counters so far (also part of the
@@ -553,7 +569,7 @@ impl Cluster {
                     }
                 })
                 .collect(),
-            locality: self.locality,
+            locality: self.locality_stats(),
             faults: self.fault_stats,
             finished_at: self.queue.now(),
         }
@@ -1178,6 +1194,7 @@ impl Cluster {
         let reduce_count = tasks.len() as u32 - map_count;
         self.totals.schedulable_maps += map_count;
         self.totals.schedulable_reduces += reduce_count;
+        self.delay.register_job();
         self.jobs.insert(
             id,
             JobRuntime {
@@ -1206,6 +1223,7 @@ impl Cluster {
                 topology: self.namenode.topology(),
                 totals: self.totals,
                 speculation: self.config.speculation,
+                delay: Some(&self.delay),
             };
             self.scheduler.on_job_submitted(&ctx, id)
         };
@@ -1292,6 +1310,7 @@ impl Cluster {
                 topology: self.namenode.topology(),
                 totals: self.totals,
                 speculation: self.config.speculation,
+                delay: Some(&self.delay),
             };
             self.scheduler.on_heartbeat(&ctx, node)
         };
@@ -1673,6 +1692,7 @@ impl Cluster {
                 topology: self.namenode.topology(),
                 totals: self.totals,
                 speculation: self.config.speculation,
+                delay: Some(&self.delay),
             };
             self.scheduler.on_task_finished(&ctx, task)
         };
@@ -1686,6 +1706,7 @@ impl Cluster {
                     topology: self.namenode.topology(),
                     totals: self.totals,
                     speculation: self.config.speculation,
+                    delay: Some(&self.delay),
                 };
                 self.scheduler.on_job_finished(&ctx, task.job)
             };
@@ -1908,6 +1929,15 @@ impl Cluster {
         self.mark_node_dirty(node);
         if task.kind == TaskKind::Map {
             self.locality.record(locality);
+            // Delay scheduling: a node-local launch ends the job's wait
+            // (reset-on-local-launch); the wait it paid goes into the
+            // histogram. Preference-less tasks count as node-local but never
+            // start a wait, so they record nothing.
+            if locality == Locality::NodeLocal {
+                if let Some(waited) = self.delay.local_launch(task.job, now) {
+                    self.locality.record_delay_wait(waited);
+                }
+            }
         }
         self.set_task_state(task, TaskState::Running);
         {
@@ -2165,6 +2195,7 @@ impl Cluster {
                 topology: self.namenode.topology(),
                 totals: self.totals,
                 speculation: self.config.speculation,
+                delay: Some(&self.delay),
             };
             self.scheduler.on_progress_trigger(&ctx, task, fraction)
         };

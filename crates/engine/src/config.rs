@@ -175,6 +175,31 @@ pub struct RandomFaults {
 /// The cluster's fault-injection plan: scripted events plus optional seeded
 /// random churn. Empty by default — the failure-free cluster of the paper's
 /// testbed.
+///
+/// ```
+/// use mrp_engine::{ClusterConfig, FaultEvent, FaultKind, NodeId, RandomFaults};
+/// use mrp_sim::SimTime;
+///
+/// let mut cfg = ClusterConfig::racked_cluster(2, 4, 2, 1);
+/// // Kill node 3 at t=30s and bring it back a minute later...
+/// cfg.faults.events.push(FaultEvent {
+///     at: SimTime::from_secs(30),
+///     kind: FaultKind::Kill { node: NodeId(3) },
+/// });
+/// cfg.faults.events.push(FaultEvent {
+///     at: SimTime::from_secs(90),
+///     kind: FaultKind::Rejoin { node: NodeId(3) },
+/// });
+/// // ...plus seeded random churn for the first ten minutes.
+/// cfg.faults.random = Some(RandomFaults {
+///     rack_mtbf_secs: 120.0,
+///     mean_recovery_secs: Some(45.0),
+///     horizon: SimTime::from_secs(600),
+///     seed: 7,
+/// });
+/// assert!(cfg.validate().is_ok());
+/// assert!(!cfg.faults.is_empty());
+/// ```
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct FaultPlan {
     /// Scripted kill/decommission/rejoin/rack-outage events.
@@ -198,6 +223,18 @@ impl FaultPlan {
 /// wait, which is exactly the re-execution opportunity preemption churn and
 /// node failures create). The first attempt to finish wins; the engine kills
 /// the loser.
+///
+/// ```
+/// use mrp_engine::{ClusterConfig, SpeculationConfig};
+///
+/// let mut cfg = ClusterConfig::racked_cluster(2, 4, 2, 1);
+/// cfg.speculation = SpeculationConfig::enabled();
+/// assert!(cfg.validate().is_ok());
+/// // Or tune the thresholds directly:
+/// cfg.speculation.slowness_ratio = 0.25;
+/// cfg.speculation.max_live_per_job = 1;
+/// assert!(cfg.validate().is_ok());
+/// ```
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SpeculationConfig {
     /// Master switch (default off: the paper's scenarios are speculation-free).
@@ -228,6 +265,73 @@ impl SpeculationConfig {
         SpeculationConfig {
             enabled: true,
             ..SpeculationConfig::default()
+        }
+    }
+}
+
+/// Delay-scheduling knobs: how long a job waits for a data-local slot
+/// before accepting a worse placement (Zaharia et al., "Delay Scheduling",
+/// EuroSys 2010), applied as a scheduler-independent placement policy.
+///
+/// The engine keeps one wait clock per job. The clock starts the first time
+/// the job *declines* an offered slot because launching there would not be
+/// node-local, escalates the job's allowed locality level with elapsed time
+/// (node → rack after [`DelayConfig::node_local_wait`], rack → any after an
+/// additional [`DelayConfig::rack_local_wait`]), and resets whenever the job
+/// launches a node-local map task. Because escalation is purely a function
+/// of virtual time, a job whose replica holders all died still drains — the
+/// clock keeps running and the job eventually launches anywhere.
+///
+/// FIFO, FAIR and HFSP all enforce the policy through the shared
+/// [`SchedulerContext`](crate::SchedulerContext) helpers; no per-scheduler
+/// forks.
+///
+/// ```
+/// use mrp_engine::{ClusterConfig, DelayConfig};
+/// use mrp_sim::SimDuration;
+///
+/// // Wait one heartbeat interval for a node-local slot, one more for a
+/// // rack-local one, then take anything.
+/// let mut cfg = ClusterConfig::racked_cluster(4, 4, 2, 1);
+/// cfg.delay = DelayConfig::waits(
+///     cfg.heartbeat_interval,
+///     cfg.heartbeat_interval,
+/// );
+/// assert!(cfg.validate().is_ok());
+/// // Or express the thresholds in heartbeat intervals directly:
+/// let same = ClusterConfig::racked_cluster(4, 4, 2, 1).with_delay_intervals(1.0, 1.0);
+/// assert_eq!(cfg.delay, same.delay);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DelayConfig {
+    /// Master switch (default off: placement stays greedy, as in PR 2).
+    pub enabled: bool,
+    /// How long a job waits for a node-local slot before rack-local
+    /// launches are allowed.
+    pub node_local_wait: SimDuration,
+    /// How much *additional* waiting (past `node_local_wait`) before
+    /// off-rack launches are allowed. Zero collapses the rack tier: the job
+    /// goes straight from node-local-only to anywhere.
+    pub rack_local_wait: SimDuration,
+}
+
+impl Default for DelayConfig {
+    fn default() -> Self {
+        DelayConfig {
+            enabled: false,
+            node_local_wait: SimDuration::ZERO,
+            rack_local_wait: SimDuration::ZERO,
+        }
+    }
+}
+
+impl DelayConfig {
+    /// Delay scheduling enabled with explicit per-level wait durations.
+    pub fn waits(node_local_wait: SimDuration, rack_local_wait: SimDuration) -> Self {
+        DelayConfig {
+            enabled: true,
+            node_local_wait,
+            rack_local_wait,
         }
     }
 }
@@ -264,10 +368,24 @@ pub struct ClusterConfig {
     pub faults: FaultPlan,
     /// Speculative re-execution knobs (default: off).
     pub speculation: SpeculationConfig,
+    /// Delay-scheduling knobs for data-local placement (default: off).
+    pub delay: DelayConfig,
 }
 
 impl ClusterConfig {
     /// The paper's experimental setup: one node, one map slot, 512 MB blocks.
+    ///
+    /// ```
+    /// use mrp_engine::{Cluster, ClusterConfig, FifoScheduler, JobSpec};
+    /// use mrp_sim::{SimTime, MIB};
+    ///
+    /// let mut cluster = Cluster::new(ClusterConfig::paper_single_node(),
+    ///                                Box::new(FifoScheduler::new()));
+    /// cluster.create_input_file("/input", 512 * MIB).unwrap();
+    /// cluster.submit_job(JobSpec::map_only("tl", "/input"));
+    /// cluster.run(SimTime::from_secs(3_600));
+    /// assert!(cluster.report().all_jobs_complete());
+    /// ```
     pub fn paper_single_node() -> Self {
         ClusterConfig {
             nodes: vec![NodeConfig::paper_node()],
@@ -282,6 +400,7 @@ impl ClusterConfig {
             trace_level: TraceLevel::Schedule,
             faults: FaultPlan::default(),
             speculation: SpeculationConfig::default(),
+            delay: DelayConfig::default(),
         }
     }
 
@@ -307,6 +426,7 @@ impl ClusterConfig {
             trace_level: TraceLevel::Schedule,
             faults: FaultPlan::default(),
             speculation: SpeculationConfig::default(),
+            delay: DelayConfig::default(),
         }
     }
 
@@ -314,6 +434,15 @@ impl ClusterConfig {
     /// Replica placement, task-input locality and scheduler assignment all
     /// become rack-aware; throughput-sensitive callers still switch
     /// `trace_level` off themselves.
+    ///
+    /// ```
+    /// use mrp_engine::ClusterConfig;
+    ///
+    /// let cfg = ClusterConfig::racked_cluster(4, 25, 2, 1);
+    /// assert_eq!(cfg.node_count(), 100);
+    /// assert_eq!(cfg.racks, 4);
+    /// assert!(cfg.validate().is_ok());
+    /// ```
     pub fn racked_cluster(
         racks: u32,
         nodes_per_rack: u32,
@@ -323,6 +452,18 @@ impl ClusterConfig {
         let mut cfg = ClusterConfig::small_cluster(racks * nodes_per_rack, map_slots, reduce_slots);
         cfg.racks = racks;
         cfg
+    }
+
+    /// Enables delay scheduling with per-level wait thresholds expressed in
+    /// heartbeat intervals, builder style. `with_delay_intervals(1.0, 1.0)`
+    /// waits one heartbeat interval for a node-local slot and one more for a
+    /// rack-local one — the sweet spot the `locality_delay` bench records.
+    pub fn with_delay_intervals(mut self, node_local: f64, rack_local: f64) -> Self {
+        self.delay = DelayConfig::waits(
+            self.heartbeat_interval.mul_f64(node_local),
+            self.heartbeat_interval.mul_f64(rack_local),
+        );
+        self
     }
 
     /// Number of nodes in the cluster.
@@ -400,6 +541,12 @@ impl ClusterConfig {
             if self.speculation.min_runtime.is_zero() {
                 return Err("speculation min runtime must be positive".into());
             }
+        }
+        if self.delay.enabled
+            && self.delay.node_local_wait.is_zero()
+            && self.delay.rack_local_wait.is_zero()
+        {
+            return Err("delay scheduling needs a positive wait at some locality level".into());
         }
         Ok(())
     }
@@ -518,6 +665,31 @@ mod tests {
         assert!(bad.validate().is_err(), "slowness ratio out of range");
 
         assert!(ClusterConfig::paper_single_node().faults.is_empty());
+    }
+
+    #[test]
+    fn delay_config_builder_and_validation() {
+        let cfg = ClusterConfig::racked_cluster(2, 2, 1, 1).with_delay_intervals(1.0, 2.0);
+        assert!(cfg.delay.enabled);
+        assert_eq!(cfg.delay.node_local_wait, cfg.heartbeat_interval);
+        assert_eq!(
+            cfg.delay.rack_local_wait,
+            cfg.heartbeat_interval.mul_f64(2.0)
+        );
+        assert!(cfg.validate().is_ok());
+
+        // Zero waits at every level make an enabled delay meaningless.
+        let mut bad = ClusterConfig::paper_single_node();
+        bad.delay = DelayConfig {
+            enabled: true,
+            node_local_wait: SimDuration::ZERO,
+            rack_local_wait: SimDuration::ZERO,
+        };
+        assert!(bad.validate().is_err());
+
+        // Disabled delay with zero waits is the default and fine.
+        assert!(!ClusterConfig::paper_single_node().delay.enabled);
+        assert!(ClusterConfig::paper_single_node().validate().is_ok());
     }
 
     #[test]

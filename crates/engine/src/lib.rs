@@ -37,6 +37,7 @@
 mod attempt;
 mod cluster;
 mod config;
+mod delay;
 mod job;
 mod metrics;
 mod scheduler;
@@ -45,16 +46,17 @@ mod tasktracker;
 pub use attempt::{Attempt, AttemptPhase, AttemptState, ExecPlan};
 pub use cluster::Cluster;
 pub use config::{
-    ClusterConfig, FaultEvent, FaultKind, FaultPlan, NodeConfig, RandomFaults, RefreshMode,
-    SpeculationConfig, TaskDefaults, TraceLevel,
+    ClusterConfig, DelayConfig, FaultEvent, FaultKind, FaultPlan, NodeConfig, RandomFaults,
+    RefreshMode, SpeculationConfig, TaskDefaults, TraceLevel,
 };
+pub use delay::DelayScoreboard;
 pub use job::{
     AttemptId, JobId, JobRuntime, JobSpec, JobTable, MapInput, TaskId, TaskKind, TaskProfile,
     TaskRuntime, TaskState,
 };
 pub use metrics::{
     ClusterReport, FaultStats, JobReport, LocalityStats, NodeReport, TaskReport, TraceEntry,
-    TraceKind,
+    TraceKind, DELAY_WAIT_BUCKET_SECS,
 };
 pub use scheduler::{
     FifoScheduler, NodeView, PendingTotals, RackView, SchedulerAction, SchedulerContext,

@@ -96,10 +96,19 @@ impl JobReport {
     }
 }
 
+/// Upper bounds (in seconds) of the delay-scheduling wait-time histogram
+/// buckets; the last bucket is open-ended.
+pub const DELAY_WAIT_BUCKET_SECS: [f64; 5] = [1.0, 3.0, 10.0, 30.0, 100.0];
+
 /// Map-task launch counts bucketed by input locality (the scheduling analogue
 /// of HDFS read locality). Maintained by the engine at every successful map
 /// launch, so benches and figures can assert on rack-aware placement quality
 /// without replaying the trace.
+///
+/// When delay scheduling ([`crate::DelayConfig`]) is enabled the struct also
+/// carries its cost side: how many launch opportunities jobs declined while
+/// waiting for locality, and a histogram of how long the waits that ended in
+/// a node-local launch lasted.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LocalityStats {
     /// Launches where the node held a replica of the task's input (tasks
@@ -110,9 +119,33 @@ pub struct LocalityStats {
     pub rack_local: u64,
     /// Launches with every replica in a foreign rack.
     pub off_rack: u64,
+    /// Launch opportunities jobs declined under delay scheduling (a free
+    /// slot of the right kind the job skipped waiting for a better-placed
+    /// one). Zero when delay scheduling is off.
+    pub delayed_skips: u64,
+    /// Histogram of delay waits that ended in a node-local launch, bucketed
+    /// by [`DELAY_WAIT_BUCKET_SECS`] (the last bucket is open-ended). Only
+    /// waits that were actually running are recorded, so the histogram
+    /// counts *paid* waits, not free node-local launches.
+    pub delay_wait_hist: [u64; 6],
 }
 
 impl LocalityStats {
+    /// Records one completed delay wait (a job's wait clock being reset by a
+    /// node-local launch after `waited`).
+    pub fn record_delay_wait(&mut self, waited: mrp_sim::SimDuration) {
+        let secs = waited.as_secs_f64();
+        let bucket = DELAY_WAIT_BUCKET_SECS
+            .iter()
+            .position(|&bound| secs < bound)
+            .unwrap_or(DELAY_WAIT_BUCKET_SECS.len());
+        self.delay_wait_hist[bucket] += 1;
+    }
+
+    /// Total completed delay waits across all histogram buckets.
+    pub fn delay_waits_total(&self) -> u64 {
+        self.delay_wait_hist.iter().sum()
+    }
     /// Records one launch at the given locality.
     pub fn record(&mut self, locality: mrp_dfs::Locality) {
         match locality {
@@ -453,5 +486,19 @@ mod tests {
         assert_eq!(s.node_local_ratio(), 0.5);
         assert_eq!(s.rack_local_ratio(), 0.25);
         assert_eq!(s.off_rack_ratio(), 0.25);
+    }
+
+    #[test]
+    fn delay_wait_histogram_buckets() {
+        use mrp_sim::SimDuration;
+        let mut s = LocalityStats::default();
+        s.record_delay_wait(SimDuration::from_millis(500)); // < 1s
+        s.record_delay_wait(SimDuration::from_secs(2)); // < 3s
+        s.record_delay_wait(SimDuration::from_secs(3)); // < 10s
+        s.record_delay_wait(SimDuration::from_secs(29)); // < 30s
+        s.record_delay_wait(SimDuration::from_secs(99)); // < 100s
+        s.record_delay_wait(SimDuration::from_secs(5_000)); // open-ended
+        assert_eq!(s.delay_wait_hist, [1, 1, 1, 1, 1, 1]);
+        assert_eq!(s.delay_waits_total(), 6);
     }
 }

@@ -9,6 +9,7 @@
 //! in the `mrp-preempt` crate and implement this trait.
 
 use crate::config::SpeculationConfig;
+use crate::delay::DelayScoreboard;
 use crate::job::{JobId, JobRuntime, JobSpec, JobTable, TaskId, TaskKind, TaskRuntime, TaskState};
 use mrp_dfs::{Locality, NodeId, RackId, Topology};
 use mrp_sim::SimTime;
@@ -147,6 +148,13 @@ pub struct SchedulerContext<'a> {
     /// [`SchedulerContext::push_speculative_candidates`] and never need to
     /// read this directly.
     pub speculation: SpeculationConfig,
+    /// The engine-owned delay-scheduling scoreboard (from
+    /// [`ClusterConfig::delay`](crate::ClusterConfig)), if the cluster has
+    /// one. Policies consult it through [`SchedulerContext::delay_allowed`],
+    /// [`SchedulerContext::note_delay_skip`] and
+    /// [`SchedulerContext::delay_gated`]; hand-built harness contexts pass
+    /// `None` (delay scheduling off).
+    pub delay: Option<&'a DelayScoreboard>,
 }
 
 impl<'a> SchedulerContext<'a> {
@@ -251,6 +259,67 @@ impl<'a> SchedulerContext<'a> {
     /// True when there is at least one incomplete job.
     pub fn has_incomplete_jobs(&self) -> bool {
         self.jobs.values().any(|j| !j.is_finished())
+    }
+
+    /// True when delay scheduling is active for this cluster. Policies use
+    /// this to keep every delay branch off the hot path when the feature is
+    /// off.
+    pub fn delay_enabled(&self) -> bool {
+        self.delay.is_some_and(|d| d.enabled())
+    }
+
+    /// The loosest locality level `job` may launch map tasks at right now
+    /// under delay scheduling: `NodeLocal` means node-local only,
+    /// `RackLocal` adds same-rack nodes, `OffRack` means anything goes (and
+    /// is always the answer when delay scheduling is off). Tasks with no
+    /// placement preference (synthetic input) and reduce tasks are never
+    /// restricted — the level only gates map tasks that actually have
+    /// preferred replica holders.
+    pub fn delay_allowed(&self, job: JobId) -> Locality {
+        match self.delay {
+            Some(d) => d.allowed(job, self.now),
+            None => Locality::OffRack,
+        }
+    }
+
+    /// Records that `job` declined a launch opportunity (a free slot of a
+    /// kind it has pending work for, on a node below its allowed locality
+    /// level): starts/continues the job's wait clock so its allowed level
+    /// escalates, and counts the skip in
+    /// [`LocalityStats::delayed_skips`](crate::LocalityStats).
+    pub fn note_delay_skip(&self, job: JobId) {
+        if let Some(d) = self.delay {
+            d.note_skip(job, self.now);
+        }
+    }
+
+    /// True while `job` is voluntarily declining slots under delay
+    /// scheduling: its wait clock is running, it has not yet escalated to
+    /// off-rack, and everything it could schedule is locality-restricted.
+    /// FAIR uses this to keep waiting jobs out of its starvation deficit —
+    /// preempting victims to free slots the job would decline again is pure
+    /// churn. A job that was never offered a slot (clock not running) is
+    /// *not* gated: it may be genuinely starved.
+    pub fn delay_gated(&self, job: &JobRuntime) -> bool {
+        let Some(d) = self.delay else { return false };
+        if !d.enabled() || job.schedulable_maps == 0 {
+            return false;
+        }
+        // Reduce work can launch anywhere, so a job with pending reduces
+        // always has a legitimate claim on slots.
+        if job.schedulable_reduces > 0 {
+            return false;
+        }
+        // Tasks are laid out maps-first; a preference-less first map means
+        // the whole job is synthetic and never delay-restricted.
+        if job
+            .tasks
+            .first()
+            .is_none_or(|t| t.preferred_nodes.is_empty())
+        {
+            return false;
+        }
+        d.gated(job.id, self.now)
     }
 
     /// Appends up to `max` speculative-launch candidates from `job` for a
@@ -511,7 +580,24 @@ impl SchedulerPolicy for FifoScheduler {
             };
             tiers[bucket].push(task);
         }
-        for tier in &tiers {
+        // Delay scheduling: the rack-local and off-rack buckets only contain
+        // map tasks with real placement preferences (preference-less tasks
+        // and reduces all bucket as node-local), so gating those buckets on
+        // the job's allowed locality level is exactly the policy. A declined
+        // opportunity is recorded at most once per job per heartbeat — and
+        // not at all for a job that launched a node-local map this round:
+        // that launch resets the job's wait at apply time, so noting a skip
+        // would only mint a spurious zero-length histogram entry. Per-job
+        // flags are dense Vecs indexed by job id (ids are sequential from
+        // 1), and the allowed level is cached per job (tiers keep a job's
+        // tasks contiguous), so the decline path stays O(tasks) even with
+        // the whole backlog waiting.
+        let delay_on = ctx.delay_enabled();
+        let flag_len = if delay_on { ctx.jobs.len() } else { 0 };
+        let mut declined = vec![false; flag_len];
+        let mut launched_local = vec![false; flag_len];
+        let mut cached_allowed: Option<(crate::job::JobId, Locality)> = None;
+        for (level, tier) in tiers.iter().enumerate() {
             if free_map == 0 && free_reduce == 0 {
                 break;
             }
@@ -523,8 +609,39 @@ impl SchedulerPolicy for FifoScheduler {
                 if *free == 0 {
                     continue;
                 }
+                let flag_idx = (task.job.0 as usize).wrapping_sub(1);
+                if delay_on && level > 0 {
+                    let allowed = match cached_allowed {
+                        Some((job, allowed)) if job == task.job => allowed,
+                        _ => {
+                            let allowed = ctx.delay_allowed(task.job);
+                            cached_allowed = Some((task.job, allowed));
+                            allowed
+                        }
+                    };
+                    let permitted = match level {
+                        1 => allowed >= Locality::RackLocal,
+                        _ => allowed == Locality::OffRack,
+                    };
+                    if !permitted {
+                        if let Some(flag) = declined.get_mut(flag_idx) {
+                            *flag = true;
+                        }
+                        continue;
+                    }
+                }
+                if delay_on && level == 0 && task.kind == TaskKind::Map {
+                    if let Some(flag) = launched_local.get_mut(flag_idx) {
+                        *flag = true;
+                    }
+                }
                 *free -= 1;
                 actions.push(SchedulerAction::Launch { task, node });
+            }
+        }
+        for (idx, declined) in declined.into_iter().enumerate() {
+            if declined && !launched_local[idx] {
+                ctx.note_delay_skip(crate::job::JobId(idx as u32 + 1));
             }
         }
 
@@ -621,6 +738,7 @@ mod tests {
             topology: &topo,
             totals: PendingTotals::from_jobs(&jobs),
             speculation: SpeculationConfig::default(),
+            delay: None,
         };
         let order = ctx.schedulable_tasks();
         assert_eq!(order[0].job, JobId(2), "highest priority first");
@@ -642,6 +760,7 @@ mod tests {
             topology: &topo,
             totals: PendingTotals::from_jobs(&jobs),
             speculation: SpeculationConfig::default(),
+            delay: None,
         };
         let mut fifo = FifoScheduler::new();
         let actions = fifo.on_heartbeat(&ctx, NodeId(0));
@@ -669,6 +788,7 @@ mod tests {
             topology: &topo,
             totals: PendingTotals::from_jobs(&jobs),
             speculation: SpeculationConfig::default(),
+            delay: None,
         };
         let mut fifo = FifoScheduler::new();
         let actions = fifo.on_heartbeat(&ctx, NodeId(0));
@@ -709,6 +829,7 @@ mod tests {
             topology: &topo,
             totals: PendingTotals::from_jobs(&jobs),
             speculation: SpeculationConfig::default(),
+            delay: None,
         };
         let mut fifo = FifoScheduler::new();
         let actions = fifo.on_heartbeat(&ctx, NodeId(0));
@@ -717,6 +838,51 @@ mod tests {
         // On a different node nothing happens.
         let actions = fifo.on_heartbeat(&ctx, NodeId(9));
         assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn fifo_delay_declines_remote_tiers_until_escalation() {
+        use crate::config::DelayConfig;
+        use mrp_sim::SimDuration;
+        let sb = DelayScoreboard::new(DelayConfig::waits(
+            SimDuration::from_secs(3),
+            SimDuration::from_secs(3),
+        ));
+        sb.register_job();
+        let mut jobs = JobTable::new();
+        let mut job = make_job(1, 0, 0, 1);
+        // The only replica holder is node 5, which lives in the other rack
+        // of a 2-rack topology: a launch on node 0 would be off-rack.
+        job.tasks[0].preferred_nodes = vec![NodeId(5)];
+        jobs.insert(JobId(1), job);
+        let nodes = [view(0, 1)];
+        let topo = Topology::blocked(10, 2);
+        let ctx_at = |now: SimTime| SchedulerContext {
+            now,
+            jobs: &jobs,
+            nodes: &nodes,
+            racks: &[],
+            topology: &topo,
+            totals: PendingTotals::from_jobs(&jobs),
+            speculation: SpeculationConfig::default(),
+            delay: Some(&sb),
+        };
+        let mut fifo = FifoScheduler::new();
+        // Node-local-only phase: the off-rack launch is declined and the
+        // wait clock starts.
+        assert!(fifo
+            .on_heartbeat(&ctx_at(SimTime::ZERO), NodeId(0))
+            .is_empty());
+        assert!(sb.job_waiting(JobId(1)));
+        assert_eq!(sb.job_skips(JobId(1)), 1);
+        // Rack-local phase: node 0 is still in the wrong rack — declined.
+        assert!(fifo
+            .on_heartbeat(&ctx_at(SimTime::from_secs(4)), NodeId(0))
+            .is_empty());
+        // Fully escalated: anything goes.
+        let actions = fifo.on_heartbeat(&ctx_at(SimTime::from_secs(6)), NodeId(0));
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(actions[0], SchedulerAction::Launch { .. }));
     }
 
     #[test]
@@ -733,6 +899,7 @@ mod tests {
             topology: &topo,
             totals: PendingTotals::from_jobs(&jobs),
             speculation: SpeculationConfig::default(),
+            delay: None,
         };
         assert!(ctx.node(NodeId(0)).is_some());
         assert!(ctx.node(NodeId(4)).is_none());

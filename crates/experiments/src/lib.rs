@@ -28,6 +28,7 @@
 
 mod faults;
 mod figures;
+mod locality;
 mod priority;
 mod report;
 mod scenario;
@@ -40,6 +41,7 @@ pub use figures::{
     eviction_ablation, figure2, figure3, figure4, figure4_memory_points, natjam_comparison,
     paper_fractions, resume_locality_ablation, run_figure, Figure, FigureData,
 };
+pub use locality::{delay_locality_sweep, delay_sweep_table, DelaySweepConfig, DelaySweepRow};
 pub use priority::PriorityPreemptingScheduler;
 pub use report::{to_csv, to_table};
 pub use scenario::{run_once, run_scenario, ScenarioConfig, ScenarioOutcome, SingleRun};

@@ -1,0 +1,19 @@
+//! Prints the delay-scheduling trade-off curve: node-local launch rate vs
+//! p99 job sojourn as the per-job wait grows from zero (greedy placement)
+//! to four heartbeat intervals.
+//!
+//! ```sh
+//! cargo run --release --example delay_sweep
+//! ```
+
+use mrp_experiments::{delay_locality_sweep, delay_sweep_table, DelaySweepConfig};
+
+fn main() {
+    let cfg = DelaySweepConfig::compact();
+    println!(
+        "delay sweep: {} racks x {} nodes x {} map slots, {} SWIM jobs, HFSP suspend/resume\n",
+        cfg.racks, cfg.nodes_per_rack, cfg.map_slots, cfg.swim.jobs,
+    );
+    let rows = delay_locality_sweep(&cfg);
+    print!("{}", delay_sweep_table(&rows));
+}

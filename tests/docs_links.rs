@@ -1,0 +1,115 @@
+//! Offline markdown link check for the documentation surface.
+//!
+//! Walks `README.md`, the other root markdown files, and everything under
+//! `docs/`, extracts inline `[text](target)` links, and verifies that every
+//! **intra-repo** target resolves to an existing file (anchors stripped).
+//! External links (`http://`, `https://`, `mailto:`) are intentionally left
+//! alone — CI has no network, and dead-file links are the rot this guards
+//! against. Runs as part of `cargo test` and as a dedicated CI step.
+
+use std::path::{Path, PathBuf};
+
+/// Extracts inline markdown link targets from `text`, skipping code fences
+/// and inline code spans (ASCII-art diagrams love square brackets).
+fn link_targets(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_fence = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        let mut in_code = false;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'`' => in_code = !in_code,
+                b']' if !in_code && i + 1 < bytes.len() && bytes[i + 1] == b'(' => {
+                    if let Some(close) = line[i + 2..].find(')') {
+                        out.push(line[i + 2..i + 2 + close].to_string());
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+fn markdown_files(root: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(root)
+        .expect("repo root is readable")
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "md"))
+        .collect();
+    let docs = root.join("docs");
+    if docs.is_dir() {
+        files.extend(
+            std::fs::read_dir(&docs)
+                .expect("docs/ is readable")
+                .flatten()
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|e| e == "md")),
+        );
+    }
+    files.sort();
+    files
+}
+
+#[test]
+fn intra_repo_markdown_links_resolve() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let files = markdown_files(root);
+    assert!(
+        files.iter().any(|f| f.ends_with("README.md")),
+        "README.md must exist at the repo root"
+    );
+    assert!(
+        files.iter().any(|f| f.ends_with("ARCHITECTURE.md")),
+        "docs/ARCHITECTURE.md must exist"
+    );
+
+    let mut broken = Vec::new();
+    let mut checked = 0usize;
+    for file in &files {
+        let text = std::fs::read_to_string(file).expect("markdown file is readable");
+        for target in link_targets(&text) {
+            // External and intra-page links are out of scope for an
+            // offline check.
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+                || target.starts_with('#')
+            {
+                continue;
+            }
+            let path_part = target.split('#').next().unwrap_or(&target);
+            if path_part.is_empty() {
+                continue;
+            }
+            let resolved = file
+                .parent()
+                .expect("markdown files have a parent dir")
+                .join(path_part);
+            checked += 1;
+            if !resolved.exists() {
+                broken.push(format!("{} -> {}", file.display(), target));
+            }
+        }
+    }
+    assert!(
+        broken.is_empty(),
+        "broken intra-repo markdown links:\n{}",
+        broken.join("\n")
+    );
+    assert!(
+        checked >= 5,
+        "the docs surface should contain intra-repo links to check, found {checked}"
+    );
+}
