@@ -1,7 +1,8 @@
 //! CI bench-regression gate.
 //!
-//! Re-runs the four tracked throughput scenarios (`sim_throughput`,
-//! `swim_cluster`, `fault_churn`, `locality_delay`) on the current machine
+//! Re-runs the five tracked throughput scenarios (`sim_throughput`,
+//! `swim_cluster`, `fault_churn`, `locality_delay`, `rack_outage`) on the
+//! current machine
 //! and compares the events/sec **ratios** between scenarios against the
 //! ratios recorded in the checked-in `BENCH_*.json` baselines. Per the
 //! ROADMAP rule, absolute events/sec are machine-dependent and never
@@ -25,7 +26,11 @@
 //!   events/sec below 1/3 of the same-machine `sim_throughput` rate, or
 //! * the delay-scheduling quality gate regresses: node-local launch rate
 //!   below 30% with delay enabled, or same-seed makespan more than 5%
-//!   worse than greedy placement (from one delay-on/off pair).
+//!   worse than greedy placement (from one delay-on/off pair), or
+//! * the failure-aware placement quality gate regresses: on the
+//!   `rack_outage` repeat-offender scenario the reliability predictor must
+//!   strictly improve the p99 job sojourn vs predictor-off on the same
+//!   seed (from one predictor-on/off pair).
 //!
 //! `swim_cluster` has no hard bar here: its measured ratio straddles 1/3
 //! purely with anchor timing noise (see docs/PERF.md), so regressions are
@@ -35,8 +40,8 @@
 //! CI runs the full shapes).
 
 use mrp_bench::scenarios::{
-    baseline_events_per_sec, fault_churn::FaultChurnScenario, hfsp, locality_delay, sim_throughput,
-    swim_cluster,
+    baseline_events_per_sec, fault_churn::FaultChurnScenario, hfsp, locality_delay, rack_outage,
+    sim_throughput, swim_cluster,
 };
 
 fn median(mut xs: Vec<f64>) -> f64 {
@@ -97,6 +102,20 @@ fn main() {
     let ld_off = (!quick).then(|| locality_delay::run(&ld_sc, false));
     let ld_eps = median(ld_runs.iter().map(|o| o.events_per_sec()).collect());
 
+    // rack_outage also gates the failure-aware placement acceptance
+    // criterion: the reliability predictor's strict p99 sojourn win on the
+    // same seed, from one predictor-on/off pair on the full shape.
+    let ro_sc = if quick {
+        rack_outage::small()
+    } else {
+        rack_outage::full()
+    };
+    let ro_runs: Vec<_> = (0..3).map(|_| rack_outage::run(&ro_sc, true)).collect();
+    // The predictor-off side only feeds the quality gate, which quick mode
+    // skips (the smoke shape is too small for a guaranteed ordering).
+    let ro_off = (!quick).then(|| rack_outage::run(&ro_sc, false));
+    let ro_eps = median(ro_runs.iter().map(|o| o.events_per_sec()).collect());
+
     let measured = [
         Measured {
             name: "swim_cluster",
@@ -114,6 +133,12 @@ fn main() {
             name: "locality_delay",
             baseline_file: "BENCH_locality_delay.json",
             events_per_sec: ld_eps,
+            hard_bar: Some(1.0 / 3.0),
+        },
+        Measured {
+            name: "rack_outage",
+            baseline_file: "BENCH_rack_outage.json",
+            events_per_sec: ro_eps,
             hard_bar: Some(1.0 / 3.0),
         },
     ];
@@ -195,6 +220,34 @@ fn main() {
                 if makespan_ok { ", makespan ok" } else { ", MAKESPAN REGRESSION >5%" },
             );
             if !locality_ok || !makespan_ok {
+                failed = true;
+            }
+        }
+    }
+
+    // Failure-aware placement acceptance gate (full shapes only): on the
+    // repeat-offender rack outage, predictor-on must strictly beat
+    // predictor-off on p99 job sojourn — same seed, same fault plan.
+    match &ro_off {
+        None => {
+            println!("  predictor gate skipped (--quick shapes; bars hold on full shapes only)")
+        }
+        Some(ro_off) => {
+            let on_p99 = ro_runs[0].p99_sojourn_secs();
+            let off_p99 = ro_off.p99_sojourn_secs();
+            let predictor_ok = on_p99 < off_p99;
+            println!(
+                "  predictor gate p99 sojourn {:.1}s on vs {:.1}s off ({:+.1}%)  [{}]",
+                on_p99,
+                off_p99,
+                (on_p99 / off_p99 - 1.0) * 100.0,
+                if predictor_ok {
+                    "predictor ok"
+                } else {
+                    "PREDICTOR DOES NOT IMPROVE TAIL"
+                },
+            );
+            if !predictor_ok {
                 failed = true;
             }
         }

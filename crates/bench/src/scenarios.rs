@@ -205,6 +205,7 @@ pub mod swim_cluster {
                 slow_fraction: 0.0,
                 slow_parse_rate_bytes_per_sec: 1.5 * MIB as f64,
                 slow_max_tasks: u32::MAX,
+                reduce_ratio: 0.0,
             }
         }
 
@@ -299,6 +300,96 @@ pub mod locality_delay {
                     .with_delay_intervals(NODE_WAIT_INTERVALS, RACK_WAIT_INTERVALS);
             }
         })
+    }
+}
+
+/// The rack-outage scenario behind the `rack_outage` bench: fault-tolerant
+/// shuffle plus the ATLAS-style reliability predictor under the loss of a
+/// whole rack mid-trace. The scenario itself lives in
+/// `mrp_experiments::RackOutageConfig` so the bench, the CI gate and the
+/// experiments crate run exactly the same workload; this module pins the
+/// tracked full/smoke shapes and adds wall-clock timing.
+pub mod rack_outage {
+    use super::*;
+    pub use mrp_experiments::{run_rack_outage, OutageWindow, RackOutageConfig, RackOutageOutcome};
+
+    /// One timed rack-outage run.
+    pub struct RackOutageRun {
+        /// The scenario outcome (report, fault counters, sojourn quantiles).
+        pub outcome: RackOutageOutcome,
+        /// Wall-clock seconds for the run (SWIM generation included; it is
+        /// negligible against the event loop at these shapes).
+        pub wall_secs: f64,
+    }
+
+    impl RackOutageRun {
+        /// Events per wall-clock second.
+        pub fn events_per_sec(&self) -> f64 {
+            self.outcome.events as f64 / self.wall_secs
+        }
+
+        /// p99 job sojourn time in seconds.
+        pub fn p99_sojourn_secs(&self) -> f64 {
+            self.outcome.sojourn_quantiles[2]
+        }
+    }
+
+    /// The tracked full shape: 72 nodes across 6 racks under a
+    /// reduce-heavy SWIM trace at moderate utilisation, with rack 1 a
+    /// *repeat offender* — dark twice, rejoining in between — plus light
+    /// background churn. The repeat offence is what the reliability
+    /// predictor is for: between the windows the rack is up but still
+    /// flaky, and predictor-off re-populates it with map outputs (roughly
+    /// a sixth of the cluster's) that the second outage then destroys; the
+    /// utilisation leaves enough slack elsewhere that declining flaky
+    /// slots costs little.
+    pub fn full() -> RackOutageConfig {
+        RackOutageConfig {
+            racks: 6,
+            nodes_per_rack: 12,
+            map_slots: 2,
+            reduce_slots: 1,
+            swim: SwimConfig {
+                jobs: 240,
+                mean_interarrival_secs: 4.5,
+                size_shape: 0.9,
+                min_job_bytes: 512 * MIB,
+                max_job_bytes: 24 * GIB,
+                reduce_ratio: 0.4,
+                ..SwimConfig::default()
+            },
+            outage_rack: 1,
+            outages: vec![
+                OutageWindow::from_secs(120, 300),
+                OutageWindow::from_secs(390, 540),
+            ],
+            churn: Some(RandomFaults {
+                rack_mtbf_secs: 300.0,
+                mean_recovery_secs: Some(45.0),
+                horizon: SimTime::from_secs(600),
+                seed: 0xACED,
+            }),
+            predictor: true,
+            seed: 0x0A7A,
+        }
+    }
+
+    /// The shrunken CI smoke variant (24 nodes; the experiments crate's
+    /// compact scenario).
+    pub fn small() -> RackOutageConfig {
+        RackOutageConfig::compact()
+    }
+
+    /// Runs the scenario once with the predictor forced on or off.
+    pub fn run(config: &RackOutageConfig, predictor: bool) -> RackOutageRun {
+        let mut config = config.clone();
+        config.predictor = predictor;
+        let start = Instant::now();
+        let outcome = run_rack_outage(&config);
+        RackOutageRun {
+            outcome,
+            wall_secs: start.elapsed().as_secs_f64(),
+        }
     }
 }
 
@@ -401,6 +492,7 @@ pub mod fault_churn {
                 slow_fraction: self.slow_fraction,
                 slow_parse_rate_bytes_per_sec: self.slow_parse_rate_bytes_per_sec,
                 slow_max_tasks: 8,
+                reduce_ratio: 0.0,
             }
         }
 

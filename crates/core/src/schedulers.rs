@@ -229,6 +229,12 @@ fn fill_node(
     }
     let rack = ctx.topology.rack_of(node);
     let delay_on = ctx.delay_enabled();
+    // Failure-aware placement: while this node's failure history marks it
+    // flaky *and* capacity exists elsewhere, withhold fresh launches (and
+    // speculative backups) from it. Resumes are never gated — the suspended
+    // state already lives here.
+    let avoid_map = ctx.reliability_avoid(node, TaskKind::Map);
+    let avoid_reduce = ctx.reliability_avoid(node, TaskKind::Reduce);
     let mut free_map = view.free_map_slots;
     let mut free_reduce = view.free_reduce_slots;
     let mut resumable = view.suspended.len();
@@ -344,7 +350,7 @@ fn fill_node(
         // the hash; an exhausted list clears its bit so it is never probed
         // again.
         let mut node_local_chosen = false;
-        if free_map > 0 && test_bit(&job_index.node_bits, node.0) {
+        if free_map > 0 && !avoid_map && test_bit(&job_index.node_bits, node.0) {
             if let Some(list) = job_index.by_node.get_mut(&node.0) {
                 while free_map > 0 {
                     let Some(pos) = list.next_schedulable(job, &chosen) else {
@@ -368,7 +374,7 @@ fn fill_node(
         // Tier 2: map tasks with a replica somewhere in this node's rack —
         // skipped entirely (lists untouched) while the job's delay level is
         // still node-local-only.
-        if free_map > 0 && allowed >= Locality::RackLocal {
+        if free_map > 0 && !avoid_map && allowed >= Locality::RackLocal {
             if let Some(r) = rack.filter(|r| test_bit(&job_index.rack_bits, r.0)) {
                 if let Some(list) = job_index.by_rack.get_mut(&r.0) {
                     while free_map > 0 {
@@ -403,6 +409,13 @@ fn fill_node(
         // the local tiers and only launches once the job escalates to
         // `OffRack` — a wait bounded by the configured delay, never a
         // livelock.
+        //
+        // Rack-aware reduce placement: decline this node's reduce slots while
+        // the rack holding most of the job's map-output bytes still has free
+        // ones (the helper's free-slot check keeps the decline
+        // starvation-free), or while the reliability predictor steers fresh
+        // work away from the node.
+        let decline_reduce = avoid_reduce || ctx.prefer_reduce_elsewhere(*job_id, node);
         for attempt in 0..2 {
             // Per-kind satisfaction: stop when every remaining slot kind is
             // either full or exhausted for this job, so a free reduce slot
@@ -424,7 +437,7 @@ fn fill_node(
             // map region can launch, so jump straight to the reduce region
             // instead of dragging the scan across up to thousands of pending
             // maps on every reduce-slot heartbeat.
-            if free_map == 0 || !maps_any {
+            if free_map == 0 || !maps_any || avoid_map {
                 let map_region = job
                     .tasks
                     .len()
@@ -454,7 +467,7 @@ fn fill_node(
                             maps_left = maps_left.saturating_sub(1);
                         }
                         TaskKind::Reduce => {
-                            if !already_chosen && free_reduce > 0 {
+                            if !already_chosen && free_reduce > 0 && !decline_reduce {
                                 free_reduce -= 1;
                                 reduces_unclaimed = reduces_unclaimed.saturating_sub(1);
                                 launched_any = true;
@@ -507,7 +520,7 @@ fn fill_node(
     // policies prune to jobs with launchable/resumable work): a tail-phase
     // job whose tasks are all running or suspended is exactly the
     // speculation target.
-    if can_speculate && free_map > 0 {
+    if can_speculate && free_map > 0 && !avoid_map {
         let second = ctx.now.as_micros() / 1_000_000;
         if index.spec_stamp != Some(second) {
             index.spec_stamp = Some(second);

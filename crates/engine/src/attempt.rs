@@ -107,12 +107,26 @@ impl ExecPlan {
     }
 
     /// Builds the plan for a reduce attempt shuffling `shuffle_bytes` of map
-    /// output.
+    /// output at the nominal (uncontended) copy rate.
     pub fn for_reduce(
         defaults: &TaskDefaults,
         disk: &DiskConfig,
         profile: &TaskProfile,
         shuffle_bytes: u64,
+    ) -> ExecPlan {
+        ExecPlan::for_reduce_contended(defaults, disk, profile, shuffle_bytes, 1.0)
+    }
+
+    /// Builds the plan for a reduce attempt whose shuffle phase is stretched
+    /// by `contention` (≥ 1): the cross-rack bandwidth term of
+    /// [`ShuffleConfig`](crate::ShuffleConfig). Only the shuffle phase pays —
+    /// once the bytes are local, the sort/reduce work is network-independent.
+    pub fn for_reduce_contended(
+        defaults: &TaskDefaults,
+        disk: &DiskConfig,
+        profile: &TaskProfile,
+        shuffle_bytes: u64,
+        contention: f64,
     ) -> ExecPlan {
         let parse_rate = profile
             .parse_rate_bytes_per_sec
@@ -124,7 +138,7 @@ impl ExecPlan {
         ExecPlan {
             setup: defaults.jvm_startup,
             shuffle: SimDuration::from_secs_f64(
-                shuffle_bytes as f64 / defaults.shuffle_bytes_per_sec,
+                shuffle_bytes as f64 / defaults.shuffle_bytes_per_sec * contention.max(1.0),
             ),
             work: SimDuration::from_secs_f64(shuffle_bytes as f64 / parse_rate),
             finalize: defaults.commit_overhead + SimDuration::from_secs_f64(write_time),
@@ -178,6 +192,10 @@ pub struct Attempt {
     pub segment_event: Option<EventId>,
     /// Work-phase time already completed across previous segments.
     pub work_completed: SimDuration,
+    /// Shuffle re-fetch rounds this attempt has gone through while waiting
+    /// for lost map outputs to be re-executed (reduces only; drives the
+    /// exponential backoff schedule).
+    pub shuffle_retries: u32,
 }
 
 impl Attempt {
@@ -196,6 +214,7 @@ impl Attempt {
             segment_duration: SimDuration::ZERO,
             segment_event: None,
             work_completed: SimDuration::ZERO,
+            shuffle_retries: 0,
         }
     }
 
@@ -364,6 +383,35 @@ mod tests {
         );
         assert!(plan.shuffle > SimDuration::ZERO);
         assert!(plan.work > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn contended_reduce_stretches_only_the_shuffle_phase() {
+        let base = ExecPlan::for_reduce(
+            &defaults(),
+            &DiskConfig::default(),
+            &TaskProfile::lightweight(),
+            256 * MIB,
+        );
+        let contended = ExecPlan::for_reduce_contended(
+            &defaults(),
+            &DiskConfig::default(),
+            &TaskProfile::lightweight(),
+            256 * MIB,
+            1.5,
+        );
+        assert!((contended.shuffle.as_secs_f64() - base.shuffle.as_secs_f64() * 1.5).abs() < 1e-6);
+        assert_eq!(contended.work, base.work);
+        assert_eq!(contended.finalize, base.finalize);
+        // Sub-unit contention is clamped to the nominal rate.
+        let clamped = ExecPlan::for_reduce_contended(
+            &defaults(),
+            &DiskConfig::default(),
+            &TaskProfile::lightweight(),
+            256 * MIB,
+            0.25,
+        );
+        assert_eq!(clamped, base);
     }
 
     #[test]

@@ -42,9 +42,11 @@ use crate::job::{
 use crate::metrics::{
     ClusterReport, FaultStats, JobReport, LocalityStats, NodeReport, TraceEntry, TraceKind,
 };
+use crate::reliability::ReliabilityTracker;
 use crate::scheduler::{
     NodeView, PendingTotals, RackView, SchedulerAction, SchedulerContext, SchedulerPolicy,
 };
+use crate::shuffle::ShuffleTracker;
 use crate::tasktracker::{FailedAttempt, TaskTracker};
 use mrp_dfs::{Locality, NameNode, NodeId, RackId, Topology};
 use mrp_sim::{EventId, EventQueue, SimDuration, SimRng, SimTime};
@@ -219,6 +221,13 @@ pub struct Cluster {
     /// Delay-scheduling state (per-job wait clocks and skip counters),
     /// shared with policies through the [`SchedulerContext`].
     delay: DelayScoreboard,
+    /// Per-job map-output registry: which node holds each committed map's
+    /// output and how those bytes spread over racks. Shared read-only with
+    /// policies through the [`SchedulerContext`].
+    shuffle: ShuffleTracker,
+    /// ATLAS-style failure-history scores per node and rack, fed by observed
+    /// crashes and shared read-only with policies.
+    reliability: ReliabilityTracker,
 }
 
 impl Cluster {
@@ -345,6 +354,8 @@ impl Cluster {
             queue.schedule(ev.at, Event::Fault { index });
         }
         let delay = DelayScoreboard::new(config.delay);
+        let shuffle = ShuffleTracker::new(config.shuffle, rack_count);
+        let reliability = ReliabilityTracker::new(config.reliability, node_count, rack_count);
         Cluster {
             config,
             queue,
@@ -375,6 +386,8 @@ impl Cluster {
             churn_down: vec![false; node_count],
             fault_stats: FaultStats::default(),
             delay,
+            shuffle,
+            reliability,
         }
     }
 
@@ -424,6 +437,19 @@ impl Cluster {
     /// state directly.
     pub fn delay_scoreboard(&self) -> &DelayScoreboard {
         &self.delay
+    }
+
+    /// Read access to the per-job map-output registry (which node holds each
+    /// committed map's output), for tests and harnesses asserting on the
+    /// shuffle fault path directly.
+    pub fn shuffle_tracker(&self) -> &ShuffleTracker {
+        &self.shuffle
+    }
+
+    /// Read access to the node-reliability predictor's failure-history
+    /// scores.
+    pub fn reliability_tracker(&self) -> &ReliabilityTracker {
+        &self.reliability
     }
 
     /// Fault-injection and speculation counters so far (also part of the
@@ -983,6 +1009,68 @@ impl Cluster {
         for failed in torn_down {
             self.resolve_failed_attempt(failed, now);
         }
+        // Map outputs are node-local artifacts, not HDFS blocks: a crash
+        // destroys them and the affected *completed* maps go back to Pending
+        // for re-execution, while a graceful decommission drains them to a
+        // live node first so no re-execution is needed — mirroring the
+        // NameNode's graceful-vs-crash block handling below.
+        if self.shuffle.enabled() {
+            let rack = RackId(self.node_rack[node.0 as usize]);
+            let drain = if decommission {
+                self.drain_target(node)
+            } else {
+                None
+            };
+            let jobs: Vec<JobId> = self
+                .jobs
+                .values()
+                .filter(|j| j.completed_at.is_none())
+                .map(|j| j.id)
+                .collect();
+            for job in jobs {
+                match drain {
+                    Some((to, to_rack)) => {
+                        let moved = self.shuffle.migrate(job, node, rack, to, to_rack);
+                        self.fault_stats.map_outputs_migrated += moved;
+                    }
+                    // A crash — or a decommission with nowhere left to drain
+                    // to — loses the outputs.
+                    None => {
+                        for index in self.shuffle.on_node_lost(job, node, rack) {
+                            let map = TaskId {
+                                job,
+                                kind: TaskKind::Map,
+                                index,
+                            };
+                            if self.task(map).map(|t| t.state) != Some(TaskState::Succeeded) {
+                                // Already re-executing (e.g. reset by the
+                                // attempt teardown above); nothing to do.
+                                continue;
+                            }
+                            self.force_task_pending(map);
+                            self.fault_stats.lost_map_outputs += 1;
+                            self.fault_stats.re_executed_tasks += 1;
+                            if self.tracing() {
+                                self.trace_event(
+                                    now,
+                                    TraceKind::MapOutputLost,
+                                    job,
+                                    Some(map),
+                                    Some(node),
+                                    "output died with its node; map re-executes",
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Only crashes feed the reliability predictor: a decommission is an
+        // operator action, not evidence of flakiness.
+        if !decommission {
+            let rack = RackId(self.node_rack[node.0 as usize]);
+            self.reliability.record_failure(node, rack, now);
+        }
         // Block loss goes through the NameNode: replicas on the node vanish
         // and under-replicated blocks are repaired from survivors (a graceful
         // decommission drains even last-replica blocks).
@@ -1016,6 +1104,27 @@ impl Cluster {
             );
         }
         true
+    }
+
+    /// Deterministic target for a decommission drain of map outputs: the
+    /// lowest-id live node on the leaving node's rack, else the lowest-id
+    /// live node anywhere, else `None` (nothing left to drain to).
+    fn drain_target(&self, leaving: NodeId) -> Option<(NodeId, RackId)> {
+        let rack = self.node_rack[leaving.0 as usize];
+        let mut fallback = None;
+        for (i, tt) in self.trackers.iter().enumerate() {
+            if i == leaving.0 as usize || !tt.is_alive() {
+                continue;
+            }
+            let r = self.node_rack[i];
+            if r == rack {
+                return Some((NodeId(i as u32), RackId(r)));
+            }
+            if fallback.is_none() {
+                fallback = Some((NodeId(i as u32), RackId(r)));
+            }
+        }
+        fallback
     }
 
     /// Reconciles one attempt torn down by node loss with the JobTracker
@@ -1195,6 +1304,7 @@ impl Cluster {
         self.totals.schedulable_maps += map_count;
         self.totals.schedulable_reduces += reduce_count;
         self.delay.register_job();
+        self.shuffle.register_job(map_count, reduce_count);
         self.jobs.insert(
             id,
             JobRuntime {
@@ -1224,6 +1334,8 @@ impl Cluster {
                 totals: self.totals,
                 speculation: self.config.speculation,
                 delay: Some(&self.delay),
+                shuffle: Some(&self.shuffle),
+                reliability: Some(&self.reliability),
             };
             self.scheduler.on_job_submitted(&ctx, id)
         };
@@ -1311,6 +1423,8 @@ impl Cluster {
                 totals: self.totals,
                 speculation: self.config.speculation,
                 delay: Some(&self.delay),
+                shuffle: Some(&self.shuffle),
+                reliability: Some(&self.reliability),
             };
             self.scheduler.on_heartbeat(&ctx, node)
         };
@@ -1543,6 +1657,57 @@ impl Cluster {
                 self.enter_phase(node, attempt_id, next_phase, alloc.stall, now);
             }
             AttemptPhase::Shuffle => {
+                // The reduce finished copying, but map outputs may have died
+                // with a node mid-shuffle. Graceful degradation: the reduce
+                // does not fail — it stalls in Shuffle re-fetching with
+                // exponential backoff while the JobTracker re-executes the
+                // lost maps, and proceeds once every output is back.
+                if !self.shuffle.complete(task.job) {
+                    let cfg = *self.shuffle.config();
+                    let retries = {
+                        let Some(tt) = self.tracker_mut(node) else {
+                            return;
+                        };
+                        let Some(a) = tt.attempt_mut(attempt_id) else {
+                            return;
+                        };
+                        let r = a.shuffle_retries;
+                        a.shuffle_retries = r.saturating_add(1);
+                        r
+                    };
+                    let wait = SimDuration::from_secs_f64(
+                        (cfg.fetch_retry_base.as_secs_f64()
+                            * cfg.fetch_retry_backoff.powi(retries.min(63) as i32))
+                        .min(cfg.fetch_retry_cap.as_secs_f64()),
+                    );
+                    let event = self.queue.schedule(
+                        now + wait,
+                        Event::PhaseDone {
+                            node,
+                            attempt: attempt_id,
+                            phase: AttemptPhase::Shuffle,
+                        },
+                    );
+                    if let Some(tt) = self.tracker_mut(node) {
+                        if let Some(a) = tt.attempt_mut(attempt_id) {
+                            a.segment_start = now;
+                            a.segment_duration = wait;
+                            a.segment_event = Some(event);
+                        }
+                    }
+                    self.fault_stats.shuffle_refetches += 1;
+                    if self.tracing() {
+                        self.trace_event(
+                            now,
+                            TraceKind::ShuffleStalled,
+                            task.job,
+                            Some(task),
+                            Some(node),
+                            format!("retry {} in {:.1}s", retries + 1, wait.as_secs_f64()),
+                        );
+                    }
+                    return;
+                }
                 self.enter_phase(node, attempt_id, AttemptPhase::Work, SimDuration::ZERO, now);
             }
             AttemptPhase::Work => {
@@ -1616,6 +1781,12 @@ impl Cluster {
         let Some(tt) = self.tracker_mut(node) else {
             return;
         };
+        // Captured before `complete` consumes the attempt: a committing map
+        // registers its output size with the shuffle tracker below.
+        let output_bytes = tt
+            .attempt(attempt_id)
+            .map(|a| a.plan.output_bytes)
+            .unwrap_or(0);
         let outcome = match tt.complete(attempt_id, now) {
             Ok(o) => o,
             Err(_) => return,
@@ -1656,6 +1827,14 @@ impl Cluster {
             t.paged_out_bytes += outcome.paged_out_bytes;
             t.paged_in_bytes += outcome.paged_in_bytes;
         }
+        // A committed map leaves its output on this node's local disks; the
+        // registry is what makes that output a fault domain (and what feeds
+        // rack-aware reduce placement).
+        if task.kind == TaskKind::Map && self.shuffle.tracked(task.job) {
+            let rack = RackId(self.node_rack[node.0 as usize]);
+            self.shuffle
+                .record_map_output(task.job, task.index as usize, node, rack, output_bytes);
+        }
         self.trace_event(
             now,
             TraceKind::Completed,
@@ -1675,6 +1854,7 @@ impl Cluster {
             if let Some(job) = self.jobs.get_mut(&task.job) {
                 job.completed_at = Some(now);
             }
+            self.shuffle.job_finished(task.job);
             self.incomplete_jobs = self.incomplete_jobs.saturating_sub(1);
             #[cfg(debug_assertions)]
             self.debug_check_job_counters(task.job);
@@ -1693,6 +1873,8 @@ impl Cluster {
                 totals: self.totals,
                 speculation: self.config.speculation,
                 delay: Some(&self.delay),
+                shuffle: Some(&self.shuffle),
+                reliability: Some(&self.reliability),
             };
             self.scheduler.on_task_finished(&ctx, task)
         };
@@ -1707,6 +1889,8 @@ impl Cluster {
                     totals: self.totals,
                     speculation: self.config.speculation,
                     delay: Some(&self.delay),
+                    shuffle: Some(&self.shuffle),
+                    reliability: Some(&self.reliability),
                 };
                 self.scheduler.on_job_finished(&ctx, task.job)
             };
@@ -1879,6 +2063,20 @@ impl Cluster {
         }
     }
 
+    /// Shuffle-duration multiplier for a reduce of `job` launching on `node`:
+    /// cross-rack map-output bytes pay the configured top-of-rack penalty,
+    /// `1 + (penalty - 1) * cross_rack_fraction`. `1.0` while shuffle
+    /// tracking is off (or the penalty is 1), so the default-off
+    /// configuration prices every byte identically.
+    fn reduce_contention(&self, job: JobId, node: NodeId) -> f64 {
+        if !self.shuffle.enabled() {
+            return 1.0;
+        }
+        let rack = RackId(self.node_rack[node.0 as usize]);
+        let penalty = self.shuffle.config().cross_rack_penalty;
+        1.0 + (penalty - 1.0) * self.shuffle.cross_rack_fraction(job, rack)
+    }
+
     fn launch_task(&mut self, task: TaskId, node: NodeId, now: SimTime) {
         // Build the execution plan from borrowed state: no clones of the
         // profile, the preferred-node list or the disk config on this path.
@@ -1911,7 +2109,14 @@ impl Cluster {
                     ExecPlan::for_map(&self.config.task, disk, profile, t.input_bytes, locality)
                 }
                 TaskKind::Reduce => {
-                    ExecPlan::for_reduce(&self.config.task, disk, profile, t.input_bytes)
+                    let contention = self.reduce_contention(task.job, node);
+                    ExecPlan::for_reduce_contended(
+                        &self.config.task,
+                        disk,
+                        profile,
+                        t.input_bytes,
+                        contention,
+                    )
                 }
             };
             (plan, locality)
@@ -2026,7 +2231,14 @@ impl Cluster {
                     ExecPlan::for_map(&self.config.task, disk, profile, t.input_bytes, locality)
                 }
                 TaskKind::Reduce => {
-                    ExecPlan::for_reduce(&self.config.task, disk, profile, t.input_bytes)
+                    let contention = self.reduce_contention(task.job, node);
+                    ExecPlan::for_reduce_contended(
+                        &self.config.task,
+                        disk,
+                        profile,
+                        t.input_bytes,
+                        contention,
+                    )
                 }
             }
         };
@@ -2196,6 +2408,8 @@ impl Cluster {
                 totals: self.totals,
                 speculation: self.config.speculation,
                 delay: Some(&self.delay),
+                shuffle: Some(&self.shuffle),
+                reliability: Some(&self.reliability),
             };
             self.scheduler.on_progress_trigger(&ctx, task, fraction)
         };
@@ -2539,6 +2753,101 @@ mod tests {
         assert_eq!(report.faults.node_failures, 2, "both rack members fail");
         assert_eq!(report.faults.node_rejoins, 2);
         assert!(c.node_is_alive(NodeId(2)) && c.node_is_alive(NodeId(3)));
+    }
+
+    #[test]
+    fn lost_map_outputs_stall_reduces_and_reexecute_maps() {
+        // Fault-tolerant shuffle on: killing a node after its map committed
+        // destroys the node-local output; the affected map re-executes, the
+        // reduces stall in Shuffle with backoff instead of failing, and the
+        // job still completes.
+        let mut cfg = ClusterConfig::racked_cluster(2, 2, 1, 1);
+        cfg.shuffle = crate::config::ShuffleConfig::fault_tolerant();
+        cfg.faults.events.push(crate::config::FaultEvent {
+            at: SimTime::from_secs(30),
+            kind: crate::config::FaultKind::Kill { node: NodeId(3) },
+        });
+        let mut c = Cluster::new(cfg, Box::new(FifoScheduler::new()));
+        c.submit_job(JobSpec::synthetic("mr", 4, 128 * MIB).with_reduces(2));
+        c.run(SimTime::from_secs(3_600));
+        let report = c.report();
+        assert!(report.all_jobs_complete(), "{:?}", report.faults);
+        assert!(
+            report.faults.lost_map_outputs >= 1,
+            "node 3 held a committed map output at t=30: {:?}",
+            report.faults
+        );
+        assert!(
+            report.faults.shuffle_refetches >= 1,
+            "reduces must have waited on missing outputs: {:?}",
+            report.faults
+        );
+        assert!(report.faults.re_executed_tasks >= report.faults.lost_map_outputs);
+        let kinds: Vec<TraceKind> = c.trace().iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&TraceKind::MapOutputLost));
+        // The registry retires with the job.
+        assert!(!c.shuffle_tracker().tracked(JobId(1)));
+    }
+
+    #[test]
+    fn decommission_drains_map_outputs_without_reexecution() {
+        // A graceful decommission migrates the leaving node's map outputs to
+        // a live node — no map output is lost and no completed map restarts,
+        // mirroring the NameNode's graceful block drain.
+        let mut cfg = ClusterConfig::racked_cluster(2, 2, 1, 1);
+        cfg.shuffle = crate::config::ShuffleConfig::fault_tolerant();
+        cfg.faults.events.push(crate::config::FaultEvent {
+            at: SimTime::from_secs(30),
+            kind: crate::config::FaultKind::Decommission { node: NodeId(3) },
+        });
+        let mut c = Cluster::new(cfg, Box::new(FifoScheduler::new()));
+        c.submit_job(JobSpec::synthetic("drain", 4, 128 * MIB).with_reduces(2));
+        c.run(SimTime::from_secs(3_600));
+        let report = c.report();
+        assert!(report.all_jobs_complete());
+        assert_eq!(report.faults.lost_map_outputs, 0);
+        assert!(
+            report.faults.map_outputs_migrated >= 1,
+            "node 3 held a committed map output at t=30: {:?}",
+            report.faults
+        );
+        // Every map committed exactly once: the drain made re-execution
+        // unnecessary.
+        for task in report.jobs[0]
+            .tasks
+            .iter()
+            .filter(|t| t.id.kind == TaskKind::Map)
+        {
+            assert_eq!(task.attempts, 1, "map {:?} restarted", task.id);
+        }
+    }
+
+    #[test]
+    fn crashes_feed_the_reliability_predictor_but_decommissions_do_not() {
+        let run = |kind: crate::config::FaultKind| {
+            let mut cfg = ClusterConfig::racked_cluster(2, 2, 1, 1);
+            cfg.reliability = crate::config::ReliabilityConfig::predictive();
+            cfg.faults.events.push(crate::config::FaultEvent {
+                at: SimTime::from_secs(10),
+                kind,
+            });
+            let mut c = Cluster::new(cfg, Box::new(FifoScheduler::new()));
+            c.submit_job(JobSpec::synthetic("r", 8, 128 * MIB));
+            c.run(SimTime::from_secs(60));
+            c
+        };
+        let crashed = run(crate::config::FaultKind::Kill { node: NodeId(1) });
+        assert!(crashed
+            .reliability_tracker()
+            .flaky(NodeId(1), RackId(0), SimTime::from_secs(11)));
+        let drained = run(crate::config::FaultKind::Decommission { node: NodeId(1) });
+        assert_eq!(
+            drained
+                .reliability_tracker()
+                .score(NodeId(1), RackId(0), SimTime::from_secs(11)),
+            0.0,
+            "an operator action is not evidence of flakiness"
+        );
     }
 
     #[test]

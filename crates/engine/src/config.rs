@@ -336,6 +336,142 @@ impl DelayConfig {
     }
 }
 
+/// Fault-tolerant shuffle knobs: map outputs as node-local artifacts that die
+/// with their node, reduce-side fetch retry with exponential backoff, and a
+/// cross-rack bandwidth contention term in the shuffle phase.
+///
+/// With the master switch on, the engine tracks which node holds each
+/// committed map output (per-job registry). A node crash destroys the
+/// outputs it held: completed maps of jobs with unfinished reduces go back
+/// to `Pending` for re-execution — Hadoop's real behaviour — while reduces
+/// stalled in their shuffle phase retry the fetch with exponential backoff
+/// instead of failing the job. A graceful decommission migrates the outputs
+/// to a surviving node instead (no re-execution), mirroring the
+/// graceful-vs-crash block distinction in `mrp_dfs::NameNode::re_replicate`.
+///
+/// `cross_rack_penalty` adds the topology term: a reduce launched on a rack
+/// holding little of its job's map-output bytes pays up to
+/// `cross_rack_penalty` times the base shuffle duration, which is what makes
+/// rack-aware reduce placement worth anything.
+///
+/// ```
+/// use mrp_engine::{ClusterConfig, ShuffleConfig};
+/// use mrp_sim::SimDuration;
+///
+/// let mut cfg = ClusterConfig::racked_cluster(2, 4, 2, 1);
+/// cfg.shuffle = ShuffleConfig::fault_tolerant();
+/// assert!(cfg.validate().is_ok());
+/// // Or tune the retry/backoff schedule directly:
+/// cfg.shuffle.fetch_retry_base = SimDuration::from_secs(1);
+/// cfg.shuffle.fetch_retry_backoff = 2.0;
+/// cfg.shuffle.fetch_retry_cap = SimDuration::from_secs(20);
+/// cfg.shuffle.cross_rack_penalty = 2.5;
+/// assert!(cfg.validate().is_ok());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ShuffleConfig {
+    /// Master switch (default off: map outputs survive node loss silently,
+    /// as in the PR 3 fault model, and shuffle duration stays topology-blind).
+    pub enabled: bool,
+    /// First re-fetch delay after a reduce finds map outputs missing at the
+    /// end of its shuffle phase.
+    pub fetch_retry_base: SimDuration,
+    /// Multiplier applied to the delay on every further failed fetch round
+    /// (exponential backoff).
+    pub fetch_retry_backoff: f64,
+    /// Upper bound on the per-round re-fetch delay.
+    pub fetch_retry_cap: SimDuration,
+    /// Shuffle-duration multiplier paid when *all* of a job's map-output
+    /// bytes live off the reduce's rack; the effective factor scales linearly
+    /// with the off-rack byte fraction. `1.0` disables the contention term.
+    pub cross_rack_penalty: f64,
+}
+
+impl Default for ShuffleConfig {
+    fn default() -> Self {
+        ShuffleConfig {
+            enabled: false,
+            fetch_retry_base: SimDuration::from_secs(2),
+            fetch_retry_backoff: 2.0,
+            fetch_retry_cap: SimDuration::from_secs(30),
+            cross_rack_penalty: 1.0,
+        }
+    }
+}
+
+impl ShuffleConfig {
+    /// Fault-tolerant shuffle switched on with Hadoop-like retry defaults
+    /// and a 2x worst-case cross-rack contention term.
+    pub fn fault_tolerant() -> Self {
+        ShuffleConfig {
+            enabled: true,
+            cross_rack_penalty: 2.0,
+            ..ShuffleConfig::default()
+        }
+    }
+}
+
+/// ATLAS-style node-reliability predictor knobs (Soualhia et al.: feed
+/// failure history back into placement). The engine maintains an EWMA-like
+/// flakiness score per node and per rack, bumped on every crash and decaying
+/// exponentially with virtual time since the last one; schedulers consult it
+/// through [`SchedulerContext::reliability_avoid`](crate::SchedulerContext)
+/// to keep fresh launches and speculative backups off recently-flaky nodes
+/// whenever the cluster has capacity elsewhere (the guard that keeps the
+/// bias starvation-free).
+///
+/// ```
+/// use mrp_engine::{ClusterConfig, ReliabilityConfig};
+///
+/// let mut cfg = ClusterConfig::racked_cluster(2, 4, 2, 1);
+/// cfg.reliability = ReliabilityConfig::predictive();
+/// assert!(cfg.validate().is_ok());
+/// // Or tune the predictor directly:
+/// cfg.reliability.failure_boost = 0.6;
+/// cfg.reliability.half_life_secs = 180.0;
+/// cfg.reliability.flaky_threshold = 0.4;
+/// assert!(cfg.validate().is_ok());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ReliabilityConfig {
+    /// Master switch (default off: placement ignores failure history).
+    pub enabled: bool,
+    /// How far one crash moves the node's score towards 1.0 (the EWMA
+    /// weight of a new failure observation), in `(0, 1]`.
+    pub failure_boost: f64,
+    /// Half-life of the score's exponential decay, in seconds of virtual
+    /// time since the node's last failure: a node that stays up is forgiven.
+    pub half_life_secs: f64,
+    /// Weight of the node's rack score in the combined flakiness estimate
+    /// (rack-level churn — a sick switch — taints all members).
+    pub rack_weight: f64,
+    /// Combined score at or above which a node is considered flaky and
+    /// avoided for fresh launches and speculative backups.
+    pub flaky_threshold: f64,
+}
+
+impl Default for ReliabilityConfig {
+    fn default() -> Self {
+        ReliabilityConfig {
+            enabled: false,
+            failure_boost: 0.5,
+            half_life_secs: 300.0,
+            rack_weight: 0.25,
+            flaky_threshold: 0.35,
+        }
+    }
+}
+
+impl ReliabilityConfig {
+    /// The predictor switched on with the default EWMA/decay parameters.
+    pub fn predictive() -> Self {
+        ReliabilityConfig {
+            enabled: true,
+            ..ReliabilityConfig::default()
+        }
+    }
+}
+
 /// Whole-cluster configuration.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ClusterConfig {
@@ -370,6 +506,10 @@ pub struct ClusterConfig {
     pub speculation: SpeculationConfig,
     /// Delay-scheduling knobs for data-local placement (default: off).
     pub delay: DelayConfig,
+    /// Fault-tolerant shuffle knobs (default: off).
+    pub shuffle: ShuffleConfig,
+    /// Node-reliability predictor knobs (default: off).
+    pub reliability: ReliabilityConfig,
 }
 
 impl ClusterConfig {
@@ -401,6 +541,8 @@ impl ClusterConfig {
             faults: FaultPlan::default(),
             speculation: SpeculationConfig::default(),
             delay: DelayConfig::default(),
+            shuffle: ShuffleConfig::default(),
+            reliability: ReliabilityConfig::default(),
         }
     }
 
@@ -427,6 +569,8 @@ impl ClusterConfig {
             faults: FaultPlan::default(),
             speculation: SpeculationConfig::default(),
             delay: DelayConfig::default(),
+            shuffle: ShuffleConfig::default(),
+            reliability: ReliabilityConfig::default(),
         }
     }
 
@@ -547,6 +691,40 @@ impl ClusterConfig {
             && self.delay.rack_local_wait.is_zero()
         {
             return Err("delay scheduling needs a positive wait at some locality level".into());
+        }
+        if self.shuffle.enabled {
+            if self.shuffle.fetch_retry_base.is_zero() {
+                return Err("shuffle fetch retry base must be positive".into());
+            }
+            // NaN must fail these range checks too.
+            let backoff = self.shuffle.fetch_retry_backoff;
+            if backoff < 1.0 || backoff.is_nan() {
+                return Err("shuffle fetch retry backoff must be at least 1".into());
+            }
+            if self.shuffle.fetch_retry_cap < self.shuffle.fetch_retry_base {
+                return Err("shuffle fetch retry cap must be at least the base delay".into());
+            }
+            let penalty = self.shuffle.cross_rack_penalty;
+            if penalty < 1.0 || penalty.is_nan() {
+                return Err("shuffle cross-rack penalty must be at least 1".into());
+            }
+        }
+        if self.reliability.enabled {
+            if !(self.reliability.failure_boost > 0.0 && self.reliability.failure_boost <= 1.0) {
+                return Err("reliability failure boost must be in (0, 1]".into());
+            }
+            let half_life = self.reliability.half_life_secs;
+            if half_life <= 0.0 || half_life.is_nan() {
+                return Err("reliability half-life must be positive".into());
+            }
+            let rack_weight = self.reliability.rack_weight;
+            if rack_weight < 0.0 || rack_weight.is_nan() {
+                return Err("reliability rack weight must be non-negative".into());
+            }
+            let threshold = self.reliability.flaky_threshold;
+            if threshold <= 0.0 || threshold.is_nan() {
+                return Err("reliability flaky threshold must be positive".into());
+            }
         }
         Ok(())
     }
@@ -690,6 +868,48 @@ mod tests {
         // Disabled delay with zero waits is the default and fine.
         assert!(!ClusterConfig::paper_single_node().delay.enabled);
         assert!(ClusterConfig::paper_single_node().validate().is_ok());
+    }
+
+    #[test]
+    fn shuffle_and_reliability_validation() {
+        let mut c = ClusterConfig::racked_cluster(2, 2, 1, 1);
+        c.shuffle = ShuffleConfig::fault_tolerant();
+        c.reliability = ReliabilityConfig::predictive();
+        assert!(c.validate().is_ok());
+
+        let mut bad = c.clone();
+        bad.shuffle.fetch_retry_base = SimDuration::ZERO;
+        assert!(bad.validate().is_err(), "zero retry base");
+
+        let mut bad = c.clone();
+        bad.shuffle.fetch_retry_backoff = 0.5;
+        assert!(bad.validate().is_err(), "sub-unit backoff");
+
+        let mut bad = c.clone();
+        bad.shuffle.fetch_retry_cap = SimDuration::from_millis(1);
+        assert!(bad.validate().is_err(), "cap below base");
+
+        let mut bad = c.clone();
+        bad.shuffle.cross_rack_penalty = 0.9;
+        assert!(bad.validate().is_err(), "penalty below 1");
+
+        let mut bad = c.clone();
+        bad.reliability.failure_boost = 0.0;
+        assert!(bad.validate().is_err(), "zero failure boost");
+
+        let mut bad = c.clone();
+        bad.reliability.half_life_secs = 0.0;
+        assert!(bad.validate().is_err(), "zero half-life");
+
+        let mut bad = c.clone();
+        bad.reliability.flaky_threshold = 0.0;
+        assert!(bad.validate().is_err(), "zero flaky threshold");
+
+        // Both off by default: invalid knobs are ignored while disabled.
+        let mut off = ClusterConfig::paper_single_node();
+        off.shuffle.cross_rack_penalty = 0.0;
+        off.reliability.half_life_secs = 0.0;
+        assert!(off.validate().is_ok());
     }
 
     #[test]

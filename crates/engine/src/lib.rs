@@ -40,14 +40,16 @@ mod config;
 mod delay;
 mod job;
 mod metrics;
+mod reliability;
 mod scheduler;
+mod shuffle;
 mod tasktracker;
 
 pub use attempt::{Attempt, AttemptPhase, AttemptState, ExecPlan};
 pub use cluster::Cluster;
 pub use config::{
     ClusterConfig, DelayConfig, FaultEvent, FaultKind, FaultPlan, NodeConfig, RandomFaults,
-    RefreshMode, SpeculationConfig, TaskDefaults, TraceLevel,
+    RefreshMode, ReliabilityConfig, ShuffleConfig, SpeculationConfig, TaskDefaults, TraceLevel,
 };
 pub use delay::DelayScoreboard;
 pub use job::{
@@ -58,10 +60,12 @@ pub use metrics::{
     ClusterReport, FaultStats, JobReport, LocalityStats, NodeReport, TaskReport, TraceEntry,
     TraceKind, DELAY_WAIT_BUCKET_SECS,
 };
+pub use reliability::ReliabilityTracker;
 pub use scheduler::{
     FifoScheduler, NodeView, PendingTotals, RackView, SchedulerAction, SchedulerContext,
     SchedulerPolicy,
 };
+pub use shuffle::ShuffleTracker;
 pub use tasktracker::{
     AllocationOutcome, FailedAttempt, TaskTracker, TerminationOutcome, TrackerError,
 };

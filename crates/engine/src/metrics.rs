@@ -217,6 +217,16 @@ pub struct FaultStats {
     pub re_replicated_blocks: u64,
     /// Blocks whose last replica was lost in a crash.
     pub lost_blocks: u64,
+    /// Committed map outputs destroyed by node crashes; each forces the map
+    /// back to `Pending` (counted in `re_executed_tasks` as well).
+    pub lost_map_outputs: u64,
+    /// Committed map outputs drained to a surviving node by a graceful
+    /// decommission — no re-execution needed, mirroring the graceful block
+    /// drain in `mrp_dfs`.
+    pub map_outputs_migrated: u64,
+    /// Shuffle re-fetch rounds: a reduce finished copying but found map
+    /// outputs missing, and went back to sleep on the backoff schedule.
+    pub shuffle_refetches: u64,
     /// Speculative (backup) attempts launched.
     pub speculative_launched: u64,
     /// Tasks finished by their speculative attempt (the backup won).
@@ -329,6 +339,12 @@ pub enum TraceKind {
     NodeRejoined,
     /// A speculative (backup) attempt was launched for a straggler.
     Speculated,
+    /// A reduce finished copying but some map outputs are gone; it stalls
+    /// in Shuffle and re-fetches with exponential backoff.
+    ShuffleStalled,
+    /// A committed map's node-local output died with its node; the map goes
+    /// back to `Pending` for re-execution.
+    MapOutputLost,
 }
 
 /// One entry of the run trace.

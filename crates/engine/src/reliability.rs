@@ -1,0 +1,194 @@
+//! ATLAS-style node-reliability predictor.
+//!
+//! ATLAS (Soualhia et al., PAPERS.md) showed that Hadoop wastes a large
+//! fraction of its re-execution budget by re-placing work on nodes that just
+//! failed: failure history is a usable predictor of near-future failures.
+//! The [`ReliabilityTracker`] keeps an EWMA-like flakiness score per node and
+//! per rack, fed by the engine's fault plan as crashes actually strike
+//! (scripted events and random churn alike — the predictor sees observations,
+//! not the plan):
+//!
+//! * a crash moves the victim's score towards `1.0` by
+//!   [`failure_boost`](crate::ReliabilityConfig::failure_boost), and its
+//!   rack's score likewise (rack churn — a sick switch — taints members);
+//! * between failures the score decays exponentially with **virtual time**,
+//!   halving every [`half_life_secs`](crate::ReliabilityConfig::half_life_secs)
+//!   — a pure function of `now`, so no decay events are needed and the
+//!   simulation stays deterministic and refresh-mode independent;
+//! * graceful decommissions are *not* failures and never feed the predictor.
+//!
+//! Schedulers consult the combined node+rack score through
+//! [`SchedulerContext::reliability_avoid`](crate::SchedulerContext), which
+//! only steers **fresh** launches and speculative backups, never resumes, and
+//! only while the cluster has free capacity elsewhere — the guard that keeps
+//! the bias starvation-free.
+
+use crate::config::ReliabilityConfig;
+use mrp_dfs::{NodeId, RackId};
+use mrp_sim::SimTime;
+
+/// One decaying failure score: its value at the time of the last failure
+/// plus the timestamp to decay from.
+#[derive(Clone, Copy, Debug, Default)]
+struct Score {
+    /// Score immediately after the last recorded failure.
+    at_failure: f64,
+    /// When that failure struck; `None` while the subject never failed.
+    last_failure: Option<SimTime>,
+}
+
+impl Score {
+    /// Current value: exponential decay from the last failure,
+    /// `at_failure * 2^(-elapsed / half_life)`.
+    fn value(&self, now: SimTime, half_life_secs: f64) -> f64 {
+        match self.last_failure {
+            None => 0.0,
+            Some(t) => {
+                let elapsed = (now - t).as_secs_f64();
+                self.at_failure * (-elapsed * std::f64::consts::LN_2 / half_life_secs).exp()
+            }
+        }
+    }
+
+    /// Records a failure at `now`: decay to the present, then EWMA-bump
+    /// towards 1.0.
+    fn record(&mut self, now: SimTime, half_life_secs: f64, boost: f64) {
+        let current = self.value(now, half_life_secs);
+        self.at_failure = current + boost * (1.0 - current);
+        self.last_failure = Some(now);
+    }
+}
+
+/// Engine-owned failure-history scores shared with policies through
+/// [`SchedulerContext`](crate::SchedulerContext). See the module docs.
+#[derive(Debug)]
+pub struct ReliabilityTracker {
+    config: ReliabilityConfig,
+    nodes: Vec<Score>,
+    racks: Vec<Score>,
+}
+
+impl ReliabilityTracker {
+    /// Creates the tracker for a cluster of the given shape.
+    pub fn new(config: ReliabilityConfig, node_count: usize, rack_count: usize) -> Self {
+        ReliabilityTracker {
+            config,
+            nodes: vec![Score::default(); node_count],
+            racks: vec![Score::default(); rack_count],
+        }
+    }
+
+    /// Whether the predictor is switched on at all.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.config.enabled
+    }
+
+    /// Feeds one observed crash of `node` (rack `rack`) into the scores.
+    /// Decommissions are graceful and must not be recorded.
+    pub(crate) fn record_failure(&mut self, node: NodeId, rack: RackId, now: SimTime) {
+        if !self.config.enabled {
+            return;
+        }
+        let hl = self.config.half_life_secs;
+        let boost = self.config.failure_boost;
+        if let Some(s) = self.nodes.get_mut(node.0 as usize) {
+            s.record(now, hl, boost);
+        }
+        if let Some(s) = self.racks.get_mut(rack.0 as usize) {
+            s.record(now, hl, boost);
+        }
+    }
+
+    /// The node's combined flakiness estimate right now: its own decayed
+    /// score plus `rack_weight` times its rack's.
+    pub fn score(&self, node: NodeId, rack: RackId, now: SimTime) -> f64 {
+        if !self.config.enabled {
+            return 0.0;
+        }
+        let hl = self.config.half_life_secs;
+        let node_score = self
+            .nodes
+            .get(node.0 as usize)
+            .map(|s| s.value(now, hl))
+            .unwrap_or(0.0);
+        let rack_score = self
+            .racks
+            .get(rack.0 as usize)
+            .map(|s| s.value(now, hl))
+            .unwrap_or(0.0);
+        node_score + self.config.rack_weight * rack_score
+    }
+
+    /// True when the node's combined score is at or above the flaky
+    /// threshold — the placement bias trigger.
+    pub fn flaky(&self, node: NodeId, rack: RackId, now: SimTime) -> bool {
+        self.config.enabled && self.score(node, rack, now) >= self.config.flaky_threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker() -> ReliabilityTracker {
+        ReliabilityTracker::new(ReliabilityConfig::predictive(), 4, 2)
+    }
+
+    #[test]
+    fn disabled_tracker_scores_zero() {
+        let mut t = ReliabilityTracker::new(ReliabilityConfig::default(), 4, 2);
+        t.record_failure(NodeId(0), RackId(0), SimTime::from_secs(10));
+        assert_eq!(t.score(NodeId(0), RackId(0), SimTime::from_secs(10)), 0.0);
+        assert!(!t.flaky(NodeId(0), RackId(0), SimTime::from_secs(10)));
+    }
+
+    #[test]
+    fn a_crash_marks_node_and_rack_flaky() {
+        let mut t = tracker();
+        let now = SimTime::from_secs(100);
+        assert!(!t.flaky(NodeId(1), RackId(0), now));
+        t.record_failure(NodeId(1), RackId(0), now);
+        // Victim: node score 0.5 + rack share.
+        assert!(t.flaky(NodeId(1), RackId(0), now));
+        // Rack sibling: only the rack share (0.25 * 0.5 = 0.125 < 0.35).
+        assert!(!t.flaky(NodeId(0), RackId(0), now));
+        // Other rack: untouched.
+        assert_eq!(t.score(NodeId(3), RackId(1), now), 0.0);
+    }
+
+    #[test]
+    fn scores_decay_with_virtual_time() {
+        let mut t = tracker();
+        t.record_failure(NodeId(1), RackId(0), SimTime::from_secs(100));
+        let s0 = t.score(NodeId(1), RackId(0), SimTime::from_secs(100));
+        // One half-life later the score has halved.
+        let s1 = t.score(NodeId(1), RackId(0), SimTime::from_secs(400));
+        assert!((s1 - s0 / 2.0).abs() < 1e-9, "s0={s0} s1={s1}");
+        // Long after the crash the node is forgiven.
+        assert!(!t.flaky(NodeId(1), RackId(0), SimTime::from_secs(4_000)));
+    }
+
+    #[test]
+    fn repeated_crashes_compound_towards_one() {
+        let mut t = tracker();
+        for k in 0..5u64 {
+            t.record_failure(NodeId(2), RackId(1), SimTime::from_secs(100 + k));
+        }
+        let s = t.score(NodeId(2), RackId(1), SimTime::from_secs(105));
+        assert!(s > 0.9, "compounded score {s}");
+        assert!(s < 1.0 + t.config.rack_weight + 1e-9);
+    }
+
+    #[test]
+    fn rack_churn_taints_members() {
+        let mut cfg = ReliabilityConfig::predictive();
+        cfg.rack_weight = 1.0;
+        let mut t = ReliabilityTracker::new(cfg, 4, 2);
+        let now = SimTime::from_secs(50);
+        t.record_failure(NodeId(0), RackId(0), now);
+        // A sibling that never failed itself is still flaky via the rack term.
+        assert!(t.flaky(NodeId(1), RackId(0), now));
+        assert!(!t.flaky(NodeId(3), RackId(1), now));
+    }
+}

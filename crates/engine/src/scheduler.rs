@@ -11,6 +11,8 @@
 use crate::config::SpeculationConfig;
 use crate::delay::DelayScoreboard;
 use crate::job::{JobId, JobRuntime, JobSpec, JobTable, TaskId, TaskKind, TaskRuntime, TaskState};
+use crate::reliability::ReliabilityTracker;
+use crate::shuffle::ShuffleTracker;
 use mrp_dfs::{Locality, NodeId, RackId, Topology};
 use mrp_sim::SimTime;
 use serde::{Deserialize, Serialize};
@@ -155,6 +157,18 @@ pub struct SchedulerContext<'a> {
     /// [`SchedulerContext::delay_gated`]; hand-built harness contexts pass
     /// `None` (delay scheduling off).
     pub delay: Option<&'a DelayScoreboard>,
+    /// The engine-owned map-output registry (from
+    /// [`ClusterConfig::shuffle`](crate::ClusterConfig)), if the cluster has
+    /// one. Policies consult it through
+    /// [`SchedulerContext::prefer_reduce_elsewhere`]; hand-built harness
+    /// contexts pass `None` (topology-blind shuffle).
+    pub shuffle: Option<&'a ShuffleTracker>,
+    /// The engine-owned node-reliability predictor (from
+    /// [`ClusterConfig::reliability`](crate::ClusterConfig)), if the cluster
+    /// has one. Policies consult it through
+    /// [`SchedulerContext::reliability_avoid`]; hand-built harness contexts
+    /// pass `None` (failure-blind placement).
+    pub reliability: Option<&'a ReliabilityTracker>,
 }
 
 impl<'a> SchedulerContext<'a> {
@@ -186,6 +200,69 @@ impl<'a> SchedulerContext<'a> {
     /// Free reduce slots across the whole cluster (O(racks)).
     pub fn free_reduce_slots_total(&self) -> u32 {
         self.racks.iter().map(|r| r.free_reduce_slots).sum()
+    }
+
+    /// The view of a specific rack, if it exists. Cluster-built slices are
+    /// dense by rack id (O(1)); the scan is a fallback for hand-built slices.
+    pub fn rack(&self, id: RackId) -> Option<&RackView> {
+        if let Some(view) = self.racks.get(id.0 as usize) {
+            if view.id == id {
+                return Some(view);
+            }
+        }
+        self.racks.iter().find(|r| r.id == id)
+    }
+
+    /// True when the node-reliability predictor says fresh launches of `kind`
+    /// should be steered off `node` right now: the predictor is on, the node's
+    /// combined failure score is above the flaky threshold, **and** free slots
+    /// of that kind exist elsewhere in the cluster. The capacity guard keeps
+    /// the bias starvation-free — when a flaky node is the only capacity
+    /// left, work still lands on it. Policies apply this to fresh `Launch`
+    /// and `LaunchSpeculative` decisions only, never to resumes (a suspended
+    /// task's memory already lives on its node).
+    pub fn reliability_avoid(&self, node: NodeId, kind: TaskKind) -> bool {
+        let Some(r) = self.reliability else {
+            return false;
+        };
+        if !r.enabled() {
+            return false;
+        }
+        let Some(rack) = self.topology.rack_of(node) else {
+            return false;
+        };
+        if !r.flaky(node, rack, self.now) {
+            return false;
+        }
+        let free_here = self.node(node).map(|v| v.free_slots(kind)).unwrap_or(0);
+        let total = match kind {
+            TaskKind::Map => self.free_map_slots_total(),
+            TaskKind::Reduce => self.free_reduce_slots_total(),
+        };
+        total > free_here
+    }
+
+    /// True when a reduce of `job` should decline a slot on `node` because
+    /// the rack holding the most of the job's map-output bytes is a different
+    /// one **and** that rack has a free reduce slot right now (O(1) via the
+    /// maintained rack counters — and the guard that makes the preference
+    /// starvation-free: when the byte-heavy rack is full, the reduce launches
+    /// wherever it can). Always false while fault-tolerant shuffle is off or
+    /// the job has no committed map output yet.
+    pub fn prefer_reduce_elsewhere(&self, job: JobId, node: NodeId) -> bool {
+        let Some(s) = self.shuffle else {
+            return false;
+        };
+        if !s.enabled() {
+            return false;
+        }
+        let Some(pref) = s.preferred_rack(job) else {
+            return false;
+        };
+        let Some(here) = self.topology.rack_of(node) else {
+            return false;
+        };
+        pref != here && self.rack(pref).is_some_and(|r| r.free_reduce_slots > 0)
     }
 
     /// Input locality a launch of `task` on `node` would get: the best
@@ -592,6 +669,11 @@ impl SchedulerPolicy for FifoScheduler {
         // 1), and the allowed level is cached per job (tiers keep a job's
         // tasks contiguous), so the decline path stays O(tasks) even with
         // the whole backlog waiting.
+        // Failure-aware placement: fresh launches (and speculative backups
+        // below) avoid flaky nodes while capacity exists elsewhere. Resumes
+        // above are exempt — the suspended state already lives here.
+        let avoid_map = ctx.reliability_avoid(node, TaskKind::Map);
+        let avoid_reduce = ctx.reliability_avoid(node, TaskKind::Reduce);
         let delay_on = ctx.delay_enabled();
         let flag_len = if delay_on { ctx.jobs.len() } else { 0 };
         let mut declined = vec![false; flag_len];
@@ -608,6 +690,14 @@ impl SchedulerPolicy for FifoScheduler {
                 };
                 if *free == 0 {
                     continue;
+                }
+                match task.kind {
+                    TaskKind::Map if avoid_map => continue,
+                    TaskKind::Reduce if avoid_reduce => continue,
+                    // Rack-aware reduce placement: wait for the rack holding
+                    // the job's map-output bytes while it has capacity.
+                    TaskKind::Reduce if ctx.prefer_reduce_elsewhere(task.job, node) => continue,
+                    _ => {}
                 }
                 let flag_idx = (task.job.0 as usize).wrapping_sub(1);
                 if delay_on && level > 0 {
@@ -649,7 +739,7 @@ impl SchedulerPolicy for FifoScheduler {
         // use them, so offer them to stragglers as speculative backups
         // (candidate scans stay per-job-gated to tail-phase jobs, and run at
         // most once per simulated second cluster-wide).
-        if ctx.speculation.enabled && free_map > 0 {
+        if ctx.speculation.enabled && free_map > 0 && !avoid_map {
             let second = ctx.now.as_micros() / 1_000_000;
             if self.spec_stamp != Some(second) {
                 self.spec_stamp = Some(second);
@@ -739,6 +829,8 @@ mod tests {
             totals: PendingTotals::from_jobs(&jobs),
             speculation: SpeculationConfig::default(),
             delay: None,
+            shuffle: None,
+            reliability: None,
         };
         let order = ctx.schedulable_tasks();
         assert_eq!(order[0].job, JobId(2), "highest priority first");
@@ -761,6 +853,8 @@ mod tests {
             totals: PendingTotals::from_jobs(&jobs),
             speculation: SpeculationConfig::default(),
             delay: None,
+            shuffle: None,
+            reliability: None,
         };
         let mut fifo = FifoScheduler::new();
         let actions = fifo.on_heartbeat(&ctx, NodeId(0));
@@ -789,6 +883,8 @@ mod tests {
             totals: PendingTotals::from_jobs(&jobs),
             speculation: SpeculationConfig::default(),
             delay: None,
+            shuffle: None,
+            reliability: None,
         };
         let mut fifo = FifoScheduler::new();
         let actions = fifo.on_heartbeat(&ctx, NodeId(0));
@@ -830,6 +926,8 @@ mod tests {
             totals: PendingTotals::from_jobs(&jobs),
             speculation: SpeculationConfig::default(),
             delay: None,
+            shuffle: None,
+            reliability: None,
         };
         let mut fifo = FifoScheduler::new();
         let actions = fifo.on_heartbeat(&ctx, NodeId(0));
@@ -866,6 +964,8 @@ mod tests {
             totals: PendingTotals::from_jobs(&jobs),
             speculation: SpeculationConfig::default(),
             delay: Some(&sb),
+            shuffle: None,
+            reliability: None,
         };
         let mut fifo = FifoScheduler::new();
         // Node-local-only phase: the off-rack launch is declined and the
@@ -886,6 +986,168 @@ mod tests {
     }
 
     #[test]
+    fn reliability_avoid_steers_fresh_launches_while_capacity_exists() {
+        use crate::config::ReliabilityConfig;
+        let mut tracker = ReliabilityTracker::new(ReliabilityConfig::predictive(), 10, 2);
+        // Node 1 just crashed and rejoined: flaky.
+        tracker.record_failure(NodeId(1), RackId(0), SimTime::from_secs(100));
+        let mut jobs = JobTable::new();
+        jobs.insert(JobId(1), make_job(1, 0, 0, 2));
+        let nodes = [view(0, 1), view(1, 1)];
+        let racks = [
+            RackView {
+                id: RackId(0),
+                nodes: 5,
+                free_map_slots: 2,
+                free_reduce_slots: 0,
+            },
+            RackView {
+                id: RackId(1),
+                nodes: 5,
+                free_map_slots: 0,
+                free_reduce_slots: 0,
+            },
+        ];
+        let topo = Topology::blocked(10, 2);
+        let ctx = SchedulerContext {
+            now: SimTime::from_secs(100),
+            jobs: &jobs,
+            nodes: &nodes,
+            racks: &racks,
+            topology: &topo,
+            totals: PendingTotals::from_jobs(&jobs),
+            speculation: SpeculationConfig::default(),
+            delay: None,
+            shuffle: None,
+            reliability: Some(&tracker),
+        };
+        assert!(ctx.reliability_avoid(NodeId(1), TaskKind::Map));
+        assert!(
+            !ctx.reliability_avoid(NodeId(0), TaskKind::Map),
+            "healthy node"
+        );
+        // The FIFO policy keeps fresh launches off the flaky node...
+        let mut fifo = FifoScheduler::new();
+        assert!(fifo.on_heartbeat(&ctx, NodeId(1)).is_empty());
+        // ...but still fills the healthy one.
+        assert!(!fifo.on_heartbeat(&ctx, NodeId(0)).is_empty());
+        // Starvation guard: when the flaky node holds the only free capacity,
+        // work lands on it anyway.
+        let only_here = [RackView {
+            id: RackId(0),
+            nodes: 5,
+            free_map_slots: 1,
+            free_reduce_slots: 0,
+        }];
+        let ctx2 = SchedulerContext {
+            racks: &only_here,
+            nodes: &nodes[1..],
+            ..ctx
+        };
+        assert!(!ctx2.reliability_avoid(NodeId(1), TaskKind::Map));
+        assert!(!fifo.on_heartbeat(&ctx2, NodeId(1)).is_empty());
+    }
+
+    #[test]
+    fn reduces_prefer_the_rack_holding_map_output_bytes() {
+        use crate::config::ShuffleConfig;
+        let mut shuffle = ShuffleTracker::new(ShuffleConfig::fault_tolerant(), 2);
+        shuffle.register_job(1, 1);
+        // All map output lives on rack 1 (node 5 in the blocked topology).
+        shuffle.record_map_output(JobId(1), 0, NodeId(5), RackId(1), 100);
+        let mut jobs = JobTable::new();
+        let spec = JobSpec::synthetic("red", 0, 100).with_reduces(1);
+        let job_id = JobId(1);
+        let mut job = JobRuntime {
+            id: job_id,
+            spec,
+            submitted_at: SimTime::ZERO,
+            completed_at: None,
+            tasks: vec![TaskRuntime::new(
+                TaskId {
+                    job: job_id,
+                    kind: TaskKind::Reduce,
+                    index: 0,
+                },
+                100,
+                vec![],
+            )],
+            schedulable_maps: 0,
+            schedulable_reduces: 0,
+            suspended_count: 0,
+            occupying_count: 0,
+            speculative_live: 0,
+        };
+        job.recount_task_states();
+        jobs.insert(job_id, job);
+        let mut v0 = view(0, 0);
+        v0.free_reduce_slots = 1;
+        let mut v5 = NodeView {
+            id: NodeId(5),
+            free_map_slots: 0,
+            free_reduce_slots: 1,
+            running: vec![],
+            suspended: vec![],
+        };
+        let racks_with_capacity = [
+            RackView {
+                id: RackId(0),
+                nodes: 5,
+                free_map_slots: 0,
+                free_reduce_slots: 1,
+            },
+            RackView {
+                id: RackId(1),
+                nodes: 5,
+                free_map_slots: 0,
+                free_reduce_slots: 1,
+            },
+        ];
+        let topo = Topology::blocked(10, 2);
+        let nodes = [v0.clone()];
+        let ctx = SchedulerContext {
+            now: SimTime::ZERO,
+            jobs: &jobs,
+            nodes: &nodes,
+            racks: &racks_with_capacity,
+            topology: &topo,
+            totals: PendingTotals::from_jobs(&jobs),
+            speculation: SpeculationConfig::default(),
+            delay: None,
+            shuffle: Some(&shuffle),
+            reliability: None,
+        };
+        // Rack 0 offer is declined: the bytes (and a free slot) are on rack 1.
+        assert!(ctx.prefer_reduce_elsewhere(JobId(1), NodeId(0)));
+        let mut fifo = FifoScheduler::new();
+        assert!(fifo.on_heartbeat(&ctx, NodeId(0)).is_empty());
+        // On the byte-holding rack the reduce launches.
+        assert!(!ctx.prefer_reduce_elsewhere(JobId(1), NodeId(5)));
+        v5.free_reduce_slots = 1;
+        let nodes5 = [v0.clone(), v5];
+        let ctx5 = SchedulerContext {
+            nodes: &nodes5,
+            ..ctx
+        };
+        assert_eq!(fifo.on_heartbeat(&ctx5, NodeId(5)).len(), 1);
+        // Once rack 1 is full, rack 0 stops declining (starvation guard).
+        let full = [
+            racks_with_capacity[0].clone(),
+            RackView {
+                id: RackId(1),
+                nodes: 5,
+                free_map_slots: 0,
+                free_reduce_slots: 0,
+            },
+        ];
+        let ctx_full = SchedulerContext {
+            racks: &full,
+            ..ctx5
+        };
+        assert!(!ctx_full.prefer_reduce_elsewhere(JobId(1), NodeId(0)));
+    }
+
+    #[test]
     fn context_helpers() {
         let mut jobs = JobTable::new();
         jobs.insert(JobId(1), make_job(1, 0, 0, 1));
@@ -900,6 +1162,8 @@ mod tests {
             totals: PendingTotals::from_jobs(&jobs),
             speculation: SpeculationConfig::default(),
             delay: None,
+            shuffle: None,
+            reliability: None,
         };
         assert!(ctx.node(NodeId(0)).is_some());
         assert!(ctx.node(NodeId(4)).is_none());

@@ -30,6 +30,7 @@ mod faults;
 mod figures;
 mod locality;
 mod priority;
+mod rack_outage;
 mod report;
 mod scenario;
 
@@ -43,6 +44,9 @@ pub use figures::{
 };
 pub use locality::{delay_locality_sweep, delay_sweep_table, DelaySweepConfig, DelaySweepRow};
 pub use priority::PriorityPreemptingScheduler;
+pub use rack_outage::{
+    predictor_ablation, run_rack_outage, OutageWindow, RackOutageConfig, RackOutageOutcome,
+};
 pub use report::{to_csv, to_table};
 pub use scenario::{run_once, run_scenario, ScenarioConfig, ScenarioOutcome, SingleRun};
 

@@ -83,6 +83,11 @@ pub struct SingleRun {
     pub wasted_work_secs: f64,
     /// Map-launch locality outcomes (node-local / rack-local / off-rack).
     pub locality: mrp_engine::LocalityStats,
+    /// Committed map outputs destroyed by node loss (0 on the failure-free
+    /// paper scenario; the fault harnesses populate it).
+    pub lost_map_outputs: u64,
+    /// Reduce shuffle re-fetch rounds spent waiting on missing map outputs.
+    pub shuffle_refetches: u64,
     /// The full engine report, for detailed inspection.
     pub report: ClusterReport,
 }
@@ -145,6 +150,8 @@ pub fn run_once(config: &ScenarioConfig, seed: u64) -> SingleRun {
         tl_suspend_cycles: tl_report.tasks[0].suspend_cycles,
         wasted_work_secs: report.total_wasted_work_secs(),
         locality: report.locality,
+        lost_map_outputs: report.faults.lost_map_outputs,
+        shuffle_refetches: report.faults.shuffle_refetches,
         report,
     }
 }

@@ -89,6 +89,13 @@ pub struct SwimConfig {
     /// long-running tasks pins slots (stranding suspended neighbours) without
     /// letting one giant degraded job dominate the whole trace's makespan.
     pub slow_max_tasks: u32,
+    /// Reduce tasks as a fraction of each job's map tasks (`ceil(maps *
+    /// ratio)`, so any positive ratio gives at least one reduce). `0.0` (the
+    /// default) keeps every job map-only and — being a pure function of the
+    /// map count, no rng draw — existing traces byte-identical. The
+    /// shuffle-fault scenarios use it to give churn something to destroy:
+    /// reduces whose map outputs can die mid-shuffle.
+    pub reduce_ratio: f64,
 }
 
 impl Default for SwimConfig {
@@ -106,6 +113,7 @@ impl Default for SwimConfig {
             slow_fraction: 0.0,
             slow_parse_rate_bytes_per_sec: 1.5 * MIB as f64,
             slow_max_tasks: u32::MAX,
+            reduce_ratio: 0.0,
         }
     }
 }
@@ -165,6 +173,9 @@ impl SwimGenerator {
             if slow {
                 profile.parse_rate_bytes_per_sec = Some(self.config.slow_parse_rate_bytes_per_sec);
             }
+            // Draw-free: a pure function of the map count, so traces with
+            // ratio 0.0 stay byte-identical to pre-`reduce_ratio` ones.
+            let reduce_tasks = (tasks as f64 * self.config.reduce_ratio).ceil() as u32;
             let spec = JobSpec {
                 name: format!("swim-{i:03}"),
                 priority: if high_priority { 10 } else { 0 },
@@ -172,7 +183,7 @@ impl SwimGenerator {
                     tasks,
                     bytes_per_task: self.config.bytes_per_task,
                 },
-                reduce_tasks: 0,
+                reduce_tasks,
                 profile,
             };
             out.push(TraceJob {
@@ -344,6 +355,29 @@ mod tests {
             assert_eq!(*bytes, u64::from(tasks) * bytes_per_task);
             assert_eq!(path, &format!("/swim/{}", orig.spec.name));
             assert!(matches!(conv.spec.input, MapInput::DfsFile { .. }));
+        }
+    }
+
+    #[test]
+    fn reduce_ratio_adds_reduces_without_perturbing_the_trace() {
+        let base = SwimGenerator::new(SwimConfig::default(), 42).generate();
+        let cfg = SwimConfig {
+            reduce_ratio: 0.25,
+            ..SwimConfig::default()
+        };
+        let with = SwimGenerator::new(cfg, 42).generate();
+        assert_eq!(base.len(), with.len());
+        for (b, w) in base.iter().zip(&with) {
+            // Same arrivals, sizes and profiles: the ratio draws nothing.
+            assert_eq!(b.arrival, w.arrival);
+            assert_eq!(b.spec.input, w.spec.input);
+            assert_eq!(b.spec.profile, w.spec.profile);
+            assert_eq!(b.spec.reduce_tasks, 0);
+            let MapInput::Synthetic { tasks, .. } = w.spec.input else {
+                panic!("SWIM jobs are synthetic");
+            };
+            assert_eq!(w.spec.reduce_tasks, (tasks as f64 * 0.25).ceil() as u32);
+            assert!(w.spec.reduce_tasks >= 1, "any positive ratio gives >= 1");
         }
     }
 

@@ -11,7 +11,8 @@
 
 use hadoop_os_preempt::prelude::*;
 use mrp_engine::{
-    Cluster, FaultEvent, FaultKind, NodeId, RackId, RandomFaults, RefreshMode, SpeculationConfig,
+    Cluster, FaultEvent, FaultKind, NodeId, RackId, RandomFaults, RefreshMode, ReliabilityConfig,
+    ShuffleConfig, SpeculationConfig,
 };
 use mrp_experiments::run_once;
 use mrp_sim::{SimRng, SimTime};
@@ -229,6 +230,89 @@ const PINNED_FAULT_EVENTS: u64 = 1_059;
 const PINNED_FAULT_FINISH: u64 = 169_811_893;
 const PINNED_FAULT_COUNTS: (u64, u64) = (12, 12);
 
+/// Fixed-seed pinned outcome of the combined robustness surface: map/reduce
+/// jobs with fault-tolerant shuffle (map-output registry, re-fetch backoff),
+/// the ATLAS-style reliability predictor, delay scheduling *and* speculation,
+/// under a scripted rack outage plus random churn. Pins the exact event
+/// count, finish time and the new shuffle fault counters so any change to
+/// the shuffle fault path (registry teardown order, backoff draws,
+/// placement bias) is caught immediately.
+fn shuffle_outage_cluster() -> Cluster {
+    let mut cfg = ClusterConfig::racked_cluster(3, 4, 2, 1).with_delay_intervals(1.0, 1.0);
+    cfg.trace_level = mrp_engine::TraceLevel::Off;
+    cfg.speculation = SpeculationConfig::enabled();
+    cfg.shuffle = ShuffleConfig::fault_tolerant();
+    cfg.reliability = ReliabilityConfig::predictive();
+    cfg.faults.events.push(FaultEvent {
+        at: SimTime::from_secs(40),
+        kind: FaultKind::RackOutage { rack: RackId(1) },
+    });
+    cfg.faults.events.push(FaultEvent {
+        at: SimTime::from_secs(100),
+        kind: FaultKind::RackRejoin { rack: RackId(1) },
+    });
+    cfg.faults.random = Some(RandomFaults {
+        rack_mtbf_secs: 90.0,
+        mean_recovery_secs: Some(40.0),
+        horizon: SimTime::from_secs(400),
+        seed: 0xB0B0,
+    });
+    let mut cluster = Cluster::new(
+        cfg,
+        Box::new(HfspScheduler::new(
+            PreemptionPrimitive::SuspendResume,
+            EvictionPolicy::ClosestToCompletion,
+        )),
+    );
+    for i in 0..4u32 {
+        cluster.submit_job_at(
+            JobSpec::synthetic(format!("mr-{i}"), 12, 96 * MIB).with_reduces(3),
+            SimTime::from_secs(u64::from(2 * i)),
+        );
+    }
+    for i in 0..4u32 {
+        cluster.submit_job_at(
+            JobSpec::synthetic(format!("small-{i}"), 3, 16 * MIB).with_reduces(1),
+            SimTime::from_secs(15 + 11 * u64::from(i)),
+        );
+    }
+    cluster
+}
+
+#[test]
+fn fixed_seed_shuffle_outage_run_is_pinned() {
+    let mut cluster = shuffle_outage_cluster();
+    cluster.run(SimTime::from_secs(24 * 3_600));
+    let report = cluster.report();
+    assert!(report.all_jobs_complete());
+    let faults = report.faults;
+    // The outage must exercise the whole shuffle fault path: committed map
+    // outputs die with the rack, stalled reduces re-fetch with backoff, and
+    // the affected maps re-execute.
+    assert!(faults.lost_map_outputs >= 1, "{faults:?}");
+    assert!(faults.shuffle_refetches >= 1, "{faults:?}");
+    assert!(
+        faults.re_executed_tasks >= faults.lost_map_outputs,
+        "{faults:?}"
+    );
+    // Pinned fixed-seed outcome (see PINNED_SHUFFLE_* below).
+    assert_eq!(cluster.events_processed(), PINNED_SHUFFLE_EVENTS);
+    assert_eq!(report.finished_at.as_micros(), PINNED_SHUFFLE_FINISH);
+    assert_eq!(
+        (faults.lost_map_outputs, faults.shuffle_refetches),
+        PINNED_SHUFFLE_COUNTS
+    );
+
+    let mut again = shuffle_outage_cluster();
+    again.run(SimTime::from_secs(24 * 3_600));
+    assert_eq!(again.report(), report);
+    assert_eq!(again.events_processed(), cluster.events_processed());
+}
+
+const PINNED_SHUFFLE_EVENTS: u64 = 751;
+const PINNED_SHUFFLE_FINISH: u64 = 79_687_322;
+const PINNED_SHUFFLE_COUNTS: (u64, u64) = (4, 74);
+
 /// The rack-sharded refresh path must also be observationally identical to
 /// the naive reference *under fault injection*: node teardown, rejoin,
 /// re-replication and speculative re-execution all mutate the incremental
@@ -284,6 +368,85 @@ fn sharded_and_full_refresh_match_under_fault_injection() {
         assert_eq!(
             sharded, full,
             "sharded vs full refresh diverged under faults in case {case}"
+        );
+    }
+}
+
+/// ...and identical once more with this PR's shuffle fault domain switched
+/// on: map-output registry teardown, shuffle re-fetch backoff scheduling,
+/// reliability-biased placement, rack-aware reduce placement and delay
+/// scheduling all interact with the incremental indexes, and none of it may
+/// depend on the refresh strategy.
+#[test]
+fn sharded_and_full_refresh_match_under_shuffle_fault_paths() {
+    for case in 0..6u64 {
+        let mut rng = SimRng::new(0x5F1E + case);
+        let racks = 2 + rng.index(3) as u32; // 2..=4
+        let per_rack = 2 + rng.index(3) as u32; // 2..=4
+        let job_count = 3 + rng.index(4); // 3..=6
+        let mut jobs = Vec::new();
+        for i in 0..job_count {
+            let tasks = 2 + rng.index(10) as u32;
+            let reduces = rng.index(4) as u32; // 0..=3
+            let arrival = rng.index(40) as u64;
+            jobs.push((i, tasks, reduces, arrival));
+        }
+        let outage_rack = rng.index(racks as usize) as u32;
+        let mtbf = 40.0 + rng.index(60) as f64;
+        let use_delay = rng.chance(0.5);
+        let use_predictor = rng.chance(0.67);
+        let run = |mode: RefreshMode| {
+            let mut cfg = ClusterConfig::racked_cluster(racks, per_rack, 2, 1);
+            if use_delay {
+                cfg = cfg.with_delay_intervals(1.0, 1.0);
+            }
+            cfg.refresh_mode = mode;
+            cfg.trace_level = mrp_engine::TraceLevel::Off;
+            cfg.speculation = SpeculationConfig::enabled();
+            cfg.shuffle = ShuffleConfig::fault_tolerant();
+            if use_predictor {
+                cfg.reliability = ReliabilityConfig::predictive();
+            }
+            cfg.faults.events.push(FaultEvent {
+                at: SimTime::from_secs(35),
+                kind: FaultKind::RackOutage {
+                    rack: RackId(outage_rack),
+                },
+            });
+            cfg.faults.events.push(FaultEvent {
+                at: SimTime::from_secs(90),
+                kind: FaultKind::RackRejoin {
+                    rack: RackId(outage_rack),
+                },
+            });
+            cfg.faults.random = Some(RandomFaults {
+                rack_mtbf_secs: mtbf,
+                mean_recovery_secs: Some(30.0),
+                horizon: SimTime::from_secs(400),
+                seed: 0xD1CE + case,
+            });
+            let mut cluster = Cluster::new(
+                cfg,
+                Box::new(HfspScheduler::new(
+                    PreemptionPrimitive::SuspendResume,
+                    EvictionPolicy::ClosestToCompletion,
+                )),
+            );
+            for &(i, tasks, reduces, arrival) in &jobs {
+                cluster.submit_job_at(
+                    JobSpec::synthetic(format!("job-{i}"), tasks, 64 * MIB).with_reduces(reduces),
+                    SimTime::from_secs(arrival),
+                );
+            }
+            cluster.run(SimTime::from_secs(24 * 3_600));
+            (cluster.events_processed(), cluster.report())
+        };
+        let sharded = run(RefreshMode::Sharded);
+        let full = run(RefreshMode::Full);
+        assert!(sharded.1.all_jobs_complete(), "case {case} must complete");
+        assert_eq!(
+            sharded, full,
+            "sharded vs full refresh diverged under shuffle faults in case {case}"
         );
     }
 }
