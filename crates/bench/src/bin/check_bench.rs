@@ -1,8 +1,8 @@
 //! CI bench-regression gate.
 //!
-//! Re-runs the five tracked throughput scenarios (`sim_throughput`,
-//! `swim_cluster`, `fault_churn`, `locality_delay`, `rack_outage`) on the
-//! current machine
+//! Re-runs the six tracked throughput scenarios (`sim_throughput`,
+//! `swim_cluster`, `fault_churn`, `locality_delay`, `rack_outage`,
+//! `partition_detect`) on the current machine
 //! and compares the events/sec **ratios** between scenarios against the
 //! ratios recorded in the checked-in `BENCH_*.json` baselines. Per the
 //! ROADMAP rule, absolute events/sec are machine-dependent and never
@@ -30,7 +30,14 @@
 //! * the failure-aware placement quality gate regresses: on the
 //!   `rack_outage` repeat-offender scenario the reliability predictor must
 //!   strictly improve the p99 job sojourn vs predictor-off on the same
-//!   seed (from one predictor-on/off pair).
+//!   seed (from one predictor-on/off pair), or
+//! * the failure-detection quality gate regresses: on the
+//!   `partition_detect` scenario first-commit-wins reconciliation must
+//!   never double-commit a task (`duplicate_commits == 0`) and the observed
+//!   detection lag must stay within the missed-heartbeat timeout plus one
+//!   heartbeat interval (enforced in quick mode too — these are correctness
+//!   bars, not timing bars; `partition_detect` also carries the 1/3
+//!   events/sec hard bar).
 //!
 //! `swim_cluster` has no hard bar here: its measured ratio straddles 1/3
 //! purely with anchor timing noise (see docs/PERF.md), so regressions are
@@ -40,8 +47,8 @@
 //! CI runs the full shapes).
 
 use mrp_bench::scenarios::{
-    baseline_events_per_sec, fault_churn::FaultChurnScenario, hfsp, locality_delay, rack_outage,
-    sim_throughput, swim_cluster,
+    baseline_events_per_sec, fault_churn::FaultChurnScenario, hfsp, locality_delay,
+    partition_detect::PartitionDetectScenario, rack_outage, sim_throughput, swim_cluster,
 };
 
 fn median(mut xs: Vec<f64>) -> f64 {
@@ -116,6 +123,18 @@ fn main() {
     let ro_off = (!quick).then(|| rack_outage::run(&ro_sc, false));
     let ro_eps = median(ro_runs.iter().map(|o| o.events_per_sec()).collect());
 
+    // partition_detect also gates the failure-detection acceptance
+    // criteria: zero duplicate commits and bounded detection lag, from the
+    // detector-on runs (enforced in quick mode too — correctness, not
+    // timing).
+    let pd_sc = if quick {
+        PartitionDetectScenario::small()
+    } else {
+        PartitionDetectScenario::full()
+    };
+    let pd_runs: Vec<_> = (0..3).map(|_| pd_sc.run(true)).collect();
+    let pd_eps = median(pd_runs.iter().map(|o| o.events_per_sec()).collect());
+
     let measured = [
         Measured {
             name: "swim_cluster",
@@ -139,6 +158,12 @@ fn main() {
             name: "rack_outage",
             baseline_file: "BENCH_rack_outage.json",
             events_per_sec: ro_eps,
+            hard_bar: Some(1.0 / 3.0),
+        },
+        Measured {
+            name: "partition_detect",
+            baseline_file: "BENCH_partition_detect.json",
+            events_per_sec: pd_eps,
             hard_bar: Some(1.0 / 3.0),
         },
     ];
@@ -176,7 +201,7 @@ fn main() {
         let ratio_ok = quick || rel >= 0.5;
         let bar_ok = quick || m.hard_bar.map(|bar| fresh_ratio >= bar).unwrap_or(true);
         println!(
-            "  {:<13} {:>12.0} ev/s  ratio {:.3} (baseline {:.3}, {:+.1}%)  [{}{}]",
+            "  {:<16} {:>12.0} ev/s  ratio {:.3} (baseline {:.3}, {:+.1}%)  [{}{}]",
             m.name,
             m.events_per_sec,
             fresh_ratio,
@@ -250,6 +275,28 @@ fn main() {
             if !predictor_ok {
                 failed = true;
             }
+        }
+    }
+
+    // Failure-detection acceptance gate (both modes — correctness bars hold
+    // at every shape): first-commit-wins must never double-commit a task,
+    // and the worst observed detection lag must stay within the
+    // missed-heartbeat timeout plus one heartbeat interval.
+    {
+        let f = &pd_runs[0].report.faults;
+        let bound = pd_sc.lag_bound_secs();
+        let dup_ok = f.duplicate_commits == 0;
+        let lag_ok = f.detection_lag_secs_max <= bound + 1e-9;
+        println!(
+            "  detector gate  {} duplicate commits (bar = 0)  lag max {:.1}s (bar <= {:.1}s)  [{}{}]",
+            f.duplicate_commits,
+            f.detection_lag_secs_max,
+            bound,
+            if dup_ok { "commits ok" } else { "DUPLICATE COMMITS" },
+            if lag_ok { ", lag ok" } else { ", LAG EXCEEDS BOUND" },
+        );
+        if !dup_ok || !lag_ok {
+            failed = true;
         }
     }
 

@@ -80,6 +80,29 @@ enum Event {
     /// A fault-plan event (node kill/decommission/rejoin, rack outage)
     /// strikes; `index` points into the cluster's resolved fault schedule.
     Fault { index: usize },
+    /// A failure-detector timer: `confirm == false` is the missed-heartbeat
+    /// suspicion check, `confirm == true` the post-grace confirmation.
+    /// `epoch` is the node's suspicion epoch at arming time; a timer armed
+    /// before the link state last changed is discarded.
+    Detector {
+        node: NodeId,
+        epoch: u64,
+        confirm: bool,
+    },
+}
+
+/// Master-side view of the link to one node under the failure detector.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum LinkState {
+    /// Heartbeats flowing normally.
+    Up,
+    /// The node is dead but the master has not noticed yet: no heartbeats
+    /// arrive and no node-side events fire. `since` is when the fault struck.
+    Silent { since: SimTime },
+    /// The node is alive but cut off from the master: it keeps executing,
+    /// yet the master hears nothing from it. `since` is when the partition
+    /// struck.
+    Partitioned { since: SimTime },
 }
 
 #[derive(Clone, Debug)]
@@ -191,8 +214,9 @@ pub struct Cluster {
     rack_views: Vec<RackView>,
     /// Pending `MUST_*` commands indexed by node; delivered at heartbeats.
     pending_cmds: Vec<Vec<TaskId>>,
-    /// Reusable buffer for per-heartbeat progress refreshes.
-    progress_buf: Vec<(TaskId, f64)>,
+    /// Reusable buffer for per-heartbeat progress refreshes (attempt id,
+    /// task, reported progress).
+    progress_buf: Vec<(AttemptId, TaskId, f64)>,
     /// Jobs registered but not yet complete (incremental completion count).
     incomplete_jobs: usize,
     /// Events handled by [`Cluster::run`] so far (throughput accounting).
@@ -228,6 +252,23 @@ pub struct Cluster {
     /// ATLAS-style failure-history scores per node and rack, fed by observed
     /// crashes and shared read-only with policies.
     reliability: ReliabilityTracker,
+    /// Master-side link state per node (suspicion-based failure detection
+    /// and network partitions). All `Up` while those fault kinds are unused.
+    link: Vec<LinkState>,
+    /// Per-node suspicion epoch: detector timers carry the epoch they were
+    /// armed in and are discarded if the link state changed since.
+    suspect_epoch: Vec<u64>,
+    /// When each node's last heartbeat reached the master (`SimTime::ZERO`
+    /// before the first); anchors the missed-heartbeat timeout so detection
+    /// lag is bounded by the timeout plus one heartbeat interval.
+    last_heartbeat: Vec<SimTime>,
+    /// Completions finished on a node behind a partition, buffered until the
+    /// heal reconciles them first-commit-wins.
+    partition_buffer: Vec<Vec<AttemptId>>,
+    /// Per-node gray-failure multipliers `(slow_disk, slow_net)`; `(1.0,
+    /// 1.0)` while healthy. Applied to new launches only: a degraded node
+    /// stretches the plans of work placed on it, it does not rewrite history.
+    gray: Vec<(f64, f64)>,
 }
 
 impl Cluster {
@@ -333,17 +374,20 @@ impl Cluster {
                         continue;
                     }
                     let node = NodeId(shard.members[member]);
-                    fault_events.push(FaultEvent {
-                        at,
-                        kind: FaultKind::Kill { node },
-                    });
+                    // Single construction point for churn events: a strike is
+                    // a kill plus, when recovery is configured, its paired
+                    // rejoin.
+                    let mut push_churn = |at: SimTime, kind: FaultKind| {
+                        fault_events.push(FaultEvent { at, kind });
+                    };
+                    push_churn(at, FaultKind::Kill { node });
                     if let Some(recovery) = rf.mean_recovery_secs {
                         let downtime = rrng.exponential(recovery).max(1.0);
                         down_until[member] = clock + downtime;
-                        fault_events.push(FaultEvent {
-                            at: at + SimDuration::from_secs_f64(downtime),
-                            kind: FaultKind::Rejoin { node },
-                        });
+                        push_churn(
+                            at + SimDuration::from_secs_f64(downtime),
+                            FaultKind::Rejoin { node },
+                        );
                     } else {
                         down_until[member] = f64::INFINITY;
                     }
@@ -388,6 +432,11 @@ impl Cluster {
             delay,
             shuffle,
             reliability,
+            link: vec![LinkState::Up; node_count],
+            suspect_epoch: vec![0; node_count],
+            last_heartbeat: vec![SimTime::ZERO; node_count],
+            partition_buffer: vec![Vec::new(); node_count],
+            gray: vec![(1.0, 1.0); node_count],
         }
     }
 
@@ -467,6 +516,15 @@ impl Cluster {
     /// Whether `node` is currently in service.
     pub fn node_is_alive(&self, node: NodeId) -> bool {
         self.tracker(node).map(|tt| tt.is_alive()).unwrap_or(false)
+    }
+
+    /// Alive *and* reachable: a partition victim the detector tore down is
+    /// still alive but offers the master nothing, so promotion and placement
+    /// paths must use this stricter check.
+    fn node_in_service(&self, node: NodeId) -> bool {
+        self.tracker(node)
+            .map(|tt| tt.is_alive() && tt.is_reachable())
+            .unwrap_or(false)
     }
 
     /// The per-rack aggregate free-slot counters, as schedulers see them
@@ -923,9 +981,15 @@ impl Cluster {
                 attempt,
                 phase,
             } => {
+                if self.node_is_silent(node) {
+                    return; // the node died with the fault; teardown follows
+                }
                 self.handle_phase_done(node, attempt, phase, now);
             }
             Event::CleanupDone { node, kind, epoch } => {
+                if self.node_is_silent(node) {
+                    return; // dead but undetected; the teardown frees slots
+                }
                 let Some(tt) = self.tracker_mut(node) else {
                     return;
                 };
@@ -942,6 +1006,13 @@ impl Cluster {
             Event::Fault { index } => {
                 self.handle_fault(index, now);
             }
+            Event::Detector {
+                node,
+                epoch,
+                confirm,
+            } => {
+                self.handle_detector(node, epoch, confirm, now);
+            }
         }
     }
 
@@ -951,11 +1022,21 @@ impl Cluster {
         let scripted = index < self.scripted_faults;
         match self.fault_events[index].kind {
             FaultKind::Kill { node } => {
-                if self.fail_node(node, now, false) && !scripted {
+                // With the detector on, the kill only silences the node: the
+                // master keeps scheduling around its stale view until the
+                // missed-heartbeat timeout confirms the death.
+                let downed = if self.config.detector.enabled {
+                    self.begin_silence(node, now)
+                } else {
+                    self.fail_node(node, now, false)
+                };
+                if downed && !scripted {
                     self.churn_down[node.0 as usize] = true;
                 }
             }
             FaultKind::Decommission { node } => {
+                // An operator action: the master knows immediately, detector
+                // or not.
                 self.fail_node(node, now, true);
             }
             FaultKind::Rejoin { node } => self.rejoin_node(node, now, scripted),
@@ -969,7 +1050,11 @@ impl Cluster {
                     // Rack outages are scripted-only: a member already down
                     // from churn now belongs to the scripted outage, so its
                     // pending churn recovery must not revive it.
-                    self.fail_node(NodeId(m), now, false);
+                    if self.config.detector.enabled {
+                        self.begin_silence(NodeId(m), now);
+                    } else {
+                        self.fail_node(NodeId(m), now, false);
+                    }
                     self.churn_down[m as usize] = false;
                 }
             }
@@ -983,7 +1068,45 @@ impl Cluster {
                     self.rejoin_node(NodeId(m), now, scripted);
                 }
             }
+            FaultKind::Partition { node } => self.partition_node(node, now),
+            FaultKind::PartitionHeal { node } => self.heal_partition(node, now),
+            FaultKind::RackPartition { rack } => {
+                let members = self
+                    .shards
+                    .get(rack.0 as usize)
+                    .map(|s| s.members.clone())
+                    .unwrap_or_default();
+                for m in members {
+                    self.partition_node(NodeId(m), now);
+                }
+            }
+            FaultKind::RackPartitionHeal { rack } => {
+                let members = self
+                    .shards
+                    .get(rack.0 as usize)
+                    .map(|s| s.members.clone())
+                    .unwrap_or_default();
+                for m in members {
+                    self.heal_partition(NodeId(m), now);
+                }
+            }
+            FaultKind::Gray {
+                node,
+                slow_disk,
+                slow_net,
+            } => self.degrade_node(node, slow_disk, slow_net, now),
+            FaultKind::GrayHeal { node } => self.heal_degradation(node, now),
         }
+    }
+
+    /// Whether the node is dead-but-undetected: its node-side events are
+    /// discarded until the detector confirms the death.
+    #[inline]
+    fn node_is_silent(&self, node: NodeId) -> bool {
+        matches!(
+            self.link.get(node.0 as usize),
+            Some(LinkState::Silent { .. })
+        )
     }
 
     /// Takes a node out of service: tears down its attempts (suspended-to-
@@ -1015,54 +1138,28 @@ impl Cluster {
         // live node first so no re-execution is needed — mirroring the
         // NameNode's graceful-vs-crash block handling below.
         if self.shuffle.enabled() {
-            let rack = RackId(self.node_rack[node.0 as usize]);
             let drain = if decommission {
                 self.drain_target(node)
             } else {
                 None
             };
-            let jobs: Vec<JobId> = self
-                .jobs
-                .values()
-                .filter(|j| j.completed_at.is_none())
-                .map(|j| j.id)
-                .collect();
-            for job in jobs {
-                match drain {
-                    Some((to, to_rack)) => {
+            match drain {
+                Some((to, to_rack)) => {
+                    let rack = RackId(self.node_rack[node.0 as usize]);
+                    let jobs: Vec<JobId> = self
+                        .jobs
+                        .values()
+                        .filter(|j| j.completed_at.is_none())
+                        .map(|j| j.id)
+                        .collect();
+                    for job in jobs {
                         let moved = self.shuffle.migrate(job, node, rack, to, to_rack);
                         self.fault_stats.map_outputs_migrated += moved;
                     }
-                    // A crash — or a decommission with nowhere left to drain
-                    // to — loses the outputs.
-                    None => {
-                        for index in self.shuffle.on_node_lost(job, node, rack) {
-                            let map = TaskId {
-                                job,
-                                kind: TaskKind::Map,
-                                index,
-                            };
-                            if self.task(map).map(|t| t.state) != Some(TaskState::Succeeded) {
-                                // Already re-executing (e.g. reset by the
-                                // attempt teardown above); nothing to do.
-                                continue;
-                            }
-                            self.force_task_pending(map);
-                            self.fault_stats.lost_map_outputs += 1;
-                            self.fault_stats.re_executed_tasks += 1;
-                            if self.tracing() {
-                                self.trace_event(
-                                    now,
-                                    TraceKind::MapOutputLost,
-                                    job,
-                                    Some(map),
-                                    Some(node),
-                                    "output died with its node; map re-executes",
-                                );
-                            }
-                        }
-                    }
                 }
+                // A crash — or a decommission with nowhere left to drain
+                // to — loses the outputs.
+                None => self.lose_map_outputs(node, now),
             }
         }
         // Only crashes feed the reliability predictor: a decommission is an
@@ -1127,6 +1224,49 @@ impl Cluster {
         fallback
     }
 
+    /// Declares every map output on `node` destroyed: affected *completed*
+    /// maps go back to `Pending` for re-execution. Shared by the crash path
+    /// of [`Cluster::fail_node`] and the partition teardown.
+    fn lose_map_outputs(&mut self, node: NodeId, now: SimTime) {
+        if !self.shuffle.enabled() {
+            return;
+        }
+        let rack = RackId(self.node_rack[node.0 as usize]);
+        let jobs: Vec<JobId> = self
+            .jobs
+            .values()
+            .filter(|j| j.completed_at.is_none())
+            .map(|j| j.id)
+            .collect();
+        for job in jobs {
+            for index in self.shuffle.on_node_lost(job, node, rack) {
+                let map = TaskId {
+                    job,
+                    kind: TaskKind::Map,
+                    index,
+                };
+                if self.task(map).map(|t| t.state) != Some(TaskState::Succeeded) {
+                    // Already re-executing (e.g. reset by the attempt
+                    // teardown); nothing to do.
+                    continue;
+                }
+                self.force_task_pending(map);
+                self.fault_stats.lost_map_outputs += 1;
+                self.fault_stats.re_executed_tasks += 1;
+                if self.tracing() {
+                    self.trace_event(
+                        now,
+                        TraceKind::MapOutputLost,
+                        job,
+                        Some(map),
+                        Some(node),
+                        "output died with its node; map re-executes",
+                    );
+                }
+            }
+        }
+    }
+
     /// Reconciles one attempt torn down by node loss with the JobTracker
     /// state: promotes a surviving speculative backup, or resets the task to
     /// `Pending` for re-execution.
@@ -1151,7 +1291,7 @@ impl Cluster {
         };
         if is_current {
             match backup {
-                Some((spec_attempt, spec_node)) if self.node_is_alive(spec_node) => {
+                Some((spec_attempt, spec_node)) if self.node_in_service(spec_node) => {
                     // The speculative backup survives the failure: promote it
                     // to be the task's attempt. This is exactly the payoff of
                     // speculative re-execution under churn. Progress watches
@@ -1187,6 +1327,356 @@ impl Cluster {
         }
     }
 
+    // ----- suspicion-based failure detection & partitions -------------------
+
+    /// A kill under the failure detector: the node goes dark but the master
+    /// does not know yet, so its slots stay "occupied" in every scheduler
+    /// view until the missed-heartbeat timeout confirms the death. Returns
+    /// whether the node was actually up (mirrors [`Cluster::fail_node`]'s
+    /// return for churn bookkeeping).
+    fn begin_silence(&mut self, node: NodeId, now: SimTime) -> bool {
+        let idx = node.0 as usize;
+        let Some(tt) = self.trackers.get(idx) else {
+            return false;
+        };
+        if !tt.is_alive() {
+            return false; // duplicate fault on an already-dead node
+        }
+        match self.link[idx] {
+            LinkState::Silent { .. } => false, // already dark
+            LinkState::Up => {
+                self.link[idx] = LinkState::Silent { since: now };
+                self.suspect_epoch[idx] += 1;
+                self.schedule_suspicion(node, now);
+                true
+            }
+            LinkState::Partitioned { since } => {
+                // The partitioned node dies for real. The master cannot tell
+                // the difference — from its side the silence simply
+                // continues, dated from the original partition.
+                let torn_down = !tt.is_reachable();
+                self.link[idx] = LinkState::Silent { since };
+                if torn_down {
+                    // The master already resolved every attempt at the
+                    // partition teardown; the node-side remnants die quietly,
+                    // and the buffered completions die with the node.
+                    let failed = self.trackers[idx].fail(now);
+                    for f in failed {
+                        if let Some(ev) = f.segment_event {
+                            self.queue.cancel(ev);
+                        }
+                    }
+                    self.partition_buffer[idx].clear();
+                    self.mark_node_dirty(node);
+                }
+                // Not torn down: the suspicion timer armed at partition time
+                // (same epoch) is still counting and will confirm this death.
+                true
+            }
+        }
+    }
+
+    /// Arms the missed-heartbeat timer for a newly dark node, anchored on
+    /// the last heartbeat the master actually received — which is what
+    /// bounds detection lag by `timeout + one heartbeat interval`.
+    fn schedule_suspicion(&mut self, node: NodeId, now: SimTime) {
+        let idx = node.0 as usize;
+        let interval = self.config.heartbeat_interval;
+        let missed = self.config.detector.missed_heartbeats;
+        let at = (self.last_heartbeat[idx] + interval.mul_f64(f64::from(missed))).max(now);
+        self.queue.schedule(
+            at,
+            Event::Detector {
+                node,
+                epoch: self.suspect_epoch[idx],
+                confirm: false,
+            },
+        );
+    }
+
+    fn handle_detector(&mut self, node: NodeId, epoch: u64, confirm: bool, now: SimTime) {
+        let idx = node.0 as usize;
+        if self.suspect_epoch.get(idx) != Some(&epoch) || self.link[idx] == LinkState::Up {
+            return; // stale timer: the link state changed since it was armed
+        }
+        if confirm {
+            self.confirm_failure(node, now);
+            return;
+        }
+        self.fault_stats.nodes_suspected += 1;
+        if self.tracing() {
+            self.trace_event(
+                now,
+                TraceKind::NodeSuspected,
+                JobId(0),
+                None,
+                Some(node),
+                format!(
+                    "{} missed heartbeats",
+                    self.config.detector.missed_heartbeats
+                ),
+            );
+        }
+        let grace = self.config.detector.confirmation_grace;
+        if grace == SimDuration::ZERO {
+            self.confirm_failure(node, now);
+        } else {
+            self.queue.schedule(
+                now + grace,
+                Event::Detector {
+                    node,
+                    epoch,
+                    confirm: true,
+                },
+            );
+        }
+    }
+
+    /// The detector gives up on a node: record the detection lag and run the
+    /// teardown the fault deferred.
+    fn confirm_failure(&mut self, node: NodeId, now: SimTime) {
+        let idx = node.0 as usize;
+        let since = match self.link[idx] {
+            LinkState::Up => return,
+            LinkState::Silent { since } | LinkState::Partitioned { since } => since,
+        };
+        let lag = (now - since).as_secs_f64();
+        self.fault_stats.failures_detected += 1;
+        self.fault_stats.detection_lag_secs_sum += lag;
+        self.fault_stats.detection_lag_secs_max = self.fault_stats.detection_lag_secs_max.max(lag);
+        match self.link[idx] {
+            LinkState::Silent { .. } => {
+                self.link[idx] = LinkState::Up;
+                self.suspect_epoch[idx] += 1;
+                self.fail_node(node, now, false);
+            }
+            LinkState::Partitioned { .. } => {
+                // The node stays partitioned — it is alive out there — but
+                // the master tears down its view of it.
+                self.teardown_partitioned(node, now);
+            }
+            LinkState::Up => unreachable!("matched above"),
+        }
+    }
+
+    /// A rejoining node that was still under (unconfirmed) silence: the
+    /// reconnect itself reveals the outage. Record the detection lag and run
+    /// the deferred teardown so the revive starts from a clean slate.
+    fn resolve_silent_rejoin(&mut self, node: NodeId, now: SimTime) {
+        let idx = node.0 as usize;
+        let Some(&LinkState::Silent { since }) = self.link.get(idx) else {
+            return;
+        };
+        self.link[idx] = LinkState::Up;
+        self.suspect_epoch[idx] += 1;
+        if !self.trackers[idx].is_alive() {
+            // Already torn down node-side (a partition victim that died after
+            // the master confirmed the partition): nothing new to observe.
+            return;
+        }
+        let lag = (now - since).as_secs_f64();
+        self.fault_stats.failures_detected += 1;
+        self.fault_stats.detection_lag_secs_sum += lag;
+        self.fault_stats.detection_lag_secs_max = self.fault_stats.detection_lag_secs_max.max(lag);
+        self.fail_node(node, now, false);
+    }
+
+    /// Cuts a node off from the master. It keeps executing — completions
+    /// buffer for the heal — while the detector (if on) counts down toward
+    /// tearing it down.
+    fn partition_node(&mut self, node: NodeId, now: SimTime) {
+        let idx = node.0 as usize;
+        let Some(tt) = self.trackers.get(idx) else {
+            return;
+        };
+        if !tt.is_alive() || self.link[idx] != LinkState::Up {
+            return; // dead, dark, or already partitioned
+        }
+        self.link[idx] = LinkState::Partitioned { since: now };
+        self.suspect_epoch[idx] += 1;
+        self.fault_stats.partitions += 1;
+        if self.config.detector.enabled {
+            self.schedule_suspicion(node, now);
+        }
+        if self.tracing() {
+            self.trace_event(
+                now,
+                TraceKind::NodePartitioned,
+                JobId(0),
+                None,
+                Some(node),
+                "",
+            );
+        }
+    }
+
+    /// The master gives up on a partitioned node: every attempt it knows of
+    /// there is resolved as lost, the node's capacity disappears from the
+    /// scheduler views, its map outputs are declared gone and its blocks
+    /// re-replicated — exactly a crash, except the node itself keeps running
+    /// toward the heal and `node_failures` stays untouched (the partition
+    /// counter family tracks it instead).
+    fn teardown_partitioned(&mut self, node: NodeId, now: SimTime) {
+        let idx = node.0 as usize;
+        // Synthesize the master-side view of the teardown. `segment_event`
+        // stays `None`: the attempts really are still running out there, and
+        // their node-side phase events keep firing toward the heal.
+        let failed: Vec<FailedAttempt> = self.trackers[idx]
+            .attempts()
+            .map(|a| FailedAttempt {
+                id: a.id,
+                state: a.state,
+                invested: a.invested_time(now),
+                segment_event: None,
+            })
+            .collect();
+        self.trackers[idx].set_reachable(false);
+        self.mark_node_dirty(node);
+        if let Some(cmds) = self.pending_cmds.get_mut(idx) {
+            cmds.clear();
+        }
+        for f in failed {
+            self.resolve_failed_attempt(f, now);
+        }
+        self.lose_map_outputs(node, now);
+        let rack = RackId(self.node_rack[idx]);
+        self.reliability.record_failure(node, rack, now);
+        let affected = self.namenode.decommission(node);
+        let repair = self.namenode.re_replicate(&affected, false, &mut self.rng);
+        self.fault_stats.re_replicated_blocks += repair.re_replicated;
+        self.fault_stats.lost_blocks += repair.lost_blocks;
+        if self.tracing() {
+            self.trace_event(
+                now,
+                TraceKind::NodeFailed,
+                JobId(0),
+                None,
+                Some(node),
+                "partition confirmed; node torn down",
+            );
+        }
+    }
+
+    /// Reconnects a partitioned node. Completions it finished behind the
+    /// partition reconcile first-commit-wins; if the master had torn it
+    /// down, its capacity and replicas return to service.
+    fn heal_partition(&mut self, node: NodeId, now: SimTime) {
+        let idx = node.0 as usize;
+        let Some(&LinkState::Partitioned { .. }) = self.link.get(idx) else {
+            // Never partitioned — or the node died behind the partition
+            // (now `Silent`): the pending timer or its rejoin resolves that
+            // death, not the heal.
+            return;
+        };
+        self.link[idx] = LinkState::Up;
+        self.suspect_epoch[idx] += 1;
+        self.fault_stats.partition_heals += 1;
+        let torn_down = !self.trackers[idx].is_reachable();
+        if torn_down {
+            self.trackers[idx].set_reachable(true);
+            self.namenode.rejoin(node);
+        }
+        // Reconcile in completion order: the first committed attempt of a
+        // task wins, later ones are discarded.
+        let buffered = std::mem::take(&mut self.partition_buffer[idx]);
+        for attempt in buffered {
+            self.reconcile_completion(attempt, node, now);
+        }
+        if torn_down {
+            // Suspended orphans hold no slot and nothing will ever resume
+            // them (the master re-ran their tasks at teardown); running
+            // orphans keep going — they may still win first-commit-wins.
+            let suspended: Vec<AttemptId> = self.trackers[idx].suspended_attempts().collect();
+            for a in suspended {
+                let _ = self.trackers[idx].kill(a, now);
+            }
+        }
+        self.mark_node_dirty(node);
+        self.last_heartbeat[idx] = now;
+        if self.tracing() {
+            self.trace_event(
+                now,
+                TraceKind::PartitionHealed,
+                JobId(0),
+                None,
+                Some(node),
+                "",
+            );
+        }
+        // The node reconnects: an immediate heartbeat reintroduces it to the
+        // scheduler.
+        self.queue.schedule(now, Event::Heartbeat { node });
+    }
+
+    /// Slows a node down without killing it: new launches there stretch by
+    /// the disk multiplier (work, finalize) and the net multiplier (shuffle,
+    /// re-fetch backoff). Feeds the reliability predictor at half a crash's
+    /// weight.
+    fn degrade_node(&mut self, node: NodeId, slow_disk: f64, slow_net: f64, now: SimTime) {
+        let idx = node.0 as usize;
+        let Some(tt) = self.trackers.get(idx) else {
+            return;
+        };
+        if !tt.is_alive() {
+            return;
+        }
+        self.gray[idx] = (slow_disk.max(1.0), slow_net.max(1.0));
+        self.fault_stats.gray_failures += 1;
+        self.reliability.record_degraded(node, now);
+        if self.tracing() {
+            self.trace_event(
+                now,
+                TraceKind::NodeDegraded,
+                JobId(0),
+                None,
+                Some(node),
+                format!("disk x{slow_disk:.1}, net x{slow_net:.1}"),
+            );
+        }
+    }
+
+    /// Stretches a freshly built [`ExecPlan`] by the node's gray-failure
+    /// multipliers: a slow disk stretches the I/O-bound segments (work,
+    /// finalize), a slow NIC stretches the shuffle copy. Healthy nodes pass
+    /// through untouched — the `!= 1.0` guards also keep the default path
+    /// byte-identical (an f64 round-trip of the micros is never taken).
+    fn apply_gray_stretch(&self, mut plan: ExecPlan, node: NodeId) -> ExecPlan {
+        let (slow_disk, slow_net) = self
+            .gray
+            .get(node.0 as usize)
+            .copied()
+            .unwrap_or((1.0, 1.0));
+        if slow_disk != 1.0 {
+            plan.work = plan.work.mul_f64(slow_disk);
+            plan.finalize = plan.finalize.mul_f64(slow_disk);
+        }
+        if slow_net != 1.0 {
+            plan.shuffle = plan.shuffle.mul_f64(slow_net);
+        }
+        plan
+    }
+
+    /// Restores a gray-failed node to full speed (new launches only;
+    /// attempts planned while degraded keep their stretched plans).
+    fn heal_degradation(&mut self, node: NodeId, now: SimTime) {
+        let idx = node.0 as usize;
+        if self.gray.get(idx).copied().unwrap_or((1.0, 1.0)) == (1.0, 1.0) {
+            return;
+        }
+        self.gray[idx] = (1.0, 1.0);
+        self.fault_stats.gray_heals += 1;
+        if self.tracing() {
+            self.trace_event(
+                now,
+                TraceKind::DegradationHealed,
+                JobId(0),
+                None,
+                Some(node),
+                "",
+            );
+        }
+    }
+
     /// Returns a failed node to service with empty disks and all slots free.
     /// A *churn* rejoin only revives a node whose current outage was caused
     /// by a churn kill — never one a scripted kill, rack outage or
@@ -1202,6 +1692,10 @@ impl Cluster {
         {
             return;
         }
+        // Under the failure detector a dead node may still be *silent* —
+        // never confirmed. Its reconnect is itself the detection: resolve the
+        // deferred teardown first, then revive from that clean slate.
+        self.resolve_silent_rejoin(node, now);
         {
             let Some(tt) = self.tracker_mut(node) else {
                 return;
@@ -1212,6 +1706,7 @@ impl Cluster {
             tt.revive();
         }
         self.churn_down[node.0 as usize] = false;
+        self.last_heartbeat[node.0 as usize] = now;
         self.namenode.rejoin(node);
         self.mark_node_dirty(node);
         self.fault_stats.node_rejoins += 1;
@@ -1354,6 +1849,13 @@ impl Cluster {
         if !self.trackers[node_idx].is_alive() {
             return;
         }
+        // A silent or partitioned node's heartbeats never arrive; the
+        // detector timer (if armed) counts down against the last one that
+        // did.
+        if self.link[node_idx] != LinkState::Up {
+            return;
+        }
+        self.last_heartbeat[node_idx] = now;
 
         // 1. Refresh reported progress for tasks on this node (reusable
         //    buffer: no per-heartbeat allocation).
@@ -1361,11 +1863,18 @@ impl Cluster {
         buf.clear();
         for a in self.trackers[node_idx].attempts() {
             if matches!(a.state, AttemptState::Running | AttemptState::Suspended) {
-                buf.push((a.task, a.progress(now)));
+                buf.push((a.id, a.task, a.progress(now)));
             }
         }
-        for &(task, progress) in &buf {
+        for &(attempt, task, progress) in &buf {
             if let Some(t) = self.task_mut(task) {
+                // Only attempts the JobTracker still tracks may report: an
+                // orphan left running on a healed partition victim must not
+                // overwrite the progress of a task that already succeeded
+                // (or re-ran) elsewhere.
+                if t.current_attempt != Some(attempt) && t.spec_attempt != Some(attempt) {
+                    continue;
+                }
                 // With a live backup attempt the task's progress is the best
                 // of the two attempts, whichever node reports it.
                 if t.spec_attempt.is_some() {
@@ -1675,11 +2184,16 @@ impl Cluster {
                         a.shuffle_retries = r.saturating_add(1);
                         r
                     };
-                    let wait = SimDuration::from_secs_f64(
+                    let mut wait = SimDuration::from_secs_f64(
                         (cfg.fetch_retry_base.as_secs_f64()
                             * cfg.fetch_retry_backoff.powi(retries.min(63) as i32))
                         .min(cfg.fetch_retry_cap.as_secs_f64()),
                     );
+                    // A gray-failed NIC stretches every re-fetch round too.
+                    let slow_net = self.gray[node.0 as usize].1;
+                    if slow_net != 1.0 {
+                        wait = wait.mul_f64(slow_net);
+                    }
                     let event = self.queue.schedule(
                         now + wait,
                         Event::PhaseDone {
@@ -1778,6 +2292,24 @@ impl Cluster {
 
     fn complete_attempt(&mut self, node: NodeId, attempt_id: AttemptId, now: SimTime) {
         let task = attempt_id.task;
+        let idx = node.0 as usize;
+        // Behind a partition the node finishes work the master cannot see:
+        // the completion buffers until the heal reconciles it.
+        if matches!(self.link.get(idx), Some(LinkState::Partitioned { .. })) {
+            self.partition_buffer[idx].push(attempt_id);
+            return;
+        }
+        // An attempt the JobTracker no longer tracks (its task was re-run
+        // after a partition teardown) completing on a healed node goes
+        // through first-commit-wins reconciliation instead.
+        let orphan = match self.task(task) {
+            None => true,
+            Some(t) => t.current_attempt != Some(attempt_id) && t.spec_attempt != Some(attempt_id),
+        };
+        if orphan {
+            self.reconcile_completion(attempt_id, node, now);
+            return;
+        }
         let Some(tt) = self.tracker_mut(node) else {
             return;
         };
@@ -1844,6 +2376,13 @@ impl Cluster {
             "",
         );
 
+        self.after_task_success(task, node, now);
+    }
+
+    /// The shared tail of a task success — job-completion bookkeeping plus
+    /// the scheduler hooks. Used by the normal commit path and by
+    /// reconciled commits after a partition heal.
+    fn after_task_success(&mut self, task: TaskId, node: NodeId, now: SimTime) {
         // Job completion check.
         let job_complete = self
             .jobs
@@ -1898,6 +2437,110 @@ impl Cluster {
         }
         self.apply_actions(actions, now);
         self.schedule_out_of_band_heartbeat(node, now);
+    }
+
+    /// First-commit-wins reconciliation of a completion the master did not
+    /// witness live: either buffered behind a partition and drained at the
+    /// heal, or finished by an orphaned attempt the teardown already wrote
+    /// off. Exactly one commit per task ever happens — if the task already
+    /// succeeded elsewhere (or its job retired), this completion is
+    /// discarded and only frees the node-side slot.
+    fn reconcile_completion(&mut self, attempt_id: AttemptId, node: NodeId, now: SimTime) {
+        let task = attempt_id.task;
+        let job_retired = self
+            .jobs
+            .get(&task.job)
+            .map(|j| j.completed_at.is_some())
+            .unwrap_or(true);
+        let task_state = self.task(task).map(|t| t.state);
+        let already_succeeded = task_state == Some(TaskState::Succeeded);
+        if job_retired || already_succeeded || task_state.is_none() {
+            // Discard: someone else committed first (or the job is gone).
+            // The duplicate-commit tripwire in FaultStats stays at zero
+            // because this path never touches task state.
+            if let Some(tt) = self.tracker_mut(node) {
+                let _ = tt.complete(attempt_id, now);
+            }
+            self.mark_node_dirty(node);
+            self.fault_stats.reconciled_discards += 1;
+            if self.tracing() {
+                self.trace_event(
+                    now,
+                    TraceKind::Killed,
+                    task.job,
+                    Some(task),
+                    Some(node),
+                    "stale completion discarded at heal",
+                );
+            }
+            return;
+        }
+        // Commit: this attempt is the first finisher. Kill whatever
+        // re-execution the teardown started — first commit wins.
+        let (current, spec) = {
+            let Some(t) = self.task(task) else { return };
+            (
+                t.current_attempt.zip(t.node),
+                t.spec_attempt.zip(t.spec_node),
+            )
+        };
+        if let Some((a, n)) = current {
+            if a != attempt_id {
+                self.kill_sibling_attempt(a, n, now);
+            }
+        }
+        if let Some((a, n)) = spec {
+            if a != attempt_id {
+                self.kill_sibling_attempt(a, n, now);
+            }
+        }
+        self.clear_speculation_fields(task);
+        self.unarm_triggers(task);
+        let output_bytes = self
+            .tracker(node)
+            .and_then(|tt| tt.attempt(attempt_id))
+            .map(|a| a.plan.output_bytes)
+            .unwrap_or(0);
+        let outcome = {
+            let Some(tt) = self.tracker_mut(node) else {
+                return;
+            };
+            match tt.complete(attempt_id, now) {
+                Ok(o) => o,
+                Err(_) => return,
+            }
+        };
+        self.mark_node_dirty(node);
+        // Tripwire, not control flow: if the task somehow reached Succeeded
+        // between the routing check above and here, committing again would
+        // be a double commit. The bench quality gate asserts this is zero.
+        if self.task(task).map(|t| t.state) == Some(TaskState::Succeeded) {
+            self.fault_stats.duplicate_commits += 1;
+        }
+        self.fault_stats.reconciled_commits += 1;
+        self.force_task_state(task, TaskState::Succeeded);
+        if let Some(t) = self.task_mut(task) {
+            t.progress = 1.0;
+            t.finished_at = Some(now);
+            t.current_attempt = None;
+            t.node = Some(node);
+            t.paged_out_bytes += outcome.paged_out_bytes;
+            t.paged_in_bytes += outcome.paged_in_bytes;
+        }
+        if task.kind == TaskKind::Map && self.shuffle.tracked(task.job) {
+            let rack = RackId(self.node_rack[node.0 as usize]);
+            self.shuffle
+                .record_map_output(task.job, task.index as usize, node, rack, output_bytes);
+        }
+        self.trace_event(
+            now,
+            TraceKind::Completed,
+            task.job,
+            Some(task),
+            Some(node),
+            "reconciled",
+        );
+        self.after_task_success(task, node, now);
     }
 
     /// Handles a task whose process was sacrificed by the OOM killer while
@@ -2078,6 +2721,11 @@ impl Cluster {
     }
 
     fn launch_task(&mut self, task: TaskId, node: NodeId, now: SimTime) {
+        // A dark node cannot receive a launch: the scheduler's view of it is
+        // stale until the detector tears it down or the link heals.
+        if self.link.get(node.0 as usize) != Some(&LinkState::Up) {
+            return;
+        }
         // Build the execution plan from borrowed state: no clones of the
         // profile, the preferred-node list or the disk config on this path.
         let (plan, locality) = {
@@ -2121,6 +2769,7 @@ impl Cluster {
             };
             (plan, locality)
         };
+        let plan = self.apply_gray_stretch(plan, node);
         let attempt_id = {
             let Some(t) = self.task_mut(task) else { return };
             t.next_attempt()
@@ -2194,6 +2843,9 @@ impl Cluster {
     /// tracked through [`TaskRuntime::spec_attempt`] and the first attempt to
     /// finish wins.
     fn launch_speculative(&mut self, task: TaskId, node: NodeId, now: SimTime) {
+        if self.link.get(node.0 as usize) != Some(&LinkState::Up) {
+            return;
+        }
         let plan = {
             let Some(job) = self.jobs.get(&task.job) else {
                 return;
@@ -2242,6 +2894,7 @@ impl Cluster {
                 }
             }
         };
+        let plan = self.apply_gray_stretch(plan, node);
         let attempt_id = {
             let Some(t) = self.task_mut(task) else { return };
             t.next_attempt()
@@ -2423,6 +3076,11 @@ fn fill_view(view: &mut NodeView, tt: &TaskTracker) {
     view.free_reduce_slots = tt.free_reduce_slots();
     view.running.clear();
     view.suspended.clear();
+    if !tt.is_reachable() {
+        // A torn-down partition victim advertises nothing: its attempts are
+        // written off master-side even though they still run node-side.
+        return;
+    }
     for a in tt.attempts() {
         match a.state {
             AttemptState::Running => view.running.push(a.task),
@@ -2848,6 +3506,202 @@ mod tests {
             0.0,
             "an operator action is not evidence of flakiness"
         );
+    }
+
+    #[test]
+    fn detector_defers_kill_until_missed_heartbeat_timeout() {
+        // Detector on, node 1 killed at t=30. Heartbeats come every 3s and
+        // suspicion needs 3 missed ones, so the master keeps believing in
+        // the dead node — slots occupied, no teardown — until the timeout
+        // anchored on the last delivered heartbeat expires.
+        let mut cfg = ClusterConfig::small_cluster(2, 1, 1);
+        cfg.detector = crate::config::DetectorConfig::enabled();
+        cfg.faults.events.push(crate::config::FaultEvent {
+            at: SimTime::from_secs(30),
+            kind: crate::config::FaultKind::Kill { node: NodeId(1) },
+        });
+        let timeout = cfg.detector.timeout(cfg.heartbeat_interval);
+        let interval = cfg.heartbeat_interval;
+        let mut c = Cluster::new(cfg, Box::new(FifoScheduler::new()));
+        c.create_input_file("/in", 512 * MIB).unwrap();
+        c.submit_job(JobSpec::map_only("late-news", "/in"));
+        c.run(SimTime::from_secs(3_600));
+        let report = c.report();
+        assert!(report.all_jobs_complete(), "{:?}", report.faults);
+        assert_eq!(report.faults.nodes_suspected, 1);
+        assert_eq!(report.faults.failures_detected, 1);
+        assert_eq!(report.faults.node_failures, 1);
+        let suspected_at = c
+            .trace()
+            .iter()
+            .find(|e| e.kind == TraceKind::NodeSuspected)
+            .map(|e| e.at)
+            .expect("suspicion trace");
+        let failed_at = c
+            .trace()
+            .iter()
+            .find(|e| e.kind == TraceKind::NodeFailed)
+            .map(|e| e.at)
+            .expect("teardown trace");
+        // Zero confirmation grace: suspicion is confirmation.
+        assert_eq!(suspected_at, failed_at);
+        let killed_at = SimTime::from_secs(30);
+        assert!(
+            failed_at > killed_at,
+            "the kill must be observed strictly after it struck"
+        );
+        assert!(
+            failed_at <= killed_at + timeout,
+            "detection lag is bounded by the timeout: failed at {failed_at:?}"
+        );
+        // The last heartbeat landed at most one interval before the kill.
+        assert!(failed_at >= killed_at + timeout.saturating_sub(interval));
+        let lag = report.faults.detection_lag_secs_max;
+        assert!(
+            (lag - (failed_at - killed_at).as_secs_f64()).abs() < 1e-9,
+            "lag accounting matches the trace: {lag}"
+        );
+        assert!(report.faults.detection_lag_secs_sum >= lag);
+    }
+
+    #[test]
+    fn healed_partition_recontributes_work_without_duplicate_commits() {
+        // Node 3 is cut off at t=30 with the detector on: the master tears
+        // it down after the timeout and re-runs its work, while the node
+        // keeps executing behind the partition. The heal at t=60 drains its
+        // buffered completions through first-commit-wins reconciliation.
+        let mut cfg = ClusterConfig::racked_cluster(2, 2, 1, 1);
+        cfg.detector = crate::config::DetectorConfig::enabled();
+        cfg.shuffle = crate::config::ShuffleConfig::fault_tolerant();
+        cfg.faults.events.push(crate::config::FaultEvent {
+            at: SimTime::from_secs(30),
+            kind: crate::config::FaultKind::Partition { node: NodeId(3) },
+        });
+        cfg.faults.events.push(crate::config::FaultEvent {
+            at: SimTime::from_secs(60),
+            kind: crate::config::FaultKind::PartitionHeal { node: NodeId(3) },
+        });
+        let mut c = Cluster::new(cfg, Box::new(FifoScheduler::new()));
+        c.submit_job(JobSpec::synthetic("split-brain", 12, 128 * MIB));
+        c.run(SimTime::from_secs(3_600));
+        let report = c.report();
+        assert!(report.all_jobs_complete(), "{:?}", report.faults);
+        assert_eq!(report.faults.partitions, 1);
+        assert_eq!(report.faults.partition_heals, 1);
+        // A partition teardown is not a crash.
+        assert_eq!(report.faults.node_failures, 0);
+        assert_eq!(report.faults.nodes_suspected, 1);
+        assert_eq!(report.faults.failures_detected, 1);
+        // The node was mid-task when cut off, so the heal reconciles at
+        // least one completion (commit or discard) — and never commits any
+        // task twice.
+        assert!(
+            report.faults.reconciled_commits + report.faults.reconciled_discards >= 1,
+            "{:?}",
+            report.faults
+        );
+        assert_eq!(report.faults.duplicate_commits, 0);
+        assert!(c.node_is_alive(NodeId(3)));
+        for task in &report.jobs[0].tasks {
+            assert!((task.progress - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn partition_healed_before_timeout_never_penalizes_the_node() {
+        // The heal lands before the suspicion timer fires: the master never
+        // learns anything was wrong, so no teardown, no detection, and —
+        // the satellite pin — no reliability-score penalty.
+        let mut cfg = ClusterConfig::racked_cluster(2, 2, 1, 1);
+        cfg.detector = crate::config::DetectorConfig::enabled();
+        cfg.reliability = crate::config::ReliabilityConfig::predictive();
+        cfg.faults.events.push(crate::config::FaultEvent {
+            at: SimTime::from_secs(10),
+            kind: crate::config::FaultKind::Partition { node: NodeId(1) },
+        });
+        cfg.faults.events.push(crate::config::FaultEvent {
+            at: SimTime::from_secs(12),
+            kind: crate::config::FaultKind::PartitionHeal { node: NodeId(1) },
+        });
+        let mut c = Cluster::new(cfg, Box::new(FifoScheduler::new()));
+        c.submit_job(JobSpec::synthetic("blip", 8, 128 * MIB));
+        c.run(SimTime::from_secs(3_600));
+        let report = c.report();
+        assert!(report.all_jobs_complete(), "{:?}", report.faults);
+        assert_eq!(report.faults.partitions, 1);
+        assert_eq!(report.faults.partition_heals, 1);
+        assert_eq!(report.faults.nodes_suspected, 0, "timer went stale");
+        assert_eq!(report.faults.failures_detected, 0);
+        assert_eq!(report.faults.node_failures, 0);
+        assert_eq!(report.faults.duplicate_commits, 0);
+        assert_eq!(
+            c.reliability_tracker()
+                .score(NodeId(1), RackId(0), SimTime::from_secs(13)),
+            0.0,
+            "a heal before the timeout leaves the failure score untouched"
+        );
+    }
+
+    #[test]
+    fn gray_failure_stretches_new_launches_and_heals() {
+        // A slow disk triples the I/O-bound segments of everything node 1
+        // launches while degraded — no crash, no teardown, just a straggler.
+        let run = |gray: bool| {
+            let mut cfg = ClusterConfig::small_cluster(2, 1, 1);
+            cfg.reliability = crate::config::ReliabilityConfig::predictive();
+            if gray {
+                cfg.faults.events.push(crate::config::FaultEvent {
+                    at: SimTime::from_secs(5),
+                    kind: crate::config::FaultKind::Gray {
+                        node: NodeId(1),
+                        slow_disk: 3.0,
+                        slow_net: 1.0,
+                    },
+                });
+            }
+            let mut c = Cluster::new(cfg, Box::new(FifoScheduler::new()));
+            c.submit_job(JobSpec::synthetic("sick-disk", 8, 128 * MIB));
+            c.run(SimTime::from_secs(24 * 3_600));
+            c
+        };
+        let healthy = run(false).report();
+        let gray = run(true);
+        let report = gray.report();
+        assert!(report.all_jobs_complete());
+        assert_eq!(report.faults.gray_failures, 1);
+        assert_eq!(report.faults.node_failures, 0);
+        assert!(
+            report.makespan_secs().unwrap() > healthy.makespan_secs().unwrap(),
+            "a degraded node must slow the job down: {} vs {}",
+            report.makespan_secs().unwrap(),
+            healthy.makespan_secs().unwrap()
+        );
+        assert!(
+            gray.reliability_tracker()
+                .score(NodeId(1), RackId(0), SimTime::from_secs(6))
+                > 0.0,
+            "gray failures feed the placement predictor"
+        );
+        // A heal restores full speed for later launches.
+        let mut cfg = ClusterConfig::small_cluster(2, 1, 1);
+        cfg.faults.events.push(crate::config::FaultEvent {
+            at: SimTime::from_secs(5),
+            kind: crate::config::FaultKind::Gray {
+                node: NodeId(1),
+                slow_disk: 3.0,
+                slow_net: 2.0,
+            },
+        });
+        cfg.faults.events.push(crate::config::FaultEvent {
+            at: SimTime::from_secs(6),
+            kind: crate::config::FaultKind::GrayHeal { node: NodeId(1) },
+        });
+        let mut c = Cluster::new(cfg, Box::new(FifoScheduler::new()));
+        c.submit_job(JobSpec::synthetic("recovered", 8, 128 * MIB));
+        c.run(SimTime::from_secs(24 * 3_600));
+        let healed = c.report();
+        assert!(healed.all_jobs_complete());
+        assert_eq!(healed.faults.gray_heals, 1);
     }
 
     #[test]

@@ -111,7 +111,43 @@ pub enum RefreshMode {
 }
 
 /// What happens to a node (or a whole rack) at a scripted fault time.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Beyond the clean crash/decommission/rejoin events, two *ambiguous* fault
+/// families model what failure traces show dominates real clusters: network
+/// partitions (the node is fine but unreachable — the master can only
+/// suspect it, and on heal the node's locally completed work is reconciled
+/// first-commit-wins) and gray failures (the node answers heartbeats but its
+/// disk or network crawls, so nothing crashes and only stragglers betray it).
+///
+/// ```
+/// use mrp_engine::{ClusterConfig, DetectorConfig, FaultEvent, FaultKind, NodeId};
+/// use mrp_sim::SimTime;
+///
+/// let mut cfg = ClusterConfig::racked_cluster(2, 4, 2, 1);
+/// cfg.detector = DetectorConfig::enabled();
+/// // Cut node 3 off the network for a minute: it keeps executing, the
+/// // detector tears it down after the heartbeat timeout, and the heal
+/// // reconciles whatever it finished in the meantime.
+/// cfg.faults.events.push(FaultEvent {
+///     at: SimTime::from_secs(30),
+///     kind: FaultKind::Partition { node: NodeId(3) },
+/// });
+/// cfg.faults.events.push(FaultEvent {
+///     at: SimTime::from_secs(90),
+///     kind: FaultKind::PartitionHeal { node: NodeId(3) },
+/// });
+/// // And give node 5 a sick disk: everything it runs stretches 3x.
+/// cfg.faults.events.push(FaultEvent {
+///     at: SimTime::from_secs(10),
+///     kind: FaultKind::Gray { node: NodeId(5), slow_disk: 3.0, slow_net: 1.5 },
+/// });
+/// cfg.faults.events.push(FaultEvent {
+///     at: SimTime::from_secs(300),
+///     kind: FaultKind::GrayHeal { node: NodeId(5) },
+/// });
+/// assert!(cfg.validate().is_ok());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub enum FaultKind {
     /// Abrupt node crash: every running attempt dies, every suspended
     /// attempt's swapped-out state is lost (the paper's key cost under
@@ -142,6 +178,51 @@ pub enum FaultKind {
     RackRejoin {
         /// The rack rejoining.
         rack: RackId,
+    },
+    /// The node is cut off from the network but keeps executing: its
+    /// heartbeats stop, the failure detector (when enabled) suspects and
+    /// tears it down after the timeout, and work it completes behind the
+    /// partition is buffered for first-commit-wins reconciliation at heal.
+    Partition {
+        /// The node losing connectivity.
+        node: NodeId,
+    },
+    /// The node's partition heals: it reconnects, and any attempts it
+    /// finished while unreachable are committed unless a re-execution beat
+    /// them to it (never double-committing a task).
+    PartitionHeal {
+        /// The node reconnecting.
+        node: NodeId,
+    },
+    /// Every node of the rack is cut off at once (top-of-rack switch loss
+    /// without power loss): the rack-scoped [`FaultKind::Partition`].
+    RackPartition {
+        /// The rack losing connectivity.
+        rack: RackId,
+    },
+    /// Every node of the rack reconnects.
+    RackPartitionHeal {
+        /// The rack reconnecting.
+        rack: RackId,
+    },
+    /// Gray failure: the node stays up and heartbeating, but its local disk
+    /// and/or network degrade. Every attempt *launched* on it while degraded
+    /// has its work/finalize phases stretched by `slow_disk` and its shuffle
+    /// phase (and re-fetch backoff) by `slow_net` — no crash, only the
+    /// straggler-speculation and reliability-predictor paths can react.
+    Gray {
+        /// The afflicted node.
+        node: NodeId,
+        /// Multiplier (>= 1) on disk-bound phase durations.
+        slow_disk: f64,
+        /// Multiplier (>= 1) on network-bound phase durations.
+        slow_net: f64,
+    },
+    /// The node's gray failure clears; attempts launched afterwards run at
+    /// full speed (already-running ones keep their stretched plans).
+    GrayHeal {
+        /// The recovering node.
+        node: NodeId,
     },
 }
 
@@ -472,6 +553,79 @@ impl ReliabilityConfig {
     }
 }
 
+/// Suspicion-based failure-detection knobs: how long the master waits
+/// before believing a silent node is dead.
+///
+/// Default-off the master is omniscient, as in PR 3: a fault event and the
+/// scheduler's knowledge of it are simultaneous. With the detector enabled,
+/// a killed or partitioned node merely goes *silent*: its slots stay
+/// occupied in every scheduler view, nothing is re-executed, and only after
+/// [`DetectorConfig::missed_heartbeats`] heartbeat intervals without a sign
+/// of life (measured from the node's last delivered heartbeat, plus an
+/// optional [`DetectorConfig::confirmation_grace`] second look) does the
+/// teardown — attempt loss, map-output loss, block re-replication, the
+/// reliability penalty — actually run. Detection lag is recorded in
+/// [`FaultStats`](crate::metrics::FaultStats), because the window between
+/// fault and suspicion is exactly when suspended-to-disk state is silently
+/// at risk.
+///
+/// ```
+/// use mrp_engine::{ClusterConfig, DetectorConfig};
+/// use mrp_sim::SimDuration;
+///
+/// let mut cfg = ClusterConfig::racked_cluster(2, 4, 2, 1);
+/// cfg.detector = DetectorConfig::enabled();
+/// assert!(cfg.validate().is_ok());
+/// // Or tune the suspicion threshold directly: suspect after 5 missed
+/// // heartbeats, then confirm 2 seconds later.
+/// cfg.detector.missed_heartbeats = 5;
+/// cfg.detector.confirmation_grace = SimDuration::from_secs(2);
+/// assert!(cfg.validate().is_ok());
+/// // The worst-case observation lag is the timeout plus the grace period.
+/// assert_eq!(
+///     cfg.detector.timeout(cfg.heartbeat_interval),
+///     SimDuration::from_secs(17),
+/// );
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// Master switch (default off: faults are observed instantaneously).
+    pub enabled: bool,
+    /// Heartbeat intervals without a heartbeat before a node is suspected
+    /// (must be at least 1 while enabled).
+    pub missed_heartbeats: u32,
+    /// Extra wait between suspicion and confirmed teardown (a second-look
+    /// grace period; zero confirms immediately on suspicion).
+    pub confirmation_grace: SimDuration,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            enabled: false,
+            missed_heartbeats: 3,
+            confirmation_grace: SimDuration::ZERO,
+        }
+    }
+}
+
+impl DetectorConfig {
+    /// The detector switched on with the default Hadoop-like threshold
+    /// (3 missed heartbeats, no confirmation grace).
+    pub fn enabled() -> Self {
+        DetectorConfig {
+            enabled: true,
+            ..DetectorConfig::default()
+        }
+    }
+
+    /// The full suspicion-to-teardown timeout for a given heartbeat
+    /// interval: `missed_heartbeats * interval + confirmation_grace`.
+    pub fn timeout(&self, heartbeat_interval: SimDuration) -> SimDuration {
+        heartbeat_interval.mul_f64(f64::from(self.missed_heartbeats)) + self.confirmation_grace
+    }
+}
+
 /// Whole-cluster configuration.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ClusterConfig {
@@ -510,6 +664,9 @@ pub struct ClusterConfig {
     pub shuffle: ShuffleConfig,
     /// Node-reliability predictor knobs (default: off).
     pub reliability: ReliabilityConfig,
+    /// Suspicion-based failure-detection knobs (default: off — faults are
+    /// observed the instant they strike).
+    pub detector: DetectorConfig,
 }
 
 impl ClusterConfig {
@@ -543,6 +700,7 @@ impl ClusterConfig {
             delay: DelayConfig::default(),
             shuffle: ShuffleConfig::default(),
             reliability: ReliabilityConfig::default(),
+            detector: DetectorConfig::default(),
         }
     }
 
@@ -571,6 +729,7 @@ impl ClusterConfig {
             delay: DelayConfig::default(),
             shuffle: ShuffleConfig::default(),
             reliability: ReliabilityConfig::default(),
+            detector: DetectorConfig::default(),
         }
     }
 
@@ -656,14 +815,36 @@ impl ClusterConfig {
             match ev.kind {
                 FaultKind::Kill { node }
                 | FaultKind::Decommission { node }
-                | FaultKind::Rejoin { node } => {
+                | FaultKind::Rejoin { node }
+                | FaultKind::Partition { node }
+                | FaultKind::PartitionHeal { node }
+                | FaultKind::GrayHeal { node } => {
                     if !node_in_range(node) {
                         return Err(format!("fault event targets unknown node {node:?}"));
                     }
                 }
-                FaultKind::RackOutage { rack } | FaultKind::RackRejoin { rack } => {
+                FaultKind::RackOutage { rack }
+                | FaultKind::RackRejoin { rack }
+                | FaultKind::RackPartition { rack }
+                | FaultKind::RackPartitionHeal { rack } => {
                     if rack.0 >= self.racks {
                         return Err(format!("fault event targets unknown rack {rack:?}"));
+                    }
+                }
+                FaultKind::Gray {
+                    node,
+                    slow_disk,
+                    slow_net,
+                } => {
+                    if !node_in_range(node) {
+                        return Err(format!("fault event targets unknown node {node:?}"));
+                    }
+                    // NaN and sub-unit multipliers must fail these checks.
+                    if !(slow_disk >= 1.0 && slow_disk.is_finite()) {
+                        return Err("gray-failure slow_disk must be finite and at least 1".into());
+                    }
+                    if !(slow_net >= 1.0 && slow_net.is_finite()) {
+                        return Err("gray-failure slow_net must be finite and at least 1".into());
                     }
                 }
             }
@@ -725,6 +906,9 @@ impl ClusterConfig {
             if threshold <= 0.0 || threshold.is_nan() {
                 return Err("reliability flaky threshold must be positive".into());
             }
+        }
+        if self.detector.enabled && self.detector.missed_heartbeats == 0 {
+            return Err("failure detector must wait for at least one missed heartbeat".into());
         }
         Ok(())
     }
@@ -910,6 +1094,89 @@ mod tests {
         off.shuffle.cross_rack_penalty = 0.0;
         off.reliability.half_life_secs = 0.0;
         assert!(off.validate().is_ok());
+    }
+
+    #[test]
+    fn detector_partition_and_gray_validation() {
+        let mut c = ClusterConfig::racked_cluster(2, 2, 1, 1);
+        c.detector = DetectorConfig::enabled();
+        c.faults.events.push(FaultEvent {
+            at: SimTime::from_secs(10),
+            kind: FaultKind::Partition { node: NodeId(1) },
+        });
+        c.faults.events.push(FaultEvent {
+            at: SimTime::from_secs(40),
+            kind: FaultKind::PartitionHeal { node: NodeId(1) },
+        });
+        c.faults.events.push(FaultEvent {
+            at: SimTime::from_secs(5),
+            kind: FaultKind::RackPartition { rack: RackId(1) },
+        });
+        c.faults.events.push(FaultEvent {
+            at: SimTime::from_secs(25),
+            kind: FaultKind::RackPartitionHeal { rack: RackId(1) },
+        });
+        c.faults.events.push(FaultEvent {
+            at: SimTime::from_secs(15),
+            kind: FaultKind::Gray {
+                node: NodeId(2),
+                slow_disk: 2.0,
+                slow_net: 1.5,
+            },
+        });
+        c.faults.events.push(FaultEvent {
+            at: SimTime::from_secs(60),
+            kind: FaultKind::GrayHeal { node: NodeId(2) },
+        });
+        assert!(c.validate().is_ok());
+
+        let mut bad = c.clone();
+        bad.faults.events[0].kind = FaultKind::Partition { node: NodeId(9) };
+        assert!(bad.validate().is_err(), "out-of-range partition node");
+
+        let mut bad = c.clone();
+        bad.faults.events[2].kind = FaultKind::RackPartition { rack: RackId(7) };
+        assert!(bad.validate().is_err(), "out-of-range partition rack");
+
+        let mut bad = c.clone();
+        bad.faults.events[4].kind = FaultKind::Gray {
+            node: NodeId(2),
+            slow_disk: 0.5,
+            slow_net: 1.0,
+        };
+        assert!(bad.validate().is_err(), "sub-unit slow_disk");
+
+        let mut bad = c.clone();
+        bad.faults.events[4].kind = FaultKind::Gray {
+            node: NodeId(2),
+            slow_disk: 1.0,
+            slow_net: f64::NAN,
+        };
+        assert!(bad.validate().is_err(), "NaN slow_net");
+
+        let mut bad = c.clone();
+        bad.detector.missed_heartbeats = 0;
+        assert!(bad.validate().is_err(), "zero-heartbeat suspicion window");
+
+        // Off by default: invalid knobs are ignored while disabled.
+        let mut off = ClusterConfig::paper_single_node();
+        off.detector.missed_heartbeats = 0;
+        assert!(!off.detector.enabled);
+        assert!(off.validate().is_ok());
+    }
+
+    #[test]
+    fn detector_timeout_combines_threshold_and_grace() {
+        let mut d = DetectorConfig::enabled();
+        assert_eq!(
+            d.timeout(SimDuration::from_secs(3)),
+            SimDuration::from_secs(9)
+        );
+        d.confirmation_grace = SimDuration::from_secs(2);
+        assert_eq!(
+            d.timeout(SimDuration::from_secs(3)),
+            SimDuration::from_secs(11)
+        );
     }
 
     #[test]

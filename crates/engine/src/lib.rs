@@ -48,8 +48,9 @@ mod tasktracker;
 pub use attempt::{Attempt, AttemptPhase, AttemptState, ExecPlan};
 pub use cluster::Cluster;
 pub use config::{
-    ClusterConfig, DelayConfig, FaultEvent, FaultKind, FaultPlan, NodeConfig, RandomFaults,
-    RefreshMode, ReliabilityConfig, ShuffleConfig, SpeculationConfig, TaskDefaults, TraceLevel,
+    ClusterConfig, DelayConfig, DetectorConfig, FaultEvent, FaultKind, FaultPlan, NodeConfig,
+    RandomFaults, RefreshMode, ReliabilityConfig, ShuffleConfig, SpeculationConfig, TaskDefaults,
+    TraceLevel,
 };
 pub use delay::DelayScoreboard;
 pub use job::{

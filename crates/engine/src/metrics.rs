@@ -233,6 +233,34 @@ pub struct FaultStats {
     pub speculative_won: u64,
     /// Work thrown away killing speculation losers, in seconds.
     pub speculative_wasted_secs: f64,
+    /// Nodes the failure detector put under suspicion (missed-heartbeat
+    /// timeout fired). Zero when [`crate::DetectorConfig`] is off.
+    pub nodes_suspected: u64,
+    /// Suspicions confirmed dead: the master tore the node down. A heal that
+    /// beats the timeout never reaches this counter.
+    pub failures_detected: u64,
+    /// Sum over detected failures of the lag between the fault striking and
+    /// the master confirming it, in seconds.
+    pub detection_lag_secs_sum: f64,
+    /// Largest single detection lag observed, in seconds.
+    pub detection_lag_secs_max: f64,
+    /// Network partitions injected (rack partitions count each member).
+    pub partitions: u64,
+    /// Partitions healed (node reconnected to the master).
+    pub partition_heals: u64,
+    /// Task completions from a healed partition's buffer (or an orphaned
+    /// post-heal attempt) that won first-commit-wins and were committed.
+    pub reconciled_commits: u64,
+    /// Buffered/orphaned completions discarded at reconciliation because a
+    /// re-run already committed the task (or the job was retired).
+    pub reconciled_discards: u64,
+    /// Tasks committed twice. First-commit-wins reconciliation keeps this at
+    /// zero by construction; the bench quality gate asserts it.
+    pub duplicate_commits: u64,
+    /// Gray-failure (slow-disk / slow-net degradation) events injected.
+    pub gray_failures: u64,
+    /// Gray failures healed (node restored to full speed).
+    pub gray_heals: u64,
 }
 
 /// Per-node OS statistics at the end of a run.
@@ -345,6 +373,20 @@ pub enum TraceKind {
     /// A committed map's node-local output died with its node; the map goes
     /// back to `Pending` for re-execution.
     MapOutputLost,
+    /// The failure detector's missed-heartbeat timeout fired for a node; the
+    /// master now suspects it dead.
+    NodeSuspected,
+    /// A node was cut off from the master by a network partition (it keeps
+    /// executing, but heartbeats and completions no longer arrive).
+    NodePartitioned,
+    /// A partitioned node reconnected; buffered completions reconcile
+    /// first-commit-wins.
+    PartitionHealed,
+    /// A node entered gray failure: alive, heartbeating, but with its disk
+    /// and/or network slowed by the configured multipliers.
+    NodeDegraded,
+    /// A gray-failed node was restored to full speed.
+    DegradationHealed,
 }
 
 /// One entry of the run trace.

@@ -100,6 +100,21 @@ impl ReliabilityTracker {
         }
     }
 
+    /// Feeds one observed gray failure (slow disk / slow net, no crash) of
+    /// `node` into the scores at half the crash boost: a degraded node is a
+    /// placement risk, but a recoverable one. The rack score is untouched —
+    /// gray failures are node-local (a sick disk), not switch-wide.
+    pub(crate) fn record_degraded(&mut self, node: NodeId, now: SimTime) {
+        if !self.config.enabled {
+            return;
+        }
+        let hl = self.config.half_life_secs;
+        let boost = 0.5 * self.config.failure_boost;
+        if let Some(s) = self.nodes.get_mut(node.0 as usize) {
+            s.record(now, hl, boost);
+        }
+    }
+
     /// The node's combined flakiness estimate right now: its own decayed
     /// score plus `rack_weight` times its rack's.
     pub fn score(&self, node: NodeId, rack: RackId, now: SimTime) -> f64 {
@@ -178,6 +193,25 @@ mod tests {
         let s = t.score(NodeId(2), RackId(1), SimTime::from_secs(105));
         assert!(s > 0.9, "compounded score {s}");
         assert!(s < 1.0 + t.config.rack_weight + 1e-9);
+    }
+
+    #[test]
+    fn gray_failure_scores_half_a_crash_and_spares_the_rack() {
+        let mut t = tracker();
+        let now = SimTime::from_secs(100);
+        t.record_degraded(NodeId(1), now);
+        let gray = t.score(NodeId(1), RackId(0), now);
+        let mut c = tracker();
+        c.record_failure(NodeId(1), RackId(0), now);
+        let crash_node_only = 0.5; // failure_boost, node term alone
+        assert!((gray - crash_node_only / 2.0).abs() < 1e-9, "gray={gray}");
+        assert!(gray < c.score(NodeId(1), RackId(0), now));
+        // Rack siblings are untouched by a gray failure.
+        assert_eq!(t.score(NodeId(0), RackId(0), now), 0.0);
+        // Disabled tracker ignores it entirely.
+        let mut off = ReliabilityTracker::new(ReliabilityConfig::default(), 4, 2);
+        off.record_degraded(NodeId(1), now);
+        assert_eq!(off.score(NodeId(1), RackId(0), now), 0.0);
     }
 
     #[test]

@@ -122,6 +122,11 @@ pub struct TaskTracker {
     /// `fail` already freed every slot, so a stale release would corrupt the
     /// accounting of whatever runs after a rejoin.
     epoch: u64,
+    /// False while the master has torn the node down as a confirmed
+    /// partition victim: the node itself is alive — attempts keep running
+    /// toward the heal — but it advertises no capacity to the scheduler and
+    /// refuses launches until the partition heals.
+    reachable: bool,
 }
 
 impl TaskTracker {
@@ -138,6 +143,7 @@ impl TaskTracker {
             dirty: true,
             alive: true,
             epoch: 0,
+            reachable: true,
         }
     }
 
@@ -149,6 +155,18 @@ impl TaskTracker {
     /// Whether the node is in service.
     pub fn is_alive(&self) -> bool {
         self.alive
+    }
+
+    /// Whether the master can reach the node (see the `reachable` field; an
+    /// unreachable node is alive but torn down as a partition victim).
+    pub fn is_reachable(&self) -> bool {
+        self.reachable
+    }
+
+    /// Flips master-side reachability (confirmed partition teardown / heal).
+    pub fn set_reachable(&mut self, reachable: bool) {
+        self.reachable = reachable;
+        self.dirty = true;
     }
 
     /// Takes the node out of service (crash or decommission): every live
@@ -181,6 +199,7 @@ impl TaskTracker {
     /// survive for the end-of-run report).
     pub fn revive(&mut self) {
         self.alive = true;
+        self.reachable = true;
         self.dirty = true;
     }
 
@@ -195,17 +214,17 @@ impl TaskTracker {
         &self.kernel
     }
 
-    /// Free map slots (a dead node has none).
+    /// Free map slots (a dead or unreachable node has none).
     pub fn free_map_slots(&self) -> u32 {
-        if !self.alive {
+        if !self.alive || !self.reachable {
             return 0;
         }
         self.map_slots - self.used_map_slots
     }
 
-    /// Free reduce slots (a dead node has none).
+    /// Free reduce slots (a dead or unreachable node has none).
     pub fn free_reduce_slots(&self) -> u32 {
-        if !self.alive {
+        if !self.alive || !self.reachable {
             return 0;
         }
         self.reduce_slots - self.used_reduce_slots
@@ -298,7 +317,7 @@ impl TaskTracker {
         plan: ExecPlan,
         now: SimTime,
     ) -> Result<Pid, TrackerError> {
-        if !self.alive {
+        if !self.alive || !self.reachable {
             return Err(TrackerError::NoFreeSlot);
         }
         if self.attempts.contains_key(&id) {
@@ -799,6 +818,29 @@ mod tests {
         )
         .unwrap();
         assert_eq!(tt.free_map_slots(), 1);
+    }
+
+    #[test]
+    fn unreachable_tracker_hides_capacity_but_keeps_attempts_running() {
+        let mut tt = TaskTracker::new(NodeId(0), NodeOsConfig::default(), 2, 1);
+        tt.launch(attempt_id(0), TaskKind::Map, plan(0), SimTime::ZERO)
+            .unwrap();
+        tt.set_reachable(false);
+        assert!(tt.is_alive());
+        assert!(!tt.is_reachable());
+        // The scheduler sees no capacity and launches are refused...
+        assert_eq!(tt.free_map_slots(), 0);
+        assert_eq!(tt.free_reduce_slots(), 0);
+        assert_eq!(
+            tt.launch(attempt_id(1), TaskKind::Map, plan(0), SimTime::from_secs(1))
+                .unwrap_err(),
+            TrackerError::NoFreeSlot
+        );
+        // ...but the node-side attempt is still there, still running.
+        assert_eq!(tt.running_attempts().count(), 1);
+        tt.set_reachable(true);
+        assert_eq!(tt.free_map_slots(), 1);
+        assert_eq!(tt.free_reduce_slots(), 1);
     }
 
     #[test]

@@ -12,7 +12,8 @@
 //! the engine's [`FaultStats`].
 
 use mrp_engine::{
-    Cluster, ClusterConfig, ClusterReport, FaultPlan, RandomFaults, SpeculationConfig, TraceLevel,
+    Cluster, ClusterConfig, ClusterReport, DetectorConfig, FaultPlan, RandomFaults,
+    SpeculationConfig, TraceLevel,
 };
 use mrp_preempt::{EvictionPolicy, HfspScheduler, PreemptionPrimitive};
 use mrp_sim::{SimTime, MIB};
@@ -35,6 +36,9 @@ pub struct FaultScenarioConfig {
     pub faults: RandomFaults,
     /// Whether speculative re-execution is enabled.
     pub speculation: bool,
+    /// Failure-detection settings (default: disabled, faults observed
+    /// instantaneously — the pre-detector behaviour).
+    pub detector: DetectorConfig,
     /// Workload seed.
     pub seed: u64,
 }
@@ -62,6 +66,7 @@ impl FaultScenarioConfig {
                 seed: 0xFA11,
             },
             speculation: true,
+            detector: DetectorConfig::default(),
             seed: 0x5EED,
         }
     }
@@ -102,6 +107,7 @@ pub fn run_fault_scenario(config: &FaultScenarioConfig) -> FaultScenarioOutcome 
     if config.speculation {
         cfg.speculation = SpeculationConfig::enabled();
     }
+    cfg.detector = config.detector;
     let mut cluster = Cluster::new(
         cfg,
         Box::new(HfspScheduler::new(
@@ -143,6 +149,21 @@ pub fn speculation_ablation(
     (run_fault_scenario(&on), run_fault_scenario(&off))
 }
 
+/// Runs the scenario twice on the same seed — failure detector on (default
+/// threshold), then off — and returns `(with_detector, without)`. The
+/// detector side pays detection lag on every churn kill; comparing the two
+/// quantifies what suspicion-based detection costs under otherwise identical
+/// faults.
+pub fn detection_ablation(
+    config: &FaultScenarioConfig,
+) -> (FaultScenarioOutcome, FaultScenarioOutcome) {
+    let mut on = config.clone();
+    on.detector = DetectorConfig::enabled();
+    let mut off = config.clone();
+    off.detector = DetectorConfig::default();
+    (run_fault_scenario(&on), run_fault_scenario(&off))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,6 +178,19 @@ mod tests {
         assert!(faults.node_failures >= 1, "{faults:?}");
         assert!(faults.re_executed_tasks >= 1, "{faults:?}");
         assert!(a.sojourn_quantiles[0] <= a.sojourn_quantiles[3]);
+    }
+
+    #[test]
+    fn detection_ablation_pays_lag_only_on_the_detector_side() {
+        let (on, off) = detection_ablation(&FaultScenarioConfig::compact());
+        assert_eq!(off.report.faults.failures_detected, 0);
+        assert_eq!(off.report.faults.detection_lag_secs_max, 0.0);
+        let faults = on.report.faults;
+        assert!(faults.failures_detected >= 1, "{faults:?}");
+        assert!(faults.detection_lag_secs_max > 0.0, "{faults:?}");
+        assert_eq!(faults.duplicate_commits, 0);
+        // Every run still drains the workload.
+        assert!(on.report.all_jobs_complete());
     }
 
     #[test]

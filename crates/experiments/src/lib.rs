@@ -35,8 +35,8 @@ mod report;
 mod scenario;
 
 pub use faults::{
-    run_fault_scenario, sojourn_quantile, speculation_ablation, FaultScenarioConfig,
-    FaultScenarioOutcome,
+    detection_ablation, run_fault_scenario, sojourn_quantile, speculation_ablation,
+    FaultScenarioConfig, FaultScenarioOutcome,
 };
 pub use figures::{
     eviction_ablation, figure2, figure3, figure4, figure4_memory_points, natjam_comparison,

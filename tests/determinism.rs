@@ -11,8 +11,8 @@
 
 use hadoop_os_preempt::prelude::*;
 use mrp_engine::{
-    Cluster, FaultEvent, FaultKind, NodeId, RackId, RandomFaults, RefreshMode, ReliabilityConfig,
-    ShuffleConfig, SpeculationConfig,
+    Cluster, DetectorConfig, FaultEvent, FaultKind, NodeId, RackId, RandomFaults, RefreshMode,
+    ReliabilityConfig, ShuffleConfig, SpeculationConfig,
 };
 use mrp_experiments::run_once;
 use mrp_sim::{SimRng, SimTime};
@@ -447,6 +447,305 @@ fn sharded_and_full_refresh_match_under_shuffle_fault_paths() {
         assert_eq!(
             sharded, full,
             "sharded vs full refresh diverged under shuffle faults in case {case}"
+        );
+    }
+}
+
+/// Fixed-seed pinned outcome of the full robustness surface this PR adds:
+/// suspicion-based failure detection (3 missed heartbeats), a healable node
+/// partition, a healable rack partition, a gray-failed node (slow disk and
+/// NIC), a detector-deferred kill — on top of delay scheduling, speculation,
+/// fault-tolerant shuffle and the reliability predictor. Pins the exact
+/// event count, finish time and the new detector/partition counters so any
+/// change to suspicion timing, teardown order or heal reconciliation is
+/// caught immediately.
+fn detector_partition_cluster() -> Cluster {
+    let mut cfg = ClusterConfig::racked_cluster(3, 4, 1, 1).with_delay_intervals(1.0, 1.0);
+    cfg.trace_level = mrp_engine::TraceLevel::Off;
+    cfg.speculation = SpeculationConfig::enabled();
+    cfg.shuffle = ShuffleConfig::fault_tolerant();
+    cfg.reliability = ReliabilityConfig::predictive();
+    cfg.detector = DetectorConfig::enabled();
+    cfg.faults.events.push(FaultEvent {
+        at: SimTime::from_secs(10),
+        kind: FaultKind::Gray {
+            node: NodeId(2),
+            slow_disk: 3.0,
+            slow_net: 2.0,
+        },
+    });
+    cfg.faults.events.push(FaultEvent {
+        at: SimTime::from_secs(30),
+        kind: FaultKind::Partition { node: NodeId(5) },
+    });
+    cfg.faults.events.push(FaultEvent {
+        at: SimTime::from_secs(90),
+        kind: FaultKind::PartitionHeal { node: NodeId(5) },
+    });
+    cfg.faults.events.push(FaultEvent {
+        at: SimTime::from_secs(50),
+        kind: FaultKind::RackPartition { rack: RackId(2) },
+    });
+    cfg.faults.events.push(FaultEvent {
+        at: SimTime::from_secs(120),
+        kind: FaultKind::RackPartitionHeal { rack: RackId(2) },
+    });
+    cfg.faults.events.push(FaultEvent {
+        at: SimTime::from_secs(60),
+        kind: FaultKind::Kill { node: NodeId(7) },
+    });
+    cfg.faults.events.push(FaultEvent {
+        at: SimTime::from_secs(140),
+        kind: FaultKind::Rejoin { node: NodeId(7) },
+    });
+    cfg.faults.events.push(FaultEvent {
+        at: SimTime::from_secs(200),
+        kind: FaultKind::GrayHeal { node: NodeId(2) },
+    });
+    let mut cluster = Cluster::new(
+        cfg,
+        Box::new(HfspScheduler::new(
+            PreemptionPrimitive::SuspendResume,
+            EvictionPolicy::ClosestToCompletion,
+        )),
+    );
+    for i in 0..4u32 {
+        cluster.submit_job_at(
+            JobSpec::synthetic(format!("mr-{i}"), 14, 96 * MIB).with_reduces(2),
+            SimTime::from_secs(u64::from(2 * i)),
+        );
+    }
+    for i in 0..5u32 {
+        cluster.submit_job_at(
+            JobSpec::synthetic(format!("small-{i}"), 2, 16 * MIB),
+            SimTime::from_secs(15 + 9 * u64::from(i)),
+        );
+    }
+    cluster
+}
+
+#[test]
+fn fixed_seed_detector_partition_run_is_pinned() {
+    let mut cluster = detector_partition_cluster();
+    cluster.run(SimTime::from_secs(24 * 3_600));
+    let report = cluster.report();
+    assert!(report.all_jobs_complete());
+    let faults = report.faults;
+    // Every family fired: 5 partitions (1 node + 4 rack members) all healed,
+    // the kill was suspected and confirmed only after the heartbeat timeout,
+    // and the gray node degraded and healed.
+    assert_eq!(faults.partitions, 5, "{faults:?}");
+    assert_eq!(faults.partition_heals, 5, "{faults:?}");
+    assert_eq!(faults.gray_failures, 1, "{faults:?}");
+    assert_eq!(faults.gray_heals, 1, "{faults:?}");
+    assert!(faults.nodes_suspected >= 1, "{faults:?}");
+    assert!(faults.failures_detected >= 1, "{faults:?}");
+    assert!(faults.detection_lag_secs_max > 0.0, "{faults:?}");
+    // Detection lag is bounded by the suspicion timeout plus one heartbeat
+    // interval (the anchor is the last delivered heartbeat).
+    assert!(
+        faults.detection_lag_secs_max <= 3.0 * 3.0 + 3.0,
+        "{faults:?}"
+    );
+    // First-commit-wins: reconciliation ran, duplicates never happen.
+    assert_eq!(faults.duplicate_commits, 0);
+    // Pinned fixed-seed outcome (see PINNED_DETECTOR_* below).
+    assert_eq!(cluster.events_processed(), PINNED_DETECTOR_EVENTS);
+    assert_eq!(report.finished_at.as_micros(), PINNED_DETECTOR_FINISH);
+    assert_eq!(
+        (faults.nodes_suspected, faults.failures_detected),
+        PINNED_DETECTOR_COUNTS
+    );
+    assert_eq!(
+        faults.reconciled_commits + faults.reconciled_discards,
+        PINNED_DETECTOR_RECONCILED
+    );
+
+    let mut again = detector_partition_cluster();
+    again.run(SimTime::from_secs(24 * 3_600));
+    assert_eq!(again.report(), report);
+    assert_eq!(again.events_processed(), cluster.events_processed());
+}
+
+const PINNED_DETECTOR_EVENTS: u64 = 1_534;
+const PINNED_DETECTOR_FINISH: u64 = 262_341_232;
+const PINNED_DETECTOR_COUNTS: (u64, u64) = (6, 6);
+const PINNED_DETECTOR_RECONCILED: u64 = 8;
+
+/// ...and the sharded refresh must stay observationally identical to the
+/// naive reference with the detector, partitions and gray failures switched
+/// on: deferred teardown, partition buffering, heal reconciliation and
+/// unreachable-node view filtering all mutate the incremental indexes.
+#[test]
+fn sharded_and_full_refresh_match_under_detector_and_partitions() {
+    for case in 0..6u64 {
+        let mut rng = SimRng::new(0xDE7EC7 + case);
+        let racks = 2 + rng.index(3) as u32; // 2..=4
+        let per_rack = 2 + rng.index(3) as u32; // 2..=4
+        let nodes = racks * per_rack;
+        let job_count = 3 + rng.index(4); // 3..=6
+        let mut jobs = Vec::new();
+        for i in 0..job_count {
+            let tasks = 2 + rng.index(10) as u32;
+            let reduces = rng.index(3) as u32; // 0..=2
+            let arrival = rng.index(40) as u64;
+            jobs.push((i, tasks, reduces, arrival));
+        }
+        let victim = rng.index(nodes as usize) as u32;
+        let partition_at = 20 + rng.index(30) as u64;
+        let heal_at = partition_at + 5 + rng.index(90) as u64;
+        let gray_node = rng.index(nodes as usize) as u32;
+        let slow_disk = 1.5 + rng.index(3) as f64;
+        let use_grace = rng.chance(0.5);
+        let mtbf = 50.0 + rng.index(60) as f64;
+        let run = |mode: RefreshMode| {
+            let mut cfg =
+                ClusterConfig::racked_cluster(racks, per_rack, 2, 1).with_delay_intervals(1.0, 1.0);
+            cfg.refresh_mode = mode;
+            cfg.trace_level = mrp_engine::TraceLevel::Off;
+            cfg.speculation = SpeculationConfig::enabled();
+            cfg.shuffle = ShuffleConfig::fault_tolerant();
+            cfg.reliability = ReliabilityConfig::predictive();
+            cfg.detector = DetectorConfig::enabled();
+            if use_grace {
+                cfg.detector.confirmation_grace = mrp_sim::SimDuration::from_secs(2);
+            }
+            cfg.faults.events.push(FaultEvent {
+                at: SimTime::from_secs(partition_at),
+                kind: FaultKind::Partition {
+                    node: NodeId(victim),
+                },
+            });
+            cfg.faults.events.push(FaultEvent {
+                at: SimTime::from_secs(heal_at),
+                kind: FaultKind::PartitionHeal {
+                    node: NodeId(victim),
+                },
+            });
+            cfg.faults.events.push(FaultEvent {
+                at: SimTime::from_secs(10),
+                kind: FaultKind::Gray {
+                    node: NodeId(gray_node),
+                    slow_disk,
+                    slow_net: 1.5,
+                },
+            });
+            cfg.faults.random = Some(RandomFaults {
+                rack_mtbf_secs: mtbf,
+                mean_recovery_secs: Some(30.0),
+                horizon: SimTime::from_secs(300),
+                seed: 0xFEED + case,
+            });
+            let mut cluster = Cluster::new(
+                cfg,
+                Box::new(HfspScheduler::new(
+                    PreemptionPrimitive::SuspendResume,
+                    EvictionPolicy::ClosestToCompletion,
+                )),
+            );
+            for &(i, tasks, reduces, arrival) in &jobs {
+                cluster.submit_job_at(
+                    JobSpec::synthetic(format!("job-{i}"), tasks, 64 * MIB).with_reduces(reduces),
+                    SimTime::from_secs(arrival),
+                );
+            }
+            cluster.run(SimTime::from_secs(24 * 3_600));
+            (cluster.events_processed(), cluster.report())
+        };
+        let sharded = run(RefreshMode::Sharded);
+        let full = run(RefreshMode::Full);
+        assert!(sharded.1.all_jobs_complete(), "case {case} must complete");
+        assert_eq!(
+            sharded, full,
+            "sharded vs full refresh diverged under the detector in case {case}"
+        );
+    }
+}
+
+/// First-commit-wins property, randomized: across partition/heal timings no
+/// task ever commits twice, every job drains, and the heal never drives any
+/// counter inconsistent (the engine's debug assertions would catch a
+/// negative pending count; here the externally visible invariants are
+/// checked on the report).
+#[test]
+fn partition_heals_never_double_commit() {
+    for case in 0..10u64 {
+        let mut rng = SimRng::new(0xFC0 + case);
+        let racks = 2 + rng.index(2) as u32; // 2..=3
+        let per_rack = 2 + rng.index(2) as u32; // 2..=3
+        let nodes = racks * per_rack;
+        let victim = rng.index(nodes as usize) as u32;
+        let partition_at = 10 + rng.index(40) as u64;
+        // Heal anywhere from well before the suspicion timeout to long
+        // after the teardown and re-execution — both reconciliation
+        // outcomes (commit and discard) get exercised across cases.
+        let heal_at = partition_at + 2 + rng.index(120) as u64;
+        let tasks = 12 + rng.index(12) as u32;
+        let reduces = rng.index(3) as u32;
+        let mut cfg = ClusterConfig::racked_cluster(racks, per_rack, 1, 1);
+        cfg.trace_level = mrp_engine::TraceLevel::Off;
+        cfg.speculation = SpeculationConfig::enabled();
+        cfg.shuffle = ShuffleConfig::fault_tolerant();
+        cfg.detector = DetectorConfig::enabled();
+        cfg.faults.events.push(FaultEvent {
+            at: SimTime::from_secs(partition_at),
+            kind: FaultKind::Partition {
+                node: NodeId(victim),
+            },
+        });
+        cfg.faults.events.push(FaultEvent {
+            at: SimTime::from_secs(heal_at),
+            kind: FaultKind::PartitionHeal {
+                node: NodeId(victim),
+            },
+        });
+        let mut cluster = Cluster::new(
+            cfg,
+            Box::new(HfspScheduler::new(
+                PreemptionPrimitive::SuspendResume,
+                EvictionPolicy::ClosestToCompletion,
+            )),
+        );
+        cluster.submit_job_at(
+            JobSpec::synthetic("property", tasks, 64 * MIB).with_reduces(reduces),
+            SimTime::ZERO,
+        );
+        cluster.submit_job_at(
+            JobSpec::synthetic("tail", 4, 64 * MIB),
+            SimTime::from_secs(partition_at),
+        );
+        cluster.run(SimTime::from_secs(24 * 3_600));
+        let report = cluster.report();
+        assert!(report.all_jobs_complete(), "case {case} must drain");
+        let faults = report.faults;
+        assert_eq!(
+            faults.duplicate_commits, 0,
+            "case {case} double-committed: {faults:?}"
+        );
+        // The run loop stops once every job drains, so a partition (or its
+        // heal) scripted past that point never fires — heals can only trail
+        // partitions, never exceed them.
+        assert!(faults.partitions <= 1, "case {case}: {faults:?}");
+        assert!(
+            faults.partition_heals <= faults.partitions,
+            "case {case}: {faults:?}"
+        );
+        // Every task finished exactly once, whatever the heal timing did.
+        for job in &report.jobs {
+            for task in &job.tasks {
+                assert!(
+                    (task.progress - 1.0).abs() < 1e-9,
+                    "case {case}: task left incomplete"
+                );
+            }
+        }
+        // The run is repeatable bit-for-bit.
+        // (Covered structurally by the pinned test above; here the cheap
+        // invariant is that reconciliation never outruns the work done.)
+        assert!(
+            faults.reconciled_commits + faults.reconciled_discards
+                <= u64::from(tasks + reduces) * 3,
+            "case {case}: runaway reconciliation: {faults:?}"
         );
     }
 }
