@@ -1,8 +1,8 @@
 //! CI bench-regression gate.
 //!
-//! Re-runs the six tracked throughput scenarios (`sim_throughput`,
+//! Re-runs the seven tracked throughput scenarios (`sim_throughput`,
 //! `swim_cluster`, `fault_churn`, `locality_delay`, `rack_outage`,
-//! `partition_detect`) on the current machine
+//! `partition_detect`, `multi_tenant`) on the current machine
 //! and compares the events/sec **ratios** between scenarios against the
 //! ratios recorded in the checked-in `BENCH_*.json` baselines. Per the
 //! ROADMAP rule, absolute events/sec are machine-dependent and never
@@ -37,7 +37,14 @@
 //!   detection lag must stay within the missed-heartbeat timeout plus one
 //!   heartbeat interval (enforced in quick mode too — these are correctness
 //!   bars, not timing bars; `partition_detect` also carries the 1/3
-//!   events/sec hard bar).
+//!   events/sec hard bar), or
+//! * the multi-tenant quality gate regresses: on the `multi_tenant` action-
+//!   pipeline scenario no tenant's mean dominant share may exceed its quota
+//!   by more than 5 percentage points at steady state while another tenant
+//!   is starved, and suspend-based reclaim must strictly beat kill-based
+//!   reclaim on lost work on the same seed (enforced in quick mode too —
+//!   correctness bars; `multi_tenant` also carries the 1/3 events/sec hard
+//!   bar).
 //!
 //! `swim_cluster` has no hard bar here: its measured ratio straddles 1/3
 //! purely with anchor timing noise (see docs/PERF.md), so regressions are
@@ -47,9 +54,10 @@
 //! CI runs the full shapes).
 
 use mrp_bench::scenarios::{
-    baseline_events_per_sec, fault_churn::FaultChurnScenario, hfsp, locality_delay,
+    baseline_events_per_sec, fault_churn::FaultChurnScenario, hfsp, locality_delay, multi_tenant,
     partition_detect::PartitionDetectScenario, rack_outage, sim_throughput, swim_cluster,
 };
+use mrp_preempt::PreemptionPrimitive;
 
 fn median(mut xs: Vec<f64>) -> f64 {
     xs.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
@@ -135,6 +143,21 @@ fn main() {
     let pd_runs: Vec<_> = (0..3).map(|_| pd_sc.run(true)).collect();
     let pd_eps = median(pd_runs.iter().map(|o| o.events_per_sec()).collect());
 
+    // multi_tenant also gates the action-pipeline acceptance criteria: DRF
+    // quota adherence and suspend-beats-kill on lost work, from one
+    // suspend/kill pair (enforced in quick mode too — correctness, not
+    // timing).
+    let mt_sc = if quick {
+        multi_tenant::small()
+    } else {
+        multi_tenant::full()
+    };
+    let mt_runs: Vec<_> = (0..3)
+        .map(|_| multi_tenant::run(&mt_sc, PreemptionPrimitive::SuspendResume))
+        .collect();
+    let mt_kill = multi_tenant::run(&mt_sc, PreemptionPrimitive::Kill);
+    let mt_eps = median(mt_runs.iter().map(|o| o.events_per_sec()).collect());
+
     let measured = [
         Measured {
             name: "swim_cluster",
@@ -164,6 +187,12 @@ fn main() {
             name: "partition_detect",
             baseline_file: "BENCH_partition_detect.json",
             events_per_sec: pd_eps,
+            hard_bar: Some(1.0 / 3.0),
+        },
+        Measured {
+            name: "multi_tenant",
+            baseline_file: "BENCH_multi_tenant.json",
+            events_per_sec: mt_eps,
             hard_bar: Some(1.0 / 3.0),
         },
     ];
@@ -296,6 +325,51 @@ fn main() {
             if lag_ok { ", lag ok" } else { ", LAG EXCEEDS BOUND" },
         );
         if !dup_ok || !lag_ok {
+            failed = true;
+        }
+    }
+
+    // Multi-tenant acceptance gate (both modes — correctness bars hold at
+    // every shape): DRF keeps every tenant within 5 percentage points of
+    // its quota while others starve, and suspend-based reclaim strictly
+    // beats kill-based on lost work on the same seed.
+    {
+        let suspend = &mt_runs[0].outcome;
+        let kill = &mt_kill.outcome;
+        let worst_excess = suspend
+            .shares
+            .iter()
+            .map(|s| s.mean_excess_over_quota)
+            .fold(0.0, f64::max);
+        let drf_ok = worst_excess <= 0.05;
+        let reclaim_ok =
+            suspend.suspend_cycles >= 1 && suspend.lost_work_secs < kill.lost_work_secs;
+        let backfill_ok = suspend.best_effort_completed == suspend.best_effort_jobs;
+        println!(
+            "  tenant gate    worst excess-over-quota {:.4} (bar <= 0.05)  lost work {:.1}s \
+             suspend vs {:.1}s kill  best-effort {}/{}  [{}{}{}]",
+            worst_excess,
+            suspend.lost_work_secs,
+            kill.lost_work_secs,
+            suspend.best_effort_completed,
+            suspend.best_effort_jobs,
+            if drf_ok {
+                "drf ok"
+            } else {
+                "DRF QUOTA EXCEEDED"
+            },
+            if reclaim_ok {
+                ", reclaim ok"
+            } else {
+                ", SUSPEND DOES NOT BEAT KILL"
+            },
+            if backfill_ok {
+                ", backfill ok"
+            } else {
+                ", BEST-EFFORT STARVED"
+            },
+        );
+        if !drf_ok || !reclaim_ok || !backfill_ok {
             failed = true;
         }
     }

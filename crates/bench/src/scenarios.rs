@@ -1,15 +1,16 @@
 //! Shared throughput-scenario definitions.
 //!
-//! The three tracked scenarios (`sim_throughput`, `swim_cluster`,
-//! `fault_churn`) live here so both the bench binaries and the CI
+//! The tracked scenarios (`sim_throughput`, `swim_cluster`, `fault_churn`,
+//! `locality_delay`, `rack_outage`, `partition_detect`, `multi_tenant`)
+//! live here so both the bench binaries and the CI
 //! bench-regression gate (`check_bench`) run *exactly* the same workloads:
 //! the gate compares fresh events/sec ratios against the checked-in
 //! baselines, which is only meaningful when the scenarios are identical.
 
 use mrp_engine::{
-    Cluster, ClusterConfig, ClusterReport, DetectorConfig, FaultEvent, FaultKind, JobSpec, NodeId,
-    RackId, RandomFaults, ReliabilityConfig, SchedulerPolicy, ShuffleConfig, SpeculationConfig,
-    TraceLevel,
+    Cluster, ClusterConfig, ClusterReport, DetectorConfig, FaultEvent, FaultKind, FaultPlan,
+    JobSpec, NodeId, RackId, RandomFaults, ReliabilityConfig, SchedulerPolicy, ShuffleConfig,
+    SpeculationConfig, TraceLevel,
 };
 use mrp_preempt::{EvictionPolicy, HfspScheduler, PreemptionPrimitive};
 use mrp_sim::{SimTime, GIB, MIB};
@@ -93,9 +94,7 @@ pub mod sim_throughput {
 
     /// The scenario's cluster configuration (tracing off).
     pub fn config() -> ClusterConfig {
-        let mut cfg = ClusterConfig::small_cluster(NODES, MAP_SLOTS, 1);
-        cfg.trace_level = TraceLevel::Off;
-        cfg
+        ClusterConfig::small_cluster(NODES, MAP_SLOTS, 1).with_trace_level(TraceLevel::Off)
     }
 
     /// Submits the churn workload: batch jobs saturate every slot, then a
@@ -207,6 +206,8 @@ pub mod swim_cluster {
                 slow_parse_rate_bytes_per_sec: 1.5 * MIB as f64,
                 slow_max_tasks: u32::MAX,
                 reduce_ratio: 0.0,
+                tenants: 1,
+                best_effort_fraction: 0.0,
             }
         }
 
@@ -220,8 +221,8 @@ pub mod swim_cluster {
         /// scheduling on this way, so both scenarios share one workload).
         pub fn run_with_config(&self, tweak: impl FnOnce(&mut ClusterConfig)) -> ScenarioOutcome {
             let mut cfg =
-                ClusterConfig::racked_cluster(self.racks, self.nodes_per_rack, self.map_slots, 1);
-            cfg.trace_level = TraceLevel::Off;
+                ClusterConfig::racked_cluster(self.racks, self.nodes_per_rack, self.map_slots, 1)
+                    .with_trace_level(TraceLevel::Off);
             tweak(&mut cfg);
             let mut cluster = Cluster::new(cfg, hfsp());
             let trace = SwimGenerator::new(self.swim_config(), self.seed).generate();
@@ -490,6 +491,8 @@ pub mod partition_detect {
                 // bookkeeping dominates per-event cost, and a heavier mix
                 // would drag events/sec under the 1/3 acceptance bar.
                 reduce_ratio: 0.15,
+                tenants: 1,
+                best_effort_fraction: 0.0,
             }
         }
 
@@ -502,21 +505,15 @@ pub mod partition_detect {
         /// briefly (healed before suspicion fires — no penalty); node 3 gray-
         /// fails (disk x3, net x2) and recovers late in the run.
         pub fn config(&self, detector: bool) -> ClusterConfig {
-            let mut cfg =
-                ClusterConfig::racked_cluster(self.racks, self.nodes_per_rack, self.map_slots, 1);
-            cfg.trace_level = TraceLevel::Off;
-            cfg.speculation = SpeculationConfig::enabled();
-            cfg.shuffle = ShuffleConfig::fault_tolerant();
-            cfg.reliability = ReliabilityConfig::predictive();
-            if detector {
-                cfg.detector = DetectorConfig::enabled();
-            }
-            cfg.faults.random = Some(RandomFaults {
-                rack_mtbf_secs: self.rack_mtbf_secs,
-                mean_recovery_secs: Some(self.mean_recovery_secs),
-                horizon: self.fault_horizon,
-                seed: self.seed ^ 0x9A7,
-            });
+            let mut faults = FaultPlan {
+                random: Some(RandomFaults {
+                    rack_mtbf_secs: self.rack_mtbf_secs,
+                    mean_recovery_secs: Some(self.mean_recovery_secs),
+                    horizon: self.fault_horizon,
+                    seed: self.seed ^ 0x9A7,
+                }),
+                ..FaultPlan::default()
+            };
             let dark_rack = RackId(self.racks - 1);
             for (at, kind) in [
                 (
@@ -539,12 +536,23 @@ pub mod partition_detect {
                 (104, FaultKind::PartitionHeal { node: NodeId(2) }),
                 (300, FaultKind::GrayHeal { node: NodeId(3) }),
             ] {
-                cfg.faults.events.push(FaultEvent {
+                faults.events.push(FaultEvent {
                     at: SimTime::from_secs(at),
                     kind,
                 });
             }
-            cfg
+            let cfg =
+                ClusterConfig::racked_cluster(self.racks, self.nodes_per_rack, self.map_slots, 1)
+                    .with_trace_level(TraceLevel::Off)
+                    .with_speculation(SpeculationConfig::enabled())
+                    .with_shuffle(ShuffleConfig::fault_tolerant())
+                    .with_reliability(ReliabilityConfig::predictive())
+                    .with_faults(faults);
+            if detector {
+                cfg.with_detector(DetectorConfig::enabled())
+            } else {
+                cfg
+            }
         }
 
         /// The acceptance bound on observed detection lag: the detector
@@ -605,6 +613,109 @@ pub mod partition_detect {
         assert!(
             f.gray_failures >= 1 && f.gray_heals >= 1,
             "the gray failure must strike and heal: {f:?}"
+        );
+    }
+}
+
+/// The multi-tenant DRF scenario behind the `multi_tenant` bench: the
+/// pluggable action pipeline (`allocate` under DRF job order, quota
+/// `reclaim` via kill or OS-assisted suspend, best-effort `backfill`) on a
+/// three-tenant cluster with a saturating burst, staggered per-tenant
+/// streams and a scavenger class. The scenario itself lives in
+/// `mrp_experiments::TenantScenarioConfig` so the bench, the CI gate and
+/// the experiments crate run exactly the same workload; this module pins
+/// the tracked full/smoke shapes, adds wall-clock timing, and carries the
+/// quality bars (DRF quota adherence, suspend-beats-kill on lost work,
+/// backfill liveness) shared by the bench binary and `check_bench`.
+pub mod multi_tenant {
+    use super::*;
+    pub use mrp_experiments::{run_tenant_scenario, TenantScenarioConfig, TenantScenarioOutcome};
+
+    /// The tracked full shape: 40 nodes / 80 map slots, weighted tenants
+    /// (2:1:1), ~900 s of arrivals.
+    pub fn full() -> TenantScenarioConfig {
+        TenantScenarioConfig::full(PreemptionPrimitive::SuspendResume)
+    }
+
+    /// The shrunken CI smoke variant (8 nodes, equal weights).
+    pub fn small() -> TenantScenarioConfig {
+        TenantScenarioConfig::compact(PreemptionPrimitive::SuspendResume)
+    }
+
+    /// One timed multi-tenant run.
+    pub struct TenantRun {
+        /// The scenario outcome (per-tenant shares, lost work, backfill
+        /// liveness, event count).
+        pub outcome: TenantScenarioOutcome,
+        /// Wall-clock seconds for the run (workload submission included; it
+        /// is negligible against the event loop at these shapes).
+        pub wall_secs: f64,
+    }
+
+    impl TenantRun {
+        /// Events per wall-clock second.
+        pub fn events_per_sec(&self) -> f64 {
+            self.outcome.events_processed as f64 / self.wall_secs
+        }
+    }
+
+    /// Runs the scenario once with reclaim evicting via the given
+    /// primitive — same seed, same workload, only the eviction mechanism
+    /// differs between calls.
+    pub fn run(config: &TenantScenarioConfig, primitive: PreemptionPrimitive) -> TenantRun {
+        let config = TenantScenarioConfig {
+            primitive,
+            ..config.clone()
+        };
+        let start = Instant::now();
+        let outcome = run_tenant_scenario(&config);
+        TenantRun {
+            outcome,
+            wall_secs: start.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Panics unless a same-seed suspend/kill pair satisfies the scenario's
+    /// quality bars (shared by the bench binary; `check_bench` enforces the
+    /// same conditions as an exit-code gate):
+    ///
+    /// 1. **DRF quota adherence** — at steady state, no tenant's mean
+    ///    dominant share exceeds its quota by more than 5 percentage points
+    ///    while another tenant is starved;
+    /// 2. **reclaim liveness** — suspension-based reclaim actually evicts
+    ///    (`suspend_cycles >= 1`);
+    /// 3. **the paper's trade-off** — suspend-based reclaim strictly beats
+    ///    kill-based on lost work on the same seed, and kill's loss is real;
+    /// 4. **backfill liveness** — every best-effort job completes.
+    pub fn assert_quality(suspend: &TenantScenarioOutcome, kill: &TenantScenarioOutcome) {
+        for s in &suspend.shares {
+            assert!(
+                s.mean_excess_over_quota <= 0.05,
+                "DRF gate: tenant {} holds {:.3} above its {:.3} quota while others starve \
+                 (bar: 0.05)",
+                s.tenant,
+                s.mean_excess_over_quota,
+                s.quota
+            );
+        }
+        assert!(
+            suspend.suspend_cycles >= 1,
+            "reclaim must actually fire under contention"
+        );
+        assert!(
+            kill.lost_work_secs > 0.0,
+            "kill-based reclaim must waste accrued progress on this workload"
+        );
+        assert!(
+            suspend.lost_work_secs < kill.lost_work_secs,
+            "suspend-based reclaim must strictly beat kill on lost work: \
+             {:.1}s vs {:.1}s",
+            suspend.lost_work_secs,
+            kill.lost_work_secs
+        );
+        assert_eq!(
+            suspend.best_effort_completed, suspend.best_effort_jobs,
+            "backfill must drain the best-effort class"
         );
     }
 }
@@ -709,6 +820,8 @@ pub mod fault_churn {
                 slow_parse_rate_bytes_per_sec: self.slow_parse_rate_bytes_per_sec,
                 slow_max_tasks: 8,
                 reduce_ratio: 0.0,
+                tenants: 1,
+                best_effort_fraction: 0.0,
             }
         }
 
@@ -716,35 +829,41 @@ pub mod fault_churn {
         /// per-rack MTBF churn with rejoins, a scripted whole-rack outage,
         /// and an administrative decommission).
         pub fn config(&self) -> ClusterConfig {
-            let mut cfg =
-                ClusterConfig::racked_cluster(self.racks, self.nodes_per_rack, self.map_slots, 1);
-            cfg.trace_level = TraceLevel::Off;
-            cfg.faults.random = Some(RandomFaults {
-                rack_mtbf_secs: self.rack_mtbf_secs,
-                mean_recovery_secs: Some(self.mean_recovery_secs),
-                horizon: self.fault_horizon,
-                seed: self.seed ^ 0xDEAD,
-            });
-            cfg.faults.events.push(FaultEvent {
-                at: SimTime::from_secs(45),
-                kind: FaultKind::RackOutage {
-                    rack: RackId(self.racks - 1),
-                },
-            });
-            cfg.faults.events.push(FaultEvent {
-                at: SimTime::from_secs(90),
-                kind: FaultKind::RackRejoin {
-                    rack: RackId(self.racks - 1),
-                },
-            });
-            cfg.faults.events.push(FaultEvent {
-                at: SimTime::from_secs(30),
-                kind: FaultKind::Decommission { node: NodeId(0) },
-            });
+            let faults = FaultPlan {
+                random: Some(RandomFaults {
+                    rack_mtbf_secs: self.rack_mtbf_secs,
+                    mean_recovery_secs: Some(self.mean_recovery_secs),
+                    horizon: self.fault_horizon,
+                    seed: self.seed ^ 0xDEAD,
+                }),
+                events: vec![
+                    FaultEvent {
+                        at: SimTime::from_secs(45),
+                        kind: FaultKind::RackOutage {
+                            rack: RackId(self.racks - 1),
+                        },
+                    },
+                    FaultEvent {
+                        at: SimTime::from_secs(90),
+                        kind: FaultKind::RackRejoin {
+                            rack: RackId(self.racks - 1),
+                        },
+                    },
+                    FaultEvent {
+                        at: SimTime::from_secs(30),
+                        kind: FaultKind::Decommission { node: NodeId(0) },
+                    },
+                ],
+            };
+            let cfg =
+                ClusterConfig::racked_cluster(self.racks, self.nodes_per_rack, self.map_slots, 1)
+                    .with_trace_level(TraceLevel::Off)
+                    .with_faults(faults);
             if self.speculation {
-                cfg.speculation = SpeculationConfig::enabled();
+                cfg.with_speculation(SpeculationConfig::enabled())
+            } else {
+                cfg
             }
-            cfg
         }
 
         /// Runs the scenario once (HFSP suspend/resume, DFS-backed inputs).

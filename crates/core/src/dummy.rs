@@ -322,13 +322,22 @@ fn input_from_json(v: &Json) -> Result<MapInput, PlanJsonError> {
 }
 
 fn spec_to_json(spec: &JobSpec) -> Json {
-    Json::obj(vec![
+    let mut fields = vec![
         ("name", Json::Str(spec.name.clone())),
         ("priority", Json::Num(f64::from(spec.priority))),
         ("input", input_to_json(&spec.input)),
         ("reduce_tasks", Json::Num(f64::from(spec.reduce_tasks))),
         ("profile", profile_to_json(&spec.profile)),
-    ])
+    ];
+    // Tenant metadata is emitted only when set, so single-tenant plan files
+    // round-trip byte-identically to pre-tenant ones.
+    if spec.tenant != 0 {
+        fields.push(("tenant", Json::Num(f64::from(spec.tenant))));
+    }
+    if spec.best_effort {
+        fields.push(("best_effort", Json::Bool(true)));
+    }
+    Json::obj(fields)
 }
 
 fn spec_from_json(v: &Json) -> Result<JobSpec, PlanJsonError> {
@@ -345,6 +354,8 @@ fn spec_from_json(v: &Json) -> Result<JobSpec, PlanJsonError> {
             v.get("profile")
                 .ok_or_else(|| invalid("job spec missing 'profile'"))?,
         )?,
+        tenant: v.get("tenant").and_then(Json::as_f64).unwrap_or(0.0) as u32,
+        best_effort: matches!(v.get("best_effort"), Some(Json::Bool(true))),
     })
 }
 

@@ -54,12 +54,17 @@ mod dummy;
 mod eviction;
 pub mod json;
 mod natjam;
+mod pipeline;
 mod primitive;
 mod schedulers;
 
 pub use dummy::{DummyPlan, DummyScheduler, PlanJsonError, RestoreRule, TriggerRule};
 pub use eviction::{EvictionCandidate, EvictionPolicy};
 pub use natjam::{CheckpointCost, NatjamModel};
+pub use pipeline::{
+    eviction_select, remaining_size, running_tasks_preemptable, Action, ActionPipeline, Allocate,
+    Backfill, DrfJobOrder, FairJobOrder, HfspJobOrder, MultiTenantConfig, Preempt, Reclaim,
+};
 pub use primitive::{PreemptionPrimitive, UnknownPrimitive};
 pub use schedulers::{FairScheduler, HfspScheduler};
 

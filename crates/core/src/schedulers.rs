@@ -10,17 +10,18 @@
 //! scheduling policies rather than only the paper's two-job scenario.
 
 use crate::eviction::{EvictionCandidate, EvictionPolicy};
+use crate::pipeline::ActionPipeline;
 use crate::primitive::PreemptionPrimitive;
 use mrp_engine::{
     JobId, JobRuntime, Locality, NodeId, SchedulerAction, SchedulerContext, SchedulerPolicy,
     TaskKind, TaskState,
 };
-use mrp_sim::{SimDuration, SimRng, SimTime};
+use mrp_sim::SimDuration;
 use std::collections::HashMap;
 
 const BASE_TASK_FOOTPRINT: u64 = 192 * 1024 * 1024;
 
-fn candidates_of(job: &JobRuntime) -> Vec<EvictionCandidate> {
+pub(crate) fn candidates_of(job: &JobRuntime) -> Vec<EvictionCandidate> {
     job.tasks
         .iter()
         .filter(|t| t.state == TaskState::Running)
@@ -152,7 +153,7 @@ impl JobIndex {
 /// the table is a `Vec` indexed by `id - 1` — the per-job lookup on the
 /// fill-loop hot path is a bounds check, not a hash.
 #[derive(Default)]
-struct LocalityIndex {
+pub(crate) struct LocalityIndex {
     jobs: Vec<Option<JobIndex>>,
     /// Reusable per-round buffer of task positions already chosen for launch
     /// from the current job (guards against double-launching a task that
@@ -168,7 +169,7 @@ struct LocalityIndex {
 }
 
 impl LocalityIndex {
-    fn forget(&mut self, job: JobId) {
+    pub(crate) fn forget(&mut self, job: JobId) {
         if let Some(slot) = self.jobs.get_mut((job.0 as usize).wrapping_sub(1)) {
             *slot = None;
         }
@@ -199,7 +200,7 @@ impl LocalityIndex {
 /// because the allowed level is a pure function of elapsed wait: every
 /// declining job reaches `OffRack` within the configured waits, even when
 /// all its replica holders are dead.
-fn fill_node(
+pub(crate) fn fill_node(
     ctx: &SchedulerContext<'_>,
     node: NodeId,
     ordered_jobs: &[JobId],
@@ -554,6 +555,11 @@ fn fill_node(
 /// are evicted with the configured primitive, victims chosen by the eviction
 /// policy (this is how the Hadoop FAIR scheduler warrants fairness, with
 /// kill replaced by suspend/resume).
+///
+/// Since the action-pipeline redesign this type is a thin wrapper over
+/// [`ActionPipeline::fair`] — a job-major `allocate` under the fair-share
+/// job order, followed by a deficit-triggered `preempt`. Constructing the
+/// bundle directly is equivalent; this wrapper exists for API stability.
 pub struct FairScheduler {
     /// Primitive used to evict tasks of over-share jobs.
     pub primitive: PreemptionPrimitive,
@@ -561,16 +567,7 @@ pub struct FairScheduler {
     pub eviction: EvictionPolicy,
     /// How long a job may stay under its fair share before preemption kicks in.
     pub preemption_timeout: SimDuration,
-    total_map_slots: usize,
-    starved_since: HashMap<JobId, SimTime>,
-    rng: SimRng,
-    /// Reusable (running-slots, submitted, id) scratch for the per-round
-    /// fair-share ordering (no per-heartbeat allocations once warm).
-    order_scratch: Vec<(u32, SimTime, JobId)>,
-    /// Reusable ordered-job buffer handed to `fill_node`.
-    order: Vec<JobId>,
-    /// Per-job rack-aware pending-task index for `fill_node`.
-    locality: LocalityIndex,
+    pipeline: ActionPipeline,
 }
 
 impl FairScheduler {
@@ -585,119 +582,27 @@ impl FairScheduler {
             primitive,
             eviction,
             preemption_timeout,
-            total_map_slots: total_map_slots.max(1),
-            starved_since: HashMap::new(),
-            rng: SimRng::new(0xFA1),
-            order_scratch: Vec::new(),
-            order: Vec::new(),
-            locality: LocalityIndex::default(),
+            pipeline: ActionPipeline::fair(
+                primitive,
+                eviction,
+                total_map_slots,
+                preemption_timeout,
+            ),
         }
-    }
-
-    fn fair_share(&self, incomplete: usize) -> usize {
-        self.total_map_slots
-            .checked_div(incomplete)
-            .map_or(self.total_map_slots, |share| share.max(1))
-    }
-
-    /// Rebuilds the most-starved-first job order into the reusable `order`
-    /// buffer. Running-slot counts come from the engine-maintained
-    /// `occupying_count`, so the round's ordering is O(jobs log jobs) with no
-    /// task-list scans and no allocations once the buffers are warm.
-    fn refresh_order(&mut self, ctx: &SchedulerContext<'_>) {
-        self.order_scratch.clear();
-        self.order_scratch.extend(
-            ctx.jobs
-                .values()
-                .filter(|j| !j.is_finished())
-                // Jobs with nothing to launch or resume contribute nothing
-                // to `fill_node`; this order is rebuilt per heartbeat, so
-                // the filter is exact (no staleness).
-                .filter(|j| j.schedulable_count() > 0 || j.suspended_count > 0)
-                .map(|j| (j.occupying_count, j.submitted_at, j.id)),
-        );
-        self.order_scratch.sort_unstable();
-        self.order.clear();
-        self.order
-            .extend(self.order_scratch.iter().map(|(_, _, id)| *id));
-    }
-
-    fn preemption_pass(&mut self, ctx: &SchedulerContext<'_>) -> Vec<SchedulerAction> {
-        // Deficit tracking is O(1) per job via the engine-maintained
-        // counters: no task-list scans, no candidate Vecs until a victim job
-        // is actually chosen.
-        let incomplete = ctx.jobs.values().filter(|j| !j.is_finished()).count();
-        let share = self.fair_share(incomplete);
-        let mut actions = Vec::new();
-
-        // Track starvation times and find jobs with a legitimate claim. A
-        // job voluntarily declining slots under delay scheduling
-        // (`delay_gated`) has no claim: preempting victims to free slots it
-        // would decline again is pure churn, and its bounded wait ends (by
-        // local launch or escalation) within the configured delay.
-        let mut claims: usize = 0;
-        for job in ctx.jobs.values().filter(|j| !j.is_finished()) {
-            let wants_more =
-                job.suspended_count > 0 || (job.schedulable_count() > 0 && !ctx.delay_gated(job));
-            let running = job.occupying_count as usize;
-            let starving = wants_more && running < share;
-            if starving {
-                let since = *self.starved_since.entry(job.id).or_insert(ctx.now);
-                if ctx.now - since >= self.preemption_timeout {
-                    claims += share - running;
-                }
-            } else {
-                self.starved_since.remove(&job.id);
-            }
-        }
-        // No-deficit early return: nothing has starved past the timeout, so
-        // the (allocating, sorting) victim-selection phase never runs. At
-        // scale this is the overwhelmingly common case.
-        if claims == 0 {
-            return actions;
-        }
-
-        // Victims come from jobs above their share, most-over-share first.
-        let mut over_share: Vec<&JobRuntime> = ctx
-            .jobs
-            .values()
-            .filter(|j| !j.is_finished())
-            .filter(|j| j.occupying_count as usize > share)
-            .collect();
-        over_share.sort_by_key(|j| std::cmp::Reverse(j.occupying_count));
-        for job in over_share {
-            if claims == 0 {
-                break;
-            }
-            let surplus = job.occupying_count as usize - share;
-            let take = surplus.min(claims);
-            let victims = self.eviction.pick(&candidates_of(job), take, &mut self.rng);
-            for v in victims {
-                if let Some(a) = self.primitive.preempt_action(v) {
-                    actions.push(a);
-                    claims = claims.saturating_sub(1);
-                }
-            }
-        }
-        actions
     }
 }
 
 impl SchedulerPolicy for FairScheduler {
     fn on_heartbeat(&mut self, ctx: &SchedulerContext<'_>, node: NodeId) -> Vec<SchedulerAction> {
-        // Order jobs by how far below their fair share they are (most starved
-        // first), then by submission time.
-        self.refresh_order(ctx);
-        let order = std::mem::take(&mut self.order);
-        let mut actions = fill_node(ctx, node, &order, &mut self.locality);
-        self.order = order;
-        actions.extend(self.preemption_pass(ctx));
-        actions
+        self.pipeline.on_heartbeat(ctx, node)
     }
 
-    fn on_job_finished(&mut self, _ctx: &SchedulerContext<'_>, job: JobId) -> Vec<SchedulerAction> {
-        self.locality.forget(job);
-        Vec::new()
+    fn on_job_submitted(&mut self, ctx: &SchedulerContext<'_>, job: JobId) -> Vec<SchedulerAction> {
+        self.pipeline.on_job_submitted(ctx, job)
+    }
+
+    fn on_job_finished(&mut self, ctx: &SchedulerContext<'_>, job: JobId) -> Vec<SchedulerAction> {
+        self.pipeline.on_job_finished(ctx, job)
     }
 
     fn name(&self) -> &str {
@@ -712,24 +617,17 @@ impl SchedulerPolicy for FairScheduler {
 /// runs first. When a newly submitted job is smaller than what is currently
 /// running and no slots are free, tasks of the largest running job are
 /// preempted with the configured primitive.
+/// Since the action-pipeline redesign this type is a thin wrapper over
+/// [`ActionPipeline::hfsp`] — a job-major `allocate` under the cached
+/// smallest-remaining-size job order, followed by an arrival-triggered
+/// `preempt`. Constructing the bundle directly is equivalent; this wrapper
+/// exists for API stability.
 pub struct HfspScheduler {
     /// Primitive used to evict tasks of larger jobs.
     pub primitive: PreemptionPrimitive,
     /// Victim selection policy.
     pub eviction: EvictionPolicy,
-    rng: SimRng,
-    /// Reusable (size, job) scratch for the per-heartbeat size ordering.
-    order_scratch: Vec<(u64, JobId)>,
-    /// Reusable ordered-job buffer handed to `fill_node`.
-    order: Vec<JobId>,
-    /// Virtual second the cached order was computed in; remaining sizes drift
-    /// with task progress far slower than heartbeats arrive, so the order is
-    /// recomputed at most once per simulated second (and immediately when a
-    /// job arrives or finishes). Purely a function of simulation state, so
-    /// determinism is preserved.
-    order_stamp: Option<u64>,
-    /// Per-job rack-aware pending-task index for `fill_node`.
-    locality: LocalityIndex,
+    pipeline: ActionPipeline,
 }
 
 impl HfspScheduler {
@@ -738,128 +636,27 @@ impl HfspScheduler {
         HfspScheduler {
             primitive,
             eviction,
-            rng: SimRng::new(0x45F5),
-            order_scratch: Vec::new(),
-            order: Vec::new(),
-            order_stamp: None,
-            locality: LocalityIndex::default(),
+            pipeline: ActionPipeline::hfsp(primitive, eviction),
         }
     }
 
-    /// Remaining virtual size of a job in bytes.
-    fn remaining_size(job: &JobRuntime) -> u64 {
-        job.tasks
-            .iter()
-            .filter(|t| !t.state.is_terminal())
-            .map(|t| ((1.0 - t.progress).max(0.0) * t.input_bytes as f64) as u64)
-            .sum()
-    }
-
-    /// Rebuilds the smallest-remaining-size-first job order into the reusable
-    /// `order` buffer (no per-call allocations once warm), at most once per
-    /// simulated second unless invalidated.
-    fn refresh_size_order(&mut self, ctx: &SchedulerContext<'_>) {
-        let bucket = ctx.now.as_micros() / 1_000_000;
-        if self.order_stamp == Some(bucket) {
-            return;
-        }
-        self.order_stamp = Some(bucket);
-        self.order_scratch.clear();
-        self.order_scratch.extend(
-            ctx.jobs
-                .iter()
-                .filter(|(_, j)| !j.is_finished())
-                // Fully-launched jobs have nothing for `fill_node` to hand
-                // out; at overload they are the (large) majority of the
-                // incomplete set, so dropping them here keeps the per-
-                // heartbeat fill loop proportional to jobs with actual
-                // pending work. A task killed back to pending mid-second is
-                // picked up at the next rebuild — immaterial next to the 3s
-                // cleanup its slot takes to free anyway. Delay-blocked jobs
-                // still count as having pending work (`schedulable_count`
-                // ignores the delay gate), so a waiting job stays in the
-                // order and keeps receiving the node-local offers its wait
-                // exists for — only `fill_node` itself declines tiers.
-                .filter(|(_, j)| j.schedulable_count() > 0 || j.suspended_count > 0)
-                .map(|(id, j)| (Self::remaining_size(j), *id)),
-        );
-        self.order_scratch.sort_unstable();
-        self.order.clear();
-        self.order
-            .extend(self.order_scratch.iter().map(|(_, id)| *id));
+    /// Remaining virtual size of a job in bytes (HFSP's ordering metric).
+    pub fn remaining_size(job: &JobRuntime) -> u64 {
+        crate::pipeline::remaining_size(job)
     }
 }
 
 impl SchedulerPolicy for HfspScheduler {
     fn on_heartbeat(&mut self, ctx: &SchedulerContext<'_>, node: NodeId) -> Vec<SchedulerAction> {
-        // Skip the O(jobs x tasks) size estimation entirely when this node
-        // has nothing to hand out — the common case at cluster scale.
-        let Some(view) = ctx.node(node) else {
-            return Vec::new();
-        };
-        if view.free_map_slots == 0 && view.free_reduce_slots == 0 {
-            return Vec::new();
-        }
-        self.refresh_size_order(ctx);
-        let order = std::mem::take(&mut self.order);
-        let actions = fill_node(ctx, node, &order, &mut self.locality);
-        self.order = order;
-        actions
+        self.pipeline.on_heartbeat(ctx, node)
     }
 
     fn on_job_submitted(&mut self, ctx: &SchedulerContext<'_>, job: JobId) -> Vec<SchedulerAction> {
-        self.order_stamp = None; // a new job invalidates the cached order
-        let Some(new_job) = ctx.jobs.get(&job) else {
-            return Vec::new();
-        };
-        // Demand is the job's *map* demand: it is compared against free map
-        // slots and satisfied by preempting map tasks below, so counting
-        // reduces here (as the pre-rack-sharding code did) overstated it.
-        let new_demand = new_job.schedulable_maps as usize;
-        if new_demand == 0 {
-            return Vec::new();
-        }
-        // Cluster-wide capacity from the engine-maintained per-rack counters:
-        // O(racks) per arrival instead of the old O(nodes) view scan.
-        let free_slots = ctx.free_map_slots_total();
-        if free_slots as usize >= new_demand {
-            return Vec::new();
-        }
-        let new_size = Self::remaining_size(new_job);
-        // Preempt tasks of strictly larger running jobs, largest first, until
-        // the new job's demand could be satisfied. The O(1) occupying-count
-        // filter runs before the O(tasks) size estimate.
-        let mut needed = new_demand - free_slots as usize;
-        let mut larger: Vec<&JobRuntime> = ctx
-            .jobs
-            .values()
-            .filter(|j| j.id != job && !j.is_finished())
-            .filter(|j| j.occupying_count > 0)
-            .filter(|j| Self::remaining_size(j) > new_size)
-            .collect();
-        larger.sort_by_key(|j| std::cmp::Reverse(Self::remaining_size(j)));
-        let mut actions = Vec::new();
-        for victim_job in larger {
-            if needed == 0 {
-                break;
-            }
-            let victims = self
-                .eviction
-                .pick(&candidates_of(victim_job), needed, &mut self.rng);
-            for v in victims {
-                if let Some(a) = self.primitive.preempt_action(v) {
-                    actions.push(a);
-                    needed = needed.saturating_sub(1);
-                }
-            }
-        }
-        actions
+        self.pipeline.on_job_submitted(ctx, job)
     }
 
-    fn on_job_finished(&mut self, _ctx: &SchedulerContext<'_>, job: JobId) -> Vec<SchedulerAction> {
-        self.order_stamp = None; // a finished job invalidates the cached order
-        self.locality.forget(job);
-        Vec::new()
+    fn on_job_finished(&mut self, ctx: &SchedulerContext<'_>, job: JobId) -> Vec<SchedulerAction> {
+        self.pipeline.on_job_finished(ctx, job)
     }
 
     fn name(&self) -> &str {

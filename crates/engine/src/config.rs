@@ -294,6 +294,61 @@ impl FaultPlan {
     pub fn is_empty(&self) -> bool {
         self.events.is_empty() && self.random.is_none()
     }
+
+    /// Validates the plan against the cluster shape it will be injected
+    /// into, returning the first problem found.
+    pub fn validate(&self, node_count: usize, racks: u32) -> Result<(), String> {
+        let node_in_range = |n: NodeId| (n.0 as usize) < node_count;
+        for ev in &self.events {
+            match ev.kind {
+                FaultKind::Kill { node }
+                | FaultKind::Decommission { node }
+                | FaultKind::Rejoin { node }
+                | FaultKind::Partition { node }
+                | FaultKind::PartitionHeal { node }
+                | FaultKind::GrayHeal { node } => {
+                    if !node_in_range(node) {
+                        return Err(format!("fault event targets unknown node {node:?}"));
+                    }
+                }
+                FaultKind::RackOutage { rack }
+                | FaultKind::RackRejoin { rack }
+                | FaultKind::RackPartition { rack }
+                | FaultKind::RackPartitionHeal { rack } => {
+                    if rack.0 >= racks {
+                        return Err(format!("fault event targets unknown rack {rack:?}"));
+                    }
+                }
+                FaultKind::Gray {
+                    node,
+                    slow_disk,
+                    slow_net,
+                } => {
+                    if !node_in_range(node) {
+                        return Err(format!("fault event targets unknown node {node:?}"));
+                    }
+                    // NaN and sub-unit multipliers must fail these checks.
+                    if !(slow_disk >= 1.0 && slow_disk.is_finite()) {
+                        return Err("gray-failure slow_disk must be finite and at least 1".into());
+                    }
+                    if !(slow_net >= 1.0 && slow_net.is_finite()) {
+                        return Err("gray-failure slow_net must be finite and at least 1".into());
+                    }
+                }
+            }
+        }
+        if let Some(rf) = &self.random {
+            if rf.rack_mtbf_secs <= 0.0 || rf.rack_mtbf_secs.is_nan() {
+                return Err("random-fault MTBF must be positive".into());
+            }
+            if let Some(rec) = rf.mean_recovery_secs {
+                if rec <= 0.0 || rec.is_nan() {
+                    return Err("random-fault mean recovery must be positive".into());
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Speculative re-execution (straggler mitigation) knobs.
@@ -347,6 +402,21 @@ impl SpeculationConfig {
             enabled: true,
             ..SpeculationConfig::default()
         }
+    }
+
+    /// Validates the knobs (no-op while the feature is off), returning the
+    /// first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.enabled {
+            return Ok(());
+        }
+        if !(self.slowness_ratio > 0.0 && self.slowness_ratio <= 1.0) {
+            return Err("speculation slowness ratio must be in (0, 1]".into());
+        }
+        if self.min_runtime.is_zero() {
+            return Err("speculation min runtime must be positive".into());
+        }
+        Ok(())
     }
 }
 
@@ -414,6 +484,15 @@ impl DelayConfig {
             node_local_wait,
             rack_local_wait,
         }
+    }
+
+    /// Validates the knobs (no-op while the feature is off), returning the
+    /// first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.enabled && self.node_local_wait.is_zero() && self.rack_local_wait.is_zero() {
+            return Err("delay scheduling needs a positive wait at some locality level".into());
+        }
+        Ok(())
     }
 }
 
@@ -490,6 +569,28 @@ impl ShuffleConfig {
             ..ShuffleConfig::default()
         }
     }
+
+    /// Validates the knobs (no-op while the feature is off), returning the
+    /// first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.enabled {
+            return Ok(());
+        }
+        if self.fetch_retry_base.is_zero() {
+            return Err("shuffle fetch retry base must be positive".into());
+        }
+        // NaN must fail these range checks too.
+        if self.fetch_retry_backoff < 1.0 || self.fetch_retry_backoff.is_nan() {
+            return Err("shuffle fetch retry backoff must be at least 1".into());
+        }
+        if self.fetch_retry_cap < self.fetch_retry_base {
+            return Err("shuffle fetch retry cap must be at least the base delay".into());
+        }
+        if self.cross_rack_penalty < 1.0 || self.cross_rack_penalty.is_nan() {
+            return Err("shuffle cross-rack penalty must be at least 1".into());
+        }
+        Ok(())
+    }
 }
 
 /// ATLAS-style node-reliability predictor knobs (Soualhia et al.: feed
@@ -550,6 +651,27 @@ impl ReliabilityConfig {
             enabled: true,
             ..ReliabilityConfig::default()
         }
+    }
+
+    /// Validates the knobs (no-op while the feature is off), returning the
+    /// first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.enabled {
+            return Ok(());
+        }
+        if !(self.failure_boost > 0.0 && self.failure_boost <= 1.0) {
+            return Err("reliability failure boost must be in (0, 1]".into());
+        }
+        if self.half_life_secs <= 0.0 || self.half_life_secs.is_nan() {
+            return Err("reliability half-life must be positive".into());
+        }
+        if self.rack_weight < 0.0 || self.rack_weight.is_nan() {
+            return Err("reliability rack weight must be non-negative".into());
+        }
+        if self.flaky_threshold <= 0.0 || self.flaky_threshold.is_nan() {
+            return Err("reliability flaky threshold must be positive".into());
+        }
+        Ok(())
     }
 }
 
@@ -623,6 +745,15 @@ impl DetectorConfig {
     /// interval: `missed_heartbeats * interval + confirmation_grace`.
     pub fn timeout(&self, heartbeat_interval: SimDuration) -> SimDuration {
         heartbeat_interval.mul_f64(f64::from(self.missed_heartbeats)) + self.confirmation_grace
+    }
+
+    /// Validates the knobs (no-op while the feature is off), returning the
+    /// first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.enabled && self.missed_heartbeats == 0 {
+            return Err("failure detector must wait for at least one missed heartbeat".into());
+        }
+        Ok(())
     }
 }
 
@@ -769,13 +900,76 @@ impl ClusterConfig {
         self
     }
 
+    /// Replaces the speculative-execution knobs, builder style.
+    ///
+    /// ```
+    /// use mrp_engine::{ClusterConfig, SpeculationConfig};
+    ///
+    /// let cfg = ClusterConfig::racked_cluster(2, 4, 2, 1)
+    ///     .with_speculation(SpeculationConfig::enabled());
+    /// assert!(cfg.validate().is_ok());
+    /// ```
+    pub fn with_speculation(mut self, speculation: SpeculationConfig) -> Self {
+        self.speculation = speculation;
+        self
+    }
+
+    /// Replaces the delay-scheduling knobs, builder style (see also
+    /// [`ClusterConfig::with_delay_intervals`] for heartbeat-relative waits).
+    pub fn with_delay(mut self, delay: DelayConfig) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Replaces the fault-tolerant-shuffle knobs, builder style.
+    pub fn with_shuffle(mut self, shuffle: ShuffleConfig) -> Self {
+        self.shuffle = shuffle;
+        self
+    }
+
+    /// Replaces the node-reliability-predictor knobs, builder style.
+    pub fn with_reliability(mut self, reliability: ReliabilityConfig) -> Self {
+        self.reliability = reliability;
+        self
+    }
+
+    /// Replaces the failure-detector knobs, builder style.
+    pub fn with_detector(mut self, detector: DetectorConfig) -> Self {
+        self.detector = detector;
+        self
+    }
+
+    /// Replaces the fault-injection plan, builder style.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the simulation seed, builder style.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the schedule-trace verbosity, builder style (throughput-sensitive
+    /// runs pass [`TraceLevel::Off`]).
+    pub fn with_trace_level(mut self, trace_level: TraceLevel) -> Self {
+        self.trace_level = trace_level;
+        self
+    }
+
     /// Number of nodes in the cluster.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
     }
 
     /// Validates the configuration, returning a description of the first
-    /// problem found.
+    /// problem found. Cluster-shape checks live here; each feature
+    /// sub-config validates its own knobs ([`FaultPlan::validate`],
+    /// [`SpeculationConfig::validate`], [`DelayConfig::validate`],
+    /// [`ShuffleConfig::validate`], [`ReliabilityConfig::validate`],
+    /// [`DetectorConfig::validate`]) and is invoked from this single entry
+    /// point.
     pub fn validate(&self) -> Result<(), String> {
         if self.nodes.is_empty() {
             return Err("cluster must have at least one node".into());
@@ -810,106 +1004,12 @@ impl ClusterConfig {
                 return Err(format!("node {i} has no task slots"));
             }
         }
-        let node_in_range = |n: NodeId| (n.0 as usize) < self.nodes.len();
-        for ev in &self.faults.events {
-            match ev.kind {
-                FaultKind::Kill { node }
-                | FaultKind::Decommission { node }
-                | FaultKind::Rejoin { node }
-                | FaultKind::Partition { node }
-                | FaultKind::PartitionHeal { node }
-                | FaultKind::GrayHeal { node } => {
-                    if !node_in_range(node) {
-                        return Err(format!("fault event targets unknown node {node:?}"));
-                    }
-                }
-                FaultKind::RackOutage { rack }
-                | FaultKind::RackRejoin { rack }
-                | FaultKind::RackPartition { rack }
-                | FaultKind::RackPartitionHeal { rack } => {
-                    if rack.0 >= self.racks {
-                        return Err(format!("fault event targets unknown rack {rack:?}"));
-                    }
-                }
-                FaultKind::Gray {
-                    node,
-                    slow_disk,
-                    slow_net,
-                } => {
-                    if !node_in_range(node) {
-                        return Err(format!("fault event targets unknown node {node:?}"));
-                    }
-                    // NaN and sub-unit multipliers must fail these checks.
-                    if !(slow_disk >= 1.0 && slow_disk.is_finite()) {
-                        return Err("gray-failure slow_disk must be finite and at least 1".into());
-                    }
-                    if !(slow_net >= 1.0 && slow_net.is_finite()) {
-                        return Err("gray-failure slow_net must be finite and at least 1".into());
-                    }
-                }
-            }
-        }
-        if let Some(rf) = &self.faults.random {
-            if rf.rack_mtbf_secs <= 0.0 || rf.rack_mtbf_secs.is_nan() {
-                return Err("random-fault MTBF must be positive".into());
-            }
-            if let Some(rec) = rf.mean_recovery_secs {
-                if rec <= 0.0 || rec.is_nan() {
-                    return Err("random-fault mean recovery must be positive".into());
-                }
-            }
-        }
-        if self.speculation.enabled {
-            if !(self.speculation.slowness_ratio > 0.0 && self.speculation.slowness_ratio <= 1.0) {
-                return Err("speculation slowness ratio must be in (0, 1]".into());
-            }
-            if self.speculation.min_runtime.is_zero() {
-                return Err("speculation min runtime must be positive".into());
-            }
-        }
-        if self.delay.enabled
-            && self.delay.node_local_wait.is_zero()
-            && self.delay.rack_local_wait.is_zero()
-        {
-            return Err("delay scheduling needs a positive wait at some locality level".into());
-        }
-        if self.shuffle.enabled {
-            if self.shuffle.fetch_retry_base.is_zero() {
-                return Err("shuffle fetch retry base must be positive".into());
-            }
-            // NaN must fail these range checks too.
-            let backoff = self.shuffle.fetch_retry_backoff;
-            if backoff < 1.0 || backoff.is_nan() {
-                return Err("shuffle fetch retry backoff must be at least 1".into());
-            }
-            if self.shuffle.fetch_retry_cap < self.shuffle.fetch_retry_base {
-                return Err("shuffle fetch retry cap must be at least the base delay".into());
-            }
-            let penalty = self.shuffle.cross_rack_penalty;
-            if penalty < 1.0 || penalty.is_nan() {
-                return Err("shuffle cross-rack penalty must be at least 1".into());
-            }
-        }
-        if self.reliability.enabled {
-            if !(self.reliability.failure_boost > 0.0 && self.reliability.failure_boost <= 1.0) {
-                return Err("reliability failure boost must be in (0, 1]".into());
-            }
-            let half_life = self.reliability.half_life_secs;
-            if half_life <= 0.0 || half_life.is_nan() {
-                return Err("reliability half-life must be positive".into());
-            }
-            let rack_weight = self.reliability.rack_weight;
-            if rack_weight < 0.0 || rack_weight.is_nan() {
-                return Err("reliability rack weight must be non-negative".into());
-            }
-            let threshold = self.reliability.flaky_threshold;
-            if threshold <= 0.0 || threshold.is_nan() {
-                return Err("reliability flaky threshold must be positive".into());
-            }
-        }
-        if self.detector.enabled && self.detector.missed_heartbeats == 0 {
-            return Err("failure detector must wait for at least one missed heartbeat".into());
-        }
+        self.faults.validate(self.nodes.len(), self.racks)?;
+        self.speculation.validate()?;
+        self.delay.validate()?;
+        self.shuffle.validate()?;
+        self.reliability.validate()?;
+        self.detector.validate()?;
         Ok(())
     }
 }

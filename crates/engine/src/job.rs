@@ -181,6 +181,17 @@ pub struct JobSpec {
     pub reduce_tasks: u32,
     /// Execution profile overrides.
     pub profile: TaskProfile,
+    /// Tenant (queue) this job is charged to by multi-tenant policies.
+    /// Single-tenant workloads leave the default `0`; the engine itself
+    /// never reads it.
+    #[serde(default)]
+    pub tenant: u32,
+    /// True for best-effort (scavenger-class) jobs: excluded from tenant
+    /// share accounting, launched only into capacity nobody else wants, and
+    /// evicted first when that capacity is reclaimed. The engine itself
+    /// never reads it — it is policy metadata, like `tenant`.
+    #[serde(default)]
+    pub best_effort: bool,
 }
 
 impl JobSpec {
@@ -192,6 +203,8 @@ impl JobSpec {
             input: MapInput::DfsFile { path: path.into() },
             reduce_tasks: 0,
             profile: TaskProfile::default(),
+            tenant: 0,
+            best_effort: false,
         }
     }
 
@@ -206,6 +219,8 @@ impl JobSpec {
             },
             reduce_tasks: 0,
             profile: TaskProfile::default(),
+            tenant: 0,
+            best_effort: false,
         }
     }
 
@@ -224,6 +239,18 @@ impl JobSpec {
     /// Sets the number of reduce tasks, builder style.
     pub fn with_reduces(mut self, reduces: u32) -> Self {
         self.reduce_tasks = reduces;
+        self
+    }
+
+    /// Charges the job to a tenant, builder style.
+    pub fn with_tenant(mut self, tenant: u32) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// Marks the job best-effort (scavenger class), builder style.
+    pub fn with_best_effort(mut self) -> Self {
+        self.best_effort = true;
         self
     }
 }
@@ -633,8 +660,14 @@ mod tests {
         assert_eq!(spec.priority, -1);
         assert_eq!(spec.reduce_tasks, 2);
         assert_eq!(spec.profile.state_memory, 2_000_000_000);
-        let synth = JobSpec::synthetic("s", 4, 1024);
+        assert_eq!(spec.tenant, 0);
+        assert!(!spec.best_effort);
+        let synth = JobSpec::synthetic("s", 4, 1024)
+            .with_tenant(3)
+            .with_best_effort();
         assert!(matches!(synth.input, MapInput::Synthetic { tasks: 4, .. }));
+        assert_eq!(synth.tenant, 3);
+        assert!(synth.best_effort);
     }
 
     #[test]

@@ -40,6 +40,7 @@ mod config;
 mod delay;
 mod job;
 mod metrics;
+mod plugin;
 mod reliability;
 mod scheduler;
 mod shuffle;
@@ -61,10 +62,14 @@ pub use metrics::{
     ClusterReport, FaultStats, JobReport, LocalityStats, NodeReport, TaskReport, TraceEntry,
     TraceKind, DELAY_WAIT_BUCKET_SECS,
 };
+pub use plugin::{
+    JobOrder, JobOrderFn, NodeScoreFn, PreemptableSetFn, PreemptableTask, TaskOrderFn,
+    TenantLedger, TenantShareStats,
+};
 pub use reliability::ReliabilityTracker;
 pub use scheduler::{
-    FifoScheduler, NodeView, PendingTotals, RackView, SchedulerAction, SchedulerContext,
-    SchedulerPolicy,
+    FifoScheduler, NodeView, PendingTotals, PlacementQuery, PlacementVerdict, RackView,
+    SchedulerAction, SchedulerContext, SchedulerPolicy,
 };
 pub use shuffle::ShuffleTracker;
 pub use tasktracker::{

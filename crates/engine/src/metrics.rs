@@ -47,6 +47,13 @@ pub struct JobReport {
     pub name: String,
     /// Its priority.
     pub priority: i32,
+    /// Tenant the job was charged to (mirrors [`crate::JobSpec::tenant`]).
+    #[serde(default)]
+    pub tenant: u32,
+    /// Whether the job ran best-effort (mirrors
+    /// [`crate::JobSpec::best_effort`]).
+    #[serde(default)]
+    pub best_effort: bool,
     /// Submission time.
     pub submitted_at: SimTime,
     /// Completion time, if the job finished.
@@ -64,6 +71,8 @@ impl JobReport {
             id: job.id,
             name: job.spec.name.clone(),
             priority: job.spec.priority,
+            tenant: job.spec.tenant,
+            best_effort: job.spec.best_effort,
             submitted_at: job.submitted_at,
             completed_at: job.completed_at,
             sojourn_secs: job.sojourn().map(|d| d.as_secs_f64()),

@@ -97,17 +97,17 @@ pub fn sojourn_quantile(report: &ClusterReport, q: f64) -> f64 {
 /// Runs one fault-injection scenario to completion.
 pub fn run_fault_scenario(config: &FaultScenarioConfig) -> FaultScenarioOutcome {
     let mut cfg =
-        ClusterConfig::racked_cluster(config.racks, config.nodes_per_rack, config.map_slots, 1);
-    cfg.trace_level = TraceLevel::Off;
-    cfg.seed = config.seed;
-    cfg.faults = FaultPlan {
-        events: Vec::new(),
-        random: Some(config.faults),
-    };
+        ClusterConfig::racked_cluster(config.racks, config.nodes_per_rack, config.map_slots, 1)
+            .with_trace_level(TraceLevel::Off)
+            .with_seed(config.seed)
+            .with_faults(FaultPlan {
+                events: Vec::new(),
+                random: Some(config.faults),
+            })
+            .with_detector(config.detector);
     if config.speculation {
-        cfg.speculation = SpeculationConfig::enabled();
+        cfg = cfg.with_speculation(SpeculationConfig::enabled());
     }
-    cfg.detector = config.detector;
     let mut cluster = Cluster::new(
         cfg,
         Box::new(HfspScheduler::new(

@@ -33,6 +33,7 @@ mod priority;
 mod rack_outage;
 mod report;
 mod scenario;
+mod tenants;
 
 pub use faults::{
     detection_ablation, run_fault_scenario, sojourn_quantile, speculation_ablation,
@@ -49,6 +50,9 @@ pub use rack_outage::{
 };
 pub use report::{to_csv, to_table};
 pub use scenario::{run_once, run_scenario, ScenarioConfig, ScenarioOutcome, SingleRun};
+pub use tenants::{
+    reclaim_ablation, run_tenant_scenario, TenantScenarioConfig, TenantScenarioOutcome,
+};
 
 #[cfg(test)]
 mod tests {

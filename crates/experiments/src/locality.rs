@@ -89,8 +89,8 @@ pub fn delay_locality_sweep(config: &DelaySweepConfig) -> Vec<DelaySweepRow> {
                 config.nodes_per_rack,
                 config.map_slots,
                 1,
-            );
-            cfg.trace_level = TraceLevel::Off;
+            )
+            .with_trace_level(TraceLevel::Off);
             if intervals > 0.0 {
                 cfg = cfg.with_delay_intervals(intervals / 2.0, intervals / 2.0);
             }

@@ -121,19 +121,6 @@ pub struct RackOutageOutcome {
 
 /// Runs one rack-outage scenario to completion.
 pub fn run_rack_outage(config: &RackOutageConfig) -> RackOutageOutcome {
-    let mut cfg = ClusterConfig::racked_cluster(
-        config.racks,
-        config.nodes_per_rack,
-        config.map_slots,
-        config.reduce_slots,
-    );
-    cfg.trace_level = TraceLevel::Off;
-    cfg.seed = config.seed;
-    cfg.shuffle = ShuffleConfig::fault_tolerant();
-    if config.predictor {
-        cfg.reliability = ReliabilityConfig::predictive();
-    }
-    cfg.speculation = SpeculationConfig::enabled();
     let mut events = Vec::new();
     for window in &config.outages {
         events.push(FaultEvent {
@@ -149,10 +136,23 @@ pub fn run_rack_outage(config: &RackOutageConfig) -> RackOutageOutcome {
             },
         });
     }
-    cfg.faults = FaultPlan {
+    let mut cfg = ClusterConfig::racked_cluster(
+        config.racks,
+        config.nodes_per_rack,
+        config.map_slots,
+        config.reduce_slots,
+    )
+    .with_trace_level(TraceLevel::Off)
+    .with_seed(config.seed)
+    .with_shuffle(ShuffleConfig::fault_tolerant())
+    .with_speculation(SpeculationConfig::enabled())
+    .with_faults(FaultPlan {
         events,
         random: config.churn,
-    };
+    });
+    if config.predictor {
+        cfg = cfg.with_reliability(ReliabilityConfig::predictive());
+    }
     let mut cluster = Cluster::new(
         cfg,
         Box::new(HfspScheduler::new(

@@ -116,8 +116,7 @@ pub fn run_once(config: &ScenarioConfig, seed: u64) -> SingleRun {
     let scheduler = DummyScheduler::new(plan);
     let triggers = scheduler.required_triggers();
 
-    let mut cluster_config = config.cluster.clone();
-    cluster_config.seed = seed;
+    let cluster_config = config.cluster.clone().with_seed(seed);
     let mut cluster = Cluster::new(cluster_config, Box::new(scheduler));
     for (path, len) in two_job_input_files() {
         cluster

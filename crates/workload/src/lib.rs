@@ -96,6 +96,19 @@ pub struct SwimConfig {
     /// shuffle-fault scenarios use it to give churn something to destroy:
     /// reduces whose map outputs can die mid-shuffle.
     pub reduce_ratio: f64,
+    /// Number of tenants jobs are spread over, round-robin by job index
+    /// (draw-free, so traces with `1` — the default — stay byte-identical
+    /// to pre-tenant ones; `0` behaves like `1`). Multi-tenant scheduling
+    /// scenarios use the tags with [`mrp_engine::TenantLedger`]-based
+    /// policies.
+    #[serde(default)]
+    pub tenants: u32,
+    /// Fraction of jobs tagged best-effort (scavenger class), selected by a
+    /// draw-free fractional accumulator over the job index so `0.0` (the
+    /// default) changes nothing. Best-effort jobs are also forced to
+    /// priority 0 and tenant 0: they ride under every tenant's quota.
+    #[serde(default)]
+    pub best_effort_fraction: f64,
 }
 
 impl Default for SwimConfig {
@@ -114,6 +127,8 @@ impl Default for SwimConfig {
             slow_parse_rate_bytes_per_sec: 1.5 * MIB as f64,
             slow_max_tasks: u32::MAX,
             reduce_ratio: 0.0,
+            tenants: 1,
+            best_effort_fraction: 0.0,
         }
     }
 }
@@ -147,6 +162,10 @@ impl SwimGenerator {
     pub fn generate(&mut self) -> Vec<TraceJob> {
         let mut out = Vec::with_capacity(self.config.jobs);
         let mut clock = 0.0f64;
+        // Fractional accumulator for best-effort tagging: deterministic and
+        // draw-free, so fraction 0.0 leaves the rng stream (and thus every
+        // existing trace) byte-identical.
+        let mut best_effort_acc = 0.0f64;
         for i in 0..self.config.jobs {
             clock += self.rng.exponential(self.config.mean_interarrival_secs);
             let size = self
@@ -176,15 +195,36 @@ impl SwimGenerator {
             // Draw-free: a pure function of the map count, so traces with
             // ratio 0.0 stay byte-identical to pre-`reduce_ratio` ones.
             let reduce_tasks = (tasks as f64 * self.config.reduce_ratio).ceil() as u32;
+            // Tenant tags and the best-effort class are pure functions of
+            // the job index (round-robin resp. fractional accumulator): no
+            // rng draws, so default-configured traces stay byte-identical.
+            best_effort_acc += self.config.best_effort_fraction;
+            let best_effort = best_effort_acc >= 1.0;
+            if best_effort {
+                best_effort_acc -= 1.0;
+            }
+            let tenant = if self.config.tenants > 1 && !best_effort {
+                i as u32 % self.config.tenants
+            } else {
+                0
+            };
             let spec = JobSpec {
                 name: format!("swim-{i:03}"),
-                priority: if high_priority { 10 } else { 0 },
+                priority: if best_effort {
+                    0
+                } else if high_priority {
+                    10
+                } else {
+                    0
+                },
                 input: MapInput::Synthetic {
                     tasks,
                     bytes_per_task: self.config.bytes_per_task,
                 },
                 reduce_tasks,
                 profile,
+                tenant,
+                best_effort,
             };
             out.push(TraceJob {
                 arrival: SimTime::from_secs_f64(clock),
@@ -379,6 +419,37 @@ mod tests {
             assert_eq!(w.spec.reduce_tasks, (tasks as f64 * 0.25).ceil() as u32);
             assert!(w.spec.reduce_tasks >= 1, "any positive ratio gives >= 1");
         }
+    }
+
+    #[test]
+    fn tenant_tagging_does_not_perturb_the_trace() {
+        let base = SwimGenerator::new(SwimConfig::default(), 42).generate();
+        let cfg = SwimConfig {
+            tenants: 3,
+            best_effort_fraction: 0.25,
+            ..SwimConfig::default()
+        };
+        let tagged = SwimGenerator::new(cfg, 42).generate();
+        assert_eq!(base.len(), tagged.len());
+        let mut best_effort_seen = 0;
+        for (i, (b, t)) in base.iter().zip(&tagged).enumerate() {
+            // Same arrivals, sizes and profiles: tagging draws nothing.
+            assert_eq!(b.arrival, t.arrival);
+            assert_eq!(b.spec.input, t.spec.input);
+            assert_eq!(b.spec.profile, t.spec.profile);
+            assert_eq!(b.spec.tenant, 0);
+            assert!(!b.spec.best_effort);
+            if t.spec.best_effort {
+                best_effort_seen += 1;
+                assert_eq!(t.spec.tenant, 0, "best-effort jobs are untagged");
+                assert_eq!(t.spec.priority, 0, "best-effort jobs are priority 0");
+            } else {
+                assert_eq!(t.spec.tenant, i as u32 % 3, "round-robin by job index");
+            }
+        }
+        // A 0.25 fraction over 20 jobs yields exactly 5 best-effort jobs
+        // (fractional accumulator, no randomness).
+        assert_eq!(best_effort_seen, 5);
     }
 
     #[test]
