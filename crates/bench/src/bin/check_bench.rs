@@ -1,8 +1,9 @@
 //! CI bench-regression gate.
 //!
-//! Re-runs the seven tracked throughput scenarios (`sim_throughput`,
+//! Re-runs the eight tracked throughput scenarios (`sim_throughput`,
 //! `swim_cluster`, `fault_churn`, `locality_delay`, `rack_outage`,
-//! `partition_detect`, `multi_tenant`) on the current machine
+//! `partition_detect`, `multi_tenant`, `memory_pressure`) on the current
+//! machine
 //! and compares the events/sec **ratios** between scenarios against the
 //! ratios recorded in the checked-in `BENCH_*.json` baselines. Per the
 //! ROADMAP rule, absolute events/sec are machine-dependent and never
@@ -44,19 +45,31 @@
 //!   is starved, and suspend-based reclaim must strictly beat kill-based
 //!   reclaim on lost work on the same seed (enforced in quick mode too —
 //!   correctness bars; `multi_tenant` also carries the 1/3 events/sec hard
-//!   bar).
+//!   bar), or
+//! * the swap-device quality gate regresses: on the `memory_pressure`
+//!   scenario lazy resume must read strictly fewer swap bytes than eager on
+//!   the same seed, the calm (non-overcommitted) variant must record zero
+//!   `thrash_events`, the per-cycle resume cost must strictly grow with the
+//!   dirty state per task, and disk contention from re-replication must
+//!   strictly inflate virtual swap-I/O time (enforced in quick mode too —
+//!   correctness bars).
 //!
-//! `swim_cluster` has no hard bar here: its measured ratio straddles 1/3
-//! purely with anchor timing noise (see docs/PERF.md), so regressions are
-//! caught by the ratio-vs-baseline comparison instead.
+//! `swim_cluster` and `memory_pressure` have no hard bar here: the former's
+//! measured ratio straddles 1/3 purely with anchor timing noise (see
+//! docs/PERF.md), and the latter is a small scenario (~8.5k events) whose
+//! per-event cost is dominated by block-granular swap-device work, landing
+//! well under the anchor's ratio by design. Regressions in both are caught
+//! by the ratio-vs-baseline comparison instead.
 //!
 //! Run with `--quick` to use the shrunken smoke scenarios (useful locally;
 //! CI runs the full shapes).
 
 use mrp_bench::scenarios::{
-    baseline_events_per_sec, fault_churn::FaultChurnScenario, hfsp, locality_delay, multi_tenant,
-    partition_detect::PartitionDetectScenario, rack_outage, sim_throughput, swim_cluster,
+    baseline_events_per_sec, fault_churn::FaultChurnScenario, hfsp, locality_delay,
+    memory_pressure, multi_tenant, partition_detect::PartitionDetectScenario, rack_outage,
+    sim_throughput, swim_cluster,
 };
+use mrp_engine::SwapConfig;
 use mrp_preempt::PreemptionPrimitive;
 
 fn median(mut xs: Vec<f64>) -> f64 {
@@ -158,6 +171,26 @@ fn main() {
     let mt_kill = multi_tenant::run(&mt_sc, PreemptionPrimitive::Kill);
     let mt_eps = median(mt_runs.iter().map(|o| o.events_per_sec()).collect());
 
+    // memory_pressure also gates the swap-device acceptance criteria: lazy
+    // resume strictly cheaper than eager, zero thrash events when nothing is
+    // overcommitted, a resume-cost curve that is not flat, and disk
+    // contention that strictly inflates swap-I/O time (enforced in quick
+    // mode too — correctness, not timing).
+    let mp_sc = if quick {
+        memory_pressure::small()
+    } else {
+        memory_pressure::full()
+    };
+    let mp_runs: Vec<_> = (0..3)
+        .map(|_| memory_pressure::run(&mp_sc, SwapConfig::enabled()))
+        .collect();
+    let mp_lazy = memory_pressure::run(&mp_sc, SwapConfig::lazy());
+    let mp_calm = memory_pressure::run(&mp_sc.clone().calm(), SwapConfig::enabled());
+    let mp_curve = memory_pressure::resume_cost_curve(&mp_sc, &memory_pressure::CURVE_STATES);
+    let mp_fault = memory_pressure::run(&mp_sc.clone().contended(0.0), SwapConfig::enabled());
+    let mp_contended = memory_pressure::run(&mp_sc.clone().contended(0.5), SwapConfig::enabled());
+    let mp_eps = median(mp_runs.iter().map(|o| o.events_per_sec()).collect());
+
     let measured = [
         Measured {
             name: "swim_cluster",
@@ -194,6 +227,12 @@ fn main() {
             baseline_file: "BENCH_multi_tenant.json",
             events_per_sec: mt_eps,
             hard_bar: Some(1.0 / 3.0),
+        },
+        Measured {
+            name: "memory_pressure",
+            baseline_file: "BENCH_memory_pressure.json",
+            events_per_sec: mp_eps,
+            hard_bar: None,
         },
     ];
 
@@ -370,6 +409,57 @@ fn main() {
             },
         );
         if !drf_ok || !reclaim_ok || !backfill_ok {
+            failed = true;
+        }
+    }
+
+    // Swap-device acceptance gate (both modes — correctness bars hold at
+    // every shape): lazy resume strictly cheaper than eager on swap reads,
+    // zero thrash events without overcommit, per-cycle resume cost strictly
+    // growing in state size, and contention strictly inflating swap-I/O
+    // time. Same conditions as the memory_pressure bench's assert_quality.
+    {
+        let eager = &mp_runs[0].outcome;
+        let lazy_ok = mp_lazy.outcome.swap_in_bytes < eager.swap_in_bytes;
+        let thrash_ok = mp_calm.outcome.thrash_events == 0;
+        let (first, last) = (
+            mp_curve.first().expect("curve has points"),
+            mp_curve.last().expect("curve has points"),
+        );
+        let curve_ok = last.swap_in_per_cycle > first.swap_in_per_cycle;
+        let contention_ok = mp_contended.outcome.swap_io_secs > mp_fault.outcome.swap_io_secs;
+        println!(
+            "  swap gate      lazy {} vs eager {} MiB read  calm thrash {}  cost {:.0}->{:.0} \
+             MiB/cycle  swap I/O {:.1}s vs {:.1}s contended  [{}{}{}{}]",
+            mp_lazy.outcome.swap_in_bytes / (1 << 20),
+            eager.swap_in_bytes / (1 << 20),
+            mp_calm.outcome.thrash_events,
+            first.swap_in_per_cycle / (1 << 20) as f64,
+            last.swap_in_per_cycle / (1 << 20) as f64,
+            mp_fault.outcome.swap_io_secs,
+            mp_contended.outcome.swap_io_secs,
+            if lazy_ok {
+                "lazy ok"
+            } else {
+                "LAZY NOT CHEAPER"
+            },
+            if thrash_ok {
+                ", thrash ok"
+            } else {
+                ", FALSE THRASH"
+            },
+            if curve_ok {
+                ", curve ok"
+            } else {
+                ", FLAT CURVE"
+            },
+            if contention_ok {
+                ", contention ok"
+            } else {
+                ", CONTENTION HAS NO COST"
+            },
+        );
+        if !lazy_ok || !thrash_ok || !curve_ok || !contention_ok {
             failed = true;
         }
     }

@@ -885,3 +885,139 @@ pub mod fault_churn {
         }
     }
 }
+
+/// The memory-pressure scenario behind the `memory_pressure` bench: the
+/// block-granular swap-device model under real suspend/resume churn.
+/// Memory-hungry batch jobs saturate every map slot of a 16-node cluster
+/// while a stream of small HFSP queue-jumpers keeps suspending them, so
+/// each node's resident sets cycle through swap continuously. The scenario
+/// itself lives in `mrp_experiments::MemoryPressureConfig` so the bench,
+/// the CI gate and the experiments crate run exactly the same workload;
+/// this module pins the tracked full/smoke shapes, adds wall-clock timing,
+/// and carries the quality bars (lazy resume strictly cheaper than eager,
+/// calm variant never thrashes, resume cost not flat in state size) shared
+/// by the bench binary and `check_bench`.
+pub mod memory_pressure {
+    use super::*;
+    use mrp_engine::SwapConfig;
+    pub use mrp_experiments::{
+        resume_ablation, resume_cost_curve, run_memory_pressure, MemoryPressureConfig,
+        MemoryPressureOutcome, ResumeCostPoint,
+    };
+
+    /// The tracked full shape: 16 nodes / 32 map slots, 1.5 GiB of dirty
+    /// state per batch task on 3 GiB nodes, ~36 queue-jumping arrivals.
+    pub fn full() -> MemoryPressureConfig {
+        MemoryPressureConfig::full(SwapConfig::enabled())
+    }
+
+    /// The shrunken CI smoke variant (4 nodes, 2 batch jobs).
+    pub fn small() -> MemoryPressureConfig {
+        MemoryPressureConfig::small(SwapConfig::enabled())
+    }
+
+    /// The state sizes the resume-cost curve sweeps (the bench records the
+    /// per-cycle swap-in bytes at each point and gates on growth).
+    pub const CURVE_STATES: [u64; 3] = [512 * MIB, GIB, 1536 * MIB];
+
+    /// One timed memory-pressure run.
+    pub struct PressureRun {
+        /// The scenario outcome (swap traffic, thrash/OOM counters, the
+        /// full report).
+        pub outcome: MemoryPressureOutcome,
+        /// Wall-clock seconds for the run (workload submission included; it
+        /// is negligible against the event loop at these shapes).
+        pub wall_secs: f64,
+    }
+
+    impl PressureRun {
+        /// Events per wall-clock second.
+        pub fn events_per_sec(&self) -> f64 {
+            self.outcome.events_processed as f64 / self.wall_secs
+        }
+    }
+
+    /// Runs the scenario once with the given swap-device knobs — same seed,
+    /// same workload, only the resume policy differs between calls.
+    pub fn run(config: &MemoryPressureConfig, swap: SwapConfig) -> PressureRun {
+        let config = MemoryPressureConfig {
+            swap,
+            ..config.clone()
+        };
+        let start = Instant::now();
+        let outcome = run_memory_pressure(&config);
+        PressureRun {
+            outcome,
+            wall_secs: start.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Panics unless a same-seed eager/lazy pair plus the calm variant and
+    /// the resume-cost curve satisfy the scenario's quality bars (shared by
+    /// the bench binary; `check_bench` enforces the same conditions as an
+    /// exit-code gate):
+    ///
+    /// 1. **churn liveness** — the small jobs actually suspend batch tasks
+    ///    and real state pages out (`suspend_cycles`, `swap_out_bytes`);
+    /// 2. **lazy beats eager** — lazy resume reads strictly fewer swap
+    ///    bytes than eager on the same seed (pages never touched again are
+    ///    never read back);
+    /// 3. **no false thrash** — the calm (non-overcommitted) variant keeps
+    ///    the kernel's `thrash_events` counter at exactly zero;
+    /// 4. **cost is not flat** — per-cycle swap-in bytes strictly grow from
+    ///    the smallest to the largest state size on the curve;
+    /// 5. **disk contention bites** — with one node killed, giving its
+    ///    re-replication traffic a bandwidth share (`fault_share`) must
+    ///    spend strictly more virtual time on swap I/O than the same fault
+    ///    with share zero (`fault_only`): same byte flow, shared spindle.
+    pub fn assert_quality(
+        eager: &MemoryPressureOutcome,
+        lazy: &MemoryPressureOutcome,
+        calm: &MemoryPressureOutcome,
+        curve: &[ResumeCostPoint],
+        fault_only: &MemoryPressureOutcome,
+        fault_share: &MemoryPressureOutcome,
+    ) {
+        assert!(
+            eager.suspend_cycles >= 4,
+            "queue-jumpers must keep suspending batch tasks, got {} cycles",
+            eager.suspend_cycles
+        );
+        assert!(
+            eager.swap_out_bytes > GIB,
+            "suspended resident sets must page out, got {} bytes",
+            eager.swap_out_bytes
+        );
+        assert!(
+            lazy.swap_in_bytes < eager.swap_in_bytes,
+            "lazy-resume gate: lazy must read strictly fewer swap bytes \
+             ({} vs eager {})",
+            lazy.swap_in_bytes,
+            eager.swap_in_bytes
+        );
+        assert_eq!(
+            calm.thrash_events, 0,
+            "thrash gate: the non-overcommitted variant must never thrash"
+        );
+        let (first, last) = (
+            curve.first().expect("curve has points"),
+            curve.last().expect("curve has points"),
+        );
+        assert!(
+            last.swap_in_per_cycle > first.swap_in_per_cycle,
+            "cost-curve gate: resume cost must grow with the resident set \
+             ({:.0} bytes/cycle at {} MiB vs {:.0} at {} MiB)",
+            first.swap_in_per_cycle,
+            first.state_memory / MIB,
+            last.swap_in_per_cycle,
+            last.state_memory / MIB
+        );
+        assert!(
+            fault_share.swap_io_secs > fault_only.swap_io_secs,
+            "contention gate: re-replication sharing the disk must inflate \
+             swap I/O time ({:.1}s with share vs {:.1}s without)",
+            fault_share.swap_io_secs,
+            fault_only.swap_io_secs
+        );
+    }
+}

@@ -650,6 +650,16 @@ impl Cluster {
                         disk_read_bytes: disk.bytes_read,
                         disk_write_bytes: disk.bytes_written,
                         oom_kills: tt.kernel().memory_stats().oom_kills,
+                        thrash_events: tt.kernel().memory_stats().thrash_events,
+                        swap_io_secs: tt
+                            .kernel()
+                            .memory()
+                            .swap_device()
+                            .map(|dev| {
+                                let s = dev.stats();
+                                (s.swap_out_time + s.swap_in_time).as_secs_f64()
+                            })
+                            .unwrap_or(0.0),
                     }
                 })
                 .collect(),
@@ -1177,6 +1187,7 @@ impl Cluster {
             .re_replicate(&affected, decommission, &mut self.rng);
         self.fault_stats.re_replicated_blocks += repair.re_replicated;
         self.fault_stats.lost_blocks += repair.lost_blocks;
+        self.charge_re_replication_io(repair.re_replicated);
         if decommission {
             self.fault_stats.node_decommissions += 1;
         } else {
@@ -1545,6 +1556,7 @@ impl Cluster {
         let repair = self.namenode.re_replicate(&affected, false, &mut self.rng);
         self.fault_stats.re_replicated_blocks += repair.re_replicated;
         self.fault_stats.lost_blocks += repair.lost_blocks;
+        self.charge_re_replication_io(repair.re_replicated);
         if self.tracing() {
             self.trace_event(
                 now,
@@ -1554,6 +1566,26 @@ impl Cluster {
                 Some(node),
                 "partition confirmed; node torn down",
             );
+        }
+    }
+
+    /// Charges re-replication write traffic against the survivors' spindles:
+    /// repaired replicas are written by live nodes, and — with a disk
+    /// `background_share` configured — swap I/O on those nodes contends with
+    /// the stream until it drains. No-op in the default configuration, where
+    /// `queue_background_io` discards the bytes.
+    fn charge_re_replication_io(&mut self, replicas: u64) {
+        if replicas == 0 {
+            return;
+        }
+        let total = replicas * self.config.dfs_block_size;
+        let alive = self.trackers.iter().filter(|tt| tt.is_alive()).count() as u64;
+        if alive == 0 {
+            return;
+        }
+        let per_node = total / alive;
+        for tt in self.trackers.iter_mut().filter(|tt| tt.is_alive()) {
+            tt.queue_background_io(per_node);
         }
     }
 

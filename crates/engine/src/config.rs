@@ -945,6 +945,35 @@ impl ClusterConfig {
         self
     }
 
+    /// Switches every node to the given block-granular swap-device model,
+    /// builder style (see [`mrp_simos::SwapConfig`]). Default-off: without
+    /// this call the legacy byte-granular swap accounting is used.
+    ///
+    /// ```
+    /// use mrp_engine::ClusterConfig;
+    /// use mrp_simos::SwapConfig;
+    ///
+    /// let cfg = ClusterConfig::small_cluster(4, 2, 1).with_swap(SwapConfig::lazy());
+    /// assert!(cfg.validate().is_ok());
+    /// assert!(cfg.nodes[0].os.memory.swap.lazy_resume);
+    /// ```
+    pub fn with_swap(mut self, swap: mrp_simos::SwapConfig) -> Self {
+        for node in &mut self.nodes {
+            node.os.memory.swap = swap;
+        }
+        self
+    }
+
+    /// Sets every node's disk `background_share` — how much spindle
+    /// bandwidth queued DFS re-replication steals from swap I/O after a
+    /// node failure. `0.0` (the default) disables the contention model.
+    pub fn with_disk_background_share(mut self, share: f64) -> Self {
+        for node in &mut self.nodes {
+            node.os.disk.background_share = share;
+        }
+        self
+    }
+
     /// Sets the simulation seed, builder style.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -1010,6 +1039,16 @@ impl ClusterConfig {
         self.shuffle.validate()?;
         self.reliability.validate()?;
         self.detector.validate()?;
+        for (i, n) in self.nodes.iter().enumerate() {
+            n.os.memory
+                .swap
+                .validate()
+                .map_err(|e| format!("node {i}: {e}"))?;
+            let share = n.os.disk.background_share;
+            if !(0.0..1.0).contains(&share) {
+                return Err(format!("node {i}: disk background_share must be in [0, 1)"));
+            }
+        }
         Ok(())
     }
 }

@@ -80,6 +80,10 @@ pub use tasktracker::{
 // in the DFS crate explicitly.
 pub use mrp_dfs::{Locality, NodeId, RackId, Topology};
 
+// Re-exported so downstream crates can configure the block-granular swap
+// device (see [`ClusterConfig::with_swap`]) without depending on `mrp-simos`.
+pub use mrp_simos::{SwapConfig, SwapStats};
+
 #[cfg(test)]
 mod randomized_tests {
     //! Property-style tests driven by seeded randomization (the container has

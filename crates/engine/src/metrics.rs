@@ -287,6 +287,17 @@ pub struct NodeReport {
     pub disk_write_bytes: u64,
     /// Number of OOM-killer invocations on this node.
     pub oom_kills: u64,
+    /// Times a process on this node cycled part of its own working set
+    /// through swap because it exceeds usable RAM (thrashing under
+    /// overcommit).
+    #[serde(default)]
+    pub thrash_events: u64,
+    /// Virtual seconds this node's processes spent stalled on swap I/O,
+    /// as accumulated by the block-granular swap device. Zero when the
+    /// device is disabled (the legacy byte-granular accounting keeps no
+    /// timing) and grows when background DFS traffic shares the spindle.
+    #[serde(default)]
+    pub swap_io_secs: f64,
 }
 
 /// The complete outcome of one simulated run.
@@ -476,6 +487,8 @@ mod tests {
                 disk_read_bytes: 0,
                 disk_write_bytes: 0,
                 oom_kills: 0,
+                thrash_events: 0,
+                swap_io_secs: 0.0,
             }],
             locality: LocalityStats::default(),
             faults: FaultStats::default(),

@@ -415,6 +415,13 @@ impl TaskTracker {
         let _ = self.kernel.disk_read(bytes);
     }
 
+    /// Queues background DFS re-replication traffic against this node's
+    /// spindle; swap I/O contends with it until the backlog drains. No-op
+    /// unless the disk's `background_share` is configured.
+    pub fn queue_background_io(&mut self, bytes: u64) {
+        self.kernel.queue_background_write(bytes);
+    }
+
     /// Suspends a running attempt with `SIGTSTP`: releases its slot, freezes
     /// its progress. Returns the progress at suspension time.
     pub fn suspend(&mut self, id: AttemptId, now: SimTime) -> Result<f64, TrackerError> {
@@ -450,7 +457,15 @@ impl TaskTracker {
         self.occupy_slot(kind)?;
         self.dirty = true;
         self.kernel.signal(pid, Signal::Sigcont, now)?;
-        let fault = self.kernel.fault_in_all(pid, now)?;
+        // Lazy resume (block swap device only): page in just the prefetch
+        // window; the rest faults back on touch, at the latest when the task
+        // finalizes and re-reads its state (`fault_in_own_memory`).
+        let swap = self.kernel.config().memory.swap;
+        let fault = if swap.enabled && swap.lazy_resume {
+            self.kernel.fault_in_prefetch(pid, now)?
+        } else {
+            self.kernel.fault_in_all(pid, now)?
+        };
         let attempt = self.attempts.get_mut(&id).expect("checked above");
         attempt.state = AttemptState::Running;
         Ok(fault.stall)
@@ -882,5 +897,231 @@ mod tests {
             .unwrap();
         assert_eq!(out.oom_killed, vec![attempt_id(0)]);
         assert!(tt.attempt(attempt_id(0)).is_none());
+    }
+
+    /// Builds an OS config with plenty of swap and the given swap-device
+    /// knobs; 2.5 GiB of RAM stays usable for tasks.
+    fn os_with_swap(swap: mrp_simos::SwapConfig) -> NodeOsConfig {
+        NodeOsConfig {
+            memory: mrp_simos::MemoryConfig {
+                total_ram: 3 * GIB,
+                os_reserve: 512 * MIB,
+                swap,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    /// Runs one suspend/resume cycle under memory pressure and returns the
+    /// node's cumulative swap-read bytes right after the resume, plus the
+    /// resumed attempt's still-swapped bytes.
+    fn pressured_resume(swap: mrp_simos::SwapConfig) -> (u64, u64) {
+        let mut tt = TaskTracker::new(NodeId(0), os_with_swap(swap), 2, 0);
+        tt.launch(
+            attempt_id(0),
+            TaskKind::Map,
+            plan(GIB + 512 * MIB),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        tt.allocate_task_memory(attempt_id(0), SimTime::ZERO)
+            .unwrap();
+        {
+            let a = tt.attempt_mut(attempt_id(0)).unwrap();
+            a.phase = AttemptPhase::Work;
+            a.segment_start = SimTime::ZERO;
+        }
+        tt.suspend(attempt_id(0), SimTime::from_secs(10)).unwrap();
+        tt.launch(
+            attempt_id(1),
+            TaskKind::Map,
+            plan(GIB + 512 * MIB),
+            SimTime::from_secs(11),
+        )
+        .unwrap();
+        tt.allocate_task_memory(attempt_id(1), SimTime::from_secs(11))
+            .unwrap();
+        let pid = tt.attempt(attempt_id(0)).unwrap().pid;
+        assert!(
+            tt.kernel().memory().process(pid).unwrap().swapped > 0,
+            "the suspended attempt must have been paged out"
+        );
+        tt.resume(attempt_id(0), SimTime::from_secs(30)).unwrap();
+        let swapped_after = tt.kernel().memory().process(pid).unwrap().swapped;
+        (tt.kernel().disk_stats().swap_bytes_in, swapped_after)
+    }
+
+    #[test]
+    fn lazy_resume_reads_strictly_fewer_bytes_than_eager() {
+        let (eager_in, eager_left) = pressured_resume(mrp_simos::SwapConfig::enabled());
+        let (lazy_in, lazy_left) = pressured_resume(mrp_simos::SwapConfig::lazy());
+        assert!(
+            lazy_in < eager_in,
+            "lazy resume must page in strictly fewer bytes ({lazy_in} vs {eager_in})"
+        );
+        assert_eq!(eager_left, 0, "eager resume brings everything back");
+        assert!(
+            lazy_left > 0,
+            "lazy resume leaves the remainder to fault in on touch"
+        );
+    }
+
+    #[test]
+    fn lazy_remainder_faults_in_at_finalize() {
+        let mut tt = TaskTracker::new(NodeId(0), os_with_swap(mrp_simos::SwapConfig::lazy()), 2, 0);
+        tt.launch(
+            attempt_id(0),
+            TaskKind::Map,
+            plan(GIB + 512 * MIB),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        tt.allocate_task_memory(attempt_id(0), SimTime::ZERO)
+            .unwrap();
+        {
+            let a = tt.attempt_mut(attempt_id(0)).unwrap();
+            a.phase = AttemptPhase::Work;
+            a.segment_start = SimTime::ZERO;
+        }
+        tt.suspend(attempt_id(0), SimTime::from_secs(10)).unwrap();
+        tt.launch(
+            attempt_id(1),
+            TaskKind::Map,
+            plan(GIB + 512 * MIB),
+            SimTime::from_secs(11),
+        )
+        .unwrap();
+        tt.allocate_task_memory(attempt_id(1), SimTime::from_secs(11))
+            .unwrap();
+        tt.resume(attempt_id(0), SimTime::from_secs(30)).unwrap();
+        let pid = tt.attempt(attempt_id(0)).unwrap().pid;
+        assert!(tt.kernel().memory().process(pid).unwrap().swapped > 0);
+        let stall = tt
+            .fault_in_own_memory(attempt_id(0), SimTime::from_secs(40))
+            .unwrap();
+        assert!(stall > SimDuration::ZERO, "the remainder costs swap reads");
+        assert_eq!(tt.kernel().memory().process(pid).unwrap().swapped, 0);
+    }
+
+    #[test]
+    fn suspended_first_victim_order_survives_lazy_resume() {
+        let mut tt = TaskTracker::new(NodeId(0), os_with_swap(mrp_simos::SwapConfig::lazy()), 3, 0);
+        for (i, t) in [(0u32, 0u64), (1, 1)] {
+            tt.launch(
+                attempt_id(i),
+                TaskKind::Map,
+                plan(GIB + 256 * MIB),
+                SimTime::from_secs(t),
+            )
+            .unwrap();
+            tt.allocate_task_memory(attempt_id(i), SimTime::from_secs(t))
+                .unwrap();
+            let a = tt.attempt_mut(attempt_id(i)).unwrap();
+            a.phase = AttemptPhase::Work;
+            a.segment_start = SimTime::from_secs(t);
+        }
+        // Both suspend; allocating for a third attempt pages them out.
+        tt.suspend(attempt_id(0), SimTime::from_secs(10)).unwrap();
+        tt.suspend(attempt_id(1), SimTime::from_secs(11)).unwrap();
+        tt.launch(
+            attempt_id(2),
+            TaskKind::Map,
+            plan(GIB + 256 * MIB),
+            SimTime::from_secs(12),
+        )
+        .unwrap();
+        tt.allocate_task_memory(attempt_id(2), SimTime::from_secs(12))
+            .unwrap();
+        // Attempt 1 resumes lazily: it keeps part of its state in swap but is
+        // no longer suspended.
+        tt.resume(attempt_id(1), SimTime::from_secs(20)).unwrap();
+        let suspended_pid = tt.attempt(attempt_id(0)).unwrap().pid;
+        let resumed_pid = tt.attempt(attempt_id(1)).unwrap().pid;
+        assert!(tt.kernel().memory().process(resumed_pid).unwrap().swapped > 0);
+        let order = tt.kernel().memory().victim_order_snapshot();
+        assert_eq!(
+            order.first(),
+            Some(&suspended_pid),
+            "the still-suspended attempt must stay the preferred victim"
+        );
+        assert!(
+            order.iter().position(|p| *p == suspended_pid).unwrap()
+                < order.iter().position(|p| *p == resumed_pid).unwrap(),
+            "lazy resume must not leave the resumed attempt ahead of a suspended one"
+        );
+    }
+
+    #[test]
+    fn oom_accounting_stays_exact_with_block_device_and_lazy_resume() {
+        let os = NodeOsConfig {
+            memory: mrp_simos::MemoryConfig {
+                total_ram: 3 * GIB,
+                os_reserve: 512 * MIB,
+                swap_capacity: 64 * MIB,
+                swap: mrp_simos::SwapConfig::lazy(),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut tt = TaskTracker::new(NodeId(0), os, 2, 0);
+        tt.launch(
+            attempt_id(0),
+            TaskKind::Map,
+            plan(GIB + 512 * MIB),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        tt.allocate_task_memory(attempt_id(0), SimTime::ZERO)
+            .unwrap();
+        {
+            let a = tt.attempt_mut(attempt_id(0)).unwrap();
+            a.phase = AttemptPhase::Work;
+            a.segment_start = SimTime::ZERO;
+        }
+        tt.suspend(attempt_id(0), SimTime::from_secs(10)).unwrap();
+        tt.launch(
+            attempt_id(1),
+            TaskKind::Map,
+            plan(2 * GIB),
+            SimTime::from_secs(11),
+        )
+        .unwrap();
+        let out = tt
+            .allocate_task_memory(attempt_id(1), SimTime::from_secs(14))
+            .unwrap();
+        assert_eq!(
+            out.oom_killed,
+            vec![attempt_id(0)],
+            "exactly the suspended hog dies, exactly once"
+        );
+        assert!(
+            !out.failed,
+            "after the kill the allocation retries and succeeds"
+        );
+        assert!(tt.attempt(attempt_id(0)).is_none());
+        tt.kernel().memory().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn overcommitted_attempt_thrashes_and_is_counted() {
+        let mut tt = TaskTracker::new(
+            NodeId(0),
+            os_with_swap(mrp_simos::SwapConfig::enabled()),
+            1,
+            0,
+        );
+        // A single working set larger than usable RAM: the attempt thrashes
+        // against itself instead of OOMing (swap has room).
+        tt.launch(attempt_id(0), TaskKind::Map, plan(3 * GIB), SimTime::ZERO)
+            .unwrap();
+        let out = tt
+            .allocate_task_memory(attempt_id(0), SimTime::ZERO)
+            .unwrap();
+        assert!(!out.failed);
+        assert!(out.oom_killed.is_empty());
+        assert_eq!(tt.kernel().memory_stats().thrash_events, 1);
+        assert!(out.stall > SimDuration::ZERO);
+        tt.kernel().memory().check_invariants().unwrap();
     }
 }

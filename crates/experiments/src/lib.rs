@@ -29,6 +29,7 @@
 mod faults;
 mod figures;
 mod locality;
+mod memory;
 mod priority;
 mod rack_outage;
 mod report;
@@ -44,6 +45,10 @@ pub use figures::{
     paper_fractions, resume_locality_ablation, run_figure, Figure, FigureData,
 };
 pub use locality::{delay_locality_sweep, delay_sweep_table, DelaySweepConfig, DelaySweepRow};
+pub use memory::{
+    resume_ablation, resume_cost_curve, run_memory_pressure, MemoryPressureConfig,
+    MemoryPressureOutcome, ResumeCostPoint,
+};
 pub use priority::PriorityPreemptingScheduler;
 pub use rack_outage::{
     predictor_ablation, run_rack_outage, OutageWindow, RackOutageConfig, RackOutageOutcome,

@@ -30,6 +30,13 @@ pub struct DiskConfig {
     pub swap_in_efficiency: f64,
     /// Fixed per-operation latency (seek + queueing), in seconds.
     pub access_latency_secs: f64,
+    /// Fraction of the spindle's bandwidth that queued background traffic
+    /// (DFS re-replication after a node failure) steals from swap I/O while
+    /// a backlog is pending, in `[0, 1)`. `0.0` (the default) disables the
+    /// contention model entirely: [`Disk::queue_background`] becomes a no-op
+    /// and swap timings are byte-identical to the legacy model.
+    #[serde(default)]
+    pub background_share: f64,
 }
 
 impl Default for DiskConfig {
@@ -42,6 +49,7 @@ impl Default for DiskConfig {
             swap_out_efficiency: 0.9,
             swap_in_efficiency: 0.75,
             access_latency_secs: 0.008,
+            background_share: 0.0,
         }
     }
 }
@@ -57,6 +65,9 @@ pub struct DiskStats {
     pub swap_bytes_out: u64,
     /// Bytes read back from the swap area.
     pub swap_bytes_in: u64,
+    /// Background (re-replication) bytes ever queued against this spindle.
+    #[serde(default)]
+    pub background_bytes: u64,
 }
 
 /// A disk with a bandwidth/latency cost model and cumulative statistics.
@@ -64,6 +75,9 @@ pub struct DiskStats {
 pub struct Disk {
     config: DiskConfig,
     stats: DiskStats,
+    /// Background (re-replication) bytes still contending for the spindle.
+    #[serde(default)]
+    background_pending: u64,
 }
 
 impl Disk {
@@ -72,10 +86,12 @@ impl Disk {
         assert!(config.seq_read_bytes_per_sec > 0.0);
         assert!(config.seq_write_bytes_per_sec > 0.0);
         assert!(config.swap_out_efficiency > 0.0 && config.swap_out_efficiency <= 1.0);
+        assert!(config.background_share >= 0.0 && config.background_share < 1.0);
         assert!(config.swap_in_efficiency > 0.0 && config.swap_in_efficiency <= 1.0);
         Disk {
             config,
             stats: DiskStats::default(),
+            background_pending: 0,
         }
     }
 
@@ -109,18 +125,47 @@ impl Disk {
         self.transfer_time(bytes, self.config.seq_write_bytes_per_sec)
     }
 
+    /// Slows `bw` down while a background backlog holds part of the spindle,
+    /// then drains the backlog by what the background stream transferred
+    /// during the foreground operation.
+    fn contended(&mut self, bytes: u64, bw: f64) -> SimDuration {
+        if self.background_pending == 0 || self.config.background_share <= 0.0 {
+            return self.transfer_time(bytes, bw);
+        }
+        let share = self.config.background_share;
+        let time = self.transfer_time(bytes, bw * (1.0 - share));
+        let drained = (time.as_secs_f64() * self.config.seq_write_bytes_per_sec * share) as u64;
+        self.background_pending = self.background_pending.saturating_sub(drained.max(1));
+        time
+    }
+
     /// Time to page out `bytes` of dirty anonymous memory to swap.
     pub fn swap_out(&mut self, bytes: u64) -> SimDuration {
         self.stats.swap_bytes_out += bytes;
         let bw = self.config.seq_write_bytes_per_sec * self.config.swap_out_efficiency;
-        self.transfer_time(bytes, bw)
+        self.contended(bytes, bw)
     }
 
     /// Time to page `bytes` back in from swap.
     pub fn swap_in(&mut self, bytes: u64) -> SimDuration {
         self.stats.swap_bytes_in += bytes;
         let bw = self.config.seq_read_bytes_per_sec * self.config.swap_in_efficiency;
-        self.transfer_time(bytes, bw)
+        self.contended(bytes, bw)
+    }
+
+    /// Queues `bytes` of background traffic (DFS re-replication) against the
+    /// spindle. No-op while [`DiskConfig::background_share`] is zero, so the
+    /// default configuration never perturbs swap timings.
+    pub fn queue_background(&mut self, bytes: u64) {
+        if self.config.background_share > 0.0 {
+            self.background_pending += bytes;
+            self.stats.background_bytes += bytes;
+        }
+    }
+
+    /// Background bytes still pending on the spindle.
+    pub fn background_pending(&self) -> u64 {
+        self.background_pending
     }
 
     /// Estimates (without recording) how long paging out `bytes` would take.
@@ -206,6 +251,41 @@ mod tests {
         let mut d = Disk::default();
         let t = d.swap_out(GIB).as_secs_f64();
         assert!(t > 5.0 && t < 20.0, "1 GiB page-out took {t}s");
+    }
+
+    #[test]
+    fn background_contention_slows_swap_then_drains() {
+        let cfg = DiskConfig {
+            background_share: 0.5,
+            ..DiskConfig::default()
+        };
+        let mut d = Disk::new(cfg);
+        let calm = d.swap_out(256 * MIB);
+        d.queue_background(100 * MIB);
+        assert!(d.background_pending() > 0);
+        let contended = d.swap_out(256 * MIB);
+        assert!(
+            contended > calm,
+            "swap writes should slow down while re-replication holds the spindle"
+        );
+        while d.background_pending() > 0 {
+            d.swap_out(64 * MIB);
+        }
+        let after = d.swap_out(256 * MIB);
+        assert_eq!(
+            after, calm,
+            "full bandwidth returns once the backlog drains"
+        );
+    }
+
+    #[test]
+    fn zero_share_makes_background_a_noop() {
+        let mut d = Disk::default();
+        d.queue_background(GIB);
+        assert_eq!(d.background_pending(), 0);
+        assert_eq!(d.stats().background_bytes, 0);
+        let calm = d.estimate_swap_out(GIB);
+        assert_eq!(d.swap_out(GIB), calm);
     }
 
     #[test]

@@ -124,10 +124,18 @@ impl Kernel {
     fn stall_for(&mut self, charge: &MemoryCharge) -> SimDuration {
         let mut stall = SimDuration::ZERO;
         if charge.swap_write_bytes() > 0 {
-            stall += self.disk.swap_out(charge.swap_write_bytes());
+            let t = self.disk.swap_out(charge.swap_write_bytes());
+            if let Some(dev) = self.memory.swap_device_mut() {
+                dev.record_out(t);
+            }
+            stall += t;
         }
         if charge.swap_read_bytes() > 0 {
-            stall += self.disk.swap_in(charge.swap_read_bytes());
+            let t = self.disk.swap_in(charge.swap_read_bytes());
+            if let Some(dev) = self.memory.swap_device_mut() {
+                dev.record_in(t);
+            }
+            stall += t;
         }
         stall
     }
@@ -238,6 +246,31 @@ impl Kernel {
         let stall = self.stall_for(&charge);
         debug_assert!(self.memory.check_invariants().is_ok());
         Ok(MemOutcome { charge, stall })
+    }
+
+    /// The lazy-resume fault path: brings in only the configured prefetch
+    /// window of `pid`'s swapped memory
+    /// ([`resume_prefetch`](crate::SwapConfig::resume_prefetch)); the rest
+    /// faults back in on touch — at the latest through
+    /// [`Kernel::fault_in_all`] when the task re-reads its state.
+    pub fn fault_in_prefetch(&mut self, pid: Pid, now: SimTime) -> Result<MemOutcome, OsError> {
+        if !self.state(pid)?.is_alive() {
+            return Err(OsError::NoSuchProcess);
+        }
+        let prefetch = self.config.memory.swap.resume_prefetch;
+        let want = (self.swapped_bytes(pid) as f64 * prefetch).ceil() as u64;
+        let charge = self.memory.page_in_partial(pid, want, now)?;
+        let stall = self.stall_for(&charge);
+        debug_assert!(self.memory.check_invariants().is_ok());
+        Ok(MemOutcome { charge, stall })
+    }
+
+    /// Queues `bytes` of background disk traffic (DFS re-replication sharing
+    /// the spindle with the swap area); swap I/O runs at reduced bandwidth
+    /// until the backlog drains. No-op unless the disk's `background_share`
+    /// is positive.
+    pub fn queue_background_write(&mut self, bytes: u64) {
+        self.disk.queue_background(bytes);
     }
 
     /// Marks a running process's memory as recently used.

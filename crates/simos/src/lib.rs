@@ -46,13 +46,17 @@ mod disk;
 mod kernel;
 mod memory;
 mod process;
+mod refmodel;
 mod signal;
+mod swapdev;
 
 pub use disk::{Disk, DiskConfig, DiskStats};
 pub use kernel::{Kernel, MemOutcome, NodeOsConfig, SignalOutcome};
 pub use memory::{MemoryCharge, MemoryConfig, MemoryManager, MemoryStats, ProcMemory};
 pub use process::{Pid, Process};
+pub use refmodel::ReferenceMemoryModel;
 pub use signal::{transition, OsError, ProcessState, Signal, SignalEffect};
+pub use swapdev::{SwapConfig, SwapDevice, SwapStats};
 
 #[cfg(test)]
 mod randomized_tests {

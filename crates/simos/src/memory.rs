@@ -23,6 +23,7 @@
 
 use crate::process::Pid;
 use crate::signal::OsError;
+use crate::swapdev::{SwapConfig, SwapDevice};
 use mrp_sim::{SimTime, GIB, MIB};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap};
@@ -50,6 +51,10 @@ pub struct MemoryConfig {
     /// Granularity of page-out batches; reclaim amounts are rounded up to a
     /// multiple of this (Linux `page-cluster` behaviour).
     pub page_cluster_bytes: u64,
+    /// Block-granular swap-device model (see [`SwapConfig`]); off by default,
+    /// in which case swap occupancy stays byte-granular.
+    #[serde(default)]
+    pub swap: SwapConfig,
 }
 
 impl Default for MemoryConfig {
@@ -63,6 +68,7 @@ impl Default for MemoryConfig {
             swappiness: 0,
             over_eviction_factor: 0.18,
             page_cluster_bytes: 2 * MIB,
+            swap: SwapConfig::default(),
         }
     }
 }
@@ -172,6 +178,11 @@ pub struct MemoryStats {
     pub pressure_events: u64,
     /// Number of OOM-killer invocations.
     pub oom_kills: u64,
+    /// Number of operations in which a process cycled part of its own working
+    /// set through swap because it exceeds usable RAM (thrashing under
+    /// overcommit).
+    #[serde(default)]
+    pub thrash_events: u64,
 }
 
 /// Ordering key of the LRU victim index: suspended processes first (their
@@ -203,6 +214,11 @@ pub struct MemoryManager {
     file_cache: u64,
     swap_used: u64,
     stats: MemoryStats,
+    /// Block-granular swap device, present iff `config.swap.enabled`. When
+    /// present it owns swap occupancy: `swap_used` mirrors its
+    /// `allocated_bytes()` (whole blocks, including retained swap cache).
+    #[serde(default)]
+    swapdev: Option<SwapDevice>,
 }
 
 impl MemoryManager {
@@ -213,6 +229,14 @@ impl MemoryManager {
             "RAM must exceed the OS reserve"
         );
         assert!(config.over_eviction_factor >= 0.0);
+        config
+            .swap
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid swap config: {e}"));
+        let swapdev = config
+            .swap
+            .enabled
+            .then(|| SwapDevice::new(config.swap_capacity, config.swap.block_size));
         MemoryManager {
             config,
             procs: HashMap::new(),
@@ -221,6 +245,7 @@ impl MemoryManager {
             file_cache: 0,
             swap_used: 0,
             stats: MemoryStats::default(),
+            swapdev,
         }
     }
 
@@ -253,9 +278,35 @@ impl MemoryManager {
         self.file_cache
     }
 
-    /// Current swap-area occupancy in bytes.
+    /// Current swap-area occupancy in bytes. With the block-granular device
+    /// enabled this counts whole blocks, including retained swap cache.
     pub fn swap_used(&self) -> u64 {
         self.swap_used
+    }
+
+    /// The block-granular swap device, if [`SwapConfig::enabled`] is set.
+    pub fn swap_device(&self) -> Option<&SwapDevice> {
+        self.swapdev.as_ref()
+    }
+
+    /// Mutable device access; the kernel records swap I/O timings through it.
+    pub fn swap_device_mut(&mut self) -> Option<&mut SwapDevice> {
+        self.swapdev.as_mut()
+    }
+
+    /// Reconciles `pid`'s device extent with its byte-level `swapped` total
+    /// and refreshes `swap_used` from block occupancy. `to_cache` routes a
+    /// shrink into the swap cache (page-in: content now lives in RAM *and*
+    /// on disk) instead of the free list (release). No-op while the device
+    /// is disabled.
+    fn sync_backing(&mut self, pid: Pid, to_cache: bool) {
+        if let Some(dev) = self.swapdev.as_mut() {
+            let pm = &self.procs[&pid];
+            dev.set_backing(pid, pm.swapped, to_cache)
+                .expect("swap capacity pre-checked by reclaim");
+            dev.trim_cache(pid, pm.resident_clean);
+            self.swap_used = dev.allocated_bytes();
+        }
     }
 
     /// Registers a new process with an empty address space.
@@ -265,6 +316,10 @@ impl MemoryManager {
             self.lru.remove(&victim_key(old, pid));
             self.resident_total -= old.resident();
             self.swap_used = self.swap_used.saturating_sub(old.swapped);
+            if let Some(dev) = self.swapdev.as_mut() {
+                dev.remove(pid);
+                self.swap_used = dev.allocated_bytes();
+            }
         }
         let pm = ProcMemory {
             last_touch: now,
@@ -391,13 +446,22 @@ impl MemoryManager {
             let take = available.min(to_reclaim);
             // Swap capacity check: clean pages do not consume new swap space in
             // real kernels if they are file-backed; we conservatively charge
-            // everything against swap capacity.
-            if self.swap_used + take > self.config.swap_capacity {
+            // everything against swap capacity. The block device additionally
+            // counts whole blocks and droppable swap cache.
+            let fits = match self.swapdev.as_ref() {
+                Some(dev) => dev.can_back(victim, self.procs[&victim].swapped + take),
+                None => self.swap_used + take <= self.config.swap_capacity,
+            };
+            if !fits {
                 self.stats.oom_kills += 1;
                 return Err(OsError::OutOfMemory);
             }
             let (clean, dirty) = self.evict_from(victim, take);
-            self.swap_used += clean + dirty;
+            if self.swapdev.is_some() {
+                self.sync_backing(victim, false);
+            } else {
+                self.swap_used += clean + dirty;
+            }
             self.stats.swap_out_bytes += dirty;
             charge.clean_dropped += clean;
             charge.dirty_paged_out += dirty;
@@ -411,13 +475,21 @@ impl MemoryManager {
 
         // 3. The requesting process's own working set does not fit: it will
         //    thrash, cycling `shortfall` bytes through swap.
-        if self.swap_used + shortfall > self.config.swap_capacity {
+        let fits = match self.swapdev.as_ref() {
+            Some(dev) => {
+                let own = self.procs.get(&for_pid).map_or(0, |p| p.swapped);
+                dev.can_back(for_pid, own + shortfall)
+            }
+            None => self.swap_used + shortfall <= self.config.swap_capacity,
+        };
+        if !fits {
             self.stats.oom_kills += 1;
             return Err(OsError::OutOfMemory);
         }
         charge.self_thrash_bytes = shortfall;
         self.stats.swap_out_bytes += shortfall;
         self.stats.swap_in_bytes += shortfall;
+        self.stats.thrash_events += 1;
         Ok(charge)
     }
 
@@ -462,7 +534,11 @@ impl MemoryManager {
         })
         .expect("checked above");
         self.resident_total += bytes - moved;
-        self.swap_used += moved;
+        if self.swapdev.is_some() {
+            self.sync_backing(pid, false);
+        } else {
+            self.swap_used += moved;
+        }
         Ok(charge)
     }
 
@@ -479,7 +555,11 @@ impl MemoryManager {
         let from_swap = pm.swapped.min(left);
         pm.swapped -= from_swap;
         self.resident_total -= from_dirty + from_clean;
-        self.swap_used = self.swap_used.saturating_sub(from_swap);
+        if self.swapdev.is_some() {
+            self.sync_backing(pid, false);
+        } else {
+            self.swap_used = self.swap_used.saturating_sub(from_swap);
+        }
         Ok(())
     }
 
@@ -490,7 +570,12 @@ impl MemoryManager {
         let pm = self.procs.remove(&pid).ok_or(OsError::NoSuchProcess)?;
         self.lru.remove(&victim_key(&pm, pid));
         self.resident_total -= pm.resident();
-        self.swap_used = self.swap_used.saturating_sub(pm.swapped);
+        if let Some(dev) = self.swapdev.as_mut() {
+            dev.remove(pid);
+            self.swap_used = dev.allocated_bytes();
+        } else {
+            self.swap_used = self.swap_used.saturating_sub(pm.swapped);
+        }
         Ok(())
     }
 
@@ -501,16 +586,38 @@ impl MemoryManager {
     /// back from the swap device; bringing them in may in turn evict memory of
     /// other (suspended) processes.
     pub fn page_in_all(&mut self, pid: Pid, now: SimTime) -> Result<MemoryCharge, OsError> {
+        self.page_in_some(pid, u64::MAX, now)
+    }
+
+    /// Faults in at most `max_bytes` of `pid`'s swapped memory — the lazy
+    /// resume path: only the configured prefetch window is read eagerly at
+    /// `SIGCONT` time, everything else faults back in on touch.
+    pub fn page_in_partial(
+        &mut self,
+        pid: Pid,
+        max_bytes: u64,
+        now: SimTime,
+    ) -> Result<MemoryCharge, OsError> {
+        self.page_in_some(pid, max_bytes, now)
+    }
+
+    fn page_in_some(
+        &mut self,
+        pid: Pid,
+        limit: u64,
+        now: SimTime,
+    ) -> Result<MemoryCharge, OsError> {
         let swapped = self.procs.get(&pid).ok_or(OsError::NoSuchProcess)?.swapped;
-        if swapped == 0 {
+        let goal = swapped.min(limit);
+        if goal == 0 {
             self.reindex(pid, |pm| pm.last_touch = now)?;
             return Ok(MemoryCharge::default());
         }
-        let shortfall = swapped.saturating_sub(self.free_ram());
+        let shortfall = goal.saturating_sub(self.free_ram());
         let mut charge = self.reclaim(pid, shortfall)?;
         // If even evicting every other process cannot make room, part of the
         // address space has to stay in swap (the process will thrash).
-        let stay_swapped = charge.self_thrash_bytes.min(swapped);
+        let stay_swapped = (swapped - goal) + charge.self_thrash_bytes.min(goal);
         let bring_in = swapped - stay_swapped;
         self.reindex(pid, |pm| {
             pm.swapped = stay_swapped;
@@ -523,7 +630,13 @@ impl MemoryManager {
         })
         .expect("checked above");
         self.resident_total += bring_in;
-        self.swap_used = self.swap_used.saturating_sub(bring_in);
+        if self.swapdev.is_some() {
+            // Blocks that were just read stay allocated as swap cache until
+            // capacity pressure or a cache trim sheds them.
+            self.sync_backing(pid, true);
+        } else {
+            self.swap_used = self.swap_used.saturating_sub(bring_in);
+        }
         self.stats.swap_in_bytes += bring_in;
         charge.paged_in = bring_in;
         Ok(charge)
@@ -568,17 +681,59 @@ impl MemoryManager {
                 self.config.usable_ram()
             ));
         }
-        let swapped: u64 = self.procs.values().map(|p| p.swapped).sum();
-        if swapped != self.swap_used {
-            return Err(format!(
-                "per-process swapped sum ({swapped}) != swap_used ({})",
-                self.swap_used
-            ));
+        for (pid, pm) in &self.procs {
+            if !self.lru.contains(&victim_key(pm, *pid)) {
+                return Err(format!(
+                    "victim index disagrees with last_touch/suspended of {pid:?}"
+                ));
+            }
+        }
+        match &self.swapdev {
+            None => {
+                let swapped: u64 = self.procs.values().map(|p| p.swapped).sum();
+                if swapped != self.swap_used {
+                    return Err(format!(
+                        "per-process swapped sum ({swapped}) != swap_used ({})",
+                        self.swap_used
+                    ));
+                }
+            }
+            Some(dev) => {
+                dev.check_invariants();
+                if self.swap_used != dev.allocated_bytes() {
+                    return Err(format!(
+                        "swap_used ({}) != device occupancy ({})",
+                        self.swap_used,
+                        dev.allocated_bytes()
+                    ));
+                }
+                if !self.swap_used.is_multiple_of(dev.block_size()) {
+                    return Err("device occupancy not block-aligned".into());
+                }
+                let bs = dev.block_size();
+                for (pid, pm) in &self.procs {
+                    if u64::from(dev.active_blocks_of(*pid)) != pm.swapped.div_ceil(bs) {
+                        return Err(format!(
+                            "{pid:?}: active blocks != ceil(swapped / block_size)"
+                        ));
+                    }
+                    if u64::from(dev.cached_blocks_of(*pid)) > pm.resident_clean.div_ceil(bs) {
+                        return Err(format!("{pid:?}: swap cache exceeds resident clean"));
+                    }
+                }
+            }
         }
         if self.swap_used > self.config.swap_capacity {
             return Err("swap used exceeds swap capacity".into());
         }
         Ok(())
+    }
+
+    /// The current eviction order over all registered processes: suspended
+    /// first, then least-recently touched, pid as the tiebreaker. Exposed so
+    /// the differential tests can compare victim order across models.
+    pub fn victim_order_snapshot(&self) -> Vec<Pid> {
+        self.lru.iter().map(|&(_, _, pid)| pid).collect()
     }
 }
 

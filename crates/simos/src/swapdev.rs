@@ -1,0 +1,517 @@
+//! Block-granular swap-device model.
+//!
+//! [`SwapDevice`] models the swap area as an array of fixed-size blocks with
+//! a word-packed allocation bitmap, a parallel *cached* bitmap (a cached
+//! block holds content that is **also** resident in RAM — the swap cache),
+//! per-process block extents, and KernelX-style swap-in/swap-out timing
+//! counters. The device is an *occupancy* model layered under
+//! [`crate::MemoryManager`]: byte-exact charge accounting stays in the
+//! manager, while the device answers block-granular capacity questions
+//! (fragmentation makes swap fill earlier than the byte total suggests),
+//! retains freed backing store as reclaimable swap cache after page-ins,
+//! and records the I/O counters the benches report.
+//!
+//! Everything is gated behind [`SwapConfig::enabled`], which defaults to
+//! `false` so every pre-existing fixed-seed pin stays byte-identical.
+
+use crate::process::Pid;
+use crate::signal::OsError;
+use mrp_sim::{SimDuration, MIB};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Knobs of the block-granular swap-device model. Default-off.
+///
+/// ```
+/// use mrp_simos::SwapConfig;
+///
+/// // The default configuration leaves the device off: the memory manager
+/// // keeps its legacy byte-granular accounting, bit for bit.
+/// let off = SwapConfig::default();
+/// assert!(!off.enabled);
+/// assert!(off.validate().is_ok());
+///
+/// // `enabled()` switches block-granular swap accounting on with eager
+/// // resume (the whole working set pages back in at SIGCONT time).
+/// let eager = SwapConfig::enabled();
+/// assert!(eager.enabled && !eager.lazy_resume);
+///
+/// // `lazy()` additionally makes resume lazy: only `resume_prefetch` of the
+/// // swapped bytes page in up front, the rest faults back in on touch.
+/// let lazy = SwapConfig::lazy();
+/// assert!(lazy.lazy_resume && lazy.resume_prefetch < 1.0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SwapConfig {
+    /// Master switch. `false` (the default) keeps the legacy byte-granular
+    /// swap accounting and leaves every existing pinned trace untouched.
+    pub enabled: bool,
+    /// Size of one swap block in bytes. Occupancy is charged in whole
+    /// blocks, so a process with 1 byte swapped holds a full block.
+    pub block_size: u64,
+    /// When `true`, a resumed process pages in only
+    /// [`resume_prefetch`](Self::resume_prefetch) of its swapped bytes at
+    /// SIGCONT time; the remainder faults back in on touch (and at the
+    /// latest when the task finalizes and re-reads its state).
+    pub lazy_resume: bool,
+    /// Fraction of swapped bytes paged in eagerly on a lazy resume, in
+    /// `[0, 1]`. Ignored unless [`lazy_resume`](Self::lazy_resume) is set.
+    pub resume_prefetch: f64,
+}
+
+impl Default for SwapConfig {
+    fn default() -> Self {
+        SwapConfig {
+            enabled: false,
+            block_size: MIB,
+            lazy_resume: false,
+            resume_prefetch: 0.25,
+        }
+    }
+}
+
+impl SwapConfig {
+    /// Block-granular swap accounting on, resume still eager.
+    ///
+    /// ```
+    /// use mrp_simos::SwapConfig;
+    /// assert!(SwapConfig::enabled().validate().is_ok());
+    /// ```
+    pub fn enabled() -> Self {
+        SwapConfig {
+            enabled: true,
+            ..SwapConfig::default()
+        }
+    }
+
+    /// Block-granular swap accounting on with lazy (fault-on-touch) resume.
+    ///
+    /// ```
+    /// use mrp_simos::SwapConfig;
+    /// let cfg = SwapConfig::lazy();
+    /// assert!(cfg.enabled && cfg.lazy_resume);
+    /// ```
+    pub fn lazy() -> Self {
+        SwapConfig {
+            lazy_resume: true,
+            ..SwapConfig::enabled()
+        }
+    }
+
+    /// Checks the knobs for consistency. Always `Ok` while disabled.
+    ///
+    /// ```
+    /// use mrp_simos::SwapConfig;
+    /// let mut cfg = SwapConfig::lazy();
+    /// cfg.resume_prefetch = 1.5;
+    /// assert!(cfg.validate().is_err());
+    /// cfg.enabled = false; // disabled configs are never rejected
+    /// assert!(cfg.validate().is_ok());
+    /// ```
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.enabled {
+            return Ok(());
+        }
+        if self.block_size == 0 {
+            return Err("swap.block_size must be positive".into());
+        }
+        if self.block_size > 64 * MIB {
+            return Err("swap.block_size above 64 MiB defeats the model".into());
+        }
+        if !(self.resume_prefetch >= 0.0 && self.resume_prefetch <= 1.0) {
+            return Err("swap.resume_prefetch must be in [0, 1]".into());
+        }
+        Ok(())
+    }
+}
+
+/// Swap-device counters, in the style of the KernelX anonymous swapper's
+/// perf counters (op counts plus cumulative transfer time, maintained by the
+/// kernel disk layer; block-level cache counters maintained by the device).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SwapStats {
+    /// Swap-out (write) operations charged to the device.
+    pub swap_out_ops: u64,
+    /// Swap-in (read) operations charged to the device.
+    pub swap_in_ops: u64,
+    /// Cumulative simulated time spent writing to swap.
+    pub swap_out_time: SimDuration,
+    /// Cumulative simulated time spent reading from swap.
+    pub swap_in_time: SimDuration,
+    /// Blocks re-activated from the swap cache (clean pages evicted again
+    /// without a fresh block allocation).
+    pub cache_reactivated_blocks: u64,
+    /// Cached blocks dropped to make room for new swap-outs.
+    pub cache_dropped_blocks: u64,
+}
+
+/// Per-process block extent: which blocks back swapped-out bytes (`active`)
+/// and which are swap cache (`cached` — content also resident in RAM).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+struct Extent {
+    active: Vec<u32>,
+    cached: Vec<u32>,
+}
+
+/// The block-granular swap device. See the module docs.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SwapDevice {
+    block_size: u64,
+    total_blocks: u32,
+    /// Word-packed allocation bitmap: bit set = block in use (active or
+    /// cached).
+    allocated: Vec<u64>,
+    /// Word-packed cache bitmap: bit set = block content also lives in RAM.
+    /// Always a subset of `allocated`.
+    cached: Vec<u64>,
+    extents: BTreeMap<Pid, Extent>,
+    stats: SwapStats,
+}
+
+fn bit(words: &[u64], idx: u32) -> bool {
+    words[(idx / 64) as usize] >> (idx % 64) & 1 == 1
+}
+
+fn set_bit(words: &mut [u64], idx: u32, value: bool) {
+    let word = &mut words[(idx / 64) as usize];
+    if value {
+        *word |= 1 << (idx % 64);
+    } else {
+        *word &= !(1 << (idx % 64));
+    }
+}
+
+impl SwapDevice {
+    /// A device covering `capacity` bytes in blocks of `block_size` (partial
+    /// trailing blocks are not usable).
+    pub fn new(capacity: u64, block_size: u64) -> Self {
+        assert!(block_size > 0, "swap block size must be positive");
+        let total_blocks = u32::try_from(capacity / block_size).expect("swap area fits in u32");
+        let words = (total_blocks as usize).div_ceil(64);
+        SwapDevice {
+            block_size,
+            total_blocks,
+            allocated: vec![0; words],
+            cached: vec![0; words],
+            extents: BTreeMap::new(),
+            stats: SwapStats::default(),
+        }
+    }
+
+    /// Size of one block in bytes.
+    pub fn block_size(&self) -> u64 {
+        self.block_size
+    }
+
+    /// Total blocks the device can hold.
+    pub fn total_blocks(&self) -> u32 {
+        self.total_blocks
+    }
+
+    /// Blocks currently allocated (active + cached).
+    pub fn allocated_blocks(&self) -> u32 {
+        self.allocated.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Bytes of swap area occupied (`allocated_blocks * block_size`).
+    pub fn allocated_bytes(&self) -> u64 {
+        u64::from(self.allocated_blocks()) * self.block_size
+    }
+
+    /// Blocks currently held as swap cache across all processes.
+    pub fn cached_blocks(&self) -> u32 {
+        self.cached.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// The device's I/O and cache counters.
+    pub fn stats(&self) -> &SwapStats {
+        &self.stats
+    }
+
+    /// Records one swap write of `time` against the KernelX-style counters.
+    pub fn record_out(&mut self, time: SimDuration) {
+        self.stats.swap_out_ops += 1;
+        self.stats.swap_out_time += time;
+    }
+
+    /// Records one swap read of `time` against the KernelX-style counters.
+    pub fn record_in(&mut self, time: SimDuration) {
+        self.stats.swap_in_ops += 1;
+        self.stats.swap_in_time += time;
+    }
+
+    /// Blocks backing `pid`'s swapped-out bytes.
+    pub fn active_blocks_of(&self, pid: Pid) -> u32 {
+        self.extents.get(&pid).map_or(0, |e| e.active.len() as u32)
+    }
+
+    /// Swap-cache blocks held for `pid`.
+    pub fn cached_blocks_of(&self, pid: Pid) -> u32 {
+        self.extents.get(&pid).map_or(0, |e| e.cached.len() as u32)
+    }
+
+    fn blocks_for(&self, bytes: u64) -> u32 {
+        u32::try_from(bytes.div_ceil(self.block_size)).expect("extent fits in u32")
+    }
+
+    fn free_blocks(&self) -> u32 {
+        self.total_blocks - self.allocated_blocks()
+    }
+
+    /// Lowest-index free block, if any (first-fit keeps runs deterministic).
+    fn alloc_block(&mut self) -> Option<u32> {
+        for (w, word) in self.allocated.iter().enumerate() {
+            if *word != u64::MAX {
+                let idx = w as u32 * 64 + word.trailing_ones();
+                if idx < self.total_blocks {
+                    set_bit(&mut self.allocated, idx, true);
+                    return Some(idx);
+                }
+            }
+        }
+        None
+    }
+
+    /// Drops one cached block (lowest pid, most recently cached first) to
+    /// make room. Returns false when no cache is left to shed.
+    fn drop_one_cached(&mut self) -> bool {
+        for extent in self.extents.values_mut() {
+            if let Some(block) = extent.cached.pop() {
+                set_bit(&mut self.cached, block, false);
+                set_bit(&mut self.allocated, block, false);
+                self.stats.cache_dropped_blocks += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Could `pid`'s backing grow to cover `swapped_bytes`, counting free
+    /// blocks plus every droppable cached block (its own included)?
+    pub fn can_back(&self, pid: Pid, swapped_bytes: u64) -> bool {
+        let want = self.blocks_for(swapped_bytes);
+        let have = self.active_blocks_of(pid);
+        let need = want.saturating_sub(have);
+        need <= self.free_blocks() + self.cached_blocks()
+    }
+
+    /// Grows or shrinks `pid`'s active extent to cover `swapped_bytes`.
+    ///
+    /// Growth consumes the process's own swap cache first (re-activation:
+    /// the clean copy on disk is still valid, no new block needed), then
+    /// free blocks, then drops other processes' cache. Shrink sends blocks
+    /// to the swap cache when `to_cache` is set (page-in: content now lives
+    /// in both places) and frees them otherwise (release/exit).
+    pub fn set_backing(
+        &mut self,
+        pid: Pid,
+        swapped_bytes: u64,
+        to_cache: bool,
+    ) -> Result<(), OsError> {
+        let want = self.blocks_for(swapped_bytes);
+        if !self.can_back(pid, swapped_bytes) {
+            return Err(OsError::OutOfMemory);
+        }
+        let mut extent = self.extents.remove(&pid).unwrap_or_default();
+        while (extent.active.len() as u32) < want {
+            if let Some(block) = extent.cached.pop() {
+                set_bit(&mut self.cached, block, false);
+                self.stats.cache_reactivated_blocks += 1;
+                extent.active.push(block);
+            } else if let Some(block) = self.alloc_block() {
+                extent.active.push(block);
+            } else {
+                let dropped = self.drop_one_cached();
+                debug_assert!(dropped, "can_back admitted an unbackable extent");
+                if !dropped {
+                    self.extents.insert(pid, extent);
+                    return Err(OsError::OutOfMemory);
+                }
+            }
+        }
+        while (extent.active.len() as u32) > want {
+            let block = extent.active.pop().expect("len checked above");
+            if to_cache {
+                set_bit(&mut self.cached, block, true);
+                extent.cached.push(block);
+            } else {
+                set_bit(&mut self.allocated, block, false);
+            }
+        }
+        if extent.active.is_empty() && extent.cached.is_empty() {
+            self.extents.remove(&pid);
+        } else {
+            self.extents.insert(pid, extent);
+        }
+        Ok(())
+    }
+
+    /// Caps `pid`'s swap cache at what `resident_clean_bytes` can still
+    /// mirror; excess blocks are freed.
+    pub fn trim_cache(&mut self, pid: Pid, resident_clean_bytes: u64) {
+        let cap = self.blocks_for(resident_clean_bytes);
+        let Some(extent) = self.extents.get_mut(&pid) else {
+            return;
+        };
+        while (extent.cached.len() as u32) > cap {
+            let block = extent.cached.pop().expect("len checked above");
+            set_bit(&mut self.cached, block, false);
+            set_bit(&mut self.allocated, block, false);
+            self.stats.cache_dropped_blocks += 1;
+        }
+        if extent.active.is_empty() && extent.cached.is_empty() {
+            self.extents.remove(&pid);
+        }
+    }
+
+    /// Frees everything the process held (exit / OOM kill).
+    pub fn remove(&mut self, pid: Pid) {
+        if let Some(extent) = self.extents.remove(&pid) {
+            for block in extent.active.into_iter().chain(extent.cached) {
+                set_bit(&mut self.cached, block, false);
+                set_bit(&mut self.allocated, block, false);
+            }
+        }
+    }
+
+    /// Internal consistency: bitmap popcounts match the extents, the cached
+    /// bitmap is a subset of the allocated bitmap, and no block appears in
+    /// two extents.
+    ///
+    /// # Panics
+    /// On any violated invariant (used by tests and debug assertions).
+    pub fn check_invariants(&self) {
+        let mut seen = vec![false; self.total_blocks as usize];
+        let mut active_total = 0u32;
+        let mut cached_total = 0u32;
+        for (pid, extent) in &self.extents {
+            for &block in &extent.active {
+                assert!(bit(&self.allocated, block), "{pid:?}: active block free");
+                assert!(!bit(&self.cached, block), "{pid:?}: active block cached");
+                assert!(!seen[block as usize], "{pid:?}: block double-owned");
+                seen[block as usize] = true;
+                active_total += 1;
+            }
+            for &block in &extent.cached {
+                assert!(bit(&self.allocated, block), "{pid:?}: cached block free");
+                assert!(bit(&self.cached, block), "{pid:?}: cache bit missing");
+                assert!(!seen[block as usize], "{pid:?}: block double-owned");
+                seen[block as usize] = true;
+                cached_total += 1;
+            }
+        }
+        assert_eq!(
+            self.allocated_blocks(),
+            active_total + cached_total,
+            "allocation bitmap disagrees with the extents"
+        );
+        assert_eq!(
+            self.cached_blocks(),
+            cached_total,
+            "cache bitmap disagrees with the extents"
+        );
+        for (w, (a, c)) in self.allocated.iter().zip(&self.cached).enumerate() {
+            assert_eq!(c & !a, 0, "word {w}: cached block not allocated");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PID: Pid = Pid(1);
+    const OTHER: Pid = Pid(2);
+
+    #[test]
+    fn config_validation() {
+        assert!(SwapConfig::default().validate().is_ok());
+        assert!(SwapConfig::enabled().validate().is_ok());
+        assert!(SwapConfig::lazy().validate().is_ok());
+        let mut bad = SwapConfig::enabled();
+        bad.block_size = 0;
+        assert!(bad.validate().is_err());
+        bad = SwapConfig::lazy();
+        bad.resume_prefetch = f64::NAN;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn backing_is_block_granular() {
+        let mut dev = SwapDevice::new(8 * MIB, MIB);
+        dev.set_backing(PID, 1, false).unwrap();
+        assert_eq!(dev.allocated_blocks(), 1, "1 byte still costs a block");
+        dev.set_backing(PID, 3 * MIB + 1, false).unwrap();
+        assert_eq!(dev.allocated_blocks(), 4);
+        dev.set_backing(PID, 0, false).unwrap();
+        assert_eq!(dev.allocated_blocks(), 0);
+        dev.check_invariants();
+    }
+
+    #[test]
+    fn page_in_retains_blocks_as_cache() {
+        let mut dev = SwapDevice::new(8 * MIB, MIB);
+        dev.set_backing(PID, 4 * MIB, false).unwrap();
+        dev.set_backing(PID, 0, true).unwrap(); // full page-in
+        assert_eq!(dev.active_blocks_of(PID), 0);
+        assert_eq!(dev.cached_blocks_of(PID), 4);
+        assert_eq!(dev.allocated_blocks(), 4, "cache still occupies swap");
+        // Re-eviction re-activates the cached blocks without allocating.
+        dev.set_backing(PID, 2 * MIB, false).unwrap();
+        assert_eq!(dev.stats().cache_reactivated_blocks, 2);
+        assert_eq!(dev.allocated_blocks(), 4);
+        dev.check_invariants();
+    }
+
+    #[test]
+    fn cache_is_shed_under_capacity_pressure() {
+        let mut dev = SwapDevice::new(4 * MIB, MIB);
+        dev.set_backing(PID, 3 * MIB, false).unwrap();
+        dev.set_backing(PID, 0, true).unwrap(); // 3 cached blocks
+        assert!(dev.can_back(OTHER, 4 * MIB), "cache is droppable");
+        dev.set_backing(OTHER, 4 * MIB, false).unwrap();
+        assert_eq!(dev.cached_blocks(), 0, "cache shed for real backing");
+        assert!(dev.stats().cache_dropped_blocks >= 1);
+        assert!(!dev.can_back(PID, MIB), "device genuinely full now");
+        assert!(dev.set_backing(PID, MIB, false).is_err());
+        dev.check_invariants();
+    }
+
+    #[test]
+    fn trim_cache_follows_resident_clean() {
+        let mut dev = SwapDevice::new(8 * MIB, MIB);
+        dev.set_backing(PID, 4 * MIB, false).unwrap();
+        dev.set_backing(PID, 0, true).unwrap();
+        dev.trim_cache(PID, MIB + 1);
+        assert_eq!(dev.cached_blocks_of(PID), 2, "ceil(1 MiB + 1) = 2 blocks");
+        dev.trim_cache(PID, 0);
+        assert_eq!(dev.cached_blocks_of(PID), 0);
+        assert_eq!(dev.allocated_blocks(), 0);
+        dev.check_invariants();
+    }
+
+    #[test]
+    fn remove_frees_everything() {
+        let mut dev = SwapDevice::new(8 * MIB, MIB);
+        dev.set_backing(PID, 2 * MIB, false).unwrap();
+        dev.set_backing(OTHER, 3 * MIB, false).unwrap();
+        dev.set_backing(OTHER, MIB, true).unwrap();
+        dev.remove(OTHER);
+        assert_eq!(dev.allocated_blocks(), 2);
+        assert_eq!(dev.cached_blocks(), 0);
+        dev.check_invariants();
+    }
+
+    #[test]
+    fn io_counters_accumulate() {
+        let mut dev = SwapDevice::new(8 * MIB, MIB);
+        dev.record_out(SimDuration::from_millis(250));
+        dev.record_out(SimDuration::from_millis(250));
+        dev.record_in(SimDuration::from_millis(100));
+        let stats = dev.stats();
+        assert_eq!(stats.swap_out_ops, 2);
+        assert_eq!(stats.swap_in_ops, 1);
+        assert_eq!(stats.swap_out_time, SimDuration::from_millis(500));
+        assert_eq!(stats.swap_in_time, SimDuration::from_millis(100));
+    }
+}

@@ -12,9 +12,9 @@
 use hadoop_os_preempt::prelude::*;
 use mrp_engine::{
     Cluster, DetectorConfig, FaultEvent, FaultKind, NodeId, RackId, RandomFaults, RefreshMode,
-    ReliabilityConfig, ShuffleConfig, SpeculationConfig,
+    ReliabilityConfig, ShuffleConfig, SpeculationConfig, SwapConfig,
 };
-use mrp_experiments::run_once;
+use mrp_experiments::{run_memory_pressure, run_once, MemoryPressureConfig};
 use mrp_sim::{SimRng, SimTime};
 
 #[test]
@@ -37,8 +37,12 @@ fn fixed_seed_paper_scenario_is_pinned() {
 }
 
 fn churn_cluster() -> Cluster {
+    churn_cluster_cfg(ClusterConfig::small_cluster(8, 2, 1))
+}
+
+fn churn_cluster_cfg(cfg: ClusterConfig) -> Cluster {
     let mut cluster = Cluster::new(
-        ClusterConfig::small_cluster(8, 2, 1),
+        cfg,
         Box::new(HfspScheduler::new(
             PreemptionPrimitive::SuspendResume,
             EvictionPolicy::ClosestToCompletion,
@@ -153,6 +157,10 @@ fn fixed_seed_multi_rack_run_is_pinned() {
 /// order, re-replication draws, speculation triggering) is caught
 /// immediately.
 fn fault_churn_cluster() -> Cluster {
+    fault_churn_cluster_cfg(fault_churn_config())
+}
+
+fn fault_churn_config() -> ClusterConfig {
     let mut cfg = ClusterConfig::racked_cluster(3, 4, 1, 1);
     cfg.trace_level = mrp_engine::TraceLevel::Off;
     cfg.speculation = SpeculationConfig::enabled();
@@ -178,6 +186,10 @@ fn fault_churn_cluster() -> Cluster {
         horizon: SimTime::from_secs(400),
         seed: 0xC0FFEE,
     });
+    cfg
+}
+
+fn fault_churn_cluster_cfg(cfg: ClusterConfig) -> Cluster {
     let mut cluster = Cluster::new(
         cfg,
         Box::new(HfspScheduler::new(
@@ -962,4 +974,66 @@ fn sharded_and_full_refresh_produce_identical_reports() {
             "sharded vs full refresh diverged in case {case}"
         );
     }
+}
+
+/// Fixed-seed pinned outcome of the block-granular swap device. The
+/// memory-pressure scenario (HFSP suspend/resume churn with working sets
+/// larger than RAM) exercises the whole device — bitmap allocation, LRU
+/// block reuse, swap-out/swap-in timing — so pinning its exact counters
+/// catches any perturbation of the swap path, not just of the scheduler.
+#[test]
+fn fixed_seed_swap_device_run_is_pinned() {
+    let cfg = MemoryPressureConfig::small(SwapConfig::enabled());
+    let run = run_memory_pressure(&cfg);
+    assert!(run.report.all_jobs_complete());
+    assert_eq!(run.events_processed, PINNED_SWAP_EVENTS);
+    assert_eq!(run.report.finished_at.as_micros(), PINNED_SWAP_FINISH);
+    assert_eq!((run.swap_out_bytes, run.swap_in_bytes), PINNED_SWAP_TRAFFIC);
+    assert_eq!(run.suspend_cycles, PINNED_SWAP_CYCLES);
+    assert_eq!(run.oom_kills, 0);
+    // Virtual seconds stalled on swap I/O, accumulated by the device's
+    // timing model (f64, but derived from integer-microsecond durations —
+    // exact equality is deterministic).
+    assert_eq!(run.swap_io_secs, PINNED_SWAP_IO_SECS);
+
+    let again = run_memory_pressure(&cfg);
+    assert_eq!(again.report, run.report);
+    assert_eq!(again.events_processed, run.events_processed);
+}
+
+const PINNED_SWAP_EVENTS: u64 = 822;
+const PINNED_SWAP_FINISH: u64 = 419_769_351;
+const PINNED_SWAP_TRAFFIC: (u64, u64) = (29_511_961_800, 54_697_918_464);
+const PINNED_SWAP_CYCLES: u64 = 29;
+const PINNED_SWAP_IO_SECS: f64 = 796.151_36;
+
+/// A `SwapConfig` with `enabled: false` must be inert no matter how its
+/// other knobs are set: the legacy byte-granular swap accounting runs and
+/// every existing pinned trace stays byte-identical. Guards the default-off
+/// gate that keeps the device opt-in.
+#[test]
+fn disabled_swap_device_is_byte_identical() {
+    let weird_but_off = SwapConfig {
+        enabled: false,
+        block_size: 256 * 1024,
+        lazy_resume: true,
+        resume_prefetch: 0.75,
+    };
+
+    // Preemption-churn shape (the sim_throughput-style suspend/resume mix).
+    let mut stock = churn_cluster();
+    stock.run(SimTime::from_secs(24 * 3_600));
+    let mut tweaked =
+        churn_cluster_cfg(ClusterConfig::small_cluster(8, 2, 1).with_swap(weird_but_off));
+    tweaked.run(SimTime::from_secs(24 * 3_600));
+    assert_eq!(tweaked.report(), stock.report());
+    assert_eq!(tweaked.events_processed(), stock.events_processed());
+
+    // Fault-churn shape (kills, rack outages, speculation, re-replication).
+    let mut stock = fault_churn_cluster();
+    stock.run(SimTime::from_secs(24 * 3_600));
+    let mut tweaked = fault_churn_cluster_cfg(fault_churn_config().with_swap(weird_but_off));
+    tweaked.run(SimTime::from_secs(24 * 3_600));
+    assert_eq!(tweaked.report(), stock.report());
+    assert_eq!(tweaked.events_processed(), stock.events_processed());
 }
