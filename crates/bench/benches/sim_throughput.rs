@@ -268,6 +268,34 @@ fn main() {
         .sum();
     assert!(suspends > 0, "the scenario must exercise preemption churn");
 
+    // Observability profiler smoke: with the full obs layer on, the run must
+    // stay byte-identical and the event-loop profiler must attribute nearly
+    // all of the loop's wall time to event kinds (the batched-timing design
+    // loses at most one partial batch per loop window).
+    let observed = scenario::run_with_config(hfsp(), |cfg| {
+        cfg.obs = mrp_engine::ObsConfig::full();
+    });
+    assert_eq!(
+        observed.report, report_a,
+        "observation must not change the simulation outcome"
+    );
+    assert_eq!(observed.events, events);
+    let profile = observed
+        .obs
+        .expect("obs enabled")
+        .profile()
+        .expect("profiling on");
+    assert!(
+        profile.attribution() >= 0.95,
+        "profiler attributed only {:.1}% of loop wall time",
+        100.0 * profile.attribution()
+    );
+    println!(
+        "obs profiler            : {:.1}% of loop wall attributed over {} events",
+        100.0 * profile.attribution(),
+        profile.total_events(),
+    );
+
     let mut wall = wall_first;
     if !bench.is_test() {
         // A few more runs; keep the fastest for the headline number.

@@ -108,6 +108,39 @@ fn main() {
         );
     }
 
+    // Observability pass: the same scenario with the full obs layer on must
+    // stay byte-identical, and its span trace must export as a schema-valid
+    // Chrome `trace_event` JSON (balanced B/E pairs, non-decreasing
+    // timestamps). This is the CI schema check for the trace exporter.
+    let observed = sc.run_with_config(|cfg| {
+        cfg.obs = mrp_engine::ObsConfig::full();
+    });
+    assert_eq!(
+        observed.report, first.report,
+        "observation must not change the simulation outcome"
+    );
+    assert_eq!(observed.events, first.events);
+    let obs = observed.obs.expect("obs enabled");
+    let trace =
+        mrp_preempt::obs_export::chrome_trace_json(obs.spans(), observed.report.finished_at)
+            .pretty();
+    mrp_preempt::obs_export::validate_chrome_trace(&trace)
+        .unwrap_or_else(|e| panic!("exported Chrome trace failed schema check: {e}"));
+    println!(
+        "obs trace               : {} spans ({} dropped), {} KiB of trace_event JSON, schema ok",
+        obs.spans().len(),
+        obs.dropped_spans(),
+        trace.len() / 1024,
+    );
+    let profile = obs.profile().expect("profiling on");
+    assert!(
+        profile.attribution() >= 0.95,
+        "profiler attributed only {:.1}% of loop wall time",
+        100.0 * profile.attribution()
+    );
+    println!("per-event-kind profile (obs-on run):");
+    println!("{}", profile.table());
+
     if !bench.is_test() {
         let mut fields = vec![
             (

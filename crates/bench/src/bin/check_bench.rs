@@ -52,7 +52,11 @@
 //!   `thrash_events`, the per-cycle resume cost must strictly grow with the
 //!   dirty state per task, and disk contention from re-replication must
 //!   strictly inflate virtual swap-I/O time (enforced in quick mode too —
-//!   correctness bars).
+//!   correctness bars), or
+//! * the observability-overhead gate regresses: `sim_throughput` with
+//!   `ObsConfig::full()` (metrics registry + time-series sampler + span
+//!   recording + event-loop profiler) drops below 90% of the obs-off
+//!   events/sec on the same seed (full shapes only).
 //!
 //! `swim_cluster` and `memory_pressure` have no hard bar here: the former's
 //! measured ratio straddles 1/3 purely with anchor timing noise (see
@@ -96,6 +100,20 @@ fn main() {
     let sim_eps = median(
         (0..runs)
             .map(|_| sim_throughput::run(hfsp()).events_per_sec())
+            .collect(),
+    );
+
+    // The same anchor with the full observability layer on (registry +
+    // series + spans + profiler), for the obs-overhead gate: observation is
+    // allowed to cost at most 10% of the obs-off rate on the same seed.
+    let obs_eps = median(
+        (0..runs)
+            .map(|_| {
+                sim_throughput::run_with_config(hfsp(), |cfg| {
+                    cfg.obs = mrp_engine::ObsConfig::full();
+                })
+                .events_per_sec()
+            })
             .collect(),
     );
 
@@ -460,6 +478,35 @@ fn main() {
             },
         );
         if !lazy_ok || !thrash_ok || !curve_ok || !contention_ok {
+            failed = true;
+        }
+    }
+
+    // Observability-overhead gate (full shapes only — the 0.9x bar was
+    // recorded on them; quick mode prints the ratio without enforcing it):
+    // with `ObsConfig::full()` on, the anchor scenario must keep at least
+    // 90% of its obs-off events/sec on the same seed. The byte-identity of
+    // the obs-on run itself is asserted by `tests/observability.rs` and the
+    // bench binaries.
+    {
+        let overhead_ratio = obs_eps / sim_eps;
+        let obs_ok = quick || overhead_ratio >= 0.9;
+        println!(
+            "  obs gate       obs-on {:.0} ev/s = {:.2}x obs-off (bar >= 0.90x{})  [{}]",
+            obs_eps,
+            overhead_ratio,
+            if quick {
+                "; not enforced on --quick"
+            } else {
+                ""
+            },
+            if obs_ok {
+                "overhead ok"
+            } else {
+                "OBS OVERHEAD EXCEEDS 10%"
+            },
+        );
+        if !obs_ok {
             failed = true;
         }
     }

@@ -26,6 +26,9 @@ pub struct ScenarioOutcome {
     pub events: u64,
     /// Wall-clock seconds for the `Cluster::run` call alone.
     pub wall_secs: f64,
+    /// The observability state, when the run was configured with
+    /// [`mrp_engine::ObsConfig`] enabled (span trace, series, profile).
+    pub obs: Option<Box<mrp_engine::ObsState>>,
 }
 
 impl ScenarioOutcome {
@@ -39,6 +42,7 @@ fn timed_run(mut cluster: Cluster, max: SimTime, name: &str) -> ScenarioOutcome 
     let start = Instant::now();
     cluster.run(max);
     let wall_secs = start.elapsed().as_secs_f64();
+    let obs = cluster.take_observability();
     let report = cluster.report();
     assert!(
         report.all_jobs_complete(),
@@ -48,6 +52,7 @@ fn timed_run(mut cluster: Cluster, max: SimTime, name: &str) -> ScenarioOutcome 
         report,
         events: cluster.events_processed(),
         wall_secs,
+        obs,
     }
 }
 
@@ -117,7 +122,19 @@ pub mod sim_throughput {
 
     /// Runs the scenario under the given policy.
     pub fn run(scheduler: Box<dyn SchedulerPolicy>) -> ScenarioOutcome {
-        let mut cluster = Cluster::new(config(), scheduler);
+        run_with_config(scheduler, |_| {})
+    }
+
+    /// Runs the scenario with a configuration tweak applied first (the
+    /// observability-overhead gate switches `ObsConfig` on this way, so
+    /// the obs-on and obs-off runs share one workload and seed).
+    pub fn run_with_config(
+        scheduler: Box<dyn SchedulerPolicy>,
+        tweak: impl FnOnce(&mut ClusterConfig),
+    ) -> ScenarioOutcome {
+        let mut cfg = config();
+        tweak(&mut cfg);
+        let mut cluster = Cluster::new(cfg, scheduler);
         submit_workload(&mut cluster);
         timed_run(cluster, SimTime::from_secs(24 * 3_600), "sim_throughput")
     }

@@ -350,14 +350,30 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
-                Some(_) => {
-                    // Consume one UTF-8 scalar (input is valid UTF-8 by
-                    // construction, so slicing at char boundaries is safe).
-                    let rest = &self.bytes[self.pos..];
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    // Consume one multi-byte UTF-8 scalar. Only the scalar's
+                    // own bytes are sliced and validated — validating from
+                    // `pos` to the end of the input here would make parsing
+                    // quadratic in the document size.
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err(self.err("invalid UTF-8")),
+                    };
+                    let end = self.pos + len;
+                    let rest = self
+                        .bytes
+                        .get(self.pos..end)
+                        .ok_or_else(|| self.err("invalid UTF-8"))?;
                     let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = s.chars().next().expect("peeked non-empty");
+                    let c = s.chars().next().expect("non-empty scalar");
                     out.push(c);
-                    self.pos += c.len_utf8();
+                    self.pos += len;
                 }
             }
         }

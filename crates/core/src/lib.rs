@@ -54,6 +54,7 @@ mod dummy;
 mod eviction;
 pub mod json;
 mod natjam;
+pub mod obs_export;
 mod pipeline;
 mod primitive;
 mod schedulers;

@@ -42,6 +42,7 @@ use crate::job::{
 use crate::metrics::{
     ClusterReport, FaultStats, JobReport, LocalityStats, NodeReport, TraceEntry, TraceKind,
 };
+use crate::obs::{ObsState, SpanKey};
 use crate::reliability::ReliabilityTracker;
 use crate::scheduler::{
     NodeView, PendingTotals, RackView, SchedulerAction, SchedulerContext, SchedulerPolicy,
@@ -269,6 +270,10 @@ pub struct Cluster {
     /// 1.0)` while healthy. Applied to new launches only: a degraded node
     /// stretches the plans of work placed on it, it does not rewrite history.
     gray: Vec<(f64, f64)>,
+    /// Observability state (metrics registry, series sampler, event-loop
+    /// profiler, span trace); `None` unless [`ObsConfig`](crate::ObsConfig)
+    /// is enabled, so the default path pays one null check per site.
+    obs: Option<Box<ObsState>>,
 }
 
 impl Cluster {
@@ -400,6 +405,10 @@ impl Cluster {
         let delay = DelayScoreboard::new(config.delay);
         let shuffle = ShuffleTracker::new(config.shuffle, rack_count);
         let reliability = ReliabilityTracker::new(config.reliability, node_count, rack_count);
+        let obs = config
+            .obs
+            .enabled
+            .then(|| Box::new(ObsState::new(config.obs)));
         Cluster {
             config,
             queue,
@@ -437,6 +446,7 @@ impl Cluster {
             last_heartbeat: vec![SimTime::ZERO; node_count],
             partition_buffer: vec![Vec::new(); node_count],
             gray: vec![(1.0, 1.0); node_count],
+            obs,
         }
     }
 
@@ -511,6 +521,20 @@ impl Cluster {
     /// tests can assert they match a recount from the job table.
     pub fn pending_totals(&self) -> PendingTotals {
         self.totals
+    }
+
+    /// The observability state — metrics registry, sampled time series,
+    /// event-loop profile and span trace — accumulated so far; `None` unless
+    /// [`ObsConfig`](crate::ObsConfig) is enabled.
+    pub fn observability(&self) -> Option<&ObsState> {
+        self.obs.as_deref()
+    }
+
+    /// Takes the observability state out of the cluster (for harnesses that
+    /// want to keep the recordings but drop the cluster). Subsequent events
+    /// are no longer observed.
+    pub fn take_observability(&mut self) -> Option<Box<ObsState>> {
+        self.obs.take()
     }
 
     /// Whether `node` is currently in service.
@@ -597,6 +621,9 @@ impl Cluster {
     /// Runs the simulation until every submitted job completes, the event
     /// queue drains, or `max_time` is reached. Returns the final virtual time.
     pub fn run(&mut self, max_time: SimTime) -> SimTime {
+        if let Some(obs) = self.obs.as_mut() {
+            obs.loop_begin();
+        }
         loop {
             if self.arrivals_remaining == 0 && self.all_jobs_complete() {
                 break;
@@ -621,13 +648,77 @@ impl Cluster {
             if take_wheel {
                 self.queue.advance_to(wheel_at);
                 let node = self.wheel.advance();
+                if let Some(obs) = self.obs.as_mut() {
+                    obs.note_event(0);
+                }
                 self.handle_heartbeat(node, wheel_at);
             } else {
                 let (now, event) = self.queue.pop().expect("peeked event must exist");
+                if let Some(obs) = self.obs.as_mut() {
+                    obs.note_event(Self::event_kind(&event));
+                }
                 self.handle_event(now, event);
             }
+            // The series sampler piggybacks on loop iterations (virtual-time
+            // deadline polling) instead of scheduling events of its own, so
+            // an observed run processes exactly the same event sequence.
+            if self.obs.is_some() {
+                self.obs_sample(next_at);
+            }
+        }
+        if let Some(obs) = self.obs.as_mut() {
+            obs.loop_end();
         }
         self.queue.now()
+    }
+
+    /// Profiler index of a queue event; index 0 is the heartbeat wheel (see
+    /// [`crate::obs::EVENT_KINDS`]).
+    fn event_kind(event: &Event) -> usize {
+        match event {
+            Event::JobArrival { .. } => 1,
+            Event::Heartbeat { .. } => 2,
+            Event::PhaseDone { .. } => 3,
+            Event::CleanupDone { .. } => 4,
+            Event::ProgressTrigger { .. } => 5,
+            Event::Fault { .. } => 6,
+            Event::Detector { .. } => 7,
+        }
+    }
+
+    /// Polls the series sampler at `now`, recording one row when a sampling
+    /// deadline has passed. Reads only — never mutates simulation state.
+    fn obs_sample(&mut self, now: SimTime) {
+        if !self.obs.as_ref().is_some_and(|o| o.series_due(now)) {
+            return;
+        }
+        let mut free_map_slots = 0u64;
+        let mut free_reduce_slots = 0u64;
+        for rv in &self.rack_views {
+            free_map_slots += u64::from(rv.free_map_slots);
+            free_reduce_slots += u64::from(rv.free_reduce_slots);
+        }
+        let mut swapped_bytes = 0u64;
+        let mut swap_backlog_bytes = 0u64;
+        for tt in &self.trackers {
+            swapped_bytes += tt.kernel().memory().swap_used();
+            swap_backlog_bytes += tt.kernel().disk().background_pending();
+        }
+        let row = vec![
+            u64::from(self.totals.schedulable_maps),
+            u64::from(self.totals.schedulable_reduces),
+            u64::from(self.totals.suspended),
+            free_map_slots,
+            free_reduce_slots,
+            swapped_bytes,
+            swap_backlog_bytes,
+            self.fault_stats.nodes_suspected,
+            self.incomplete_jobs as u64,
+            self.events_processed,
+        ];
+        if let Some(obs) = self.obs.as_mut() {
+            obs.record_series(now, row);
+        }
     }
 
     fn all_jobs_complete(&self) -> bool {
@@ -1284,6 +1375,11 @@ impl Cluster {
     fn resolve_failed_attempt(&mut self, failed: FailedAttempt, now: SimTime) {
         let task = failed.id.task;
         self.fault_stats.attempts_lost += 1;
+        if let Some(obs) = self.obs.as_mut() {
+            obs.span_end(SpanKey::Suspend(failed.id), now);
+            obs.span_end(SpanKey::Shuffle(failed.id), now);
+            obs.span_end(SpanKey::Attempt(failed.id), now);
+        }
         if let Some(ev) = failed.segment_event {
             self.queue.cancel(ev);
         }
@@ -1506,6 +1602,14 @@ impl Cluster {
         self.link[idx] = LinkState::Partitioned { since: now };
         self.suspect_epoch[idx] += 1;
         self.fault_stats.partitions += 1;
+        if let Some(obs) = self.obs.as_mut() {
+            obs.span_begin(
+                SpanKey::Partition(node),
+                node,
+                format!("node-{}", node.0),
+                now,
+            );
+        }
         if self.config.detector.enabled {
             self.schedule_suspicion(node, now);
         }
@@ -1603,6 +1707,9 @@ impl Cluster {
         self.link[idx] = LinkState::Up;
         self.suspect_epoch[idx] += 1;
         self.fault_stats.partition_heals += 1;
+        if let Some(obs) = self.obs.as_mut() {
+            obs.span_end(SpanKey::Partition(node), now);
+        }
         let torn_down = !self.trackers[idx].is_reachable();
         if torn_down {
             self.trackers[idx].set_reachable(true);
@@ -2006,6 +2113,14 @@ impl Cluster {
                     t.progress = progress;
                     t.suspend_cycles += 1;
                 }
+                if let Some(obs) = self.obs.as_mut() {
+                    obs.span_begin(
+                        SpanKey::Suspend(attempt_id),
+                        node,
+                        attempt_id.to_string(),
+                        now,
+                    );
+                }
                 if self.tracing() {
                     self.trace_event(
                         now,
@@ -2060,6 +2175,9 @@ impl Cluster {
         self.mark_node_dirty(node);
         self.set_task_state(task, TaskState::Running);
         self.arm_triggers(task, node, attempt_id, now);
+        if let Some(obs) = self.obs.as_mut() {
+            obs.span_end(SpanKey::Suspend(attempt_id), now);
+        }
         if self.tracing() {
             self.trace_event(
                 now,
@@ -2100,6 +2218,11 @@ impl Cluster {
             Err(_) => return,
         };
         self.mark_node_dirty(node);
+        if let Some(obs) = self.obs.as_mut() {
+            obs.span_end(SpanKey::Suspend(attempt_id), now);
+            obs.span_end(SpanKey::Shuffle(attempt_id), now);
+            obs.span_end(SpanKey::Attempt(attempt_id), now);
+        }
         if let Some(ev) = pending_event {
             self.queue.cancel(ev);
         }
@@ -2242,6 +2365,16 @@ impl Cluster {
                         }
                     }
                     self.fault_stats.shuffle_refetches += 1;
+                    if retries == 0 {
+                        if let Some(obs) = self.obs.as_mut() {
+                            obs.span_begin(
+                                SpanKey::Shuffle(attempt_id),
+                                node,
+                                attempt_id.to_string(),
+                                now,
+                            );
+                        }
+                    }
                     if self.tracing() {
                         self.trace_event(
                             now,
@@ -2253,6 +2386,9 @@ impl Cluster {
                         );
                     }
                     return;
+                }
+                if let Some(obs) = self.obs.as_mut() {
+                    obs.span_end(SpanKey::Shuffle(attempt_id), now);
                 }
                 self.enter_phase(node, attempt_id, AttemptPhase::Work, SimDuration::ZERO, now);
             }
@@ -2356,6 +2492,11 @@ impl Cluster {
             Err(_) => return,
         };
         self.mark_node_dirty(node);
+        if let Some(obs) = self.obs.as_mut() {
+            obs.span_end(SpanKey::Suspend(attempt_id), now);
+            obs.span_end(SpanKey::Shuffle(attempt_id), now);
+            obs.span_end(SpanKey::Attempt(attempt_id), now);
+        }
         // First finisher wins: a completing attempt kills its sibling (the
         // original kills the backup; a winning backup kills the original,
         // wherever — running or suspended — it currently sits).
@@ -2579,6 +2720,11 @@ impl Cluster {
     /// another task was allocating memory.
     fn handle_oom_victim(&mut self, attempt_id: AttemptId, node: NodeId, now: SimTime) {
         let task = attempt_id.task;
+        if let Some(obs) = self.obs.as_mut() {
+            obs.span_end(SpanKey::Suspend(attempt_id), now);
+            obs.span_end(SpanKey::Shuffle(attempt_id), now);
+            obs.span_end(SpanKey::Attempt(attempt_id), now);
+        }
         let (is_current, is_spec, backup, wasted) = {
             let Some(t) = self.task(task) else { return };
             (
@@ -2680,8 +2826,24 @@ impl Cluster {
     }
 
     fn apply_actions(&mut self, actions: Vec<SchedulerAction>, now: SimTime) {
+        // Profiler bookkeeping: exact per-action counts, plus direct timing
+        // of one invocation in `ACTION_SAMPLE_EVERY` (scaled back up). The
+        // array indices mirror [`crate::obs::ACTION_KINDS`].
+        let timer = self.obs.as_mut().and_then(|o| o.action_timer());
+        let mut acted = [0u32; 6];
         let mut queue: VecDeque<SchedulerAction> = actions.into();
         while let Some(action) = queue.pop_front() {
+            if self.obs.is_some() {
+                let idx = match &action {
+                    SchedulerAction::SubmitJob(_) => 0,
+                    SchedulerAction::Launch { .. } => 1,
+                    SchedulerAction::LaunchSpeculative { .. } => 2,
+                    SchedulerAction::Suspend { .. } => 3,
+                    SchedulerAction::Resume { .. } => 4,
+                    SchedulerAction::Kill { .. } => 5,
+                };
+                acted[idx] += 1;
+            }
             match action {
                 SchedulerAction::SubmitJob(spec) => {
                     // register_job invokes on_job_submitted itself and applies
@@ -2735,6 +2897,9 @@ impl Cluster {
                     }
                 }
             }
+        }
+        if let Some(obs) = self.obs.as_mut() {
+            obs.record_actions(&acted, timer);
         }
     }
 
@@ -2856,6 +3021,14 @@ impl Cluster {
                 a.segment_duration = setup;
             }
         }
+        if let Some(obs) = self.obs.as_mut() {
+            obs.span_begin(
+                SpanKey::Attempt(attempt_id),
+                node,
+                attempt_id.to_string(),
+                now,
+            );
+        }
         if self.tracing() {
             self.trace_event(
                 now,
@@ -2964,6 +3137,14 @@ impl Cluster {
                 a.segment_duration = setup;
             }
         }
+        if let Some(obs) = self.obs.as_mut() {
+            obs.span_begin(
+                SpanKey::Attempt(attempt_id),
+                node,
+                attempt_id.to_string(),
+                now,
+            );
+        }
         if self.tracing() {
             self.trace_event(
                 now,
@@ -3001,6 +3182,11 @@ impl Cluster {
             );
         }
         self.mark_node_dirty(node);
+        if let Some(obs) = self.obs.as_mut() {
+            obs.span_end(SpanKey::Suspend(attempt), now);
+            obs.span_end(SpanKey::Shuffle(attempt), now);
+            obs.span_end(SpanKey::Attempt(attempt), now);
+        }
         if let Some(ev) = pending_event {
             self.queue.cancel(ev);
         }

@@ -757,6 +757,96 @@ impl DetectorConfig {
     }
 }
 
+/// Observability knobs: the in-cluster metrics registry, virtual-time
+/// series sampler, event-loop profiler and span trace.
+///
+/// Default-off the cluster allocates no observability state at all and every
+/// hot path skips recording behind a single `Option` check, so pinned
+/// determinism tests and bench baselines are untouched. Crucially the layer
+/// is *passive* even when on: the sampler piggybacks on event-loop
+/// iterations instead of scheduling events of its own, and the profiler only
+/// reads the wall clock — an observed run produces byte-identical reports
+/// and event counts to an unobserved one (pinned by the observability test
+/// suite).
+///
+/// ```
+/// use mrp_engine::{ClusterConfig, ObsConfig};
+///
+/// let cfg = ClusterConfig::small_cluster(4, 2, 1).with_obs(ObsConfig::full());
+/// assert!(cfg.validate().is_ok());
+/// assert!(cfg.obs.series && cfg.obs.spans && cfg.obs.profile);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ObsConfig {
+    /// Master switch (default off: zero observability state, zero overhead).
+    pub enabled: bool,
+    /// Sample the time-series columns (pending tasks, free slots, suspended
+    /// bytes, swap backlog, suspicions, ...) every `sample_interval`.
+    pub series: bool,
+    /// Record spans (task attempts, suspend cycles, shuffle stalls,
+    /// partition windows) for Chrome-trace export.
+    pub spans: bool,
+    /// Profile the event loop per event kind and scheduler action.
+    pub profile: bool,
+    /// Virtual-time cadence of the series sampler (must be non-zero while
+    /// `series` is on).
+    pub sample_interval: SimDuration,
+    /// Hard cap on recorded spans; once reached, new spans are dropped (and
+    /// counted) rather than growing without bound on week-long runs.
+    pub max_spans: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            enabled: false,
+            series: true,
+            spans: true,
+            profile: true,
+            sample_interval: SimDuration::from_secs(10),
+            max_spans: 1 << 20,
+        }
+    }
+}
+
+impl ObsConfig {
+    /// Everything on: series sampling (10 s cadence), spans and the
+    /// event-loop profiler.
+    pub fn full() -> Self {
+        ObsConfig {
+            enabled: true,
+            ..ObsConfig::default()
+        }
+    }
+
+    /// Only the event-loop profiler — what throughput benches enable, since
+    /// it allocates nothing per event.
+    pub fn profile_only() -> Self {
+        ObsConfig {
+            enabled: true,
+            series: false,
+            spans: false,
+            profile: true,
+            ..ObsConfig::default()
+        }
+    }
+
+    /// Validates the knobs (no-op while the feature is off), returning the
+    /// first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.enabled {
+            return Ok(());
+        }
+        if self.series && self.sample_interval.is_zero() {
+            return Err("observability sample interval must be non-zero".into());
+        }
+        if self.spans && self.max_spans == 0 {
+            return Err("observability span cap must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
 /// Whole-cluster configuration.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ClusterConfig {
@@ -798,6 +888,10 @@ pub struct ClusterConfig {
     /// Suspicion-based failure-detection knobs (default: off — faults are
     /// observed the instant they strike).
     pub detector: DetectorConfig,
+    /// Observability knobs — metrics registry, series sampler, event-loop
+    /// profiler, span trace (default: off).
+    #[serde(default)]
+    pub obs: ObsConfig,
 }
 
 impl ClusterConfig {
@@ -832,6 +926,7 @@ impl ClusterConfig {
             shuffle: ShuffleConfig::default(),
             reliability: ReliabilityConfig::default(),
             detector: DetectorConfig::default(),
+            obs: ObsConfig::default(),
         }
     }
 
@@ -861,6 +956,7 @@ impl ClusterConfig {
             shuffle: ShuffleConfig::default(),
             reliability: ReliabilityConfig::default(),
             detector: DetectorConfig::default(),
+            obs: ObsConfig::default(),
         }
     }
 
@@ -945,6 +1041,19 @@ impl ClusterConfig {
         self
     }
 
+    /// Replaces the observability knobs, builder style.
+    ///
+    /// ```
+    /// use mrp_engine::{ClusterConfig, ObsConfig};
+    ///
+    /// let cfg = ClusterConfig::small_cluster(4, 2, 1).with_obs(ObsConfig::full());
+    /// assert!(cfg.obs.enabled);
+    /// ```
+    pub fn with_obs(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// Switches every node to the given block-granular swap-device model,
     /// builder style (see [`mrp_simos::SwapConfig`]). Default-off: without
     /// this call the legacy byte-granular swap accounting is used.
@@ -997,8 +1106,8 @@ impl ClusterConfig {
     /// sub-config validates its own knobs ([`FaultPlan::validate`],
     /// [`SpeculationConfig::validate`], [`DelayConfig::validate`],
     /// [`ShuffleConfig::validate`], [`ReliabilityConfig::validate`],
-    /// [`DetectorConfig::validate`]) and is invoked from this single entry
-    /// point.
+    /// [`DetectorConfig::validate`], [`ObsConfig::validate`]) and is invoked
+    /// from this single entry point.
     pub fn validate(&self) -> Result<(), String> {
         if self.nodes.is_empty() {
             return Err("cluster must have at least one node".into());
@@ -1039,6 +1148,7 @@ impl ClusterConfig {
         self.shuffle.validate()?;
         self.reliability.validate()?;
         self.detector.validate()?;
+        self.obs.validate()?;
         for (i, n) in self.nodes.iter().enumerate() {
             n.os.memory
                 .swap

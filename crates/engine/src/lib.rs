@@ -40,6 +40,7 @@ mod config;
 mod delay;
 mod job;
 mod metrics;
+mod obs;
 mod plugin;
 mod reliability;
 mod scheduler;
@@ -50,8 +51,8 @@ pub use attempt::{Attempt, AttemptPhase, AttemptState, ExecPlan};
 pub use cluster::Cluster;
 pub use config::{
     ClusterConfig, DelayConfig, DetectorConfig, FaultEvent, FaultKind, FaultPlan, NodeConfig,
-    RandomFaults, RefreshMode, ReliabilityConfig, ShuffleConfig, SpeculationConfig, TaskDefaults,
-    TraceLevel,
+    ObsConfig, RandomFaults, RefreshMode, ReliabilityConfig, ShuffleConfig, SpeculationConfig,
+    TaskDefaults, TraceLevel,
 };
 pub use delay::DelayScoreboard;
 pub use job::{
@@ -62,6 +63,7 @@ pub use metrics::{
     ClusterReport, FaultStats, JobReport, LocalityStats, NodeReport, TaskReport, TraceEntry,
     TraceKind, DELAY_WAIT_BUCKET_SECS,
 };
+pub use obs::{ObsState, Span, SpanKind, ACTION_KINDS, EVENT_KINDS, SERIES_COLUMNS};
 pub use plugin::{
     JobOrder, JobOrderFn, NodeScoreFn, PreemptableSetFn, PreemptableTask, TaskOrderFn,
     TenantLedger, TenantShareStats,

@@ -359,6 +359,80 @@ impl ClusterReport {
     pub fn all_jobs_complete(&self) -> bool {
         self.jobs.iter().all(|j| j.completed_at.is_some())
     }
+
+    /// Total virtual seconds processes spent stalled on swap I/O across all
+    /// nodes (zero unless the block-granular swap device is enabled).
+    pub fn total_swap_io_secs(&self) -> f64 {
+        self.nodes.iter().map(|n| n.swap_io_secs).sum()
+    }
+
+    /// Renders the run as a short human-readable summary: one line per job,
+    /// then cluster-wide totals — including the per-node swap-stall time and
+    /// the shuffle re-fetch rounds that previously only appeared as raw
+    /// struct fields.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let complete = self
+            .jobs
+            .iter()
+            .filter(|j| j.completed_at.is_some())
+            .count();
+        let _ = writeln!(
+            out,
+            "run: {} job(s), {complete} complete, finished at {}",
+            self.jobs.len(),
+            self.finished_at
+        );
+        if let Some(makespan) = self.makespan_secs() {
+            let _ = writeln!(out, "makespan: {makespan:.1}s");
+        }
+        for job in &self.jobs {
+            let sojourn = match job.sojourn_secs {
+                Some(s) => format!("sojourn {s:.1}s"),
+                None => "incomplete".to_string(),
+            };
+            let suspends: u32 = job.tasks.iter().map(|t| t.suspend_cycles).sum();
+            let _ = writeln!(
+                out,
+                "  {:<12} prio {:>3}  {:>3} task(s)  {sojourn}  {suspends} suspend cycle(s)  \
+                 {:.1}s wasted",
+                job.name,
+                job.priority,
+                job.tasks.len(),
+                job.wasted_work_secs(),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "swap: {} out / {} in bytes, {:.1}s stalled on swap I/O, {} OOM kill(s)",
+            self.total_swap_out_bytes(),
+            self.total_swap_in_bytes(),
+            self.total_swap_io_secs(),
+            self.nodes.iter().map(|n| n.oom_kills).sum::<u64>(),
+        );
+        let _ = writeln!(
+            out,
+            "shuffle: {} refetch round(s); faults: {} node failure(s), {} attempt(s) lost, \
+             {} task(s) re-executed",
+            self.faults.shuffle_refetches,
+            self.faults.node_failures,
+            self.faults.attempts_lost,
+            self.faults.re_executed_tasks,
+        );
+        if self.locality.total() > 0 {
+            let _ = writeln!(
+                out,
+                "locality: {:.0}% node-local, {:.0}% rack-local, {:.0}% off-rack \
+                 ({} launch(es))",
+                100.0 * self.locality.node_local_ratio(),
+                100.0 * self.locality.rack_local_ratio(),
+                100.0 * self.locality.off_rack_ratio(),
+                self.locality.total(),
+            );
+        }
+        out
+    }
 }
 
 /// The kinds of schedule events recorded in the run trace (used by the
@@ -549,6 +623,21 @@ mod tests {
         assert_eq!(r.makespan_secs(), None);
         assert!(r.all_jobs_complete());
         assert_eq!(r.total_wasted_work_secs(), 0.0);
+    }
+
+    #[test]
+    fn summary_surfaces_swap_io_and_refetches() {
+        let mut r = report_with_two_jobs();
+        r.nodes[0].swap_io_secs = 12.25;
+        r.faults.shuffle_refetches = 3;
+        assert_eq!(r.total_swap_io_secs(), 12.25);
+        let text = r.summary();
+        assert!(text.contains("2 job(s), 2 complete"));
+        assert!(text.contains("makespan: 170.0s"));
+        assert!(text.contains("12.2s stalled on swap I/O"));
+        assert!(text.contains("3 refetch round(s)"));
+        assert!(text.contains("tl"));
+        assert!(text.contains("th"));
     }
 
     #[test]

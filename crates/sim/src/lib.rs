@@ -3,9 +3,11 @@
 //! The foundation shared by every simulated substrate in the
 //! `hadoop-os-preempt` workspace: a virtual clock ([`SimTime`] /
 //! [`SimDuration`]), a deterministic cancellable event queue
-//! ([`EventQueue`]), a seeded random number generator ([`SimRng`]) and the
+//! ([`EventQueue`]), a seeded random number generator ([`SimRng`]), the
 //! statistics helpers ([`Summary`], [`OnlineStats`]) used by the experiment
-//! harness to reproduce the paper's figures.
+//! harness to reproduce the paper's figures, and the observability
+//! primitives ([`MetricsRegistry`], [`TimeSeriesSampler`], [`LoopProfiler`])
+//! that the engine threads through its event loop.
 //!
 //! Determinism is a design goal throughout: same seed, same configuration ⇒
 //! bit-identical simulation, which makes the reproduction of the paper's
@@ -24,11 +26,17 @@
 #![warn(missing_docs)]
 
 mod events;
+mod metrics;
+mod profile;
 mod rng;
 mod stats;
 mod time;
 
 pub use events::{EventId, EventQueue};
+pub use metrics::{
+    CounterId, GaugeId, HistogramId, LogHistogram, MetricsRegistry, SeriesRow, TimeSeriesSampler,
+};
+pub use profile::{LoopProfiler, ProfileReport, ProfileRow, ACTION_SAMPLE_EVERY};
 pub use rng::SimRng;
 pub use stats::{percentile, OnlineStats, Summary};
 pub use time::{SimDuration, SimTime};

@@ -89,6 +89,13 @@ impl Kernel {
         self.disk.stats()
     }
 
+    /// Read-only view of the disk device (queued background I/O, timing
+    /// model); the engine's observability sampler reads the swap/background
+    /// backlog from here.
+    pub fn disk(&self) -> &Disk {
+        &self.disk
+    }
+
     /// Iterates over all process table entries (including terminated ones).
     pub fn processes(&self) -> impl Iterator<Item = &Process> {
         self.processes.values()

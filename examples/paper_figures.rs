@@ -3,18 +3,83 @@
 //!
 //! ```text
 //! cargo run --release --example paper_figures
+//! cargo run --release --example paper_figures -- 5
+//! cargo run --release --example paper_figures -- --trace-out trace.json
 //! ```
+//!
+//! The optional positional argument is the number of repetitions per data
+//! point (default 3). `--trace-out` / `--series-out` additionally run the
+//! paper's suspend/resume scenario once with the observability layer on and
+//! dump its span trace (Chrome `trace_event` JSON) / sampled time series.
 
+use hadoop_os_preempt::mrp_preempt::obs_export;
+use hadoop_os_preempt::prelude::*;
 use mrp_experiments::{run_figure, to_table, Figure};
 
 fn main() {
-    let repetitions: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(3);
+    let (repetitions, trace_out, series_out) = parse_args();
     for figure in Figure::ALL {
         for data in run_figure(figure, repetitions) {
             println!("{}", to_table(&data));
         }
     }
+    if trace_out.is_some() || series_out.is_some() {
+        export_observed_run(trace_out, series_out);
+    }
+}
+
+/// Runs the paper scenario once with observability on and writes the
+/// requested dumps. `run_figure` drives many clusters internally and does
+/// not expose their configs, so the export runs its own representative
+/// scenario — the same one `quickstart` narrates.
+fn export_observed_run(trace_out: Option<String>, series_out: Option<String>) {
+    let (tl, th) = two_job_scenario(0, 0);
+    let plan = DummyPlan::paper_scenario(PreemptionPrimitive::SuspendResume, "tl", th, 0.5);
+    let scheduler = DummyScheduler::new(plan);
+    let triggers = scheduler.required_triggers();
+    let config = ClusterConfig::paper_single_node().with_obs(ObsConfig::full());
+    let mut cluster = Cluster::new(config, Box::new(scheduler));
+    for (path, len) in two_job_input_files() {
+        cluster.create_input_file(&path, len).expect("create input");
+    }
+    for (job, task, fraction) in triggers {
+        cluster.add_progress_trigger(&job, task, fraction);
+    }
+    cluster.submit_job(tl);
+    cluster.run(SimTime::from_secs(3_600));
+
+    let obs = cluster.observability().expect("observability enabled");
+    if let Some(path) = trace_out {
+        let json = obs_export::chrome_trace_json(obs.spans(), cluster.now());
+        std::fs::write(&path, json.pretty()).expect("write trace");
+        println!("wrote Chrome trace ({} spans) to {path}", obs.spans().len());
+    }
+    if let Some(path) = series_out {
+        let sampler = obs.series().expect("series sampling enabled");
+        std::fs::write(&path, obs_export::series_json(sampler).pretty()).expect("write series");
+        println!(
+            "wrote time series ({} rows) to {path}",
+            sampler.rows().len()
+        );
+    }
+}
+
+/// Parses the optional positional repetition count plus
+/// `--trace-out <path>` / `--series-out <path>`.
+fn parse_args() -> (usize, Option<String>, Option<String>) {
+    let mut repetitions = 3;
+    let mut trace_out = None;
+    let mut series_out = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trace-out" => trace_out = Some(args.next().expect("--trace-out needs a path")),
+            "--series-out" => series_out = Some(args.next().expect("--series-out needs a path")),
+            other => match other.parse() {
+                Ok(n) => repetitions = n,
+                Err(_) => panic!("unknown argument `{other}` (try N, --trace-out, --series-out)"),
+            },
+        }
+    }
+    (repetitions, trace_out, series_out)
 }

@@ -3,11 +3,20 @@
 //!
 //! ```text
 //! cargo run --example quickstart
+//! cargo run --example quickstart -- --trace-out trace.json --series-out series.json
 //! ```
+//!
+//! `--trace-out` / `--series-out` turn the observability layer on and dump
+//! the span trace (Chrome `trace_event` JSON — load it in `chrome://tracing`
+//! or <https://ui.perfetto.dev>) and the sampled time series.
 
+use hadoop_os_preempt::mrp_preempt::obs_export;
 use hadoop_os_preempt::prelude::*;
 
 fn main() {
+    let (trace_out, series_out) = parse_args();
+    let observe = trace_out.is_some() || series_out.is_some();
+
     // 1. Describe the two jobs: a low-priority tl and a high-priority th,
     //    both single-task map-only jobs over 512 MB inputs.
     let (tl, th) = two_job_scenario(0, 0);
@@ -20,7 +29,11 @@ fn main() {
 
     // 3. Build the single-node cluster (4 GB RAM, one map slot, swappiness 0),
     //    create the HDFS inputs and register the progress trigger.
-    let mut cluster = Cluster::new(ClusterConfig::paper_single_node(), Box::new(scheduler));
+    let mut config = ClusterConfig::paper_single_node();
+    if observe {
+        config = config.with_obs(ObsConfig::full());
+    }
+    let mut cluster = Cluster::new(config, Box::new(scheduler));
     for (path, len) in two_job_input_files() {
         cluster.create_input_file(&path, len).expect("create input");
     }
@@ -46,4 +59,42 @@ fn main() {
         report.total_swap_out_bytes() / MIB,
         report.job("tl").unwrap().tasks[0].suspend_cycles,
     );
+    println!("\n== summary ==");
+    print!("{}", report.summary());
+
+    // 6. Export the observability dumps when asked to.
+    if let Some(obs) = cluster.observability() {
+        if let Some(path) = trace_out {
+            let json = obs_export::chrome_trace_json(obs.spans(), cluster.now());
+            std::fs::write(&path, json.pretty()).expect("write trace");
+            println!("wrote Chrome trace ({} spans) to {path}", obs.spans().len());
+        }
+        if let Some(path) = series_out {
+            let sampler = obs.series().expect("series sampling enabled");
+            std::fs::write(&path, obs_export::series_json(sampler).pretty()).expect("write series");
+            println!(
+                "wrote time series ({} rows) to {path}",
+                sampler.rows().len()
+            );
+        }
+        if let Some(profile) = obs.profile() {
+            println!("\n== event-loop profile ==");
+            print!("{}", profile.table());
+        }
+    }
+}
+
+/// Parses `--trace-out <path>` and `--series-out <path>`.
+fn parse_args() -> (Option<String>, Option<String>) {
+    let mut trace_out = None;
+    let mut series_out = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trace-out" => trace_out = Some(args.next().expect("--trace-out needs a path")),
+            "--series-out" => series_out = Some(args.next().expect("--series-out needs a path")),
+            other => panic!("unknown argument `{other}` (try --trace-out/--series-out)"),
+        }
+    }
+    (trace_out, series_out)
 }

@@ -45,7 +45,8 @@ pub use mrp_workload;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use mrp_engine::{
-        Cluster, ClusterConfig, ClusterReport, FifoScheduler, JobSpec, SchedulerPolicy, TaskProfile,
+        Cluster, ClusterConfig, ClusterReport, FifoScheduler, JobSpec, ObsConfig, SchedulerPolicy,
+        TaskProfile,
     };
     pub use mrp_experiments::{run_figure, run_scenario, Figure, ScenarioConfig};
     pub use mrp_preempt::{
